@@ -1,0 +1,133 @@
+// google-benchmark microbenchmarks of the computational kernels: GEMM,
+// im2col, LIF step, surrogate gradient, drop/grow selection and CSR
+// matvec. These quantify where the training loop spends its time.
+#include <benchmark/benchmark.h>
+
+#include "snn/lif.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/topk.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using ndsnn::tensor::ConvGeometry;
+using ndsnn::tensor::Rng;
+using ndsnn::tensor::Shape;
+using ndsnn::tensor::Tensor;
+
+void BM_Matmul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a(Shape{n, n}), b(Shape{n, n});
+  a.fill_uniform(rng, -1.0F, 1.0F);
+  b.fill_uniform(rng, -1.0F, 1.0F);
+  for (auto _ : state) {
+    Tensor c = ndsnn::tensor::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulSparseA(benchmark::State& state) {
+  // The zero-skip path used by pruned weight matrices.
+  const int64_t n = 128;
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(2);
+  Tensor a(Shape{n, n}), b(Shape{n, n});
+  b.fill_uniform(rng, -1.0F, 1.0F);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    a.at(i) = rng.bernoulli(density) ? rng.uniform(-1.0F, 1.0F) : 0.0F;
+  }
+  for (auto _ : state) {
+    Tensor c = ndsnn::tensor::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatmulSparseA)->Arg(100)->Arg(20)->Arg(5)->Arg(1);
+
+void BM_Im2col(benchmark::State& state) {
+  ConvGeometry g;
+  g.batch = 8;
+  g.in_channels = 16;
+  g.in_h = g.in_w = 32;
+  g.kernel_h = g.kernel_w = 3;
+  g.stride = 1;
+  g.padding = 1;
+  Rng rng(3);
+  Tensor x(Shape{8, 16, 32, 32});
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  for (auto _ : state) {
+    Tensor cols = ndsnn::tensor::im2col(x, g);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_LifForward(benchmark::State& state) {
+  const int64_t t = state.range(0);
+  ndsnn::snn::LifConfig cfg;
+  ndsnn::snn::LifLayer lif(cfg, t);
+  Rng rng(4);
+  Tensor current(Shape{t * 32, 512});
+  current.fill_uniform(rng, 0.0F, 2.0F);
+  for (auto _ : state) {
+    Tensor spikes = lif.forward(current);
+    benchmark::DoNotOptimize(spikes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * current.numel());
+}
+BENCHMARK(BM_LifForward)->Arg(2)->Arg(5)->Arg(8);
+
+void BM_LifBackward(benchmark::State& state) {
+  const int64_t t = 5;
+  ndsnn::snn::LifConfig cfg;
+  ndsnn::snn::LifLayer lif(cfg, t);
+  Rng rng(5);
+  Tensor current(Shape{t * 32, 512});
+  current.fill_uniform(rng, 0.0F, 2.0F);
+  (void)lif.forward(current);
+  Tensor g(current.shape());
+  g.fill_uniform(rng, -1.0F, 1.0F);
+  for (auto _ : state) {
+    Tensor gin = lif.backward(g);
+    benchmark::DoNotOptimize(gin.data());
+  }
+}
+BENCHMARK(BM_LifBackward);
+
+void BM_ArgDrop(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(6);
+  Tensor w(Shape{n});
+  w.fill_uniform(rng, -1.0F, 1.0F);
+  std::vector<int64_t> candidates(static_cast<std::size_t>(n));
+  for (int64_t i = 0; i < n; ++i) candidates[static_cast<std::size_t>(i)] = i;
+  for (auto _ : state) {
+    auto picked = ndsnn::sparse::argdrop_smallest_magnitude(w, candidates, n / 10);
+    benchmark::DoNotOptimize(picked.data());
+  }
+}
+BENCHMARK(BM_ArgDrop)->Arg(10000)->Arg(100000);
+
+void BM_CsrMatvec(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(7);
+  Tensor dense(Shape{512, 512});
+  for (int64_t i = 0; i < dense.numel(); ++i) {
+    dense.at(i) = rng.bernoulli(density) ? rng.uniform(-1.0F, 1.0F) : 0.0F;
+  }
+  const auto csr = ndsnn::sparse::Csr::from_dense(dense);
+  std::vector<float> x(512, 1.0F);
+  for (auto _ : state) {
+    auto y = csr.matvec(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_CsrMatvec)->Arg(100)->Arg(10)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Table II: ADMM pruning (LeNet-5) vs NDSNN (VGG-16 in the paper; the
+// scaled preset here) at moderate sparsities {40, 50, 60, 75}%.
+//
+// The paper's point: NDSNN holds accuracy at these sparsities (loss
+// ~0.00x) while ADMM already degrades noticeably by 75%.
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  ndsnn::util::set_log_level(ndsnn::util::LogLevel::kWarn);
+  const ndsnn::util::Cli cli(argc, argv);
+  const bool full = cli.has_flag("--full");
+  const int64_t epochs = cli.get_int("--epochs", 10);
+  const int64_t samples = cli.get_int("--samples", full ? 512 : 256);
+
+  const std::vector<double> sparsities = {0.40, 0.50, 0.60, 0.75};
+
+  std::printf("=== Table II: ADMM (LeNet-5) vs NDSNN on synthetic CIFAR-10 ===\n");
+  std::printf("paper: ADMM acc loss reaches -2.15 at 75%%; NDSNN stays ~0.\n\n");
+
+  ndsnn::core::ExperimentConfig base;
+  base.arch = "lenet5";
+  base.dataset = "cifar10";
+  base.epochs = epochs;
+  base.train_samples = samples;
+  base.test_samples = samples / 2;
+  base.model_scale = 0.75;
+  base.data_scale = 0.5;
+  base.timesteps = 2;
+  base.learning_rate = 0.2;
+
+  auto dense_cfg = base;
+  dense_cfg.method = "dense";
+  const auto dense = ndsnn::core::run_experiment(dense_cfg);
+  std::printf("dense LeNet-5 baseline: %.2f%%\n\n", dense.best_test_acc);
+
+  ndsnn::util::Table table({"method", "40%", "50%", "60%", "75%"});
+  ndsnn::util::Table loss_table({"method", "40%", "50%", "60%", "75%"});
+  for (const char* method : {"admm", "ndsnn"}) {
+    std::vector<std::string> row = {method};
+    std::vector<std::string> loss_row = {method};
+    for (const double s : sparsities) {
+      auto cfg = base;
+      cfg.method = method;
+      cfg.sparsity = s;
+      // Moderate targets: start NDSNN denser for a fair comparison.
+      cfg.initial_sparsity = s * 0.5;
+      const auto r = ndsnn::core::run_experiment(cfg);
+      row.push_back(ndsnn::util::fmt(r.best_acc_at_final_sparsity));
+      loss_row.push_back(ndsnn::util::fmt(r.best_acc_at_final_sparsity - dense.best_test_acc));
+    }
+    table.add_row(std::move(row));
+    loss_table.add_row(std::move(loss_row));
+  }
+  std::printf("accuracy:\n");
+  table.print();
+  std::printf("\naccuracy delta vs dense (paper: ADMM -2.15 @75%%, NDSNN ~0):\n");
+  loss_table.print();
+  return 0;
+}

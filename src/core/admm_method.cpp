@@ -1,0 +1,119 @@
+#include "core/admm_method.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/topk.hpp"
+
+namespace ndsnn::core {
+
+void AdmmConfig::validate() const {
+  if (target_sparsity <= 0.0 || target_sparsity >= 1.0) {
+    throw std::invalid_argument("AdmmConfig: target_sparsity must be in (0, 1)");
+  }
+  if (rho <= 0.0) throw std::invalid_argument("AdmmConfig: rho must be > 0");
+  if (projection_period < 1) {
+    throw std::invalid_argument("AdmmConfig: projection_period must be >= 1");
+  }
+  if (admm_epochs < 1) throw std::invalid_argument("AdmmConfig: admm_epochs must be >= 1");
+}
+
+AdmmMethod::AdmmMethod(AdmmConfig config) : config_(config) { config_.validate(); }
+
+void AdmmMethod::initialize(const std::vector<nn::ParamRef>& params, tensor::Rng& rng) {
+  // Start dense; masks only bind at hard-prune time.
+  build_masks(params, /*initial_sparsity=*/0.0, /*use_erk=*/true, rng);
+
+  const auto dims = layer_dims();
+  layer_targets_ = config_.use_erk
+                       ? sparse::erk_distribution(dims, config_.target_sparsity)
+                       : sparse::uniform_distribution(dims, config_.target_sparsity);
+
+  z_.clear();
+  u_.clear();
+  for (const auto& l : layers()) {
+    z_.push_back(*l.ref.value);
+    u_.emplace_back(l.ref.value->shape());
+  }
+  update_duals();
+}
+
+void AdmmMethod::update_duals() {
+  for (std::size_t li = 0; li < layers().size(); ++li) {
+    const auto& w = *layers()[li].ref.value;
+    auto& z = z_[li];
+    auto& u = u_[li];
+    // Z = Proj_{sparsity}(W + U): keep the top-(1-theta) magnitudes.
+    tensor::Tensor wu = w;
+    {
+      float* p = wu.data();
+      const float* pu = u.data();
+      for (int64_t i = 0; i < wu.numel(); ++i) p[i] += pu[i];
+    }
+    const auto keep = static_cast<int64_t>(
+        (1.0 - layer_targets_[li]) * static_cast<double>(wu.numel()) + 0.5);
+    const float threshold = sparse::magnitude_threshold(wu, keep);
+    z = wu;
+    {
+      float* pz = z.data();
+      for (int64_t i = 0; i < z.numel(); ++i) {
+        if (std::fabs(pz[i]) < threshold) pz[i] = 0.0F;
+      }
+    }
+    // U += W - Z.
+    {
+      float* pu = u.data();
+      const float* pw = w.data();
+      const float* pz = z.data();
+      for (int64_t i = 0; i < u.numel(); ++i) pu[i] += pw[i] - pz[i];
+    }
+  }
+}
+
+void AdmmMethod::before_step(int64_t /*iteration*/) {
+  if (!initialized()) throw std::logic_error("AdmmMethod: not initialized");
+  if (hard_pruned_) {
+    mask_gradients();
+    return;
+  }
+  // Penalty gradient: rho * (W - Z + U).
+  const auto rho = static_cast<float>(config_.rho);
+  for (std::size_t li = 0; li < layers().size(); ++li) {
+    auto& l = layers()[li];
+    float* g = l.ref.grad->data();
+    const float* w = l.ref.value->data();
+    const float* z = z_[li].data();
+    const float* u = u_[li].data();
+    for (int64_t i = 0; i < l.ref.grad->numel(); ++i) {
+      g[i] += rho * (w[i] - z[i] + u[i]);
+    }
+  }
+}
+
+void AdmmMethod::after_step(int64_t iteration) {
+  if (hard_pruned_) {
+    mask_weights();
+    return;
+  }
+  if (iteration > 0 && iteration % config_.projection_period == 0) update_duals();
+}
+
+void AdmmMethod::on_epoch_begin(int64_t epoch) {
+  if (!hard_pruned_ && epoch >= config_.admm_epochs) hard_prune();
+}
+
+void AdmmMethod::hard_prune() {
+  for (std::size_t li = 0; li < layers().size(); ++li) {
+    auto& l = layers()[li];
+    const auto keep = static_cast<int64_t>(
+        (1.0 - layer_targets_[li]) * static_cast<double>(l.mask.numel()) + 0.5);
+    const float threshold = sparse::magnitude_threshold(*l.ref.value, keep);
+    for (int64_t i = 0; i < l.mask.numel(); ++i) {
+      l.mask.set(i, std::fabs(l.ref.value->at(i)) >= threshold);
+    }
+    l.mask.apply(*l.ref.value);
+  }
+  hard_pruned_ = true;
+}
+
+}  // namespace ndsnn::core

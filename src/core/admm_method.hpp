@@ -1,0 +1,49 @@
+// ADMM pruning baseline (Deng et al., TNNLS'21 -- Table II).
+//
+// Alternating Direction Method of Multipliers with a sparsity-projection
+// constraint: auxiliary variable Z is the projection of W + U onto the
+// set of tensors with the target sparsity; dual U accumulates W - Z.
+// The augmented-Lagrangian term rho/2 ||W - Z + U||^2 adds rho(W - Z + U)
+// to the gradient. After `admm_epochs`, weights are hard-pruned by
+// magnitude and the survivors fine-tuned under a fixed mask.
+#pragma once
+
+#include "core/method.hpp"
+
+namespace ndsnn::core {
+
+struct AdmmConfig {
+  double target_sparsity = 0.5;
+  double rho = 1e-2;
+  int64_t projection_period = 50;  ///< iterations between Z/U updates
+  int64_t admm_epochs = 6;         ///< penalty phase length; then hard prune
+  bool use_erk = false;            ///< ADMM paper uses uniform per-layer targets
+
+  void validate() const;
+};
+
+class AdmmMethod final : public MaskedMethodBase {
+ public:
+  explicit AdmmMethod(AdmmConfig config);
+
+  void initialize(const std::vector<nn::ParamRef>& params, tensor::Rng& rng) override;
+  void before_step(int64_t iteration) override;
+  void after_step(int64_t iteration) override;
+  void on_epoch_begin(int64_t epoch) override;
+  [[nodiscard]] std::string name() const override { return "ADMM"; }
+
+  [[nodiscard]] bool hard_pruned() const { return hard_pruned_; }
+
+ private:
+  /// Z = projection of (W + U) keeping the top (1-theta) magnitudes.
+  void update_duals();
+  void hard_prune();
+
+  AdmmConfig config_;
+  std::vector<double> layer_targets_;
+  std::vector<tensor::Tensor> z_;  // projected weights
+  std::vector<tensor::Tensor> u_;  // scaled duals
+  bool hard_pruned_ = false;
+};
+
+}  // namespace ndsnn::core

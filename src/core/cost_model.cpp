@@ -1,0 +1,39 @@
+#include "core/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace ndsnn::core {
+
+std::vector<double> relative_cost_per_epoch(const TrainResult& sparse_run,
+                                            const TrainResult& dense_run) {
+  if (sparse_run.epochs.size() != dense_run.epochs.size()) {
+    throw std::invalid_argument("relative_cost_per_epoch: epoch count mismatch");
+  }
+  std::vector<double> cost;
+  cost.reserve(sparse_run.epochs.size());
+  for (std::size_t i = 0; i < sparse_run.epochs.size(); ++i) {
+    const auto& s = sparse_run.epochs[i];
+    const auto& d = dense_run.epochs[i];
+    const double rd = d.spike_rate > 1e-12 ? d.spike_rate : 1e-12;
+    cost.push_back(s.spike_rate * (1.0 - s.sparsity) / rd);
+  }
+  return cost;
+}
+
+double normalized_training_cost_pct(const TrainResult& sparse_run,
+                                    const TrainResult& dense_run) {
+  const auto cost = relative_cost_per_epoch(sparse_run, dense_run);
+  if (cost.empty()) return 0.0;
+  double acc = 0.0;
+  for (const double c : cost) acc += c;
+  return 100.0 * acc / static_cast<double>(cost.size());
+}
+
+double mean_density(const TrainResult& run) {
+  if (run.epochs.empty()) return 1.0;
+  double acc = 0.0;
+  for (const auto& e : run.epochs) acc += 1.0 - e.sparsity;
+  return acc / static_cast<double>(run.epochs.size());
+}
+
+}  // namespace ndsnn::core

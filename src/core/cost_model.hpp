@@ -1,0 +1,36 @@
+// Training-cost model (Sec. IV-C, Fig. 5).
+//
+// "No computation is required if there are no input spikes or a
+// connection is pruned", so the relative computation cost of a sparse
+// model w.r.t. the dense model at epoch i is
+//
+//     cost_i = (R_s^i * density_i) / R_d^i
+//
+// with R the network-average spike rate tracked over the epoch and
+// density = 1 - sparsity the fraction of surviving connections. (The
+// paper writes "Sparsity_i" for the surviving fraction; we use the
+// unambiguous name.) The normalized training cost of a whole run is the
+// epoch-mean of cost_i, in percent.
+#pragma once
+
+#include <vector>
+
+#include "core/trainer.hpp"
+
+namespace ndsnn::core {
+
+/// Per-epoch relative costs of a sparse run against a dense reference.
+/// Both traces must have the same number of epochs.
+[[nodiscard]] std::vector<double> relative_cost_per_epoch(const TrainResult& sparse_run,
+                                                          const TrainResult& dense_run);
+
+/// Normalized training cost in percent (epoch mean of relative cost).
+[[nodiscard]] double normalized_training_cost_pct(const TrainResult& sparse_run,
+                                                  const TrainResult& dense_run);
+
+/// Estimated training FLOPs of one run, relative to its own dense
+/// equivalent, from the sparsity trace alone (used by Table III notes):
+/// mean_i (1 - sparsity_i).
+[[nodiscard]] double mean_density(const TrainResult& run);
+
+}  // namespace ndsnn::core

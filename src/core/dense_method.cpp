@@ -1,0 +1,16 @@
+#include "core/dense_method.hpp"
+
+namespace ndsnn::core {
+
+void DenseMethod::initialize(const std::vector<nn::ParamRef>& params, tensor::Rng& /*rng*/) {
+  prunable_count_ = 0;
+  for (const auto& p : params) {
+    if (p.prunable) ++prunable_count_;
+  }
+}
+
+std::vector<double> DenseMethod::layer_sparsities() const {
+  return std::vector<double>(prunable_count_, 0.0);
+}
+
+}  // namespace ndsnn::core

@@ -1,0 +1,21 @@
+// Dense baseline: no sparsification at all.
+#pragma once
+
+#include "core/method.hpp"
+
+namespace ndsnn::core {
+
+class DenseMethod final : public SparseTrainingMethod {
+ public:
+  void initialize(const std::vector<nn::ParamRef>& params, tensor::Rng& rng) override;
+  void before_step(int64_t iteration) override { (void)iteration; }
+  void after_step(int64_t iteration) override { (void)iteration; }
+  [[nodiscard]] double overall_sparsity() const override { return 0.0; }
+  [[nodiscard]] std::vector<double> layer_sparsities() const override;
+  [[nodiscard]] std::string name() const override { return "Dense"; }
+
+ private:
+  std::size_t prunable_count_ = 0;
+};
+
+}  // namespace ndsnn::core

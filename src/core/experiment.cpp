@@ -1,0 +1,126 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+namespace ndsnn::core {
+
+std::unique_ptr<SparseTrainingMethod> make_method(const ExperimentConfig& config,
+                                                  int64_t iterations_per_epoch) {
+  const int64_t total_iters = iterations_per_epoch * config.epochs;
+  // Adapt the mask-update period so short runs still get ~36 drop-grow
+  // rounds (the paper runs hundreds over 300 epochs; a coarse ramp is
+  // what breaks NDSNN at small scale), and stop updates at 3/4 of
+  // training so the final topology gets fine-tuned.
+  const int64_t delta_t =
+      std::min<int64_t>(config.delta_t, std::max<int64_t>(2, total_iters / 48));
+  const int64_t t_end = std::max<int64_t>(delta_t, total_iters * 3 / 4);
+
+  if (config.method == "dense") return std::make_unique<DenseMethod>();
+
+  if (config.method == "ndsnn" || config.method == "ndsnn_random_growth" ||
+      config.method == "ndsnn_linear_ramp") {
+    NdsnnConfig c;
+    c.initial_sparsity = config.theta_initial();
+    c.final_sparsity = config.sparsity;
+    c.delta_t = delta_t;
+    c.t_end = t_end;
+    if (config.method == "ndsnn_random_growth") c.gradient_growth = false;
+    if (config.method == "ndsnn_linear_ramp") c.ramp_exponent = 1.0;
+    return std::make_unique<NdsnnMethod>(c);
+  }
+  if (config.method == "set") {
+    SetConfig c;
+    c.sparsity = config.sparsity;
+    c.delta_t = delta_t;
+    c.t_end = t_end;
+    return std::make_unique<SetMethod>(c);
+  }
+  if (config.method == "rigl") {
+    RiglConfig c;
+    c.sparsity = config.sparsity;
+    c.delta_t = delta_t;
+    c.t_end = t_end;
+    return std::make_unique<RiglMethod>(c);
+  }
+  if (config.method == "lth") {
+    LthConfig c;
+    c.final_sparsity = config.sparsity;
+    // Split the epoch budget into up to 4 IMP rounds.
+    c.rounds = std::min<int64_t>(4, std::max<int64_t>(1, config.epochs / 2));
+    c.epochs_per_round = std::max<int64_t>(1, config.epochs / (c.rounds + 1));
+    return std::make_unique<LthMethod>(c);
+  }
+  if (config.method == "admm") {
+    AdmmConfig c;
+    c.target_sparsity = config.sparsity;
+    c.admm_epochs = std::max<int64_t>(1, config.epochs * 2 / 3);
+    c.projection_period = delta_t;
+    return std::make_unique<AdmmMethod>(c);
+  }
+  if (config.method == "gmp") {
+    GmpConfig c;
+    c.final_sparsity = config.sparsity;
+    c.delta_t = delta_t;
+    c.t_end = t_end;
+    return std::make_unique<GmpMethod>(c);
+  }
+  if (config.method == "snip") {
+    SnipConfig c;
+    c.sparsity = config.sparsity;
+    return std::make_unique<SnipMethod>(c);
+  }
+  throw std::invalid_argument("make_method: unknown method '" + config.method + "'");
+}
+
+Experiment build_experiment(const ExperimentConfig& config) {
+  Experiment exp;
+
+  data::SyntheticSpec train_spec = data::synthetic_by_name(
+      config.dataset, config.data_scale, config.train_samples, config.seed);
+  data::SyntheticSpec test_spec = train_spec;
+  test_spec.train_size = config.test_samples;
+  // Same prototypes (same seed) but a disjoint sample stream.
+  test_spec.sample_offset = train_spec.train_size + (int64_t{1} << 20);
+  exp.train_set = std::make_unique<data::SyntheticVision>(train_spec);
+  exp.test_set = std::make_unique<data::SyntheticVision>(test_spec);
+
+  nn::ModelSpec model_spec;
+  model_spec.num_classes = train_spec.num_classes;
+  model_spec.in_channels = train_spec.channels;
+  model_spec.timesteps = config.timesteps;
+  model_spec.width_scale = config.model_scale;
+  model_spec.lif.alpha = static_cast<float>(config.lif_alpha);
+  model_spec.seed = config.seed;
+  // VGG needs size % 32 == 0; round the synthetic resolution up.
+  int64_t size = train_spec.image_size;
+  if (config.arch == "vgg16") {
+    size = std::max<int64_t>(32, (size + 31) / 32 * 32);
+  }
+  if (size != train_spec.image_size) {
+    train_spec.image_size = size;
+    test_spec.image_size = size;
+    exp.train_set = std::make_unique<data::SyntheticVision>(train_spec);
+    exp.test_set = std::make_unique<data::SyntheticVision>(test_spec);
+  }
+  model_spec.image_size = size;
+  exp.network = nn::make_model(config.arch, model_spec);
+
+  const int64_t iters_per_epoch =
+      (config.train_samples + config.batch_size - 1) / config.batch_size;
+  exp.method = make_method(config, iters_per_epoch);
+
+  exp.trainer.epochs = config.epochs;
+  exp.trainer.batch_size = config.batch_size;
+  exp.trainer.learning_rate = config.learning_rate;
+  exp.trainer.seed = config.seed;
+  exp.trainer.verbose = config.verbose;
+  return exp;
+}
+
+TrainResult run_experiment(const ExperimentConfig& config) {
+  Experiment exp = build_experiment(config);
+  Trainer trainer(*exp.network, *exp.method, *exp.train_set, *exp.test_set, exp.trainer);
+  return trainer.run();
+}
+
+}  // namespace ndsnn::core

@@ -1,0 +1,70 @@
+// Experiment harness shared by benches and examples: build a (scaled)
+// model + synthetic dataset + method by name, train, return the trace.
+//
+// The `scale` preset maps the paper's GPU-scale experiments onto CPU
+// budgets while preserving topology; see DESIGN.md section 2.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/admm_method.hpp"
+#include "core/cost_model.hpp"
+#include "core/dense_method.hpp"
+#include "core/gmp_method.hpp"
+#include "core/lth_method.hpp"
+#include "core/ndsnn_method.hpp"
+#include "core/rigl_method.hpp"
+#include "core/set_method.hpp"
+#include "core/snip_method.hpp"
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models/zoo.hpp"
+
+namespace ndsnn::core {
+
+/// One experiment cell: architecture x dataset x method x sparsity.
+struct ExperimentConfig {
+  std::string arch = "vgg16";        ///< vgg16 | resnet19 | lenet5
+  std::string dataset = "cifar10";   ///< cifar10 | cifar100 | tiny_imagenet
+  std::string method = "ndsnn";  ///< ndsnn | set | rigl | lth | admm | gmp | snip | dense
+  double sparsity = 0.9;             ///< target (final) sparsity
+  double initial_sparsity = -1.0;    ///< NDSNN theta_i; < 0 = 0.5 * sparsity
+  int64_t timesteps = 5;
+  int64_t epochs = 10;
+  int64_t batch_size = 32;
+  int64_t train_samples = 512;
+  int64_t test_samples = 128;
+  double model_scale = 0.5;          ///< width multiplier
+  double data_scale = 0.25;          ///< resolution multiplier
+  int64_t delta_t = 16;              ///< mask-update period (iterations)
+  double learning_rate = 0.2;        ///< paper's 0.3 is tuned for GPU scale
+  double lif_alpha = 0.75;           ///< membrane leak (CPU-scale tuning)
+  uint64_t seed = 42;
+  bool verbose = false;
+
+  [[nodiscard]] double theta_initial() const {
+    return initial_sparsity >= 0.0 ? initial_sparsity : 0.5 * sparsity;
+  }
+};
+
+/// Materialized experiment: model + datasets + method, ready to train.
+struct Experiment {
+  std::unique_ptr<nn::SpikingNetwork> network;
+  std::unique_ptr<data::SyntheticVision> train_set;
+  std::unique_ptr<data::SyntheticVision> test_set;
+  std::unique_ptr<SparseTrainingMethod> method;
+  TrainerConfig trainer;
+};
+
+/// Build every component of `config`. Throws on unknown names.
+[[nodiscard]] Experiment build_experiment(const ExperimentConfig& config);
+
+/// build + train in one call.
+[[nodiscard]] TrainResult run_experiment(const ExperimentConfig& config);
+
+/// Construct just the method (for tests and custom loops).
+[[nodiscard]] std::unique_ptr<SparseTrainingMethod> make_method(
+    const ExperimentConfig& config, int64_t iterations_per_epoch);
+
+}  // namespace ndsnn::core

@@ -1,0 +1,56 @@
+// Training-FLOPs model: layer-level operation counts for sparse SNN
+// training (Table III discusses "training FLOPs"; Fig. 5's spike-rate
+// cost metric is the event-driven refinement of this).
+//
+// Per forward pass of one layer with density rho and input spike rate r:
+//   conv:   2 * rho * F * C * K^2 * OH * OW * r   MACs (events only)
+//   linear: 2 * rho * out * in * r
+// Backward costs ~2x forward (input grads + weight grads), and BPTT
+// multiplies by T timesteps. All counts are per sample.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace ndsnn::core {
+
+/// Operation counts of one prunable layer at a given density/spike rate.
+struct LayerFlops {
+  std::string name;
+  int64_t dense_macs = 0;     ///< MACs per sample per timestep, dense, rate 1
+  double density = 1.0;
+  double spike_rate = 1.0;
+  /// Effective MACs = dense_macs * density * spike_rate.
+  [[nodiscard]] double effective_macs() const {
+    return static_cast<double>(dense_macs) * density * spike_rate;
+  }
+};
+
+/// Static (shape-derived) MAC counts for every prunable layer of a model
+/// evaluated at `image_size` inputs. Conv output sizes are inferred by a
+/// dry-run forward pass.
+class FlopsModel {
+ public:
+  /// Build from a network; runs one probe forward at batch 1 to discover
+  /// spatial dims.
+  FlopsModel(nn::SpikingNetwork& network, int64_t in_channels, int64_t image_size);
+
+  /// Total training MACs per sample: (1 fwd + 2 bwd) * T * sum(layer).
+  [[nodiscard]] double training_macs_per_sample(double density, double spike_rate,
+                                                int64_t timesteps) const;
+
+  /// Inference MACs per sample (forward only).
+  [[nodiscard]] double inference_macs_per_sample(double density, double spike_rate,
+                                                 int64_t timesteps) const;
+
+  [[nodiscard]] const std::vector<LayerFlops>& layers() const { return layers_; }
+  [[nodiscard]] int64_t total_dense_macs() const;
+
+ private:
+  std::vector<LayerFlops> layers_;
+};
+
+}  // namespace ndsnn::core

@@ -1,0 +1,57 @@
+#include "core/gmp_method.hpp"
+
+#include <stdexcept>
+
+#include "sparse/topk.hpp"
+
+namespace ndsnn::core {
+
+void GmpConfig::validate() const {
+  if (final_sparsity <= 0.0 || final_sparsity >= 1.0) {
+    throw std::invalid_argument("GmpConfig: final_sparsity must be in (0, 1)");
+  }
+  if (delta_t < 1 || t_end < delta_t) {
+    throw std::invalid_argument("GmpConfig: need delta_t >= 1, t_end >= delta_t");
+  }
+}
+
+GmpMethod::GmpMethod(GmpConfig config) : config_(config) { config_.validate(); }
+
+void GmpMethod::initialize(const std::vector<nn::ParamRef>& params, tensor::Rng& rng) {
+  build_masks(params, /*initial_sparsity=*/0.0, /*use_erk=*/true, rng);
+  const auto dims = layer_dims();
+  const std::vector<double> theta_f =
+      config_.use_erk ? sparse::erk_distribution(dims, config_.final_sparsity)
+                      : sparse::uniform_distribution(dims, config_.final_sparsity);
+  ramps_.clear();
+  ramps_.reserve(dims.size());
+  for (const double tf : theta_f) {
+    ramps_.emplace_back(0.0, tf, 0, config_.delta_t, config_.rounds());
+  }
+}
+
+bool GmpMethod::is_update_step(int64_t iteration) const {
+  return iteration > 0 && iteration % config_.delta_t == 0 && iteration <= config_.t_end;
+}
+
+void GmpMethod::after_step(int64_t iteration) {
+  if (!initialized()) throw std::logic_error("GmpMethod: not initialized");
+  if (is_update_step(iteration)) {
+    for (std::size_t li = 0; li < layers().size(); ++li) {
+      auto& layer = layers()[li];
+      const int64_t n = layer.mask.numel();
+      const auto target_active = static_cast<int64_t>(
+          (1.0 - ramps_[li].at(iteration)) * static_cast<double>(n) + 0.5);
+      const int64_t active_now = layer.mask.active_count();
+      const int64_t to_prune = active_now - target_active;
+      if (to_prune <= 0) continue;
+      const auto active = layer.mask.active_indices();
+      const auto victims =
+          sparse::argdrop_smallest_magnitude(*layer.ref.value, active, to_prune);
+      layer.mask.deactivate(victims);
+    }
+  }
+  mask_weights();
+}
+
+}  // namespace ndsnn::core

@@ -1,0 +1,36 @@
+// Gradual Magnitude Pruning (Zhu & Gupta 2017): an additional
+// dense-to-sparse baseline from the DST literature. Like NDSNN it uses
+// the cubic ramp, but it only PRUNES (never regrows) and starts dense --
+// so it isolates the value of NDSNN's sparse start and regrowth.
+#pragma once
+
+#include "core/method.hpp"
+#include "sparse/schedule.hpp"
+
+namespace ndsnn::core {
+
+struct GmpConfig {
+  double final_sparsity = 0.9;
+  int64_t delta_t = 100;   ///< pruning period in iterations
+  int64_t t_end = 10000;   ///< ramp end
+  bool use_erk = true;     ///< distribute the final sparsity via ERK
+
+  void validate() const;
+  [[nodiscard]] int64_t rounds() const { return t_end / delta_t; }
+};
+
+class GmpMethod final : public MaskedMethodBase {
+ public:
+  explicit GmpMethod(GmpConfig config);
+
+  void initialize(const std::vector<nn::ParamRef>& params, tensor::Rng& rng) override;
+  void after_step(int64_t iteration) override;
+  [[nodiscard]] std::string name() const override { return "GMP"; }
+  [[nodiscard]] bool is_update_step(int64_t iteration) const;
+
+ private:
+  GmpConfig config_;
+  std::vector<sparse::SparsityRamp> ramps_;
+};
+
+}  // namespace ndsnn::core

@@ -1,0 +1,100 @@
+#include "core/lth_method.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/topk.hpp"
+
+namespace ndsnn::core {
+
+void LthConfig::validate() const {
+  if (final_sparsity <= 0.0 || final_sparsity >= 1.0) {
+    throw std::invalid_argument("LthConfig: final_sparsity must be in (0, 1)");
+  }
+  if (rounds < 1) throw std::invalid_argument("LthConfig: rounds must be >= 1");
+  if (epochs_per_round < 1) {
+    throw std::invalid_argument("LthConfig: epochs_per_round must be >= 1");
+  }
+}
+
+double LthConfig::sparsity_after_round(int64_t r) const {
+  if (r <= 0) return 0.0;
+  if (r >= rounds) return final_sparsity;
+  // Keep-ratio shrinks geometrically: keep_r = keep_final^(r/rounds).
+  const double keep_final = 1.0 - final_sparsity;
+  return 1.0 - std::pow(keep_final, static_cast<double>(r) / static_cast<double>(rounds));
+}
+
+LthMethod::LthMethod(LthConfig config) : config_(config) { config_.validate(); }
+
+void LthMethod::initialize(const std::vector<nn::ParamRef>& params, tensor::Rng& rng) {
+  // Round 0 trains DENSE (sparsity 0): that is the point Fig. 1 makes
+  // about LTH's training inefficiency.
+  build_masks(params, /*initial_sparsity=*/0.0, /*use_erk=*/true, rng);
+  initial_weights_.clear();
+  initial_weights_.reserve(layers().size());
+  for (const auto& l : layers()) initial_weights_.push_back(*l.ref.value);
+}
+
+void LthMethod::on_epoch_begin(int64_t epoch) {
+  if (!initialized()) throw std::logic_error("LthMethod: not initialized");
+  if (epoch == 0 || epoch % config_.epochs_per_round != 0) return;
+  const int64_t r = epoch / config_.epochs_per_round;
+  if (r > config_.rounds || r <= round_) return;
+  round_ = r;
+  prune_to(config_.sparsity_after_round(r));
+  if (config_.rewind) rewind_weights();
+}
+
+void LthMethod::prune_to(double target) {
+  // Global magnitude pruning: exact selection of the smallest-magnitude
+  // active weights across all layers (threshold-based pruning mishandles
+  // ties, e.g. freshly initialized identical magnitudes).
+  int64_t total = 0;
+  for (const auto& l : layers()) total += l.mask.numel();
+  const auto keep = static_cast<int64_t>((1.0 - target) * static_cast<double>(total) + 0.5);
+
+  struct Entry {
+    float magnitude;
+    uint32_t layer;
+    int64_t index;
+  };
+  std::vector<Entry> active;
+  active.reserve(static_cast<std::size_t>(total));
+  for (std::size_t li = 0; li < layers().size(); ++li) {
+    const auto& l = layers()[li];
+    const float* w = l.ref.value->data();
+    const auto& bits = l.mask.bits();
+    for (int64_t i = 0; i < l.mask.numel(); ++i) {
+      if (bits[static_cast<std::size_t>(i)]) {
+        active.push_back({std::fabs(w[i]), static_cast<uint32_t>(li), i});
+      }
+    }
+  }
+  const auto prune_count = static_cast<int64_t>(active.size()) - keep;
+  if (prune_count <= 0) return;
+  std::nth_element(active.begin(), active.begin() + prune_count, active.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.magnitude != b.magnitude) return a.magnitude < b.magnitude;
+                     if (a.layer != b.layer) return a.layer < b.layer;
+                     return a.index < b.index;
+                   });
+  for (int64_t k = 0; k < prune_count; ++k) {
+    const Entry& e = active[static_cast<std::size_t>(k)];
+    layers()[e.layer].mask.set(e.index, false);
+  }
+  for (auto& l : layers()) l.mask.apply(*l.ref.value);
+}
+
+void LthMethod::rewind_weights() {
+  for (std::size_t li = 0; li < layers().size(); ++li) {
+    auto& l = layers()[li];
+    *l.ref.value = initial_weights_[li];
+    l.mask.apply(*l.ref.value);
+  }
+}
+
+void LthMethod::after_step(int64_t /*iteration*/) { mask_weights(); }
+
+}  // namespace ndsnn::core

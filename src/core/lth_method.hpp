@@ -1,0 +1,51 @@
+// LTH-SNN baseline: iterative magnitude pruning with weight rewinding
+// (Frankle & Carbin 2018; Kim et al. ECCV'22 for SNNs -- the paper's
+// strongest dense-start baseline in Table I and Figs. 4-5).
+//
+// Training is divided into R rounds of equal epochs. Each round trains
+// the current ticket; at the round boundary the surviving weights are
+// pruned globally by magnitude so that sparsity follows
+//   theta_r = theta_target^(r / R)-style geometric ladder
+// (prune a constant fraction of the remainder each round), and the
+// survivors are REWOUND to their initial values.
+#pragma once
+
+#include "core/method.hpp"
+
+namespace ndsnn::core {
+
+struct LthConfig {
+  double final_sparsity = 0.9;
+  int64_t rounds = 3;             ///< pruning rounds (paper uses many more)
+  int64_t epochs_per_round = 5;
+  bool rewind = true;             ///< rewind survivors to init (true LTH)
+
+  void validate() const;
+  /// Sparsity after round r in [1, rounds]: geometric ladder reaching
+  /// final_sparsity at r == rounds.
+  [[nodiscard]] double sparsity_after_round(int64_t r) const;
+};
+
+class LthMethod final : public MaskedMethodBase {
+ public:
+  explicit LthMethod(LthConfig config);
+
+  void initialize(const std::vector<nn::ParamRef>& params, tensor::Rng& rng) override;
+  void after_step(int64_t iteration) override;
+  void on_epoch_begin(int64_t epoch) override;
+  [[nodiscard]] std::string name() const override { return "LTH-SNN"; }
+
+  [[nodiscard]] const LthConfig& config() const { return config_; }
+  [[nodiscard]] int64_t current_round() const { return round_; }
+
+ private:
+  /// Global magnitude pruning across all layers to `target` sparsity.
+  void prune_to(double target);
+  void rewind_weights();
+
+  LthConfig config_;
+  int64_t round_ = 0;
+  std::vector<tensor::Tensor> initial_weights_;
+};
+
+}  // namespace ndsnn::core

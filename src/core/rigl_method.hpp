@@ -1,0 +1,40 @@
+// RigL-SNN baseline (Evci et al. 2020 applied to SNNs, Table I).
+//
+// Like SET but regrowth picks the inactive weights with the largest
+// gradient magnitude. Sparsity stays constant; only the topology moves.
+#pragma once
+
+#include "core/method.hpp"
+#include "sparse/schedule.hpp"
+
+namespace ndsnn::core {
+
+struct RiglConfig {
+  double sparsity = 0.9;
+  int64_t delta_t = 100;
+  int64_t t_end = 10000;
+  double initial_death_rate = 0.3;  ///< RigL alpha (cosine-annealed)
+  double min_death_rate = 0.0;
+  bool use_erk = true;
+
+  void validate() const;
+  [[nodiscard]] int64_t rounds() const { return t_end / delta_t; }
+};
+
+class RiglMethod final : public MaskedMethodBase {
+ public:
+  explicit RiglMethod(RiglConfig config);
+
+  void initialize(const std::vector<nn::ParamRef>& params, tensor::Rng& rng) override;
+  void before_step(int64_t iteration) override;
+  void after_step(int64_t iteration) override;
+  [[nodiscard]] std::string name() const override { return "RigL-SNN"; }
+  [[nodiscard]] bool is_update_step(int64_t iteration) const;
+
+ private:
+  RiglConfig config_;
+  std::unique_ptr<sparse::DeathRateSchedule> death_;
+  GradSnapshot snapshot_;
+};
+
+}  // namespace ndsnn::core

@@ -1,0 +1,40 @@
+// SET-SNN baseline (Mocanu et al. 2018 applied to SNNs, Table I).
+//
+// Constant sparsity throughout training: every delta_t iterations drop
+// the smallest-magnitude active weights at the (annealed) death rate and
+// regrow the SAME number of connections uniformly at random.
+#pragma once
+
+#include "core/method.hpp"
+#include "sparse/schedule.hpp"
+
+namespace ndsnn::core {
+
+struct SetConfig {
+  double sparsity = 0.9;
+  int64_t delta_t = 100;
+  int64_t t_end = 10000;
+  double initial_death_rate = 0.3;
+  double min_death_rate = 0.05;
+  bool use_erk = true;
+
+  void validate() const;
+  [[nodiscard]] int64_t rounds() const { return t_end / delta_t; }
+};
+
+class SetMethod final : public MaskedMethodBase {
+ public:
+  explicit SetMethod(SetConfig config);
+
+  void initialize(const std::vector<nn::ParamRef>& params, tensor::Rng& rng) override;
+  void after_step(int64_t iteration) override;
+  [[nodiscard]] std::string name() const override { return "SET-SNN"; }
+  [[nodiscard]] bool is_update_step(int64_t iteration) const;
+
+ private:
+  SetConfig config_;
+  std::unique_ptr<sparse::DeathRateSchedule> death_;
+  tensor::Rng grow_rng_{0};
+};
+
+}  // namespace ndsnn::core

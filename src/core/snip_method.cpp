@@ -1,0 +1,93 @@
+#include "core/snip_method.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ndsnn::core {
+
+void SnipConfig::validate() const {
+  if (sparsity <= 0.0 || sparsity >= 1.0) {
+    throw std::invalid_argument("SnipConfig: sparsity must be in (0, 1)");
+  }
+}
+
+SnipMethod::SnipMethod(SnipConfig config) : config_(config) { config_.validate(); }
+
+void SnipMethod::initialize(const std::vector<nn::ParamRef>& params, tensor::Rng& rng) {
+  // Start dense; the mask is decided by the first batch's saliency.
+  build_masks(params, /*initial_sparsity=*/0.0, /*use_erk=*/true, rng);
+}
+
+void SnipMethod::prune_by_saliency() {
+  struct Entry {
+    float saliency;
+    uint32_t layer;
+    int64_t index;
+  };
+  std::vector<Entry> all;
+  int64_t total = 0;
+  for (std::size_t li = 0; li < layers().size(); ++li) {
+    const auto& l = layers()[li];
+    const float* w = l.ref.value->data();
+    const float* g = l.ref.grad->data();
+    const int64_t n = l.mask.numel();
+    total += n;
+    for (int64_t i = 0; i < n; ++i) {
+      all.push_back({std::fabs(g[i] * w[i]), static_cast<uint32_t>(li), i});
+    }
+  }
+  const auto keep = static_cast<int64_t>(
+      (1.0 - config_.sparsity) * static_cast<double>(total) + 0.5);
+  const int64_t prune_count = total - keep;
+  if (prune_count <= 0) {
+    pruned_ = true;
+    return;
+  }
+
+  if (config_.per_layer) {
+    // Rank within each layer to its own quota.
+    for (std::size_t li = 0; li < layers().size(); ++li) {
+      auto& l = layers()[li];
+      const float* w = l.ref.value->data();
+      const float* g = l.ref.grad->data();
+      const int64_t n = l.mask.numel();
+      std::vector<int64_t> idx(static_cast<std::size_t>(n));
+      for (int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+      const auto layer_keep = static_cast<int64_t>(
+          (1.0 - config_.sparsity) * static_cast<double>(n) + 0.5);
+      std::nth_element(idx.begin(), idx.begin() + (n - layer_keep), idx.end(),
+                       [&](int64_t a, int64_t b) {
+                         return std::fabs(g[a] * w[a]) < std::fabs(g[b] * w[b]);
+                       });
+      for (int64_t k = 0; k < n - layer_keep; ++k) {
+        l.mask.set(idx[static_cast<std::size_t>(k)], false);
+      }
+      l.mask.apply(*l.ref.value);
+    }
+  } else {
+    std::nth_element(all.begin(), all.begin() + prune_count, all.end(),
+                     [](const Entry& a, const Entry& b) {
+                       if (a.saliency != b.saliency) return a.saliency < b.saliency;
+                       if (a.layer != b.layer) return a.layer < b.layer;
+                       return a.index < b.index;
+                     });
+    for (int64_t k = 0; k < prune_count; ++k) {
+      const Entry& e = all[static_cast<std::size_t>(k)];
+      layers()[e.layer].mask.set(e.index, false);
+    }
+    for (auto& l : layers()) l.mask.apply(*l.ref.value);
+  }
+  pruned_ = true;
+}
+
+void SnipMethod::before_step(int64_t /*iteration*/) {
+  if (!initialized()) throw std::logic_error("SnipMethod: not initialized");
+  if (!pruned_) prune_by_saliency();
+  mask_gradients();
+}
+
+void SnipMethod::after_step(int64_t /*iteration*/) { mask_weights(); }
+
+}  // namespace ndsnn::core

@@ -1,0 +1,40 @@
+// SNIP (Lee et al. 2019): single-shot pruning at initialization by
+// connection saliency |g * w| computed on one (or a few) minibatches.
+// A static-sparsity baseline: after the one-shot prune, the mask never
+// changes. Contrasts with NDSNN's dynamic topology.
+//
+// Because the saliency needs gradients, the trainer runs normally and
+// SnipMethod builds its mask at the FIRST before_step call (when the
+// first batch's dense gradients are available).
+#pragma once
+
+#include "core/method.hpp"
+
+namespace ndsnn::core {
+
+struct SnipConfig {
+  double sparsity = 0.9;
+  bool per_layer = false;  ///< false = global saliency ranking (paper default)
+
+  void validate() const;
+};
+
+class SnipMethod final : public MaskedMethodBase {
+ public:
+  explicit SnipMethod(SnipConfig config);
+
+  void initialize(const std::vector<nn::ParamRef>& params, tensor::Rng& rng) override;
+  void before_step(int64_t iteration) override;
+  void after_step(int64_t iteration) override;
+  [[nodiscard]] std::string name() const override { return "SNIP"; }
+
+  [[nodiscard]] bool mask_frozen() const { return pruned_; }
+
+ private:
+  void prune_by_saliency();
+
+  SnipConfig config_;
+  bool pruned_ = false;
+};
+
+}  // namespace ndsnn::core

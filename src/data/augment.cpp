@@ -1,0 +1,58 @@
+#include "data/augment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ndsnn::data {
+
+void AugmentConfig::validate() const {
+  if (crop_padding < 0) throw std::invalid_argument("AugmentConfig: crop_padding must be >= 0");
+}
+
+namespace {
+/// Random shifted crop of one [C, H, W] image: shift in [-pad, pad] with
+/// edge clamping (equivalent to pad-then-crop).
+void shift_image(float* img, int64_t c, int64_t h, int64_t w, int64_t dy, int64_t dx) {
+  std::vector<float> tmp(static_cast<std::size_t>(c * h * w));
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        const int64_t sy = std::clamp<int64_t>(y + dy, 0, h - 1);
+        const int64_t sx = std::clamp<int64_t>(x + dx, 0, w - 1);
+        tmp[static_cast<std::size_t>((ch * h + y) * w + x)] = img[(ch * h + sy) * w + sx];
+      }
+    }
+  }
+  std::copy(tmp.begin(), tmp.end(), img);
+}
+
+void flip_image(float* img, int64_t c, int64_t h, int64_t w) {
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      float* row = img + (ch * h + y) * w;
+      std::reverse(row, row + w);
+    }
+  }
+}
+}  // namespace
+
+void augment_batch(tensor::Tensor& images, const AugmentConfig& config, tensor::Rng& rng) {
+  config.validate();
+  if (images.rank() != 4) {
+    throw std::invalid_argument("augment_batch: expected [N, C, H, W], got " +
+                                images.shape().str());
+  }
+  const int64_t n = images.dim(0), c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  const int64_t pad = config.crop_padding;
+  for (int64_t i = 0; i < n; ++i) {
+    float* img = images.data() + i * c * h * w;
+    if (pad > 0) {
+      const int64_t dy = rng.uniform_int(2 * pad + 1) - pad;
+      const int64_t dx = rng.uniform_int(2 * pad + 1) - pad;
+      if (dy != 0 || dx != 0) shift_image(img, c, h, w, dy, dx);
+    }
+    if (config.horizontal_flip && rng.bernoulli(0.5)) flip_image(img, c, h, w);
+  }
+}
+
+}  // namespace ndsnn::data

@@ -1,0 +1,20 @@
+// Training-time augmentation: random crop (with padding) and horizontal
+// flip, the standard CIFAR recipe the paper's training uses.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::data {
+
+struct AugmentConfig {
+  int64_t crop_padding = 4;  ///< reflect-pad then random-crop back
+  bool horizontal_flip = true;
+
+  void validate() const;
+};
+
+/// Apply augmentation in place to a batch [N, C, H, W].
+void augment_batch(tensor::Tensor& images, const AugmentConfig& config, tensor::Rng& rng);
+
+}  // namespace ndsnn::data

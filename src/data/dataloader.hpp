@@ -1,0 +1,35 @@
+// Mini-batch loader with per-epoch shuffling.
+#pragma once
+
+#include <optional>
+
+#include "data/dataset.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::data {
+
+/// Iterates a dataset in shuffled mini-batches. Call start_epoch() to
+/// reshuffle, then next() until it returns nullopt. The final partial
+/// batch is dropped when `drop_last` (keeps batch statistics uniform).
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, int64_t batch_size, uint64_t seed,
+             bool shuffle = true, bool drop_last = false);
+
+  void start_epoch();
+  [[nodiscard]] std::optional<Batch> next();
+
+  [[nodiscard]] int64_t batches_per_epoch() const;
+  [[nodiscard]] int64_t batch_size() const { return batch_size_; }
+
+ private:
+  const Dataset& dataset_;
+  int64_t batch_size_;
+  bool shuffle_;
+  bool drop_last_;
+  tensor::Rng rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace ndsnn::data

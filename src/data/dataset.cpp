@@ -1,0 +1,29 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ndsnn::data {
+
+Batch make_batch(const Dataset& dataset, const std::vector<int64_t>& indices) {
+  if (indices.empty()) throw std::invalid_argument("make_batch: empty index list");
+  const int64_t c = dataset.channels();
+  const int64_t s = dataset.image_size();
+  Batch batch;
+  batch.images = tensor::Tensor(
+      tensor::Shape{static_cast<int64_t>(indices.size()), c, s, s});
+  batch.labels.reserve(indices.size());
+  const int64_t sample_elems = c * s * s;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const Sample sample = dataset.get(indices[i]);
+    if (sample.image.numel() != sample_elems) {
+      throw std::logic_error("make_batch: sample size mismatch");
+    }
+    std::copy(sample.image.data(), sample.image.data() + sample_elems,
+              batch.images.data() + static_cast<int64_t>(i) * sample_elems);
+    batch.labels.push_back(sample.label);
+  }
+  return batch;
+}
+
+}  // namespace ndsnn::data

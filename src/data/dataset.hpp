@@ -1,0 +1,36 @@
+// Dataset interface: indexed access to (image, label) pairs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::data {
+
+/// One labelled sample; image is [C, H, W].
+struct Sample {
+  tensor::Tensor image;
+  int64_t label = 0;
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  [[nodiscard]] virtual int64_t size() const = 0;
+  [[nodiscard]] virtual Sample get(int64_t index) const = 0;
+  [[nodiscard]] virtual int64_t num_classes() const = 0;
+  [[nodiscard]] virtual int64_t channels() const = 0;
+  [[nodiscard]] virtual int64_t image_size() const = 0;
+};
+
+/// Stack samples [indices] into a batch tensor [N, C, H, W] + labels.
+struct Batch {
+  tensor::Tensor images;
+  std::vector<int64_t> labels;
+  [[nodiscard]] int64_t size() const { return static_cast<int64_t>(labels.size()); }
+};
+
+[[nodiscard]] Batch make_batch(const Dataset& dataset, const std::vector<int64_t>& indices);
+
+}  // namespace ndsnn::data

@@ -1,0 +1,109 @@
+#include "data/event_synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ndsnn::data {
+
+void EventSpec::validate() const {
+  if (num_classes < 2) throw std::invalid_argument("EventSpec: num_classes must be >= 2");
+  if (image_size < 4) throw std::invalid_argument("EventSpec: image_size must be >= 4");
+  if (timesteps < 2) throw std::invalid_argument("EventSpec: timesteps must be >= 2");
+  if (train_size < 1) throw std::invalid_argument("EventSpec: train_size must be >= 1");
+  if (event_threshold <= 0.0F) {
+    throw std::invalid_argument("EventSpec: event_threshold must be > 0");
+  }
+  if (noise_events < 0.0F || noise_events >= 1.0F) {
+    throw std::invalid_argument("EventSpec: noise_events must be in [0, 1)");
+  }
+}
+
+SyntheticEvents::SyntheticEvents(EventSpec spec) : spec_(spec) {
+  spec_.validate();
+  const int64_t s = spec_.image_size;
+  prototypes_.reserve(static_cast<std::size_t>(spec_.num_classes));
+  for (int64_t k = 0; k < spec_.num_classes; ++k) {
+    tensor::Rng rng(spec_.seed * 0xA24BAED4963EE407ULL + static_cast<uint64_t>(k) + 1);
+    tensor::Tensor proto(tensor::Shape{s, s});
+    // A bright blob with class-dependent aspect/orientation.
+    const float cx = 0.3F + 0.4F * static_cast<float>(rng.uniform01());
+    const float cy = 0.3F + 0.4F * static_cast<float>(rng.uniform01());
+    const float sx = 0.08F + 0.05F * static_cast<float>(k % 3);
+    const float sy = 0.08F + 0.05F * static_cast<float>((k / 3) % 3);
+    for (int64_t y = 0; y < s; ++y) {
+      for (int64_t x = 0; x < s; ++x) {
+        const float dx = static_cast<float>(x) / static_cast<float>(s) - cx;
+        const float dy = static_cast<float>(y) / static_cast<float>(s) - cy;
+        proto.at(y * s + x) =
+            std::exp(-dx * dx / (2 * sx * sx) - dy * dy / (2 * sy * sy));
+      }
+    }
+    prototypes_.push_back(std::move(proto));
+  }
+}
+
+Sample SyntheticEvents::get(int64_t index) const {
+  if (index < 0 || index >= spec_.train_size) {
+    throw std::out_of_range("SyntheticEvents::get: index out of range");
+  }
+  const int64_t stream_index = index + spec_.sample_offset;
+  tensor::Rng rng(spec_.seed ^ (0x9E6C63D0876A9ULL + static_cast<uint64_t>(stream_index) *
+                                                         0x2545F4914F6CDD1DULL));
+  const int64_t label = stream_index % spec_.num_classes;
+  const auto& proto = prototypes_[static_cast<std::size_t>(label)];
+  const int64_t s = spec_.image_size;
+  const int64_t t_count = spec_.timesteps;
+
+  // Class determines drift direction (one of 8 compass directions, plus
+  // the blob shape); sample noise perturbs speed and start.
+  const double angle = 2.0 * 3.14159265358979 * static_cast<double>(label) /
+                       static_cast<double>(spec_.num_classes);
+  const double speed = (1.0 + rng.uniform01()) * static_cast<double>(s) /
+                       (4.0 * static_cast<double>(t_count));
+  const double x0 = rng.uniform01() * 2.0 - 1.0;
+  const double y0 = rng.uniform01() * 2.0 - 1.0;
+
+  Sample sample;
+  sample.label = label;
+  sample.image = tensor::Tensor(tensor::Shape{2 * t_count, s, s});
+
+  auto intensity_at = [&](int64_t t, int64_t y, int64_t x) -> float {
+    const auto ox = static_cast<int64_t>(std::lround(x0 + std::cos(angle) * speed *
+                                                     static_cast<double>(t)));
+    const auto oy = static_cast<int64_t>(std::lround(y0 + std::sin(angle) * speed *
+                                                     static_cast<double>(t)));
+    const int64_t sx = std::clamp<int64_t>(x - ox, 0, s - 1);
+    const int64_t sy = std::clamp<int64_t>(y - oy, 0, s - 1);
+    return proto.at(sy * s + sx);
+  };
+
+  for (int64_t t = 1; t <= t_count; ++t) {
+    float* on_plane = sample.image.data() + (2 * (t - 1)) * s * s;
+    float* off_plane = sample.image.data() + (2 * (t - 1) + 1) * s * s;
+    for (int64_t y = 0; y < s; ++y) {
+      for (int64_t x = 0; x < s; ++x) {
+        const float delta = intensity_at(t, y, x) - intensity_at(t - 1, y, x);
+        if (delta > spec_.event_threshold) on_plane[y * s + x] = 1.0F;
+        if (delta < -spec_.event_threshold) off_plane[y * s + x] = 1.0F;
+        if (spec_.noise_events > 0.0F && rng.bernoulli(spec_.noise_events)) {
+          (rng.bernoulli(0.5) ? on_plane : off_plane)[y * s + x] = 1.0F;
+        }
+      }
+    }
+  }
+  return sample;
+}
+
+double SyntheticEvents::measure_event_rate(int64_t samples) const {
+  samples = std::min(samples, size());
+  double fired = 0.0, total = 0.0;
+  for (int64_t i = 0; i < samples; ++i) {
+    const Sample s = get(i);
+    fired += static_cast<double>(s.image.numel() - s.image.count_zeros());
+    total += static_cast<double>(s.image.numel());
+  }
+  return total > 0 ? fired / total : 0.0;
+}
+
+}  // namespace ndsnn::data

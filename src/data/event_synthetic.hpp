@@ -1,0 +1,54 @@
+// Synthetic event-stream (DVS-style) dataset.
+//
+// Neuromorphic vision sensors emit sparse ON/OFF events rather than
+// frames. This generator produces class-conditional *moving* patterns: a
+// class prototype drifts across the frame over T timesteps and each step
+// emits binary events where intensity changed. Samples are returned as a
+// time-major tensor [T, 2, S, S] (ON / OFF polarity channels) flattened
+// into the Sample.image as [2*T, S, S] -- models consume it with the
+// DirectEncoder disabled (the data is already temporal).
+//
+// This exercises the pipeline's genuinely-temporal path: unlike the
+// static datasets, information here lives in WHEN events fire.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::data {
+
+struct EventSpec {
+  int64_t num_classes = 4;
+  int64_t image_size = 12;
+  int64_t timesteps = 6;
+  int64_t train_size = 256;
+  float event_threshold = 0.08F;  ///< intensity delta that fires an event
+  float noise_events = 0.01F;     ///< probability of a spurious event
+  uint64_t seed = 11;
+  int64_t sample_offset = 0;
+
+  void validate() const;
+};
+
+class SyntheticEvents final : public Dataset {
+ public:
+  explicit SyntheticEvents(EventSpec spec);
+
+  [[nodiscard]] int64_t size() const override { return spec_.train_size; }
+  /// image is [2*T, S, S]: T ON-polarity planes then T OFF-polarity planes
+  /// interleaved as channel = 2*t + polarity.
+  [[nodiscard]] Sample get(int64_t index) const override;
+  [[nodiscard]] int64_t num_classes() const override { return spec_.num_classes; }
+  [[nodiscard]] int64_t channels() const override { return 2 * spec_.timesteps; }
+  [[nodiscard]] int64_t image_size() const override { return spec_.image_size; }
+
+  [[nodiscard]] const EventSpec& spec() const { return spec_; }
+  /// Mean fraction of pixels firing per timestep (sanity metric).
+  [[nodiscard]] double measure_event_rate(int64_t samples) const;
+
+ private:
+  EventSpec spec_;
+  std::vector<tensor::Tensor> prototypes_;  // [S, S] intensity per class
+};
+
+}  // namespace ndsnn::data

@@ -1,0 +1,40 @@
+// Batch normalization over channels of time-flattened activations.
+//
+// SNN practice (tdBN, Zheng et al. 2021) normalizes jointly over the time
+// and batch dimensions; since activations here are [T*N, C, H, W], plain
+// per-channel BN over dim 0,2,3 implements exactly that.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace ndsnn::nn {
+
+/// BatchNorm2d with affine parameters and running statistics.
+/// gamma/beta are trainable but never pruned.
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(int64_t channels, float eps = 1e-5F, float momentum = 0.1F);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::vector<ParamRef> params() override;
+  [[nodiscard]] std::string name() const override;
+  void reset_state() override;
+
+  [[nodiscard]] int64_t channels() const { return channels_; }
+
+ private:
+  int64_t channels_;
+  float eps_;
+  float momentum_;
+  tensor::Tensor gamma_, gamma_grad_;
+  tensor::Tensor beta_, beta_grad_;
+  tensor::Tensor running_mean_, running_var_;
+  // Saved for backward:
+  tensor::Tensor saved_xhat_;       // normalized input
+  std::vector<float> saved_inv_std_;
+  tensor::Shape saved_in_shape_;
+  bool has_saved_ = false;
+};
+
+}  // namespace ndsnn::nn

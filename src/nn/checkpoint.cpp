@@ -1,0 +1,88 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace ndsnn::nn {
+
+namespace {
+constexpr char kMagic[4] = {'N', 'D', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+
+void write_string(std::ostream& out, const std::string& s) {
+  const auto len = static_cast<uint32_t>(s.size());
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  uint32_t len = 0;
+  in.read(reinterpret_cast<char*>(&len), sizeof(len));
+  if (!in || len > (1u << 20)) throw std::runtime_error("checkpoint: bad string length");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) throw std::runtime_error("checkpoint: truncated string");
+  return s;
+}
+}  // namespace
+
+void save_checkpoint(std::ostream& out, SpikingNetwork& network) {
+  const auto params = network.params();
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const auto count = static_cast<uint64_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    write_string(out, p.name);
+    tensor::save_tensor(out, *p.value);
+  }
+  if (!out) throw std::runtime_error("save_checkpoint: stream write failed");
+}
+
+void load_checkpoint(std::istream& in, SpikingNetwork& network) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_checkpoint: bad magic");
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion) {
+    throw std::runtime_error("load_checkpoint: unsupported version");
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  auto params = network.params();
+  if (!in || count != params.size()) {
+    throw std::runtime_error("load_checkpoint: parameter count mismatch");
+  }
+  for (auto& p : params) {
+    const std::string name = read_string(in);
+    if (name != p.name) {
+      throw std::runtime_error("load_checkpoint: parameter name mismatch: expected '" +
+                               p.name + "', found '" + name + "'");
+    }
+    tensor::Tensor loaded = tensor::load_tensor(in);
+    if (loaded.shape() != p.value->shape()) {
+      throw std::runtime_error("load_checkpoint: shape mismatch for " + p.name);
+    }
+    *p.value = std::move(loaded);
+  }
+}
+
+void save_checkpoint_file(const std::string& path, SpikingNetwork& network) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_checkpoint_file: cannot open " + path);
+  save_checkpoint(out, network);
+}
+
+void load_checkpoint_file(const std::string& path, SpikingNetwork& network) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint_file: cannot open " + path);
+  load_checkpoint(in, network);
+}
+
+}  // namespace ndsnn::nn

@@ -1,0 +1,25 @@
+// Model checkpointing: save/load every parameter tensor of a network.
+//
+// Format: magic "NDCK", u32 version, u64 param count, then per parameter
+// a length-prefixed name and the tensor in the tensor/serialize format.
+// Loading validates names and shapes against the live network, so a
+// checkpoint can only be restored into the architecture that wrote it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace ndsnn::nn {
+
+/// Write all parameters (weights, biases, BN stats are parameters too).
+void save_checkpoint(std::ostream& out, SpikingNetwork& network);
+void save_checkpoint_file(const std::string& path, SpikingNetwork& network);
+
+/// Restore parameters in place. Throws std::runtime_error on any
+/// name/shape mismatch or malformed stream.
+void load_checkpoint(std::istream& in, SpikingNetwork& network);
+void load_checkpoint_file(const std::string& path, SpikingNetwork& network);
+
+}  // namespace ndsnn::nn

@@ -1,0 +1,41 @@
+// 2-D convolution layer (im2col + GEMM) with manual backprop.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::nn {
+
+/// Conv2d over time-flattened batches: input [M, C, H, W] -> output
+/// [M, F, OH, OW], M = T*N. Weight [F, C, KH, KW] is `prunable`.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel, int64_t stride,
+         int64_t padding, tensor::Rng& rng, bool bias = false);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::vector<ParamRef> params() override;
+  [[nodiscard]] std::string name() const override;
+  void reset_state() override;
+
+  [[nodiscard]] int64_t in_channels() const { return in_channels_; }
+  [[nodiscard]] int64_t out_channels() const { return out_channels_; }
+  [[nodiscard]] int64_t kernel() const { return kernel_; }
+  [[nodiscard]] tensor::Tensor& weight() { return weight_; }
+  [[nodiscard]] const tensor::Tensor& weight() const { return weight_; }
+
+ private:
+  int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
+  bool has_bias_;
+  tensor::Tensor weight_;       // [F, C, KH, KW]
+  tensor::Tensor weight_grad_;
+  tensor::Tensor bias_;         // [F]
+  tensor::Tensor bias_grad_;
+  tensor::Tensor saved_cols_;   // [C*K*K, M*OH*OW]
+  tensor::ConvGeometry saved_geom_{};
+  bool has_saved_ = false;
+};
+
+}  // namespace ndsnn::nn

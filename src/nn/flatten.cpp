@@ -1,0 +1,24 @@
+#include "nn/flatten.hpp"
+
+#include <stdexcept>
+
+namespace ndsnn::nn {
+
+tensor::Tensor Flatten::forward(const tensor::Tensor& input, bool /*training*/) {
+  if (input.rank() < 2) {
+    throw std::invalid_argument("Flatten: expected rank >= 2, got " + input.shape().str());
+  }
+  saved_in_shape_ = input.shape();
+  has_saved_ = true;
+  const int64_t m = input.dim(0);
+  return input.reshaped(tensor::Shape{m, input.numel() / m});
+}
+
+tensor::Tensor Flatten::backward(const tensor::Tensor& grad_output) {
+  if (!has_saved_) throw std::logic_error("Flatten::backward before forward");
+  return grad_output.reshaped(saved_in_shape_);
+}
+
+void Flatten::reset_state() { has_saved_ = false; }
+
+}  // namespace ndsnn::nn

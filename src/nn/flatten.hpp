@@ -1,0 +1,20 @@
+// Flatten: collapse [M, C, H, W] (or any rank >= 2) into [M, prod(rest)].
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace ndsnn::nn {
+
+class Flatten final : public Layer {
+ public:
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+  void reset_state() override;
+
+ private:
+  tensor::Shape saved_in_shape_;
+  bool has_saved_ = false;
+};
+
+}  // namespace ndsnn::nn

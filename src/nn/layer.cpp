@@ -1,0 +1,11 @@
+#include "nn/layer.hpp"
+
+namespace ndsnn::nn {
+
+void zero_grads(const std::vector<ParamRef>& params) {
+  for (const auto& p : params) {
+    if (p.grad != nullptr) p.grad->zero();
+  }
+}
+
+}  // namespace ndsnn::nn

@@ -1,0 +1,62 @@
+// Layer: the base abstraction of the manual-backprop NN stack.
+//
+// Every layer transforms a time-major activation tensor [T*N, d...] in
+// forward() and propagates gradients in backward() (reverse order of the
+// forward calls). Parameters are exposed through ParamRef views so the
+// optimizer and the sparse-training methods can iterate over them without
+// knowing layer internals.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::nn {
+
+/// Non-owning view of one parameter tensor and its gradient.
+///
+/// `prunable` marks weights that participate in sparse training (conv and
+/// linear weight matrices); biases and BatchNorm affine parameters are
+/// never pruned, matching the paper's setup.
+struct ParamRef {
+  std::string name;
+  tensor::Tensor* value = nullptr;
+  tensor::Tensor* grad = nullptr;
+  bool prunable = false;
+};
+
+/// Abstract layer with manual forward/backward.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Compute outputs; `training` toggles behaviours like BN statistics.
+  [[nodiscard]] virtual tensor::Tensor forward(const tensor::Tensor& input, bool training) = 0;
+
+  /// Propagate dL/d(output) to dL/d(input), accumulating parameter grads.
+  [[nodiscard]] virtual tensor::Tensor backward(const tensor::Tensor& grad_output) = 0;
+
+  /// Parameter views (empty for stateless layers).
+  [[nodiscard]] virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Layer type name for logging / model summaries.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Clear temporal state and saved activations (between batches).
+  virtual void reset_state() {}
+
+  /// Firing fraction of the last forward if this layer spikes, else < 0.
+  [[nodiscard]] virtual double last_spike_rate() const { return -1.0; }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Zero all parameter gradients reachable from `layers`.
+void zero_grads(const std::vector<ParamRef>& params);
+
+}  // namespace ndsnn::nn

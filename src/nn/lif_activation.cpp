@@ -1,0 +1,18 @@
+#include "nn/lif_activation.hpp"
+
+namespace ndsnn::nn {
+
+tensor::Tensor LifActivation::forward(const tensor::Tensor& input, bool /*training*/) {
+  return lif_.forward(input);
+}
+
+tensor::Tensor LifActivation::backward(const tensor::Tensor& grad_output) {
+  return lif_.backward(grad_output);
+}
+
+std::string LifActivation::name() const {
+  return std::string("LIF(") + snn::surrogate_name(lif_.config().surrogate) +
+         ", T=" + std::to_string(lif_.timesteps()) + ")";
+}
+
+}  // namespace ndsnn::nn

@@ -1,0 +1,76 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "tensor/matmul.hpp"
+
+namespace ndsnn::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, tensor::Rng& rng, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_(tensor::Shape{out_features, in_features}),
+      weight_grad_(tensor::Shape{out_features, in_features}),
+      bias_(tensor::Shape{out_features}),
+      bias_grad_(tensor::Shape{out_features}) {
+  if (in_features < 1 || out_features < 1) {
+    throw std::invalid_argument("Linear: features must be >= 1");
+  }
+  weight_.fill_kaiming(rng, in_features);
+}
+
+tensor::Tensor Linear::forward(const tensor::Tensor& input, bool /*training*/) {
+  if (input.rank() != 2 || input.dim(1) != in_features_) {
+    throw std::invalid_argument("Linear::forward: expected [M, " +
+                                std::to_string(in_features_) + "], got " + input.shape().str());
+  }
+  saved_input_ = input;
+  has_saved_ = true;
+  // y[M, out] = x[M, in] * Wᵀ
+  tensor::Tensor out = tensor::matmul_nt(input, weight_);
+  if (has_bias_) {
+    const int64_t m = out.dim(0);
+    for (int64_t r = 0; r < m; ++r) {
+      for (int64_t c = 0; c < out_features_; ++c) out.at(r, c) += bias_.at(c);
+    }
+  }
+  return out;
+}
+
+tensor::Tensor Linear::backward(const tensor::Tensor& grad_output) {
+  if (!has_saved_) throw std::logic_error("Linear::backward before forward");
+  if (grad_output.rank() != 2 || grad_output.dim(1) != out_features_ ||
+      grad_output.dim(0) != saved_input_.dim(0)) {
+    throw std::invalid_argument("Linear::backward: bad grad shape " +
+                                grad_output.shape().str());
+  }
+  // dW[out, in] += gyᵀ[out, M] * x[M, in]
+  tensor::matmul_tn_acc(grad_output, saved_input_, weight_grad_);
+  if (has_bias_) {
+    const int64_t m = grad_output.dim(0);
+    for (int64_t r = 0; r < m; ++r) {
+      for (int64_t c = 0; c < out_features_; ++c) bias_grad_.at(c) += grad_output.at(r, c);
+    }
+  }
+  // dx[M, in] = gy[M, out] * W[out, in]
+  return tensor::matmul(grad_output, weight_);
+}
+
+std::vector<ParamRef> Linear::params() {
+  std::vector<ParamRef> refs;
+  refs.push_back({"weight", &weight_, &weight_grad_, /*prunable=*/true});
+  if (has_bias_) refs.push_back({"bias", &bias_, &bias_grad_, /*prunable=*/false});
+  return refs;
+}
+
+std::string Linear::name() const {
+  return "Linear(" + std::to_string(in_features_) + "->" + std::to_string(out_features_) + ")";
+}
+
+void Linear::reset_state() {
+  saved_input_ = tensor::Tensor();
+  has_saved_ = false;
+}
+
+}  // namespace ndsnn::nn

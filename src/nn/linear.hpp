@@ -1,0 +1,39 @@
+// Fully connected layer y = x Wᵀ + b with manual backprop.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::nn {
+
+/// Linear layer over time-flattened rows: input [M, in], output [M, out]
+/// where M = T*N. The weight matrix is `prunable`.
+class Linear final : public Layer {
+ public:
+  /// Kaiming-initialized weights; zero bias. `bias` can be disabled.
+  Linear(int64_t in_features, int64_t out_features, tensor::Rng& rng, bool bias = true);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::vector<ParamRef> params() override;
+  [[nodiscard]] std::string name() const override;
+  void reset_state() override;
+
+  [[nodiscard]] int64_t in_features() const { return in_features_; }
+  [[nodiscard]] int64_t out_features() const { return out_features_; }
+  [[nodiscard]] tensor::Tensor& weight() { return weight_; }
+  [[nodiscard]] const tensor::Tensor& weight() const { return weight_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool has_bias_;
+  tensor::Tensor weight_;       // [out, in]
+  tensor::Tensor weight_grad_;  // [out, in]
+  tensor::Tensor bias_;         // [out]
+  tensor::Tensor bias_grad_;    // [out]
+  tensor::Tensor saved_input_;  // [M, in]
+  bool has_saved_ = false;
+};
+
+}  // namespace ndsnn::nn

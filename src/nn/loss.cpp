@@ -1,0 +1,80 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace ndsnn::nn {
+
+LossResult CrossEntropyLoss::compute(const tensor::Tensor& logits,
+                                     const std::vector<int64_t>& labels) const {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("CrossEntropyLoss: logits must be [N, C], got " +
+                                logits.shape().str());
+  }
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("CrossEntropyLoss: label count mismatch");
+  }
+  for (const int64_t y : labels) {
+    if (y < 0 || y >= c) throw std::invalid_argument("CrossEntropyLoss: label out of range");
+  }
+
+  LossResult result;
+  result.grad_logits = tensor::softmax_rows(logits);
+  double loss_acc = 0.0;
+  const float inv_n = 1.0F / static_cast<float>(n);
+  for (int64_t r = 0; r < n; ++r) {
+    const int64_t y = labels[static_cast<std::size_t>(r)];
+    const float p = result.grad_logits.at(r, y);
+    loss_acc += -std::log(std::max(p, 1e-12F));
+    // grad = (softmax - onehot) / N
+    result.grad_logits.at(r, y) -= 1.0F;
+    int64_t best = 0;
+    float bestv = logits.at(r, 0);
+    for (int64_t cc = 1; cc < c; ++cc) {
+      if (logits.at(r, cc) > bestv) {
+        bestv = logits.at(r, cc);
+        best = cc;
+      }
+    }
+    if (best == y) ++result.correct;
+  }
+  tensor::scale_(result.grad_logits, inv_n);
+  result.loss = loss_acc / static_cast<double>(n);
+  return result;
+}
+
+tensor::Tensor mean_over_time(const tensor::Tensor& step_logits, int64_t timesteps) {
+  if (step_logits.rank() != 2 || step_logits.dim(0) % timesteps != 0) {
+    throw std::invalid_argument("mean_over_time: bad shape " + step_logits.shape().str() +
+                                " for T=" + std::to_string(timesteps));
+  }
+  const int64_t n = step_logits.dim(0) / timesteps, c = step_logits.dim(1);
+  tensor::Tensor mean(tensor::Shape{n, c});
+  const float inv_t = 1.0F / static_cast<float>(timesteps);
+  for (int64_t t = 0; t < timesteps; ++t) {
+    const float* src = step_logits.data() + t * n * c;
+    float* dst = mean.data();
+    for (int64_t i = 0; i < n * c; ++i) dst[i] += src[i] * inv_t;
+  }
+  return mean;
+}
+
+tensor::Tensor broadcast_over_time(const tensor::Tensor& grad_mean, int64_t timesteps) {
+  if (grad_mean.rank() != 2) {
+    throw std::invalid_argument("broadcast_over_time: grad must be [N, C]");
+  }
+  const int64_t n = grad_mean.dim(0), c = grad_mean.dim(1);
+  tensor::Tensor out(tensor::Shape{timesteps * n, c});
+  const float inv_t = 1.0F / static_cast<float>(timesteps);
+  for (int64_t t = 0; t < timesteps; ++t) {
+    float* dst = out.data() + t * n * c;
+    const float* src = grad_mean.data();
+    for (int64_t i = 0; i < n * c; ++i) dst[i] = src[i] * inv_t;
+  }
+  return out;
+}
+
+}  // namespace ndsnn::nn

@@ -1,0 +1,39 @@
+// Classification loss on rate-accumulated logits.
+//
+// SNN readout: the final Linear layer emits logits at every timestep
+// ([T*N, classes]); the network averages them over T ("rate decoding")
+// and cross-entropy is applied to the mean logits, as in the paper's
+// SpikingJelly setup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::nn {
+
+/// Value and gradient of softmax cross-entropy.
+struct LossResult {
+  double loss = 0.0;                 ///< mean over the batch
+  tensor::Tensor grad_logits;        ///< dL/dlogits, [N, classes]
+  int64_t correct = 0;               ///< argmax == label count
+};
+
+/// Softmax cross-entropy over [N, classes] logits with integer labels.
+class CrossEntropyLoss {
+ public:
+  /// Throws std::invalid_argument on shape/label mismatch.
+  [[nodiscard]] LossResult compute(const tensor::Tensor& logits,
+                                   const std::vector<int64_t>& labels) const;
+};
+
+/// Average per-timestep logits [T*N, C] into [N, C].
+[[nodiscard]] tensor::Tensor mean_over_time(const tensor::Tensor& step_logits,
+                                            int64_t timesteps);
+
+/// Adjoint of mean_over_time: broadcast grad [N, C] to [T*N, C] scaled 1/T.
+[[nodiscard]] tensor::Tensor broadcast_over_time(const tensor::Tensor& grad_mean,
+                                                 int64_t timesteps);
+
+}  // namespace ndsnn::nn

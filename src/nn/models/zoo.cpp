@@ -1,0 +1,29 @@
+#include "nn/models/zoo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ndsnn::nn {
+
+void ModelSpec::validate() const {
+  if (num_classes < 2) throw std::invalid_argument("ModelSpec: num_classes must be >= 2");
+  if (in_channels < 1) throw std::invalid_argument("ModelSpec: in_channels must be >= 1");
+  if (image_size < 4) throw std::invalid_argument("ModelSpec: image_size must be >= 4");
+  if (timesteps < 1) throw std::invalid_argument("ModelSpec: timesteps must be >= 1");
+  if (width_scale <= 0.0) throw std::invalid_argument("ModelSpec: width_scale must be > 0");
+  lif.validate();
+}
+
+int64_t ModelSpec::scaled(int64_t channels) const {
+  const auto s = static_cast<int64_t>(static_cast<double>(channels) * width_scale + 0.5);
+  return std::max<int64_t>(1, s);
+}
+
+std::unique_ptr<SpikingNetwork> make_model(const std::string& arch, const ModelSpec& spec) {
+  if (arch == "vgg16") return make_vgg16(spec);
+  if (arch == "resnet19") return make_resnet19(spec);
+  if (arch == "lenet5") return make_lenet5(spec);
+  throw std::invalid_argument("make_model: unknown architecture '" + arch + "'");
+}
+
+}  // namespace ndsnn::nn

@@ -1,0 +1,52 @@
+// Model zoo: the architectures evaluated in the paper.
+//
+// - VGG-16   (conv backbone 64..512 + classifier), Table I
+// - ResNet-19 (tdBN SNN variant: 17 convs + 2 FC), Table I
+// - LeNet-5  (Table II ADMM comparison)
+//
+// All builders take a ModelSpec so benches can scale width/resolution to
+// CPU-feasible sizes while preserving topology (layer count and relative
+// fan-in, which is what the ERK distribution and schedules observe).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/network.hpp"
+#include "snn/lif.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::nn {
+
+/// Parameters shared by all model builders.
+struct ModelSpec {
+  int64_t num_classes = 10;
+  int64_t in_channels = 3;
+  int64_t image_size = 32;       ///< input H == W; must be divisible by the net's total pooling
+  int64_t timesteps = 5;         ///< paper default T=5 (Fig. 4 uses T=2)
+  double width_scale = 1.0;      ///< multiply channel counts (min 1 channel)
+  snn::LifConfig lif{};
+  uint64_t seed = 42;
+
+  void validate() const;
+  /// Channel count after scaling (never below 1).
+  [[nodiscard]] int64_t scaled(int64_t channels) const;
+};
+
+/// Spiking VGG-16: 13 conv (BN+LIF each) in 5 stages with avg-pool, then
+/// a single classifier Linear (standard SNN-VGG head).
+[[nodiscard]] std::unique_ptr<SpikingNetwork> make_vgg16(const ModelSpec& spec);
+
+/// Spiking ResNet-19: conv3x3(128) stem, stages {128x3, 256x3, 512x2}
+/// of basic blocks, global avg pool, 256-unit FC, classifier FC.
+[[nodiscard]] std::unique_ptr<SpikingNetwork> make_resnet19(const ModelSpec& spec);
+
+/// Spiking LeNet-5: conv 6@5x5 -> pool -> conv 16@5x5 -> pool -> FC
+/// 120 -> 84 -> classes.
+[[nodiscard]] std::unique_ptr<SpikingNetwork> make_lenet5(const ModelSpec& spec);
+
+/// Build by name: "vgg16" | "resnet19" | "lenet5".
+[[nodiscard]] std::unique_ptr<SpikingNetwork> make_model(const std::string& arch,
+                                                         const ModelSpec& spec);
+
+}  // namespace ndsnn::nn

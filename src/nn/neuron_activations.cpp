@@ -1,0 +1,49 @@
+#include "nn/neuron_activations.hpp"
+
+namespace ndsnn::nn {
+
+PlifActivation::PlifActivation(snn::PlifConfig config, int64_t timesteps)
+    : plif_(config, timesteps),
+      leak_param_(tensor::Shape{1}),
+      leak_grad_(tensor::Shape{1}) {
+  leak_param_.at(0) = plif_.raw_leak();
+}
+
+tensor::Tensor PlifActivation::forward(const tensor::Tensor& input, bool /*training*/) {
+  // Optimizer writes into leak_param_; sync before using it.
+  plif_.raw_leak() = leak_param_.at(0);
+  return plif_.forward(input);
+}
+
+tensor::Tensor PlifActivation::backward(const tensor::Tensor& grad_output) {
+  plif_.raw_leak_grad() = 0.0F;
+  tensor::Tensor gin = plif_.backward(grad_output);
+  leak_grad_.at(0) += plif_.raw_leak_grad();
+  return gin;
+}
+
+std::vector<ParamRef> PlifActivation::params() {
+  return {{"leak", &leak_param_, &leak_grad_, /*prunable=*/false}};
+}
+
+std::string PlifActivation::name() const {
+  return "PLIF(alpha=" + std::to_string(plif_.alpha()) +
+         ", T=" + std::to_string(plif_.timesteps()) + ")";
+}
+
+void PlifActivation::reset_state() { plif_.reset_state(); }
+
+tensor::Tensor AlifActivation::forward(const tensor::Tensor& input, bool /*training*/) {
+  return alif_.forward(input);
+}
+
+tensor::Tensor AlifActivation::backward(const tensor::Tensor& grad_output) {
+  return alif_.backward(grad_output);
+}
+
+std::string AlifActivation::name() const {
+  return "ALIF(beta=" + std::to_string(alif_.config().beta) +
+         ", T=" + std::to_string(alif_.timesteps()) + ")";
+}
+
+}  // namespace ndsnn::nn

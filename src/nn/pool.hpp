@@ -1,0 +1,57 @@
+// Spatial pooling layers (non-overlapping windows).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace ndsnn::nn {
+
+/// Average pooling with kernel == stride == k. Input [M, C, H, W] with H
+/// and W divisible by k.
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(int64_t k);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+  void reset_state() override;
+
+ private:
+  int64_t k_;
+  tensor::Shape saved_in_shape_;
+  bool has_saved_ = false;
+};
+
+/// Max pooling with kernel == stride == k; remembers argmax for backward.
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(int64_t k);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+  void reset_state() override;
+
+ private:
+  int64_t k_;
+  tensor::Shape saved_in_shape_;
+  std::vector<int64_t> argmax_;  // flat input index per output element
+  bool has_saved_ = false;
+};
+
+/// Global average pooling: [M, C, H, W] -> [M, C].
+class GlobalAvgPool final : public Layer {
+ public:
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
+  void reset_state() override;
+
+ private:
+  tensor::Shape saved_in_shape_;
+  bool has_saved_ = false;
+};
+
+}  // namespace ndsnn::nn

@@ -1,0 +1,100 @@
+#include "nn/residual.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace ndsnn::nn {
+
+ResidualBlock::ResidualBlock(int64_t in_channels, int64_t out_channels, int64_t stride,
+                             const snn::LifConfig& lif, int64_t timesteps,
+                             tensor::Rng& rng) {
+  conv1_ = std::make_unique<Conv2d>(in_channels, out_channels, 3, stride, 1, rng);
+  bn1_ = std::make_unique<BatchNorm2d>(out_channels);
+  lif1_ = std::make_unique<LifActivation>(lif, timesteps);
+  conv2_ = std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1, rng);
+  bn2_ = std::make_unique<BatchNorm2d>(out_channels);
+  if (stride != 1 || in_channels != out_channels) {
+    shortcut_conv_ = std::make_unique<Conv2d>(in_channels, out_channels, 1, stride, 0, rng);
+    shortcut_bn_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+  lif_out_ = std::make_unique<LifActivation>(lif, timesteps);
+}
+
+tensor::Tensor ResidualBlock::forward(const tensor::Tensor& input, bool training) {
+  tensor::Tensor main = conv1_->forward(input, training);
+  main = bn1_->forward(main, training);
+  main = lif1_->forward(main, training);
+  main = conv2_->forward(main, training);
+  main = bn2_->forward(main, training);
+
+  tensor::Tensor shortcut = input;
+  if (shortcut_conv_) {
+    shortcut = shortcut_conv_->forward(input, training);
+    shortcut = shortcut_bn_->forward(shortcut, training);
+  }
+  tensor::add_(main, shortcut);
+  return lif_out_->forward(main, training);
+}
+
+tensor::Tensor ResidualBlock::backward(const tensor::Tensor& grad_output) {
+  const tensor::Tensor gsum = lif_out_->backward(grad_output);
+
+  // Main path.
+  tensor::Tensor g = bn2_->backward(gsum);
+  g = conv2_->backward(g);
+  g = lif1_->backward(g);
+  g = bn1_->backward(g);
+  tensor::Tensor gin = conv1_->backward(g);
+
+  // Shortcut path.
+  if (shortcut_conv_) {
+    tensor::Tensor gs = shortcut_bn_->backward(gsum);
+    gs = shortcut_conv_->backward(gs);
+    tensor::add_(gin, gs);
+  } else {
+    tensor::add_(gin, gsum);
+  }
+  return gin;
+}
+
+std::vector<ParamRef> ResidualBlock::params() {
+  std::vector<ParamRef> all;
+  auto append = [&all](const char* prefix, Layer& layer) {
+    for (auto& p : layer.params()) {
+      p.name = std::string(prefix) + "." + p.name;
+      all.push_back(p);
+    }
+  };
+  append("conv1", *conv1_);
+  append("bn1", *bn1_);
+  append("conv2", *conv2_);
+  append("bn2", *bn2_);
+  if (shortcut_conv_) {
+    append("shortcut_conv", *shortcut_conv_);
+    append("shortcut_bn", *shortcut_bn_);
+  }
+  return all;
+}
+
+std::string ResidualBlock::name() const {
+  return "ResidualBlock(" + std::to_string(conv1_->in_channels()) + "->" +
+         std::to_string(conv1_->out_channels()) + ")";
+}
+
+void ResidualBlock::reset_state() {
+  conv1_->reset_state();
+  bn1_->reset_state();
+  lif1_->reset_state();
+  conv2_->reset_state();
+  bn2_->reset_state();
+  if (shortcut_conv_) {
+    shortcut_conv_->reset_state();
+    shortcut_bn_->reset_state();
+  }
+  lif_out_->reset_state();
+}
+
+double ResidualBlock::last_spike_rate() const {
+  return 0.5 * (lif1_->last_spike_rate() + lif_out_->last_spike_rate());
+}
+
+}  // namespace ndsnn::nn

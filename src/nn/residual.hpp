@@ -1,0 +1,42 @@
+// Spiking residual basic block (for ResNet-19, tdBN style).
+//
+//   main:     conv3x3(s) -> BN -> LIF -> conv3x3(1) -> BN
+//   shortcut: identity, or conv1x1(s) -> BN when shape changes
+//   output:   LIF(main + shortcut)
+#pragma once
+
+#include <memory>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/layer.hpp"
+#include "nn/lif_activation.hpp"
+#include "snn/lif.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::nn {
+
+class ResidualBlock final : public Layer {
+ public:
+  ResidualBlock(int64_t in_channels, int64_t out_channels, int64_t stride,
+                const snn::LifConfig& lif, int64_t timesteps, tensor::Rng& rng);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::vector<ParamRef> params() override;
+  [[nodiscard]] std::string name() const override;
+  void reset_state() override;
+  [[nodiscard]] double last_spike_rate() const override;
+
+ private:
+  std::unique_ptr<Conv2d> conv1_;
+  std::unique_ptr<BatchNorm2d> bn1_;
+  std::unique_ptr<LifActivation> lif1_;
+  std::unique_ptr<Conv2d> conv2_;
+  std::unique_ptr<BatchNorm2d> bn2_;
+  std::unique_ptr<Conv2d> shortcut_conv_;     // null for identity shortcut
+  std::unique_ptr<BatchNorm2d> shortcut_bn_;  // null for identity shortcut
+  std::unique_ptr<LifActivation> lif_out_;
+};
+
+}  // namespace ndsnn::nn

@@ -1,0 +1,35 @@
+#include "opt/lr_scheduler.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ndsnn::opt {
+
+CosineLr::CosineLr(double initial_lr, int64_t total_epochs, double min_lr)
+    : lr0_(initial_lr), lr_min_(min_lr), total_(total_epochs) {
+  if (initial_lr <= 0.0 || min_lr < 0.0 || min_lr > initial_lr) {
+    throw std::invalid_argument("CosineLr: need 0 <= min_lr <= initial_lr, initial_lr > 0");
+  }
+  if (total_epochs < 1) throw std::invalid_argument("CosineLr: total_epochs must be >= 1");
+}
+
+double CosineLr::lr_at(int64_t epoch) const {
+  double progress = static_cast<double>(epoch) / static_cast<double>(total_);
+  progress = std::min(std::max(progress, 0.0), 1.0);
+  return lr_min_ + 0.5 * (lr0_ - lr_min_) * (1.0 + std::cos(std::numbers::pi * progress));
+}
+
+StepLr::StepLr(double initial_lr, int64_t step_epochs, double gamma)
+    : lr0_(initial_lr), gamma_(gamma), step_(step_epochs) {
+  if (initial_lr <= 0.0) throw std::invalid_argument("StepLr: initial_lr must be > 0");
+  if (step_epochs < 1) throw std::invalid_argument("StepLr: step_epochs must be >= 1");
+  if (gamma <= 0.0 || gamma > 1.0) throw std::invalid_argument("StepLr: gamma must be in (0, 1]");
+}
+
+double StepLr::lr_at(int64_t epoch) const {
+  const int64_t k = epoch < 0 ? 0 : epoch / step_;
+  return lr0_ * std::pow(gamma_, static_cast<double>(k));
+}
+
+}  // namespace ndsnn::opt

@@ -1,0 +1,38 @@
+// Learning-rate schedules (cosine annealing per Loshchilov & Hutter,
+// used by the paper for both the LR and the death rate; plus step decay).
+#pragma once
+
+#include <cstdint>
+
+namespace ndsnn::opt {
+
+/// Interface: LR as a function of the epoch index.
+class LrScheduler {
+ public:
+  virtual ~LrScheduler() = default;
+  [[nodiscard]] virtual double lr_at(int64_t epoch) const = 0;
+};
+
+/// lr(e) = lr_min + 0.5 (lr0 - lr_min)(1 + cos(pi e / total)).
+class CosineLr final : public LrScheduler {
+ public:
+  CosineLr(double initial_lr, int64_t total_epochs, double min_lr = 0.0);
+  [[nodiscard]] double lr_at(int64_t epoch) const override;
+
+ private:
+  double lr0_, lr_min_;
+  int64_t total_;
+};
+
+/// lr(e) = lr0 * gamma^(floor(e / step)).
+class StepLr final : public LrScheduler {
+ public:
+  StepLr(double initial_lr, int64_t step_epochs, double gamma);
+  [[nodiscard]] double lr_at(int64_t epoch) const override;
+
+ private:
+  double lr0_, gamma_;
+  int64_t step_;
+};
+
+}  // namespace ndsnn::opt

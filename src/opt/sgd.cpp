@@ -1,0 +1,56 @@
+#include "opt/sgd.hpp"
+
+#include <stdexcept>
+
+namespace ndsnn::opt {
+
+void SgdConfig::validate() const {
+  if (learning_rate <= 0.0) throw std::invalid_argument("SgdConfig: learning_rate must be > 0");
+  if (momentum < 0.0 || momentum >= 1.0) {
+    throw std::invalid_argument("SgdConfig: momentum must be in [0, 1)");
+  }
+  if (weight_decay < 0.0) throw std::invalid_argument("SgdConfig: weight_decay must be >= 0");
+}
+
+Sgd::Sgd(std::vector<nn::ParamRef> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  config_.validate();
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    if (p.value == nullptr || p.grad == nullptr) {
+      throw std::invalid_argument("Sgd: null parameter/grad pointer for " + p.name);
+    }
+    velocity_.emplace_back(p.value->shape());
+  }
+}
+
+void Sgd::step() {
+  const auto lr = static_cast<float>(config_.learning_rate);
+  const auto mu = static_cast<float>(config_.momentum);
+  const auto wd = static_cast<float>(config_.weight_decay);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    auto& v = velocity_[i];
+    const bool decay = wd > 0.0F && (!config_.decay_prunable_only || p.prunable);
+    float* w = p.value->data();
+    const float* g = p.grad->data();
+    float* vel = v.data();
+    const int64_t n = p.value->numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + (decay ? wd * w[j] : 0.0F);
+      vel[j] = mu * vel[j] + grad;
+      w[j] -= lr * vel[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (const auto& p : params_) p.grad->zero();
+}
+
+void Sgd::set_learning_rate(double lr) {
+  if (lr <= 0.0) throw std::invalid_argument("Sgd::set_learning_rate: lr must be > 0");
+  config_.learning_rate = lr;
+}
+
+}  // namespace ndsnn::opt

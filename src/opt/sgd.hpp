@@ -1,0 +1,45 @@
+// SGD with momentum and weight decay (paper setup: momentum 0.9,
+// weight decay 5e-4, initial LR 0.3).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace ndsnn::opt {
+
+struct SgdConfig {
+  double learning_rate = 0.3;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  /// Skip weight decay on non-prunable params (biases / BN), standard
+  /// practice and what SpikingJelly models use.
+  bool decay_prunable_only = true;
+
+  void validate() const;
+};
+
+/// Momentum SGD over ParamRef views. Velocity buffers are keyed by the
+/// parameter order, so the ParamRef list must be stable across steps
+/// (it is: layer structure never changes during training).
+class Sgd {
+ public:
+  Sgd(std::vector<nn::ParamRef> params, SgdConfig config);
+
+  /// v = mu*v + (grad + wd*w);  w -= lr * v
+  void step();
+
+  /// Zero all gradients.
+  void zero_grad();
+
+  void set_learning_rate(double lr);
+  [[nodiscard]] double learning_rate() const { return config_.learning_rate; }
+  [[nodiscard]] const std::vector<nn::ParamRef>& params() const { return params_; }
+
+ private:
+  std::vector<nn::ParamRef> params_;
+  SgdConfig config_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+}  // namespace ndsnn::opt

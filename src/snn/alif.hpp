@@ -1,0 +1,51 @@
+// Adaptive LIF (ALIF): LIF with spike-frequency adaptation via a moving
+// threshold (Bellec et al., "Long short-term memory in networks of
+// spiking neurons"). Each spike raises the effective threshold:
+//
+//     a[t]     = rho * a[t-1] + o[t-1]
+//     theta[t] = theta0 + beta * a[t]
+//     v[t]     = alpha * v[t-1] + I[t] - theta[t] * o[t-1]
+//     o[t]     = u(v[t] - theta[t])
+//
+// BPTT treats the adaptation trace as detached (standard practice: the
+// threshold path's gradient is small and noisy); the membrane recursion
+// gradient is exact, with phi evaluated at v[t] - theta[t].
+#pragma once
+
+#include "snn/surrogate.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::snn {
+
+struct AlifConfig {
+  float alpha = 0.5F;       ///< membrane leak
+  float threshold = 1.0F;   ///< baseline threshold theta0
+  float beta = 0.2F;        ///< adaptation strength
+  float rho = 0.9F;         ///< adaptation trace decay
+  SurrogateKind surrogate = SurrogateKind::kAtan;
+
+  void validate() const;
+};
+
+class AlifLayer {
+ public:
+  AlifLayer(AlifConfig config, int64_t timesteps);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& current);
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_spikes);
+  void reset_state();
+
+  [[nodiscard]] const AlifConfig& config() const { return config_; }
+  [[nodiscard]] int64_t timesteps() const { return timesteps_; }
+  [[nodiscard]] double last_spike_rate() const { return last_spike_rate_; }
+
+ private:
+  AlifConfig config_;
+  int64_t timesteps_;
+  tensor::Tensor saved_vmt_;  // v[t] - theta[t]
+  int64_t step_size_ = 0;
+  bool has_saved_ = false;
+  double last_spike_rate_ = 0.0;
+};
+
+}  // namespace ndsnn::snn

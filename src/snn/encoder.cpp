@@ -1,0 +1,56 @@
+#include "snn/encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ndsnn::snn {
+
+namespace {
+tensor::Shape time_major_shape(const tensor::Tensor& batch, int64_t timesteps) {
+  if (timesteps < 1) throw std::invalid_argument("encode: timesteps must be >= 1");
+  std::vector<int64_t> dims = batch.shape().dims();
+  if (dims.empty()) throw std::invalid_argument("encode: input must have a batch dim");
+  dims[0] *= timesteps;
+  return tensor::Shape(dims);
+}
+}  // namespace
+
+tensor::Tensor DirectEncoder::encode(const tensor::Tensor& batch, int64_t timesteps) {
+  tensor::Tensor out(time_major_shape(batch, timesteps));
+  const int64_t step = batch.numel();
+  for (int64_t t = 0; t < timesteps; ++t) {
+    std::copy(batch.data(), batch.data() + step, out.data() + t * step);
+  }
+  return out;
+}
+
+tensor::Tensor PoissonEncoder::encode(const tensor::Tensor& batch, int64_t timesteps) {
+  tensor::Tensor out(time_major_shape(batch, timesteps));
+  const int64_t step = batch.numel();
+  const float* src = batch.data();
+  for (int64_t t = 0; t < timesteps; ++t) {
+    float* dst = out.data() + t * step;
+    for (int64_t i = 0; i < step; ++i) {
+      const float p = std::clamp(src[i], 0.0F, 1.0F);
+      dst[i] = rng_.bernoulli(p) ? 1.0F : 0.0F;
+    }
+  }
+  return out;
+}
+
+tensor::Tensor LatencyEncoder::encode(const tensor::Tensor& batch, int64_t timesteps) {
+  tensor::Tensor out(time_major_shape(batch, timesteps));
+  const int64_t step = batch.numel();
+  const float* src = batch.data();
+  for (int64_t i = 0; i < step; ++i) {
+    const float x = std::clamp(src[i], 0.0F, 1.0F);
+    if (x <= 0.0F) continue;
+    const auto fire_t = static_cast<int64_t>(
+        std::floor((1.0F - x) * static_cast<float>(timesteps - 1)));
+    out.data()[fire_t * step + i] = 1.0F;
+  }
+  return out;
+}
+
+}  // namespace ndsnn::snn

@@ -1,0 +1,52 @@
+// Input encoders: turn a static image batch into a time-major sequence.
+//
+// Activations downstream are time-major [T*N, C, H, W]. Three encoders:
+//  - DirectEncoder: replicate the analog frame at every step ("direct
+//    encoding"; the first conv layer acts as a learned spike encoder --
+//    this is the standard setup used by the paper's SpikingJelly models).
+//  - PoissonEncoder: Bernoulli spikes with P(spike) = clamp(pixel, 0, 1)
+//    per step (classic rate coding).
+//  - LatencyEncoder: one spike per pixel, earlier for stronger intensity.
+#pragma once
+
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::snn {
+
+/// Common interface: expand [N, d...] into [T*N, d...].
+class Encoder {
+ public:
+  virtual ~Encoder() = default;
+  [[nodiscard]] virtual tensor::Tensor encode(const tensor::Tensor& batch,
+                                              int64_t timesteps) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Replicates the input at every timestep (values stay analog).
+class DirectEncoder final : public Encoder {
+ public:
+  [[nodiscard]] tensor::Tensor encode(const tensor::Tensor& batch, int64_t timesteps) override;
+  [[nodiscard]] const char* name() const override { return "direct"; }
+};
+
+/// Independent Bernoulli spikes per step, rate = clamped intensity.
+class PoissonEncoder final : public Encoder {
+ public:
+  explicit PoissonEncoder(uint64_t seed) : rng_(seed) {}
+  [[nodiscard]] tensor::Tensor encode(const tensor::Tensor& batch, int64_t timesteps) override;
+  [[nodiscard]] const char* name() const override { return "poisson"; }
+
+ private:
+  tensor::Rng rng_;
+};
+
+/// Time-to-first-spike: pixel x in [0,1] fires once at step
+/// floor((1-x) * (T-1)); zero-intensity pixels never fire.
+class LatencyEncoder final : public Encoder {
+ public:
+  [[nodiscard]] tensor::Tensor encode(const tensor::Tensor& batch, int64_t timesteps) override;
+  [[nodiscard]] const char* name() const override { return "latency"; }
+};
+
+}  // namespace ndsnn::snn

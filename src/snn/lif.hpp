@@ -1,0 +1,79 @@
+// Leaky Integrate-and-Fire neuron layer with exact BPTT (Eqs. 1-2).
+//
+// Forward dynamics per timestep t (Eq. 1):
+//     v[t] = alpha * v[t-1] + I[t] - theta * o[t-1]      (1a)
+//     o[t] = u(v[t] - theta)                             (1b)
+// where I[t] is the synaptic current produced by the preceding weight layer
+// (conv/linear), alpha in (0,1] is the leak, theta the firing threshold and
+// the "- theta * o[t-1]" term is the reset-by-subtraction of the previous
+// spike.
+//
+// Backward (BPTT with surrogate gradient, Eq. 2): with
+//     delta[t] = dL/do[t]   (from the layer above)
+//     eps[t]   = dL/dv[t]
+// the exact recursion, including the reset path, is
+//     eps[t] = (delta[t] - theta * eps[t+1] * [!detach_reset]) * phi[t]
+//            + alpha * eps[t+1]
+//     dL/dI[t] = eps[t]
+// The paper's Eq. 2b omits the reset path (standard "detach reset" trick
+// from SpikingJelly); `detach_reset` toggles it, default true to match.
+//
+// Data layout: activations are time-major [T*N, feat...]; the layer is
+// given T at construction and slices internally.
+#pragma once
+
+#include <vector>
+
+#include "snn/surrogate.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::snn {
+
+/// Configuration of a LIF layer.
+struct LifConfig {
+  float alpha = 0.5F;            ///< membrane leak factor, (0, 1]
+  float threshold = 1.0F;        ///< firing threshold theta
+  bool detach_reset = true;      ///< drop the reset term in BPTT (paper Eq. 2b)
+  SurrogateKind surrogate = SurrogateKind::kAtan;
+
+  /// Throws std::invalid_argument when outside valid ranges.
+  void validate() const;
+};
+
+/// Stateful LIF layer operating on time-major batches.
+///
+/// forward() consumes the synaptic current for all T steps at once
+/// ([T*N, d...]) and emits the spike train of identical shape; backward()
+/// runs the reverse-time recursion and returns dL/dI.
+class LifLayer {
+ public:
+  LifLayer(LifConfig config, int64_t timesteps);
+
+  /// Spike train o from synaptic current I. Stores per-step (v - theta)
+  /// for the backward pass.
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& current);
+
+  /// dL/dI from dL/do. Must follow a forward() with the same shape.
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_spikes);
+
+  /// Discard stored state (between batches).
+  void reset_state();
+
+  [[nodiscard]] const LifConfig& config() const { return config_; }
+  [[nodiscard]] int64_t timesteps() const { return timesteps_; }
+
+  /// Fraction of ones in the last emitted spike train (for SpikeStats).
+  [[nodiscard]] double last_spike_rate() const { return last_spike_rate_; }
+
+ private:
+  LifConfig config_;
+  int64_t timesteps_;
+  // Saved from forward, both shaped [T*N, d...] flattened:
+  tensor::Tensor saved_vmt_;     ///< v[t] - theta per element
+  tensor::Tensor saved_spikes_;  ///< o[t] per element
+  int64_t step_size_ = 0;        ///< N * prod(d...) elements per timestep
+  bool has_saved_ = false;
+  double last_spike_rate_ = 0.0;
+};
+
+}  // namespace ndsnn::snn

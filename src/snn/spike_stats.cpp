@@ -1,0 +1,32 @@
+#include "snn/spike_stats.hpp"
+
+#include <stdexcept>
+
+namespace ndsnn::snn {
+
+void SpikeStats::record(int64_t fired, int64_t total) {
+  if (total < 0 || fired < 0 || fired > total) {
+    throw std::invalid_argument("SpikeStats::record: need 0 <= fired <= total");
+  }
+  fired_ += fired;
+  total_ += total;
+}
+
+void SpikeStats::record_rate(double rate, int64_t total) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument("SpikeStats::record_rate: rate must be in [0, 1]");
+  }
+  record(static_cast<int64_t>(rate * static_cast<double>(total) + 0.5), total);
+}
+
+double SpikeStats::average_rate() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(fired_) / static_cast<double>(total_);
+}
+
+void SpikeStats::reset() {
+  fired_ = 0;
+  total_ = 0;
+}
+
+}  // namespace ndsnn::snn

@@ -1,0 +1,49 @@
+// Spike-rate accounting used by the training-cost model (Fig. 5).
+//
+// The paper computes the relative training cost of a sparse model at epoch
+// i as   [R_s^i * Sparsity_i] / R_d^i   where R is the average spike rate
+// tracked over the whole epoch. SpikeStats accumulates per-layer firing
+// fractions weighted by element count so R is the network-wide average.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ndsnn::snn {
+
+/// Accumulates spike counts across layers and batches within one epoch.
+class SpikeStats {
+ public:
+  /// Record one layer's spike tensor summary: how many elements fired out
+  /// of how many total.
+  void record(int64_t fired, int64_t total);
+
+  /// Convenience: record from a firing fraction and element count.
+  void record_rate(double rate, int64_t total);
+
+  /// Average firing probability over everything recorded so far.
+  [[nodiscard]] double average_rate() const;
+
+  [[nodiscard]] int64_t total_elements() const { return total_; }
+  [[nodiscard]] int64_t total_fired() const { return fired_; }
+
+  /// Clear for the next epoch.
+  void reset();
+
+ private:
+  int64_t fired_ = 0;
+  int64_t total_ = 0;
+};
+
+/// Per-epoch spike-rate trace of one training run; feeds core::CostModel.
+class SpikeRateTrace {
+ public:
+  void push_epoch(double average_rate) { rates_.push_back(average_rate); }
+  [[nodiscard]] const std::vector<double>& rates() const { return rates_; }
+  [[nodiscard]] std::size_t epochs() const { return rates_.size(); }
+
+ private:
+  std::vector<double> rates_;
+};
+
+}  // namespace ndsnn::snn

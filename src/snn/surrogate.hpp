@@ -1,0 +1,35 @@
+// Surrogate gradients for the Heaviside spike function.
+//
+// Forward: o = u(v - theta), the exact Heaviside step (Eq. 1b/1c).
+// Backward: du/dx is replaced by a smooth pseudo-derivative phi(x) evaluated
+// at x = v - theta. The paper (Eq. 3, following Fang et al. NeurIPS'21) uses
+//
+//     phi(x) = 1 / (1 + pi^2 x^2)
+//
+// which is the derivative of (1/pi) * atan(pi x) + 1/2 scaled to peak at 1.
+// Alternatives are provided for the ablation benches.
+#pragma once
+
+#include <cstdint>
+
+namespace ndsnn::snn {
+
+/// Family of pseudo-derivatives phi(x); x is the membrane distance to
+/// threshold (v - theta).
+enum class SurrogateKind : uint8_t {
+  kAtan,         // Eq. 3: 1 / (1 + pi^2 x^2)   (paper default)
+  kFastSigmoid,  // 1 / (1 + |x|)^2
+  kRectangle,    // 1[|x| < 0.5]
+  kTriangle,     // max(0, 1 - |x|)
+};
+
+/// Heaviside step u(x): 0 for x < 0, else 1 (Eq. 1c).
+[[nodiscard]] float heaviside(float x);
+
+/// Pseudo-derivative phi(x) for the chosen family.
+[[nodiscard]] float surrogate_grad(SurrogateKind kind, float x);
+
+/// Human-readable name ("atan", "fast_sigmoid", ...).
+[[nodiscard]] const char* surrogate_name(SurrogateKind kind);
+
+}  // namespace ndsnn::snn

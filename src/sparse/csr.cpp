@@ -1,0 +1,69 @@
+#include "sparse/csr.hpp"
+
+#include <stdexcept>
+
+namespace ndsnn::sparse {
+
+Csr Csr::from_dense(const tensor::Tensor& dense) {
+  if (dense.rank() != 2) {
+    throw std::invalid_argument("Csr::from_dense: expected rank-2, got " +
+                                dense.shape().str());
+  }
+  Csr csr;
+  csr.rows_ = dense.dim(0);
+  csr.cols_ = dense.dim(1);
+  csr.row_ptr_.reserve(static_cast<std::size_t>(csr.rows_) + 1);
+  csr.row_ptr_.push_back(0);
+  for (int64_t r = 0; r < csr.rows_; ++r) {
+    for (int64_t c = 0; c < csr.cols_; ++c) {
+      const float v = dense.at(r, c);
+      if (v != 0.0F) {
+        csr.col_idx_.push_back(static_cast<int32_t>(c));
+        csr.values_.push_back(v);
+      }
+    }
+    csr.row_ptr_.push_back(static_cast<int64_t>(csr.values_.size()));
+  }
+  return csr;
+}
+
+tensor::Tensor Csr::to_dense() const {
+  tensor::Tensor out(tensor::Shape{rows_, cols_});
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      out.at(r, col_idx_[static_cast<std::size_t>(k)]) = values_[static_cast<std::size_t>(k)];
+    }
+  }
+  return out;
+}
+
+std::vector<float> Csr::matvec(const std::vector<float>& x) const {
+  if (static_cast<int64_t>(x.size()) != cols_) {
+    throw std::invalid_argument("Csr::matvec: x size mismatch");
+  }
+  std::vector<float> y(static_cast<std::size_t>(rows_), 0.0F);
+  for (int64_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      acc += static_cast<double>(values_[static_cast<std::size_t>(k)]) *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = static_cast<float>(acc);
+  }
+  return y;
+}
+
+double Csr::sparsity() const {
+  const int64_t total = rows_ * cols_;
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(nnz()) / static_cast<double>(total);
+}
+
+int64_t Csr::storage_bits(int64_t value_bits, int64_t index_bits) const {
+  // nnz values + nnz column indices + (rows + 1) row pointers.
+  return nnz() * (value_bits + index_bits) + (rows_ + 1) * index_bits;
+}
+
+}  // namespace ndsnn::sparse

@@ -1,0 +1,46 @@
+// Compressed Sparse Row storage for 2-D weight matrices (Sec. III-D).
+//
+// Used by the memory-footprint analysis and by the edge-deployment
+// example to export trained sparse models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::sparse {
+
+/// CSR matrix: row_ptr has rows+1 entries; col_idx/values have nnz each.
+class Csr {
+ public:
+  /// Compress a rank-2 tensor, keeping entries with |x| > 0.
+  [[nodiscard]] static Csr from_dense(const tensor::Tensor& dense);
+
+  /// Expand back to dense [rows, cols].
+  [[nodiscard]] tensor::Tensor to_dense() const;
+
+  /// y[rows] = A * x[cols] (sparse mat-vec).
+  [[nodiscard]] std::vector<float> matvec(const std::vector<float>& x) const;
+
+  [[nodiscard]] int64_t rows() const { return rows_; }
+  [[nodiscard]] int64_t cols() const { return cols_; }
+  [[nodiscard]] int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+  [[nodiscard]] double sparsity() const;
+
+  /// Storage bytes with `value_bits` per value and `index_bits` per
+  /// column index / row pointer (Sec. III-D accounting).
+  [[nodiscard]] int64_t storage_bits(int64_t value_bits, int64_t index_bits) const;
+
+  [[nodiscard]] const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  [[nodiscard]] const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  [[nodiscard]] const std::vector<float>& values() const { return values_; }
+
+ private:
+  int64_t rows_ = 0, cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace ndsnn::sparse

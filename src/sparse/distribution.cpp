@@ -1,0 +1,115 @@
+#include "sparse/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ndsnn::sparse {
+
+LayerDims LayerDims::from_shape(const tensor::Shape& shape) {
+  LayerDims d;
+  if (shape.rank() == 2) {
+    d.fan_out = shape.dim(0);
+    d.fan_in = shape.dim(1);
+    d.kernel_h = 1;
+    d.kernel_w = 1;
+  } else if (shape.rank() == 4) {
+    d.fan_out = shape.dim(0);
+    d.fan_in = shape.dim(1);
+    d.kernel_h = shape.dim(2);
+    d.kernel_w = shape.dim(3);
+  } else {
+    throw std::invalid_argument("LayerDims: expected rank-2 or rank-4 weight, got " +
+                                shape.str());
+  }
+  d.numel = shape.numel();
+  return d;
+}
+
+std::vector<double> erk_distribution(const std::vector<LayerDims>& layers,
+                                     double overall) {
+  if (layers.empty()) throw std::invalid_argument("erk_distribution: no layers");
+  if (overall < 0.0 || overall >= 1.0) {
+    throw std::invalid_argument("erk_distribution: overall sparsity must be in [0, 1)");
+  }
+
+  // Target active parameter budget.
+  int64_t total = 0;
+  for (const auto& l : layers) total += l.numel;
+  const double budget = (1.0 - overall) * static_cast<double>(total);
+
+  // Raw ERK score per layer: (fan_in + fan_out + kh + kw) / numel.
+  // Density_l = eps * score_l, with eps solving sum(density_l * numel_l) =
+  // budget. Layers whose density would exceed 1 are clamped dense and eps
+  // re-solved over the rest (same iterative scheme as Evci et al.).
+  const std::size_t n = layers.size();
+  std::vector<double> score(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& l = layers[i];
+    score[i] = static_cast<double>(l.fan_in + l.fan_out + l.kernel_h + l.kernel_w) /
+               static_cast<double>(l.numel);
+  }
+
+  std::vector<bool> dense(n, false);
+  std::vector<double> density(n, 0.0);
+  for (;;) {
+    double dense_params = 0.0;
+    double weighted_score = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dense[i]) {
+        dense_params += static_cast<double>(layers[i].numel);
+      } else {
+        weighted_score += score[i] * static_cast<double>(layers[i].numel);
+      }
+    }
+    if (weighted_score <= 0.0) break;  // everything clamped
+    const double eps = (budget - dense_params) / weighted_score;
+    bool clamped_new = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dense[i]) continue;
+      if (eps * score[i] >= 1.0) {
+        dense[i] = true;
+        clamped_new = true;
+      }
+    }
+    if (!clamped_new) {
+      for (std::size_t i = 0; i < n; ++i) {
+        density[i] = dense[i] ? 1.0 : std::max(0.0, eps * score[i]);
+      }
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dense[i]) density[i] = 1.0;
+  }
+
+  std::vector<double> sparsity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sparsity[i] = std::clamp(1.0 - density[i], 0.0, 1.0);
+  }
+  return sparsity;
+}
+
+std::vector<double> uniform_distribution(const std::vector<LayerDims>& layers,
+                                         double overall) {
+  if (overall < 0.0 || overall >= 1.0) {
+    throw std::invalid_argument("uniform_distribution: overall sparsity must be in [0, 1)");
+  }
+  return std::vector<double>(layers.size(), overall);
+}
+
+double overall_sparsity(const std::vector<LayerDims>& layers,
+                        const std::vector<double>& per_layer) {
+  if (layers.size() != per_layer.size()) {
+    throw std::invalid_argument("overall_sparsity: size mismatch");
+  }
+  double zeros = 0.0;
+  int64_t total = 0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    zeros += per_layer[i] * static_cast<double>(layers[i].numel);
+    total += layers[i].numel;
+  }
+  return zeros / static_cast<double>(total);
+}
+
+}  // namespace ndsnn::sparse

@@ -1,0 +1,42 @@
+// Layer-wise sparsity distributions.
+//
+// ERK (Erdos-Renyi-Kernel, Evci et al. 2020 / Mocanu et al. 2018): the
+// density of layer l scales with (n_{l-1} + n_l + w_l + h_l) /
+// (n_{l-1} * n_l * w_l * h_l), so small/thin layers stay denser. The
+// paper uses ERK for both the initial distribution Theta_i and the final
+// distribution Theta_f (Sec. III-C, step 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace ndsnn::sparse {
+
+/// Dimensions of one prunable layer as seen by the distribution.
+struct LayerDims {
+  int64_t fan_in = 0;    ///< n_{l-1} (input channels / features)
+  int64_t fan_out = 0;   ///< n_l (output channels / features)
+  int64_t kernel_h = 1;  ///< 1 for linear layers
+  int64_t kernel_w = 1;
+  int64_t numel = 0;     ///< total weight elements
+
+  /// Build from a weight tensor shape: [out, in] or [F, C, KH, KW].
+  [[nodiscard]] static LayerDims from_shape(const tensor::Shape& shape);
+};
+
+/// Per-layer sparsities theta^l such that the parameter-weighted average
+/// equals `overall_sparsity`, with ERK scaling. Result clamped to [0, 1).
+[[nodiscard]] std::vector<double> erk_distribution(const std::vector<LayerDims>& layers,
+                                                   double overall_sparsity);
+
+/// Uniform: every layer gets exactly `overall_sparsity`.
+[[nodiscard]] std::vector<double> uniform_distribution(const std::vector<LayerDims>& layers,
+                                                       double overall_sparsity);
+
+/// Parameter-weighted average sparsity (sanity-check helper).
+[[nodiscard]] double overall_sparsity(const std::vector<LayerDims>& layers,
+                                      const std::vector<double>& per_layer);
+
+}  // namespace ndsnn::sparse

@@ -1,0 +1,87 @@
+#include "sparse/mask.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ndsnn::sparse {
+
+Mask::Mask(tensor::Shape shape)
+    : shape_(std::move(shape)), bits_(static_cast<std::size_t>(shape_.numel()), 1) {}
+
+Mask::Mask(tensor::Shape shape, int64_t active, tensor::Rng& rng)
+    : shape_(std::move(shape)), bits_(static_cast<std::size_t>(shape_.numel()), 0) {
+  const int64_t n = numel();
+  if (active < 0 || active > n) {
+    throw std::invalid_argument("Mask: active count " + std::to_string(active) +
+                                " out of range [0, " + std::to_string(n) + "]");
+  }
+  std::vector<int64_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  for (int64_t i = 0; i < active; ++i) bits_[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = 1;
+}
+
+int64_t Mask::active_count() const {
+  int64_t n = 0;
+  for (const uint8_t b : bits_) n += b;
+  return n;
+}
+
+double Mask::sparsity() const {
+  if (bits_.empty()) return 0.0;
+  return 1.0 - static_cast<double>(active_count()) / static_cast<double>(numel());
+}
+
+void Mask::apply(tensor::Tensor& weights) const {
+  if (weights.shape() != shape_) {
+    throw std::invalid_argument("Mask::apply: shape mismatch " + weights.shape().str() +
+                                " vs " + shape_.str());
+  }
+  float* w = weights.data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!bits_[static_cast<std::size_t>(i)]) w[i] = 0.0F;
+  }
+}
+
+std::vector<int64_t> Mask::active_indices() const {
+  std::vector<int64_t> idx;
+  idx.reserve(static_cast<std::size_t>(active_count()));
+  for (int64_t i = 0; i < numel(); ++i) {
+    if (bits_[static_cast<std::size_t>(i)]) idx.push_back(i);
+  }
+  return idx;
+}
+
+std::vector<int64_t> Mask::inactive_indices() const {
+  std::vector<int64_t> idx;
+  idx.reserve(static_cast<std::size_t>(numel() - active_count()));
+  for (int64_t i = 0; i < numel(); ++i) {
+    if (!bits_[static_cast<std::size_t>(i)]) idx.push_back(i);
+  }
+  return idx;
+}
+
+void Mask::deactivate(const std::vector<int64_t>& indices) {
+  for (const int64_t i : indices) {
+    if (i < 0 || i >= numel()) throw std::invalid_argument("Mask::deactivate: index out of range");
+    if (!bits_[static_cast<std::size_t>(i)]) {
+      throw std::invalid_argument("Mask::deactivate: index " + std::to_string(i) +
+                                  " already inactive");
+    }
+    bits_[static_cast<std::size_t>(i)] = 0;
+  }
+}
+
+void Mask::activate(const std::vector<int64_t>& indices) {
+  for (const int64_t i : indices) {
+    if (i < 0 || i >= numel()) throw std::invalid_argument("Mask::activate: index out of range");
+    if (bits_[static_cast<std::size_t>(i)]) {
+      throw std::invalid_argument("Mask::activate: index " + std::to_string(i) +
+                                  " already active");
+    }
+    bits_[static_cast<std::size_t>(i)] = 1;
+  }
+}
+
+}  // namespace ndsnn::sparse

@@ -1,0 +1,55 @@
+// Binary sparsity mask over one weight tensor.
+//
+// The mask mirrors the weight shape; 1 marks an active (trainable)
+// connection, 0 a pruned one. Sparse-training methods mutate the mask and
+// re-apply it to weights and gradients after every optimizer step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::sparse {
+
+class Mask {
+ public:
+  /// Fully dense mask matching `shape`.
+  explicit Mask(tensor::Shape shape);
+
+  /// Mask with exactly `active` ones placed uniformly at random.
+  Mask(tensor::Shape shape, int64_t active, tensor::Rng& rng);
+
+  [[nodiscard]] const tensor::Shape& shape() const { return shape_; }
+  [[nodiscard]] int64_t numel() const { return static_cast<int64_t>(bits_.size()); }
+
+  [[nodiscard]] bool test(int64_t i) const { return bits_[static_cast<std::size_t>(i)] != 0; }
+  void set(int64_t i, bool on) { bits_[static_cast<std::size_t>(i)] = on ? 1 : 0; }
+
+  /// Number of active (1) entries.
+  [[nodiscard]] int64_t active_count() const;
+  /// Fraction of zeros, theta in [0, 1].
+  [[nodiscard]] double sparsity() const;
+
+  /// Zero out weight entries where the mask is 0.
+  void apply(tensor::Tensor& weights) const;
+
+  /// Indices of active / inactive entries.
+  [[nodiscard]] std::vector<int64_t> active_indices() const;
+  [[nodiscard]] std::vector<int64_t> inactive_indices() const;
+
+  /// Bulk flips. Throw std::invalid_argument if an index is already in the
+  /// requested state (drop of a dropped weight indicates a logic error
+  /// upstream).
+  void deactivate(const std::vector<int64_t>& indices);
+  void activate(const std::vector<int64_t>& indices);
+
+  [[nodiscard]] const std::vector<uint8_t>& bits() const { return bits_; }
+
+ private:
+  tensor::Shape shape_;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace ndsnn::sparse

@@ -1,0 +1,42 @@
+#include "sparse/memory_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ndsnn::sparse {
+
+void MemoryModelInput::validate() const {
+  if (total_weights < 0) throw std::invalid_argument("MemoryModel: negative weight count");
+  if (sparsity < 0.0 || sparsity > 1.0) {
+    throw std::invalid_argument("MemoryModel: sparsity must be in [0, 1]");
+  }
+  if (timesteps < 1) throw std::invalid_argument("MemoryModel: timesteps must be >= 1");
+  if (weight_bits < 1 || index_bits < 1) {
+    throw std::invalid_argument("MemoryModel: bit widths must be >= 1");
+  }
+}
+
+int64_t footprint_bits_approx(const MemoryModelInput& in) {
+  in.validate();
+  const double n = static_cast<double>(in.total_weights);
+  const double t = static_cast<double>(in.timesteps);
+  const double bits = (1.0 - in.sparsity) *
+                      ((1.0 + t) * n * static_cast<double>(in.weight_bits) +
+                       n * static_cast<double>(in.index_bits));
+  return static_cast<int64_t>(std::llround(bits));
+}
+
+int64_t footprint_bits_exact(const MemoryModelInput& in) {
+  int64_t ptr_bits = 0;
+  for (const int64_t f : in.filters_per_layer) {
+    if (f < 0) throw std::invalid_argument("MemoryModel: negative filter count");
+    ptr_bits += (f + 1) * in.index_bits;
+  }
+  return footprint_bits_approx(in) + ptr_bits;
+}
+
+double footprint_mbytes_approx(const MemoryModelInput& in) {
+  return static_cast<double>(footprint_bits_approx(in)) / 8.0 / 1024.0 / 1024.0;
+}
+
+}  // namespace ndsnn::sparse

@@ -1,0 +1,39 @@
+// Training/inference memory-footprint model (Sec. III-D).
+//
+// For a network with N prunable weights at sparsity theta trained over t
+// timesteps, each round of forward+backward keeps weights plus t gradient
+// copies alive; sparse topology costs one b_idx-bit index per non-zero
+// plus (F_l + 1) row pointers per layer:
+//
+//   footprint_bits = (1-theta) * ((1+t) * N * b_w + N * b_idx)
+//                    + sum_l (F_l + 1) * b_idx
+//
+// The paper's approximation drops the row-pointer term; both are exposed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ndsnn::sparse {
+
+struct MemoryModelInput {
+  int64_t total_weights = 0;          ///< N over all prunable layers
+  double sparsity = 0.0;              ///< theta in [0, 1]
+  int64_t timesteps = 5;              ///< t
+  int64_t weight_bits = 32;           ///< b_w (FP32 training)
+  int64_t index_bits = 16;            ///< b_idx
+  std::vector<int64_t> filters_per_layer;  ///< F_l (for the exact formula)
+
+  void validate() const;
+};
+
+/// Exact footprint in bits (with the row-pointer term).
+[[nodiscard]] int64_t footprint_bits_exact(const MemoryModelInput& in);
+
+/// Paper's approximation: (1-theta)((1+t) N b_w + N b_idx).
+[[nodiscard]] int64_t footprint_bits_approx(const MemoryModelInput& in);
+
+/// Convenience: bytes (rounded up) of the approximate footprint.
+[[nodiscard]] double footprint_mbytes_approx(const MemoryModelInput& in);
+
+}  // namespace ndsnn::sparse

@@ -1,0 +1,94 @@
+#include "sparse/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ndsnn::sparse {
+
+SparsityRamp::SparsityRamp(double theta_initial, double theta_final, int64_t t0,
+                           int64_t delta_t, int64_t rounds, double exponent)
+    : theta_i_(theta_initial),
+      theta_f_(theta_final),
+      t0_(t0),
+      delta_t_(delta_t),
+      rounds_(rounds),
+      exponent_(exponent) {
+  if (theta_i_ < 0.0 || theta_i_ >= 1.0 || theta_f_ < 0.0 || theta_f_ >= 1.0) {
+    throw std::invalid_argument("SparsityRamp: sparsities must be in [0, 1)");
+  }
+  if (theta_i_ > theta_f_) {
+    throw std::invalid_argument(
+        "SparsityRamp: NDSNN requires theta_initial <= theta_final (non-zeros decrease)");
+  }
+  if (delta_t_ < 1 || rounds_ < 1 || t0_ < 0) {
+    throw std::invalid_argument("SparsityRamp: need t0 >= 0, delta_t >= 1, rounds >= 1");
+  }
+  if (exponent_ <= 0.0) throw std::invalid_argument("SparsityRamp: exponent must be > 0");
+}
+
+double SparsityRamp::at(int64_t t) const {
+  const auto span = static_cast<double>(rounds_ * delta_t_);
+  double progress = static_cast<double>(t - t0_) / span;
+  progress = std::clamp(progress, 0.0, 1.0);
+  return theta_f_ + (theta_i_ - theta_f_) * std::pow(1.0 - progress, exponent_);
+}
+
+DeathRateSchedule::DeathRateSchedule(double initial_rate, double min_rate, int64_t t0,
+                                     int64_t delta_t, int64_t rounds)
+    : d0_(initial_rate), dmin_(min_rate), t0_(t0), delta_t_(delta_t), rounds_(rounds) {
+  if (d0_ < 0.0 || d0_ > 1.0 || dmin_ < 0.0 || dmin_ > d0_) {
+    throw std::invalid_argument("DeathRateSchedule: need 0 <= d_min <= d_0 <= 1");
+  }
+  if (delta_t_ < 1 || rounds_ < 1 || t0_ < 0) {
+    throw std::invalid_argument("DeathRateSchedule: need t0 >= 0, delta_t >= 1, rounds >= 1");
+  }
+}
+
+double DeathRateSchedule::at(int64_t t) const {
+  const auto span = static_cast<double>(rounds_ * delta_t_);
+  double progress = static_cast<double>(t - t0_) / span;
+  progress = std::clamp(progress, 0.0, 1.0);
+  return dmin_ + 0.5 * (d0_ - dmin_) * (1.0 + std::cos(std::numbers::pi * progress));
+}
+
+DropGrowCounts drop_grow_counts(int64_t layer_numel, int64_t active_now, double death_rate,
+                                double theta_target) {
+  if (layer_numel < 1) throw std::invalid_argument("drop_grow_counts: empty layer");
+  if (active_now < 0 || active_now > layer_numel) {
+    throw std::invalid_argument("drop_grow_counts: active_now out of range");
+  }
+  if (death_rate < 0.0 || death_rate > 1.0) {
+    throw std::invalid_argument("drop_grow_counts: death_rate out of range");
+  }
+  if (theta_target < 0.0 || theta_target >= 1.0) {
+    throw std::invalid_argument("drop_grow_counts: theta_target out of range");
+  }
+
+  DropGrowCounts c;
+  c.active_before = active_now;  // Eq. 6
+
+  // Eq. 7 gives D = d_t * N_pre. When the Eq. 4 ramp demands a larger cut
+  // than the death rate alone provides (few rounds / small d_t), the drop
+  // is raised to the ramp-required amount so the sparsity schedule is
+  // always honoured; d_t then acts as the exploration floor.
+  const auto target_active =
+      static_cast<int64_t>(std::llround((1.0 - theta_target) * static_cast<double>(layer_numel)));
+  const auto rate_drop =
+      static_cast<int64_t>(death_rate * static_cast<double>(active_now));
+  const int64_t required_drop = active_now - target_active;
+  c.drop = std::max(rate_drop, required_drop);
+  c.drop = std::clamp<int64_t>(c.drop, 0, active_now);
+  c.active_after = c.active_before - c.drop;  // Eq. 8
+
+  // Eq. 9: G = N - N_post - theta_t * N  (target active minus current).
+  int64_t grow = target_active - c.active_after;
+  // NDSNN invariant: never grow more than was dropped (non-zeros only
+  // decrease) and never beyond the inactive pool.
+  grow = std::clamp<int64_t>(grow, 0, c.drop);
+  grow = std::min(grow, layer_numel - c.active_after);
+  c.grow = grow;
+  return c;
+}
+
+}  // namespace ndsnn::sparse

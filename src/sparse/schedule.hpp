@@ -1,0 +1,72 @@
+// NDSNN schedules: Eq. 4 (per-layer sparsity ramp), Eq. 5 (death rate),
+// Eqs. 6-9 (drop / grow counts per round).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace ndsnn::sparse {
+
+/// Eq. 4: cubic interpolation of layer sparsity from theta_i to theta_f.
+///
+///   theta_t = theta_f + (theta_i - theta_f) * (1 - (t - t0)/(n*dT))^3
+///
+/// `t` counts optimizer iterations; updates happen at t0, t0+dT, ...,
+/// t0+n*dT. Exponent is configurable for the ablation (paper uses 3).
+class SparsityRamp {
+ public:
+  SparsityRamp(double theta_initial, double theta_final, int64_t t0, int64_t delta_t,
+               int64_t rounds, double exponent = 3.0);
+
+  /// Sparsity at iteration t (clamped into [t0, t0 + rounds*delta_t]).
+  [[nodiscard]] double at(int64_t t) const;
+
+  /// Sparsity at round q (q = 0 is training start, q = rounds the end).
+  [[nodiscard]] double at_round(int64_t q) const { return at(t0_ + q * delta_t_); }
+
+  [[nodiscard]] double theta_initial() const { return theta_i_; }
+  [[nodiscard]] double theta_final() const { return theta_f_; }
+  [[nodiscard]] int64_t rounds() const { return rounds_; }
+  [[nodiscard]] int64_t delta_t() const { return delta_t_; }
+
+ private:
+  double theta_i_, theta_f_;
+  int64_t t0_, delta_t_, rounds_;
+  double exponent_;
+};
+
+/// Eq. 5: cosine-annealed death (drop) rate:
+///   d_t = d_min + 0.5 (d_0 - d_min)(1 + cos(pi t / (n dT)))
+class DeathRateSchedule {
+ public:
+  DeathRateSchedule(double initial_rate, double min_rate, int64_t t0, int64_t delta_t,
+                    int64_t rounds);
+
+  [[nodiscard]] double at(int64_t t) const;
+  [[nodiscard]] double at_round(int64_t q) const { return at(t0_ + q * delta_t_); }
+
+  [[nodiscard]] double initial_rate() const { return d0_; }
+  [[nodiscard]] double min_rate() const { return dmin_; }
+
+ private:
+  double d0_, dmin_;
+  int64_t t0_, delta_t_, rounds_;
+};
+
+/// Eqs. 6-9 for one layer at round q.
+struct DropGrowCounts {
+  int64_t active_before = 0;  ///< N_pre  (Eq. 6)
+  int64_t drop = 0;           ///< D_q    (Eq. 7)
+  int64_t active_after = 0;   ///< N_post (Eq. 8)
+  int64_t grow = 0;           ///< G_q    (Eq. 9)
+};
+
+/// Compute drop/grow for a layer with `layer_numel` weights, currently
+/// `active_now` non-zeros, death rate `death_rate`, and Eq. 4 target
+/// sparsity `theta_target` for this round. Grow count is clamped to
+/// [0, drop] so non-zeros never increase (the NDSNN invariant) and to the
+/// available inactive slots.
+[[nodiscard]] DropGrowCounts drop_grow_counts(int64_t layer_numel, int64_t active_now,
+                                              double death_rate, double theta_target);
+
+}  // namespace ndsnn::sparse

@@ -1,0 +1,87 @@
+#include "sparse/structured.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ndsnn::sparse {
+
+void NmPattern::validate() const {
+  if (m < 1 || n < 0 || n > m) {
+    throw std::invalid_argument("NmPattern: need 0 <= n <= m, m >= 1");
+  }
+}
+
+namespace {
+/// Indices (within the group) that survive: the `keep` largest |values|.
+void group_survivors(const float* group, int64_t size, int64_t keep,
+                     std::vector<int64_t>& out) {
+  out.clear();
+  for (int64_t i = 0; i < size; ++i) out.push_back(i);
+  std::nth_element(out.begin(), out.begin() + keep, out.end(),
+                   [group](int64_t a, int64_t b) {
+                     const float ma = std::fabs(group[a]), mb = std::fabs(group[b]);
+                     if (ma != mb) return ma > mb;
+                     return a < b;
+                   });
+  out.resize(static_cast<std::size_t>(keep));
+}
+
+int64_t tail_keep(const NmPattern& p, int64_t tail) {
+  return std::min<int64_t>(
+      tail, (p.n * tail + p.m - 1) / p.m);  // ceil(n * tail / m)
+}
+}  // namespace
+
+void project_nm(tensor::Tensor& weights, const NmPattern& pattern) {
+  pattern.validate();
+  float* w = weights.data();
+  const int64_t total = weights.numel();
+  std::vector<int64_t> survivors;
+  std::vector<char> keep_mask(static_cast<std::size_t>(pattern.m));
+  for (int64_t base = 0; base < total; base += pattern.m) {
+    const int64_t size = std::min<int64_t>(pattern.m, total - base);
+    const int64_t keep = size == pattern.m ? pattern.n : tail_keep(pattern, size);
+    group_survivors(w + base, size, keep, survivors);
+    std::fill(keep_mask.begin(), keep_mask.end(), 0);
+    for (const int64_t s : survivors) keep_mask[static_cast<std::size_t>(s)] = 1;
+    for (int64_t i = 0; i < size; ++i) {
+      if (!keep_mask[static_cast<std::size_t>(i)]) w[base + i] = 0.0F;
+    }
+  }
+}
+
+bool satisfies_nm(const tensor::Tensor& weights, const NmPattern& pattern) {
+  pattern.validate();
+  const float* w = weights.data();
+  const int64_t total = weights.numel();
+  for (int64_t base = 0; base < total; base += pattern.m) {
+    const int64_t size = std::min<int64_t>(pattern.m, total - base);
+    const int64_t budget = size == pattern.m ? pattern.n : tail_keep(pattern, size);
+    int64_t nonzero = 0;
+    for (int64_t i = 0; i < size; ++i) nonzero += w[base + i] != 0.0F;
+    if (nonzero > budget) return false;
+  }
+  return true;
+}
+
+double nm_projection_loss(const tensor::Tensor& weights, const NmPattern& pattern) {
+  pattern.validate();
+  tensor::Tensor projected = weights;
+  project_nm(projected, pattern);
+  double total = 0.0, kept = 0.0;
+  for (int64_t i = 0; i < weights.numel(); ++i) {
+    total += std::fabs(weights.at(i));
+    kept += std::fabs(projected.at(i));
+  }
+  if (total == 0.0) return 0.0;
+  return 1.0 - kept / total;
+}
+
+double nm_sparsity(const NmPattern& pattern) {
+  pattern.validate();
+  return 1.0 - static_cast<double>(pattern.n) / static_cast<double>(pattern.m);
+}
+
+}  // namespace ndsnn::sparse

@@ -1,0 +1,42 @@
+// N:M structured sparsity utilities.
+//
+// Neuromorphic and tensor-core hardware prefers *structured* sparsity:
+// at most N non-zeros in every group of M consecutive weights (e.g. 2:4
+// on NVIDIA Ampere, row-block patterns on FPGA SNN accelerators like
+// SyncNN [27]). These helpers project an unstructured NDSNN-trained
+// tensor onto an N:M pattern and quantify the accuracy-relevant damage
+// (how much magnitude mass the projection discards), supporting the
+// deployment story of Sec. III-D.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::sparse {
+
+struct NmPattern {
+  int64_t n = 2;  ///< max non-zeros kept per group
+  int64_t m = 4;  ///< group size (consecutive along the fastest axis)
+
+  void validate() const;
+};
+
+/// Project `weights` onto the N:M pattern in place: in every group of M
+/// consecutive elements (row-major), keep the N largest magnitudes and
+/// zero the rest. The tail group (numel % M) keeps proportionally
+/// ceil(N * tail / M) entries.
+void project_nm(tensor::Tensor& weights, const NmPattern& pattern);
+
+/// True when `weights` already satisfies the pattern.
+[[nodiscard]] bool satisfies_nm(const tensor::Tensor& weights, const NmPattern& pattern);
+
+/// Fraction of total |w| mass removed by projecting (0 = lossless).
+/// Does not modify `weights`.
+[[nodiscard]] double nm_projection_loss(const tensor::Tensor& weights,
+                                        const NmPattern& pattern);
+
+/// Sparsity implied by the pattern itself: 1 - N/M.
+[[nodiscard]] double nm_sparsity(const NmPattern& pattern);
+
+}  // namespace ndsnn::sparse

@@ -1,0 +1,67 @@
+#include "sparse/topk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ndsnn::sparse {
+
+namespace {
+void check_k(const std::vector<int64_t>& candidates, int64_t k, const char* who) {
+  if (k < 0 || k > static_cast<int64_t>(candidates.size())) {
+    throw std::invalid_argument(std::string(who) + ": k=" + std::to_string(k) +
+                                " out of range for " + std::to_string(candidates.size()) +
+                                " candidates");
+  }
+}
+}  // namespace
+
+std::vector<int64_t> argdrop_smallest_magnitude(const tensor::Tensor& values,
+                                                const std::vector<int64_t>& candidates,
+                                                int64_t k) {
+  check_k(candidates, k, "argdrop_smallest_magnitude");
+  std::vector<int64_t> sel = candidates;
+  const float* v = values.data();
+  auto cmp = [v](int64_t a, int64_t b) {
+    const float ma = std::fabs(v[a]), mb = std::fabs(v[b]);
+    if (ma != mb) return ma < mb;
+    return a < b;
+  };
+  std::nth_element(sel.begin(), sel.begin() + k, sel.end(), cmp);
+  sel.resize(static_cast<std::size_t>(k));
+  std::sort(sel.begin(), sel.end());
+  return sel;
+}
+
+std::vector<int64_t> arggrow_largest_magnitude(const tensor::Tensor& values,
+                                               const std::vector<int64_t>& candidates,
+                                               int64_t k) {
+  check_k(candidates, k, "arggrow_largest_magnitude");
+  std::vector<int64_t> sel = candidates;
+  const float* v = values.data();
+  auto cmp = [v](int64_t a, int64_t b) {
+    const float ma = std::fabs(v[a]), mb = std::fabs(v[b]);
+    if (ma != mb) return ma > mb;
+    return a < b;
+  };
+  std::nth_element(sel.begin(), sel.begin() + k, sel.end(), cmp);
+  sel.resize(static_cast<std::size_t>(k));
+  std::sort(sel.begin(), sel.end());
+  return sel;
+}
+
+float magnitude_threshold(const tensor::Tensor& values, int64_t keep) {
+  const int64_t n = values.numel();
+  if (keep < 0 || keep > n) {
+    throw std::invalid_argument("magnitude_threshold: keep out of range");
+  }
+  if (keep == 0) return std::numeric_limits<float>::infinity();
+  std::vector<float> mags(static_cast<std::size_t>(n));
+  const float* v = values.data();
+  for (int64_t i = 0; i < n; ++i) mags[static_cast<std::size_t>(i)] = std::fabs(v[i]);
+  std::nth_element(mags.begin(), mags.begin() + (n - keep), mags.end());
+  return mags[static_cast<std::size_t>(n - keep)];
+}
+
+}  // namespace ndsnn::sparse

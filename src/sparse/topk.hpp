@@ -1,0 +1,27 @@
+// Top-k index selection: ArgDrop / ArgGrow primitives (Algorithm 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::sparse {
+
+/// Among `candidates` (flat indices into `values`), return the k with the
+/// SMALLEST |values[i]| -- the connections to drop ("weights closest to
+/// zero", Sec. III-C step 3). Deterministic: ties break on lower index.
+[[nodiscard]] std::vector<int64_t> argdrop_smallest_magnitude(
+    const tensor::Tensor& values, const std::vector<int64_t>& candidates, int64_t k);
+
+/// Among `candidates`, return the k with the LARGEST |values[i]| -- used
+/// with gradient magnitudes to pick connections to grow (step 4).
+/// Deterministic: ties break on lower index.
+[[nodiscard]] std::vector<int64_t> arggrow_largest_magnitude(
+    const tensor::Tensor& values, const std::vector<int64_t>& candidates, int64_t k);
+
+/// Magnitude threshold such that exactly `keep` entries of |values| (over
+/// all elements) are >= the threshold; used by magnitude pruning (LTH).
+[[nodiscard]] float magnitude_threshold(const tensor::Tensor& values, int64_t keep);
+
+}  // namespace ndsnn::sparse

@@ -1,0 +1,98 @@
+#include "tensor/im2col.hpp"
+
+#include <stdexcept>
+
+namespace ndsnn::tensor {
+
+void ConvGeometry::validate() const {
+  if (batch < 1 || in_channels < 1 || in_h < 1 || in_w < 1) {
+    throw std::invalid_argument("ConvGeometry: input dims must be >= 1");
+  }
+  if (kernel_h < 1 || kernel_w < 1 || stride < 1 || padding < 0) {
+    throw std::invalid_argument("ConvGeometry: bad kernel/stride/padding");
+  }
+  if (in_h + 2 * padding < kernel_h || in_w + 2 * padding < kernel_w) {
+    throw std::invalid_argument("ConvGeometry: kernel larger than padded input");
+  }
+  // Floor-division output size (standard conv semantics): trailing rows or
+  // columns that do not fit a full stride are simply not visited.
+}
+
+Tensor im2col(const Tensor& input, const ConvGeometry& g) {
+  g.validate();
+  if (input.rank() != 4 || input.dim(0) != g.batch || input.dim(1) != g.in_channels ||
+      input.dim(2) != g.in_h || input.dim(3) != g.in_w) {
+    throw std::invalid_argument("im2col: input shape " + input.shape().str() +
+                                " does not match geometry");
+  }
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  Tensor cols(Shape{g.patch_rows(), g.patch_cols()});
+  const float* src = input.data();
+  float* dst = cols.data();
+  const int64_t cols_n = g.patch_cols();
+  const int64_t hw = g.in_h * g.in_w;
+  const int64_t chw = g.in_channels * hw;
+
+  for (int64_t c = 0; c < g.in_channels; ++c) {
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw) {
+        const int64_t row = (c * g.kernel_h + kh) * g.kernel_w + kw;
+        float* drow = dst + row * cols_n;
+        int64_t col = 0;
+        for (int64_t n = 0; n < g.batch; ++n) {
+          const float* plane = src + n * chw + c * hw;
+          for (int64_t oy = 0; oy < oh; ++oy) {
+            const int64_t iy = oy * g.stride + kh - g.padding;
+            for (int64_t ox = 0; ox < ow; ++ox, ++col) {
+              const int64_t ix = ox * g.stride + kw - g.padding;
+              drow[col] = (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+                              ? plane[iy * g.in_w + ix]
+                              : 0.0F;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const ConvGeometry& g) {
+  g.validate();
+  if (cols.rank() != 2 || cols.dim(0) != g.patch_rows() || cols.dim(1) != g.patch_cols()) {
+    throw std::invalid_argument("col2im: cols shape " + cols.shape().str() +
+                                " does not match geometry");
+  }
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  Tensor out(Shape{g.batch, g.in_channels, g.in_h, g.in_w});
+  const float* src = cols.data();
+  float* dst = out.data();
+  const int64_t cols_n = g.patch_cols();
+  const int64_t hw = g.in_h * g.in_w;
+  const int64_t chw = g.in_channels * hw;
+
+  for (int64_t c = 0; c < g.in_channels; ++c) {
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw) {
+        const int64_t row = (c * g.kernel_h + kh) * g.kernel_w + kw;
+        const float* srow = src + row * cols_n;
+        int64_t col = 0;
+        for (int64_t n = 0; n < g.batch; ++n) {
+          float* plane = dst + n * chw + c * hw;
+          for (int64_t oy = 0; oy < oh; ++oy) {
+            const int64_t iy = oy * g.stride + kh - g.padding;
+            for (int64_t ox = 0; ox < ow; ++ox, ++col) {
+              const int64_t ix = ox * g.stride + kw - g.padding;
+              if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+                plane[iy * g.in_w + ix] += srow[col];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ndsnn::tensor

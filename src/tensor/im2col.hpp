@@ -1,0 +1,39 @@
+// im2col / col2im lowering for 2-D convolution.
+//
+// Convolution is computed as GEMM over patch matrices:
+//   X [N, C, H, W]  -- im2col -->  cols [C*KH*KW, N*OH*OW]
+//   W [F, C*KH*KW]  * cols  ->  Y [F, N*OH*OW]  -> reshape [N, F, OH, OW]
+// col2im is the adjoint, used for input gradients.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::tensor {
+
+/// Geometry of a conv2d application.
+struct ConvGeometry {
+  int64_t batch = 0;
+  int64_t in_channels = 0;
+  int64_t in_h = 0, in_w = 0;
+  int64_t kernel_h = 0, kernel_w = 0;
+  int64_t stride = 1;
+  int64_t padding = 0;
+
+  [[nodiscard]] int64_t out_h() const { return (in_h + 2 * padding - kernel_h) / stride + 1; }
+  [[nodiscard]] int64_t out_w() const { return (in_w + 2 * padding - kernel_w) / stride + 1; }
+  /// Rows of the patch matrix: C*KH*KW.
+  [[nodiscard]] int64_t patch_rows() const { return in_channels * kernel_h * kernel_w; }
+  /// Cols of the patch matrix: N*OH*OW.
+  [[nodiscard]] int64_t patch_cols() const { return batch * out_h() * out_w(); }
+
+  /// Throws when kernel/stride/padding are inconsistent with the input.
+  void validate() const;
+};
+
+/// Lower input [N, C, H, W] into the patch matrix [C*KH*KW, N*OH*OW].
+[[nodiscard]] Tensor im2col(const Tensor& input, const ConvGeometry& g);
+
+/// Adjoint of im2col: scatter-add patch matrix back to [N, C, H, W].
+[[nodiscard]] Tensor col2im(const Tensor& cols, const ConvGeometry& g);
+
+}  // namespace ndsnn::tensor

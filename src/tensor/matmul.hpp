@@ -1,0 +1,25 @@
+// Dense GEMM kernels.
+//
+// matmul:      C[M,N]  = A[M,K]  * B[K,N]
+// matmul_tn:   C[M,N]  = Aᵀ (A is [K,M]) * B[K,N]
+// matmul_nt:   C[M,N]  = A[M,K] * Bᵀ (B is [N,K])
+//
+// Blocked i-k-j loops; good enough for the CPU-scale experiments here.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::tensor {
+
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C += A * B (accumulating variant used by BPTT weight-gradient sums).
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
+/// C += Aᵀ * B
+void matmul_tn_acc(const Tensor& a, const Tensor& b, Tensor& c);
+/// C += A * Bᵀ
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c);
+
+}  // namespace ndsnn::tensor

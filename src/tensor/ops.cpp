@@ -1,0 +1,140 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ndsnn::tensor {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " + a.shape().str() +
+                                " vs " + b.shape().str());
+  }
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  add_(c, b);
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  sub_(c, b);
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  mul_(c, b);
+  return c;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor c = a;
+  scale_(c, s);
+  return c;
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void sub_(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] -= pb[i];
+}
+
+void mul_(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] *= pb[i];
+}
+
+void scale_(Tensor& a, float s) {
+  float* pa = a.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] *= s;
+}
+
+void axpy_(Tensor& a, float s, const Tensor& b) {
+  check_same_shape(a, b, "axpy_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] += s * pb[i];
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& fn) {
+  Tensor c = a;
+  map_(c, fn);
+  return c;
+}
+
+void map_(Tensor& a, const std::function<float(float)>& fn) {
+  float* pa = a.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] = fn(pa[i]);
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_rows: expected rank-2, got " + logits.shape().str());
+  }
+  const int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out(logits.shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    float maxv = logits.at(r, 0);
+    for (int64_t c = 1; c < cols; ++c) maxv = std::max(maxv, logits.at(r, c));
+    double denom = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float e = std::exp(logits.at(r, c) - maxv);
+      out.at(r, c) = e;
+      denom += e;
+    }
+    const auto inv = static_cast<float>(1.0 / denom);
+    for (int64_t c = 0; c < cols; ++c) out.at(r, c) *= inv;
+  }
+  return out;
+}
+
+std::vector<int64_t> argmax_rows(const Tensor& m) {
+  if (m.rank() != 2) {
+    throw std::invalid_argument("argmax_rows: expected rank-2, got " + m.shape().str());
+  }
+  const int64_t rows = m.dim(0), cols = m.dim(1);
+  std::vector<int64_t> idx(static_cast<std::size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t best = 0;
+    float bestv = m.at(r, 0);
+    for (int64_t c = 1; c < cols; ++c) {
+      if (m.at(r, c) > bestv) {
+        bestv = m.at(r, c);
+        best = c;
+      }
+    }
+    idx[static_cast<std::size_t>(r)] = best;
+  }
+  return idx;
+}
+
+double mean(const Tensor& a) { return a.sum() / static_cast<double>(a.numel()); }
+
+double l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) acc += static_cast<double>(p[i]) * p[i];
+  return std::sqrt(acc);
+}
+
+}  // namespace ndsnn::tensor

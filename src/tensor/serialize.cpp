@@ -1,0 +1,72 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace ndsnn::tensor {
+
+namespace {
+constexpr char kMagic[4] = {'N', 'D', 'T', 'S'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_tensor: truncated stream");
+  return value;
+}
+}  // namespace
+
+void save_tensor(std::ostream& out, const Tensor& t) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<uint32_t>(t.rank()));
+  for (int64_t i = 0; i < t.rank(); ++i) write_pod(out, t.dim(i));
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(sizeof(float) * static_cast<std::size_t>(t.numel())));
+  if (!out) throw std::runtime_error("save_tensor: stream write failed");
+}
+
+Tensor load_tensor(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_tensor: bad magic");
+  }
+  const auto version = read_pod<uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("load_tensor: unsupported version " + std::to_string(version));
+  }
+  const auto rank = read_pod<uint32_t>(in);
+  if (rank > 8) throw std::runtime_error("load_tensor: rank too large");
+  std::vector<int64_t> dims(rank);
+  for (auto& d : dims) d = read_pod<int64_t>(in);
+  Shape shape(dims);
+  std::vector<float> data(static_cast<std::size_t>(shape.numel()));
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(sizeof(float) * data.size()));
+  if (!in) throw std::runtime_error("load_tensor: truncated data");
+  return Tensor(std::move(shape), std::move(data));
+}
+
+void save_tensor_file(const std::string& path, const Tensor& t) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_tensor_file: cannot open " + path);
+  save_tensor(out, t);
+}
+
+Tensor load_tensor_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_tensor_file: cannot open " + path);
+  return load_tensor(in);
+}
+
+}  // namespace ndsnn::tensor

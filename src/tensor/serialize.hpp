@@ -1,0 +1,25 @@
+// Flat binary tensor (de)serialization.
+//
+// Format: magic "NDTS", u32 version, u32 rank, i64 dims..., f32 data...
+// Used by examples to export trained sparse models for deployment.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::tensor {
+
+/// Write a tensor to a binary stream. Throws std::runtime_error on I/O error.
+void save_tensor(std::ostream& out, const Tensor& t);
+
+/// Read a tensor previously written by save_tensor.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Tensor load_tensor(std::istream& in);
+
+/// File-path convenience wrappers.
+void save_tensor_file(const std::string& path, const Tensor& t);
+[[nodiscard]] Tensor load_tensor_file(const std::string& path);
+
+}  // namespace ndsnn::tensor

@@ -1,0 +1,47 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace ndsnn::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (args_[i].rfind("--", 0) == 0) {
+      // A flag; if followed by a non-flag token, that token is its value.
+      if (i + 1 < args_.size() && args_[i + 1].rfind("--", 0) != 0) ++i;
+    } else {
+      positional_.push_back(args_[i]);
+    }
+  }
+}
+
+bool Cli::has_flag(std::string_view name) const {
+  for (const auto& a : args_) {
+    if (a == name) return true;
+  }
+  return false;
+}
+
+std::string Cli::get_string(std::string_view name, std::string fallback) const {
+  for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+    if (args_[i] == name) return args_[i + 1];
+  }
+  return fallback;
+}
+
+int Cli::get_int(std::string_view name, int fallback) const {
+  for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+    if (args_[i] == name) return std::atoi(args_[i + 1].c_str());
+  }
+  return fallback;
+}
+
+double Cli::get_double(std::string_view name, double fallback) const {
+  for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+    if (args_[i] == name) return std::atof(args_[i + 1].c_str());
+  }
+  return fallback;
+}
+
+}  // namespace ndsnn::util

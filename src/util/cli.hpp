@@ -1,0 +1,36 @@
+// Tiny command-line flag parser for examples and benches.
+//
+//   ndsnn::util::Cli cli(argc, argv);
+//   const int epochs = cli.get_int("--epochs", 20);
+//   const bool fast = cli.has_flag("--fast");
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndsnn::util {
+
+/// Parses `--key value` pairs and bare `--flag`s. Unknown arguments are
+/// kept and can be inspected via positional().
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True when `--name` appears anywhere on the command line.
+  [[nodiscard]] bool has_flag(std::string_view name) const;
+
+  /// Value following `--name`, or `fallback` when absent.
+  [[nodiscard]] std::string get_string(std::string_view name, std::string fallback) const;
+  [[nodiscard]] int get_int(std::string_view name, int fallback) const;
+  [[nodiscard]] double get_double(std::string_view name, double fallback) const;
+
+  /// Arguments that are not flags and not flag values.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ndsnn::util

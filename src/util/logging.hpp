@@ -1,0 +1,51 @@
+// Minimal leveled logging for the NDSNN library.
+//
+// The library itself never logs below `warn`; trainers and benches use
+// `info`/`debug` for progress reporting. Output goes to stderr so bench
+// tables on stdout stay machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ndsnn::util {
+
+/// Severity of a log record, ordered by increasing importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; records below it are discarded.
+/// Defaults to kInfo; tests lower it to silence progress chatter.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one record. Thread-compatible (callers serialize externally).
+void log(LogLevel level, std::string_view message);
+
+namespace detail {
+/// Stream-style builder: destructor emits the accumulated message.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace ndsnn::util

@@ -1,0 +1,12 @@
+#include "util/stopwatch.hpp"
+
+namespace ndsnn::util {
+
+void Stopwatch::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::seconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+}  // namespace ndsnn::util

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by trainers and benches.
+#pragma once
+
+#include <chrono>
+
+namespace ndsnn::util {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  /// Restart timing from now.
+  void reset();
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const;
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ndsnn::util

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace ndsnn::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: header must be non-empty");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row arity " + std::to_string(row.size()) +
+                                " != header arity " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::ostringstream& out) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  emit_row(header_, out);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out.str();
+}
+
+void Table::print() const {
+  const std::string rendered = str();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace ndsnn::util

@@ -1,0 +1,43 @@
+// Paper-style ASCII table printer used by the benchmark harnesses.
+//
+// Benches print rows that mirror the tables/figures in the paper, e.g.
+//
+//   | Method     | 90%   | 95%   | 98%   | 99%   |
+//   |------------|-------|-------|-------|-------|
+//   | NDSNN      | 91.84 | 91.31 | 89.62 | 88.13 |
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ndsnn::util {
+
+/// Accumulates rows of strings and renders a Markdown-style table with
+/// per-column width alignment.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  /// Throws std::invalid_argument otherwise.
+  void add_row(std::vector<std::string> row);
+
+  /// Render the full table (header, separator, rows).
+  [[nodiscard]] std::string str() const;
+
+  /// Render to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals (default 2), as the paper prints
+/// accuracies ("91.84").
+[[nodiscard]] std::string fmt(double value, int decimals = 2);
+
+}  // namespace ndsnn::util

@@ -1,0 +1,76 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::core {
+namespace {
+
+TrainResult make_run(std::vector<double> spike_rates, std::vector<double> sparsities) {
+  TrainResult r;
+  for (std::size_t i = 0; i < spike_rates.size(); ++i) {
+    EpochStats e;
+    e.spike_rate = spike_rates[i];
+    e.sparsity = sparsities[i];
+    r.epochs.push_back(e);
+  }
+  return r;
+}
+
+TEST(CostModelTest, DenseVsItselfIs100Percent) {
+  const auto dense = make_run({0.2, 0.2, 0.2}, {0.0, 0.0, 0.0});
+  EXPECT_NEAR(normalized_training_cost_pct(dense, dense), 100.0, 1e-9);
+}
+
+TEST(CostModelTest, SparsityScalesCostLinearly) {
+  const auto dense = make_run({0.2, 0.2}, {0.0, 0.0});
+  const auto sparse = make_run({0.2, 0.2}, {0.9, 0.9});
+  EXPECT_NEAR(normalized_training_cost_pct(sparse, dense), 10.0, 1e-9);
+}
+
+TEST(CostModelTest, LowerSpikeRateLowersCost) {
+  const auto dense = make_run({0.4, 0.4}, {0.0, 0.0});
+  const auto sparse = make_run({0.2, 0.2}, {0.5, 0.5});
+  // (0.2 * 0.5) / 0.4 = 0.25 -> 25%.
+  EXPECT_NEAR(normalized_training_cost_pct(sparse, dense), 25.0, 1e-9);
+}
+
+TEST(CostModelTest, PerEpochTraceMatchesFormula) {
+  const auto dense = make_run({0.5, 0.25}, {0.0, 0.0});
+  const auto sparse = make_run({0.25, 0.25}, {0.8, 0.9});
+  const auto cost = relative_cost_per_epoch(sparse, dense);
+  ASSERT_EQ(cost.size(), 2U);
+  EXPECT_NEAR(cost[0], 0.25 * 0.2 / 0.5, 1e-12);
+  EXPECT_NEAR(cost[1], 0.25 * 0.1 / 0.25, 1e-12);
+}
+
+TEST(CostModelTest, EpochMismatchThrows) {
+  const auto a = make_run({0.2}, {0.0});
+  const auto b = make_run({0.2, 0.2}, {0.0, 0.0});
+  EXPECT_THROW((void)relative_cost_per_epoch(a, b), std::invalid_argument);
+}
+
+TEST(CostModelTest, MeanDensity) {
+  const auto run = make_run({0.1, 0.1}, {0.8, 0.6});
+  EXPECT_NEAR(mean_density(run), 0.3, 1e-12);
+}
+
+TEST(CostModelTest, ZeroDenseRateGuarded) {
+  const auto dense = make_run({0.0}, {0.0});
+  const auto sparse = make_run({0.1}, {0.5});
+  EXPECT_NO_THROW((void)normalized_training_cost_pct(sparse, dense));
+}
+
+TEST(CostModelTest, NdsnnScheduleCheaperThanConstantDense) {
+  // LTH-style: dense spike rate all epochs. NDSNN: high sparsity all
+  // epochs. NDSNN must be strictly cheaper.
+  const auto dense = make_run({0.3, 0.3, 0.3, 0.3}, {0.0, 0.0, 0.0, 0.0});
+  const auto lth = make_run({0.3, 0.3, 0.3, 0.3}, {0.0, 0.3, 0.6, 0.9});
+  const auto ndsnn = make_run({0.3, 0.3, 0.3, 0.3}, {0.8, 0.85, 0.88, 0.9});
+  const double lth_cost = normalized_training_cost_pct(lth, dense);
+  const double ndsnn_cost = normalized_training_cost_pct(ndsnn, dense);
+  EXPECT_LT(ndsnn_cost, lth_cost);
+  EXPECT_LT(lth_cost, 100.0);
+}
+
+}  // namespace
+}  // namespace ndsnn::core

@@ -1,0 +1,93 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::core {
+namespace {
+
+ExperimentConfig tiny() {
+  ExperimentConfig c;
+  c.arch = "lenet5";
+  c.dataset = "cifar10";
+  c.method = "ndsnn";
+  c.sparsity = 0.9;
+  c.epochs = 2;
+  c.train_samples = 48;
+  c.test_samples = 24;
+  c.batch_size = 16;
+  c.model_scale = 0.5;
+  c.data_scale = 0.25;
+  c.timesteps = 2;
+  return c;
+}
+
+TEST(ExperimentTest, BuildsAllComponents) {
+  const Experiment exp = build_experiment(tiny());
+  EXPECT_NE(exp.network, nullptr);
+  EXPECT_NE(exp.train_set, nullptr);
+  EXPECT_NE(exp.test_set, nullptr);
+  EXPECT_NE(exp.method, nullptr);
+  EXPECT_EQ(exp.train_set->size(), 48);
+  EXPECT_EQ(exp.test_set->size(), 24);
+}
+
+TEST(ExperimentTest, TrainAndTestStreamsDisjoint) {
+  const Experiment exp = build_experiment(tiny());
+  // Same prototypes, different sample noise: images at index 0 differ.
+  const auto a = exp.train_set->get(0);
+  const auto b = exp.test_set->get(0);
+  bool identical = true;
+  for (int64_t i = 0; i < a.image.numel(); ++i) {
+    if (a.image.at(i) != b.image.at(i)) {
+      identical = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(ExperimentTest, DefaultInitialSparsityIsHalfOfTarget) {
+  auto c = tiny();
+  c.sparsity = 0.95;
+  EXPECT_NEAR(c.theta_initial(), 0.475, 1e-12);
+  c.initial_sparsity = 0.5;
+  EXPECT_DOUBLE_EQ(c.theta_initial(), 0.5);
+}
+
+TEST(ExperimentTest, AllMethodNamesConstructible) {
+  for (const char* m : {"ndsnn", "ndsnn_random_growth", "ndsnn_linear_ramp", "set",
+                        "rigl", "lth", "admm", "dense"}) {
+    auto c = tiny();
+    c.method = m;
+    EXPECT_NO_THROW((void)make_method(c, 10)) << m;
+  }
+  auto c = tiny();
+  c.method = "magic";
+  EXPECT_THROW((void)make_method(c, 10), std::invalid_argument);
+}
+
+TEST(ExperimentTest, RunProducesSaneResult) {
+  const TrainResult r = run_experiment(tiny());
+  ASSERT_EQ(r.epochs.size(), 2U);
+  EXPECT_GE(r.final_test_acc, 0.0);
+  EXPECT_LE(r.final_test_acc, 100.0);
+  EXPECT_GT(r.final_sparsity, 0.0);
+}
+
+TEST(ExperimentTest, VggResolutionRoundedTo32) {
+  auto c = tiny();
+  c.arch = "vgg16";
+  c.model_scale = 0.05;
+  c.data_scale = 0.3;  // would give ~12px; must round to 32 for 5 pools
+  const Experiment exp = build_experiment(c);
+  EXPECT_EQ(exp.train_set->image_size(), 32);
+}
+
+TEST(ExperimentTest, UnknownDatasetThrows) {
+  auto c = tiny();
+  c.dataset = "imagenet21k";
+  EXPECT_THROW((void)build_experiment(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::core

@@ -1,0 +1,77 @@
+#include "core/flops_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models/zoo.hpp"
+
+namespace ndsnn::core {
+namespace {
+
+nn::ModelSpec spec(int64_t size = 16, double width = 0.5) {
+  nn::ModelSpec s;
+  s.num_classes = 10;
+  s.image_size = size;
+  s.timesteps = 2;
+  s.width_scale = width;
+  return s;
+}
+
+TEST(FlopsModelTest, LenetLayerInventory) {
+  auto net = nn::make_lenet5(spec());
+  FlopsModel model(*net, 3, 16);
+  // 2 convs + 3 linears = 5 prunable layers.
+  EXPECT_EQ(model.layers().size(), 5U);
+  EXPECT_GT(model.total_dense_macs(), 0);
+}
+
+TEST(FlopsModelTest, ConvMacsScaleWithSpatialDims) {
+  auto small = nn::make_lenet5(spec(16));
+  auto large = nn::make_lenet5(spec(32));
+  FlopsModel fs(*small, 3, 16);
+  FlopsModel fl(*large, 3, 32);
+  // First conv MACs grow ~4x with doubled resolution.
+  const double ratio = static_cast<double>(fl.layers()[0].dense_macs) /
+                       static_cast<double>(fs.layers()[0].dense_macs);
+  EXPECT_NEAR(ratio, 4.0, 0.2);
+}
+
+TEST(FlopsModelTest, DensityAndRateScaleLinearly) {
+  auto net = nn::make_lenet5(spec());
+  FlopsModel model(*net, 3, 16);
+  const double full = model.inference_macs_per_sample(1.0, 1.0, 2);
+  EXPECT_NEAR(model.inference_macs_per_sample(0.1, 1.0, 2), 0.1 * full, 1e-6 * full);
+  EXPECT_NEAR(model.inference_macs_per_sample(1.0, 0.2, 2), 0.2 * full, 1e-6 * full);
+  EXPECT_NEAR(model.inference_macs_per_sample(0.5, 0.5, 2), 0.25 * full, 1e-6 * full);
+}
+
+TEST(FlopsModelTest, TimestepsMultiply) {
+  auto net = nn::make_lenet5(spec());
+  FlopsModel model(*net, 3, 16);
+  EXPECT_NEAR(model.inference_macs_per_sample(1.0, 1.0, 4),
+              2.0 * model.inference_macs_per_sample(1.0, 1.0, 2), 1.0);
+}
+
+TEST(FlopsModelTest, TrainingIsThreeTimesInference) {
+  auto net = nn::make_lenet5(spec());
+  FlopsModel model(*net, 3, 16);
+  EXPECT_NEAR(model.training_macs_per_sample(0.5, 0.5, 2),
+              3.0 * model.inference_macs_per_sample(0.5, 0.5, 2), 1.0);
+}
+
+TEST(FlopsModelTest, ResnetBlocksCounted) {
+  auto net = nn::make_resnet19(spec(16, 0.05));
+  FlopsModel model(*net, 3, 16);
+  // stem conv + 8 residual blocks + 2 linears = 11 entries.
+  EXPECT_EQ(model.layers().size(), 11U);
+}
+
+TEST(FlopsModelTest, RejectsBadArguments) {
+  auto net = nn::make_lenet5(spec());
+  FlopsModel model(*net, 3, 16);
+  EXPECT_THROW((void)model.inference_macs_per_sample(1.5, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW((void)model.inference_macs_per_sample(1.0, -0.1, 2), std::invalid_argument);
+  EXPECT_THROW((void)model.inference_macs_per_sample(1.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::core

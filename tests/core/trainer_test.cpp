@@ -1,0 +1,134 @@
+#include "core/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dense_method.hpp"
+#include "core/ndsnn_method.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models/zoo.hpp"
+
+namespace ndsnn::core {
+namespace {
+
+data::SyntheticSpec tiny_data(int64_t samples = 64) {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.train_size = samples;
+  spec.noise_std = 0.15F;
+  spec.max_jitter = 1;
+  return spec;
+}
+
+std::unique_ptr<nn::SpikingNetwork> tiny_model() {
+  nn::ModelSpec spec;
+  spec.num_classes = 4;
+  spec.in_channels = 1;
+  spec.image_size = 8;
+  spec.timesteps = 2;
+  spec.width_scale = 1.0;
+  return nn::make_lenet5(spec);
+}
+
+TrainerConfig fast_config(int64_t epochs = 2) {
+  TrainerConfig c;
+  c.epochs = epochs;
+  c.batch_size = 16;
+  c.learning_rate = 0.05;
+  c.augment = false;
+  return c;
+}
+
+TEST(TrainerConfigTest, Validation) {
+  EXPECT_NO_THROW(fast_config().validate());
+  auto c = fast_config();
+  c.epochs = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(TrainerTest, ProducesOneStatsPerEpoch) {
+  auto model = tiny_model();
+  DenseMethod method;
+  data::SyntheticVision train(tiny_data()), test(tiny_data(32));
+  Trainer trainer(*model, method, train, test, fast_config(3));
+  const TrainResult r = trainer.run();
+  ASSERT_EQ(r.epochs.size(), 3U);
+  EXPECT_EQ(r.final_test_acc, r.epochs.back().test_acc);
+  EXPECT_GE(r.best_test_acc, r.final_test_acc);
+  EXPECT_GT(r.wall_seconds, 0.0);
+}
+
+TEST(TrainerTest, LossDecreasesOnLearnableData) {
+  auto model = tiny_model();
+  DenseMethod method;
+  data::SyntheticVision train(tiny_data(128)), test(tiny_data(32));
+  Trainer trainer(*model, method, train, test, fast_config(6));
+  const TrainResult r = trainer.run();
+  EXPECT_LT(r.epochs.back().train_loss, r.epochs.front().train_loss);
+}
+
+TEST(TrainerTest, LearnsAboveChance) {
+  auto model = tiny_model();
+  DenseMethod method;
+  data::SyntheticVision train(tiny_data(256)), test(tiny_data(64));
+  Trainer trainer(*model, method, train, test, fast_config(8));
+  const TrainResult r = trainer.run();
+  // 4 classes -> chance is 25%.
+  EXPECT_GT(r.best_test_acc, 40.0);
+}
+
+TEST(TrainerTest, SpikeRatesTracked) {
+  auto model = tiny_model();
+  DenseMethod method;
+  data::SyntheticVision train(tiny_data()), test(tiny_data(32));
+  Trainer trainer(*model, method, train, test, fast_config(2));
+  const TrainResult r = trainer.run();
+  for (const auto& e : r.epochs) {
+    EXPECT_GE(e.spike_rate, 0.0);
+    EXPECT_LE(e.spike_rate, 1.0);
+  }
+}
+
+TEST(TrainerTest, NdsnnSparsityRampVisibleInTrace) {
+  auto model = tiny_model();
+  NdsnnConfig c;
+  c.initial_sparsity = 0.3;
+  c.final_sparsity = 0.8;
+  c.delta_t = 2;
+  c.t_end = 24;
+  NdsnnMethod method(c);
+  data::SyntheticVision train(tiny_data(128)), test(tiny_data(32));
+  Trainer trainer(*model, method, train, test, fast_config(6));
+  const TrainResult r = trainer.run();
+  EXPECT_LT(r.epochs.front().sparsity, r.epochs.back().sparsity);
+  EXPECT_NEAR(r.epochs.back().sparsity, 0.8, 0.05);
+  // Sparse weights really are zero in the model.
+  int64_t zeros = 0, total = 0;
+  for (const auto& p : model->params()) {
+    if (!p.prunable) continue;
+    zeros += p.value->count_zeros();
+    total += p.value->numel();
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(total), 0.8, 0.05);
+}
+
+TEST(TrainerTest, DeterministicGivenSeed) {
+  const auto run_once = [] {
+    auto model = tiny_model();
+    DenseMethod method;
+    data::SyntheticVision train(tiny_data(64)), test(tiny_data(32));
+    Trainer trainer(*model, method, train, test, fast_config(2));
+    return trainer.run();
+  };
+  const TrainResult a = run_once();
+  const TrainResult b = run_once();
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.epochs[i].train_loss, b.epochs[i].train_loss);
+    EXPECT_DOUBLE_EQ(a.epochs[i].test_acc, b.epochs[i].test_acc);
+  }
+}
+
+}  // namespace
+}  // namespace ndsnn::core

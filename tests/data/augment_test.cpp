@@ -1,0 +1,87 @@
+#include "data/augment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::data {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(AugmentTest, PreservesShapeAndRange) {
+  Rng rng(1);
+  Tensor batch(Shape{4, 3, 8, 8});
+  batch.fill_uniform(rng, 0.0F, 1.0F);
+  const Shape before = batch.shape();
+  AugmentConfig cfg;
+  Rng arng(2);
+  augment_batch(batch, cfg, arng);
+  EXPECT_EQ(batch.shape(), before);
+  for (int64_t i = 0; i < batch.numel(); ++i) {
+    EXPECT_GE(batch.at(i), 0.0F);
+    EXPECT_LE(batch.at(i), 1.0F);
+  }
+}
+
+TEST(AugmentTest, NoOpConfigLeavesDataUntouched) {
+  Rng rng(3);
+  Tensor batch(Shape{2, 1, 4, 4});
+  batch.fill_uniform(rng, 0.0F, 1.0F);
+  const Tensor before = batch;
+  AugmentConfig cfg;
+  cfg.crop_padding = 0;
+  cfg.horizontal_flip = false;
+  Rng arng(4);
+  augment_batch(batch, cfg, arng);
+  for (int64_t i = 0; i < batch.numel(); ++i) EXPECT_EQ(batch.at(i), before.at(i));
+}
+
+TEST(AugmentTest, FlipOnlyPermutesPixelMultiset) {
+  Rng rng(5);
+  Tensor batch(Shape{1, 1, 4, 4});
+  for (int64_t i = 0; i < 16; ++i) batch.at(i) = static_cast<float>(i);
+  AugmentConfig cfg;
+  cfg.crop_padding = 0;
+  cfg.horizontal_flip = true;
+  // Run until a flip happens (bernoulli 0.5).
+  bool flipped = false;
+  for (int attempt = 0; attempt < 32 && !flipped; ++attempt) {
+    Tensor copy = batch;
+    Rng arng(static_cast<uint64_t>(attempt));
+    augment_batch(copy, cfg, arng);
+    if (copy.at(0) != batch.at(0)) {
+      flipped = true;
+      // Row {0,1,2,3} must become {3,2,1,0}.
+      EXPECT_EQ(copy.at(0), 3.0F);
+      EXPECT_EQ(copy.at(3), 0.0F);
+    }
+  }
+  EXPECT_TRUE(flipped);
+}
+
+TEST(AugmentTest, ChangesSomethingWithHighProbability) {
+  Rng rng(6);
+  Tensor batch(Shape{8, 3, 8, 8});
+  batch.fill_uniform(rng, 0.0F, 1.0F);
+  const Tensor before = batch;
+  AugmentConfig cfg;
+  Rng arng(7);
+  augment_batch(batch, cfg, arng);
+  int64_t changed = 0;
+  for (int64_t i = 0; i < batch.numel(); ++i) changed += batch.at(i) != before.at(i);
+  EXPECT_GT(changed, 0);
+}
+
+TEST(AugmentTest, RejectsBadInputs) {
+  AugmentConfig cfg;
+  cfg.crop_padding = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  Tensor not4d(Shape{4, 4});
+  AugmentConfig ok;
+  Rng rng(8);
+  EXPECT_THROW(augment_batch(not4d, ok, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::data

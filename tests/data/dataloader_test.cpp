@@ -1,0 +1,92 @@
+#include "data/dataloader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.hpp"
+
+namespace ndsnn::data {
+namespace {
+
+SyntheticSpec tiny(int64_t n = 20) {
+  SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.train_size = n;
+  return spec;
+}
+
+TEST(DataLoaderTest, CoversWholeDatasetOnce) {
+  SyntheticVision ds(tiny(20));
+  DataLoader loader(ds, 8, /*seed=*/1);
+  loader.start_epoch();
+  int64_t seen = 0;
+  while (auto batch = loader.next()) seen += batch->size();
+  EXPECT_EQ(seen, 20);
+}
+
+TEST(DataLoaderTest, BatchesPerEpoch) {
+  SyntheticVision ds(tiny(20));
+  DataLoader keep(ds, 8, 1, true, /*drop_last=*/false);
+  EXPECT_EQ(keep.batches_per_epoch(), 3);
+  DataLoader drop(ds, 8, 1, true, /*drop_last=*/true);
+  EXPECT_EQ(drop.batches_per_epoch(), 2);
+}
+
+TEST(DataLoaderTest, DropLastSkipsPartialBatch) {
+  SyntheticVision ds(tiny(20));
+  DataLoader loader(ds, 8, 1, true, /*drop_last=*/true);
+  loader.start_epoch();
+  int64_t seen = 0;
+  while (auto batch = loader.next()) {
+    EXPECT_EQ(batch->size(), 8);
+    seen += batch->size();
+  }
+  EXPECT_EQ(seen, 16);
+}
+
+TEST(DataLoaderTest, ShuffleChangesOrderBetweenEpochs) {
+  SyntheticVision ds(tiny(40));
+  DataLoader loader(ds, 40, /*seed=*/3);
+  loader.start_epoch();
+  const auto b1 = loader.next();
+  loader.start_epoch();
+  const auto b2 = loader.next();
+  ASSERT_TRUE(b1 && b2);
+  EXPECT_NE(b1->labels, b2->labels);
+}
+
+TEST(DataLoaderTest, NoShuffleIsSequential) {
+  SyntheticVision ds(tiny(12));
+  DataLoader loader(ds, 12, 1, /*shuffle=*/false);
+  loader.start_epoch();
+  const auto batch = loader.next();
+  ASSERT_TRUE(batch);
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(batch->labels[static_cast<std::size_t>(i)], i % 4);
+  }
+}
+
+TEST(DataLoaderTest, BatchImagesShapedNCHW) {
+  SyntheticVision ds(tiny(8));
+  DataLoader loader(ds, 4, 1);
+  loader.start_epoch();
+  const auto batch = loader.next();
+  ASSERT_TRUE(batch);
+  EXPECT_EQ(batch->images.shape(), tensor::Shape({4, 1, 8, 8}));
+}
+
+TEST(DataLoaderTest, BadBatchSizeThrows) {
+  SyntheticVision ds(tiny());
+  EXPECT_THROW(DataLoader(ds, 0, 1), std::invalid_argument);
+}
+
+TEST(MakeBatchTest, EmptyIndicesThrows) {
+  SyntheticVision ds(tiny());
+  EXPECT_THROW((void)make_batch(ds, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::data

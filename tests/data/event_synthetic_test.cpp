@@ -1,0 +1,111 @@
+#include "data/event_synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::data {
+namespace {
+
+EventSpec tiny() {
+  EventSpec spec;
+  spec.num_classes = 4;
+  spec.image_size = 12;
+  spec.timesteps = 6;
+  spec.train_size = 40;
+  return spec;
+}
+
+TEST(EventSpecTest, Validation) {
+  EXPECT_NO_THROW(tiny().validate());
+  auto bad = tiny();
+  bad.timesteps = 1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = tiny();
+  bad.event_threshold = 0.0F;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = tiny();
+  bad.noise_events = 1.0F;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(EventTest, ShapeIsPolarityTimesTimesteps) {
+  SyntheticEvents ds(tiny());
+  EXPECT_EQ(ds.channels(), 12);  // 2 * T
+  const Sample s = ds.get(0);
+  EXPECT_EQ(s.image.shape(), tensor::Shape({12, 12, 12}));
+}
+
+TEST(EventTest, EventsAreBinary) {
+  SyntheticEvents ds(tiny());
+  for (int64_t i = 0; i < 5; ++i) {
+    const Sample s = ds.get(i);
+    for (int64_t j = 0; j < s.image.numel(); ++j) {
+      EXPECT_TRUE(s.image.at(j) == 0.0F || s.image.at(j) == 1.0F);
+    }
+  }
+}
+
+TEST(EventTest, Deterministic) {
+  SyntheticEvents a(tiny()), b(tiny());
+  const Sample sa = a.get(3), sb = b.get(3);
+  EXPECT_EQ(sa.label, sb.label);
+  for (int64_t i = 0; i < sa.image.numel(); ++i) EXPECT_EQ(sa.image.at(i), sb.image.at(i));
+}
+
+TEST(EventTest, EventsAreSparse) {
+  auto spec = tiny();
+  spec.noise_events = 0.0F;
+  SyntheticEvents ds(spec);
+  const double rate = ds.measure_event_rate(10);
+  EXPECT_GT(rate, 0.0);   // something moves
+  EXPECT_LT(rate, 0.35);  // but most pixels are silent
+}
+
+TEST(EventTest, MotionGeneratesEventsOverTime) {
+  auto spec = tiny();
+  spec.noise_events = 0.0F;
+  SyntheticEvents ds(spec);
+  const Sample s = ds.get(0);
+  // At least one ON event and one OFF event somewhere in the stream
+  // (a moving bright blob creates both leading and trailing edges).
+  double on = 0.0, off = 0.0;
+  const int64_t plane = 12 * 12;
+  for (int64_t t = 0; t < 6; ++t) {
+    for (int64_t i = 0; i < plane; ++i) {
+      on += s.image.at((2 * t) * plane + i);
+      off += s.image.at((2 * t + 1) * plane + i);
+    }
+  }
+  EXPECT_GT(on, 0.0);
+  EXPECT_GT(off, 0.0);
+}
+
+TEST(EventTest, SampleOffsetDisjointStreams) {
+  auto a_spec = tiny();
+  auto b_spec = tiny();
+  b_spec.sample_offset = 4096;
+  SyntheticEvents a(a_spec), b(b_spec);
+  const Sample sa = a.get(0), sb = b.get(0);
+  bool identical = true;
+  for (int64_t i = 0; i < sa.image.numel(); ++i) {
+    if (sa.image.at(i) != sb.image.at(i)) identical = false;
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(EventTest, OutOfRangeThrows) {
+  SyntheticEvents ds(tiny());
+  EXPECT_THROW((void)ds.get(40), std::out_of_range);
+  EXPECT_THROW((void)ds.get(-1), std::out_of_range);
+}
+
+TEST(EventTest, NoiseIncreasesEventRate) {
+  auto quiet = tiny();
+  quiet.noise_events = 0.0F;
+  auto noisy = tiny();
+  noisy.noise_events = 0.1F;
+  EXPECT_GT(SyntheticEvents(noisy).measure_event_rate(8),
+            SyntheticEvents(quiet).measure_event_rate(8));
+}
+
+}  // namespace
+}  // namespace ndsnn::data

@@ -1,0 +1,159 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ndsnn::data {
+namespace {
+
+SyntheticSpec tiny() {
+  SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 3;
+  spec.image_size = 8;
+  spec.train_size = 40;
+  return spec;
+}
+
+TEST(SyntheticSpecTest, Validation) {
+  EXPECT_NO_THROW(tiny().validate());
+  auto bad = tiny();
+  bad.num_classes = 1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = tiny();
+  bad.max_jitter = 8;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = tiny();
+  bad.label_noise = 1.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(SyntheticTest, SamplesDeterministic) {
+  SyntheticVision a(tiny()), b(tiny());
+  const Sample sa = a.get(7), sb = b.get(7);
+  EXPECT_EQ(sa.label, sb.label);
+  for (int64_t i = 0; i < sa.image.numel(); ++i) EXPECT_EQ(sa.image.at(i), sb.image.at(i));
+}
+
+TEST(SyntheticTest, DifferentIndicesDiffer) {
+  SyntheticVision ds(tiny());
+  const Sample a = ds.get(0), b = ds.get(4);  // same class (0 % 4 == 4 % 4)
+  EXPECT_EQ(a.label, b.label);
+  bool identical = true;
+  for (int64_t i = 0; i < a.image.numel(); ++i) {
+    if (a.image.at(i) != b.image.at(i)) {
+      identical = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(SyntheticTest, PixelsInUnitRange) {
+  SyntheticVision ds(tiny());
+  for (int64_t idx = 0; idx < 10; ++idx) {
+    const Sample s = ds.get(idx);
+    for (int64_t i = 0; i < s.image.numel(); ++i) {
+      EXPECT_GE(s.image.at(i), 0.0F);
+      EXPECT_LE(s.image.at(i), 1.0F);
+    }
+  }
+}
+
+TEST(SyntheticTest, LabelsBalancedRoundRobin) {
+  SyntheticVision ds(tiny());
+  std::vector<int> counts(4, 0);
+  for (int64_t i = 0; i < ds.size(); ++i) ++counts[static_cast<std::size_t>(ds.get(i).label)];
+  for (const int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SyntheticTest, SampleCloserToOwnPrototype) {
+  // The defining learnability property: a sample correlates more with its
+  // class prototype than with others.
+  auto spec = tiny();
+  spec.noise_std = 0.2F;
+  spec.max_jitter = 0;
+  SyntheticVision ds(spec);
+  int correct = 0;
+  const int trials = 20;
+  for (int64_t idx = 0; idx < trials; ++idx) {
+    const Sample s = ds.get(idx);
+    double best = 1e18;
+    int64_t best_class = -1;
+    for (int64_t k = 0; k < 4; ++k) {
+      const auto& proto = ds.prototype(k);
+      double dist = 0.0;
+      for (int64_t i = 0; i < proto.numel(); ++i) {
+        const double d = s.image.at(i) - proto.at(i);
+        dist += d * d;
+      }
+      if (dist < best) {
+        best = dist;
+        best_class = k;
+      }
+    }
+    correct += best_class == s.label;
+  }
+  EXPECT_GE(correct, trials * 3 / 4);
+}
+
+TEST(SyntheticTest, LabelNoiseFlipsSomeLabels) {
+  auto spec = tiny();
+  spec.label_noise = 0.5;
+  spec.train_size = 200;
+  SyntheticVision ds(spec);
+  int mismatches = 0;
+  for (int64_t i = 0; i < ds.size(); ++i) mismatches += ds.get(i).label != i % 4;
+  EXPECT_GT(mismatches, 30);   // ~ 0.5 * 3/4 * 200 = 75 expected
+  EXPECT_LT(mismatches, 130);
+}
+
+TEST(SyntheticTest, SampleOffsetShiftsStream) {
+  auto a_spec = tiny();
+  auto b_spec = tiny();
+  b_spec.sample_offset = 1000;
+  SyntheticVision a(a_spec), b(b_spec);
+  const Sample sa = a.get(0), sb = b.get(0);
+  bool identical = true;
+  for (int64_t i = 0; i < sa.image.numel(); ++i) {
+    if (sa.image.at(i) != sb.image.at(i)) {
+      identical = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(SyntheticTest, OutOfRangeIndexThrows) {
+  SyntheticVision ds(tiny());
+  EXPECT_THROW((void)ds.get(-1), std::out_of_range);
+  EXPECT_THROW((void)ds.get(40), std::out_of_range);
+  EXPECT_THROW((void)ds.prototype(4), std::out_of_range);
+}
+
+TEST(SyntheticPresetsTest, MirrorPaperDatasets) {
+  const auto c10 = synthetic_cifar10(1.0, 100);
+  EXPECT_EQ(c10.num_classes, 10);
+  EXPECT_EQ(c10.image_size, 32);
+  const auto c100 = synthetic_cifar100(1.0, 100);
+  EXPECT_EQ(c100.num_classes, 100);
+  const auto tin = synthetic_tiny_imagenet(1.0, 100);
+  EXPECT_EQ(tin.num_classes, 200);
+  EXPECT_EQ(tin.image_size, 64);
+}
+
+TEST(SyntheticPresetsTest, ScalingKeepsDivisibilityBy4) {
+  for (const double s : {0.2, 0.25, 0.4, 0.5, 0.7}) {
+    EXPECT_EQ(synthetic_cifar10(s, 10).image_size % 4, 0) << s;
+    EXPECT_EQ(synthetic_tiny_imagenet(s, 10).image_size % 4, 0) << s;
+  }
+}
+
+TEST(SyntheticPresetsTest, ByNameDispatch) {
+  EXPECT_EQ(synthetic_by_name("cifar100", 1.0, 10).num_classes, 100);
+  EXPECT_THROW((void)synthetic_by_name("mnist", 1.0, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::data

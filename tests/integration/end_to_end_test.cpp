@@ -1,0 +1,136 @@
+// End-to-end integration tests: the full paper pipeline at miniature
+// scale -- model zoo + synthetic data + every sparse-training method +
+// trainer + cost model -- asserting the qualitative results the paper
+// claims (ordering of methods, cost reduction, sparsity trajectories).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "util/logging.hpp"
+
+namespace ndsnn::core {
+namespace {
+
+class QuietLogs : public ::testing::Test {
+ protected:
+  void SetUp() override { util::set_log_level(util::LogLevel::kWarn); }
+};
+
+ExperimentConfig base_config() {
+  ExperimentConfig c;
+  c.arch = "lenet5";
+  c.dataset = "cifar10";
+  c.sparsity = 0.9;
+  c.epochs = 6;
+  c.train_samples = 320;
+  c.test_samples = 96;
+  c.batch_size = 32;
+  c.model_scale = 0.5;
+  c.data_scale = 0.25;  // 8x8 inputs
+  c.timesteps = 2;
+  c.learning_rate = 0.2;
+  return c;
+}
+
+using EndToEndTest = QuietLogs;
+
+TEST_F(EndToEndTest, NdsnnFullPipelineTrainsAndSparsifies) {
+  auto c = base_config();
+  c.method = "ndsnn";
+  const TrainResult r = run_experiment(c);
+  EXPECT_NEAR(r.final_sparsity, 0.9, 0.03);
+  EXPECT_GT(r.final_test_acc, 10.0);  // clearly above random guessing
+  // Sparsity trace is non-decreasing (neurogenesis invariant).
+  for (std::size_t i = 1; i < r.epochs.size(); ++i) {
+    EXPECT_GE(r.epochs[i].sparsity, r.epochs[i - 1].sparsity - 1e-9);
+  }
+}
+
+TEST_F(EndToEndTest, AllMethodsRunTheFullPipeline) {
+  for (const char* m : {"dense", "ndsnn", "set", "rigl", "lth", "admm"}) {
+    auto c = base_config();
+    c.method = m;
+    c.epochs = 3;
+    c.train_samples = 96;
+    c.test_samples = 48;
+    const TrainResult r = run_experiment(c);
+    EXPECT_EQ(r.epochs.size(), 3U) << m;
+    EXPECT_GE(r.final_test_acc, 0.0) << m;
+  }
+}
+
+TEST_F(EndToEndTest, NdsnnTrainingCostBelowLthAndDense) {
+  // Fig. 5's qualitative claim at miniature scale.
+  auto dense_cfg = base_config();
+  dense_cfg.method = "dense";
+  auto lth_cfg = base_config();
+  lth_cfg.method = "lth";
+  auto ndsnn_cfg = base_config();
+  ndsnn_cfg.method = "ndsnn";
+
+  const TrainResult dense = run_experiment(dense_cfg);
+  const TrainResult lth = run_experiment(lth_cfg);
+  const TrainResult ndsnn = run_experiment(ndsnn_cfg);
+
+  const double lth_cost = normalized_training_cost_pct(lth, dense);
+  const double ndsnn_cost = normalized_training_cost_pct(ndsnn, dense);
+  EXPECT_LT(ndsnn_cost, lth_cost);
+  EXPECT_LT(ndsnn_cost, 100.0);
+}
+
+TEST_F(EndToEndTest, SparsityTrajectoriesMatchFig1Shapes) {
+  // LTH starts dense and steps down in rounds; NDSNN starts sparse and
+  // ramps to the target; SET stays flat.
+  auto lth_cfg = base_config();
+  lth_cfg.method = "lth";
+  auto ndsnn_cfg = base_config();
+  ndsnn_cfg.method = "ndsnn";
+  auto set_cfg = base_config();
+  set_cfg.method = "set";
+
+  const TrainResult lth = run_experiment(lth_cfg);
+  const TrainResult ndsnn = run_experiment(ndsnn_cfg);
+  const TrainResult set = run_experiment(set_cfg);
+
+  EXPECT_LT(lth.epochs.front().sparsity, 0.01);       // dense start
+  EXPECT_GT(ndsnn.epochs.front().sparsity, 0.3);      // sparse start (theta_i = 0.45)
+  EXPECT_NEAR(set.epochs.front().sparsity, set.epochs.back().sparsity, 1e-6);
+  EXPECT_GT(ndsnn.epochs.back().sparsity, ndsnn.epochs.front().sparsity);
+}
+
+TEST_F(EndToEndTest, ResNetPipelineWorks) {
+  auto c = base_config();
+  c.arch = "resnet19";
+  c.method = "ndsnn";
+  c.model_scale = 0.05;
+  c.epochs = 4;
+  c.train_samples = 128;
+  c.test_samples = 32;
+  const TrainResult r = run_experiment(c);
+  EXPECT_EQ(r.epochs.size(), 4U);
+  // theta_i = 0.45 ramping toward 0.9; with the short iteration budget we
+  // only require visible progress along the ramp.
+  EXPECT_GT(r.final_sparsity, 0.6);
+}
+
+TEST_F(EndToEndTest, SmallerTimestepStillTrains) {
+  // Fig. 4 regime: T=2.
+  auto c = base_config();
+  c.method = "ndsnn";
+  c.timesteps = 2;
+  const TrainResult r2 = run_experiment(c);
+  EXPECT_GT(r2.final_test_acc, 10.0);
+}
+
+TEST_F(EndToEndTest, Cifar100StandInRuns) {
+  auto c = base_config();
+  c.dataset = "cifar100";
+  c.method = "ndsnn";
+  c.epochs = 2;
+  c.train_samples = 200;
+  c.test_samples = 100;
+  const TrainResult r = run_experiment(c);
+  EXPECT_EQ(r.epochs.size(), 2U);
+}
+
+}  // namespace
+}  // namespace ndsnn::core

@@ -1,0 +1,100 @@
+#include "nn/batchnorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/random.hpp"
+
+namespace ndsnn::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(BatchNormTest, NormalizesToZeroMeanUnitVar) {
+  Rng rng(1);
+  BatchNorm2d bn(2);
+  Tensor x(Shape{8, 2, 4, 4});
+  x.fill_normal(rng, 5.0F, 3.0F);
+  const Tensor y = bn.forward(x, /*training=*/true);
+
+  // Per-channel statistics of the output ~ N(0, 1) (gamma=1, beta=0).
+  const int64_t plane = 16;
+  for (int64_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t m = 0; m < 8; ++m) {
+      for (int64_t i = 0; i < plane; ++i) mean += y.at4(m, c, i / 4, i % 4);
+    }
+    mean /= 8.0 * plane;
+    for (int64_t m = 0; m < 8; ++m) {
+      for (int64_t i = 0; i < plane; ++i) {
+        const double d = y.at4(m, c, i / 4, i % 4) - mean;
+        var += d * d;
+      }
+    }
+    var /= 8.0 * plane;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, AffineParamsApplied) {
+  BatchNorm2d bn(1);
+  auto params = bn.params();
+  ASSERT_EQ(params.size(), 2U);
+  params[0].value->fill(2.0F);  // gamma
+  params[1].value->fill(3.0F);  // beta
+  Rng rng(2);
+  Tensor x(Shape{4, 1, 4, 4});
+  x.fill_normal(rng, 0.0F, 1.0F);
+  const Tensor y = bn.forward(x, true);
+  double mean = 0.0;
+  for (int64_t i = 0; i < y.numel(); ++i) mean += y.at(i);
+  mean /= static_cast<double>(y.numel());
+  EXPECT_NEAR(mean, 3.0, 1e-4);
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  Rng rng(3);
+  BatchNorm2d bn(1);
+  Tensor x(Shape{16, 1, 2, 2});
+  x.fill_normal(rng, 2.0F, 1.0F);
+  // Many training passes converge the running stats toward the batch's.
+  for (int i = 0; i < 50; ++i) (void)bn.forward(x, true);
+  const Tensor y = bn.forward(x, /*training=*/false);
+  double mean = 0.0;
+  for (int64_t i = 0; i < y.numel(); ++i) mean += y.at(i);
+  mean /= static_cast<double>(y.numel());
+  EXPECT_NEAR(mean, 0.0, 0.05);
+}
+
+TEST(BatchNormTest, EvalIsDeterministicWithoutUpdates) {
+  Rng rng(4);
+  BatchNorm2d bn(1);
+  Tensor x(Shape{4, 1, 2, 2});
+  x.fill_normal(rng, 0.0F, 1.0F);
+  const Tensor y1 = bn.forward(x, false);
+  const Tensor y2 = bn.forward(x, false);
+  for (int64_t i = 0; i < y1.numel(); ++i) EXPECT_EQ(y1.at(i), y2.at(i));
+}
+
+TEST(BatchNormTest, ParamsNotPrunable) {
+  BatchNorm2d bn(4);
+  for (const auto& p : bn.params()) EXPECT_FALSE(p.prunable);
+}
+
+TEST(BatchNormTest, WrongChannelsThrows) {
+  BatchNorm2d bn(3);
+  Tensor x(Shape{1, 2, 4, 4});
+  EXPECT_THROW((void)bn.forward(x, true), std::invalid_argument);
+}
+
+TEST(BatchNormTest, RejectsBadConstruction) {
+  EXPECT_THROW(BatchNorm2d(0), std::invalid_argument);
+  EXPECT_THROW(BatchNorm2d(3, -1.0F), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::nn

@@ -1,0 +1,104 @@
+#include "nn/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/models/zoo.hpp"
+
+namespace ndsnn::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+ModelSpec spec(uint64_t seed = 42) {
+  ModelSpec s;
+  s.num_classes = 4;
+  s.in_channels = 1;
+  s.image_size = 8;
+  s.timesteps = 2;
+  s.width_scale = 0.5;
+  s.seed = seed;
+  return s;
+}
+
+TEST(CheckpointTest, RoundTripRestoresExactPredictions) {
+  auto a = make_lenet5(spec(1));
+  auto b = make_lenet5(spec(2));  // different init
+
+  // Different seeds -> different weights (predictions may coincide on a
+  // weak input if no neuron fires, so compare the weights directly).
+  bool differ = false;
+  {
+    const auto pa = a->params();
+    const auto pb = b->params();
+    for (int64_t i = 0; i < pa[0].value->numel(); ++i) {
+      if (pa[0].value->at(i) != pb[0].value->at(i)) differ = true;
+    }
+  }
+  ASSERT_TRUE(differ);
+
+  std::stringstream buf;
+  save_checkpoint(buf, *a);
+  load_checkpoint(buf, *b);
+
+  Tensor batch(Shape{2, 1, 8, 8}, 0.9F);
+  const Tensor pred_a = a->predict(batch);
+  const Tensor pred_b = b->predict(batch);
+  for (int64_t i = 0; i < pred_a.numel(); ++i) {
+    EXPECT_EQ(pred_b.at(i), pred_a.at(i));
+  }
+  // And the weights themselves are identical.
+  const auto pa = a->params();
+  const auto pb = b->params();
+  for (std::size_t p = 0; p < pa.size(); ++p) {
+    for (int64_t i = 0; i < pa[p].value->numel(); ++i) {
+      ASSERT_EQ(pb[p].value->at(i), pa[p].value->at(i)) << pa[p].name;
+    }
+  }
+}
+
+TEST(CheckpointTest, PreservesSparsePattern) {
+  auto net = make_lenet5(spec());
+  // Zero half the first conv's weights, save, reload into a fresh net.
+  auto params = net->params();
+  for (int64_t i = 0; i < params[0].value->numel(); i += 2) params[0].value->at(i) = 0.0F;
+  const int64_t zeros = params[0].value->count_zeros();
+
+  std::stringstream buf;
+  save_checkpoint(buf, *net);
+  auto fresh = make_lenet5(spec(99));
+  load_checkpoint(buf, *fresh);
+  EXPECT_EQ(fresh->params()[0].value->count_zeros(), zeros);
+}
+
+TEST(CheckpointTest, ArchitectureMismatchRejected) {
+  auto lenet = make_lenet5(spec());
+  auto other_spec = spec();
+  other_spec.width_scale = 1.0;  // different shapes
+  auto wide = make_lenet5(other_spec);
+
+  std::stringstream buf;
+  save_checkpoint(buf, *lenet);
+  EXPECT_THROW(load_checkpoint(buf, *wide), std::runtime_error);
+}
+
+TEST(CheckpointTest, CorruptStreamRejected) {
+  auto net = make_lenet5(spec());
+  std::stringstream buf("not a checkpoint at all");
+  EXPECT_THROW(load_checkpoint(buf, *net), std::runtime_error);
+}
+
+TEST(CheckpointTest, TruncatedStreamRejected) {
+  auto net = make_lenet5(spec());
+  std::stringstream buf;
+  save_checkpoint(buf, *net);
+  std::string s = buf.str();
+  s.resize(s.size() / 3);
+  std::stringstream cut(s);
+  EXPECT_THROW(load_checkpoint(cut, *net), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ndsnn::nn

@@ -1,0 +1,91 @@
+#include "nn/conv2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/random.hpp"
+
+namespace ndsnn::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Conv2dTest, IdentityKernelReproducesInput) {
+  Rng rng(1);
+  Conv2d layer(1, 1, 1, 1, 0, rng);
+  layer.weight() = Tensor(Shape{1, 1, 1, 1}, std::vector<float>{1.0F});
+  Tensor x(Shape{1, 1, 3, 3});
+  for (int64_t i = 0; i < 9; ++i) x.at(i) = static_cast<float>(i);
+  const Tensor y = layer.forward(x, true);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (int64_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(y.at(i), x.at(i));
+}
+
+TEST(Conv2dTest, BoxKernelComputesNeighborhoodSums) {
+  Rng rng(2);
+  Conv2d layer(1, 1, 3, 1, 1, rng);
+  layer.weight() = Tensor(Shape{1, 1, 3, 3}, std::vector<float>(9, 1.0F));
+  Tensor x(Shape{1, 1, 3, 3}, 1.0F);
+  const Tensor y = layer.forward(x, true);
+  // Center sees all 9 ones; corners see 4.
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 9.0F);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 4.0F);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 6.0F);
+}
+
+TEST(Conv2dTest, MultiChannelAccumulation) {
+  Rng rng(3);
+  Conv2d layer(2, 1, 1, 1, 0, rng);
+  layer.weight() = Tensor(Shape{1, 2, 1, 1}, std::vector<float>{2.0F, 3.0F});
+  Tensor x(Shape{1, 2, 2, 2});
+  x.fill(1.0F);
+  const Tensor y = layer.forward(x, true);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y.at(i), 5.0F);
+}
+
+TEST(Conv2dTest, OutputShapeWithStride) {
+  Rng rng(4);
+  Conv2d layer(3, 8, 3, 2, 1, rng);
+  Tensor x(Shape{2, 3, 8, 8});
+  const Tensor y = layer.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({2, 8, 4, 4}));
+}
+
+TEST(Conv2dTest, BatchOrderPreserved) {
+  // Regression test for the GEMM-output transpose: distinct batch entries
+  // must not be interleaved.
+  Rng rng(5);
+  Conv2d layer(1, 1, 1, 1, 0, rng);
+  layer.weight() = Tensor(Shape{1, 1, 1, 1}, std::vector<float>{1.0F});
+  Tensor x(Shape{2, 1, 2, 2}, std::vector<float>{1, 1, 1, 1, 9, 9, 9, 9});
+  const Tensor y = layer.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(y.at4(1, 0, 0, 0), 9.0F);
+}
+
+TEST(Conv2dTest, WrongChannelCountThrows) {
+  Rng rng(6);
+  Conv2d layer(3, 4, 3, 1, 1, rng);
+  Tensor x(Shape{1, 2, 8, 8});
+  EXPECT_THROW((void)layer.forward(x, true), std::invalid_argument);
+}
+
+TEST(Conv2dTest, PrunableWeightExposed) {
+  Rng rng(7);
+  Conv2d layer(2, 4, 3, 1, 1, rng, /*bias=*/true);
+  const auto params = layer.params();
+  ASSERT_EQ(params.size(), 2U);
+  EXPECT_TRUE(params[0].prunable);
+  EXPECT_FALSE(params[1].prunable);
+  EXPECT_EQ(params[0].value->shape(), Shape({4, 2, 3, 3}));
+}
+
+TEST(Conv2dTest, DefaultHasNoBias) {
+  Rng rng(8);
+  Conv2d layer(2, 4, 3, 1, 1, rng);
+  EXPECT_EQ(layer.params().size(), 1U);
+}
+
+}  // namespace
+}  // namespace ndsnn::nn

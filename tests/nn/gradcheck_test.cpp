@@ -1,0 +1,192 @@
+// Finite-difference gradient checks for every differentiable layer.
+//
+// The LIF layer is excluded: its forward is a true Heaviside step while
+// the backward uses a surrogate, so numeric and analytic gradients differ
+// by design (verified analytically in lif_test.cpp instead).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Scalar test loss: L = sum(out * probe) with a fixed random probe, so
+/// dL/dout = probe.
+struct Harness {
+  Layer& layer;
+  Tensor input;
+  Tensor probe;
+
+  double loss() {
+    const Tensor out = layer.forward(input, /*training=*/true);
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.numel(); ++i) acc += static_cast<double>(out.at(i)) * probe.at(i);
+    return acc;
+  }
+
+  /// Analytic input gradient (also accumulates parameter grads).
+  Tensor input_grad() {
+    (void)layer.forward(input, true);
+    return layer.backward(probe);
+  }
+};
+
+Tensor random_tensor(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  t.fill_uniform(rng, -1.0F, 1.0F);
+  return t;
+}
+
+constexpr float kEps = 1e-2F;     // FP32 + deep reductions: coarse but stable
+constexpr float kRelTol = 6e-2F;
+
+void expect_close(float analytic, float numeric, const std::string& what) {
+  const float scale = std::max({std::fabs(analytic), std::fabs(numeric), 1e-3F});
+  EXPECT_NEAR(analytic, numeric, kRelTol * scale) << what;
+}
+
+void check_input_grad(Harness& h) {
+  const Tensor analytic = h.input_grad();
+  for (int64_t i = 0; i < h.input.numel(); i += std::max<int64_t>(1, h.input.numel() / 17)) {
+    const float saved = h.input.at(i);
+    h.input.at(i) = saved + kEps;
+    const double up = h.loss();
+    h.input.at(i) = saved - kEps;
+    const double down = h.loss();
+    h.input.at(i) = saved;
+    const auto numeric = static_cast<float>((up - down) / (2.0 * kEps));
+    expect_close(analytic.at(i), numeric, "input grad @" + std::to_string(i));
+  }
+}
+
+void check_param_grads(Harness& h) {
+  for (auto& p : h.layer.params()) {
+    p.grad->zero();
+  }
+  (void)h.input_grad();
+  for (auto& p : h.layer.params()) {
+    Tensor analytic = *p.grad;  // copy before perturbation reruns
+    const int64_t n = p.value->numel();
+    for (int64_t i = 0; i < n; i += std::max<int64_t>(1, n / 13)) {
+      const float saved = p.value->at(i);
+      p.value->at(i) = saved + kEps;
+      const double up = h.loss();
+      p.value->at(i) = saved - kEps;
+      const double down = h.loss();
+      p.value->at(i) = saved;
+      const auto numeric = static_cast<float>((up - down) / (2.0 * kEps));
+      expect_close(analytic.at(i), numeric, p.name + " grad @" + std::to_string(i));
+    }
+  }
+}
+
+TEST(GradCheckTest, Linear) {
+  Rng rng(101);
+  Linear layer(6, 4, rng);
+  Tensor input = random_tensor(Shape{3, 6}, rng);
+  Tensor probe = random_tensor(Shape{3, 4}, rng);
+  Harness h{layer, std::move(input), std::move(probe)};
+  check_input_grad(h);
+  check_param_grads(h);
+}
+
+TEST(GradCheckTest, LinearNoBias) {
+  Rng rng(102);
+  Linear layer(5, 3, rng, /*bias=*/false);
+  Tensor input = random_tensor(Shape{2, 5}, rng);
+  Tensor probe = random_tensor(Shape{2, 3}, rng);
+  Harness h{layer, std::move(input), std::move(probe)};
+  check_input_grad(h);
+  check_param_grads(h);
+}
+
+TEST(GradCheckTest, Conv2dStride1Pad1) {
+  Rng rng(103);
+  Conv2d layer(2, 3, 3, 1, 1, rng, /*bias=*/true);
+  Tensor input = random_tensor(Shape{2, 2, 5, 5}, rng);
+  Tensor probe = random_tensor(Shape{2, 3, 5, 5}, rng);
+  Harness h{layer, std::move(input), std::move(probe)};
+  check_input_grad(h);
+  check_param_grads(h);
+}
+
+TEST(GradCheckTest, Conv2dStride2) {
+  Rng rng(104);
+  Conv2d layer(1, 2, 3, 2, 1, rng);
+  Tensor input = random_tensor(Shape{1, 1, 7, 7}, rng);
+  Tensor probe = random_tensor(Shape{1, 2, 4, 4}, rng);
+  Harness h{layer, std::move(input), std::move(probe)};
+  check_input_grad(h);
+  check_param_grads(h);
+}
+
+TEST(GradCheckTest, Conv2d1x1) {
+  Rng rng(105);
+  Conv2d layer(3, 2, 1, 1, 0, rng);
+  Tensor input = random_tensor(Shape{2, 3, 4, 4}, rng);
+  Tensor probe = random_tensor(Shape{2, 2, 4, 4}, rng);
+  Harness h{layer, std::move(input), std::move(probe)};
+  check_input_grad(h);
+  check_param_grads(h);
+}
+
+TEST(GradCheckTest, AvgPool) {
+  Rng rng(106);
+  AvgPool2d layer(2);
+  Tensor input = random_tensor(Shape{2, 3, 4, 4}, rng);
+  Tensor probe = random_tensor(Shape{2, 3, 2, 2}, rng);
+  Harness h{layer, std::move(input), std::move(probe)};
+  check_input_grad(h);
+}
+
+TEST(GradCheckTest, GlobalAvgPool) {
+  Rng rng(107);
+  GlobalAvgPool layer;
+  Tensor input = random_tensor(Shape{2, 3, 4, 4}, rng);
+  Tensor probe = random_tensor(Shape{2, 3}, rng);
+  Harness h{layer, std::move(input), std::move(probe)};
+  check_input_grad(h);
+}
+
+TEST(GradCheckTest, BatchNorm) {
+  Rng rng(108);
+  BatchNorm2d layer(3);
+  Tensor input = random_tensor(Shape{4, 3, 3, 3}, rng);
+  Tensor probe = random_tensor(Shape{4, 3, 3, 3}, rng);
+  Harness h{layer, std::move(input), std::move(probe)};
+  check_input_grad(h);
+  check_param_grads(h);
+}
+
+TEST(GradCheckTest, SequentialConvBnPoolLinear) {
+  Rng rng(109);
+  auto seq = std::make_unique<Sequential>();
+  seq->emplace<Conv2d>(1, 2, 3, 1, 1, rng);
+  seq->emplace<BatchNorm2d>(2);
+  seq->emplace<AvgPool2d>(2);
+  seq->emplace<Flatten>();
+  seq->emplace<Linear>(2 * 2 * 2, 3, rng);
+  Tensor input = random_tensor(Shape{2, 1, 4, 4}, rng);
+  Tensor probe = random_tensor(Shape{2, 3}, rng);
+  Harness h{*seq, std::move(input), std::move(probe)};
+  check_input_grad(h);
+  check_param_grads(h);
+}
+
+}  // namespace
+}  // namespace ndsnn::nn

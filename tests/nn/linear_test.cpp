@@ -1,0 +1,80 @@
+#include "nn/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/random.hpp"
+
+namespace ndsnn::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(LinearTest, ForwardMatchesManualGemm) {
+  Rng rng(1);
+  Linear layer(2, 2, rng);
+  // Override weights to known values: W = [[1, 2], [3, 4]], b = [0.5, -0.5].
+  layer.weight() = Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+  auto params = layer.params();
+  ASSERT_EQ(params.size(), 2U);
+  *params[1].value = Tensor(Shape{2}, std::vector<float>{0.5F, -0.5F});
+
+  Tensor x(Shape{1, 2}, std::vector<float>{1, 1});
+  const Tensor y = layer.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.5F);   // 1+2+0.5
+  EXPECT_FLOAT_EQ(y.at(0, 1), 6.5F);   // 3+4-0.5
+}
+
+TEST(LinearTest, ParamsExposedWithPrunability) {
+  Rng rng(2);
+  Linear layer(3, 4, rng);
+  const auto params = layer.params();
+  ASSERT_EQ(params.size(), 2U);
+  EXPECT_TRUE(params[0].prunable);   // weight
+  EXPECT_FALSE(params[1].prunable);  // bias
+  EXPECT_EQ(params[0].value->shape(), Shape({4, 3}));
+}
+
+TEST(LinearTest, BadInputShapeThrows) {
+  Rng rng(3);
+  Linear layer(3, 2, rng);
+  Tensor x(Shape{1, 4});
+  EXPECT_THROW((void)layer.forward(x, true), std::invalid_argument);
+}
+
+TEST(LinearTest, BackwardBeforeForwardThrows) {
+  Rng rng(4);
+  Linear layer(3, 2, rng);
+  Tensor g(Shape{1, 2});
+  EXPECT_THROW((void)layer.backward(g), std::logic_error);
+}
+
+TEST(LinearTest, GradAccumulatesAcrossBackwards) {
+  Rng rng(5);
+  Linear layer(2, 1, rng, /*bias=*/false);
+  Tensor x(Shape{1, 2}, std::vector<float>{1, 2});
+  Tensor g(Shape{1, 1}, std::vector<float>{1});
+  (void)layer.forward(x, true);
+  (void)layer.backward(g);
+  (void)layer.forward(x, true);
+  (void)layer.backward(g);
+  const auto params = layer.params();
+  // dW = gᵀx accumulated twice -> [2, 4].
+  EXPECT_FLOAT_EQ(params[0].grad->at(0), 2.0F);
+  EXPECT_FLOAT_EQ(params[0].grad->at(1), 4.0F);
+}
+
+TEST(LinearTest, NameIncludesDims) {
+  Rng rng(6);
+  Linear layer(7, 9, rng);
+  EXPECT_EQ(layer.name(), "Linear(7->9)");
+}
+
+TEST(LinearTest, RejectsBadDims) {
+  Rng rng(7);
+  EXPECT_THROW(Linear(0, 2, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::nn

@@ -1,0 +1,89 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ndsnn::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  CrossEntropyLoss loss;
+  Tensor logits(Shape{2, 4});
+  const LossResult r = loss.compute(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-5);
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectHasLowLoss) {
+  CrossEntropyLoss loss;
+  Tensor logits(Shape{1, 3}, std::vector<float>{10.0F, 0.0F, 0.0F});
+  const LossResult r = loss.compute(logits, {0});
+  EXPECT_LT(r.loss, 1e-3);
+  EXPECT_EQ(r.correct, 1);
+}
+
+TEST(CrossEntropyTest, GradientIsSoftmaxMinusOneHotOverN) {
+  CrossEntropyLoss loss;
+  Tensor logits(Shape{1, 2}, std::vector<float>{0.0F, 0.0F});
+  const LossResult r = loss.compute(logits, {1});
+  EXPECT_NEAR(r.grad_logits.at(0, 0), 0.5F, 1e-6F);
+  EXPECT_NEAR(r.grad_logits.at(0, 1), -0.5F, 1e-6F);
+}
+
+TEST(CrossEntropyTest, GradientSumsToZeroPerRow) {
+  CrossEntropyLoss loss;
+  Tensor logits(Shape{3, 5}, std::vector<float>{1, 2, 3, 4, 5, -1, 0, 1, 2, 3,
+                                                0.5F, 0.5F, 0.5F, 0.5F, 0.5F});
+  const LossResult r = loss.compute(logits, {0, 2, 4});
+  for (int64_t row = 0; row < 3; ++row) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 5; ++c) sum += r.grad_logits.at(row, c);
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropyTest, CorrectCountsArgmaxMatches) {
+  CrossEntropyLoss loss;
+  Tensor logits(Shape{2, 2}, std::vector<float>{5, 1, 1, 5});
+  EXPECT_EQ(loss.compute(logits, {0, 1}).correct, 2);
+  EXPECT_EQ(loss.compute(logits, {1, 0}).correct, 0);
+}
+
+TEST(CrossEntropyTest, RejectsBadInputs) {
+  CrossEntropyLoss loss;
+  Tensor logits(Shape{2, 3});
+  EXPECT_THROW((void)loss.compute(logits, {0}), std::invalid_argument);
+  EXPECT_THROW((void)loss.compute(logits, {0, 3}), std::invalid_argument);
+  EXPECT_THROW((void)loss.compute(logits, {0, -1}), std::invalid_argument);
+}
+
+TEST(MeanOverTimeTest, AveragesTimesteps) {
+  // T=2, N=1, C=2; steps are [1, 2] and [3, 4] -> mean [2, 3].
+  Tensor steps(Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+  const Tensor mean = mean_over_time(steps, 2);
+  EXPECT_EQ(mean.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(mean.at(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(mean.at(0, 1), 3.0F);
+}
+
+TEST(MeanOverTimeTest, RejectsNonDivisible) {
+  Tensor steps(Shape{3, 2});
+  EXPECT_THROW((void)mean_over_time(steps, 2), std::invalid_argument);
+}
+
+TEST(BroadcastOverTimeTest, IsAdjointOfMean) {
+  // broadcast(grad, T)[t] = grad / T; then mean_over_time of broadcast
+  // recovers grad exactly.
+  Tensor grad(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor steps = broadcast_over_time(grad, 4);
+  EXPECT_EQ(steps.shape(), Shape({8, 3}));
+  for (int64_t t = 0; t < 4; ++t) {
+    EXPECT_FLOAT_EQ(steps.at(t * 6), 0.25F);
+  }
+}
+
+}  // namespace
+}  // namespace ndsnn::nn

@@ -1,0 +1,134 @@
+#include "nn/models/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ndsnn::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+ModelSpec tiny_spec(int64_t image_size, double width = 0.1) {
+  ModelSpec spec;
+  spec.num_classes = 10;
+  spec.image_size = image_size;
+  spec.timesteps = 2;
+  spec.width_scale = width;
+  return spec;
+}
+
+TEST(ModelSpecTest, Validation) {
+  EXPECT_NO_THROW(tiny_spec(32).validate());
+  ModelSpec bad = tiny_spec(32);
+  bad.num_classes = 1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = tiny_spec(32);
+  bad.width_scale = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(ModelSpecTest, ScaledNeverBelowOne) {
+  ModelSpec spec = tiny_spec(32, 0.001);
+  EXPECT_EQ(spec.scaled(64), 1);
+  spec.width_scale = 0.5;
+  EXPECT_EQ(spec.scaled(64), 32);
+}
+
+TEST(ModelZooTest, Vgg16ForwardShape) {
+  auto net = make_vgg16(tiny_spec(32));
+  Tensor batch(Shape{2, 3, 32, 32}, 0.5F);
+  const Tensor logits = net->predict(batch);
+  EXPECT_EQ(logits.shape(), Shape({2, 10}));
+}
+
+TEST(ModelZooTest, Vgg16RejectsBadResolution) {
+  EXPECT_THROW((void)make_vgg16(tiny_spec(24)), std::invalid_argument);
+}
+
+TEST(ModelZooTest, Resnet19ForwardShape) {
+  auto net = make_resnet19(tiny_spec(16));
+  Tensor batch(Shape{2, 3, 16, 16}, 0.5F);
+  const Tensor logits = net->predict(batch);
+  EXPECT_EQ(logits.shape(), Shape({2, 10}));
+}
+
+TEST(ModelZooTest, Resnet19Has19NamedWeightLayersPlus2Shortcuts) {
+  // 17 main-path convs + 2 FC = the 19 weight layers of ResNet-19, plus
+  // the two 1x1 projection shortcuts (stage transitions) that are also
+  // prunable tensors.
+  auto net = make_resnet19(tiny_spec(16, 0.05));
+  int64_t weight_layers = 0;
+  for (const auto& p : net->params()) {
+    if (p.prunable) ++weight_layers;
+  }
+  EXPECT_EQ(weight_layers, 21);
+}
+
+TEST(ModelZooTest, Vgg16Has14WeightLayers) {
+  // 13 convs + classifier linear.
+  auto net = make_vgg16(tiny_spec(32, 0.05));
+  int64_t weight_layers = 0;
+  for (const auto& p : net->params()) {
+    if (p.prunable) ++weight_layers;
+  }
+  EXPECT_EQ(weight_layers, 14);
+}
+
+TEST(ModelZooTest, Lenet5ForwardShape) {
+  auto net = make_lenet5(tiny_spec(32, 1.0));
+  Tensor batch(Shape{2, 3, 32, 32}, 0.5F);
+  const Tensor logits = net->predict(batch);
+  EXPECT_EQ(logits.shape(), Shape({2, 10}));
+}
+
+TEST(ModelZooTest, Lenet5Has5WeightLayers) {
+  auto net = make_lenet5(tiny_spec(32, 1.0));
+  int64_t weight_layers = 0;
+  for (const auto& p : net->params()) {
+    if (p.prunable) ++weight_layers;
+  }
+  EXPECT_EQ(weight_layers, 5);
+}
+
+TEST(ModelZooTest, MakeModelByName) {
+  EXPECT_NO_THROW((void)make_model("lenet5", tiny_spec(16, 0.5)));
+  EXPECT_THROW((void)make_model("alexnet", tiny_spec(32)), std::invalid_argument);
+}
+
+TEST(ModelZooTest, TrainStepProducesFiniteLossAndGrads) {
+  auto net = make_lenet5(tiny_spec(16, 0.5));
+  Tensor batch(Shape{4, 3, 16, 16}, 0.5F);
+  const StepResult r = net->train_step(batch, {0, 1, 2, 3});
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_GT(r.loss, 0.0);
+  bool any_grad = false;
+  for (const auto& p : net->params()) {
+    for (int64_t i = 0; i < p.grad->numel(); ++i) {
+      if (p.grad->at(i) != 0.0F) {
+        any_grad = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_grad);
+}
+
+TEST(ModelZooTest, WidthScaleReducesParamCount) {
+  auto big = make_lenet5(tiny_spec(16, 1.0));
+  auto small = make_lenet5(tiny_spec(16, 0.5));
+  EXPECT_GT(big->prunable_weight_count(), small->prunable_weight_count());
+}
+
+TEST(ModelZooTest, SeedReproducibility) {
+  auto a = make_lenet5(tiny_spec(16, 0.5));
+  auto b = make_lenet5(tiny_spec(16, 0.5));
+  Tensor batch(Shape{1, 3, 16, 16}, 0.7F);
+  const Tensor la = a->predict(batch);
+  const Tensor lb = b->predict(batch);
+  for (int64_t i = 0; i < la.numel(); ++i) EXPECT_EQ(la.at(i), lb.at(i));
+}
+
+}  // namespace
+}  // namespace ndsnn::nn

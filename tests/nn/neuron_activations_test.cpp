@@ -1,0 +1,81 @@
+#include "nn/neuron_activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(PlifActivationTest, ExposesTrainableLeakParam) {
+  PlifActivation act(snn::PlifConfig{}, 2);
+  const auto params = act.params();
+  ASSERT_EQ(params.size(), 1U);
+  EXPECT_EQ(params[0].name, "leak");
+  EXPECT_FALSE(params[0].prunable);
+  EXPECT_EQ(params[0].value->numel(), 1);
+}
+
+TEST(PlifActivationTest, LeakParamFeedsForward) {
+  PlifActivation act(snn::PlifConfig{}, 2);
+  auto params = act.params();
+  // Push the leak parameter to an extreme and verify alpha follows.
+  params[0].value->at(0) = 5.0F;  // sigmoid(5) ~ 0.993
+  Tensor current(Shape{2, 2}, 0.4F);
+  (void)act.forward(current, true);
+  EXPECT_NEAR(act.alpha(), 0.993F, 0.01F);
+}
+
+TEST(PlifActivationTest, LeakGradAccumulates) {
+  PlifActivation act(snn::PlifConfig{}, 3);
+  Tensor current(Shape{3, 2}, 0.3F);
+  (void)act.forward(current, true);
+  Tensor g(Shape{3, 2}, 1.0F);
+  (void)act.backward(g);
+  const auto params = act.params();
+  EXPECT_NE(params[0].grad->at(0), 0.0F);
+}
+
+TEST(PlifActivationTest, TrainsInsideSequential) {
+  Rng rng(7);
+  Sequential seq;
+  seq.emplace<Linear>(4, 4, rng);
+  seq.emplace<PlifActivation>(snn::PlifConfig{}, 2);
+  seq.emplace<Linear>(4, 2, rng);
+  Tensor x(Shape{4, 4}, 0.5F);  // T*N = 4
+  const Tensor y = seq.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({4, 2}));
+  Tensor g(y.shape(), 1.0F);
+  (void)seq.backward(g);
+  // PLIF's leak appears among the sequential's params.
+  bool found_leak = false;
+  for (const auto& p : seq.params()) {
+    if (p.name.find("leak") != std::string::npos) found_leak = true;
+  }
+  EXPECT_TRUE(found_leak);
+}
+
+TEST(AlifActivationTest, ForwardBackwardShapes) {
+  AlifActivation act(snn::AlifConfig{}, 4);
+  Tensor current(Shape{4, 3}, 1.2F);
+  const Tensor spikes = act.forward(current, true);
+  EXPECT_EQ(spikes.shape(), current.shape());
+  Tensor g(current.shape(), 1.0F);
+  const Tensor gin = act.backward(g);
+  EXPECT_EQ(gin.shape(), current.shape());
+  EXPECT_GE(act.last_spike_rate(), 0.0);
+}
+
+TEST(AlifActivationTest, NoTrainableParams) {
+  AlifActivation act(snn::AlifConfig{}, 2);
+  EXPECT_TRUE(act.params().empty());
+}
+
+}  // namespace
+}  // namespace ndsnn::nn

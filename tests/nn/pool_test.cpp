@@ -1,0 +1,84 @@
+#include "nn/pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(AvgPoolTest, AveragesWindows) {
+  AvgPool2d pool(2);
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  const Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y.at(0), 2.5F);
+}
+
+TEST(AvgPoolTest, BackwardSpreadsUniformly) {
+  AvgPool2d pool(2);
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  (void)pool.forward(x, true);
+  Tensor g(Shape{1, 1, 1, 1}, std::vector<float>{4.0F});
+  const Tensor gin = pool.backward(g);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gin.at(i), 1.0F);
+}
+
+TEST(AvgPoolTest, NonDivisibleThrows) {
+  AvgPool2d pool(2);
+  Tensor x(Shape{1, 1, 3, 3});
+  EXPECT_THROW((void)pool.forward(x, true), std::invalid_argument);
+}
+
+TEST(MaxPoolTest, PicksMaximum) {
+  MaxPool2d pool(2);
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 7, 3, 4});
+  const Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0), 7.0F);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmaxOnly) {
+  MaxPool2d pool(2);
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 7, 3, 4});
+  (void)pool.forward(x, true);
+  Tensor g(Shape{1, 1, 1, 1}, std::vector<float>{5.0F});
+  const Tensor gin = pool.backward(g);
+  EXPECT_FLOAT_EQ(gin.at(0), 0.0F);
+  EXPECT_FLOAT_EQ(gin.at(1), 5.0F);
+  EXPECT_FLOAT_EQ(gin.at(2), 0.0F);
+  EXPECT_FLOAT_EQ(gin.at(3), 0.0F);
+}
+
+TEST(MaxPoolTest, MultiChannelIndependentWindows) {
+  MaxPool2d pool(2);
+  Tensor x(Shape{1, 2, 2, 2}, std::vector<float>{1, 2, 3, 4, 8, 7, 6, 5});
+  const Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0), 4.0F);
+  EXPECT_FLOAT_EQ(y.at(1), 8.0F);
+}
+
+TEST(GlobalAvgPoolTest, ReducesSpatialDims) {
+  GlobalAvgPool pool;
+  Tensor x(Shape{2, 3, 2, 2}, 2.0F);
+  const Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({2, 3}));
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y.at(i), 2.0F);
+}
+
+TEST(GlobalAvgPoolTest, BackwardDividesByPlane) {
+  GlobalAvgPool pool;
+  Tensor x(Shape{1, 1, 2, 2});
+  (void)pool.forward(x, true);
+  Tensor g(Shape{1, 1}, std::vector<float>{8.0F});
+  const Tensor gin = pool.backward(g);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gin.at(i), 2.0F);
+}
+
+TEST(PoolTest, RejectsBadKernel) {
+  EXPECT_THROW(AvgPool2d(0), std::invalid_argument);
+  EXPECT_THROW(MaxPool2d(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::nn

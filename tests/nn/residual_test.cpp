@@ -1,0 +1,94 @@
+#include "nn/residual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/random.hpp"
+
+namespace ndsnn::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+snn::LifConfig lif() { return snn::LifConfig{}; }
+
+TEST(ResidualBlockTest, IdentityShortcutPreservesShape) {
+  Rng rng(1);
+  ResidualBlock block(4, 4, 1, lif(), 2, rng);
+  Tensor x(Shape{4, 4, 6, 6});  // T=2, N=2
+  x.fill_uniform(rng, 0.0F, 1.0F);
+  const Tensor y = block.forward(x, true);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(ResidualBlockTest, DownsamplingShortcutHalvesResolution) {
+  Rng rng(2);
+  ResidualBlock block(4, 8, 2, lif(), 2, rng);
+  Tensor x(Shape{4, 4, 8, 8});
+  x.fill_uniform(rng, 0.0F, 1.0F);
+  const Tensor y = block.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({4, 8, 4, 4}));
+}
+
+TEST(ResidualBlockTest, OutputsAreSpikes) {
+  Rng rng(3);
+  ResidualBlock block(2, 2, 1, lif(), 2, rng);
+  Tensor x(Shape{2, 2, 4, 4});
+  x.fill_uniform(rng, 0.0F, 2.0F);
+  const Tensor y = block.forward(x, true);
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(y.at(i) == 0.0F || y.at(i) == 1.0F);
+  }
+}
+
+TEST(ResidualBlockTest, BackwardReturnsInputShapedGrad) {
+  Rng rng(4);
+  ResidualBlock block(3, 6, 2, lif(), 2, rng);
+  Tensor x(Shape{2, 3, 4, 4});
+  x.fill_uniform(rng, 0.0F, 1.0F);
+  const Tensor y = block.forward(x, true);
+  Tensor g(y.shape(), 1.0F);
+  const Tensor gin = block.backward(g);
+  EXPECT_EQ(gin.shape(), x.shape());
+}
+
+TEST(ResidualBlockTest, ParamCountsIdentityVsProjection) {
+  Rng rng(5);
+  ResidualBlock identity(4, 4, 1, lif(), 1, rng);
+  ResidualBlock projection(4, 8, 2, lif(), 1, rng);
+  // identity: conv1(w) bn1(g,b) conv2(w) bn2(g,b) = 6 tensors
+  EXPECT_EQ(identity.params().size(), 6U);
+  // projection adds shortcut conv(w) + bn(g,b) = 9 tensors
+  EXPECT_EQ(projection.params().size(), 9U);
+}
+
+TEST(ResidualBlockTest, GradientAccumulatesInAllConvs) {
+  Rng rng(6);
+  ResidualBlock block(2, 4, 2, lif(), 2, rng);
+  Tensor x(Shape{2, 2, 4, 4});
+  x.fill_uniform(rng, 0.5F, 1.5F);
+  const Tensor y = block.forward(x, true);
+  Tensor g(y.shape(), 1.0F);
+  (void)block.backward(g);
+  int nonzero_grads = 0;
+  for (const auto& p : block.params()) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < p.grad->numel(); ++i) sum += std::abs(p.grad->at(i));
+    nonzero_grads += sum > 0.0;
+  }
+  // At least the BN betas always get gradient; expect most tensors touched.
+  EXPECT_GE(nonzero_grads, 5);
+}
+
+TEST(ResidualBlockTest, SpikeRateReported) {
+  Rng rng(7);
+  ResidualBlock block(2, 2, 1, lif(), 1, rng);
+  Tensor x(Shape{1, 2, 4, 4}, 2.0F);
+  (void)block.forward(x, true);
+  EXPECT_GE(block.last_spike_rate(), 0.0);
+  EXPECT_LE(block.last_spike_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace ndsnn::nn

@@ -1,0 +1,60 @@
+#include "opt/lr_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::opt {
+namespace {
+
+TEST(CosineLrTest, Endpoints) {
+  CosineLr lr(0.3, 100, 0.0);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0), 0.3);
+  EXPECT_NEAR(lr.lr_at(100), 0.0, 1e-12);
+}
+
+TEST(CosineLrTest, MidpointIsMean) {
+  CosineLr lr(0.4, 100, 0.1);
+  EXPECT_NEAR(lr.lr_at(50), 0.25, 1e-12);
+}
+
+TEST(CosineLrTest, MonotoneNonIncreasing) {
+  CosineLr lr(0.3, 37);
+  double prev = lr.lr_at(0);
+  for (int64_t e = 1; e <= 37; ++e) {
+    EXPECT_LE(lr.lr_at(e), prev + 1e-12);
+    prev = lr.lr_at(e);
+  }
+}
+
+TEST(CosineLrTest, ClampsPastEnd) {
+  CosineLr lr(0.3, 10, 0.05);
+  EXPECT_DOUBLE_EQ(lr.lr_at(1000), 0.05);
+  EXPECT_DOUBLE_EQ(lr.lr_at(-5), 0.3);
+}
+
+TEST(CosineLrTest, Validation) {
+  EXPECT_THROW(CosineLr(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(CosineLr(0.1, 0), std::invalid_argument);
+  EXPECT_THROW(CosineLr(0.1, 10, 0.2), std::invalid_argument);
+}
+
+TEST(StepLrTest, DecaysEveryStep) {
+  StepLr lr(1.0, 10, 0.1);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(lr.lr_at(9), 1.0);
+  EXPECT_DOUBLE_EQ(lr.lr_at(10), 0.1);
+  EXPECT_NEAR(lr.lr_at(20), 0.01, 1e-15);
+}
+
+TEST(StepLrTest, NegativeEpochClamped) {
+  StepLr lr(1.0, 5, 0.5);
+  EXPECT_DOUBLE_EQ(lr.lr_at(-3), 1.0);
+}
+
+TEST(StepLrTest, Validation) {
+  EXPECT_THROW(StepLr(0.0, 10, 0.5), std::invalid_argument);
+  EXPECT_THROW(StepLr(0.1, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(StepLr(0.1, 10, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::opt

@@ -1,0 +1,123 @@
+#include "opt/sgd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::opt {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+struct Harness {
+  Tensor w{Shape{4}, std::vector<float>{1, 2, 3, 4}};
+  Tensor g{Shape{4}};
+  std::vector<nn::ParamRef> refs() {
+    return {{"w", &w, &g, /*prunable=*/true}};
+  }
+};
+
+SgdConfig plain(double lr = 0.1) {
+  SgdConfig c;
+  c.learning_rate = lr;
+  c.momentum = 0.0;
+  c.weight_decay = 0.0;
+  return c;
+}
+
+TEST(SgdConfigTest, Validation) {
+  EXPECT_NO_THROW(plain().validate());
+  auto c = plain();
+  c.learning_rate = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = plain();
+  c.momentum = 1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = plain();
+  c.weight_decay = -1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(SgdTest, VanillaStepIsGradientDescent) {
+  Harness h;
+  Sgd sgd(h.refs(), plain(0.5));
+  h.g.fill(1.0F);
+  sgd.step();
+  EXPECT_FLOAT_EQ(h.w.at(0), 0.5F);
+  EXPECT_FLOAT_EQ(h.w.at(3), 3.5F);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Harness h;
+  auto c = plain(1.0);
+  c.momentum = 0.5;
+  Sgd sgd(h.refs(), c);
+  h.g.fill(1.0F);
+  sgd.step();  // v = 1, w -= 1
+  EXPECT_FLOAT_EQ(h.w.at(0), 0.0F);
+  sgd.step();  // v = 0.5 + 1 = 1.5, w -= 1.5
+  EXPECT_FLOAT_EQ(h.w.at(0), -1.5F);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Harness h;
+  auto c = plain(0.1);
+  c.weight_decay = 0.1;
+  Sgd sgd(h.refs(), c);
+  h.g.zero();
+  sgd.step();  // w -= lr * wd * w = 0.01 * w
+  EXPECT_FLOAT_EQ(h.w.at(3), 4.0F * 0.99F);
+}
+
+TEST(SgdTest, DecaySkipsNonPrunableWhenConfigured) {
+  Tensor w(Shape{2}, std::vector<float>{1, 1});
+  Tensor g(Shape{2});
+  std::vector<nn::ParamRef> refs = {{"bias", &w, &g, /*prunable=*/false}};
+  auto c = plain(0.1);
+  c.weight_decay = 0.5;
+  c.decay_prunable_only = true;
+  Sgd sgd(refs, c);
+  sgd.step();
+  EXPECT_FLOAT_EQ(w.at(0), 1.0F);  // untouched
+}
+
+TEST(SgdTest, ZeroGradClearsAll) {
+  Harness h;
+  Sgd sgd(h.refs(), plain());
+  h.g.fill(3.0F);
+  sgd.zero_grad();
+  EXPECT_EQ(h.g.count_zeros(), 4);
+}
+
+TEST(SgdTest, SetLearningRate) {
+  Harness h;
+  Sgd sgd(h.refs(), plain(0.1));
+  sgd.set_learning_rate(0.01);
+  EXPECT_DOUBLE_EQ(sgd.learning_rate(), 0.01);
+  EXPECT_THROW(sgd.set_learning_rate(0.0), std::invalid_argument);
+}
+
+TEST(SgdTest, NullParamRejected) {
+  Tensor w(Shape{1});
+  std::vector<nn::ParamRef> refs = {{"w", &w, nullptr, true}};
+  EXPECT_THROW(Sgd(refs, plain()), std::invalid_argument);
+}
+
+TEST(SgdTest, MaskedGradLeavesMaskedWeightAtZeroWithoutMomentum) {
+  // The invariant sparse training relies on: zero grad + zero weight +
+  // no momentum/decay => weight stays zero.
+  Harness h;
+  h.w.at(1) = 0.0F;
+  auto c = plain(0.3);
+  Sgd sgd(h.refs(), c);
+  h.g.fill(1.0F);
+  h.g.at(1) = 0.0F;  // masked
+  sgd.step();
+  EXPECT_FLOAT_EQ(h.w.at(1), 0.0F);
+}
+
+}  // namespace
+}  // namespace ndsnn::opt

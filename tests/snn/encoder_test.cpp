@@ -1,0 +1,82 @@
+#include "snn/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::snn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(DirectEncoderTest, ReplicatesFrames) {
+  DirectEncoder enc;
+  Tensor batch(Shape{2, 1, 2, 2});
+  for (int64_t i = 0; i < batch.numel(); ++i) batch.at(i) = static_cast<float>(i);
+  const Tensor out = enc.encode(batch, 3);
+  EXPECT_EQ(out.shape(), Shape({6, 1, 2, 2}));
+  for (int64_t t = 0; t < 3; ++t) {
+    for (int64_t i = 0; i < batch.numel(); ++i) {
+      EXPECT_EQ(out.at(t * batch.numel() + i), batch.at(i));
+    }
+  }
+}
+
+TEST(DirectEncoderTest, RejectsBadTimesteps) {
+  DirectEncoder enc;
+  Tensor batch(Shape{1, 1, 2, 2});
+  EXPECT_THROW((void)enc.encode(batch, 0), std::invalid_argument);
+}
+
+TEST(PoissonEncoderTest, OutputIsBinary) {
+  PoissonEncoder enc(5);
+  Tensor batch(Shape{4, 1, 4, 4}, 0.5F);
+  const Tensor out = enc.encode(batch, 8);
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_TRUE(out.at(i) == 0.0F || out.at(i) == 1.0F);
+  }
+}
+
+TEST(PoissonEncoderTest, RateMatchesIntensity) {
+  PoissonEncoder enc(6);
+  Tensor batch(Shape{1, 1, 32, 32}, 0.25F);
+  const Tensor out = enc.encode(batch, 64);
+  double rate = 0.0;
+  for (int64_t i = 0; i < out.numel(); ++i) rate += out.at(i);
+  rate /= static_cast<double>(out.numel());
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(PoissonEncoderTest, ClampsOutOfRangeIntensities) {
+  PoissonEncoder enc(7);
+  Tensor batch(Shape{1, 1, 2, 2}, std::vector<float>{-1.0F, 0.0F, 1.0F, 2.0F});
+  const Tensor out = enc.encode(batch, 16);
+  // Pixel 0 (clamped to 0) never fires; pixel 3 (clamped to 1) always.
+  for (int64_t t = 0; t < 16; ++t) {
+    EXPECT_EQ(out.at(t * 4 + 0), 0.0F);
+    EXPECT_EQ(out.at(t * 4 + 3), 1.0F);
+  }
+}
+
+TEST(LatencyEncoderTest, StrongerFiresEarlier) {
+  LatencyEncoder enc;
+  Tensor batch(Shape{1, 1, 1, 2}, std::vector<float>{1.0F, 0.5F});
+  const Tensor out = enc.encode(batch, 4);
+  // Intensity 1.0 -> t=0; intensity 0.5 -> t = floor(0.5*3) = 1.
+  EXPECT_EQ(out.at(0 * 2 + 0), 1.0F);
+  EXPECT_EQ(out.at(1 * 2 + 1), 1.0F);
+}
+
+TEST(LatencyEncoderTest, ExactlyOneSpikePerPositivePixel) {
+  LatencyEncoder enc;
+  Tensor batch(Shape{1, 1, 2, 2}, std::vector<float>{0.9F, 0.1F, 0.0F, 0.6F});
+  const Tensor out = enc.encode(batch, 5);
+  const int64_t step = batch.numel();
+  for (int64_t i = 0; i < step; ++i) {
+    int64_t count = 0;
+    for (int64_t t = 0; t < 5; ++t) count += out.at(t * step + i) != 0.0F;
+    EXPECT_EQ(count, batch.at(i) > 0.0F ? 1 : 0) << "pixel " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ndsnn::snn

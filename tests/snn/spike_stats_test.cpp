@@ -1,0 +1,52 @@
+#include "snn/spike_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::snn {
+namespace {
+
+TEST(SpikeStatsTest, EmptyIsZero) {
+  SpikeStats s;
+  EXPECT_EQ(s.average_rate(), 0.0);
+}
+
+TEST(SpikeStatsTest, WeightedAverage) {
+  SpikeStats s;
+  s.record(10, 100);   // 10%
+  s.record(90, 100);   // 90%
+  EXPECT_NEAR(s.average_rate(), 0.5, 1e-12);
+  s.record(0, 800);    // big layer with no spikes drags the average down
+  EXPECT_NEAR(s.average_rate(), 0.1, 1e-12);
+}
+
+TEST(SpikeStatsTest, RecordRate) {
+  SpikeStats s;
+  s.record_rate(0.25, 1000);
+  EXPECT_NEAR(s.average_rate(), 0.25, 1e-3);
+}
+
+TEST(SpikeStatsTest, InvalidInputsThrow) {
+  SpikeStats s;
+  EXPECT_THROW(s.record(5, 4), std::invalid_argument);
+  EXPECT_THROW(s.record(-1, 4), std::invalid_argument);
+  EXPECT_THROW(s.record_rate(1.5, 10), std::invalid_argument);
+}
+
+TEST(SpikeStatsTest, ResetClears) {
+  SpikeStats s;
+  s.record(50, 100);
+  s.reset();
+  EXPECT_EQ(s.total_elements(), 0);
+  EXPECT_EQ(s.average_rate(), 0.0);
+}
+
+TEST(SpikeRateTraceTest, AccumulatesEpochs) {
+  SpikeRateTrace trace;
+  trace.push_epoch(0.1);
+  trace.push_epoch(0.2);
+  ASSERT_EQ(trace.epochs(), 2U);
+  EXPECT_EQ(trace.rates()[1], 0.2);
+}
+
+}  // namespace
+}  // namespace ndsnn::snn

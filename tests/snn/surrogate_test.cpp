@@ -1,0 +1,75 @@
+#include "snn/surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace ndsnn::snn {
+namespace {
+
+TEST(SurrogateTest, HeavisideStep) {
+  EXPECT_EQ(heaviside(-1.0F), 0.0F);
+  EXPECT_EQ(heaviside(-1e-6F), 0.0F);
+  EXPECT_EQ(heaviside(0.0F), 1.0F);
+  EXPECT_EQ(heaviside(2.0F), 1.0F);
+}
+
+TEST(SurrogateTest, AtanMatchesEq3) {
+  // Eq. 3: phi(x) = 1 / (1 + pi^2 x^2)
+  const float x = 0.5F;
+  const auto pi2 = static_cast<float>(std::numbers::pi * std::numbers::pi);
+  EXPECT_FLOAT_EQ(surrogate_grad(SurrogateKind::kAtan, x), 1.0F / (1.0F + pi2 * 0.25F));
+  EXPECT_FLOAT_EQ(surrogate_grad(SurrogateKind::kAtan, 0.0F), 1.0F);
+}
+
+TEST(SurrogateTest, RectangleWindow) {
+  EXPECT_EQ(surrogate_grad(SurrogateKind::kRectangle, 0.49F), 1.0F);
+  EXPECT_EQ(surrogate_grad(SurrogateKind::kRectangle, 0.51F), 0.0F);
+  EXPECT_EQ(surrogate_grad(SurrogateKind::kRectangle, -0.49F), 1.0F);
+}
+
+TEST(SurrogateTest, TriangleShape) {
+  EXPECT_FLOAT_EQ(surrogate_grad(SurrogateKind::kTriangle, 0.0F), 1.0F);
+  EXPECT_FLOAT_EQ(surrogate_grad(SurrogateKind::kTriangle, 0.5F), 0.5F);
+  EXPECT_EQ(surrogate_grad(SurrogateKind::kTriangle, 1.5F), 0.0F);
+}
+
+TEST(SurrogateTest, Names) {
+  EXPECT_STREQ(surrogate_name(SurrogateKind::kAtan), "atan");
+  EXPECT_STREQ(surrogate_name(SurrogateKind::kFastSigmoid), "fast_sigmoid");
+}
+
+class SurrogatePropertyTest : public ::testing::TestWithParam<SurrogateKind> {};
+
+TEST_P(SurrogatePropertyTest, PeaksAtThresholdAndSymmetric) {
+  const SurrogateKind kind = GetParam();
+  const float at_zero = surrogate_grad(kind, 0.0F);
+  EXPECT_GT(at_zero, 0.0F);
+  for (const float x : {0.1F, 0.3F, 0.7F, 1.5F, 3.0F}) {
+    // Symmetric in x.
+    EXPECT_FLOAT_EQ(surrogate_grad(kind, x), surrogate_grad(kind, -x));
+    // Never exceeds the peak.
+    EXPECT_LE(surrogate_grad(kind, x), at_zero);
+    // Non-negative everywhere.
+    EXPECT_GE(surrogate_grad(kind, x), 0.0F);
+  }
+}
+
+TEST_P(SurrogatePropertyTest, MonotoneDecayAwayFromThreshold) {
+  const SurrogateKind kind = GetParam();
+  float prev = surrogate_grad(kind, 0.0F);
+  for (const float x : {0.2F, 0.4F, 0.8F, 1.6F, 3.2F}) {
+    const float cur = surrogate_grad(kind, x);
+    EXPECT_LE(cur, prev + 1e-7F);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SurrogatePropertyTest,
+                         ::testing::Values(SurrogateKind::kAtan,
+                                           SurrogateKind::kFastSigmoid,
+                                           SurrogateKind::kRectangle,
+                                           SurrogateKind::kTriangle));
+
+}  // namespace
+}  // namespace ndsnn::snn

@@ -1,0 +1,108 @@
+#include "sparse/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::sparse {
+namespace {
+
+using tensor::Shape;
+
+std::vector<LayerDims> vgg_like() {
+  // A few conv layers + classifier, shaped like the scaled models.
+  return {
+      LayerDims::from_shape(Shape{16, 3, 3, 3}),
+      LayerDims::from_shape(Shape{32, 16, 3, 3}),
+      LayerDims::from_shape(Shape{64, 32, 3, 3}),
+      LayerDims::from_shape(Shape{10, 64}),
+  };
+}
+
+TEST(LayerDimsTest, FromConvShape) {
+  const auto d = LayerDims::from_shape(Shape{8, 4, 3, 3});
+  EXPECT_EQ(d.fan_out, 8);
+  EXPECT_EQ(d.fan_in, 4);
+  EXPECT_EQ(d.kernel_h, 3);
+  EXPECT_EQ(d.numel, 8 * 4 * 9);
+}
+
+TEST(LayerDimsTest, FromLinearShape) {
+  const auto d = LayerDims::from_shape(Shape{10, 64});
+  EXPECT_EQ(d.fan_out, 10);
+  EXPECT_EQ(d.fan_in, 64);
+  EXPECT_EQ(d.kernel_h, 1);
+}
+
+TEST(LayerDimsTest, RejectsOtherRanks) {
+  EXPECT_THROW((void)LayerDims::from_shape(Shape{4}), std::invalid_argument);
+  EXPECT_THROW((void)LayerDims::from_shape(Shape{2, 2, 2}), std::invalid_argument);
+}
+
+TEST(ErkTest, OverallSparsityPreserved) {
+  const auto layers = vgg_like();
+  for (const double target : {0.5, 0.8, 0.9, 0.95, 0.99}) {
+    const auto theta = erk_distribution(layers, target);
+    EXPECT_NEAR(overall_sparsity(layers, theta), target, 0.02) << "target " << target;
+  }
+}
+
+TEST(ErkTest, SmallLayersStayDenser) {
+  const auto layers = vgg_like();
+  const auto theta = erk_distribution(layers, 0.9);
+  // The classifier (small, thin) must be less sparse than the big conv.
+  EXPECT_LT(theta[3], theta[2]);
+}
+
+TEST(ErkTest, AllInUnitInterval) {
+  const auto layers = vgg_like();
+  for (const double target : {0.5, 0.9, 0.99}) {
+    for (const double t : erk_distribution(layers, target)) {
+      EXPECT_GE(t, 0.0);
+      EXPECT_LE(t, 1.0);
+    }
+  }
+}
+
+TEST(ErkTest, ZeroSparsityGivesDense) {
+  const auto theta = erk_distribution(vgg_like(), 0.0);
+  for (const double t : theta) EXPECT_NEAR(t, 0.0, 1e-9);
+}
+
+TEST(ErkTest, RejectsBadInputs) {
+  EXPECT_THROW((void)erk_distribution({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)erk_distribution(vgg_like(), 1.0), std::invalid_argument);
+  EXPECT_THROW((void)erk_distribution(vgg_like(), -0.1), std::invalid_argument);
+}
+
+TEST(UniformTest, AllLayersEqual) {
+  const auto theta = uniform_distribution(vgg_like(), 0.7);
+  for (const double t : theta) EXPECT_DOUBLE_EQ(t, 0.7);
+}
+
+TEST(OverallSparsityTest, WeightsByParamCount) {
+  std::vector<LayerDims> layers = {
+      LayerDims::from_shape(Shape{10, 10}),    // 100 params
+      LayerDims::from_shape(Shape{30, 30}),    // 900 params
+  };
+  // 0% on small, 100%...not allowed; use 0.9 on big:
+  const double overall = overall_sparsity(layers, {0.0, 0.9});
+  EXPECT_NEAR(overall, 0.81, 1e-9);
+}
+
+class ErkMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ErkMonotonicity, HigherOverallSparsityNeverLowersLayerSparsity) {
+  const double s1 = GetParam();
+  const double s2 = std::min(0.995, s1 + 0.05);
+  const auto layers = vgg_like();
+  const auto t1 = erk_distribution(layers, s1);
+  const auto t2 = erk_distribution(layers, s2);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    EXPECT_LE(t1[i], t2[i] + 1e-9) << "layer " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ErkMonotonicity,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9, 0.94));
+
+}  // namespace
+}  // namespace ndsnn::sparse

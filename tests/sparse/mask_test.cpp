@@ -1,0 +1,99 @@
+#include "sparse/mask.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::sparse {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(MaskTest, DenseByDefault) {
+  Mask m(Shape{4, 4});
+  EXPECT_EQ(m.active_count(), 16);
+  EXPECT_DOUBLE_EQ(m.sparsity(), 0.0);
+}
+
+TEST(MaskTest, RandomInitHasExactCount) {
+  Rng rng(1);
+  Mask m(Shape{10, 10}, 37, rng);
+  EXPECT_EQ(m.active_count(), 37);
+  EXPECT_NEAR(m.sparsity(), 0.63, 1e-9);
+}
+
+TEST(MaskTest, ActiveCountBoundsChecked) {
+  Rng rng(2);
+  EXPECT_THROW(Mask(Shape{2, 2}, 5, rng), std::invalid_argument);
+  EXPECT_THROW(Mask(Shape{2, 2}, -1, rng), std::invalid_argument);
+}
+
+TEST(MaskTest, ApplyZeroesMaskedWeights) {
+  Rng rng(3);
+  Mask m(Shape{100}, 40, rng);
+  Tensor w(Shape{100}, 1.0F);
+  m.apply(w);
+  EXPECT_EQ(w.count_zeros(), 60);
+}
+
+TEST(MaskTest, ApplyShapeMismatchThrows) {
+  Mask m(Shape{4});
+  Tensor w(Shape{5});
+  EXPECT_THROW(m.apply(w), std::invalid_argument);
+}
+
+TEST(MaskTest, ActiveInactivePartition) {
+  Rng rng(4);
+  Mask m(Shape{50}, 20, rng);
+  const auto active = m.active_indices();
+  const auto inactive = m.inactive_indices();
+  EXPECT_EQ(active.size(), 20U);
+  EXPECT_EQ(inactive.size(), 30U);
+  for (const int64_t i : active) EXPECT_TRUE(m.test(i));
+  for (const int64_t i : inactive) EXPECT_FALSE(m.test(i));
+}
+
+TEST(MaskTest, DeactivateActivateRoundTrip) {
+  Rng rng(5);
+  Mask m(Shape{10}, 10, rng);
+  m.deactivate({1, 3, 5});
+  EXPECT_EQ(m.active_count(), 7);
+  m.activate({3});
+  EXPECT_EQ(m.active_count(), 8);
+  EXPECT_TRUE(m.test(3));
+  EXPECT_FALSE(m.test(1));
+}
+
+TEST(MaskTest, DoubleDeactivateThrows) {
+  Mask m(Shape{4});
+  m.deactivate({0});
+  EXPECT_THROW(m.deactivate({0}), std::invalid_argument);
+}
+
+TEST(MaskTest, DoubleActivateThrows) {
+  Mask m(Shape{4});
+  EXPECT_THROW(m.activate({1}), std::invalid_argument);
+}
+
+TEST(MaskTest, IndexOutOfRangeThrows) {
+  Mask m(Shape{4});
+  EXPECT_THROW(m.deactivate({4}), std::invalid_argument);
+  EXPECT_THROW(m.deactivate({-1}), std::invalid_argument);
+}
+
+class MaskSparsitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MaskSparsitySweep, RandomInitMatchesRequestedSparsity) {
+  const double sparsity = GetParam();
+  Rng rng(42);
+  const int64_t n = 400;
+  const auto active = static_cast<int64_t>((1.0 - sparsity) * n + 0.5);
+  Mask m(Shape{20, 20}, active, rng);
+  EXPECT_NEAR(m.sparsity(), sparsity, 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSparsities, MaskSparsitySweep,
+                         ::testing::Values(0.5, 0.8, 0.9, 0.95, 0.98, 0.99));
+
+}  // namespace
+}  // namespace ndsnn::sparse

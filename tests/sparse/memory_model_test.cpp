@@ -1,0 +1,89 @@
+#include "sparse/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::sparse {
+namespace {
+
+MemoryModelInput base() {
+  MemoryModelInput in;
+  in.total_weights = 1000000;
+  in.sparsity = 0.9;
+  in.timesteps = 5;
+  in.weight_bits = 32;
+  in.index_bits = 16;
+  return in;
+}
+
+TEST(MemoryModelTest, ApproxFormulaExact) {
+  // (1-0.9) * ((1+5) * 1e6 * 32 + 1e6 * 16) = 0.1 * (192e6 + 16e6) = 20.8e6.
+  const auto in = base();
+  EXPECT_EQ(footprint_bits_approx(in), 20800000);
+}
+
+TEST(MemoryModelTest, DenseVsSparseRatio) {
+  auto dense = base();
+  dense.sparsity = 0.0;
+  auto sparse = base();
+  sparse.sparsity = 0.9;
+  const double ratio = static_cast<double>(footprint_bits_approx(sparse)) /
+                       static_cast<double>(footprint_bits_approx(dense));
+  EXPECT_NEAR(ratio, 0.1, 1e-9);
+}
+
+TEST(MemoryModelTest, MoreTimestepsMoreMemory) {
+  auto t2 = base();
+  t2.timesteps = 2;
+  auto t5 = base();
+  t5.timesteps = 5;
+  EXPECT_LT(footprint_bits_approx(t2), footprint_bits_approx(t5));
+}
+
+TEST(MemoryModelTest, ExactAddsRowPointerTerm) {
+  auto in = base();
+  in.filters_per_layer = {64, 128};
+  const int64_t expected_extra = (64 + 1) * 16 + (128 + 1) * 16;
+  EXPECT_EQ(footprint_bits_exact(in) - footprint_bits_approx(in), expected_extra);
+}
+
+TEST(MemoryModelTest, MBytesConversion) {
+  auto in = base();
+  in.sparsity = 0.0;
+  in.total_weights = 1024 * 1024;
+  in.timesteps = 1;
+  in.weight_bits = 32;
+  in.index_bits = 0;  // invalid; fix below
+  in.index_bits = 8;
+  // (1+1)*N*32 + N*8 = 72 bits per weight = 9 bytes -> 9 MB for 1Mi weights.
+  EXPECT_NEAR(footprint_mbytes_approx(in), 9.0, 1e-9);
+}
+
+TEST(MemoryModelTest, ValidationRejectsBadInputs) {
+  auto in = base();
+  in.sparsity = 1.5;
+  EXPECT_THROW((void)footprint_bits_approx(in), std::invalid_argument);
+  in = base();
+  in.timesteps = 0;
+  EXPECT_THROW((void)footprint_bits_approx(in), std::invalid_argument);
+  in = base();
+  in.filters_per_layer = {-1};
+  EXPECT_THROW((void)footprint_bits_exact(in), std::invalid_argument);
+}
+
+class MemoryModelSparsitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MemoryModelSparsitySweep, FootprintLinearInDensity) {
+  auto in = base();
+  in.sparsity = GetParam();
+  auto dense = base();
+  dense.sparsity = 0.0;
+  const double ratio = static_cast<double>(footprint_bits_approx(in)) /
+                       static_cast<double>(footprint_bits_approx(dense));
+  EXPECT_NEAR(ratio, 1.0 - GetParam(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSparsities, MemoryModelSparsitySweep,
+                         ::testing::Values(0.9, 0.95, 0.98, 0.99));
+
+}  // namespace
+}  // namespace ndsnn::sparse

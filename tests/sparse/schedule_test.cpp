@@ -1,0 +1,174 @@
+#include "sparse/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::sparse {
+namespace {
+
+TEST(SparsityRampTest, EndpointsMatchEq4) {
+  SparsityRamp ramp(0.5, 0.95, /*t0=*/0, /*delta_t=*/10, /*rounds=*/10);
+  EXPECT_DOUBLE_EQ(ramp.at(0), 0.5);
+  EXPECT_DOUBLE_EQ(ramp.at(100), 0.95);
+  EXPECT_DOUBLE_EQ(ramp.at(1000), 0.95);  // clamped past the end
+}
+
+TEST(SparsityRampTest, CubicShapeAtMidpoint) {
+  // Eq. 4 at progress 1/2: theta_f + (theta_i - theta_f) * (1/2)^3.
+  SparsityRamp ramp(0.5, 0.9, 0, 10, 10);
+  const double expected = 0.9 + (0.5 - 0.9) * 0.125;
+  EXPECT_NEAR(ramp.at(50), expected, 1e-12);
+}
+
+TEST(SparsityRampTest, MonotoneNonDecreasing) {
+  SparsityRamp ramp(0.6, 0.99, 0, 5, 20);
+  double prev = ramp.at(0);
+  for (int64_t t = 1; t <= 100; ++t) {
+    const double cur = ramp.at(t);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(SparsityRampTest, LinearExponentOption) {
+  SparsityRamp ramp(0.0, 0.8, 0, 10, 10, /*exponent=*/1.0);
+  EXPECT_NEAR(ramp.at(50), 0.4, 1e-12);
+}
+
+TEST(SparsityRampTest, RejectsDecreasingSparsity) {
+  EXPECT_THROW(SparsityRamp(0.9, 0.5, 0, 10, 10), std::invalid_argument);
+}
+
+TEST(SparsityRampTest, RejectsBadParameters) {
+  EXPECT_THROW(SparsityRamp(0.5, 1.0, 0, 10, 10), std::invalid_argument);
+  EXPECT_THROW(SparsityRamp(0.5, 0.9, 0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(SparsityRamp(0.5, 0.9, 0, 10, 0), std::invalid_argument);
+  EXPECT_THROW(SparsityRamp(0.5, 0.9, 0, 10, 10, 0.0), std::invalid_argument);
+}
+
+TEST(DeathRateTest, EndpointsMatchEq5) {
+  DeathRateSchedule d(0.5, 0.05, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(d.at(0), 0.5);              // cos(0) = 1
+  EXPECT_NEAR(d.at(100), 0.05, 1e-12);         // cos(pi) = -1
+}
+
+TEST(DeathRateTest, MidpointIsAverage) {
+  DeathRateSchedule d(0.4, 0.1, 0, 10, 10);
+  EXPECT_NEAR(d.at(50), 0.25, 1e-12);  // cos(pi/2) = 0
+}
+
+TEST(DeathRateTest, MonotoneNonIncreasing) {
+  DeathRateSchedule d(0.5, 0.0, 0, 7, 13);
+  double prev = d.at(0);
+  for (int64_t t = 1; t <= 7 * 13; ++t) {
+    const double cur = d.at(t);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(DeathRateTest, RejectsBadRates) {
+  EXPECT_THROW(DeathRateSchedule(1.5, 0.0, 0, 10, 10), std::invalid_argument);
+  EXPECT_THROW(DeathRateSchedule(0.3, 0.4, 0, 10, 10), std::invalid_argument);
+}
+
+TEST(DropGrowTest, Equations6Through9) {
+  // N = 1000, active = 500, d = 0.2, theta_target = 0.6.
+  // Eq. 6: N_pre = 500.  Eq. 7: D = 100.  Eq. 8: N_post = 400.
+  // Eq. 9: G = N - N_post - theta*N = 1000 - 400 - 600 = 0.
+  const auto c = drop_grow_counts(1000, 500, 0.2, 0.6);
+  EXPECT_EQ(c.active_before, 500);
+  EXPECT_EQ(c.drop, 100);
+  EXPECT_EQ(c.active_after, 400);
+  EXPECT_EQ(c.grow, 0);
+}
+
+TEST(DropGrowTest, GrowsTowardLooserTarget) {
+  // theta_target = 0.55 -> target active = 450 -> grow 50 after dropping 100.
+  const auto c = drop_grow_counts(1000, 500, 0.2, 0.55);
+  EXPECT_EQ(c.drop, 100);
+  EXPECT_EQ(c.grow, 50);
+}
+
+TEST(DropGrowTest, GrowNeverExceedsDrop) {
+  // Even if the target asks for MORE active weights than before the drop,
+  // growth is capped at the drop count (non-zeros never increase).
+  const auto c = drop_grow_counts(1000, 500, 0.1, 0.0);
+  EXPECT_EQ(c.drop, 50);
+  EXPECT_LE(c.grow, c.drop);
+}
+
+TEST(DropGrowTest, NetNonzerosNeverIncrease) {
+  for (const double d : {0.05, 0.2, 0.5}) {
+    for (const double theta : {0.5, 0.7, 0.9, 0.99}) {
+      const auto c = drop_grow_counts(10000, 4000, d, theta);
+      EXPECT_LE(c.active_after + c.grow, c.active_before)
+          << "d=" << d << " theta=" << theta;
+    }
+  }
+}
+
+TEST(DropGrowTest, DropRaisedWhenRampOutpacesDeathRate) {
+  // d = 0.05 would only drop 25 of 500, but the target sparsity 0.7
+  // requires active to fall to 300: the drop must cover the gap.
+  const auto c = drop_grow_counts(1000, 500, 0.05, 0.7);
+  EXPECT_EQ(c.drop, 200);
+  EXPECT_EQ(c.active_after + c.grow, 300);
+}
+
+TEST(DropGrowTest, TinyDeathRateStillTracksSchedule) {
+  // Simulate a full ramp with a very small death rate: the final active
+  // count must still hit the Eq. 4 target exactly.
+  const int64_t n = 10000;
+  SparsityRamp ramp(0.5, 0.99, 0, 10, 20);
+  DeathRateSchedule death(0.05, 0.0, 0, 10, 20);
+  auto active = static_cast<int64_t>(0.5 * n);
+  for (int64_t q = 1; q <= 20; ++q) {
+    const auto c = drop_grow_counts(n, active, death.at(q * 10), ramp.at(q * 10));
+    active = c.active_after + c.grow;
+  }
+  EXPECT_NEAR(static_cast<double>(active), 0.01 * n, 0.002 * n);
+}
+
+TEST(DropGrowTest, RejectsBadInputs) {
+  EXPECT_THROW((void)drop_grow_counts(0, 0, 0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)drop_grow_counts(10, 11, 0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)drop_grow_counts(10, 5, 1.1, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)drop_grow_counts(10, 5, 0.1, 1.0), std::invalid_argument);
+}
+
+struct ScheduleCase {
+  double theta_i, theta_f, d0, dmin;
+};
+
+class NdsnnScheduleProperty : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(NdsnnScheduleProperty, SimulatedMaskSizeConvergesToTarget) {
+  // Simulate rounds of drop-and-grow over a single 10k-weight layer and
+  // verify the active count lands on (1 - theta_f) * N.
+  const auto p = GetParam();
+  const int64_t n = 10000;
+  const int64_t rounds = 50, delta_t = 10;
+  SparsityRamp ramp(p.theta_i, p.theta_f, 0, delta_t, rounds);
+  DeathRateSchedule death(p.d0, p.dmin, 0, delta_t, rounds);
+
+  auto active = static_cast<int64_t>((1.0 - p.theta_i) * n + 0.5);
+  for (int64_t q = 1; q <= rounds; ++q) {
+    const int64_t t = q * delta_t;
+    const auto c = drop_grow_counts(n, active, death.at(t), ramp.at(t));
+    active = c.active_after + c.grow;
+  }
+  const auto target = static_cast<int64_t>((1.0 - p.theta_f) * n);
+  EXPECT_NEAR(static_cast<double>(active), static_cast<double>(target),
+              0.02 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, NdsnnScheduleProperty,
+    ::testing::Values(ScheduleCase{0.5, 0.95, 0.5, 0.05},
+                      ScheduleCase{0.8, 0.95, 0.5, 0.05},
+                      ScheduleCase{0.6, 0.98, 0.3, 0.05},
+                      ScheduleCase{0.8, 0.99, 0.5, 0.0},
+                      ScheduleCase{0.9, 0.99, 0.2, 0.1}));
+
+}  // namespace
+}  // namespace ndsnn::sparse

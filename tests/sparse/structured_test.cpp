@@ -1,0 +1,112 @@
+#include "sparse/structured.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/random.hpp"
+
+namespace ndsnn::sparse {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(NmPatternTest, Validation) {
+  EXPECT_NO_THROW((NmPattern{2, 4}.validate()));
+  EXPECT_THROW((NmPattern{5, 4}.validate()), std::invalid_argument);
+  EXPECT_THROW((NmPattern{-1, 4}.validate()), std::invalid_argument);
+  EXPECT_THROW((NmPattern{0, 0}.validate()), std::invalid_argument);
+}
+
+TEST(NmTest, PatternSparsity) {
+  EXPECT_DOUBLE_EQ(nm_sparsity({2, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(nm_sparsity({1, 4}), 0.75);
+  EXPECT_DOUBLE_EQ(nm_sparsity({4, 4}), 0.0);
+}
+
+TEST(NmTest, ProjectionKeepsLargestPerGroup) {
+  Tensor w(Shape{8}, std::vector<float>{0.1F, -0.9F, 0.5F, 0.2F,   // group 1
+                                        -0.3F, 0.7F, 0.1F, -0.8F});  // group 2
+  project_nm(w, {2, 4});
+  // Group 1 keeps -0.9, 0.5; group 2 keeps -0.8, 0.7.
+  EXPECT_EQ(w.at(0), 0.0F);
+  EXPECT_EQ(w.at(1), -0.9F);
+  EXPECT_EQ(w.at(2), 0.5F);
+  EXPECT_EQ(w.at(3), 0.0F);
+  EXPECT_EQ(w.at(4), 0.0F);
+  EXPECT_EQ(w.at(5), 0.7F);
+  EXPECT_EQ(w.at(6), 0.0F);
+  EXPECT_EQ(w.at(7), -0.8F);
+}
+
+TEST(NmTest, ProjectionIsIdempotent) {
+  Rng rng(3);
+  Tensor w(Shape{6, 20});
+  w.fill_uniform(rng, -1.0F, 1.0F);
+  project_nm(w, {2, 4});
+  const Tensor once = w;
+  project_nm(w, {2, 4});
+  for (int64_t i = 0; i < w.numel(); ++i) EXPECT_EQ(w.at(i), once.at(i));
+}
+
+TEST(NmTest, SatisfiesAfterProjection) {
+  Rng rng(4);
+  Tensor w(Shape{10, 17});  // 170 elements: exercises the tail group
+  w.fill_uniform(rng, -1.0F, 1.0F);
+  EXPECT_FALSE(satisfies_nm(w, {2, 4}));
+  project_nm(w, {2, 4});
+  EXPECT_TRUE(satisfies_nm(w, {2, 4}));
+}
+
+TEST(NmTest, TailGroupProportionalBudget) {
+  // 6 elements with 2:4 -> one full group (keep 2) + tail of 2 (keep
+  // ceil(2*2/4) = 1).
+  Tensor w(Shape{6}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  project_nm(w, {2, 4});
+  int64_t nonzero = 0;
+  for (int64_t i = 0; i < 6; ++i) nonzero += w.at(i) != 0.0F;
+  EXPECT_EQ(nonzero, 3);
+  EXPECT_EQ(w.at(5), 6.0F);  // largest in tail survives
+}
+
+TEST(NmTest, ProjectionLossZeroForCompliantTensor) {
+  Tensor w(Shape{4}, std::vector<float>{1.0F, 0.0F, 2.0F, 0.0F});
+  EXPECT_DOUBLE_EQ(nm_projection_loss(w, {2, 4}), 0.0);
+}
+
+TEST(NmTest, ProjectionLossBoundedAndMonotoneInN) {
+  Rng rng(5);
+  Tensor w(Shape{256});
+  w.fill_uniform(rng, -1.0F, 1.0F);
+  double prev = 1.0;
+  for (const int64_t n : {1, 2, 3, 4}) {
+    const double loss = nm_projection_loss(w, {n, 4});
+    EXPECT_GE(loss, 0.0);
+    EXPECT_LE(loss, 1.0);
+    EXPECT_LE(loss, prev + 1e-12);  // keeping more loses less
+    prev = loss;
+  }
+  EXPECT_DOUBLE_EQ(nm_projection_loss(w, {4, 4}), 0.0);
+}
+
+TEST(NmTest, ZeroTensorLossless) {
+  Tensor w(Shape{16});
+  EXPECT_DOUBLE_EQ(nm_projection_loss(w, {1, 4}), 0.0);
+  EXPECT_TRUE(satisfies_nm(w, {1, 4}));
+}
+
+TEST(NmTest, UnstructuredSparseOftenViolatesNm) {
+  // An NDSNN-style unstructured 50% mask usually breaks 2:4 somewhere --
+  // the motivating fact for the projection utility.
+  Rng rng(6);
+  Tensor w(Shape{128});
+  w.fill_uniform(rng, 0.5F, 1.0F);
+  // Zero a random half (unstructured).
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    if (rng.bernoulli(0.5)) w.at(i) = 0.0F;
+  }
+  EXPECT_FALSE(satisfies_nm(w, {2, 4}));
+}
+
+}  // namespace
+}  // namespace ndsnn::sparse

@@ -1,0 +1,95 @@
+#include "sparse/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/random.hpp"
+
+namespace ndsnn::sparse {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(ArgDropTest, PicksSmallestMagnitudes) {
+  Tensor v(Shape{6}, std::vector<float>{-0.1F, 5.0F, 0.05F, -3.0F, 0.2F, 1.0F});
+  const auto picked = argdrop_smallest_magnitude(v, {0, 1, 2, 3, 4, 5}, 3);
+  // Smallest |v|: indices 2 (0.05), 0 (0.1), 4 (0.2).
+  EXPECT_EQ(picked, (std::vector<int64_t>{0, 2, 4}));
+}
+
+TEST(ArgDropTest, RespectsCandidateSubset) {
+  Tensor v(Shape{4}, std::vector<float>{0.01F, 0.02F, 0.03F, 0.04F});
+  const auto picked = argdrop_smallest_magnitude(v, {2, 3}, 1);
+  EXPECT_EQ(picked, (std::vector<int64_t>{2}));
+}
+
+TEST(ArgDropTest, KZeroReturnsEmpty) {
+  Tensor v(Shape{3}, 1.0F);
+  EXPECT_TRUE(argdrop_smallest_magnitude(v, {0, 1, 2}, 0).empty());
+}
+
+TEST(ArgDropTest, KOutOfRangeThrows) {
+  Tensor v(Shape{3}, 1.0F);
+  EXPECT_THROW((void)argdrop_smallest_magnitude(v, {0, 1}, 3), std::invalid_argument);
+  EXPECT_THROW((void)argdrop_smallest_magnitude(v, {0, 1}, -1), std::invalid_argument);
+}
+
+TEST(ArgGrowTest, PicksLargestMagnitudes) {
+  Tensor g(Shape{5}, std::vector<float>{0.1F, -9.0F, 2.0F, -0.5F, 3.0F});
+  const auto picked = arggrow_largest_magnitude(g, {0, 1, 2, 3, 4}, 2);
+  EXPECT_EQ(picked, (std::vector<int64_t>{1, 4}));
+}
+
+TEST(ArgGrowTest, DeterministicTieBreakOnIndex) {
+  Tensor g(Shape{4}, std::vector<float>{1.0F, 1.0F, 1.0F, 1.0F});
+  const auto picked = arggrow_largest_magnitude(g, {0, 1, 2, 3}, 2);
+  EXPECT_EQ(picked, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(ArgDropGrowTest, DisjointComplementaryProperty) {
+  // Dropping k smallest then growing k largest from the rest never
+  // overlaps.
+  tensor::Rng rng(9);
+  Tensor v(Shape{100});
+  v.fill_uniform(rng, -1.0F, 1.0F);
+  std::vector<int64_t> all(100);
+  for (int64_t i = 0; i < 100; ++i) all[static_cast<std::size_t>(i)] = i;
+  const auto dropped = argdrop_smallest_magnitude(v, all, 30);
+  std::vector<int64_t> rest;
+  std::set_difference(all.begin(), all.end(), dropped.begin(), dropped.end(),
+                      std::back_inserter(rest));
+  const auto grown = arggrow_largest_magnitude(v, rest, 30);
+  std::vector<int64_t> overlap;
+  std::set_intersection(dropped.begin(), dropped.end(), grown.begin(), grown.end(),
+                        std::back_inserter(overlap));
+  EXPECT_TRUE(overlap.empty());
+}
+
+TEST(MagnitudeThresholdTest, KeepsExactlyTopK) {
+  Tensor v(Shape{5}, std::vector<float>{0.1F, -0.5F, 0.3F, -0.9F, 0.7F});
+  const float thr = magnitude_threshold(v, 2);
+  int64_t kept = 0;
+  for (int64_t i = 0; i < v.numel(); ++i) kept += std::fabs(v.at(i)) >= thr;
+  EXPECT_EQ(kept, 2);
+}
+
+TEST(MagnitudeThresholdTest, KeepAllGivesMinMagnitude) {
+  Tensor v(Shape{3}, std::vector<float>{0.5F, -0.2F, 0.8F});
+  EXPECT_FLOAT_EQ(magnitude_threshold(v, 3), 0.2F);
+}
+
+TEST(MagnitudeThresholdTest, KeepZeroIsInfinite) {
+  Tensor v(Shape{3}, 1.0F);
+  EXPECT_GT(magnitude_threshold(v, 0), 1e30F);
+}
+
+TEST(MagnitudeThresholdTest, OutOfRangeThrows) {
+  Tensor v(Shape{3}, 1.0F);
+  EXPECT_THROW((void)magnitude_threshold(v, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::sparse

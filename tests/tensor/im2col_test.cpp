@@ -1,0 +1,110 @@
+#include "tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/random.hpp"
+
+namespace ndsnn::tensor {
+namespace {
+
+ConvGeometry simple_geom(int64_t n, int64_t c, int64_t hw, int64_t k, int64_t stride,
+                         int64_t pad) {
+  ConvGeometry g;
+  g.batch = n;
+  g.in_channels = c;
+  g.in_h = hw;
+  g.in_w = hw;
+  g.kernel_h = k;
+  g.kernel_w = k;
+  g.stride = stride;
+  g.padding = pad;
+  return g;
+}
+
+TEST(ConvGeometryTest, OutputDims) {
+  const auto g = simple_geom(1, 3, 32, 3, 1, 1);
+  EXPECT_EQ(g.out_h(), 32);
+  EXPECT_EQ(g.out_w(), 32);
+  const auto g2 = simple_geom(1, 3, 32, 3, 2, 1);
+  EXPECT_EQ(g2.out_h(), 16);
+}
+
+TEST(ConvGeometryTest, FloorDivisionOutputForNonTilingStride) {
+  // (5 - 2) / 2 + 1 = 2 outputs; the last input column is unused.
+  auto g = simple_geom(1, 1, 5, 2, 2, 0);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.out_h(), 2);
+}
+
+TEST(ConvGeometryTest, ValidationRejectsKernelTooLarge) {
+  auto g = simple_geom(1, 1, 3, 5, 1, 0);
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(Im2colTest, IdentityKernel1x1) {
+  const auto g = simple_geom(2, 3, 4, 1, 1, 0);
+  Rng rng(5);
+  Tensor x(Shape{2, 3, 4, 4});
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  const Tensor cols = im2col(x, g);
+  EXPECT_EQ(cols.shape(), Shape({3, 2 * 16}));
+  // Column (n, y, x) row c must equal x[n, c, y, x].
+  for (int64_t n = 0; n < 2; ++n) {
+    for (int64_t c = 0; c < 3; ++c) {
+      for (int64_t p = 0; p < 16; ++p) {
+        EXPECT_FLOAT_EQ(cols.at(c, n * 16 + p), x.at4(n, c, p / 4, p % 4));
+      }
+    }
+  }
+}
+
+TEST(Im2colTest, PaddingProducesZeros) {
+  const auto g = simple_geom(1, 1, 2, 3, 1, 1);
+  Tensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  const Tensor cols = im2col(x, g);
+  // Top-left output position, kernel (0,0) reads padded zero.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0F);
+  // Kernel center (1,1) at output (0,0) reads x[0,0] = 1.
+  EXPECT_FLOAT_EQ(cols.at(4, 0), 1.0F);
+}
+
+TEST(Im2colTest, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y -- the defining
+  // property the conv backward relies on.
+  const auto g = simple_geom(2, 3, 6, 3, 1, 1);
+  Rng rng(17);
+  Tensor x(Shape{2, 3, 6, 6});
+  x.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor y(Shape{g.patch_rows(), g.patch_cols()});
+  y.fill_uniform(rng, -1.0F, 1.0F);
+
+  const Tensor ax = im2col(x, g);
+  const Tensor aty = col2im(y, g);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < ax.numel(); ++i) lhs += static_cast<double>(ax.at(i)) * y.at(i);
+  for (int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x.at(i)) * aty.at(i);
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2colTest, StridedGeometry) {
+  const auto g = simple_geom(1, 1, 4, 2, 2, 0);
+  Tensor x(Shape{1, 1, 4, 4});
+  for (int64_t i = 0; i < 16; ++i) x.at(i) = static_cast<float>(i);
+  const Tensor cols = im2col(x, g);
+  EXPECT_EQ(cols.shape(), Shape({4, 4}));
+  // Output (0,0) patch = {0, 1, 4, 5}; output (1,1) patch = {10, 11, 14, 15}.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(cols.at(3, 0), 5.0F);
+  EXPECT_FLOAT_EQ(cols.at(0, 3), 10.0F);
+  EXPECT_FLOAT_EQ(cols.at(3, 3), 15.0F);
+}
+
+TEST(Im2colTest, ShapeMismatchThrows) {
+  const auto g = simple_geom(1, 2, 4, 3, 1, 1);
+  Tensor x(Shape{1, 3, 4, 4});
+  EXPECT_THROW((void)im2col(x, g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::tensor

@@ -1,0 +1,100 @@
+#include "tensor/matmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/random.hpp"
+
+namespace ndsnn::tensor {
+namespace {
+
+TEST(MatmulTest, Known2x2) {
+  Tensor a(Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor b(Shape{2, 2}, std::vector<float>{5, 6, 7, 8});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0F);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0F);
+}
+
+TEST(MatmulTest, RectangularShapes) {
+  Tensor a(Shape{2, 3}, std::vector<float>{1, 0, 2, 0, 1, 1});
+  Tensor b(Shape{3, 1}, std::vector<float>{1, 2, 3});
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 1}));
+  EXPECT_FLOAT_EQ(c.at(0, 0), 7.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 5.0F);
+}
+
+TEST(MatmulTest, MismatchThrows) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{2, 3});
+  EXPECT_THROW((void)matmul(a, b), std::invalid_argument);
+}
+
+TEST(MatmulTest, TransposedVariantsAgreeWithExplicitTranspose) {
+  Rng rng(11);
+  Tensor a(Shape{4, 5});
+  Tensor b(Shape{4, 6});
+  a.fill_uniform(rng, -1.0F, 1.0F);
+  b.fill_uniform(rng, -1.0F, 1.0F);
+
+  // at = transpose(a): [5, 4]
+  Tensor at(Shape{5, 4});
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 5; ++j) at.at(j, i) = a.at(i, j);
+  }
+  const Tensor expect = matmul(at, b);       // [5, 6]
+  const Tensor got = matmul_tn(a, b);        // Aᵀ * B
+  ASSERT_EQ(got.shape(), expect.shape());
+  for (int64_t i = 0; i < got.numel(); ++i) EXPECT_NEAR(got.at(i), expect.at(i), 1e-5F);
+}
+
+TEST(MatmulTest, NtVariantAgreesWithExplicitTranspose) {
+  Rng rng(12);
+  Tensor a(Shape{3, 7});
+  Tensor b(Shape{4, 7});
+  a.fill_uniform(rng, -1.0F, 1.0F);
+  b.fill_uniform(rng, -1.0F, 1.0F);
+
+  Tensor bt(Shape{7, 4});
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 7; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  const Tensor expect = matmul(a, bt);  // [3, 4]
+  const Tensor got = matmul_nt(a, b);
+  ASSERT_EQ(got.shape(), expect.shape());
+  for (int64_t i = 0; i < got.numel(); ++i) EXPECT_NEAR(got.at(i), expect.at(i), 1e-5F);
+}
+
+TEST(MatmulTest, AccumulatingVariantAddsIntoC) {
+  Tensor a(Shape{1, 2}, std::vector<float>{1, 1});
+  Tensor b(Shape{2, 1}, std::vector<float>{2, 3});
+  Tensor c(Shape{1, 1}, std::vector<float>{10});
+  matmul_acc(a, b, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 15.0F);
+}
+
+TEST(MatmulTest, SparseZeroRowsSkippedCorrectly) {
+  // The kernel short-circuits zero A entries; verify results are exact.
+  Tensor a(Shape{2, 3}, std::vector<float>{0, 0, 0, 1, 0, 2});
+  Tensor b(Shape{3, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 0.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 11.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 14.0F);
+}
+
+TEST(MatmulTest, IdentityIsNoop) {
+  Rng rng(13);
+  Tensor a(Shape{5, 5});
+  a.fill_uniform(rng, -1.0F, 1.0F);
+  Tensor eye(Shape{5, 5});
+  for (int64_t i = 0; i < 5; ++i) eye.at(i, i) = 1.0F;
+  const Tensor c = matmul(a, eye);
+  for (int64_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(c.at(i), a.at(i));
+}
+
+}  // namespace
+}  // namespace ndsnn::tensor

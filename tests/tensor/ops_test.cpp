@@ -1,0 +1,96 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ndsnn::tensor {
+namespace {
+
+Tensor vec(std::vector<float> v) {
+  const auto n = static_cast<int64_t>(v.size());
+  return Tensor(Shape{n}, std::move(v));
+}
+
+TEST(OpsTest, AddSubMul) {
+  const Tensor a = vec({1, 2, 3});
+  const Tensor b = vec({4, 5, 6});
+  const Tensor s = add(a, b);
+  EXPECT_EQ(s.at(0), 5.0F);
+  EXPECT_EQ(s.at(2), 9.0F);
+  const Tensor d = sub(b, a);
+  EXPECT_EQ(d.at(0), 3.0F);
+  const Tensor p = mul(a, b);
+  EXPECT_EQ(p.at(1), 10.0F);
+}
+
+TEST(OpsTest, ShapeMismatchThrows) {
+  const Tensor a = vec({1, 2, 3});
+  const Tensor b(Shape{2});
+  EXPECT_THROW((void)add(a, b), std::invalid_argument);
+  Tensor c = a;
+  EXPECT_THROW(mul_(c, b), std::invalid_argument);
+}
+
+TEST(OpsTest, ScaleAndAxpy) {
+  Tensor a = vec({1, 2, 3});
+  scale_(a, 2.0F);
+  EXPECT_EQ(a.at(2), 6.0F);
+  const Tensor b = vec({1, 1, 1});
+  axpy_(a, -2.0F, b);
+  EXPECT_EQ(a.at(0), 0.0F);
+  EXPECT_EQ(a.at(2), 4.0F);
+}
+
+TEST(OpsTest, Map) {
+  const Tensor a = vec({1, 4, 9});
+  const Tensor r = map(a, [](float x) { return std::sqrt(x); });
+  EXPECT_FLOAT_EQ(r.at(2), 3.0F);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor logits(Shape{2, 3}, std::vector<float>{1, 2, 3, -1, 0, 1});
+  const Tensor p = softmax_rows(logits);
+  for (int64_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_GT(p.at(r, c), 0.0F);
+      sum += p.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+  // Monotonicity in logits.
+  EXPECT_LT(p.at(0, 0), p.at(0, 1));
+  EXPECT_LT(p.at(0, 1), p.at(0, 2));
+}
+
+TEST(OpsTest, SoftmaxNumericallyStableForLargeLogits) {
+  Tensor logits(Shape{1, 2}, std::vector<float>{1000.0F, 1001.0F});
+  const Tensor p = softmax_rows(logits);
+  EXPECT_FALSE(std::isnan(p.at(0, 0)));
+  EXPECT_NEAR(p.at(0, 0) + p.at(0, 1), 1.0F, 1e-5F);
+  EXPECT_GT(p.at(0, 1), p.at(0, 0));
+}
+
+TEST(OpsTest, ArgmaxRows) {
+  Tensor m(Shape{2, 3}, std::vector<float>{1, 5, 2, 7, 0, 3});
+  const auto idx = argmax_rows(m);
+  ASSERT_EQ(idx.size(), 2U);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(OpsTest, MeanAndL2Norm) {
+  const Tensor a = vec({3, 4});
+  EXPECT_DOUBLE_EQ(mean(a), 3.5);
+  EXPECT_DOUBLE_EQ(l2_norm(a), 5.0);
+}
+
+TEST(OpsTest, SoftmaxRejectsNonMatrix) {
+  Tensor t(Shape{2, 2, 2});
+  EXPECT_THROW((void)softmax_rows(t), std::invalid_argument);
+  EXPECT_THROW((void)argmax_rows(t), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::tensor

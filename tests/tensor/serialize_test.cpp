@@ -1,0 +1,55 @@
+#include "tensor/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tensor/random.hpp"
+
+namespace ndsnn::tensor {
+namespace {
+
+TEST(SerializeTest, RoundTrip) {
+  Rng rng(3);
+  Tensor t(Shape{3, 4, 5});
+  t.fill_uniform(rng, -10.0F, 10.0F);
+
+  std::stringstream buf;
+  save_tensor(buf, t);
+  const Tensor r = load_tensor(buf);
+  ASSERT_EQ(r.shape(), t.shape());
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(r.at(i), t.at(i));
+}
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  Tensor t;
+  t.at(0) = 42.0F;
+  std::stringstream buf;
+  save_tensor(buf, t);
+  const Tensor r = load_tensor(buf);
+  EXPECT_EQ(r.rank(), 0);
+  EXPECT_EQ(r.at(0), 42.0F);
+}
+
+TEST(SerializeTest, BadMagicThrows) {
+  std::stringstream buf("XXXXgarbage");
+  EXPECT_THROW((void)load_tensor(buf), std::runtime_error);
+}
+
+TEST(SerializeTest, TruncatedStreamThrows) {
+  Tensor t(Shape{10}, 1.0F);
+  std::stringstream buf;
+  save_tensor(buf, t);
+  std::string s = buf.str();
+  s.resize(s.size() / 2);
+  std::stringstream cut(s);
+  EXPECT_THROW((void)load_tensor(cut), std::runtime_error);
+}
+
+TEST(SerializeTest, EmptyStreamThrows) {
+  std::stringstream buf;
+  EXPECT_THROW((void)load_tensor(buf), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ndsnn::tensor

@@ -1,0 +1,115 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/random.hpp"
+
+namespace ndsnn::tensor {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0F);
+}
+
+TEST(TensorTest, FillValueConstructor) {
+  Tensor t(Shape{4}, 2.5F);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), 2.5F);
+}
+
+TEST(TensorTest, FromValuesChecksCount) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(TensorTest, TwoDAccess) {
+  Tensor t(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0F);
+  EXPECT_EQ(t.at(0, 2), 3.0F);
+  EXPECT_EQ(t.at(1, 0), 4.0F);
+  EXPECT_EQ(t.at(1, 2), 6.0F);
+}
+
+TEST(TensorTest, FourDAccessRowMajor) {
+  Tensor t(Shape{2, 2, 2, 2});
+  t.at4(1, 1, 1, 1) = 7.0F;
+  EXPECT_EQ(t.at(15), 7.0F);
+  t.at4(0, 1, 0, 1) = 3.0F;
+  EXPECT_EQ(t.at(5), 3.0F);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(r.at(i), t.at(i));
+}
+
+TEST(TensorTest, ReshapeNumelMismatchThrows) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW((void)t.reshaped(Shape{2, 4}), std::invalid_argument);
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a(Shape{3}, 1.0F);
+  Tensor b = a;
+  b.at(0) = 9.0F;
+  EXPECT_EQ(a.at(0), 1.0F);
+}
+
+TEST(TensorTest, SumAndZeroCount) {
+  Tensor t(Shape{4}, std::vector<float>{0, 1, 0, 2});
+  EXPECT_DOUBLE_EQ(t.sum(), 3.0);
+  EXPECT_EQ(t.count_zeros(), 2);
+}
+
+TEST(TensorTest, AbsMax) {
+  Tensor t(Shape{3}, std::vector<float>{-5, 2, 3});
+  EXPECT_EQ(t.abs_max(), 5.0F);
+}
+
+TEST(TensorTest, FillUniformInRange) {
+  Rng rng(1);
+  Tensor t(Shape{1000});
+  t.fill_uniform(rng, -2.0F, 3.0F);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.at(i), -2.0F);
+    EXPECT_LT(t.at(i), 3.0F);
+  }
+}
+
+TEST(TensorTest, FillNormalMoments) {
+  Rng rng(2);
+  Tensor t(Shape{20000});
+  t.fill_normal(rng, 1.0F, 2.0F);
+  double mean = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) mean += t.at(i);
+  mean /= static_cast<double>(t.numel());
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  double var = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) var += (t.at(i) - mean) * (t.at(i) - mean);
+  var /= static_cast<double>(t.numel());
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(TensorTest, KaimingStddev) {
+  Rng rng(3);
+  Tensor t(Shape{10000});
+  t.fill_kaiming(rng, 50);
+  double var = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) var += t.at(i) * t.at(i);
+  var /= static_cast<double>(t.numel());
+  EXPECT_NEAR(var, 2.0 / 50.0, 0.01);
+}
+
+TEST(TensorTest, KaimingRejectsBadFanIn) {
+  Rng rng(4);
+  Tensor t(Shape{4});
+  EXPECT_THROW(t.fill_kaiming(rng, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::tensor

@@ -1,0 +1,47 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  log_debug() << "invisible " << 42;
+  log_info() << "invisible";
+  log_warn() << "invisible";
+  log_error() << "invisible";
+}
+
+TEST(LoggingTest, StreamBuilderFormatsMixedTypes) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);  // exercise the builder without output
+  log_info() << "epoch " << 3 << " acc=" << 91.84 << '%';
+}
+
+TEST(LoggingTest, DirectLogCall) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  log(LogLevel::kInfo, "direct message");
+}
+
+}  // namespace
+}  // namespace ndsnn::util

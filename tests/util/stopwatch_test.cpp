@@ -1,0 +1,35 @@
+#include "util/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ndsnn::util {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(watch.millis(), 15.0);
+  EXPECT_LT(watch.seconds(), 5.0);
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.reset();
+  EXPECT_LT(watch.millis(), 15.0);
+}
+
+TEST(StopwatchTest, MonotoneNonDecreasing) {
+  Stopwatch watch;
+  double prev = watch.seconds();
+  for (int i = 0; i < 10; ++i) {
+    const double cur = watch.seconds();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace ndsnn::util

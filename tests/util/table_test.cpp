@@ -1,0 +1,41 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndsnn::util {
+namespace {
+
+TEST(TableTest, RendersAlignedMarkdown) {
+  Table t({"Method", "Acc"});
+  t.add_row({"NDSNN", "91.84"});
+  t.add_row({"LTH", "89.77"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| Method | Acc   |"), std::string::npos);
+  EXPECT_NE(s.find("| NDSNN  | 91.84 |"), std::string::npos);
+  EXPECT_NE(s.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(TableTest, ArityMismatchThrows) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, CountsRowsAndCols) {
+  Table t({"A", "B", "C"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1U);
+  EXPECT_EQ(t.cols(), 3U);
+}
+
+TEST(FmtTest, FixedDecimals) {
+  EXPECT_EQ(fmt(91.837), "91.84");
+  EXPECT_EQ(fmt(1.0, 1), "1.0");
+  EXPECT_EQ(fmt(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace ndsnn::util
