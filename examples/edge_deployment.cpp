@@ -45,10 +45,7 @@ int main(int argc, char** argv) {
   for (const auto& p : exp.network->params()) {
     if (!p.prunable) continue;
     const auto& w = *p.value;
-    const int64_t rows = w.dim(0);
-    const ndsnn::tensor::Tensor mat =
-        w.reshaped(ndsnn::tensor::Shape{rows, w.numel() / rows});
-    const auto csr = ndsnn::sparse::Csr::from_dense(mat);
+    const auto csr = ndsnn::sparse::Csr::from_weights(w);
     const int64_t dense_bits = w.numel() * 32;
     const int64_t csr_bits = csr.storage_bits(/*value_bits=*/8, /*index_bits=*/16);
     total_dense_bits += dense_bits;
@@ -72,10 +69,7 @@ int main(int argc, char** argv) {
     int64_t total = 0;
     for (const auto& p : exp.network->params()) {
       if (!p.prunable) continue;
-      const auto& w = *p.value;
-      const ndsnn::tensor::Tensor mat =
-          w.reshaped(ndsnn::tensor::Shape{w.dim(0), w.numel() / w.dim(0)});
-      total += ndsnn::sparse::Csr::from_dense(mat).storage_bits(bits, 16);
+      total += ndsnn::sparse::Csr::from_weights(*p.value).storage_bits(bits, 16);
     }
     plat.add_row({name, std::to_string(bits),
                   ndsnn::util::fmt(static_cast<double>(total) / 8192.0, 1)});

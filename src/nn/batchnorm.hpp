@@ -22,6 +22,11 @@ class BatchNorm2d final : public Layer {
   void reset_state() override;
 
   [[nodiscard]] int64_t channels() const { return channels_; }
+  [[nodiscard]] float eps() const { return eps_; }
+  [[nodiscard]] const tensor::Tensor& gamma() const { return gamma_; }
+  [[nodiscard]] const tensor::Tensor& beta() const { return beta_; }
+  [[nodiscard]] const tensor::Tensor& running_mean() const { return running_mean_; }
+  [[nodiscard]] const tensor::Tensor& running_var() const { return running_var_; }
 
  private:
   int64_t channels_;

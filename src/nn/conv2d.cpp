@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
 
 namespace ndsnn::nn {
 
@@ -57,14 +58,14 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& input, bool /*training*/) {
   const float* src = yflat.data();
   float* dst = out.data();
   for (int64_t f = 0; f < out_channels_; ++f) {
-    const float bias = has_bias_ ? bias_.at(f) : 0.0F;
     const float* srow = src + f * (m * plane);
     for (int64_t mm = 0; mm < m; ++mm) {
       float* drow = dst + (mm * out_channels_ + f) * plane;
       const float* s = srow + mm * plane;
-      for (int64_t p = 0; p < plane; ++p) drow[p] = s[p] + bias;
+      for (int64_t p = 0; p < plane; ++p) drow[p] = s[p];
     }
   }
+  if (has_bias_) tensor::add_channel_bias_(out, bias_);
   return out;
 }
 
@@ -126,6 +127,13 @@ std::vector<ParamRef> Conv2d::params() {
   refs.push_back({"weight", &weight_, &weight_grad_, /*prunable=*/true});
   if (has_bias_) refs.push_back({"bias", &bias_, &bias_grad_, /*prunable=*/false});
   return refs;
+}
+
+std::optional<MaskedLayerView> Conv2d::masked_view() const {
+  MaskedLayerView view;
+  view.weight = &weight_;
+  view.bias = has_bias_ ? &bias_ : nullptr;
+  return view;
 }
 
 std::string Conv2d::name() const {

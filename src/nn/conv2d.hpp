@@ -19,12 +19,17 @@ class Conv2d final : public Layer {
   [[nodiscard]] std::vector<ParamRef> params() override;
   [[nodiscard]] std::string name() const override;
   void reset_state() override;
+  [[nodiscard]] std::optional<MaskedLayerView> masked_view() const override;
 
   [[nodiscard]] int64_t in_channels() const { return in_channels_; }
   [[nodiscard]] int64_t out_channels() const { return out_channels_; }
   [[nodiscard]] int64_t kernel() const { return kernel_; }
+  [[nodiscard]] int64_t stride() const { return stride_; }
+  [[nodiscard]] int64_t padding() const { return padding_; }
+  [[nodiscard]] bool has_bias() const { return has_bias_; }
   [[nodiscard]] tensor::Tensor& weight() { return weight_; }
   [[nodiscard]] const tensor::Tensor& weight() const { return weight_; }
+  [[nodiscard]] const tensor::Tensor& bias() const { return bias_; }
 
  private:
   int64_t in_channels_, out_channels_, kernel_, stride_, padding_;

@@ -2,6 +2,12 @@
 
 namespace ndsnn::nn {
 
+double MaskedLayerView::sparsity() const {
+  if (weight == nullptr || weight->numel() == 0) return 0.0;
+  return static_cast<double>(weight->count_zeros()) /
+         static_cast<double>(weight->numel());
+}
+
 void zero_grads(const std::vector<ParamRef>& params) {
   for (const auto& p : params) {
     if (p.grad != nullptr) p.grad->zero();

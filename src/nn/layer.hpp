@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,19 @@ struct ParamRef {
   tensor::Tensor* value = nullptr;
   tensor::Tensor* grad = nullptr;
   bool prunable = false;
+};
+
+/// Uniform view of a layer's maskable weight tensor and optional bias,
+/// so the inference-runtime compiler can measure sparsity and extract
+/// weights without per-layer-type plumbing (conv weights lower to their
+/// 2-D GEMM form via sparse::Csr::from_weights).
+struct MaskedLayerView {
+  const tensor::Tensor* weight = nullptr;  ///< dense weight tensor (any rank)
+  const tensor::Tensor* bias = nullptr;    ///< nullptr when the layer has no bias
+
+  /// Fraction of exactly-zero weight entries (mask-pruned weights are
+  /// zeroed in place by the training methods).
+  [[nodiscard]] double sparsity() const;
 };
 
 /// Abstract layer with manual forward/backward.
@@ -52,6 +66,12 @@ class Layer {
 
   /// Firing fraction of the last forward if this layer spikes, else < 0.
   [[nodiscard]] virtual double last_spike_rate() const { return -1.0; }
+
+  /// View of this layer's prunable weight matrix, or nullopt for layers
+  /// without one (activations, pooling, normalization, containers).
+  [[nodiscard]] virtual std::optional<MaskedLayerView> masked_view() const {
+    return std::nullopt;
+  }
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
 
 namespace ndsnn::nn {
 
@@ -29,12 +30,7 @@ tensor::Tensor Linear::forward(const tensor::Tensor& input, bool /*training*/) {
   has_saved_ = true;
   // y[M, out] = x[M, in] * Wᵀ
   tensor::Tensor out = tensor::matmul_nt(input, weight_);
-  if (has_bias_) {
-    const int64_t m = out.dim(0);
-    for (int64_t r = 0; r < m; ++r) {
-      for (int64_t c = 0; c < out_features_; ++c) out.at(r, c) += bias_.at(c);
-    }
-  }
+  if (has_bias_) tensor::add_row_bias_(out, bias_);
   return out;
 }
 
@@ -62,6 +58,13 @@ std::vector<ParamRef> Linear::params() {
   refs.push_back({"weight", &weight_, &weight_grad_, /*prunable=*/true});
   if (has_bias_) refs.push_back({"bias", &bias_, &bias_grad_, /*prunable=*/false});
   return refs;
+}
+
+std::optional<MaskedLayerView> Linear::masked_view() const {
+  MaskedLayerView view;
+  view.weight = &weight_;
+  view.bias = has_bias_ ? &bias_ : nullptr;
+  return view;
 }
 
 std::string Linear::name() const {

@@ -18,11 +18,14 @@ class Linear final : public Layer {
   [[nodiscard]] std::vector<ParamRef> params() override;
   [[nodiscard]] std::string name() const override;
   void reset_state() override;
+  [[nodiscard]] std::optional<MaskedLayerView> masked_view() const override;
 
   [[nodiscard]] int64_t in_features() const { return in_features_; }
   [[nodiscard]] int64_t out_features() const { return out_features_; }
+  [[nodiscard]] bool has_bias() const { return has_bias_; }
   [[nodiscard]] tensor::Tensor& weight() { return weight_; }
   [[nodiscard]] const tensor::Tensor& weight() const { return weight_; }
+  [[nodiscard]] const tensor::Tensor& bias() const { return bias_; }
 
  private:
   int64_t in_features_;

@@ -42,6 +42,8 @@ class SpikingNetwork {
 
   [[nodiscard]] std::vector<ParamRef> params() { return body_->params(); }
   [[nodiscard]] Sequential& body() { return *body_; }
+  [[nodiscard]] const Sequential& body() const { return *body_; }
+  [[nodiscard]] const snn::Encoder& encoder() const { return *encoder_; }
   [[nodiscard]] int64_t timesteps() const { return timesteps_; }
 
   /// Total number of prunable weight elements.

@@ -22,6 +22,7 @@ class PlifActivation final : public Layer {
   [[nodiscard]] double last_spike_rate() const override { return plif_.last_spike_rate(); }
 
   [[nodiscard]] float alpha() const { return plif_.alpha(); }
+  [[nodiscard]] const snn::PlifLayer& plif() const { return plif_; }
 
  private:
   snn::PlifLayer plif_;
@@ -41,6 +42,8 @@ class AlifActivation final : public Layer {
   [[nodiscard]] std::string name() const override;
   void reset_state() override { alif_.reset_state(); }
   [[nodiscard]] double last_spike_rate() const override { return alif_.last_spike_rate(); }
+
+  [[nodiscard]] const snn::AlifLayer& alif() const { return alif_; }
 
  private:
   snn::AlifLayer alif_;

@@ -18,6 +18,8 @@ class AvgPool2d final : public Layer {
   [[nodiscard]] std::string name() const override;
   void reset_state() override;
 
+  [[nodiscard]] int64_t k() const { return k_; }
+
  private:
   int64_t k_;
   tensor::Shape saved_in_shape_;
@@ -33,6 +35,8 @@ class MaxPool2d final : public Layer {
   [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override;
   void reset_state() override;
+
+  [[nodiscard]] int64_t k() const { return k_; }
 
  private:
   int64_t k_;

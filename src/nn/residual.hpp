@@ -28,6 +28,17 @@ class ResidualBlock final : public Layer {
   void reset_state() override;
   [[nodiscard]] double last_spike_rate() const override;
 
+  // Sub-layer access for the inference-runtime compiler (nullptr where a
+  // block uses the identity shortcut).
+  [[nodiscard]] const Conv2d& conv1() const { return *conv1_; }
+  [[nodiscard]] const BatchNorm2d& bn1() const { return *bn1_; }
+  [[nodiscard]] const LifActivation& lif1() const { return *lif1_; }
+  [[nodiscard]] const Conv2d& conv2() const { return *conv2_; }
+  [[nodiscard]] const BatchNorm2d& bn2() const { return *bn2_; }
+  [[nodiscard]] const Conv2d* shortcut_conv() const { return shortcut_conv_.get(); }
+  [[nodiscard]] const BatchNorm2d* shortcut_bn() const { return shortcut_bn_.get(); }
+  [[nodiscard]] const LifActivation& lif_out() const { return *lif_out_; }
+
  private:
   std::unique_ptr<Conv2d> conv1_;
   std::unique_ptr<BatchNorm2d> bn1_;

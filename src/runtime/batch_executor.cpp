@@ -1,0 +1,90 @@
+#include "runtime/batch_executor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ndsnn::runtime {
+
+BatchExecutor::BatchExecutor(const CompiledNetwork& net, int64_t num_threads) : net_(net) {
+  if (num_threads < 1) {
+    throw std::invalid_argument("BatchExecutor: num_threads must be >= 1");
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int64_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BatchExecutor::~BatchExecutor() { shutdown(); }
+
+std::future<tensor::Tensor> BatchExecutor::submit(tensor::Tensor batch) {
+  const int64_t samples = batch.rank() >= 1 ? batch.dim(0) : 1;
+  std::packaged_task<tensor::Tensor()> task(
+      [this, batch = std::move(batch), samples]() mutable {
+        tensor::Tensor logits = net_.run(batch);
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          ++completed_requests_;
+          completed_samples_ += samples;
+        }
+        return logits;
+      });
+  std::future<tensor::Tensor> future = task.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) throw std::runtime_error("BatchExecutor: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::vector<tensor::Tensor> BatchExecutor::run_all(
+    const std::vector<tensor::Tensor>& batches) {
+  std::vector<std::future<tensor::Tensor>> futures;
+  futures.reserve(batches.size());
+  for (const auto& batch : batches) futures.push_back(submit(batch));
+  std::vector<tensor::Tensor> results;
+  results.reserve(batches.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+void BatchExecutor::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+int64_t BatchExecutor::completed_requests() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return completed_requests_;
+}
+
+int64_t BatchExecutor::completed_samples() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return completed_samples_;
+}
+
+void BatchExecutor::worker_loop() {
+  for (;;) {
+    std::packaged_task<tensor::Tensor()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions propagate through the future
+  }
+}
+
+}  // namespace ndsnn::runtime

@@ -1,0 +1,78 @@
+// BatchExecutor: throughput-oriented serving front-end for a
+// CompiledNetwork.
+//
+// A small pool of worker threads drains a FIFO of inference requests;
+// each request is one input batch [N, ...] and resolves to the mean
+// logits [N, classes] through a std::future. The CompiledNetwork plan is
+// immutable, so workers share it without synchronization — requests are
+// sharded across workers, never split within one.
+//
+// Determinism: a request's result depends only on its input and the
+// plan, never on which worker ran it or how many workers exist, so a
+// 1-thread and an N-thread executor produce identical outputs (tested in
+// tests/runtime/batch_executor_test.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/compiled_network.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::runtime {
+
+class BatchExecutor {
+ public:
+  /// Spin up `num_threads` workers (>= 1) over a compiled plan. The plan
+  /// must outlive the executor.
+  BatchExecutor(const CompiledNetwork& net, int64_t num_threads);
+
+  /// Drains the queue, then joins the workers.
+  ~BatchExecutor();
+
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  /// Enqueue one inference request; the future resolves to the mean
+  /// logits [N, classes]. Throws std::runtime_error after shutdown().
+  [[nodiscard]] std::future<tensor::Tensor> submit(tensor::Tensor batch);
+
+  /// Convenience: submit every batch, wait for all, return results in
+  /// submission order.
+  [[nodiscard]] std::vector<tensor::Tensor> run_all(
+      const std::vector<tensor::Tensor>& batches);
+
+  /// Stop accepting work, finish queued requests, join workers.
+  /// Idempotent; also called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] int64_t num_threads() const {
+    return static_cast<int64_t>(workers_.size());
+  }
+
+  /// Requests fully processed so far.
+  [[nodiscard]] int64_t completed_requests() const;
+  /// Samples (batch rows) fully processed so far.
+  [[nodiscard]] int64_t completed_samples() const;
+
+ private:
+  void worker_loop();
+
+  const CompiledNetwork& net_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<tensor::Tensor()>> queue_;
+  bool stopping_ = false;
+  int64_t completed_requests_ = 0;
+  int64_t completed_samples_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ndsnn::runtime

@@ -1,0 +1,630 @@
+#include "runtime/compiled_network.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/lif_activation.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/neuron_activations.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+#include "nn/sequential.hpp"
+#include "snn/surrogate.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace ndsnn::runtime {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+// ------------------------------------------------------------ weight ops
+
+/// Linear layer: CSR spmm_t when sparse, matmul_nt fallback when dense.
+class LinearOp final : public Op {
+ public:
+  LinearOp(const nn::Linear& src, bool sparse, float prune_threshold)
+      : layer_name_(src.name()),
+        sparse_(sparse),
+        has_bias_(src.has_bias()),
+        weights_(src.weight().numel()),
+        source_sparsity_(src.masked_view()->sparsity()) {
+    if (sparse_) {
+      csr_ = sparse::Csr::from_weights(src.weight(), prune_threshold);
+    } else {
+      dense_ = src.weight();
+    }
+    if (has_bias_) bias_ = src.bias();
+  }
+
+  [[nodiscard]] Tensor run(const Tensor& input) const override {
+    Tensor out = sparse_ ? csr_.spmm_t(input) : tensor::matmul_nt(input, dense_);
+    if (has_bias_) tensor::add_row_bias_(out, bias_);
+    return out;
+  }
+
+  [[nodiscard]] OpReport report() const override {
+    return {layer_name_, sparse_ ? "csr-linear" : "dense-linear", weights_,
+            sparse_ ? csr_.nnz() : weights_, source_sparsity_};
+  }
+
+ private:
+  std::string layer_name_;
+  bool sparse_;
+  bool has_bias_;
+  int64_t weights_;
+  double source_sparsity_;
+  sparse::Csr csr_;
+  Tensor dense_;  // [out, in], only when !sparse_
+  Tensor bias_;
+};
+
+/// Conv2d via im2col: the lowering is identical to nn::Conv2d::forward,
+/// only the GEMM is swapped for Csr::spmm on sparse plans.
+class ConvOp final : public Op {
+ public:
+  ConvOp(const nn::Conv2d& src, bool sparse, float prune_threshold)
+      : layer_name_(src.name()),
+        sparse_(sparse),
+        has_bias_(src.has_bias()),
+        in_channels_(src.in_channels()),
+        out_channels_(src.out_channels()),
+        kernel_(src.kernel()),
+        stride_(src.stride()),
+        padding_(src.padding()),
+        weights_(src.weight().numel()),
+        source_sparsity_(src.masked_view()->sparsity()) {
+    if (sparse_) {
+      csr_ = sparse::Csr::from_weights(src.weight(), prune_threshold);
+    } else {
+      dense_ = src.weight().reshaped(
+          Shape{out_channels_, in_channels_ * kernel_ * kernel_});
+    }
+    if (has_bias_) bias_ = src.bias();
+  }
+
+  [[nodiscard]] Tensor run(const Tensor& input) const override {
+    if (input.rank() != 4 || input.dim(1) != in_channels_) {
+      throw std::invalid_argument("ConvOp: expected [M, " + std::to_string(in_channels_) +
+                                  ", H, W], got " + input.shape().str());
+    }
+    tensor::ConvGeometry g;
+    g.batch = input.dim(0);
+    g.in_channels = in_channels_;
+    g.in_h = input.dim(2);
+    g.in_w = input.dim(3);
+    g.kernel_h = kernel_;
+    g.kernel_w = kernel_;
+    g.stride = stride_;
+    g.padding = padding_;
+    g.validate();
+
+    const Tensor cols = tensor::im2col(input, g);
+    const int64_t m = g.batch, oh = g.out_h(), ow = g.out_w();
+    const int64_t plane = oh * ow;
+    Tensor out(Shape{m, out_channels_, oh, ow});
+
+    if (sparse_) {
+      // Fused spmm + transpose: accumulate each CSR row f straight into
+      // the [m, F, oy, ox] layout, skipping the [F, L] intermediate. Per
+      // output element the nonzeros are visited in the same order as
+      // Csr::spmm, so results stay bitwise identical.
+      const int64_t l = m * plane;
+      const auto& row_ptr = csr_.row_ptr();
+      const auto& col_idx = csr_.col_idx();
+      const auto& values = csr_.values();
+      const float* colsp = cols.data();
+      float* dst = out.data();
+      for (int64_t f = 0; f < out_channels_; ++f) {
+        for (int64_t k = row_ptr[static_cast<std::size_t>(f)];
+             k < row_ptr[static_cast<std::size_t>(f) + 1]; ++k) {
+          const float v = values[static_cast<std::size_t>(k)];
+          const float* brow =
+              colsp + static_cast<int64_t>(col_idx[static_cast<std::size_t>(k)]) * l;
+          for (int64_t mm = 0; mm < m; ++mm) {
+            float* drow = dst + (mm * out_channels_ + f) * plane;
+            const float* s = brow + mm * plane;
+            for (int64_t p = 0; p < plane; ++p) drow[p] += v * s[p];
+          }
+        }
+      }
+    } else {
+      const Tensor yflat = tensor::matmul(dense_, cols);
+      // Transpose [F, (m, oy, ox)] -> [m, F, oy, ox].
+      const float* src = yflat.data();
+      float* dst = out.data();
+      for (int64_t f = 0; f < out_channels_; ++f) {
+        const float* srow = src + f * (m * plane);
+        for (int64_t mm = 0; mm < m; ++mm) {
+          float* drow = dst + (mm * out_channels_ + f) * plane;
+          const float* s = srow + mm * plane;
+          for (int64_t p = 0; p < plane; ++p) drow[p] = s[p];
+        }
+      }
+    }
+    if (has_bias_) tensor::add_channel_bias_(out, bias_);
+    return out;
+  }
+
+  [[nodiscard]] OpReport report() const override {
+    return {layer_name_, sparse_ ? "csr-conv" : "dense-conv", weights_,
+            sparse_ ? csr_.nnz() : weights_, source_sparsity_};
+  }
+
+ private:
+  std::string layer_name_;
+  bool sparse_;
+  bool has_bias_;
+  int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
+  int64_t weights_;
+  double source_sparsity_;
+  sparse::Csr csr_;
+  Tensor dense_;  // [F, C*K*K], only when !sparse_
+  Tensor bias_;
+};
+
+// ------------------------------------------------------------ neuron ops
+
+/// LIF dynamics over the T timesteps of one call (Eq. 1), inference-only:
+/// membrane state is carried in rolling per-step buffers instead of the
+/// full saved trace BPTT needs. Arithmetic matches snn::LifLayer::forward
+/// term for term so compiled and interpreted paths agree bitwise.
+class LifOp final : public Op {
+ public:
+  LifOp(std::string layer_name, const snn::LifConfig& config, int64_t timesteps)
+      : layer_name_(std::move(layer_name)), alpha_(config.alpha),
+        theta_(config.threshold), timesteps_(timesteps) {}
+
+  [[nodiscard]] Tensor run(const Tensor& input) const override {
+    const int64_t total = input.numel();
+    if (total % timesteps_ != 0) {
+      throw std::invalid_argument("LifOp: numel " + std::to_string(total) +
+                                  " not divisible by T=" + std::to_string(timesteps_));
+    }
+    const int64_t step = total / timesteps_;
+    Tensor out(input.shape());
+    std::vector<float> vmt(static_cast<std::size_t>(step), 0.0F);  // v[t] - theta
+    const float* in = input.data();
+    float* spk = out.data();
+    for (int64_t t = 0; t < timesteps_; ++t) {
+      const float* it = in + t * step;
+      float* ot = spk + t * step;
+      if (t == 0) {
+        for (int64_t i = 0; i < step; ++i) {
+          const float v = it[i];
+          vmt[static_cast<std::size_t>(i)] = v - theta_;
+          ot[i] = snn::heaviside(v - theta_);
+        }
+      } else {
+        const float* oprev = spk + (t - 1) * step;
+        for (int64_t i = 0; i < step; ++i) {
+          const float v =
+              alpha_ * (vmt[static_cast<std::size_t>(i)] + theta_) + it[i] - theta_ * oprev[i];
+          vmt[static_cast<std::size_t>(i)] = v - theta_;
+          ot[i] = snn::heaviside(v - theta_);
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] OpReport report() const override { return {layer_name_, "lif", 0, 0, 0.0}; }
+
+ private:
+  std::string layer_name_;
+  float alpha_, theta_;
+  int64_t timesteps_;
+};
+
+/// ALIF dynamics (adaptive threshold), inference-only; mirrors
+/// snn::AlifLayer::forward.
+class AlifOp final : public Op {
+ public:
+  AlifOp(std::string layer_name, const snn::AlifConfig& config, int64_t timesteps)
+      : layer_name_(std::move(layer_name)), config_(config), timesteps_(timesteps) {}
+
+  [[nodiscard]] Tensor run(const Tensor& input) const override {
+    const int64_t total = input.numel();
+    if (total % timesteps_ != 0) {
+      throw std::invalid_argument("AlifOp: numel not divisible by T");
+    }
+    const int64_t step = total / timesteps_;
+    Tensor out(input.shape());
+    std::vector<float> v(static_cast<std::size_t>(step), 0.0F);
+    std::vector<float> trace(static_cast<std::size_t>(step), 0.0F);
+    std::vector<float> prev_spike(static_cast<std::size_t>(step), 0.0F);
+    const float* in = input.data();
+    float* spk = out.data();
+    for (int64_t t = 0; t < timesteps_; ++t) {
+      const float* it = in + t * step;
+      float* ot = spk + t * step;
+      for (int64_t i = 0; i < step; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        trace[idx] = config_.rho * trace[idx] + prev_spike[idx];
+        const float theta_t = config_.threshold + config_.beta * trace[idx];
+        v[idx] = config_.alpha * v[idx] + it[i] - theta_t * prev_spike[idx];
+        ot[i] = snn::heaviside(v[idx] - theta_t);
+        prev_spike[idx] = ot[i];
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] OpReport report() const override { return {layer_name_, "alif", 0, 0, 0.0}; }
+
+ private:
+  std::string layer_name_;
+  snn::AlifConfig config_;
+  int64_t timesteps_;
+};
+
+// ------------------------------------------------------- stateless ops
+
+/// BatchNorm folded to eval statistics. Keeps the eval-path arithmetic of
+/// nn::BatchNorm2d::forward (same operation order, precomputed inv_std)
+/// so compiled outputs match interpreted eval outputs bitwise.
+class BatchNormOp final : public Op {
+ public:
+  explicit BatchNormOp(const nn::BatchNorm2d& src)
+      : layer_name_(src.name()),
+        channels_(src.channels()),
+        mean_(src.running_mean()),
+        gamma_(src.gamma()),
+        beta_(src.beta()),
+        inv_std_(Shape{src.channels()}) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      inv_std_.at(c) = 1.0F / std::sqrt(src.running_var().at(c) + src.eps());
+    }
+  }
+
+  [[nodiscard]] Tensor run(const Tensor& input) const override {
+    if (input.rank() != 4 || input.dim(1) != channels_) {
+      throw std::invalid_argument("BatchNormOp: expected [M, " + std::to_string(channels_) +
+                                  ", H, W], got " + input.shape().str());
+    }
+    const int64_t m = input.dim(0), plane = input.dim(2) * input.dim(3);
+    Tensor out(input.shape());
+    const float* src = input.data();
+    float* dst = out.data();
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float mean = mean_.at(c), inv_std = inv_std_.at(c);
+      const float g = gamma_.at(c), b = beta_.at(c);
+      for (int64_t mm = 0; mm < m; ++mm) {
+        const int64_t base = (mm * channels_ + c) * plane;
+        for (int64_t i = 0; i < plane; ++i) {
+          dst[base + i] = g * ((src[base + i] - mean) * inv_std) + b;
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] OpReport report() const override { return {layer_name_, "bn", 0, 0, 0.0}; }
+
+ private:
+  std::string layer_name_;
+  int64_t channels_;
+  Tensor mean_, gamma_, beta_, inv_std_;
+};
+
+class AvgPoolOp final : public Op {
+ public:
+  AvgPoolOp(std::string layer_name, int64_t k) : layer_name_(std::move(layer_name)), k_(k) {}
+
+  [[nodiscard]] Tensor run(const Tensor& input) const override {
+    if (input.rank() != 4 || input.dim(2) % k_ != 0 || input.dim(3) % k_ != 0) {
+      throw std::invalid_argument("AvgPoolOp: bad input " + input.shape().str());
+    }
+    const int64_t m = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const int64_t oh = h / k_, ow = w / k_;
+    Tensor out(Shape{m, c, oh, ow});
+    const float inv = 1.0F / static_cast<float>(k_ * k_);
+    const float* src = input.data();
+    float* dst = out.data();
+    for (int64_t mc = 0; mc < m * c; ++mc) {
+      const float* plane = src + mc * h * w;
+      float* oplane = dst + mc * oh * ow;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0F;
+          for (int64_t dy = 0; dy < k_; ++dy) {
+            for (int64_t dx = 0; dx < k_; ++dx) {
+              acc += plane[(oy * k_ + dy) * w + (ox * k_ + dx)];
+            }
+          }
+          oplane[oy * ow + ox] = acc * inv;
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] OpReport report() const override { return {layer_name_, "pool", 0, 0, 0.0}; }
+
+ private:
+  std::string layer_name_;
+  int64_t k_;
+};
+
+class MaxPoolOp final : public Op {
+ public:
+  MaxPoolOp(std::string layer_name, int64_t k) : layer_name_(std::move(layer_name)), k_(k) {}
+
+  [[nodiscard]] Tensor run(const Tensor& input) const override {
+    if (input.rank() != 4 || input.dim(2) % k_ != 0 || input.dim(3) % k_ != 0) {
+      throw std::invalid_argument("MaxPoolOp: bad input " + input.shape().str());
+    }
+    const int64_t m = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const int64_t oh = h / k_, ow = w / k_;
+    Tensor out(Shape{m, c, oh, ow});
+    const float* src = input.data();
+    float* dst = out.data();
+    for (int64_t mc = 0; mc < m * c; ++mc) {
+      const float* plane = src + mc * h * w;
+      float* oplane = dst + mc * oh * ow;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float best = plane[(oy * k_) * w + ox * k_];
+          for (int64_t dy = 0; dy < k_; ++dy) {
+            for (int64_t dx = 0; dx < k_; ++dx) {
+              const float v = plane[(oy * k_ + dy) * w + (ox * k_ + dx)];
+              if (v > best) best = v;
+            }
+          }
+          oplane[oy * ow + ox] = best;
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] OpReport report() const override { return {layer_name_, "pool", 0, 0, 0.0}; }
+
+ private:
+  std::string layer_name_;
+  int64_t k_;
+};
+
+class GlobalAvgPoolOp final : public Op {
+ public:
+  [[nodiscard]] Tensor run(const Tensor& input) const override {
+    if (input.rank() != 4) {
+      throw std::invalid_argument("GlobalAvgPoolOp: expected rank-4, got " +
+                                  input.shape().str());
+    }
+    const int64_t m = input.dim(0), c = input.dim(1), plane = input.dim(2) * input.dim(3);
+    Tensor out(Shape{m, c});
+    const float inv = 1.0F / static_cast<float>(plane);
+    const float* src = input.data();
+    for (int64_t mc = 0; mc < m * c; ++mc) {
+      double acc = 0.0;
+      const float* p = src + mc * plane;
+      for (int64_t i = 0; i < plane; ++i) acc += p[i];
+      out.at(mc) = static_cast<float>(acc) * inv;
+    }
+    return out;
+  }
+
+  [[nodiscard]] OpReport report() const override {
+    return {"GlobalAvgPool", "pool", 0, 0, 0.0};
+  }
+};
+
+class FlattenOp final : public Op {
+ public:
+  [[nodiscard]] Tensor run(const Tensor& input) const override {
+    if (input.rank() < 2) {
+      throw std::invalid_argument("FlattenOp: expected rank >= 2, got " +
+                                  input.shape().str());
+    }
+    const int64_t m = input.dim(0);
+    return input.reshaped(Shape{m, input.numel() / m});
+  }
+
+  [[nodiscard]] OpReport report() const override { return {"Flatten", "reshape", 0, 0, 0.0}; }
+};
+
+/// Residual block: compiled main and shortcut chains plus the output LIF.
+class ResidualOp final : public Op {
+ public:
+  ResidualOp(std::string layer_name, std::vector<std::unique_ptr<Op>> main,
+             std::vector<std::unique_ptr<Op>> shortcut, std::unique_ptr<Op> out_lif)
+      : layer_name_(std::move(layer_name)),
+        main_(std::move(main)),
+        shortcut_(std::move(shortcut)),
+        out_lif_(std::move(out_lif)) {}
+
+  [[nodiscard]] Tensor run(const Tensor& input) const override {
+    // Chain through pointers so the identity shortcut never copies the
+    // input activation (main_ is never empty: conv1..bn2).
+    Tensor main;
+    const Tensor* cur = &input;
+    for (const auto& op : main_) {
+      main = op->run(*cur);
+      cur = &main;
+    }
+    Tensor shortcut;
+    const Tensor* scur = &input;
+    for (const auto& op : shortcut_) {
+      shortcut = op->run(*scur);
+      scur = &shortcut;
+    }
+    tensor::add_(main, *scur);
+    return out_lif_->run(main);
+  }
+
+  [[nodiscard]] OpReport report() const override {
+    OpReport r{layer_name_, "residual", 0, 0, 0.0};
+    double zero_weighted = 0.0;
+    for (const auto* chain : {&main_, &shortcut_}) {
+      for (const auto& op : *chain) {
+        const OpReport sub = op->report();
+        r.weights += sub.weights;
+        r.nnz += sub.nnz;
+        zero_weighted += sub.sparsity * static_cast<double>(sub.weights);
+      }
+    }
+    if (r.weights > 0) r.sparsity = zero_weighted / static_cast<double>(r.weights);
+    return r;
+  }
+
+ private:
+  std::string layer_name_;
+  std::vector<std::unique_ptr<Op>> main_;
+  std::vector<std::unique_ptr<Op>> shortcut_;
+  std::unique_ptr<Op> out_lif_;
+};
+
+// ------------------------------------------------------------- compiler
+
+/// True when the layer's current weights are sparse enough for CSR.
+bool should_go_sparse(const nn::MaskedLayerView& view, const CompileOptions& opts) {
+  return !opts.force_dense && view.sparsity() >= opts.min_sparsity;
+}
+
+std::unique_ptr<Op> compile_layer(const nn::Layer& layer, const CompileOptions& opts);
+
+std::vector<std::unique_ptr<Op>> compile_chain(
+    std::initializer_list<const nn::Layer*> layers, const CompileOptions& opts) {
+  std::vector<std::unique_ptr<Op>> ops;
+  for (const nn::Layer* layer : layers) {
+    if (layer != nullptr) ops.push_back(compile_layer(*layer, opts));
+  }
+  return ops;
+}
+
+std::unique_ptr<Op> compile_layer(const nn::Layer& layer, const CompileOptions& opts) {
+  if (const auto* linear = dynamic_cast<const nn::Linear*>(&layer)) {
+    return std::make_unique<LinearOp>(*linear, should_go_sparse(*linear->masked_view(), opts),
+                                      opts.prune_threshold);
+  }
+  if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&layer)) {
+    return std::make_unique<ConvOp>(*conv, should_go_sparse(*conv->masked_view(), opts),
+                                    opts.prune_threshold);
+  }
+  if (const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(&layer)) {
+    return std::make_unique<BatchNormOp>(*bn);
+  }
+  if (const auto* lif = dynamic_cast<const nn::LifActivation*>(&layer)) {
+    return std::make_unique<LifOp>(lif->name(), lif->lif().config(), lif->lif().timesteps());
+  }
+  if (const auto* plif = dynamic_cast<const nn::PlifActivation*>(&layer)) {
+    // PLIF at inference is a LIF with the trained leak alpha = sigmoid(a).
+    snn::LifConfig cfg;
+    cfg.alpha = plif->plif().alpha();
+    cfg.threshold = plif->plif().config().threshold;
+    return std::make_unique<LifOp>(plif->name(), cfg, plif->plif().timesteps());
+  }
+  if (const auto* alif = dynamic_cast<const nn::AlifActivation*>(&layer)) {
+    return std::make_unique<AlifOp>(alif->name(), alif->alif().config(),
+                                    alif->alif().timesteps());
+  }
+  if (const auto* avg = dynamic_cast<const nn::AvgPool2d*>(&layer)) {
+    return std::make_unique<AvgPoolOp>(avg->name(), avg->k());
+  }
+  if (const auto* max = dynamic_cast<const nn::MaxPool2d*>(&layer)) {
+    return std::make_unique<MaxPoolOp>(max->name(), max->k());
+  }
+  if (dynamic_cast<const nn::GlobalAvgPool*>(&layer) != nullptr) {
+    return std::make_unique<GlobalAvgPoolOp>();
+  }
+  if (dynamic_cast<const nn::Flatten*>(&layer) != nullptr) {
+    return std::make_unique<FlattenOp>();
+  }
+  if (const auto* res = dynamic_cast<const nn::ResidualBlock*>(&layer)) {
+    auto main = compile_chain({&res->conv1(), &res->bn1(), &res->lif1(), &res->conv2(),
+                               &res->bn2()},
+                              opts);
+    auto shortcut = compile_chain({res->shortcut_conv(), res->shortcut_bn()}, opts);
+    auto out_lif = compile_layer(res->lif_out(), opts);
+    return std::make_unique<ResidualOp>(res->name(), std::move(main), std::move(shortcut),
+                                        std::move(out_lif));
+  }
+  throw std::invalid_argument("CompiledNetwork: cannot lower layer '" + layer.name() + "'");
+}
+
+}  // namespace
+
+CompiledNetwork CompiledNetwork::compile(const nn::SpikingNetwork& net,
+                                         const CompileOptions& opts) {
+  if (opts.min_sparsity < 0.0 || opts.min_sparsity > 1.0) {
+    throw std::invalid_argument("CompiledNetwork: min_sparsity must be in [0, 1]");
+  }
+  if (dynamic_cast<const snn::DirectEncoder*>(&net.encoder()) == nullptr) {
+    throw std::invalid_argument(
+        "CompiledNetwork: only direct encoding is supported (encoder '" +
+        std::string(net.encoder().name()) + "')");
+  }
+  CompiledNetwork compiled;
+  compiled.timesteps_ = net.timesteps();
+  const nn::Sequential& body = net.body();
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    compiled.ops_.push_back(compile_layer(body.layer(i), opts));
+    compiled.reports_.push_back(compiled.ops_.back()->report());
+  }
+  return compiled;
+}
+
+Tensor CompiledNetwork::run(const Tensor& batch) const {
+  if (batch.rank() < 2) {
+    throw std::invalid_argument("CompiledNetwork::run: expected [N, ...], got " +
+                                batch.shape().str());
+  }
+  // Direct encoding (compile() rejected every other encoder kind).
+  snn::DirectEncoder encoder;
+  Tensor x = encoder.encode(batch, timesteps_);
+  for (const auto& op : ops_) x = op->run(x);
+  if (x.rank() != 2) {
+    throw std::invalid_argument("CompiledNetwork::run: body produced non-matrix logits " +
+                                x.shape().str());
+  }
+  return nn::mean_over_time(x, timesteps_);
+}
+
+std::vector<int64_t> CompiledNetwork::classify(const Tensor& batch) const {
+  return tensor::argmax_rows(run(batch));
+}
+
+int64_t CompiledNetwork::stored_weights() const {
+  int64_t total = 0;
+  for (const auto& r : reports_) total += r.nnz;
+  return total;
+}
+
+double CompiledNetwork::overall_sparsity() const {
+  int64_t weights = 0;
+  double zero_weighted = 0.0;
+  for (const auto& r : reports_) {
+    weights += r.weights;
+    zero_weighted += r.sparsity * static_cast<double>(r.weights);
+  }
+  if (weights == 0) return 0.0;
+  return zero_weighted / static_cast<double>(weights);
+}
+
+std::string CompiledNetwork::summary() const {
+  std::ostringstream os;
+  os << "CompiledNetwork: T=" << timesteps_ << ", " << ops_.size() << " ops, "
+     << stored_weights() << " stored weights ("
+     << static_cast<int>(100.0 * overall_sparsity() + 0.5) << "% source sparsity)\n";
+  for (const auto& r : reports_) {
+    os << "  [" << r.kind << "] " << r.layer;
+    if (r.weights > 0) {
+      os << "  nnz=" << r.nnz << "/" << r.weights;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ndsnn::runtime

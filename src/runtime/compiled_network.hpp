@@ -1,0 +1,108 @@
+// CompiledNetwork: ahead-of-time compilation of a trained (masked)
+// SpikingNetwork into an immutable sparse inference plan.
+//
+// Training keeps weights dense and re-applies binary masks after every
+// optimizer step, so a "95% sparse" network still runs dense GEMM over
+// mostly-zero matrices. compile() walks the network body once and lowers
+// every weight layer:
+//
+//   - Linear/Conv2d whose weight sparsity >= CompileOptions::min_sparsity
+//     become CSR kernels (sparse::Csr::spmm / spmm_t); conv keeps the
+//     im2col lowering and only swaps the GEMM.
+//   - Layers below the threshold keep a dense GEMM fallback (a CSR matrix
+//     with low sparsity is slower than dense).
+//   - LIF/ALIF dynamics, BatchNorm (folded to eval statistics), pooling,
+//     flatten and residual blocks are lowered to stateless inference ops.
+//
+// The resulting plan is immutable and shares no mutable state across
+// run() calls, so one CompiledNetwork can serve many threads concurrently
+// (see runtime::BatchExecutor). Neuron membrane state lives on the stack
+// of each run(): activations are time-major [T*N, ...] and the LIF op
+// carries v/o across the T timesteps inside one call, exactly like
+// snn::LifLayer::forward.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::runtime {
+
+/// Knobs for the network -> plan lowering.
+struct CompileOptions {
+  /// Lower a weight layer to CSR when its weight sparsity is >= this.
+  /// Below it, the dense GEMM wins (CSR pays an index per value).
+  double min_sparsity = 0.5;
+  /// Entries with |w| <= prune_threshold are dropped when building CSR
+  /// kernels (forwarded to sparse::Csr::from_dense).
+  float prune_threshold = 0.0F;
+  /// Keep every layer dense regardless of sparsity (baseline plans).
+  bool force_dense = false;
+};
+
+/// What one compiled op is and how sparse its weights are (for plan
+/// summaries and the bench reports). Weightless ops report weights == 0.
+struct OpReport {
+  std::string layer;     ///< source layer name(), e.g. "Conv2d(3->64, ...)"
+  std::string kind;      ///< "csr-linear" | "dense-linear" | "csr-conv" | "dense-conv" |
+                         ///< "lif" | "alif" | "bn" | "pool" | "reshape" | "residual"
+  int64_t weights = 0;   ///< total weight elements
+  int64_t nnz = 0;       ///< stored nonzeros (== weights for dense ops)
+  double sparsity = 0.0; ///< zero fraction of the source weights
+};
+
+/// One inference op of the compiled plan. Implementations are immutable
+/// after construction; run() must be safe to call from many threads.
+class Op {
+ public:
+  virtual ~Op() = default;
+  Op() = default;
+  Op(const Op&) = delete;
+  Op& operator=(const Op&) = delete;
+
+  [[nodiscard]] virtual tensor::Tensor run(const tensor::Tensor& input) const = 0;
+  [[nodiscard]] virtual OpReport report() const = 0;
+};
+
+class CompiledNetwork {
+ public:
+  /// Lower `net` (its body and current weights) into an executable plan.
+  /// Weights are copied: later training steps do not affect the plan.
+  /// Throws std::invalid_argument for layers the runtime cannot lower or
+  /// when the network uses a non-direct input encoder.
+  [[nodiscard]] static CompiledNetwork compile(const nn::SpikingNetwork& net,
+                                               const CompileOptions& opts = {});
+
+  /// Mean logits [N, classes] for a static input batch [N, ...]; direct
+  /// encoding over `timesteps()` then rate readout, matching
+  /// SpikingNetwork::predict. Thread-safe.
+  [[nodiscard]] tensor::Tensor run(const tensor::Tensor& batch) const;
+
+  /// argmax class per sample. Thread-safe.
+  [[nodiscard]] std::vector<int64_t> classify(const tensor::Tensor& batch) const;
+
+  [[nodiscard]] const std::vector<OpReport>& plan() const { return reports_; }
+  [[nodiscard]] int64_t timesteps() const { return timesteps_; }
+
+  /// Weight elements stored by the plan (CSR nnz + dense fallback sizes).
+  [[nodiscard]] int64_t stored_weights() const;
+  /// Parameter-weighted sparsity over all weight ops.
+  [[nodiscard]] double overall_sparsity() const;
+  /// Multi-line human-readable description of the plan.
+  [[nodiscard]] std::string summary() const;
+
+  CompiledNetwork(CompiledNetwork&&) = default;
+  CompiledNetwork& operator=(CompiledNetwork&&) = default;
+
+ private:
+  CompiledNetwork() = default;
+
+  std::vector<std::unique_ptr<Op>> ops_;
+  std::vector<OpReport> reports_;
+  int64_t timesteps_ = 1;
+};
+
+}  // namespace ndsnn::runtime

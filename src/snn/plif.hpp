@@ -40,6 +40,7 @@ class PlifLayer {
   [[nodiscard]] float& raw_leak() { return raw_leak_; }
   [[nodiscard]] float& raw_leak_grad() { return raw_leak_grad_; }
 
+  [[nodiscard]] const PlifConfig& config() const { return config_; }
   [[nodiscard]] int64_t timesteps() const { return timesteps_; }
   [[nodiscard]] double last_spike_rate() const { return last_spike_rate_; }
 

@@ -1,13 +1,17 @@
 #include "sparse/csr.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace ndsnn::sparse {
 
-Csr Csr::from_dense(const tensor::Tensor& dense) {
+Csr Csr::from_dense(const tensor::Tensor& dense, float threshold) {
   if (dense.rank() != 2) {
     throw std::invalid_argument("Csr::from_dense: expected rank-2, got " +
                                 dense.shape().str());
+  }
+  if (threshold < 0.0F) {
+    throw std::invalid_argument("Csr::from_dense: threshold must be >= 0");
   }
   Csr csr;
   csr.rows_ = dense.dim(0);
@@ -17,7 +21,7 @@ Csr Csr::from_dense(const tensor::Tensor& dense) {
   for (int64_t r = 0; r < csr.rows_; ++r) {
     for (int64_t c = 0; c < csr.cols_; ++c) {
       const float v = dense.at(r, c);
-      if (v != 0.0F) {
+      if (std::fabs(v) > threshold) {
         csr.col_idx_.push_back(static_cast<int32_t>(c));
         csr.values_.push_back(v);
       }
@@ -25,6 +29,16 @@ Csr Csr::from_dense(const tensor::Tensor& dense) {
     csr.row_ptr_.push_back(static_cast<int64_t>(csr.values_.size()));
   }
   return csr;
+}
+
+Csr Csr::from_weights(const tensor::Tensor& weights, float threshold) {
+  if (weights.rank() < 2) {
+    throw std::invalid_argument("Csr::from_weights: expected rank >= 2, got " +
+                                weights.shape().str());
+  }
+  const int64_t rows = weights.dim(0);
+  return from_dense(weights.reshaped(tensor::Shape{rows, weights.numel() / rows}),
+                    threshold);
 }
 
 tensor::Tensor Csr::to_dense() const {
@@ -53,6 +67,58 @@ std::vector<float> Csr::matvec(const std::vector<float>& x) const {
     y[static_cast<std::size_t>(r)] = static_cast<float>(acc);
   }
   return y;
+}
+
+tensor::Tensor Csr::spmm(const tensor::Tensor& b) const {
+  if (b.rank() != 2 || b.dim(0) != cols_) {
+    throw std::invalid_argument("Csr::spmm: expected B [" + std::to_string(cols_) +
+                                ", n], got " + b.shape().str());
+  }
+  const int64_t n = b.dim(1);
+  tensor::Tensor c(tensor::Shape{rows_, n});
+  const float* bp = b.data();
+  float* cp = c.data();
+  // Row-major streaming: each nonzero A[r, col] scales one full row of B
+  // into row r of C, so the inner loop is a contiguous axpy.
+  for (int64_t r = 0; r < rows_; ++r) {
+    float* crow = cp + r * n;
+    for (int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      const float v = values_[static_cast<std::size_t>(k)];
+      const float* brow = bp + static_cast<int64_t>(col_idx_[static_cast<std::size_t>(k)]) * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+tensor::Tensor Csr::spmm_t(const tensor::Tensor& b) const {
+  if (b.rank() != 2 || b.dim(1) != cols_) {
+    throw std::invalid_argument("Csr::spmm_t: expected B [m, " + std::to_string(cols_) +
+                                "], got " + b.shape().str());
+  }
+  const int64_t m = b.dim(0);
+  tensor::Tensor c(tensor::Shape{m, rows_});
+  const float* bp = b.data();
+  float* cp = c.data();
+  // One dense row of B is reused across every CSR row, so keep the batch
+  // loop outermost and gather within the row.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* brow = bp + i * cols_;
+    float* crow = cp + i * rows_;
+    for (int64_t r = 0; r < rows_; ++r) {
+      // Double accumulator to mirror matmul_nt, which the dense linear
+      // path uses; keeps sparse and dense logits numerically close.
+      double acc = 0.0;
+      for (int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+           k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+        acc += static_cast<double>(values_[static_cast<std::size_t>(k)]) *
+               brow[col_idx_[static_cast<std::size_t>(k)]];
+      }
+      crow[r] = static_cast<float>(acc);
+    }
+  }
+  return c;
 }
 
 double Csr::sparsity() const {

@@ -1,7 +1,10 @@
 // Compressed Sparse Row storage for 2-D weight matrices (Sec. III-D).
 //
-// Used by the memory-footprint analysis and by the edge-deployment
-// example to export trained sparse models.
+// Used by the memory-footprint analysis, by the edge-deployment example
+// to export trained sparse models, and by the inference runtime
+// (src/runtime/) as the execution format for pruned weight layers: the
+// spmm kernels below are what make the trained sparsity pay off at
+// forward time instead of only in the analytical cost models.
 #pragma once
 
 #include <cstdint>
@@ -14,14 +17,31 @@ namespace ndsnn::sparse {
 /// CSR matrix: row_ptr has rows+1 entries; col_idx/values have nnz each.
 class Csr {
  public:
-  /// Compress a rank-2 tensor, keeping entries with |x| > 0.
-  [[nodiscard]] static Csr from_dense(const tensor::Tensor& dense);
+  /// Compress a rank-2 tensor, keeping entries with |x| > threshold.
+  /// The default threshold 0 keeps everything that is not exactly zero;
+  /// a positive threshold deliberately drops tiny-but-nonzero weights
+  /// (e.g. numerically dirty mask-pruned entries).
+  [[nodiscard]] static Csr from_dense(const tensor::Tensor& dense, float threshold = 0.0F);
+
+  /// Masked-weight extractor: reshape a weight tensor of any rank to
+  /// [dim(0), numel/dim(0)] (conv [F, C, KH, KW] -> [F, C*KH*KW], linear
+  /// [out, in] unchanged) and compress it. This is the uniform path from
+  /// a trained, mask-zeroed parameter tensor to an executable kernel.
+  [[nodiscard]] static Csr from_weights(const tensor::Tensor& weights, float threshold = 0.0F);
 
   /// Expand back to dense [rows, cols].
   [[nodiscard]] tensor::Tensor to_dense() const;
 
   /// y[rows] = A * x[cols] (sparse mat-vec).
   [[nodiscard]] std::vector<float> matvec(const std::vector<float>& x) const;
+
+  /// C[rows, n] = A * B for dense B [cols, n] (the "N" variant; conv
+  /// lowering: W_csr[F, CKK] * cols[CKK, L]).
+  [[nodiscard]] tensor::Tensor spmm(const tensor::Tensor& b) const;
+
+  /// C[m, rows] = B * Aᵀ for dense B [m, cols] (the "T" variant; linear
+  /// layers: x[M, in] * Wᵀ with W stored CSR [out, in]).
+  [[nodiscard]] tensor::Tensor spmm_t(const tensor::Tensor& b) const;
 
   [[nodiscard]] int64_t rows() const { return rows_; }
   [[nodiscard]] int64_t cols() const { return cols_; }

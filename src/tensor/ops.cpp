@@ -86,6 +86,36 @@ void map_(Tensor& a, const std::function<float(float)>& fn) {
   for (int64_t i = 0; i < n; ++i) pa[i] = fn(pa[i]);
 }
 
+void add_row_bias_(Tensor& out, const Tensor& bias) {
+  if (out.rank() != 2 || bias.rank() != 1 || out.dim(1) != bias.dim(0)) {
+    throw std::invalid_argument("add_row_bias_: expected [M, C] + [C], got " +
+                                out.shape().str() + " + " + bias.shape().str());
+  }
+  const int64_t m = out.dim(0), c = out.dim(1);
+  const float* b = bias.data();
+  float* row = out.data();
+  for (int64_t r = 0; r < m; ++r, row += c) {
+    for (int64_t j = 0; j < c; ++j) row[j] += b[j];
+  }
+}
+
+void add_channel_bias_(Tensor& out, const Tensor& bias) {
+  if (out.rank() != 4 || bias.rank() != 1 || out.dim(1) != bias.dim(0)) {
+    throw std::invalid_argument("add_channel_bias_: expected [M, C, H, W] + [C], got " +
+                                out.shape().str() + " + " + bias.shape().str());
+  }
+  const int64_t m = out.dim(0), c = out.dim(1), plane = out.dim(2) * out.dim(3);
+  const float* b = bias.data();
+  float* p = out.data();
+  for (int64_t mm = 0; mm < m; ++mm) {
+    for (int64_t ch = 0; ch < c; ++ch, p += plane) {
+      const float v = b[ch];
+      if (v == 0.0F) continue;
+      for (int64_t i = 0; i < plane; ++i) p[i] += v;
+    }
+  }
+}
+
 Tensor softmax_rows(const Tensor& logits) {
   if (logits.rank() != 2) {
     throw std::invalid_argument("softmax_rows: expected rank-2, got " + logits.shape().str());

@@ -35,6 +35,15 @@ void axpy_(Tensor& a, float s, const Tensor& b);
 /// Apply `fn` in place.
 void map_(Tensor& a, const std::function<float(float)>& fn);
 
+/// out[r, c] += bias[c] for a [M, C] matrix: one contiguous row-pointer
+/// sweep per row (shared by nn::Linear and the sparse inference runtime).
+void add_row_bias_(Tensor& out, const Tensor& bias);
+
+/// out[m, c, h, w] += bias[c] for a [M, C, H, W] activation: each (m, c)
+/// plane gets one constant added in a single contiguous sweep (shared by
+/// nn::Conv2d and the sparse inference runtime).
+void add_channel_bias_(Tensor& out, const Tensor& bias);
+
 /// Row-wise softmax of a [N, C] matrix (numerically stabilized).
 [[nodiscard]] Tensor softmax_rows(const Tensor& logits);
 

@@ -1,0 +1,125 @@
+// BatchExecutor: sharded serving must be deterministic — results depend
+// only on inputs and the plan, never on worker count or scheduling.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "nn/models/zoo.hpp"
+#include "runtime/batch_executor.hpp"
+#include "runtime/compiled_network.hpp"
+#include "sparse/mask.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::runtime {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+CompiledNetwork make_compiled(uint64_t seed) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 16;
+  spec.timesteps = 2;
+  spec.seed = seed;
+  const auto net = nn::make_lenet5(spec);
+  Rng rng(seed + 1);
+  for (const auto& p : net->params()) {
+    if (!p.prunable) continue;
+    const auto active = static_cast<int64_t>(static_cast<double>(p.value->numel()) * 0.1);
+    const sparse::Mask mask(p.value->shape(), active, rng);
+    mask.apply(*p.value);
+  }
+  return CompiledNetwork::compile(*net);
+}
+
+std::vector<Tensor> make_requests(int64_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> batches;
+  for (int64_t i = 0; i < count; ++i) {
+    Tensor b(Shape{2 + i % 3, 1, 16, 16});
+    b.fill_uniform(rng, 0.0F, 1.0F);
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+TEST(BatchExecutorTest, DeterministicAcrossThreadCounts) {
+  const CompiledNetwork compiled = make_compiled(5);
+  const std::vector<Tensor> requests = make_requests(12, 6);
+
+  std::vector<Tensor> single;
+  {
+    BatchExecutor exec(compiled, 1);
+    single = exec.run_all(requests);
+  }
+  std::vector<Tensor> pooled;
+  {
+    BatchExecutor exec(compiled, 4);
+    pooled = exec.run_all(requests);
+  }
+  ASSERT_EQ(single.size(), pooled.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    ASSERT_EQ(single[i].shape(), pooled[i].shape()) << "request " << i;
+    for (int64_t j = 0; j < single[i].numel(); ++j) {
+      // Bit-for-bit: sharding must not change the arithmetic.
+      ASSERT_EQ(single[i].at(j), pooled[i].at(j)) << "request " << i << " elem " << j;
+    }
+  }
+}
+
+TEST(BatchExecutorTest, ResultsMatchDirectRunAndPreserveOrder) {
+  const CompiledNetwork compiled = make_compiled(7);
+  const std::vector<Tensor> requests = make_requests(6, 8);
+  BatchExecutor exec(compiled, 3);
+  const std::vector<Tensor> results = exec.run_all(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Tensor expect = compiled.run(requests[i]);
+    ASSERT_EQ(results[i].shape(), expect.shape());
+    for (int64_t j = 0; j < expect.numel(); ++j) {
+      ASSERT_EQ(results[i].at(j), expect.at(j));
+    }
+  }
+}
+
+TEST(BatchExecutorTest, CountsCompletedWork) {
+  const CompiledNetwork compiled = make_compiled(9);
+  BatchExecutor exec(compiled, 2);
+  const std::vector<Tensor> requests = make_requests(5, 10);
+  int64_t samples = 0;
+  for (const auto& r : requests) samples += r.dim(0);
+  (void)exec.run_all(requests);
+  EXPECT_EQ(exec.completed_requests(), 5);
+  EXPECT_EQ(exec.completed_samples(), samples);
+}
+
+TEST(BatchExecutorTest, ShutdownDrainsQueueAndRejectsNewWork) {
+  const CompiledNetwork compiled = make_compiled(11);
+  BatchExecutor exec(compiled, 2);
+  std::vector<std::future<Tensor>> futures;
+  const std::vector<Tensor> requests = make_requests(4, 12);
+  futures.reserve(requests.size());
+  for (const auto& r : requests) futures.push_back(exec.submit(r));
+  exec.shutdown();
+  for (auto& f : futures) EXPECT_NO_THROW((void)f.get());
+  EXPECT_THROW((void)exec.submit(requests[0]), std::runtime_error);
+  EXPECT_NO_THROW(exec.shutdown());  // idempotent
+}
+
+TEST(BatchExecutorTest, RejectsZeroThreads) {
+  const CompiledNetwork compiled = make_compiled(13);
+  EXPECT_THROW(BatchExecutor(compiled, 0), std::invalid_argument);
+}
+
+TEST(BatchExecutorTest, PropagatesRunErrorsThroughFuture) {
+  const CompiledNetwork compiled = make_compiled(15);
+  BatchExecutor exec(compiled, 1);
+  auto bad = exec.submit(Tensor(Shape{3, 3, 3, 3}));  // wrong channel count
+  EXPECT_THROW((void)bad.get(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::runtime

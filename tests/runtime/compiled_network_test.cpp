@@ -1,0 +1,172 @@
+// CompiledNetwork must reproduce SpikingNetwork::predict on the zoo
+// models, dense and sparse, across T timesteps.
+#include <gtest/gtest.h>
+
+#include "nn/models/zoo.hpp"
+#include "runtime/compiled_network.hpp"
+#include "sparse/mask.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::runtime {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Zero out a fraction of every prunable weight tensor, like the
+/// sparse-training methods leave the network after convergence.
+void apply_random_masks(nn::SpikingNetwork& net, double sparsity, uint64_t seed) {
+  Rng rng(seed);
+  for (const auto& p : net.params()) {
+    if (!p.prunable) continue;
+    const auto active = static_cast<int64_t>(
+        static_cast<double>(p.value->numel()) * (1.0 - sparsity));
+    const sparse::Mask mask(p.value->shape(), active, rng);
+    mask.apply(*p.value);
+  }
+}
+
+/// One training step to make BatchNorm running statistics non-trivial,
+/// so the equivalence test exercises the real eval path.
+void warm_up(nn::SpikingNetwork& net, const Tensor& batch) {
+  std::vector<int64_t> labels(static_cast<std::size_t>(batch.dim(0)), 0);
+  (void)net.train_step(batch, labels);
+}
+
+Tensor random_batch(int64_t n, int64_t c, int64_t s, uint64_t seed) {
+  Rng rng(seed);
+  Tensor batch(Shape{n, c, s, s});
+  batch.fill_uniform(rng, 0.0F, 1.0F);
+  return batch;
+}
+
+void expect_close(const Tensor& a, const Tensor& b, double tol) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_NEAR(a.at(i), b.at(i), tol) << "logit " << i;
+  }
+}
+
+TEST(CompiledNetworkTest, LenetSparseMatchesInterpreted) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 16;
+  spec.timesteps = 4;
+  const auto net = nn::make_lenet5(spec);
+  apply_random_masks(*net, 0.9, 21);
+  const Tensor batch = random_batch(3, 1, 16, 22);
+  warm_up(*net, batch);
+
+  const Tensor expect = net->predict(batch);
+  const CompiledNetwork compiled = CompiledNetwork::compile(*net);
+  expect_close(compiled.run(batch), expect, 1e-4);
+
+  // The plan actually went sparse: LeNet has 3 linear + 2 conv layers.
+  int64_t csr_ops = 0;
+  for (const auto& r : compiled.plan()) {
+    if (r.kind == "csr-linear" || r.kind == "csr-conv") ++csr_ops;
+  }
+  EXPECT_EQ(csr_ops, 5);
+  EXPECT_GT(compiled.overall_sparsity(), 0.85);
+}
+
+TEST(CompiledNetworkTest, LenetDensePlanMatchesInterpreted) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 16;
+  spec.timesteps = 3;
+  const auto net = nn::make_lenet5(spec);
+  const Tensor batch = random_batch(2, 1, 16, 23);
+  warm_up(*net, batch);
+
+  const Tensor expect = net->predict(batch);
+  CompileOptions opts;
+  opts.force_dense = true;
+  const CompiledNetwork compiled = CompiledNetwork::compile(*net, opts);
+  expect_close(compiled.run(batch), expect, 1e-4);
+  for (const auto& r : compiled.plan()) {
+    EXPECT_TRUE(r.kind != "csr-linear" && r.kind != "csr-conv") << r.layer;
+  }
+}
+
+TEST(CompiledNetworkTest, VggSparseMatchesInterpreted) {
+  nn::ModelSpec spec;
+  spec.image_size = 32;
+  spec.timesteps = 2;
+  spec.width_scale = 0.125;
+  const auto net = nn::make_vgg16(spec);
+  apply_random_masks(*net, 0.95, 31);
+  const Tensor batch = random_batch(2, 3, 32, 32);
+  warm_up(*net, batch);
+
+  const Tensor expect = net->predict(batch);
+  const CompiledNetwork compiled = CompiledNetwork::compile(*net);
+  expect_close(compiled.run(batch), expect, 1e-4);
+}
+
+TEST(CompiledNetworkTest, ResnetSparseMatchesInterpreted) {
+  nn::ModelSpec spec;
+  spec.image_size = 16;
+  spec.timesteps = 2;
+  spec.width_scale = 0.0625;
+  const auto net = nn::make_resnet19(spec);
+  apply_random_masks(*net, 0.8, 41);
+  const Tensor batch = random_batch(2, 3, 16, 42);
+  warm_up(*net, batch);
+
+  const Tensor expect = net->predict(batch);
+  const CompiledNetwork compiled = CompiledNetwork::compile(*net);
+  expect_close(compiled.run(batch), expect, 1e-4);
+
+  // Residual blocks roll their weight ops into one report entry.
+  bool has_residual = false;
+  for (const auto& r : compiled.plan()) has_residual |= r.kind == "residual";
+  EXPECT_TRUE(has_residual);
+}
+
+TEST(CompiledNetworkTest, PruneThresholdDropsTinyWeights) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 16;
+  spec.timesteps = 1;
+  const auto net = nn::make_lenet5(spec);
+  apply_random_masks(*net, 0.5, 51);
+
+  CompileOptions strict;
+  strict.min_sparsity = 0.0;
+  const CompiledNetwork base = CompiledNetwork::compile(*net, strict);
+
+  CompileOptions pruned = strict;
+  pruned.prune_threshold = 0.05F;  // drop small surviving weights too
+  const CompiledNetwork trimmed = CompiledNetwork::compile(*net, pruned);
+  EXPECT_LT(trimmed.stored_weights(), base.stored_weights());
+}
+
+TEST(CompiledNetworkTest, SummaryAndReports) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 16;
+  spec.timesteps = 2;
+  const auto net = nn::make_lenet5(spec);
+  apply_random_masks(*net, 0.9, 61);
+  const CompiledNetwork compiled = CompiledNetwork::compile(*net);
+  EXPECT_EQ(compiled.timesteps(), 2);
+  EXPECT_FALSE(compiled.plan().empty());
+  const std::string text = compiled.summary();
+  EXPECT_NE(text.find("csr-conv"), std::string::npos);
+  EXPECT_NE(text.find("csr-linear"), std::string::npos);
+}
+
+TEST(CompiledNetworkTest, RejectsBadInputRank) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 16;
+  spec.timesteps = 1;
+  const auto net = nn::make_lenet5(spec);
+  const CompiledNetwork compiled = CompiledNetwork::compile(*net);
+  EXPECT_THROW((void)compiled.run(Tensor(Shape{4})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::runtime

@@ -1,0 +1,88 @@
+// CSR spmm / spmm_t equivalence against the dense GEMM kernels on random
+// masked matrices (the runtime's correctness cornerstone).
+#include <gtest/gtest.h>
+
+#include "sparse/csr.hpp"
+#include "sparse/mask.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::sparse {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_masked(Shape shape, double sparsity, Rng& rng) {
+  Tensor dense(shape);
+  dense.fill_uniform(rng, -1.0F, 1.0F);
+  const auto active =
+      static_cast<int64_t>(static_cast<double>(dense.numel()) * (1.0 - sparsity));
+  const Mask mask(shape, active, rng);
+  mask.apply(dense);
+  return dense;
+}
+
+TEST(SpmmTest, MatchesDenseMatmulAcrossSparsities) {
+  Rng rng(11);
+  for (const double sparsity : {0.0, 0.5, 0.9, 0.99}) {
+    const Tensor a = random_masked(Shape{17, 23}, sparsity, rng);
+    Tensor b(Shape{23, 9});
+    b.fill_uniform(rng, -1.0F, 1.0F);
+
+    const Tensor expect = tensor::matmul(a, b);
+    const Tensor got = Csr::from_dense(a).spmm(b);
+    ASSERT_EQ(got.shape(), expect.shape());
+    for (int64_t i = 0; i < expect.numel(); ++i) {
+      EXPECT_NEAR(got.at(i), expect.at(i), 1e-5) << "sparsity=" << sparsity << " i=" << i;
+    }
+  }
+}
+
+TEST(SpmmTest, TransposedMatchesDenseMatmulNt) {
+  Rng rng(12);
+  for (const double sparsity : {0.0, 0.5, 0.95}) {
+    const Tensor w = random_masked(Shape{31, 19}, sparsity, rng);  // [out, in]
+    Tensor x(Shape{7, 19});                                       // [M, in]
+    x.fill_uniform(rng, -1.0F, 1.0F);
+
+    const Tensor expect = tensor::matmul_nt(x, w);
+    const Tensor got = Csr::from_dense(w).spmm_t(x);
+    ASSERT_EQ(got.shape(), expect.shape());
+    for (int64_t i = 0; i < expect.numel(); ++i) {
+      EXPECT_NEAR(got.at(i), expect.at(i), 1e-5) << "sparsity=" << sparsity << " i=" << i;
+    }
+  }
+}
+
+TEST(SpmmTest, EmptyMatrixYieldsZeros) {
+  const Csr csr = Csr::from_dense(Tensor(Shape{4, 6}));
+  Tensor b(Shape{6, 3}, 1.0F);
+  const Tensor c = csr.spmm(b);
+  for (int64_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c.at(i), 0.0F);
+  Tensor x(Shape{5, 6}, 1.0F);
+  const Tensor ct = csr.spmm_t(x);
+  for (int64_t i = 0; i < ct.numel(); ++i) EXPECT_EQ(ct.at(i), 0.0F);
+}
+
+TEST(SpmmTest, ShapeMismatchThrows) {
+  const Csr csr = Csr::from_dense(Tensor(Shape{4, 6}, 1.0F));
+  EXPECT_THROW((void)csr.spmm(Tensor(Shape{5, 3})), std::invalid_argument);
+  EXPECT_THROW((void)csr.spmm_t(Tensor(Shape{3, 5})), std::invalid_argument);
+  EXPECT_THROW((void)csr.spmm(Tensor(Shape{6})), std::invalid_argument);
+}
+
+TEST(SpmmTest, FromWeightsReshapesConvKernels) {
+  Rng rng(13);
+  Tensor w(Shape{8, 3, 5, 5});
+  w.fill_uniform(rng, -1.0F, 1.0F);
+  const Csr csr = Csr::from_weights(w);
+  EXPECT_EQ(csr.rows(), 8);
+  EXPECT_EQ(csr.cols(), 75);
+  EXPECT_EQ(csr.nnz(), w.numel());
+  EXPECT_THROW((void)Csr::from_weights(Tensor(Shape{5})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndsnn::sparse
