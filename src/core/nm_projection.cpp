@@ -1,0 +1,35 @@
+#include "core/nm_projection.hpp"
+
+namespace ndsnn::core {
+
+std::vector<NmLayerReport> project_network_nm(nn::SpikingNetwork& net,
+                                              const sparse::NmPattern& pattern) {
+  pattern.validate();
+  std::vector<NmLayerReport> report;
+  for (const auto& p : net.params()) {
+    if (!p.prunable) continue;
+    NmLayerReport entry;
+    entry.param = p.name;
+    entry.weights = p.value->numel();
+    entry.loss = sparse::nm_projection_loss(*p.value, pattern);
+    sparse::project_nm(*p.value, pattern);
+    entry.sparsity = entry.weights == 0
+                         ? 0.0
+                         : static_cast<double>(p.value->count_zeros()) /
+                               static_cast<double>(entry.weights);
+    report.push_back(std::move(entry));
+  }
+  return report;
+}
+
+double mean_projection_loss(const std::vector<NmLayerReport>& report) {
+  int64_t weights = 0;
+  double weighted = 0.0;
+  for (const auto& r : report) {
+    weights += r.weights;
+    weighted += r.loss * static_cast<double>(r.weights);
+  }
+  return weights == 0 ? 0.0 : weighted / static_cast<double>(weights);
+}
+
+}  // namespace ndsnn::core

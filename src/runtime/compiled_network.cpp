@@ -1,5 +1,6 @@
 #include "runtime/compiled_network.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -16,6 +17,7 @@
 #include "nn/residual.hpp"
 #include "nn/sequential.hpp"
 #include "snn/surrogate.hpp"
+#include "sparse/bcsr.hpp"
 #include "sparse/csr.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/matmul.hpp"
@@ -30,42 +32,68 @@ namespace {
 
 // ------------------------------------------------------------ weight ops
 
-/// Linear layer: CSR spmm_t when sparse, matmul_nt fallback when dense.
+/// The kernel a weight op was lowered onto (resolved from
+/// CompileOptions::backend by the cost heuristic below).
+enum class Kernel { kDense, kCsr, kBcsr };
+
+const char* kernel_tag(Kernel k) {
+  switch (k) {
+    case Kernel::kDense: return "dense";
+    case Kernel::kCsr: return "csr";
+    case Kernel::kBcsr: return "bcsr";
+  }
+  return "?";
+}
+
+/// Linear layer: CSR/BCSR spmm_t when sparse, matmul_nt fallback when dense.
 class LinearOp final : public Op {
  public:
-  LinearOp(const nn::Linear& src, bool sparse, float prune_threshold)
+  LinearOp(const nn::Linear& src, Kernel kernel, const CompileOptions& opts)
       : layer_name_(src.name()),
-        sparse_(sparse),
+        kernel_(kernel),
         has_bias_(src.has_bias()),
         weights_(src.weight().numel()),
         source_sparsity_(src.masked_view()->sparsity()) {
-    if (sparse_) {
-      csr_ = sparse::Csr::from_weights(src.weight(), prune_threshold);
-    } else {
-      dense_ = src.weight();
+    switch (kernel_) {
+      case Kernel::kCsr:
+        csr_ = sparse::Csr::from_weights(src.weight(), opts.prune_threshold);
+        break;
+      case Kernel::kBcsr:
+        bcsr_ = sparse::Bcsr::from_weights(src.weight(), opts.block_rows, opts.block_cols,
+                                           opts.prune_threshold);
+        break;
+      case Kernel::kDense:
+        dense_ = src.weight();
+        break;
     }
     if (has_bias_) bias_ = src.bias();
   }
 
   [[nodiscard]] Tensor run(const Tensor& input) const override {
-    Tensor out = sparse_ ? csr_.spmm_t(input) : tensor::matmul_nt(input, dense_);
+    Tensor out = kernel_ == Kernel::kCsr    ? csr_.spmm_t(input)
+                 : kernel_ == Kernel::kBcsr ? bcsr_.spmm_t(input)
+                                            : tensor::matmul_nt(input, dense_);
     if (has_bias_) tensor::add_row_bias_(out, bias_);
     return out;
   }
 
   [[nodiscard]] OpReport report() const override {
-    return {layer_name_, sparse_ ? "csr-linear" : "dense-linear", weights_,
-            sparse_ ? csr_.nnz() : weights_, source_sparsity_};
+    const int64_t stored = kernel_ == Kernel::kCsr    ? csr_.nnz()
+                           : kernel_ == Kernel::kBcsr ? bcsr_.stored_values()
+                                                      : weights_;
+    return {layer_name_, std::string(kernel_tag(kernel_)) + "-linear", weights_, stored,
+            source_sparsity_};
   }
 
  private:
   std::string layer_name_;
-  bool sparse_;
+  Kernel kernel_;
   bool has_bias_;
   int64_t weights_;
   double source_sparsity_;
   sparse::Csr csr_;
-  Tensor dense_;  // [out, in], only when !sparse_
+  sparse::Bcsr bcsr_;
+  Tensor dense_;  // [out, in], only when kernel_ == kDense
   Tensor bias_;
 };
 
@@ -73,9 +101,9 @@ class LinearOp final : public Op {
 /// only the GEMM is swapped for Csr::spmm on sparse plans.
 class ConvOp final : public Op {
  public:
-  ConvOp(const nn::Conv2d& src, bool sparse, float prune_threshold)
+  ConvOp(const nn::Conv2d& src, Kernel kernel, const CompileOptions& opts)
       : layer_name_(src.name()),
-        sparse_(sparse),
+        gemm_(kernel),
         has_bias_(src.has_bias()),
         in_channels_(src.in_channels()),
         out_channels_(src.out_channels()),
@@ -84,11 +112,18 @@ class ConvOp final : public Op {
         padding_(src.padding()),
         weights_(src.weight().numel()),
         source_sparsity_(src.masked_view()->sparsity()) {
-    if (sparse_) {
-      csr_ = sparse::Csr::from_weights(src.weight(), prune_threshold);
-    } else {
-      dense_ = src.weight().reshaped(
-          Shape{out_channels_, in_channels_ * kernel_ * kernel_});
+    switch (gemm_) {
+      case Kernel::kCsr:
+        csr_ = sparse::Csr::from_weights(src.weight(), opts.prune_threshold);
+        break;
+      case Kernel::kBcsr:
+        bcsr_ = sparse::Bcsr::from_weights(src.weight(), opts.block_rows, opts.block_cols,
+                                           opts.prune_threshold);
+        break;
+      case Kernel::kDense:
+        dense_ = src.weight().reshaped(
+            Shape{out_channels_, in_channels_ * kernel_ * kernel_});
+        break;
     }
     if (has_bias_) bias_ = src.bias();
   }
@@ -114,7 +149,7 @@ class ConvOp final : public Op {
     const int64_t plane = oh * ow;
     Tensor out(Shape{m, out_channels_, oh, ow});
 
-    if (sparse_) {
+    if (gemm_ == Kernel::kCsr) {
       // Fused spmm + transpose: accumulate each CSR row f straight into
       // the [m, F, oy, ox] layout, skipping the [F, L] intermediate. Per
       // output element the nonzeros are visited in the same order as
@@ -139,7 +174,8 @@ class ConvOp final : public Op {
         }
       }
     } else {
-      const Tensor yflat = tensor::matmul(dense_, cols);
+      const Tensor yflat =
+          gemm_ == Kernel::kBcsr ? bcsr_.spmm(cols) : tensor::matmul(dense_, cols);
       // Transpose [F, (m, oy, ox)] -> [m, F, oy, ox].
       const float* src = yflat.data();
       float* dst = out.data();
@@ -157,19 +193,23 @@ class ConvOp final : public Op {
   }
 
   [[nodiscard]] OpReport report() const override {
-    return {layer_name_, sparse_ ? "csr-conv" : "dense-conv", weights_,
-            sparse_ ? csr_.nnz() : weights_, source_sparsity_};
+    const int64_t stored = gemm_ == Kernel::kCsr    ? csr_.nnz()
+                           : gemm_ == Kernel::kBcsr ? bcsr_.stored_values()
+                                                    : weights_;
+    return {layer_name_, std::string(kernel_tag(gemm_)) + "-conv", weights_, stored,
+            source_sparsity_};
   }
 
  private:
   std::string layer_name_;
-  bool sparse_;
+  Kernel gemm_;
   bool has_bias_;
   int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
   int64_t weights_;
   double source_sparsity_;
   sparse::Csr csr_;
-  Tensor dense_;  // [F, C*K*K], only when !sparse_
+  sparse::Bcsr bcsr_;
+  Tensor dense_;  // [F, C*K*K], only when gemm_ == kDense
   Tensor bias_;
 };
 
@@ -487,9 +527,19 @@ class ResidualOp final : public Op {
 
 // ------------------------------------------------------------- compiler
 
-/// True when the layer's current weights are sparse enough for CSR.
-bool should_go_sparse(const nn::MaskedLayerView& view, const CompileOptions& opts) {
-  return !opts.force_dense && view.sparsity() >= opts.min_sparsity;
+/// The cost heuristic: dense below the sparsity bar, then BCSR when the
+/// measured pattern (sparse::Bcsr::measure_weights — the same scan the
+/// format itself uses, without materializing block storage) is blocky
+/// enough that dense micro-blocks beat per-element indexing, else CSR.
+/// A forced CompileOptions::backend short-circuits the measurement.
+Kernel pick_kernel(const Tensor& weight, const CompileOptions& opts) {
+  if (opts.force_dense || opts.backend == Backend::kDense) return Kernel::kDense;
+  if (opts.backend == Backend::kCsr) return Kernel::kCsr;
+  if (opts.backend == Backend::kBcsr) return Kernel::kBcsr;
+  const sparse::BcsrStats stats = sparse::Bcsr::measure_weights(
+      weight, opts.block_rows, opts.block_cols, opts.prune_threshold);
+  if (stats.sparsity() < opts.min_sparsity) return Kernel::kDense;
+  return stats.occupancy() >= opts.bcsr_min_occupancy ? Kernel::kBcsr : Kernel::kCsr;
 }
 
 std::unique_ptr<Op> compile_layer(const nn::Layer& layer, const CompileOptions& opts);
@@ -505,12 +555,10 @@ std::vector<std::unique_ptr<Op>> compile_chain(
 
 std::unique_ptr<Op> compile_layer(const nn::Layer& layer, const CompileOptions& opts) {
   if (const auto* linear = dynamic_cast<const nn::Linear*>(&layer)) {
-    return std::make_unique<LinearOp>(*linear, should_go_sparse(*linear->masked_view(), opts),
-                                      opts.prune_threshold);
+    return std::make_unique<LinearOp>(*linear, pick_kernel(linear->weight(), opts), opts);
   }
   if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&layer)) {
-    return std::make_unique<ConvOp>(*conv, should_go_sparse(*conv->masked_view(), opts),
-                                    opts.prune_threshold);
+    return std::make_unique<ConvOp>(*conv, pick_kernel(conv->weight(), opts), opts);
   }
   if (const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(&layer)) {
     return std::make_unique<BatchNormOp>(*bn);
@@ -559,6 +607,18 @@ CompiledNetwork CompiledNetwork::compile(const nn::SpikingNetwork& net,
                                          const CompileOptions& opts) {
   if (opts.min_sparsity < 0.0 || opts.min_sparsity > 1.0) {
     throw std::invalid_argument("CompiledNetwork: min_sparsity must be in [0, 1]");
+  }
+  if (opts.block_rows < 1 || opts.block_cols < 1) {
+    throw std::invalid_argument("CompiledNetwork: block dims must be >= 1");
+  }
+  if (opts.bcsr_min_occupancy < 0.0 || opts.bcsr_min_occupancy > 1.0) {
+    throw std::invalid_argument("CompiledNetwork: bcsr_min_occupancy must be in [0, 1]");
+  }
+  if (opts.prune_threshold < 0.0F) {
+    // Reject up front: under kAuto a negative threshold would otherwise
+    // measure every layer as fully dense and silently compile no sparse
+    // kernels at all, instead of failing in Csr/Bcsr::from_dense.
+    throw std::invalid_argument("CompiledNetwork: prune_threshold must be >= 0");
   }
   if (dynamic_cast<const snn::DirectEncoder*>(&net.encoder()) == nullptr) {
     throw std::invalid_argument(

@@ -4,15 +4,22 @@
 // Training keeps weights dense and re-applies binary masks after every
 // optimizer step, so a "95% sparse" network still runs dense GEMM over
 // mostly-zero matrices. compile() walks the network body once and lowers
-// every weight layer:
+// every weight layer onto the best of three kernel backends:
 //
-//   - Linear/Conv2d whose weight sparsity >= CompileOptions::min_sparsity
-//     become CSR kernels (sparse::Csr::spmm / spmm_t); conv keeps the
-//     im2col lowering and only swaps the GEMM.
-//   - Layers below the threshold keep a dense GEMM fallback (a CSR matrix
-//     with low sparsity is slower than dense).
-//   - LIF/ALIF dynamics, BatchNorm (folded to eval statistics), pooling,
-//     flatten and residual blocks are lowered to stateless inference ops.
+//   - dense GEMM for layers below CompileOptions::min_sparsity (sparse
+//     formats pay indexing overhead that only amortizes with enough
+//     zeros);
+//   - element-wise CSR (sparse::Csr::spmm / spmm_t) for unstructured
+//     masks; conv keeps the im2col lowering and only swaps the GEMM;
+//   - block-CSR (sparse::Bcsr) when the measured pattern structure is
+//     blocky enough — N:M-projected or block-masked weights — so the
+//     spmm inner loops run dense over each micro-block and vectorize.
+//
+//   The per-layer choice is a small cost heuristic on the measured block
+//   occupancy (see CompileOptions); CompileOptions::backend forces one
+//   backend for every weight layer instead.
+//   LIF/ALIF dynamics, BatchNorm (folded to eval statistics), pooling,
+//   flatten and residual blocks are lowered to stateless inference ops.
 //
 // The resulting plan is immutable and shares no mutable state across
 // run() calls, so one CompiledNetwork can serve many threads concurrently
@@ -31,26 +38,51 @@
 
 namespace ndsnn::runtime {
 
+/// Which GEMM kernel a weight layer executes with.
+enum class Backend {
+  kAuto,   ///< per-layer cost heuristic (sparsity + block occupancy)
+  kDense,  ///< force dense GEMM everywhere (baseline plans)
+  kCsr,    ///< force element-wise CSR on every weight layer
+  kBcsr,   ///< force block-CSR on every weight layer
+};
+
 /// Knobs for the network -> plan lowering.
 struct CompileOptions {
-  /// Lower a weight layer to CSR when its weight sparsity is >= this.
-  /// Below it, the dense GEMM wins (CSR pays an index per value).
+  /// kAuto lowers a weight layer to a sparse kernel when its weight
+  /// sparsity is >= this. Below it, the dense GEMM wins (sparse formats
+  /// pay indexing overhead per value/block).
   double min_sparsity = 0.5;
-  /// Entries with |w| <= prune_threshold are dropped when building CSR
-  /// kernels (forwarded to sparse::Csr::from_dense).
+  /// Entries with |w| <= prune_threshold are dropped when building
+  /// sparse kernels (forwarded to sparse::Csr/Bcsr::from_dense).
   float prune_threshold = 0.0F;
   /// Keep every layer dense regardless of sparsity (baseline plans).
+  /// Legacy spelling of backend = Backend::kDense; either wins.
   bool force_dense = false;
+  /// Force one kernel backend for every weight layer, or kAuto to let
+  /// the cost heuristic decide per layer.
+  Backend backend = Backend::kAuto;
+  /// Block shape used for BCSR lowering (4x4 suits both 2:4/1:4 groups
+  /// and row-block accelerator tiles).
+  int64_t block_rows = 4;
+  int64_t block_cols = 4;
+  /// kAuto picks BCSR over CSR when the fraction of nonzeros inside the
+  /// occupied block storage is at least this. Calibrated with
+  /// bench/micro_kernels: at 0.5 occupancy (2:4) the dense micro-block
+  /// kernels beat CSR ~2x, at 0.25 (1:4) the padding FLOPs make them
+  /// lose, so the crossover sits between; unstructured high-sparsity
+  /// masks measure ~0.1 and stay CSR.
+  double bcsr_min_occupancy = 0.3;
 };
 
 /// What one compiled op is and how sparse its weights are (for plan
 /// summaries and the bench reports). Weightless ops report weights == 0.
 struct OpReport {
   std::string layer;     ///< source layer name(), e.g. "Conv2d(3->64, ...)"
-  std::string kind;      ///< "csr-linear" | "dense-linear" | "csr-conv" | "dense-conv" |
+  std::string kind;      ///< "{dense,csr,bcsr}-{linear,conv}" |
                          ///< "lif" | "alif" | "bn" | "pool" | "reshape" | "residual"
   int64_t weights = 0;   ///< total weight elements
-  int64_t nnz = 0;       ///< stored nonzeros (== weights for dense ops)
+  int64_t nnz = 0;       ///< values the kernel stores (CSR nonzeros, BCSR
+                         ///< dense block values, == weights for dense ops)
   double sparsity = 0.0; ///< zero fraction of the source weights
 };
 

@@ -1,0 +1,509 @@
+#include "sparse/bcsr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace ndsnn::sparse {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Bcsr Bcsr::from_dense(const Tensor& dense, int64_t block_rows, int64_t block_cols,
+                      float threshold) {
+  if (dense.rank() != 2) {
+    throw std::invalid_argument("Bcsr::from_dense: expected rank-2, got " +
+                                dense.shape().str());
+  }
+  if (block_rows < 1 || block_cols < 1) {
+    throw std::invalid_argument("Bcsr::from_dense: block dims must be >= 1");
+  }
+  if (threshold < 0.0F) {
+    throw std::invalid_argument("Bcsr::from_dense: threshold must be >= 0");
+  }
+  Bcsr bcsr;
+  bcsr.rows_ = dense.dim(0);
+  bcsr.cols_ = dense.dim(1);
+  bcsr.block_rows_ = block_rows;
+  bcsr.block_cols_ = block_cols;
+  const int64_t mb = bcsr.block_row_count();
+  const int64_t nb = (bcsr.cols_ + block_cols - 1) / block_cols;
+  const int64_t bs = block_rows * block_cols;
+  const float* src = dense.data();
+
+  bcsr.block_row_ptr_.reserve(static_cast<std::size_t>(mb) + 1);
+  bcsr.block_row_ptr_.push_back(0);
+  std::vector<float> block(static_cast<std::size_t>(bs));
+  for (int64_t ib = 0; ib < mb; ++ib) {
+    const int64_t row0 = ib * block_rows;
+    const int64_t r_lim = std::min(block_rows, bcsr.rows_ - row0);
+    for (int64_t jb = 0; jb < nb; ++jb) {
+      const int64_t col0 = jb * block_cols;
+      const int64_t c_lim = std::min(block_cols, bcsr.cols_ - col0);
+      std::fill(block.begin(), block.end(), 0.0F);
+      int64_t surviving = 0;
+      for (int64_t r = 0; r < r_lim; ++r) {
+        const float* wrow = src + (row0 + r) * bcsr.cols_ + col0;
+        for (int64_t c = 0; c < c_lim; ++c) {
+          const float v = wrow[c];
+          if (std::fabs(v) > threshold) {
+            block[static_cast<std::size_t>(r * block_cols + c)] = v;
+            ++surviving;
+          }
+        }
+      }
+      if (surviving > 0) {
+        bcsr.block_col_idx_.push_back(static_cast<int32_t>(jb));
+        bcsr.values_.insert(bcsr.values_.end(), block.begin(), block.end());
+        bcsr.nnz_ += surviving;
+      }
+    }
+    bcsr.block_row_ptr_.push_back(bcsr.block_count());
+  }
+  return bcsr;
+}
+
+Bcsr Bcsr::from_weights(const Tensor& weights, int64_t block_rows, int64_t block_cols,
+                        float threshold) {
+  if (weights.rank() < 2) {
+    throw std::invalid_argument("Bcsr::from_weights: expected rank >= 2, got " +
+                                weights.shape().str());
+  }
+  const int64_t rows = weights.dim(0);
+  return from_dense(weights.reshaped(Shape{rows, weights.numel() / rows}), block_rows,
+                    block_cols, threshold);
+}
+
+double BcsrStats::occupancy() const {
+  const int64_t stored = occupied_blocks * block_size;
+  return stored == 0 ? 0.0 : static_cast<double>(nnz) / static_cast<double>(stored);
+}
+
+double BcsrStats::sparsity() const {
+  return total == 0 ? 0.0 : 1.0 - static_cast<double>(nnz) / static_cast<double>(total);
+}
+
+BcsrStats Bcsr::measure_weights(const Tensor& weights, int64_t block_rows,
+                                int64_t block_cols, float threshold) {
+  if (weights.rank() < 2) {
+    throw std::invalid_argument("Bcsr::measure_weights: expected rank >= 2, got " +
+                                weights.shape().str());
+  }
+  if (block_rows < 1 || block_cols < 1) {
+    throw std::invalid_argument("Bcsr::measure_weights: block dims must be >= 1");
+  }
+  const int64_t rows = weights.dim(0);
+  const int64_t cols = weights.numel() / rows;
+  BcsrStats stats;
+  stats.total = rows * cols;
+  stats.block_size = block_rows * block_cols;
+  const float* w = weights.data();
+  for (int64_t row0 = 0; row0 < rows; row0 += block_rows) {
+    const int64_t r_lim = std::min(block_rows, rows - row0);
+    for (int64_t col0 = 0; col0 < cols; col0 += block_cols) {
+      const int64_t c_lim = std::min(block_cols, cols - col0);
+      int64_t in_block = 0;
+      for (int64_t r = 0; r < r_lim; ++r) {
+        const float* wrow = w + (row0 + r) * cols + col0;
+        for (int64_t c = 0; c < c_lim; ++c) {
+          in_block += std::fabs(wrow[c]) > threshold;
+        }
+      }
+      stats.nnz += in_block;
+      stats.occupied_blocks += in_block > 0;
+    }
+  }
+  return stats;
+}
+
+Bcsr Bcsr::from_nm(const Tensor& dense, const NmPattern& pattern, int64_t block_rows,
+                   float threshold) {
+  pattern.validate();
+  Tensor projected = dense;
+  project_nm(projected, pattern);
+  return from_dense(projected, block_rows, pattern.m, threshold);
+}
+
+Tensor Bcsr::to_dense() const {
+  Tensor out(Shape{rows_, cols_});
+  const int64_t bs = block_rows_ * block_cols_;
+  float* dst = out.data();
+  const int64_t mb = block_row_count();
+  for (int64_t ib = 0; ib < mb; ++ib) {
+    const int64_t row0 = ib * block_rows_;
+    const int64_t r_lim = std::min(block_rows_, rows_ - row0);
+    for (int64_t k = block_row_ptr_[static_cast<std::size_t>(ib)];
+         k < block_row_ptr_[static_cast<std::size_t>(ib) + 1]; ++k) {
+      const int64_t col0 = static_cast<int64_t>(block_col_idx_[static_cast<std::size_t>(k)]) *
+                           block_cols_;
+      const int64_t c_lim = std::min(block_cols_, cols_ - col0);
+      const float* vals = values_.data() + k * bs;
+      for (int64_t r = 0; r < r_lim; ++r) {
+        for (int64_t c = 0; c < c_lim; ++c) {
+          dst[(row0 + r) * cols_ + col0 + c] = vals[r * block_cols_ + c];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Output-column strip width of the spmm tile kernels. One strip row is
+/// one `vfs` value below: 2 ZMM on AVX-512, 4 YMM on AVX2 (when
+/// NDSNN_NATIVE_ARCH enables them), SSE quads otherwise.
+constexpr int64_t kStrip = 16;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define NDSNN_BCSR_VEC 1
+/// Strip-width float vector. A vfs is one "scalar" to the register
+/// allocator, so a BR-row accumulator tile of them reliably stays in
+/// registers — gcc spills rows of the equivalent float[BR][kStrip]
+/// array, serializing the FMA stream on a stack slot.
+typedef float vfs __attribute__((vector_size(kStrip * sizeof(float))));
+
+inline vfs vload_strip(const float* p) {
+  vfs r;
+  __builtin_memcpy(&r, p, sizeof r);
+  return r;
+}
+
+inline void vstore_strip(float* p, vfs v) { __builtin_memcpy(p, &v, sizeof v); }
+#endif
+
+/// One j-strip of one block row, runtime bounds (tail strips, the last
+/// partial block row). Same ascending-column accumulation order as the
+/// constant-bound fast path.
+inline void spmm_strip_slow(const std::vector<int32_t>& block_col_idx,
+                            const std::vector<float>& values, int64_t k0, int64_t k1,
+                            int64_t br, int64_t bc, int64_t r_lim, int64_t cols,
+                            const float* bp, int64_t n, int64_t j0, int64_t jt,
+                            float* acc /* [br * jt] */) {
+  std::fill(acc, acc + r_lim * jt, 0.0F);
+  for (int64_t k = k0; k < k1; ++k) {
+    const int64_t col0 = static_cast<int64_t>(block_col_idx[static_cast<std::size_t>(k)]) * bc;
+    const int64_t c_lim = std::min(bc, cols - col0);
+    const float* vals = values.data() + k * br * bc;
+    for (int64_t cc = 0; cc < c_lim; ++cc) {
+      const float* brow = bp + (col0 + cc) * n + j0;
+      for (int64_t r = 0; r < r_lim; ++r) {
+        const float v = vals[r * bc + cc];
+        if (v == 0.0F) continue;
+        float* arow = acc + r * jt;
+        for (int64_t j = 0; j < jt; ++j) arow[j] += v * brow[j];
+      }
+    }
+  }
+}
+
+/// spmm worker. Strip-mine the output columns: a BR x kStrip accumulator
+/// tile stays register resident across the whole block row, so each C
+/// row is written once per strip instead of re-streamed per nonzero (the
+/// CSR kernel's main cost), and each B row strip loaded once serves all
+/// BR output rows. The dispatch below instantiates the common block
+/// shapes with compile-time BR/BC so the tile loops fully unroll.
+/// Interior and edge blocks accumulate in the same ascending-column
+/// order (explicit zeros contribute exact no-ops), keeping results
+/// bitwise identical to Csr::spmm.
+template <int64_t BR, int64_t BC>
+void spmm_worker(const std::vector<int64_t>& block_row_ptr,
+                 const std::vector<int32_t>& block_col_idx, const std::vector<float>& values,
+                 int64_t rows, int64_t cols, const float* bp, int64_t n, float* cp) {
+  const int64_t mb = static_cast<int64_t>(block_row_ptr.size()) - 1;
+  const int64_t n_full = n - n % kStrip;
+  std::vector<float> slow_acc(static_cast<std::size_t>(BR * kStrip));
+  for (int64_t ib = 0; ib < mb; ++ib) {
+    const int64_t row0 = ib * BR;
+    const int64_t r_lim = std::min(BR, rows - row0);
+    const int64_t k0 = block_row_ptr[static_cast<std::size_t>(ib)];
+    const int64_t k1 = block_row_ptr[static_cast<std::size_t>(ib) + 1];
+    if (k0 == k1) continue;  // empty block row: C stays zero
+    if (r_lim == BR) {
+      // Full strips of a full block row: the hot path.
+      for (int64_t j0 = 0; j0 < n_full; j0 += kStrip) {
+#ifdef NDSNN_BCSR_VEC
+        vfs acc[BR];
+        for (int64_t r = 0; r < BR; ++r) acc[r] = vfs{};
+        const float* bpj = bp + j0;
+        for (int64_t k = k0; k < k1; ++k) {
+          const int64_t col0 =
+              static_cast<int64_t>(block_col_idx[static_cast<std::size_t>(k)]) * BC;
+          const float* vals = values.data() + k * BR * BC;
+          if (col0 + BC <= cols) {
+            // Interior block: constant trip counts, the whole BR x BC
+            // FMA tile unrolls straightline.
+            for (int64_t cc = 0; cc < BC; ++cc) {
+              const vfs b = vload_strip(bpj + (col0 + cc) * n);
+              for (int64_t r = 0; r < BR; ++r) acc[r] += b * vals[r * BC + cc];
+            }
+          } else {
+            const int64_t c_lim = cols - col0;
+            for (int64_t cc = 0; cc < c_lim; ++cc) {
+              const vfs b = vload_strip(bpj + (col0 + cc) * n);
+              for (int64_t r = 0; r < BR; ++r) acc[r] += b * vals[r * BC + cc];
+            }
+          }
+        }
+        for (int64_t r = 0; r < BR; ++r) vstore_strip(cp + (row0 + r) * n + j0, acc[r]);
+#else
+        float acc[BR][kStrip];
+        for (int64_t r = 0; r < BR; ++r) {
+          for (int64_t j = 0; j < kStrip; ++j) acc[r][j] = 0.0F;
+        }
+        for (int64_t k = k0; k < k1; ++k) {
+          const int64_t col0 =
+              static_cast<int64_t>(block_col_idx[static_cast<std::size_t>(k)]) * BC;
+          const float* vals = values.data() + k * BR * BC;
+          const int64_t c_lim = col0 + BC <= cols ? BC : cols - col0;
+          for (int64_t cc = 0; cc < c_lim; ++cc) {
+            const float* brow = bp + (col0 + cc) * n + j0;
+            for (int64_t r = 0; r < BR; ++r) {
+              const float v = vals[r * BC + cc];
+              for (int64_t j = 0; j < kStrip; ++j) acc[r][j] += v * brow[j];
+            }
+          }
+        }
+        for (int64_t r = 0; r < BR; ++r) {
+          float* crow = cp + (row0 + r) * n + j0;
+          for (int64_t j = 0; j < kStrip; ++j) crow[j] = acc[r][j];
+        }
+#endif
+      }
+      if (n_full < n) {
+        const int64_t jt = n - n_full;
+        spmm_strip_slow(block_col_idx, values, k0, k1, BR, BC, BR, cols, bp, n, n_full, jt,
+                        slow_acc.data());
+        for (int64_t r = 0; r < BR; ++r) {
+          float* crow = cp + (row0 + r) * n + n_full;
+          const float* arow = slow_acc.data() + r * jt;
+          for (int64_t j = 0; j < jt; ++j) crow[j] = arow[j];
+        }
+      }
+    } else {
+      // Bottom partial block row: runtime bounds throughout.
+      for (int64_t j0 = 0; j0 < n; j0 += kStrip) {
+        const int64_t jt = std::min(kStrip, n - j0);
+        spmm_strip_slow(block_col_idx, values, k0, k1, BR, BC, r_lim, cols, bp, n, j0, jt,
+                        slow_acc.data());
+        for (int64_t r = 0; r < r_lim; ++r) {
+          float* crow = cp + (row0 + r) * n + j0;
+          const float* arow = slow_acc.data() + r * jt;
+          for (int64_t j = 0; j < jt; ++j) crow[j] = arow[j];
+        }
+      }
+    }
+  }
+}
+
+/// spmm_t worker: double accumulators per output element to mirror
+/// matmul_nt / Csr::spmm_t bitwise; the inner loop over a block's
+/// columns is contiguous over both the stored values and the B row
+/// segment, and the BR accumulator chains are independent (the ILP the
+/// serial per-nonzero CSR gather lacks).
+template <int64_t BR, int64_t BC>
+void spmm_t_worker(const std::vector<int64_t>& block_row_ptr,
+                   const std::vector<int32_t>& block_col_idx,
+                   const std::vector<float>& values, int64_t rows, int64_t cols,
+                   const float* bp, int64_t m, float* cp) {
+  const int64_t mb = static_cast<int64_t>(block_row_ptr.size()) - 1;
+  double acc[BR];
+  for (int64_t i = 0; i < m; ++i) {
+    const float* brow = bp + i * cols;
+    float* crow = cp + i * rows;
+    for (int64_t ib = 0; ib < mb; ++ib) {
+      const int64_t row0 = ib * BR;
+      const int64_t r_lim = std::min(BR, rows - row0);
+      for (int64_t r = 0; r < BR; ++r) acc[r] = 0.0;
+      for (int64_t k = block_row_ptr[static_cast<std::size_t>(ib)];
+           k < block_row_ptr[static_cast<std::size_t>(ib) + 1]; ++k) {
+        const int64_t col0 =
+            static_cast<int64_t>(block_col_idx[static_cast<std::size_t>(k)]) * BC;
+        const float* vals = values.data() + k * BR * BC;
+        const float* bseg = brow + col0;
+        // cc outer / r inner: each acc[r] still sums its columns in
+        // ascending order (bitwise-stable), but consecutive FMAs hit
+        // different accumulator chains, so the BR chains pipeline
+        // instead of serializing on the FMA latency.
+        if (col0 + BC <= cols) {
+          for (int64_t cc = 0; cc < BC; ++cc) {
+            const double b = static_cast<double>(bseg[cc]);
+            for (int64_t r = 0; r < BR; ++r) {
+              acc[r] += static_cast<double>(vals[r * BC + cc]) * b;
+            }
+          }
+        } else {
+          const int64_t c_lim = cols - col0;
+          for (int64_t cc = 0; cc < c_lim; ++cc) {
+            const double b = static_cast<double>(bseg[cc]);
+            for (int64_t r = 0; r < BR; ++r) {
+              acc[r] += static_cast<double>(vals[r * BC + cc]) * b;
+            }
+          }
+        }
+      }
+      for (int64_t r = 0; r < r_lim; ++r) {
+        crow[row0 + r] = static_cast<float>(acc[r]);
+      }
+    }
+  }
+}
+
+// The hot block shapes get compile-time bounds; everything else takes
+// the generic runtime-bound workers below. Results are identical either
+// way — only the unrolling differs.
+using SpmmFn = void (*)(const std::vector<int64_t>&, const std::vector<int32_t>&,
+                        const std::vector<float>&, int64_t, int64_t, const float*, int64_t,
+                        float*);
+
+SpmmFn pick_spmm(int64_t br, int64_t bc) {
+  if (br == 4 && bc == 4) return &spmm_worker<4, 4>;
+  if (br == 8 && bc == 4) return &spmm_worker<8, 4>;
+  if (br == 2 && bc == 2) return &spmm_worker<2, 2>;
+  if (br == 4 && bc == 8) return &spmm_worker<4, 8>;
+  if (br == 1 && bc == 4) return &spmm_worker<1, 4>;
+  return nullptr;
+}
+
+SpmmFn pick_spmm_t(int64_t br, int64_t bc) {
+  if (br == 4 && bc == 4) return &spmm_t_worker<4, 4>;
+  if (br == 8 && bc == 4) return &spmm_t_worker<8, 4>;
+  if (br == 2 && bc == 2) return &spmm_t_worker<2, 2>;
+  if (br == 4 && bc == 8) return &spmm_t_worker<4, 8>;
+  if (br == 1 && bc == 4) return &spmm_t_worker<1, 4>;
+  return nullptr;
+}
+
+/// Generic runtime-bound fallbacks (arbitrary block shapes).
+void spmm_generic(const std::vector<int64_t>& block_row_ptr,
+                  const std::vector<int32_t>& block_col_idx, const std::vector<float>& values,
+                  int64_t rows, int64_t cols, int64_t br, int64_t bc, const float* bp,
+                  int64_t n, float* cp) {
+  const int64_t mb = static_cast<int64_t>(block_row_ptr.size()) - 1;
+  std::vector<float> acc(static_cast<std::size_t>(br * kStrip));
+  for (int64_t ib = 0; ib < mb; ++ib) {
+    const int64_t row0 = ib * br;
+    const int64_t r_lim = std::min(br, rows - row0);
+    const int64_t k0 = block_row_ptr[static_cast<std::size_t>(ib)];
+    const int64_t k1 = block_row_ptr[static_cast<std::size_t>(ib) + 1];
+    if (k0 == k1) continue;
+    for (int64_t j0 = 0; j0 < n; j0 += kStrip) {
+      const int64_t jt = std::min(kStrip, n - j0);
+      std::fill(acc.begin(), acc.begin() + r_lim * kStrip, 0.0F);
+      for (int64_t k = k0; k < k1; ++k) {
+        const int64_t col0 =
+            static_cast<int64_t>(block_col_idx[static_cast<std::size_t>(k)]) * bc;
+        const int64_t c_lim = std::min(bc, cols - col0);
+        const float* vals = values.data() + k * br * bc;
+        for (int64_t cc = 0; cc < c_lim; ++cc) {
+          const float* brow = bp + (col0 + cc) * n + j0;
+          for (int64_t r = 0; r < r_lim; ++r) {
+            const float v = vals[r * bc + cc];
+            if (v == 0.0F) continue;
+            float* arow = acc.data() + r * kStrip;
+            for (int64_t j = 0; j < jt; ++j) arow[j] += v * brow[j];
+          }
+        }
+      }
+      for (int64_t r = 0; r < r_lim; ++r) {
+        float* crow = cp + (row0 + r) * n + j0;
+        const float* arow = acc.data() + r * kStrip;
+        for (int64_t j = 0; j < jt; ++j) crow[j] = arow[j];
+      }
+    }
+  }
+}
+
+void spmm_t_generic(const std::vector<int64_t>& block_row_ptr,
+                    const std::vector<int32_t>& block_col_idx,
+                    const std::vector<float>& values, int64_t rows, int64_t cols, int64_t br,
+                    int64_t bc, const float* bp, int64_t m, float* cp) {
+  const int64_t mb = static_cast<int64_t>(block_row_ptr.size()) - 1;
+  std::vector<double> acc(static_cast<std::size_t>(br));
+  for (int64_t i = 0; i < m; ++i) {
+    const float* brow = bp + i * cols;
+    float* crow = cp + i * rows;
+    for (int64_t ib = 0; ib < mb; ++ib) {
+      const int64_t row0 = ib * br;
+      const int64_t r_lim = std::min(br, rows - row0);
+      std::fill(acc.begin(), acc.begin() + r_lim, 0.0);
+      for (int64_t k = block_row_ptr[static_cast<std::size_t>(ib)];
+           k < block_row_ptr[static_cast<std::size_t>(ib) + 1]; ++k) {
+        const int64_t col0 =
+            static_cast<int64_t>(block_col_idx[static_cast<std::size_t>(k)]) * bc;
+        const int64_t c_lim = std::min(bc, cols - col0);
+        const float* vals = values.data() + k * br * bc;
+        const float* bseg = brow + col0;
+        for (int64_t r = 0; r < r_lim; ++r) {
+          const float* vrow = vals + r * bc;
+          double a = acc[static_cast<std::size_t>(r)];
+          for (int64_t cc = 0; cc < c_lim; ++cc) {
+            a += static_cast<double>(vrow[cc]) * bseg[cc];
+          }
+          acc[static_cast<std::size_t>(r)] = a;
+        }
+      }
+      for (int64_t r = 0; r < r_lim; ++r) {
+        crow[row0 + r] = static_cast<float>(acc[static_cast<std::size_t>(r)]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Bcsr::spmm(const Tensor& b) const {
+  if (b.rank() != 2 || b.dim(0) != cols_) {
+    throw std::invalid_argument("Bcsr::spmm: expected B [" + std::to_string(cols_) +
+                                ", n], got " + b.shape().str());
+  }
+  const int64_t n = b.dim(1);
+  Tensor c(Shape{rows_, n});
+  if (const SpmmFn fn = pick_spmm(block_rows_, block_cols_)) {
+    fn(block_row_ptr_, block_col_idx_, values_, rows_, cols_, b.data(), n, c.data());
+  } else {
+    spmm_generic(block_row_ptr_, block_col_idx_, values_, rows_, cols_, block_rows_,
+                 block_cols_, b.data(), n, c.data());
+  }
+  return c;
+}
+
+Tensor Bcsr::spmm_t(const Tensor& b) const {
+  if (b.rank() != 2 || b.dim(1) != cols_) {
+    throw std::invalid_argument("Bcsr::spmm_t: expected B [m, " + std::to_string(cols_) +
+                                "], got " + b.shape().str());
+  }
+  const int64_t m = b.dim(0);
+  Tensor c(Shape{m, rows_});
+  if (const SpmmFn fn = pick_spmm_t(block_rows_, block_cols_)) {
+    fn(block_row_ptr_, block_col_idx_, values_, rows_, cols_, b.data(), m, c.data());
+  } else {
+    spmm_t_generic(block_row_ptr_, block_col_idx_, values_, rows_, cols_, block_rows_,
+                   block_cols_, b.data(), m, c.data());
+  }
+  return c;
+}
+
+int64_t Bcsr::block_row_count() const {
+  return block_rows_ > 0 ? (rows_ + block_rows_ - 1) / block_rows_ : 0;
+}
+
+double Bcsr::occupancy() const {
+  if (values_.empty()) return 0.0;
+  return static_cast<double>(nnz_) / static_cast<double>(values_.size());
+}
+
+double Bcsr::sparsity() const {
+  const int64_t total = rows_ * cols_;
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(nnz_) / static_cast<double>(total);
+}
+
+int64_t Bcsr::storage_bits(int64_t value_bits, int64_t index_bits) const {
+  // Dense block values + one column index per block + block row pointers.
+  return stored_values() * value_bits + block_count() * index_bits +
+         (block_row_count() + 1) * index_bits;
+}
+
+}  // namespace ndsnn::sparse

@@ -1,0 +1,132 @@
+// Block Compressed Sparse Row storage for 2-D weight matrices.
+//
+// Structured-sparsity hardware (N:M patterns on tensor cores, row-block
+// patterns on FPGA SNN accelerators like SyncNN [27]) executes sparse
+// matrices as *dense micro-blocks* rather than individual nonzeros: one
+// index addresses a fixed block_rows x block_cols tile whose values are
+// stored dense, so the spmm inner loops run contiguous and vectorize.
+// This is the execution format the runtime picks for N:M-projected and
+// block-masked layers, complementing the element-wise sparse::Csr used
+// for unstructured masks (where block occupancy would be too low).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/structured.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::sparse {
+
+/// BCSR matrix: the block grid is ceil(rows/block_rows) x
+/// ceil(cols/block_cols); a block is stored iff it contains at least one
+/// surviving entry, and stored blocks keep all block_rows*block_cols
+/// values dense (edge blocks are zero-padded). block_row_ptr has one
+/// entry per block row + 1; block_col_idx has one entry per stored
+/// block; values holds block_rows*block_cols floats per stored block in
+/// row-major order.
+/// Pattern structure of a weight tensor under a block grid, computed
+/// without materializing block storage. This is what the runtime's
+/// kernel-selection heuristic keys on; Bcsr::measure_weights and the
+/// stats of a built Bcsr agree by construction (one scan, one set of
+/// definitions) and a regression test pins it.
+struct BcsrStats {
+  int64_t total = 0;            ///< logical rows * cols
+  int64_t nnz = 0;              ///< entries with |w| > threshold
+  int64_t occupied_blocks = 0;  ///< blocks with at least one such entry
+  int64_t block_size = 1;       ///< block_rows * block_cols
+
+  /// Fraction of would-be-stored values that are nonzero (padded edge
+  /// blocks count their full block_size, exactly like stored blocks).
+  [[nodiscard]] double occupancy() const;
+  /// Zero fraction of the logical matrix.
+  [[nodiscard]] double sparsity() const;
+};
+
+class Bcsr {
+ public:
+  /// Compress a rank-2 tensor into block_rows x block_cols tiles.
+  /// Threshold semantics match Csr::from_dense exactly: entries with
+  /// |x| > threshold survive, entries at or below it are dropped (they
+  /// become explicit zeros inside stored blocks, or the whole block is
+  /// skipped when nothing in it survives).
+  [[nodiscard]] static Bcsr from_dense(const tensor::Tensor& dense, int64_t block_rows,
+                                       int64_t block_cols, float threshold = 0.0F);
+
+  /// Masked-weight extractor mirroring Csr::from_weights: reshape any
+  /// rank >= 2 tensor to [dim(0), numel/dim(0)] and compress it.
+  [[nodiscard]] static Bcsr from_weights(const tensor::Tensor& weights, int64_t block_rows,
+                                         int64_t block_cols, float threshold = 0.0F);
+
+  /// Measure the block-pattern structure of a weight tensor (any rank
+  /// >= 2, lowered like from_weights) without building the format —
+  /// what CompiledNetwork's backend heuristic calls on every weight
+  /// layer, including ones that end up dense or CSR.
+  [[nodiscard]] static BcsrStats measure_weights(const tensor::Tensor& weights,
+                                                 int64_t block_rows, int64_t block_cols,
+                                                 float threshold = 0.0F);
+
+  /// Project a copy of `dense` onto the N:M pattern and pack it with
+  /// block_cols = pattern.m, so block columns line up with the N:M
+  /// groups whenever cols % m == 0 and every stored block is at most
+  /// n/m-occupied per row. `dense` itself is not modified.
+  [[nodiscard]] static Bcsr from_nm(const tensor::Tensor& dense, const NmPattern& pattern,
+                                    int64_t block_rows = 4, float threshold = 0.0F);
+
+  /// Expand back to dense [rows, cols] (padding trimmed).
+  [[nodiscard]] tensor::Tensor to_dense() const;
+
+  /// C[rows, n] = A * B for dense B [cols, n] (conv lowering). Per
+  /// output element the contributions accumulate in ascending column
+  /// order with float adds, exactly like Csr::spmm and the zero-skipping
+  /// dense matmul, so all three backends agree bitwise.
+  [[nodiscard]] tensor::Tensor spmm(const tensor::Tensor& b) const;
+
+  /// C[m, rows] = B * Aᵀ for dense B [m, cols] (linear layers). Double
+  /// accumulator in ascending column order, bitwise-matching
+  /// tensor::matmul_nt and Csr::spmm_t.
+  [[nodiscard]] tensor::Tensor spmm_t(const tensor::Tensor& b) const;
+
+  [[nodiscard]] int64_t rows() const { return rows_; }
+  [[nodiscard]] int64_t cols() const { return cols_; }
+  [[nodiscard]] int64_t block_rows() const { return block_rows_; }
+  [[nodiscard]] int64_t block_cols() const { return block_cols_; }
+  /// Number of block rows in the grid: ceil(rows / block_rows).
+  [[nodiscard]] int64_t block_row_count() const;
+  /// Stored (non-empty) blocks.
+  [[nodiscard]] int64_t block_count() const {
+    return static_cast<int64_t>(block_col_idx_.size());
+  }
+  /// Surviving nonzero entries (what Csr would store).
+  [[nodiscard]] int64_t nnz() const { return nnz_; }
+  /// Values the format actually stores: block_count * block_rows * block_cols.
+  [[nodiscard]] int64_t stored_values() const {
+    return static_cast<int64_t>(values_.size());
+  }
+  /// Fraction of stored values that are nonzero — the pattern-structure
+  /// measure the runtime's kernel heuristic keys on (1.0 for a perfect
+  /// block mask, ~n/m for an aligned N:M pattern, low for unstructured).
+  [[nodiscard]] double occupancy() const;
+  /// Zero fraction of the logical [rows, cols] matrix.
+  [[nodiscard]] double sparsity() const;
+
+  /// Storage bits with `value_bits` per stored value and `index_bits`
+  /// per block column index / block row pointer (Sec. III-D accounting;
+  /// note BCSR pays for in-block zeros but needs ~1/(block_rows*
+  /// block_cols) as many indices as CSR).
+  [[nodiscard]] int64_t storage_bits(int64_t value_bits, int64_t index_bits) const;
+
+  [[nodiscard]] const std::vector<int64_t>& block_row_ptr() const { return block_row_ptr_; }
+  [[nodiscard]] const std::vector<int32_t>& block_col_idx() const { return block_col_idx_; }
+  [[nodiscard]] const std::vector<float>& values() const { return values_; }
+
+ private:
+  int64_t rows_ = 0, cols_ = 0;
+  int64_t block_rows_ = 1, block_cols_ = 1;
+  int64_t nnz_ = 0;
+  std::vector<int64_t> block_row_ptr_;
+  std::vector<int32_t> block_col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace ndsnn::sparse

@@ -84,4 +84,30 @@ double nm_sparsity(const NmPattern& pattern) {
   return 1.0 - static_cast<double>(pattern.n) / static_cast<double>(pattern.m);
 }
 
+NmPattern parse_nm(const std::string& spec) {
+  // Strictly digits:digits — stoll alone would accept whitespace and
+  // signs ("2: 4", "+2:4"), contradicting the error message below.
+  const auto all_digits = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (const char c : s) {
+      if (c < '0' || c > '9') return false;
+    }
+    return true;
+  };
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos || !all_digits(spec.substr(0, colon)) ||
+      !all_digits(spec.substr(colon + 1))) {
+    throw std::invalid_argument("parse_nm: expected \"N:M\", got '" + spec + "'");
+  }
+  NmPattern pattern;
+  try {
+    pattern.n = std::stoll(spec.substr(0, colon));
+    pattern.m = std::stoll(spec.substr(colon + 1));
+  } catch (const std::exception&) {  // out-of-range digits
+    throw std::invalid_argument("parse_nm: expected \"N:M\", got '" + spec + "'");
+  }
+  pattern.validate();
+  return pattern;
+}
+
 }  // namespace ndsnn::sparse

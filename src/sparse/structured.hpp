@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "tensor/tensor.hpp"
 
@@ -38,5 +39,9 @@ void project_nm(tensor::Tensor& weights, const NmPattern& pattern);
 
 /// Sparsity implied by the pattern itself: 1 - N/M.
 [[nodiscard]] double nm_sparsity(const NmPattern& pattern);
+
+/// Parse an "N:M" spec ("2:4", "1:4") into a validated pattern; throws
+/// std::invalid_argument on malformed input. Used by benches/examples.
+[[nodiscard]] NmPattern parse_nm(const std::string& spec);
 
 }  // namespace ndsnn::sparse

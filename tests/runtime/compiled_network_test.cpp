@@ -1,38 +1,25 @@
 // CompiledNetwork must reproduce SpikingNetwork::predict on the zoo
-// models, dense and sparse, across T timesteps.
+// models, dense and sparse, across T timesteps — plus the backend
+// selection logic: heuristic kernel choice, forced backends, and the
+// N:M-projection -> BCSR deployment path. Scenario plumbing (masking,
+// warm-up, bitwise comparison) comes from the differential harness.
 #include <gtest/gtest.h>
 
+#include "core/nm_projection.hpp"
 #include "nn/models/zoo.hpp"
 #include "runtime/compiled_network.hpp"
-#include "sparse/mask.hpp"
+#include "testing.hpp"
 #include "tensor/random.hpp"
 
 namespace ndsnn::runtime {
 namespace {
 
+using difftest::apply_random_masks;
+using difftest::expect_bitwise;
+using difftest::warm_up;
 using tensor::Rng;
 using tensor::Shape;
 using tensor::Tensor;
-
-/// Zero out a fraction of every prunable weight tensor, like the
-/// sparse-training methods leave the network after convergence.
-void apply_random_masks(nn::SpikingNetwork& net, double sparsity, uint64_t seed) {
-  Rng rng(seed);
-  for (const auto& p : net.params()) {
-    if (!p.prunable) continue;
-    const auto active = static_cast<int64_t>(
-        static_cast<double>(p.value->numel()) * (1.0 - sparsity));
-    const sparse::Mask mask(p.value->shape(), active, rng);
-    mask.apply(*p.value);
-  }
-}
-
-/// One training step to make BatchNorm running statistics non-trivial,
-/// so the equivalence test exercises the real eval path.
-void warm_up(nn::SpikingNetwork& net, const Tensor& batch) {
-  std::vector<int64_t> labels(static_cast<std::size_t>(batch.dim(0)), 0);
-  (void)net.train_step(batch, labels);
-}
 
 Tensor random_batch(int64_t n, int64_t c, int64_t s, uint64_t seed) {
   Rng rng(seed);
@@ -41,11 +28,11 @@ Tensor random_batch(int64_t n, int64_t c, int64_t s, uint64_t seed) {
   return batch;
 }
 
-void expect_close(const Tensor& a, const Tensor& b, double tol) {
-  ASSERT_EQ(a.shape(), b.shape());
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    ASSERT_NEAR(a.at(i), b.at(i), tol) << "logit " << i;
-  }
+int64_t count_kinds(const CompiledNetwork& plan, const std::string& a,
+                    const std::string& b = "") {
+  int64_t n = 0;
+  for (const auto& r : plan.plan()) n += r.kind == a || (!b.empty() && r.kind == b);
+  return n;
 }
 
 TEST(CompiledNetworkTest, LenetSparseMatchesInterpreted) {
@@ -60,14 +47,12 @@ TEST(CompiledNetworkTest, LenetSparseMatchesInterpreted) {
 
   const Tensor expect = net->predict(batch);
   const CompiledNetwork compiled = CompiledNetwork::compile(*net);
-  expect_close(compiled.run(batch), expect, 1e-4);
+  expect_bitwise(compiled.run(batch), expect, "lenet 0.9 sparse, auto backend");
 
   // The plan actually went sparse: LeNet has 3 linear + 2 conv layers.
-  int64_t csr_ops = 0;
-  for (const auto& r : compiled.plan()) {
-    if (r.kind == "csr-linear" || r.kind == "csr-conv") ++csr_ops;
-  }
-  EXPECT_EQ(csr_ops, 5);
+  // An unstructured 0.9 mask has low block occupancy, so auto = CSR.
+  EXPECT_EQ(count_kinds(compiled, "csr-linear", "csr-conv"), 5);
+  EXPECT_EQ(count_kinds(compiled, "bcsr-linear", "bcsr-conv"), 0);
   EXPECT_GT(compiled.overall_sparsity(), 0.85);
 }
 
@@ -84,9 +69,9 @@ TEST(CompiledNetworkTest, LenetDensePlanMatchesInterpreted) {
   CompileOptions opts;
   opts.force_dense = true;
   const CompiledNetwork compiled = CompiledNetwork::compile(*net, opts);
-  expect_close(compiled.run(batch), expect, 1e-4);
+  expect_bitwise(compiled.run(batch), expect, "lenet dense plan");
   for (const auto& r : compiled.plan()) {
-    EXPECT_TRUE(r.kind != "csr-linear" && r.kind != "csr-conv") << r.layer;
+    EXPECT_TRUE(r.kind.find("csr") == std::string::npos) << r.layer << " " << r.kind;
   }
 }
 
@@ -102,7 +87,7 @@ TEST(CompiledNetworkTest, VggSparseMatchesInterpreted) {
 
   const Tensor expect = net->predict(batch);
   const CompiledNetwork compiled = CompiledNetwork::compile(*net);
-  expect_close(compiled.run(batch), expect, 1e-4);
+  expect_bitwise(compiled.run(batch), expect, "vgg 0.95 sparse");
 }
 
 TEST(CompiledNetworkTest, ResnetSparseMatchesInterpreted) {
@@ -117,12 +102,56 @@ TEST(CompiledNetworkTest, ResnetSparseMatchesInterpreted) {
 
   const Tensor expect = net->predict(batch);
   const CompiledNetwork compiled = CompiledNetwork::compile(*net);
-  expect_close(compiled.run(batch), expect, 1e-4);
+  expect_bitwise(compiled.run(batch), expect, "resnet 0.8 sparse");
 
   // Residual blocks roll their weight ops into one report entry.
   bool has_residual = false;
   for (const auto& r : compiled.plan()) has_residual |= r.kind == "residual";
   EXPECT_TRUE(has_residual);
+}
+
+TEST(CompiledNetworkTest, NmProjectedNetworkAutoCompilesToBcsr) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 16;
+  spec.timesteps = 2;
+  const auto net = nn::make_lenet5(spec);
+  const auto report = core::project_network_nm(*net, {2, 4});
+  ASSERT_EQ(report.size(), 5U);  // 2 conv + 3 linear prunable weights
+  for (const auto& r : report) EXPECT_NEAR(r.sparsity, 0.5, 0.05) << r.param;
+  const Tensor batch = random_batch(2, 1, 16, 52);
+  warm_up(*net, batch);
+
+  const Tensor expect = net->predict(batch);
+  const CompiledNetwork compiled = CompiledNetwork::compile(*net);
+  expect_bitwise(compiled.run(batch), expect, "lenet 2:4 projected");
+
+  // A 2:4 pattern fills occupied blocks ~50%: well above the default
+  // occupancy bar, so the heuristic lowers every weight layer to BCSR.
+  EXPECT_EQ(count_kinds(compiled, "bcsr-linear", "bcsr-conv"), 5);
+  const std::string text = compiled.summary();
+  EXPECT_NE(text.find("bcsr-"), std::string::npos);
+}
+
+TEST(CompiledNetworkTest, ForcedBackendOverridesHeuristic) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 8;
+  spec.timesteps = 1;
+  const auto net = nn::make_lenet5(spec);
+  apply_random_masks(*net, 0.9, 61);  // unstructured: auto would pick CSR
+  const Tensor batch = random_batch(2, 1, 8, 62);
+  warm_up(*net, batch);
+  const Tensor expect = net->predict(batch);
+
+  for (const Backend backend : {Backend::kDense, Backend::kCsr, Backend::kBcsr}) {
+    CompileOptions opts;
+    opts.backend = backend;
+    const CompiledNetwork compiled = CompiledNetwork::compile(*net, opts);
+    const std::string tag = difftest::backend_name(backend);
+    EXPECT_EQ(count_kinds(compiled, tag + "-linear", tag + "-conv"), 5) << tag;
+    expect_bitwise(compiled.run(batch), expect, "forced backend " + tag);
+  }
 }
 
 TEST(CompiledNetworkTest, PruneThresholdDropsTinyWeights) {
@@ -134,7 +163,7 @@ TEST(CompiledNetworkTest, PruneThresholdDropsTinyWeights) {
   apply_random_masks(*net, 0.5, 51);
 
   CompileOptions strict;
-  strict.min_sparsity = 0.0;
+  strict.backend = Backend::kCsr;  // CSR storage counts individual nonzeros
   const CompiledNetwork base = CompiledNetwork::compile(*net, strict);
 
   CompileOptions pruned = strict;
@@ -166,6 +195,26 @@ TEST(CompiledNetworkTest, RejectsBadInputRank) {
   const auto net = nn::make_lenet5(spec);
   const CompiledNetwork compiled = CompiledNetwork::compile(*net);
   EXPECT_THROW((void)compiled.run(Tensor(Shape{4})), std::invalid_argument);
+}
+
+TEST(CompiledNetworkTest, RejectsBadOptions) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 8;
+  spec.timesteps = 1;
+  const auto net = nn::make_lenet5(spec);
+  CompileOptions opts;
+  opts.block_rows = 0;
+  EXPECT_THROW((void)CompiledNetwork::compile(*net, opts), std::invalid_argument);
+  opts = {};
+  opts.bcsr_min_occupancy = 1.5;
+  EXPECT_THROW((void)CompiledNetwork::compile(*net, opts), std::invalid_argument);
+  opts = {};
+  opts.min_sparsity = -0.1;
+  EXPECT_THROW((void)CompiledNetwork::compile(*net, opts), std::invalid_argument);
+  opts = {};
+  opts.prune_threshold = -1.0F;  // would silently compile all-dense under kAuto
+  EXPECT_THROW((void)CompiledNetwork::compile(*net, opts), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,194 @@
+// Differential / property test harness for the inference runtime.
+//
+// The runtime now has three kernel backends (dense / CSR / BCSR) chosen
+// per layer by a cost heuristic, which is far too many combinations for
+// hand-written cases. This header generates randomized network
+// configurations (architecture x sparsity x N:M pattern x batch/timestep
+// shapes) from a seeded RNG and checks that CompiledNetwork reproduces
+// the interpreted SpikingNetwork::predict *bitwise* on every backend —
+// the compiled ops mirror the interpreted arithmetic term for term, so
+// any drift at all is a lowering bug, not roundoff.
+//
+// Reproducibility: every randomized test derives from env_seed(), which
+// reads NDSNN_TEST_SEED (decimal) and logs it; a failing CI run prints
+// the seed and the offending NetConfig, and exporting the same seed
+// locally replays the identical sequence.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <ios>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../testing_env.hpp"
+#include "core/nm_projection.hpp"
+#include "nn/models/zoo.hpp"
+#include "runtime/compiled_network.hpp"
+#include "sparse/mask.hpp"
+#include "sparse/structured.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::difftest {
+
+/// One randomized network scenario. str() is attached to every failure
+/// message so a red run identifies the exact configuration.
+struct NetConfig {
+  std::string arch = "lenet5";
+  int64_t image = 12;
+  int64_t channels = 1;
+  int64_t batch = 2;
+  int64_t timesteps = 2;
+  double width_scale = 1.0;
+  double sparsity = 0.9;  ///< unstructured mask fraction (before projection)
+  int64_t nm_n = 0;       ///< 0 = no N:M projection
+  int64_t nm_m = 0;
+  int64_t block_rows = 4;  ///< BCSR block shape handed to CompileOptions
+  int64_t block_cols = 4;
+  uint64_t seed = 1;
+
+  [[nodiscard]] std::string str() const {
+    std::string s = "arch=" + arch + " image=" + std::to_string(image) +
+                    " ch=" + std::to_string(channels) + " batch=" + std::to_string(batch) +
+                    " T=" + std::to_string(timesteps) +
+                    " ws=" + std::to_string(width_scale) +
+                    " sparsity=" + std::to_string(sparsity);
+    if (nm_m > 0) s += " nm=" + std::to_string(nm_n) + ":" + std::to_string(nm_m);
+    s += " block=" + std::to_string(block_rows) + "x" + std::to_string(block_cols) +
+         " seed=" + std::to_string(seed);
+    return s;
+  }
+};
+
+/// Draw a scenario: mostly LeNets (cheap), with VGG/ResNet sprinkled in
+/// to cover conv stacks, BN folding, pooling variants and residuals.
+inline NetConfig random_config(tensor::Rng& rng) {
+  NetConfig cfg;
+  const double arch_roll = rng.uniform01();
+  if (arch_roll < 0.70) {
+    cfg.arch = "lenet5";
+    cfg.image = 4 * (2 + rng.uniform_int(3));  // 8 | 12 | 16
+    cfg.channels = rng.bernoulli(0.5) ? 1 : 3;
+    cfg.width_scale = rng.bernoulli(0.5) ? 1.0 : 0.5;
+  } else if (arch_roll < 0.85) {
+    cfg.arch = "vgg16";
+    cfg.image = 32;
+    cfg.channels = 3;
+    cfg.width_scale = 0.0625;
+  } else {
+    cfg.arch = "resnet19";
+    cfg.image = 16;
+    cfg.channels = 3;
+    cfg.width_scale = 0.0625;
+  }
+  cfg.batch = 1 + rng.uniform_int(3);
+  cfg.timesteps = 1 + rng.uniform_int(3);
+  // 0.3 sits below the default min_sparsity so the auto heuristic keeps
+  // those layers dense; the rest exercise the sparse kernels.
+  const double sparsities[] = {0.3, 0.5, 0.8, 0.9, 0.95};
+  cfg.sparsity = sparsities[rng.uniform_int(5)];
+  if (rng.bernoulli(0.6)) {  // structured deployment flavour
+    const int64_t patterns[][2] = {{2, 4}, {1, 4}, {2, 8}, {4, 8}};
+    const int64_t pick = rng.uniform_int(4);
+    cfg.nm_n = patterns[pick][0];
+    cfg.nm_m = patterns[pick][1];
+  }
+  const int64_t blocks[][2] = {{4, 4}, {2, 2}, {8, 4}, {1, 4}, {4, 1}};
+  const int64_t pick = rng.uniform_int(5);
+  cfg.block_rows = blocks[pick][0];
+  cfg.block_cols = blocks[pick][1];
+  cfg.seed = rng.next_u64() >> 1;
+  return cfg;
+}
+
+/// Zero out a fraction of every prunable weight tensor, like the
+/// sparse-training methods leave the network after convergence.
+inline void apply_random_masks(nn::SpikingNetwork& net, double sparsity, uint64_t seed) {
+  tensor::Rng rng(seed);
+  for (const auto& p : net.params()) {
+    if (!p.prunable) continue;
+    const auto active = static_cast<int64_t>(
+        static_cast<double>(p.value->numel()) * (1.0 - sparsity));
+    const sparse::Mask mask(p.value->shape(), active, rng);
+    mask.apply(*p.value);
+  }
+}
+
+/// One training step to make BatchNorm running statistics non-trivial,
+/// so equivalence checks exercise the real eval path. train_step only
+/// accumulates gradients (no optimizer), so masks/projections survive.
+inline void warm_up(nn::SpikingNetwork& net, const tensor::Tensor& batch) {
+  std::vector<int64_t> labels(static_cast<std::size_t>(batch.dim(0)), 0);
+  (void)net.train_step(batch, labels);
+}
+
+/// Input batch [batch, channels, image, image] in [0, 1).
+inline tensor::Tensor random_batch(const NetConfig& cfg, uint64_t salt = 0) {
+  tensor::Rng rng(cfg.seed ^ (0x9E3779B97F4A7C15ULL + salt));
+  tensor::Tensor batch(tensor::Shape{cfg.batch, cfg.channels, cfg.image, cfg.image});
+  batch.fill_uniform(rng, 0.0F, 1.0F);
+  return batch;
+}
+
+/// Build the scenario's network: zoo model -> unstructured mask ->
+/// optional N:M projection -> BN warm-up step.
+inline std::unique_ptr<nn::SpikingNetwork> build_network(const NetConfig& cfg) {
+  nn::ModelSpec spec;
+  spec.in_channels = cfg.channels;
+  spec.image_size = cfg.image;
+  spec.timesteps = cfg.timesteps;
+  spec.width_scale = cfg.width_scale;
+  spec.seed = cfg.seed;
+  auto net = nn::make_model(cfg.arch, spec);
+  apply_random_masks(*net, cfg.sparsity, cfg.seed + 1);
+  if (cfg.nm_m > 0) {
+    (void)core::project_network_nm(*net, {cfg.nm_n, cfg.nm_m});
+  }
+  warm_up(*net, random_batch(cfg, /*salt=*/1));
+  return net;
+}
+
+/// CompileOptions matching the scenario's block shape.
+inline runtime::CompileOptions options_for(const NetConfig& cfg,
+                                           runtime::Backend backend = runtime::Backend::kAuto) {
+  runtime::CompileOptions opts;
+  opts.backend = backend;
+  opts.block_rows = cfg.block_rows;
+  opts.block_cols = cfg.block_cols;
+  return opts;
+}
+
+/// Bitwise tensor equality; on the first mismatch reports the flat index
+/// and both float values at full precision, then stops.
+inline void expect_bitwise(const tensor::Tensor& got, const tensor::Tensor& want,
+                           const std::string& context) {
+  ASSERT_EQ(got.shape(), want.shape()) << context;
+  for (int64_t i = 0; i < want.numel(); ++i) {
+    ASSERT_EQ(got.at(i), want.at(i))
+        << context << " diverges at flat index " << i << " (got "
+        << std::hexfloat << got.at(i) << ", want " << want.at(i) << std::defaultfloat << ")";
+  }
+}
+
+/// All backends the differential sweep exercises.
+inline const std::vector<runtime::Backend>& all_backends() {
+  static const std::vector<runtime::Backend> kBackends = {
+      runtime::Backend::kAuto, runtime::Backend::kDense, runtime::Backend::kCsr,
+      runtime::Backend::kBcsr};
+  return kBackends;
+}
+
+inline const char* backend_name(runtime::Backend b) {
+  switch (b) {
+    case runtime::Backend::kAuto: return "auto";
+    case runtime::Backend::kDense: return "dense";
+    case runtime::Backend::kCsr: return "csr";
+    case runtime::Backend::kBcsr: return "bcsr";
+  }
+  return "?";
+}
+
+}  // namespace ndsnn::difftest

@@ -1,0 +1,182 @@
+#include "sparse/bcsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/csr.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::sparse {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(BcsrTest, RoundTripDenseWithPadding) {
+  // 3x5 with 2x2 blocks: the grid is 2x3 block rows/cols with a padded
+  // bottom row and right column.
+  Tensor dense(Shape{3, 5}, std::vector<float>{1, 0, 0, 0, 2,  //
+                                               0, 0, 0, 0, 0,  //
+                                               0, 3, 0, 0, 0});
+  const Bcsr bcsr = Bcsr::from_dense(dense, 2, 2);
+  EXPECT_EQ(bcsr.rows(), 3);
+  EXPECT_EQ(bcsr.cols(), 5);
+  EXPECT_EQ(bcsr.nnz(), 3);
+  EXPECT_EQ(bcsr.block_count(), 3);        // (0,0), (0,2), (1,0)
+  EXPECT_EQ(bcsr.stored_values(), 3 * 4);  // dense 2x2 blocks
+  EXPECT_EQ(bcsr.block_row_count(), 2);
+  const Tensor back = bcsr.to_dense();
+  ASSERT_EQ(back.shape(), dense.shape());
+  for (int64_t i = 0; i < dense.numel(); ++i) EXPECT_EQ(back.at(i), dense.at(i));
+}
+
+TEST(BcsrTest, BlockStructure) {
+  Tensor dense(Shape{4, 8});
+  dense.at(0, 0) = 1.0F;  // block (0, 0)
+  dense.at(3, 7) = 2.0F;  // block (0, 1) with 4x4 blocks
+  const Bcsr bcsr = Bcsr::from_dense(dense, 4, 4);
+  ASSERT_EQ(bcsr.block_row_ptr().size(), 2U);
+  EXPECT_EQ(bcsr.block_row_ptr()[0], 0);
+  EXPECT_EQ(bcsr.block_row_ptr()[1], 2);
+  ASSERT_EQ(bcsr.block_col_idx().size(), 2U);
+  EXPECT_EQ(bcsr.block_col_idx()[0], 0);
+  EXPECT_EQ(bcsr.block_col_idx()[1], 1);
+  EXPECT_DOUBLE_EQ(bcsr.occupancy(), 2.0 / 32.0);
+  EXPECT_DOUBLE_EQ(bcsr.sparsity(), 30.0 / 32.0);
+}
+
+TEST(BcsrTest, CsrAndBcsrAgreeOnThresholdSemantics) {
+  // Regression pin: both formats use the STRICT compare |w| > threshold,
+  // so entries exactly at the threshold are dropped by both. Keep this
+  // in sync with CsrTest.ThresholdDropsTinyEntries.
+  Tensor dense(Shape{2, 4}, std::vector<float>{0.5F, 1e-3F, -1e-3F, 0.0F,  //
+                                               -0.5F, 0.25F, 2e-2F, 0.0F});
+  for (const float threshold : {0.0F, 1e-3F, 2e-2F, 0.25F, 0.5F}) {
+    const Csr csr = Csr::from_dense(dense, threshold);
+    const Bcsr bcsr = Bcsr::from_dense(dense, 2, 2, threshold);
+    EXPECT_EQ(bcsr.nnz(), csr.nnz()) << "threshold=" << threshold;
+    const Tensor a = csr.to_dense();
+    const Tensor b = bcsr.to_dense();
+    for (int64_t i = 0; i < dense.numel(); ++i) {
+      EXPECT_EQ(b.at(i), a.at(i)) << "threshold=" << threshold << " i=" << i;
+    }
+  }
+  // |w| == threshold is dropped (strict), in both formats.
+  EXPECT_EQ(Csr::from_dense(dense, 0.5F).nnz(), 0);
+  EXPECT_EQ(Bcsr::from_dense(dense, 2, 2, 0.5F).nnz(), 0);
+  EXPECT_EQ(Bcsr::from_dense(dense, 2, 2, 0.5F).block_count(), 0);
+  // Negative thresholds are rejected by both.
+  EXPECT_THROW((void)Bcsr::from_dense(dense, 2, 2, -1.0F), std::invalid_argument);
+}
+
+TEST(BcsrTest, FromNmPacksAlignedGroups) {
+  Rng rng(31);
+  Tensor w(Shape{16, 32});
+  w.fill_uniform(rng, 0.5F, 1.0F);  // no exact zeros before projection
+  const Bcsr bcsr = Bcsr::from_nm(w, {2, 4}, /*block_rows=*/4);
+  EXPECT_EQ(bcsr.block_cols(), 4);
+  // 32 % 4 == 0: block columns line up with the N:M groups, every block
+  // is exactly half full, and every block survives.
+  EXPECT_EQ(bcsr.block_count(), 4 * 8);
+  EXPECT_DOUBLE_EQ(bcsr.occupancy(), 0.5);
+  EXPECT_DOUBLE_EQ(bcsr.sparsity(), 0.5);
+  // from_nm projects a copy; the source tensor is untouched.
+  EXPECT_EQ(w.count_zeros(), 0);
+  // The packed matrix equals the projected source.
+  Tensor projected = w;
+  project_nm(projected, {2, 4});
+  const Tensor back = bcsr.to_dense();
+  for (int64_t i = 0; i < w.numel(); ++i) EXPECT_EQ(back.at(i), projected.at(i));
+}
+
+TEST(BcsrTest, FromWeightsReshapesConvKernels) {
+  Rng rng(13);
+  Tensor w(Shape{8, 3, 5, 5});
+  w.fill_uniform(rng, -1.0F, 1.0F);
+  const Bcsr bcsr = Bcsr::from_weights(w, 4, 4);
+  EXPECT_EQ(bcsr.rows(), 8);
+  EXPECT_EQ(bcsr.cols(), 75);
+  EXPECT_EQ(bcsr.nnz(), w.numel());
+  EXPECT_THROW((void)Bcsr::from_weights(Tensor(Shape{5}), 4, 4), std::invalid_argument);
+}
+
+TEST(BcsrTest, EmptyAndInvalidInputs) {
+  const Bcsr empty = Bcsr::from_dense(Tensor(Shape{6, 6}), 2, 3);
+  EXPECT_EQ(empty.nnz(), 0);
+  EXPECT_EQ(empty.block_count(), 0);
+  EXPECT_DOUBLE_EQ(empty.occupancy(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.sparsity(), 1.0);
+  const Tensor out = empty.spmm(Tensor(Shape{6, 4}, 1.0F));
+  for (int64_t i = 0; i < out.numel(); ++i) EXPECT_EQ(out.at(i), 0.0F);
+
+  EXPECT_THROW((void)Bcsr::from_dense(Tensor(Shape{2, 2, 2}), 2, 2), std::invalid_argument);
+  EXPECT_THROW((void)Bcsr::from_dense(Tensor(Shape{2, 2}), 0, 2), std::invalid_argument);
+  EXPECT_THROW((void)Bcsr::from_dense(Tensor(Shape{2, 2}), 2, 0), std::invalid_argument);
+}
+
+TEST(BcsrTest, SpmmShapeMismatchThrows) {
+  const Bcsr bcsr = Bcsr::from_dense(Tensor(Shape{4, 6}, 1.0F), 2, 2);
+  EXPECT_THROW((void)bcsr.spmm(Tensor(Shape{5, 3})), std::invalid_argument);
+  EXPECT_THROW((void)bcsr.spmm_t(Tensor(Shape{3, 5})), std::invalid_argument);
+  EXPECT_THROW((void)bcsr.spmm(Tensor(Shape{6})), std::invalid_argument);
+}
+
+TEST(BcsrTest, StorageBitsAccounting) {
+  // 2 stored 2x2 blocks, 2 block rows: 2*4 values * 8 bits + 2 block
+  // indices * 16 + (2+1) pointers * 16 = 64 + 32 + 48 = 144.
+  Tensor dense(Shape{4, 4});
+  dense.at(0, 0) = 1.0F;
+  dense.at(3, 3) = 2.0F;
+  const Bcsr bcsr = Bcsr::from_dense(dense, 2, 2);
+  ASSERT_EQ(bcsr.block_count(), 2);
+  EXPECT_EQ(bcsr.storage_bits(8, 16), 144);
+}
+
+TEST(BcsrTest, MeasureWeightsAgreesWithBuiltFormat) {
+  // Regression pin: the allocation-free scan the runtime's backend
+  // heuristic uses must report exactly what building the format would
+  // (same strict threshold, same padded-edge-block accounting) — a
+  // silent divergence would misroute layers to the wrong kernel.
+  Rng rng(91);
+  for (int round = 0; round < 20; ++round) {
+    const int64_t rows = 1 + rng.uniform_int(30);
+    const int64_t cols = 1 + rng.uniform_int(30);
+    const int64_t br = 1 + rng.uniform_int(5);
+    const int64_t bc = 1 + rng.uniform_int(5);
+    const float threshold = rng.bernoulli(0.5) ? 0.0F : 0.3F;
+    Tensor w(Shape{rows, cols});
+    w.fill_uniform(rng, -1.0F, 1.0F);
+    for (int64_t i = 0; i < w.numel(); ++i) {
+      if (rng.bernoulli(0.6)) w.at(i) = 0.0F;
+    }
+    const BcsrStats stats = Bcsr::measure_weights(w, br, bc, threshold);
+    const Bcsr built = Bcsr::from_dense(w, br, bc, threshold);
+    const std::string ctx = "round " + std::to_string(round);
+    EXPECT_EQ(stats.nnz, built.nnz()) << ctx;
+    EXPECT_EQ(stats.occupied_blocks, built.block_count()) << ctx;
+    EXPECT_EQ(stats.occupied_blocks * stats.block_size, built.stored_values()) << ctx;
+    EXPECT_DOUBLE_EQ(stats.occupancy(), built.occupancy()) << ctx;
+    EXPECT_DOUBLE_EQ(stats.sparsity(), built.sparsity()) << ctx;
+  }
+  EXPECT_THROW((void)Bcsr::measure_weights(Tensor(Shape{5}), 4, 4), std::invalid_argument);
+  EXPECT_THROW((void)Bcsr::measure_weights(Tensor(Shape{4, 4}), 0, 4),
+               std::invalid_argument);
+}
+
+TEST(BcsrTest, StorageTradeoffVsCsr) {
+  // On an aligned 2:4 pattern BCSR stores twice the values of CSR but a
+  // quarter of the indices (4x4 blocks, 8 nonzeros per block).
+  Rng rng(77);
+  Tensor w(Shape{64, 64});
+  w.fill_uniform(rng, 0.5F, 1.0F);
+  const Bcsr bcsr = Bcsr::from_nm(w, {2, 4}, 4);
+  Tensor projected = w;
+  project_nm(projected, {2, 4});
+  const Csr csr = Csr::from_dense(projected);
+  EXPECT_EQ(bcsr.nnz(), csr.nnz());
+  EXPECT_EQ(bcsr.stored_values(), 2 * csr.nnz());
+  EXPECT_EQ(bcsr.block_count() * 8, csr.nnz());
+}
+
+}  // namespace
+}  // namespace ndsnn::sparse

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
+#include "../testing_env.hpp"
 #include "tensor/random.hpp"
 
 namespace ndsnn::sparse {
@@ -93,6 +97,91 @@ TEST(NmTest, ZeroTensorLossless) {
   Tensor w(Shape{16});
   EXPECT_DOUBLE_EQ(nm_projection_loss(w, {1, 4}), 0.0);
   EXPECT_TRUE(satisfies_nm(w, {1, 4}));
+}
+
+TEST(NmTest, PropertyRoundTripRandomized) {
+  // project_nm ∘ satisfies_nm round-trip, idempotence, and loss bounds
+  // over random shapes (odd numels exercise the tail group) and random
+  // patterns. Seeded via NDSNN_TEST_SEED.
+  Rng rng(difftest::env_seed() ^ 0x57A7B1E5ULL);
+  for (int round = 0; round < 200; ++round) {
+    const int64_t numel = 1 + rng.uniform_int(257);
+    const int64_t m = 2 + rng.uniform_int(7);           // 2..8
+    const int64_t n = rng.uniform_int(m + 1);           // 0..m
+    const NmPattern pattern{n, m};
+    Tensor w(Shape{numel});
+    w.fill_uniform(rng, -2.0F, 2.0F);
+    const std::string ctx = "round " + std::to_string(round) + ": numel=" +
+                            std::to_string(numel) + " pattern=" + std::to_string(n) +
+                            ":" + std::to_string(m);
+
+    const double loss = nm_projection_loss(w, pattern);
+    EXPECT_GE(loss, 0.0) << ctx;
+    EXPECT_LE(loss, 1.0) << ctx;
+
+    project_nm(w, pattern);
+    EXPECT_TRUE(satisfies_nm(w, pattern)) << ctx;
+    // A satisfying tensor projects losslessly...
+    EXPECT_DOUBLE_EQ(nm_projection_loss(w, pattern), 0.0) << ctx;
+    // ...and idempotently.
+    const Tensor once = w;
+    project_nm(w, pattern);
+    for (int64_t i = 0; i < w.numel(); ++i) ASSERT_EQ(w.at(i), once.at(i)) << ctx;
+  }
+}
+
+TEST(NmTest, TailGroupEdgeCasesExhaustive) {
+  // Every tail size 1..m-1 for every pattern up to m=6: the tail keeps
+  // exactly min(tail, ceil(n * tail / m)) entries — and they are the
+  // largest-magnitude ones.
+  for (int64_t m = 2; m <= 6; ++m) {
+    for (int64_t n = 0; n <= m; ++n) {
+      for (int64_t tail = 1; tail < m; ++tail) {
+        const int64_t numel = 2 * m + tail;  // two full groups + tail
+        Tensor w(Shape{numel});
+        for (int64_t i = 0; i < numel; ++i) w.at(i) = static_cast<float>(i + 1);
+        project_nm(w, {n, m});
+        const std::string ctx = std::to_string(n) + ":" + std::to_string(m) +
+                                " tail=" + std::to_string(tail);
+        int64_t tail_nonzero = 0;
+        for (int64_t i = 2 * m; i < numel; ++i) tail_nonzero += w.at(i) != 0.0F;
+        const int64_t expect_keep = std::min<int64_t>(tail, (n * tail + m - 1) / m);
+        EXPECT_EQ(tail_nonzero, expect_keep) << ctx;
+        // Survivors are the largest tail entries (values ascend with i).
+        for (int64_t i = numel - expect_keep; i < numel; ++i) {
+          EXPECT_NE(w.at(i), 0.0F) << ctx << " i=" << i;
+        }
+        EXPECT_TRUE(satisfies_nm(w, {n, m})) << ctx;
+      }
+    }
+  }
+}
+
+TEST(NmTest, NumelSmallerThanGroupSize) {
+  // The whole tensor is one tail group.
+  Tensor w(Shape{3}, std::vector<float>{3.0F, -1.0F, 2.0F});
+  project_nm(w, {2, 8});  // keep ceil(2*3/8) = 1
+  EXPECT_EQ(w.at(0), 3.0F);
+  EXPECT_EQ(w.at(1), 0.0F);
+  EXPECT_EQ(w.at(2), 0.0F);
+  EXPECT_TRUE(satisfies_nm(w, {2, 8}));
+}
+
+TEST(NmTest, ParseNm) {
+  EXPECT_EQ(parse_nm("2:4").n, 2);
+  EXPECT_EQ(parse_nm("2:4").m, 4);
+  EXPECT_EQ(parse_nm("1:16").m, 16);
+  EXPECT_THROW((void)parse_nm(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_nm("2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_nm(":4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_nm("2:"), std::invalid_argument);
+  EXPECT_THROW((void)parse_nm("2:4x"), std::invalid_argument);
+  // Strictly digits:digits — no whitespace or signs.
+  EXPECT_THROW((void)parse_nm("2: 4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_nm(" 2:4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_nm("+2:4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_nm("2:-4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_nm("5:4"), std::invalid_argument);  // validate()
 }
 
 TEST(NmTest, UnstructuredSparseOftenViolatesNm) {

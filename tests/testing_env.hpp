@@ -1,0 +1,40 @@
+// Shared seeded-RNG plumbing for randomized tests (all suites).
+//
+// Every randomized test derives its randomness from env_seed() so CI
+// failures are reproducible: export the logged NDSNN_TEST_SEED locally
+// to replay the identical sequence. The heavier differential harness
+// (network generation, backend sweeps) lives in runtime/testing.hpp.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstdint>
+
+namespace ndsnn::difftest {
+
+/// Seed for all randomized tests: NDSNN_TEST_SEED when set, else a fixed
+/// default. Logged once per test binary so failures are reproducible.
+inline uint64_t env_seed() {
+  static const uint64_t seed = [] {
+    const char* raw = std::getenv("NDSNN_TEST_SEED");
+    uint64_t value = 0x5EEDC0DEULL;
+    if (raw != nullptr && *raw != '\0') {
+      value = std::strtoull(raw, nullptr, 10);
+    }
+    std::printf("[difftest] NDSNN_TEST_SEED=%llu (export to reproduce)\n",
+                static_cast<unsigned long long>(value));
+    return value;
+  }();
+  return seed;
+}
+
+/// Positive integer from the environment, e.g. NDSNN_DIFF_CONFIGS to
+/// scale the differential sweep down in slow (Debug/sanitizer) CI jobs.
+inline int env_int(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const int value = std::atoi(raw);
+  return value > 0 ? value : fallback;
+}
+
+}  // namespace ndsnn::difftest
