@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_sparsity_schedules.dir/bench/fig1_sparsity_schedules.cpp.o"
+  "CMakeFiles/bench_fig1_sparsity_schedules.dir/bench/fig1_sparsity_schedules.cpp.o.d"
+  "bench/fig1_sparsity_schedules"
+  "bench/fig1_sparsity_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_sparsity_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_small_timestep.dir/bench/fig4_small_timestep.cpp.o"
+  "CMakeFiles/bench_fig4_small_timestep.dir/bench/fig4_small_timestep.cpp.o.d"
+  "bench/fig4_small_timestep"
+  "bench/fig4_small_timestep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_small_timestep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

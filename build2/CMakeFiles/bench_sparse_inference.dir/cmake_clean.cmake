@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sparse_inference.dir/bench/sparse_inference.cpp.o"
+  "CMakeFiles/bench_sparse_inference.dir/bench/sparse_inference.cpp.o.d"
+  "bench/sparse_inference"
+  "bench/sparse_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparse_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_admm.dir/bench/table2_admm.cpp.o"
+  "CMakeFiles/bench_table2_admm.dir/bench/table2_admm.cpp.o.d"
+  "bench/table2_admm"
+  "bench/table2_admm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_admm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_initial_sparsity.dir/bench/table3_initial_sparsity.cpp.o"
+  "CMakeFiles/bench_table3_initial_sparsity.dir/bench/table3_initial_sparsity.cpp.o.d"
+  "bench/table3_initial_sparsity"
+  "bench/table3_initial_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_initial_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

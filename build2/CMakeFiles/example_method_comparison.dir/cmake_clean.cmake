@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_method_comparison.dir/examples/method_comparison.cpp.o"
+  "CMakeFiles/example_method_comparison.dir/examples/method_comparison.cpp.o.d"
+  "examples/method_comparison"
+  "examples/method_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_method_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_serve_sparse.dir/examples/serve_sparse.cpp.o"
+  "CMakeFiles/example_serve_sparse.dir/examples/serve_sparse.cpp.o.d"
+  "examples/serve_sparse"
+  "examples/serve_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_serve_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_temporal_events.dir/examples/temporal_events.cpp.o"
+  "CMakeFiles/example_temporal_events.dir/examples/temporal_events.cpp.o.d"
+  "examples/temporal_events"
+  "examples/temporal_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_temporal_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,83 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admm_method.cpp" "CMakeFiles/ndsnn.dir/src/core/admm_method.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/admm_method.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "CMakeFiles/ndsnn.dir/src/core/cost_model.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/dense_method.cpp" "CMakeFiles/ndsnn.dir/src/core/dense_method.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/dense_method.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "CMakeFiles/ndsnn.dir/src/core/experiment.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/experiment.cpp.o.d"
+  "/root/repo/src/core/flops_model.cpp" "CMakeFiles/ndsnn.dir/src/core/flops_model.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/flops_model.cpp.o.d"
+  "/root/repo/src/core/gmp_method.cpp" "CMakeFiles/ndsnn.dir/src/core/gmp_method.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/gmp_method.cpp.o.d"
+  "/root/repo/src/core/lth_method.cpp" "CMakeFiles/ndsnn.dir/src/core/lth_method.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/lth_method.cpp.o.d"
+  "/root/repo/src/core/method.cpp" "CMakeFiles/ndsnn.dir/src/core/method.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/method.cpp.o.d"
+  "/root/repo/src/core/ndsnn_method.cpp" "CMakeFiles/ndsnn.dir/src/core/ndsnn_method.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/ndsnn_method.cpp.o.d"
+  "/root/repo/src/core/nm_projection.cpp" "CMakeFiles/ndsnn.dir/src/core/nm_projection.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/nm_projection.cpp.o.d"
+  "/root/repo/src/core/rigl_method.cpp" "CMakeFiles/ndsnn.dir/src/core/rigl_method.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/rigl_method.cpp.o.d"
+  "/root/repo/src/core/set_method.cpp" "CMakeFiles/ndsnn.dir/src/core/set_method.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/set_method.cpp.o.d"
+  "/root/repo/src/core/snip_method.cpp" "CMakeFiles/ndsnn.dir/src/core/snip_method.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/snip_method.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "CMakeFiles/ndsnn.dir/src/core/trainer.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/core/trainer.cpp.o.d"
+  "/root/repo/src/data/augment.cpp" "CMakeFiles/ndsnn.dir/src/data/augment.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/data/augment.cpp.o.d"
+  "/root/repo/src/data/dataloader.cpp" "CMakeFiles/ndsnn.dir/src/data/dataloader.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/data/dataloader.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/ndsnn.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/data/event_synthetic.cpp" "CMakeFiles/ndsnn.dir/src/data/event_synthetic.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/data/event_synthetic.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "CMakeFiles/ndsnn.dir/src/data/synthetic.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/data/synthetic.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "CMakeFiles/ndsnn.dir/src/nn/batchnorm.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "CMakeFiles/ndsnn.dir/src/nn/checkpoint.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "CMakeFiles/ndsnn.dir/src/nn/conv2d.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "CMakeFiles/ndsnn.dir/src/nn/flatten.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/flatten.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "CMakeFiles/ndsnn.dir/src/nn/layer.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/lif_activation.cpp" "CMakeFiles/ndsnn.dir/src/nn/lif_activation.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/lif_activation.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "CMakeFiles/ndsnn.dir/src/nn/linear.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "CMakeFiles/ndsnn.dir/src/nn/loss.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/models/lenet.cpp" "CMakeFiles/ndsnn.dir/src/nn/models/lenet.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/models/lenet.cpp.o.d"
+  "/root/repo/src/nn/models/resnet.cpp" "CMakeFiles/ndsnn.dir/src/nn/models/resnet.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/models/resnet.cpp.o.d"
+  "/root/repo/src/nn/models/vgg.cpp" "CMakeFiles/ndsnn.dir/src/nn/models/vgg.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/models/vgg.cpp.o.d"
+  "/root/repo/src/nn/models/zoo.cpp" "CMakeFiles/ndsnn.dir/src/nn/models/zoo.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/models/zoo.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "CMakeFiles/ndsnn.dir/src/nn/network.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/network.cpp.o.d"
+  "/root/repo/src/nn/neuron_activations.cpp" "CMakeFiles/ndsnn.dir/src/nn/neuron_activations.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/neuron_activations.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "CMakeFiles/ndsnn.dir/src/nn/pool.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/pool.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "CMakeFiles/ndsnn.dir/src/nn/residual.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/residual.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "CMakeFiles/ndsnn.dir/src/nn/sequential.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/nn/sequential.cpp.o.d"
+  "/root/repo/src/opt/lr_scheduler.cpp" "CMakeFiles/ndsnn.dir/src/opt/lr_scheduler.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/opt/lr_scheduler.cpp.o.d"
+  "/root/repo/src/opt/sgd.cpp" "CMakeFiles/ndsnn.dir/src/opt/sgd.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/opt/sgd.cpp.o.d"
+  "/root/repo/src/runtime/batch_executor.cpp" "CMakeFiles/ndsnn.dir/src/runtime/batch_executor.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/runtime/batch_executor.cpp.o.d"
+  "/root/repo/src/runtime/compiled_network.cpp" "CMakeFiles/ndsnn.dir/src/runtime/compiled_network.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/runtime/compiled_network.cpp.o.d"
+  "/root/repo/src/snn/alif.cpp" "CMakeFiles/ndsnn.dir/src/snn/alif.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/snn/alif.cpp.o.d"
+  "/root/repo/src/snn/encoder.cpp" "CMakeFiles/ndsnn.dir/src/snn/encoder.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/snn/encoder.cpp.o.d"
+  "/root/repo/src/snn/lif.cpp" "CMakeFiles/ndsnn.dir/src/snn/lif.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/snn/lif.cpp.o.d"
+  "/root/repo/src/snn/plif.cpp" "CMakeFiles/ndsnn.dir/src/snn/plif.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/snn/plif.cpp.o.d"
+  "/root/repo/src/snn/spike_stats.cpp" "CMakeFiles/ndsnn.dir/src/snn/spike_stats.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/snn/spike_stats.cpp.o.d"
+  "/root/repo/src/snn/surrogate.cpp" "CMakeFiles/ndsnn.dir/src/snn/surrogate.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/snn/surrogate.cpp.o.d"
+  "/root/repo/src/sparse/bcsr.cpp" "CMakeFiles/ndsnn.dir/src/sparse/bcsr.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/sparse/bcsr.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "CMakeFiles/ndsnn.dir/src/sparse/csr.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/distribution.cpp" "CMakeFiles/ndsnn.dir/src/sparse/distribution.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/sparse/distribution.cpp.o.d"
+  "/root/repo/src/sparse/mask.cpp" "CMakeFiles/ndsnn.dir/src/sparse/mask.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/sparse/mask.cpp.o.d"
+  "/root/repo/src/sparse/memory_model.cpp" "CMakeFiles/ndsnn.dir/src/sparse/memory_model.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/sparse/memory_model.cpp.o.d"
+  "/root/repo/src/sparse/schedule.cpp" "CMakeFiles/ndsnn.dir/src/sparse/schedule.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/sparse/schedule.cpp.o.d"
+  "/root/repo/src/sparse/structured.cpp" "CMakeFiles/ndsnn.dir/src/sparse/structured.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/sparse/structured.cpp.o.d"
+  "/root/repo/src/sparse/topk.cpp" "CMakeFiles/ndsnn.dir/src/sparse/topk.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/sparse/topk.cpp.o.d"
+  "/root/repo/src/tensor/im2col.cpp" "CMakeFiles/ndsnn.dir/src/tensor/im2col.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/tensor/im2col.cpp.o.d"
+  "/root/repo/src/tensor/matmul.cpp" "CMakeFiles/ndsnn.dir/src/tensor/matmul.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/tensor/matmul.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "CMakeFiles/ndsnn.dir/src/tensor/ops.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/random.cpp" "CMakeFiles/ndsnn.dir/src/tensor/random.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/tensor/random.cpp.o.d"
+  "/root/repo/src/tensor/serialize.cpp" "CMakeFiles/ndsnn.dir/src/tensor/serialize.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/tensor/serialize.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "CMakeFiles/ndsnn.dir/src/tensor/shape.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/tensor/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "CMakeFiles/ndsnn.dir/src/tensor/tensor.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/tensor/tensor.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/ndsnn.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/ndsnn.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/stopwatch.cpp" "CMakeFiles/ndsnn.dir/src/util/stopwatch.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/util/stopwatch.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/ndsnn.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/ndsnn.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

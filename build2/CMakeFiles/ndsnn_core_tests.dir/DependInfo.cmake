@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cost_model_test.cpp" "CMakeFiles/ndsnn_core_tests.dir/tests/core/cost_model_test.cpp.o" "gcc" "CMakeFiles/ndsnn_core_tests.dir/tests/core/cost_model_test.cpp.o.d"
+  "/root/repo/tests/core/experiment_test.cpp" "CMakeFiles/ndsnn_core_tests.dir/tests/core/experiment_test.cpp.o" "gcc" "CMakeFiles/ndsnn_core_tests.dir/tests/core/experiment_test.cpp.o.d"
+  "/root/repo/tests/core/flops_model_test.cpp" "CMakeFiles/ndsnn_core_tests.dir/tests/core/flops_model_test.cpp.o" "gcc" "CMakeFiles/ndsnn_core_tests.dir/tests/core/flops_model_test.cpp.o.d"
+  "/root/repo/tests/core/gmp_snip_test.cpp" "CMakeFiles/ndsnn_core_tests.dir/tests/core/gmp_snip_test.cpp.o" "gcc" "CMakeFiles/ndsnn_core_tests.dir/tests/core/gmp_snip_test.cpp.o.d"
+  "/root/repo/tests/core/lth_admm_test.cpp" "CMakeFiles/ndsnn_core_tests.dir/tests/core/lth_admm_test.cpp.o" "gcc" "CMakeFiles/ndsnn_core_tests.dir/tests/core/lth_admm_test.cpp.o.d"
+  "/root/repo/tests/core/methods_test.cpp" "CMakeFiles/ndsnn_core_tests.dir/tests/core/methods_test.cpp.o" "gcc" "CMakeFiles/ndsnn_core_tests.dir/tests/core/methods_test.cpp.o.d"
+  "/root/repo/tests/core/ndsnn_method_test.cpp" "CMakeFiles/ndsnn_core_tests.dir/tests/core/ndsnn_method_test.cpp.o" "gcc" "CMakeFiles/ndsnn_core_tests.dir/tests/core/ndsnn_method_test.cpp.o.d"
+  "/root/repo/tests/core/trainer_test.cpp" "CMakeFiles/ndsnn_core_tests.dir/tests/core/trainer_test.cpp.o" "gcc" "CMakeFiles/ndsnn_core_tests.dir/tests/core/trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/CMakeFiles/ndsnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

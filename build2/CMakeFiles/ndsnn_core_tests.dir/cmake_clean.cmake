@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/cost_model_test.cpp.o"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/cost_model_test.cpp.o.d"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/experiment_test.cpp.o"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/experiment_test.cpp.o.d"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/flops_model_test.cpp.o"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/flops_model_test.cpp.o.d"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/gmp_snip_test.cpp.o"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/gmp_snip_test.cpp.o.d"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/lth_admm_test.cpp.o"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/lth_admm_test.cpp.o.d"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/methods_test.cpp.o"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/methods_test.cpp.o.d"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/ndsnn_method_test.cpp.o"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/ndsnn_method_test.cpp.o.d"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/trainer_test.cpp.o"
+  "CMakeFiles/ndsnn_core_tests.dir/tests/core/trainer_test.cpp.o.d"
+  "ndsnn_core_tests"
+  "ndsnn_core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsnn_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

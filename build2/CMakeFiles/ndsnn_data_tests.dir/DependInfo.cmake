@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/augment_test.cpp" "CMakeFiles/ndsnn_data_tests.dir/tests/data/augment_test.cpp.o" "gcc" "CMakeFiles/ndsnn_data_tests.dir/tests/data/augment_test.cpp.o.d"
+  "/root/repo/tests/data/dataloader_test.cpp" "CMakeFiles/ndsnn_data_tests.dir/tests/data/dataloader_test.cpp.o" "gcc" "CMakeFiles/ndsnn_data_tests.dir/tests/data/dataloader_test.cpp.o.d"
+  "/root/repo/tests/data/event_synthetic_test.cpp" "CMakeFiles/ndsnn_data_tests.dir/tests/data/event_synthetic_test.cpp.o" "gcc" "CMakeFiles/ndsnn_data_tests.dir/tests/data/event_synthetic_test.cpp.o.d"
+  "/root/repo/tests/data/synthetic_test.cpp" "CMakeFiles/ndsnn_data_tests.dir/tests/data/synthetic_test.cpp.o" "gcc" "CMakeFiles/ndsnn_data_tests.dir/tests/data/synthetic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/CMakeFiles/ndsnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

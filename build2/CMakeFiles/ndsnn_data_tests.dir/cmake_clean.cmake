@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsnn_data_tests.dir/tests/data/augment_test.cpp.o"
+  "CMakeFiles/ndsnn_data_tests.dir/tests/data/augment_test.cpp.o.d"
+  "CMakeFiles/ndsnn_data_tests.dir/tests/data/dataloader_test.cpp.o"
+  "CMakeFiles/ndsnn_data_tests.dir/tests/data/dataloader_test.cpp.o.d"
+  "CMakeFiles/ndsnn_data_tests.dir/tests/data/event_synthetic_test.cpp.o"
+  "CMakeFiles/ndsnn_data_tests.dir/tests/data/event_synthetic_test.cpp.o.d"
+  "CMakeFiles/ndsnn_data_tests.dir/tests/data/synthetic_test.cpp.o"
+  "CMakeFiles/ndsnn_data_tests.dir/tests/data/synthetic_test.cpp.o.d"
+  "ndsnn_data_tests"
+  "ndsnn_data_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsnn_data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsnn_integration_tests.dir/tests/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/ndsnn_integration_tests.dir/tests/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/ndsnn_integration_tests.dir/tests/integration/methods_pipeline_test.cpp.o"
+  "CMakeFiles/ndsnn_integration_tests.dir/tests/integration/methods_pipeline_test.cpp.o.d"
+  "ndsnn_integration_tests"
+  "ndsnn_integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsnn_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

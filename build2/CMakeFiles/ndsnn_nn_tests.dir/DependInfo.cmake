@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/batchnorm_test.cpp" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/batchnorm_test.cpp.o" "gcc" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/batchnorm_test.cpp.o.d"
+  "/root/repo/tests/nn/checkpoint_test.cpp" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/checkpoint_test.cpp.o" "gcc" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/nn/conv2d_test.cpp" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/conv2d_test.cpp.o" "gcc" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/conv2d_test.cpp.o.d"
+  "/root/repo/tests/nn/gradcheck_test.cpp" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/gradcheck_test.cpp.o" "gcc" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn/linear_test.cpp" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/linear_test.cpp.o" "gcc" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/linear_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_test.cpp" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/loss_test.cpp.o" "gcc" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/loss_test.cpp.o.d"
+  "/root/repo/tests/nn/models_test.cpp" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/models_test.cpp.o" "gcc" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/models_test.cpp.o.d"
+  "/root/repo/tests/nn/network_test.cpp" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/network_test.cpp.o" "gcc" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/network_test.cpp.o.d"
+  "/root/repo/tests/nn/neuron_activations_test.cpp" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/neuron_activations_test.cpp.o" "gcc" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/neuron_activations_test.cpp.o.d"
+  "/root/repo/tests/nn/pool_test.cpp" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/pool_test.cpp.o" "gcc" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/pool_test.cpp.o.d"
+  "/root/repo/tests/nn/residual_test.cpp" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/residual_test.cpp.o" "gcc" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/residual_test.cpp.o.d"
+  "/root/repo/tests/nn/sequential_test.cpp" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/sequential_test.cpp.o" "gcc" "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/sequential_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/CMakeFiles/ndsnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

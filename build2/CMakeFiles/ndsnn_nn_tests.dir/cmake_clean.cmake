@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/batchnorm_test.cpp.o"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/batchnorm_test.cpp.o.d"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/checkpoint_test.cpp.o"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/checkpoint_test.cpp.o.d"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/conv2d_test.cpp.o"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/conv2d_test.cpp.o.d"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/gradcheck_test.cpp.o"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/gradcheck_test.cpp.o.d"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/linear_test.cpp.o"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/linear_test.cpp.o.d"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/loss_test.cpp.o"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/loss_test.cpp.o.d"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/models_test.cpp.o"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/models_test.cpp.o.d"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/network_test.cpp.o"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/network_test.cpp.o.d"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/neuron_activations_test.cpp.o"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/neuron_activations_test.cpp.o.d"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/pool_test.cpp.o"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/pool_test.cpp.o.d"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/residual_test.cpp.o"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/residual_test.cpp.o.d"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/sequential_test.cpp.o"
+  "CMakeFiles/ndsnn_nn_tests.dir/tests/nn/sequential_test.cpp.o.d"
+  "ndsnn_nn_tests"
+  "ndsnn_nn_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsnn_nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsnn_opt_tests.dir/tests/opt/lr_scheduler_test.cpp.o"
+  "CMakeFiles/ndsnn_opt_tests.dir/tests/opt/lr_scheduler_test.cpp.o.d"
+  "CMakeFiles/ndsnn_opt_tests.dir/tests/opt/sgd_test.cpp.o"
+  "CMakeFiles/ndsnn_opt_tests.dir/tests/opt/sgd_test.cpp.o.d"
+  "ndsnn_opt_tests"
+  "ndsnn_opt_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsnn_opt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/batch_executor_test.cpp" "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/batch_executor_test.cpp.o" "gcc" "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/batch_executor_test.cpp.o.d"
+  "/root/repo/tests/runtime/compiled_network_test.cpp" "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/compiled_network_test.cpp.o" "gcc" "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/compiled_network_test.cpp.o.d"
+  "/root/repo/tests/runtime/differential_test.cpp" "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/differential_test.cpp.o" "gcc" "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/differential_test.cpp.o.d"
+  "/root/repo/tests/runtime/spmm_test.cpp" "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/spmm_test.cpp.o" "gcc" "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/spmm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/CMakeFiles/ndsnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/batch_executor_test.cpp.o"
+  "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/batch_executor_test.cpp.o.d"
+  "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/compiled_network_test.cpp.o"
+  "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/compiled_network_test.cpp.o.d"
+  "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/differential_test.cpp.o"
+  "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/differential_test.cpp.o.d"
+  "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/spmm_test.cpp.o"
+  "CMakeFiles/ndsnn_runtime_tests.dir/tests/runtime/spmm_test.cpp.o.d"
+  "ndsnn_runtime_tests"
+  "ndsnn_runtime_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsnn_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

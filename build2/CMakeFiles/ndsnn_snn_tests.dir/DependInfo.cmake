@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/snn/alif_test.cpp" "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/alif_test.cpp.o" "gcc" "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/alif_test.cpp.o.d"
+  "/root/repo/tests/snn/encoder_test.cpp" "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/encoder_test.cpp.o" "gcc" "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/encoder_test.cpp.o.d"
+  "/root/repo/tests/snn/lif_test.cpp" "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/lif_test.cpp.o" "gcc" "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/lif_test.cpp.o.d"
+  "/root/repo/tests/snn/plif_test.cpp" "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/plif_test.cpp.o" "gcc" "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/plif_test.cpp.o.d"
+  "/root/repo/tests/snn/spike_stats_test.cpp" "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/spike_stats_test.cpp.o" "gcc" "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/spike_stats_test.cpp.o.d"
+  "/root/repo/tests/snn/surrogate_test.cpp" "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/surrogate_test.cpp.o" "gcc" "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/surrogate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/CMakeFiles/ndsnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/alif_test.cpp.o"
+  "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/alif_test.cpp.o.d"
+  "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/encoder_test.cpp.o"
+  "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/encoder_test.cpp.o.d"
+  "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/lif_test.cpp.o"
+  "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/lif_test.cpp.o.d"
+  "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/plif_test.cpp.o"
+  "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/plif_test.cpp.o.d"
+  "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/spike_stats_test.cpp.o"
+  "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/spike_stats_test.cpp.o.d"
+  "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/surrogate_test.cpp.o"
+  "CMakeFiles/ndsnn_snn_tests.dir/tests/snn/surrogate_test.cpp.o.d"
+  "ndsnn_snn_tests"
+  "ndsnn_snn_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsnn_snn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

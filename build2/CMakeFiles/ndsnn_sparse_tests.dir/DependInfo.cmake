@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sparse/bcsr_test.cpp" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/bcsr_test.cpp.o" "gcc" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/bcsr_test.cpp.o.d"
+  "/root/repo/tests/sparse/csr_test.cpp" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/csr_test.cpp.o" "gcc" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/csr_test.cpp.o.d"
+  "/root/repo/tests/sparse/distribution_test.cpp" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/distribution_test.cpp.o" "gcc" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/distribution_test.cpp.o.d"
+  "/root/repo/tests/sparse/mask_test.cpp" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/mask_test.cpp.o" "gcc" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/mask_test.cpp.o.d"
+  "/root/repo/tests/sparse/memory_model_test.cpp" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/memory_model_test.cpp.o" "gcc" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/memory_model_test.cpp.o.d"
+  "/root/repo/tests/sparse/schedule_test.cpp" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/schedule_test.cpp.o" "gcc" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/schedule_test.cpp.o.d"
+  "/root/repo/tests/sparse/structured_test.cpp" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/structured_test.cpp.o" "gcc" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/structured_test.cpp.o.d"
+  "/root/repo/tests/sparse/topk_test.cpp" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/topk_test.cpp.o" "gcc" "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/topk_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/CMakeFiles/ndsnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

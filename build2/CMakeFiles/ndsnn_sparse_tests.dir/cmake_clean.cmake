@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/bcsr_test.cpp.o"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/bcsr_test.cpp.o.d"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/csr_test.cpp.o"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/csr_test.cpp.o.d"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/distribution_test.cpp.o"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/distribution_test.cpp.o.d"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/mask_test.cpp.o"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/mask_test.cpp.o.d"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/memory_model_test.cpp.o"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/memory_model_test.cpp.o.d"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/schedule_test.cpp.o"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/schedule_test.cpp.o.d"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/structured_test.cpp.o"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/structured_test.cpp.o.d"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/topk_test.cpp.o"
+  "CMakeFiles/ndsnn_sparse_tests.dir/tests/sparse/topk_test.cpp.o.d"
+  "ndsnn_sparse_tests"
+  "ndsnn_sparse_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsnn_sparse_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

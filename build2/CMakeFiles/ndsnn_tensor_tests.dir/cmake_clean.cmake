@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/im2col_test.cpp.o"
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/im2col_test.cpp.o.d"
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/matmul_test.cpp.o"
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/matmul_test.cpp.o.d"
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/ops_test.cpp.o"
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/ops_test.cpp.o.d"
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/random_test.cpp.o"
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/random_test.cpp.o.d"
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/serialize_test.cpp.o"
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/serialize_test.cpp.o.d"
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/shape_test.cpp.o"
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/shape_test.cpp.o.d"
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/tensor_test.cpp.o"
+  "CMakeFiles/ndsnn_tensor_tests.dir/tests/tensor/tensor_test.cpp.o.d"
+  "ndsnn_tensor_tests"
+  "ndsnn_tensor_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsnn_tensor_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

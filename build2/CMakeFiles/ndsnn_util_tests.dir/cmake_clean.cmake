@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndsnn_util_tests.dir/tests/util/cli_test.cpp.o"
+  "CMakeFiles/ndsnn_util_tests.dir/tests/util/cli_test.cpp.o.d"
+  "CMakeFiles/ndsnn_util_tests.dir/tests/util/logging_test.cpp.o"
+  "CMakeFiles/ndsnn_util_tests.dir/tests/util/logging_test.cpp.o.d"
+  "CMakeFiles/ndsnn_util_tests.dir/tests/util/stopwatch_test.cpp.o"
+  "CMakeFiles/ndsnn_util_tests.dir/tests/util/stopwatch_test.cpp.o.d"
+  "CMakeFiles/ndsnn_util_tests.dir/tests/util/table_test.cpp.o"
+  "CMakeFiles/ndsnn_util_tests.dir/tests/util/table_test.cpp.o.d"
+  "ndsnn_util_tests"
+  "ndsnn_util_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndsnn_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build2
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(core "/root/repo/build2/ndsnn_core_tests")
+set_tests_properties(core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;63;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(data "/root/repo/build2/ndsnn_data_tests")
+set_tests_properties(data PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;63;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(integration "/root/repo/build2/ndsnn_integration_tests")
+set_tests_properties(integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;63;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(nn "/root/repo/build2/ndsnn_nn_tests")
+set_tests_properties(nn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;63;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(opt "/root/repo/build2/ndsnn_opt_tests")
+set_tests_properties(opt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;63;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(runtime "/root/repo/build2/ndsnn_runtime_tests")
+set_tests_properties(runtime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;63;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(snn "/root/repo/build2/ndsnn_snn_tests")
+set_tests_properties(snn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;63;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(sparse "/root/repo/build2/ndsnn_sparse_tests")
+set_tests_properties(sparse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;63;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(tensor "/root/repo/build2/ndsnn_tensor_tests")
+set_tests_properties(tensor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;63;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(util "/root/repo/build2/ndsnn_util_tests")
+set_tests_properties(util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;63;add_test;/root/repo/CMakeLists.txt;0;")
