@@ -1,31 +1,75 @@
 // Serving demo: train a sparse SNN with NDSNN, optionally project it
 // onto an N:M structured pattern for deployment, compile it to sparse
-// kernels (CSR for unstructured masks, block-CSR for structured ones —
-// the compiler's heuristic picks per layer), and serve classification
-// requests through the multi-threaded BatchExecutor.
+// kernels (CSR for unstructured masks, block-CSR for structured ones,
+// event-driven gather behind low-rate spike trains — the compiler's
+// heuristics pick per layer), and serve classification requests through
+// the multi-threaded BatchExecutor, reporting p50/p95/p99 latency.
 //
 //   ./examples/serve_sparse [--sparsity 0.95] [--epochs 4] [--threads 4]
 //                           [--requests 32] [--batch 8] [--nm 2:4]
+//                           [--activation auto|dense|event]
+//                           [--save-checkpoint model.ndck]
+//                           [--checkpoint model.ndck]
 //
-// With --nm the summary reports how much |w| mass the projection
-// discarded, and the plan shows which kernel each layer landed on: at
-// moderate trained sparsity (e.g. --sparsity 0.5 --nm 2:4) the block
-// occupancy is high and layers compile to bcsr-* ops; at 0.95 the
-// projected mask is still occupancy-poor and the heuristic correctly
-// keeps element-wise CSR.
+// With --save-checkpoint the trained network is written as an
+// architecture-tagged v2 checkpoint; with --checkpoint the training
+// stage is skipped entirely and the plan comes straight from
+// CompiledNetwork::from_checkpoint — the checkpoint-driven serving path
+// (no training network is ever instantiated by this binary).
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "core/nm_projection.hpp"
+#include "nn/checkpoint.hpp"
 #include "runtime/batch_executor.hpp"
 #include "runtime/compiled_network.hpp"
 #include "sparse/structured.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/random.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
+
+namespace {
+
+ndsnn::runtime::ActivationMode parse_activation(const std::string& s) {
+  if (s == "dense") return ndsnn::runtime::ActivationMode::kDense;
+  if (s == "event") return ndsnn::runtime::ActivationMode::kEvent;
+  return ndsnn::runtime::ActivationMode::kAuto;
+}
+
+void serve(const ndsnn::runtime::CompiledNetwork& plan,
+           const std::vector<ndsnn::tensor::Tensor>& requests,
+           const std::vector<std::vector<int64_t>>& labels, int threads, int batch_size) {
+  std::printf("serving %zu requests (batch %d) on %d worker threads...\n", requests.size(),
+              batch_size, threads);
+  ndsnn::runtime::BatchExecutor exec(plan, threads);
+  const ndsnn::util::Stopwatch sw;
+  const auto logits = exec.run_all(requests);
+  const double ms = sw.millis();
+
+  int64_t correct = 0, total = 0;
+  for (std::size_t r = 0; r < logits.size(); ++r) {
+    const auto pred = ndsnn::tensor::argmax_rows(logits[r]);
+    for (std::size_t b = 0; b < pred.size(); ++b) {
+      if (!labels.empty()) correct += pred[b] == labels[r][b];
+      ++total;
+    }
+  }
+  const ndsnn::runtime::ExecutorStats stats = exec.stats();
+  std::printf("served %lld samples in %.1f ms (%.0f samples/s)\n",
+              static_cast<long long>(total), ms, 1e3 * static_cast<double>(total) / ms);
+  std::printf("request latency: mean %.2f ms, p50 %.2f, p95 %.2f, p99 %.2f, max %.2f\n",
+              stats.mean_ms, stats.p50_ms, stats.p95_ms, stats.p99_ms, stats.max_ms);
+  if (!labels.empty()) {
+    std::printf("accuracy %.2f%%\n",
+                100.0 * static_cast<double>(correct) / static_cast<double>(total));
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ndsnn::util::set_log_level(ndsnn::util::LogLevel::kWarn);
@@ -34,6 +78,33 @@ int main(int argc, char** argv) {
   const int num_requests = cli.get_int("--requests", 32);
   const int batch_size = cli.get_int("--batch", 8);
   const std::string nm_spec = cli.get_string("--nm", "");
+  const std::string checkpoint = cli.get_string("--checkpoint", "");
+  const std::string save_checkpoint = cli.get_string("--save-checkpoint", "");
+
+  ndsnn::runtime::CompileOptions opts;
+  opts.activation_mode = parse_activation(cli.get_string("--activation", "auto"));
+
+  // Checkpoint-driven serving: no experiment, no training network —
+  // the architecture record inside the checkpoint rebuilds everything.
+  if (!checkpoint.empty()) {
+    const auto meta = ndsnn::nn::read_checkpoint_meta_file(checkpoint);
+    std::printf("serving %s from checkpoint %s (%lldpx, T=%lld)\n", meta.arch.c_str(),
+                checkpoint.c_str(), static_cast<long long>(meta.spec.image_size),
+                static_cast<long long>(meta.spec.timesteps));
+    const auto plan = ndsnn::runtime::CompiledNetwork::from_checkpoint(checkpoint, opts);
+    std::printf("%s\n", plan.summary().c_str());
+
+    ndsnn::tensor::Rng rng(123);
+    std::vector<ndsnn::tensor::Tensor> requests;
+    for (int r = 0; r < num_requests; ++r) {
+      ndsnn::tensor::Tensor batch(ndsnn::tensor::Shape{
+          batch_size, meta.spec.in_channels, meta.spec.image_size, meta.spec.image_size});
+      batch.fill_uniform(rng, 0.0F, 1.0F);
+      requests.push_back(std::move(batch));
+    }
+    serve(plan, requests, {}, threads, batch_size);
+    return 0;
+  }
 
   // 1. Train a sparse network (tiny synthetic run, like edge_deployment).
   ndsnn::core::ExperimentConfig cfg;
@@ -67,13 +138,22 @@ int main(int argc, char** argv) {
                 100.0 * ndsnn::core::mean_projection_loss(report));
   }
 
-  // 3. Compile the masked network into an immutable sparse inference
-  // plan; the kernel heuristic lowers structured layers to BCSR and
-  // unstructured ones to CSR.
-  const auto plan = ndsnn::runtime::CompiledNetwork::compile(*exp.network);
+  // 3. (Optional) Persist as an architecture-tagged checkpoint a later
+  // `--checkpoint` run can serve without retraining.
+  if (!save_checkpoint.empty()) {
+    ndsnn::nn::save_checkpoint_file(save_checkpoint, *exp.network,
+                                    ndsnn::nn::CheckpointMeta{exp.arch, exp.model_spec});
+    std::printf("saved checkpoint to %s\n", save_checkpoint.c_str());
+  }
+
+  // 4. Compile the masked network into an immutable sparse inference
+  // plan; the kernel heuristic lowers structured layers to BCSR,
+  // unstructured ones to CSR, and spike-fed layers to the event path
+  // (the training run recorded per-layer firing rates it plans on).
+  const auto plan = ndsnn::runtime::CompiledNetwork::compile(*exp.network, opts);
   std::printf("%s\n", plan.summary().c_str());
 
-  // 4. Serve requests from the test distribution through a worker pool.
+  // 5. Serve requests from the test distribution through a worker pool.
   std::vector<ndsnn::tensor::Tensor> requests;
   std::vector<std::vector<int64_t>> labels;
   for (int r = 0; r < num_requests; ++r) {
@@ -92,24 +172,6 @@ int main(int argc, char** argv) {
     requests.push_back(std::move(batch));
     labels.push_back(std::move(batch_labels));
   }
-
-  std::printf("serving %d requests (batch %d) on %d worker threads...\n", num_requests,
-              batch_size, threads);
-  ndsnn::runtime::BatchExecutor exec(plan, threads);
-  const ndsnn::util::Stopwatch sw;
-  const auto logits = exec.run_all(requests);
-  const double ms = sw.millis();
-
-  int64_t correct = 0, total = 0;
-  for (std::size_t r = 0; r < logits.size(); ++r) {
-    const auto pred = ndsnn::tensor::argmax_rows(logits[r]);
-    for (std::size_t b = 0; b < pred.size(); ++b) {
-      correct += pred[b] == labels[r][b];
-      ++total;
-    }
-  }
-  std::printf("served %lld samples in %.1f ms (%.0f samples/s), accuracy %.2f%%\n",
-              static_cast<long long>(total), ms, 1e3 * static_cast<double>(total) / ms,
-              100.0 * static_cast<double>(correct) / static_cast<double>(total));
+  serve(plan, requests, labels, threads, batch_size);
   return 0;
 }

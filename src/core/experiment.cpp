@@ -104,6 +104,8 @@ Experiment build_experiment(const ExperimentConfig& config) {
   }
   model_spec.image_size = size;
   exp.network = nn::make_model(config.arch, model_spec);
+  exp.arch = config.arch;
+  exp.model_spec = model_spec;
 
   const int64_t iters_per_epoch =
       (config.train_samples + config.batch_size - 1) / config.batch_size;

@@ -55,6 +55,11 @@ struct Experiment {
   std::unique_ptr<data::SyntheticVision> test_set;
   std::unique_ptr<SparseTrainingMethod> method;
   TrainerConfig trainer;
+  /// The exact spec the network was built from (resolution rounding
+  /// applied), so callers can tag checkpoints with an architecture
+  /// record (nn::CheckpointMeta) that rebuilds it.
+  std::string arch;
+  nn::ModelSpec model_spec;
 };
 
 /// Build every component of `config`. Throws on unknown names.

@@ -10,7 +10,8 @@ namespace ndsnn::nn {
 
 namespace {
 constexpr char kMagic[4] = {'N', 'D', 'C', 'K'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionParamsOnly = 1;
+constexpr uint32_t kVersionWithMeta = 2;
 
 void write_string(std::ostream& out, const std::string& s) {
   const auto len = static_cast<uint32_t>(s.size());
@@ -27,12 +28,68 @@ std::string read_string(std::istream& in) {
   if (!in) throw std::runtime_error("checkpoint: truncated string");
   return s;
 }
-}  // namespace
 
-void save_checkpoint(std::ostream& out, SpikingNetwork& network) {
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("checkpoint: truncated header");
+  return v;
+}
+
+void write_meta(std::ostream& out, const CheckpointMeta& meta) {
+  write_string(out, meta.arch);
+  const ModelSpec& s = meta.spec;
+  write_pod(out, s.num_classes);
+  write_pod(out, s.in_channels);
+  write_pod(out, s.image_size);
+  write_pod(out, s.timesteps);
+  write_pod(out, s.width_scale);
+  write_pod(out, s.lif.alpha);
+  write_pod(out, s.lif.threshold);
+  write_pod(out, static_cast<uint8_t>(s.lif.detach_reset));
+  write_pod(out, static_cast<uint8_t>(s.lif.surrogate));
+  write_pod(out, s.seed);
+}
+
+CheckpointMeta read_meta(std::istream& in) {
+  CheckpointMeta meta;
+  meta.arch = read_string(in);
+  ModelSpec& s = meta.spec;
+  s.num_classes = read_pod<int64_t>(in);
+  s.in_channels = read_pod<int64_t>(in);
+  s.image_size = read_pod<int64_t>(in);
+  s.timesteps = read_pod<int64_t>(in);
+  s.width_scale = read_pod<double>(in);
+  s.lif.alpha = read_pod<float>(in);
+  s.lif.threshold = read_pod<float>(in);
+  s.lif.detach_reset = read_pod<uint8_t>(in) != 0;
+  s.lif.surrogate = static_cast<snn::SurrogateKind>(read_pod<uint8_t>(in));
+  s.seed = read_pod<uint64_t>(in);
+  return meta;
+}
+
+/// Reads and validates magic + version; returns the version.
+uint32_t read_header(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_checkpoint: bad magic");
+  }
+  const auto version = read_pod<uint32_t>(in);
+  if (version != kVersionParamsOnly && version != kVersionWithMeta) {
+    throw std::runtime_error("load_checkpoint: unsupported version");
+  }
+  return version;
+}
+
+void write_params(std::ostream& out, SpikingNetwork& network) {
   const auto params = network.params();
-  out.write(kMagic, sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
   const auto count = static_cast<uint64_t>(params.size());
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (const auto& p : params) {
@@ -42,17 +99,7 @@ void save_checkpoint(std::ostream& out, SpikingNetwork& network) {
   if (!out) throw std::runtime_error("save_checkpoint: stream write failed");
 }
 
-void load_checkpoint(std::istream& in, SpikingNetwork& network) {
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("load_checkpoint: bad magic");
-  }
-  uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || version != kVersion) {
-    throw std::runtime_error("load_checkpoint: unsupported version");
-  }
+void read_params(std::istream& in, SpikingNetwork& network) {
   uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   auto params = network.params();
@@ -72,6 +119,45 @@ void load_checkpoint(std::istream& in, SpikingNetwork& network) {
     *p.value = std::move(loaded);
   }
 }
+}  // namespace
+
+void save_checkpoint(std::ostream& out, SpikingNetwork& network) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersionParamsOnly);
+  write_params(out, network);
+}
+
+void save_checkpoint(std::ostream& out, SpikingNetwork& network, const CheckpointMeta& meta) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersionWithMeta);
+  write_meta(out, meta);
+  write_params(out, network);
+}
+
+void load_checkpoint(std::istream& in, SpikingNetwork& network) {
+  if (read_header(in) == kVersionWithMeta) {
+    (void)read_meta(in);  // the live network defines the expected shapes
+  }
+  read_params(in, network);
+}
+
+CheckpointMeta read_checkpoint_meta(std::istream& in) {
+  if (read_header(in) != kVersionWithMeta) {
+    throw std::runtime_error(
+        "read_checkpoint_meta: v1 checkpoint has no architecture record "
+        "(re-save with save_checkpoint(..., CheckpointMeta) to serve it directly)");
+  }
+  return read_meta(in);
+}
+
+std::unique_ptr<SpikingNetwork> load_checkpoint_network(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint_network: cannot open " + path);
+  const CheckpointMeta meta = read_checkpoint_meta(in);
+  auto network = make_model(meta.arch, meta.spec);
+  read_params(in, *network);
+  return network;
+}
 
 void save_checkpoint_file(const std::string& path, SpikingNetwork& network) {
   std::ofstream out(path, std::ios::binary);
@@ -79,10 +165,23 @@ void save_checkpoint_file(const std::string& path, SpikingNetwork& network) {
   save_checkpoint(out, network);
 }
 
+void save_checkpoint_file(const std::string& path, SpikingNetwork& network,
+                          const CheckpointMeta& meta) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_checkpoint_file: cannot open " + path);
+  save_checkpoint(out, network, meta);
+}
+
 void load_checkpoint_file(const std::string& path, SpikingNetwork& network) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_checkpoint_file: cannot open " + path);
   load_checkpoint(in, network);
+}
+
+CheckpointMeta read_checkpoint_meta_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_checkpoint_meta_file: cannot open " + path);
+  return read_checkpoint_meta(in);
 }
 
 }  // namespace ndsnn::nn

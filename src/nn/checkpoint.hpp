@@ -1,25 +1,58 @@
-// Model checkpointing: save/load every parameter tensor of a network.
+// Model checkpointing: save/load every parameter tensor of a network,
+// optionally tagged with the zoo architecture that produced it.
 //
-// Format: magic "NDCK", u32 version, u64 param count, then per parameter
-// a length-prefixed name and the tensor in the tensor/serialize format.
+// Format: magic "NDCK", u32 version, then
+//   v1: u64 param count, per parameter a length-prefixed name and the
+//       tensor in the tensor/serialize format (legacy, params only);
+//   v2: a CheckpointMeta block (zoo arch name + the ModelSpec scalars
+//       needed to rebuild it) before the v1 parameter section.
 // Loading validates names and shapes against the live network, so a
 // checkpoint can only be restored into the architecture that wrote it.
+// v2 checkpoints additionally support load_checkpoint_network(), which
+// rebuilds the recorded architecture and restores it in one call — the
+// path runtime::CompiledNetwork::from_checkpoint serves inference from
+// without the caller ever instantiating a training network.
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
+#include "nn/models/zoo.hpp"
 #include "nn/network.hpp"
 
 namespace ndsnn::nn {
 
-/// Write all parameters (weights, biases, BN stats are parameters too).
-void save_checkpoint(std::ostream& out, SpikingNetwork& network);
-void save_checkpoint_file(const std::string& path, SpikingNetwork& network);
+/// Architecture record of a v2 checkpoint: everything make_model needs
+/// to rebuild the network the parameters belong to. The RNG seed only
+/// affects initialization, which loading overwrites entirely.
+struct CheckpointMeta {
+  std::string arch;  ///< zoo name: "vgg16" | "resnet19" | "lenet5"
+  ModelSpec spec;
+};
 
-/// Restore parameters in place. Throws std::runtime_error on any
-/// name/shape mismatch or malformed stream.
+/// Write all parameters (weights, biases, BN stats are parameters too).
+/// The two-argument form writes a v1 (params-only) checkpoint; passing a
+/// CheckpointMeta writes v2 with the architecture record.
+void save_checkpoint(std::ostream& out, SpikingNetwork& network);
+void save_checkpoint(std::ostream& out, SpikingNetwork& network, const CheckpointMeta& meta);
+void save_checkpoint_file(const std::string& path, SpikingNetwork& network);
+void save_checkpoint_file(const std::string& path, SpikingNetwork& network,
+                          const CheckpointMeta& meta);
+
+/// Restore parameters in place (v1 or v2; a v2 architecture record is
+/// skipped — the live network defines the expected shapes). Throws
+/// std::runtime_error on any name/shape mismatch or malformed stream.
 void load_checkpoint(std::istream& in, SpikingNetwork& network);
 void load_checkpoint_file(const std::string& path, SpikingNetwork& network);
+
+/// Read just the architecture record of a v2 checkpoint. Throws
+/// std::runtime_error for v1 checkpoints (no record) or bad streams.
+[[nodiscard]] CheckpointMeta read_checkpoint_meta(std::istream& in);
+[[nodiscard]] CheckpointMeta read_checkpoint_meta_file(const std::string& path);
+
+/// Rebuild the recorded architecture and restore every parameter from a
+/// v2 checkpoint file. Throws std::runtime_error for v1 checkpoints.
+[[nodiscard]] std::unique_ptr<SpikingNetwork> load_checkpoint_network(const std::string& path);
 
 }  // namespace ndsnn::nn

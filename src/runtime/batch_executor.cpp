@@ -1,7 +1,11 @@
 #include "runtime/batch_executor.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
+
+#include "util/stopwatch.hpp"
 
 namespace ndsnn::runtime {
 
@@ -21,11 +25,19 @@ std::future<tensor::Tensor> BatchExecutor::submit(tensor::Tensor batch) {
   const int64_t samples = batch.rank() >= 1 ? batch.dim(0) : 1;
   std::packaged_task<tensor::Tensor()> task(
       [this, batch = std::move(batch), samples]() mutable {
+        const util::Stopwatch sw;
         tensor::Tensor logits = net_.run(batch);
+        const double ms = sw.millis();
         {
           const std::lock_guard<std::mutex> lock(mu_);
           ++completed_requests_;
           completed_samples_ += samples;
+          if (latencies_ms_.size() < kLatencyWindow) {
+            latencies_ms_.push_back(ms);
+          } else {
+            latencies_ms_[latency_next_] = ms;
+          }
+          latency_next_ = (latency_next_ + 1) % kLatencyWindow;
         }
         return logits;
       });
@@ -71,6 +83,36 @@ int64_t BatchExecutor::completed_requests() const {
 int64_t BatchExecutor::completed_samples() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return completed_samples_;
+}
+
+ExecutorStats BatchExecutor::stats() const {
+  std::vector<double> sorted;
+  ExecutorStats s;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    s.requests = completed_requests_;
+    s.samples = completed_samples_;
+    sorted = latencies_ms_;
+  }
+  if (sorted.empty()) return s;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (const double v : sorted) total += v;
+  const auto n = static_cast<int64_t>(sorted.size());
+  // Nearest-rank percentile: smallest value with at least q*n samples at
+  // or below it.
+  const auto rank = [&](double q) {
+    auto r = static_cast<int64_t>(std::ceil(q * static_cast<double>(n)));
+    if (r < 1) r = 1;
+    if (r > n) r = n;
+    return sorted[static_cast<std::size_t>(r - 1)];
+  };
+  s.mean_ms = total / static_cast<double>(n);
+  s.p50_ms = rank(0.50);
+  s.p95_ms = rank(0.95);
+  s.p99_ms = rank(0.99);
+  s.max_ms = sorted.back();
+  return s;
 }
 
 void BatchExecutor::worker_loop() {

@@ -26,6 +26,21 @@
 
 namespace ndsnn::runtime {
 
+/// Serving statistics snapshot. Latency is measured per request from
+/// execution start to completion on the worker (queue wait excluded),
+/// with nearest-rank percentiles over a sliding window of the most
+/// recent requests (kLatencyWindow) so a long-lived executor's memory
+/// and stats() cost stay bounded; requests/samples are all-time totals.
+struct ExecutorStats {
+  int64_t requests = 0;  ///< requests fully processed
+  int64_t samples = 0;   ///< batch rows fully processed
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
 class BatchExecutor {
  public:
   /// Spin up `num_threads` workers (>= 1) over a compiled plan. The plan
@@ -60,6 +75,13 @@ class BatchExecutor {
   /// Samples (batch rows) fully processed so far.
   [[nodiscard]] int64_t completed_samples() const;
 
+  /// Throughput totals + per-request latency percentiles over the most
+  /// recent kLatencyWindow requests (p50/p95/p99 by nearest rank).
+  [[nodiscard]] ExecutorStats stats() const;
+
+  /// Latency samples retained for percentile estimation.
+  static constexpr std::size_t kLatencyWindow = 8192;
+
  private:
   void worker_loop();
 
@@ -71,6 +93,8 @@ class BatchExecutor {
   bool stopping_ = false;
   int64_t completed_requests_ = 0;
   int64_t completed_samples_ = 0;
+  std::vector<double> latencies_ms_;     ///< ring of the last kLatencyWindow requests
+  std::size_t latency_next_ = 0;         ///< ring write cursor
 
   std::vector<std::thread> workers_;
 };

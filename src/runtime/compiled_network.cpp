@@ -1,12 +1,13 @@
 #include "runtime/compiled_network.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <sstream>
+#include <initializer_list>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "nn/batchnorm.hpp"
+#include "nn/checkpoint.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/flatten.hpp"
 #include "nn/lif_activation.hpp"
@@ -16,522 +17,80 @@
 #include "nn/pool.hpp"
 #include "nn/residual.hpp"
 #include "nn/sequential.hpp"
-#include "snn/surrogate.hpp"
+#include "runtime/ops/batchnorm_op.hpp"
+#include "runtime/ops/conv_op.hpp"
+#include "runtime/ops/linear_op.hpp"
+#include "runtime/ops/neuron_ops.hpp"
+#include "runtime/ops/shape_ops.hpp"
+#include "snn/spike_stats.hpp"
 #include "sparse/bcsr.hpp"
-#include "sparse/csr.hpp"
-#include "tensor/im2col.hpp"
-#include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 
 namespace ndsnn::runtime {
 
-using tensor::Shape;
 using tensor::Tensor;
 
 namespace {
 
-// ------------------------------------------------------------ weight ops
+/// Forward dataflow the compiler tracks while walking the body: whether
+/// the activation entering the next layer is spike-valued (mostly-zero),
+/// and the best available estimate of its nonzero fraction. Neuron-layer
+/// rates come from the network's recorded firing rates when a forward
+/// pass ran (Layer::last_spike_rate), else from the CompileOptions
+/// fallback; all of them aggregate into a snn::SpikeStats summary the
+/// plan reports.
+struct Lowering {
+  const CompileOptions& opts;
+  bool spiking = false;  ///< next layer's input is a spike train
+  double rate = 1.0;     ///< estimated nonzero fraction of that input
+  snn::SpikeStats stats; ///< per-neuron-layer rate aggregate
+  bool emit_events = false;  ///< neuron ops produce SpikeBatch views
+  bool dry = false;       ///< walk state only, build no ops (pre-pass)
+  bool any_event = false; ///< some weight layer decided event-driven
 
-/// The kernel a weight op was lowered onto (resolved from
-/// CompileOptions::backend by the cost heuristic below).
-enum class Kernel { kDense, kCsr, kBcsr };
+  explicit Lowering(const CompileOptions& o) : opts(o) {}
 
-const char* kernel_tag(Kernel k) {
-  switch (k) {
-    case Kernel::kDense: return "dense";
-    case Kernel::kCsr: return "csr";
-    case Kernel::kBcsr: return "bcsr";
-  }
-  return "?";
-}
-
-/// Linear layer: CSR/BCSR spmm_t when sparse, matmul_nt fallback when dense.
-class LinearOp final : public Op {
- public:
-  LinearOp(const nn::Linear& src, Kernel kernel, const CompileOptions& opts)
-      : layer_name_(src.name()),
-        kernel_(kernel),
-        has_bias_(src.has_bias()),
-        weights_(src.weight().numel()),
-        source_sparsity_(src.masked_view()->sparsity()) {
-    switch (kernel_) {
-      case Kernel::kCsr:
-        csr_ = sparse::Csr::from_weights(src.weight(), opts.prune_threshold);
-        break;
-      case Kernel::kBcsr:
-        bcsr_ = sparse::Bcsr::from_weights(src.weight(), opts.block_rows, opts.block_cols,
-                                           opts.prune_threshold);
-        break;
-      case Kernel::kDense:
-        dense_ = src.weight();
-        break;
-    }
-    if (has_bias_) bias_ = src.bias();
+  void now_dense() {
+    spiking = false;
+    rate = 1.0;
   }
 
-  [[nodiscard]] Tensor run(const Tensor& input) const override {
-    Tensor out = kernel_ == Kernel::kCsr    ? csr_.spmm_t(input)
-                 : kernel_ == Kernel::kBcsr ? bcsr_.spmm_t(input)
-                                            : tensor::matmul_nt(input, dense_);
-    if (has_bias_) tensor::add_row_bias_(out, bias_);
-    return out;
+  void now_spiking(double measured_rate) {
+    spiking = true;
+    // last_spike_rate() is 0.0 both before any forward pass and for a
+    // genuinely silent layer; either way the fallback estimate is the
+    // safer planning number (a silent input favours the event path too).
+    rate = measured_rate > 0.0 ? measured_rate : opts.firing_rate_estimate;
+    // SpikeStats counts elements; layer shapes are unknown at compile
+    // time, so weight every layer equally at a fixed resolution (the
+    // summary only needs ~1e-6 precision on the mean).
+    stats.record_rate(rate, int64_t{1} << 20);
   }
 
-  [[nodiscard]] OpReport report() const override {
-    const int64_t stored = kernel_ == Kernel::kCsr    ? csr_.nnz()
-                           : kernel_ == Kernel::kBcsr ? bcsr_.stored_values()
-                                                      : weights_;
-    return {layer_name_, std::string(kernel_tag(kernel_)) + "-linear", weights_, stored,
-            source_sparsity_};
+  /// Pooling a spike train: a window output is nonzero when any of its
+  /// k*k inputs is, so the union bound k*k*rate caps the outgoing rate.
+  void pooled(int64_t k) {
+    if (spiking) rate = std::min(1.0, rate * static_cast<double>(k * k));
   }
 
- private:
-  std::string layer_name_;
-  Kernel kernel_;
-  bool has_bias_;
-  int64_t weights_;
-  double source_sparsity_;
-  sparse::Csr csr_;
-  sparse::Bcsr bcsr_;
-  Tensor dense_;  // [out, in], only when kernel_ == kDense
-  Tensor bias_;
-};
-
-/// Conv2d via im2col: the lowering is identical to nn::Conv2d::forward,
-/// only the GEMM is swapped for Csr::spmm on sparse plans.
-class ConvOp final : public Op {
- public:
-  ConvOp(const nn::Conv2d& src, Kernel kernel, const CompileOptions& opts)
-      : layer_name_(src.name()),
-        gemm_(kernel),
-        has_bias_(src.has_bias()),
-        in_channels_(src.in_channels()),
-        out_channels_(src.out_channels()),
-        kernel_(src.kernel()),
-        stride_(src.stride()),
-        padding_(src.padding()),
-        weights_(src.weight().numel()),
-        source_sparsity_(src.masked_view()->sparsity()) {
-    switch (gemm_) {
-      case Kernel::kCsr:
-        csr_ = sparse::Csr::from_weights(src.weight(), opts.prune_threshold);
-        break;
-      case Kernel::kBcsr:
-        bcsr_ = sparse::Bcsr::from_weights(src.weight(), opts.block_rows, opts.block_cols,
-                                           opts.prune_threshold);
-        break;
-      case Kernel::kDense:
-        dense_ = src.weight().reshaped(
-            Shape{out_channels_, in_channels_ * kernel_ * kernel_});
-        break;
+  /// Should the weight layer consuming the current activation run
+  /// event-driven?
+  [[nodiscard]] bool event_for_weight_layer() const {
+    switch (opts.activation_mode) {
+      case ActivationMode::kDense: return false;
+      case ActivationMode::kEvent: return true;
+      case ActivationMode::kAuto: return spiking && rate <= opts.event_max_rate;
     }
-    if (has_bias_) bias_ = src.bias();
-  }
-
-  [[nodiscard]] Tensor run(const Tensor& input) const override {
-    if (input.rank() != 4 || input.dim(1) != in_channels_) {
-      throw std::invalid_argument("ConvOp: expected [M, " + std::to_string(in_channels_) +
-                                  ", H, W], got " + input.shape().str());
-    }
-    tensor::ConvGeometry g;
-    g.batch = input.dim(0);
-    g.in_channels = in_channels_;
-    g.in_h = input.dim(2);
-    g.in_w = input.dim(3);
-    g.kernel_h = kernel_;
-    g.kernel_w = kernel_;
-    g.stride = stride_;
-    g.padding = padding_;
-    g.validate();
-
-    const Tensor cols = tensor::im2col(input, g);
-    const int64_t m = g.batch, oh = g.out_h(), ow = g.out_w();
-    const int64_t plane = oh * ow;
-    Tensor out(Shape{m, out_channels_, oh, ow});
-
-    if (gemm_ == Kernel::kCsr) {
-      // Fused spmm + transpose: accumulate each CSR row f straight into
-      // the [m, F, oy, ox] layout, skipping the [F, L] intermediate. Per
-      // output element the nonzeros are visited in the same order as
-      // Csr::spmm, so results stay bitwise identical.
-      const int64_t l = m * plane;
-      const auto& row_ptr = csr_.row_ptr();
-      const auto& col_idx = csr_.col_idx();
-      const auto& values = csr_.values();
-      const float* colsp = cols.data();
-      float* dst = out.data();
-      for (int64_t f = 0; f < out_channels_; ++f) {
-        for (int64_t k = row_ptr[static_cast<std::size_t>(f)];
-             k < row_ptr[static_cast<std::size_t>(f) + 1]; ++k) {
-          const float v = values[static_cast<std::size_t>(k)];
-          const float* brow =
-              colsp + static_cast<int64_t>(col_idx[static_cast<std::size_t>(k)]) * l;
-          for (int64_t mm = 0; mm < m; ++mm) {
-            float* drow = dst + (mm * out_channels_ + f) * plane;
-            const float* s = brow + mm * plane;
-            for (int64_t p = 0; p < plane; ++p) drow[p] += v * s[p];
-          }
-        }
-      }
-    } else {
-      const Tensor yflat =
-          gemm_ == Kernel::kBcsr ? bcsr_.spmm(cols) : tensor::matmul(dense_, cols);
-      // Transpose [F, (m, oy, ox)] -> [m, F, oy, ox].
-      const float* src = yflat.data();
-      float* dst = out.data();
-      for (int64_t f = 0; f < out_channels_; ++f) {
-        const float* srow = src + f * (m * plane);
-        for (int64_t mm = 0; mm < m; ++mm) {
-          float* drow = dst + (mm * out_channels_ + f) * plane;
-          const float* s = srow + mm * plane;
-          for (int64_t p = 0; p < plane; ++p) drow[p] = s[p];
-        }
-      }
-    }
-    if (has_bias_) tensor::add_channel_bias_(out, bias_);
-    return out;
-  }
-
-  [[nodiscard]] OpReport report() const override {
-    const int64_t stored = gemm_ == Kernel::kCsr    ? csr_.nnz()
-                           : gemm_ == Kernel::kBcsr ? bcsr_.stored_values()
-                                                    : weights_;
-    return {layer_name_, std::string(kernel_tag(gemm_)) + "-conv", weights_, stored,
-            source_sparsity_};
-  }
-
- private:
-  std::string layer_name_;
-  Kernel gemm_;
-  bool has_bias_;
-  int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
-  int64_t weights_;
-  double source_sparsity_;
-  sparse::Csr csr_;
-  sparse::Bcsr bcsr_;
-  Tensor dense_;  // [F, C*K*K], only when gemm_ == kDense
-  Tensor bias_;
-};
-
-// ------------------------------------------------------------ neuron ops
-
-/// LIF dynamics over the T timesteps of one call (Eq. 1), inference-only:
-/// membrane state is carried in rolling per-step buffers instead of the
-/// full saved trace BPTT needs. Arithmetic matches snn::LifLayer::forward
-/// term for term so compiled and interpreted paths agree bitwise.
-class LifOp final : public Op {
- public:
-  LifOp(std::string layer_name, const snn::LifConfig& config, int64_t timesteps)
-      : layer_name_(std::move(layer_name)), alpha_(config.alpha),
-        theta_(config.threshold), timesteps_(timesteps) {}
-
-  [[nodiscard]] Tensor run(const Tensor& input) const override {
-    const int64_t total = input.numel();
-    if (total % timesteps_ != 0) {
-      throw std::invalid_argument("LifOp: numel " + std::to_string(total) +
-                                  " not divisible by T=" + std::to_string(timesteps_));
-    }
-    const int64_t step = total / timesteps_;
-    Tensor out(input.shape());
-    std::vector<float> vmt(static_cast<std::size_t>(step), 0.0F);  // v[t] - theta
-    const float* in = input.data();
-    float* spk = out.data();
-    for (int64_t t = 0; t < timesteps_; ++t) {
-      const float* it = in + t * step;
-      float* ot = spk + t * step;
-      if (t == 0) {
-        for (int64_t i = 0; i < step; ++i) {
-          const float v = it[i];
-          vmt[static_cast<std::size_t>(i)] = v - theta_;
-          ot[i] = snn::heaviside(v - theta_);
-        }
-      } else {
-        const float* oprev = spk + (t - 1) * step;
-        for (int64_t i = 0; i < step; ++i) {
-          const float v =
-              alpha_ * (vmt[static_cast<std::size_t>(i)] + theta_) + it[i] - theta_ * oprev[i];
-          vmt[static_cast<std::size_t>(i)] = v - theta_;
-          ot[i] = snn::heaviside(v - theta_);
-        }
-      }
-    }
-    return out;
-  }
-
-  [[nodiscard]] OpReport report() const override { return {layer_name_, "lif", 0, 0, 0.0}; }
-
- private:
-  std::string layer_name_;
-  float alpha_, theta_;
-  int64_t timesteps_;
-};
-
-/// ALIF dynamics (adaptive threshold), inference-only; mirrors
-/// snn::AlifLayer::forward.
-class AlifOp final : public Op {
- public:
-  AlifOp(std::string layer_name, const snn::AlifConfig& config, int64_t timesteps)
-      : layer_name_(std::move(layer_name)), config_(config), timesteps_(timesteps) {}
-
-  [[nodiscard]] Tensor run(const Tensor& input) const override {
-    const int64_t total = input.numel();
-    if (total % timesteps_ != 0) {
-      throw std::invalid_argument("AlifOp: numel not divisible by T");
-    }
-    const int64_t step = total / timesteps_;
-    Tensor out(input.shape());
-    std::vector<float> v(static_cast<std::size_t>(step), 0.0F);
-    std::vector<float> trace(static_cast<std::size_t>(step), 0.0F);
-    std::vector<float> prev_spike(static_cast<std::size_t>(step), 0.0F);
-    const float* in = input.data();
-    float* spk = out.data();
-    for (int64_t t = 0; t < timesteps_; ++t) {
-      const float* it = in + t * step;
-      float* ot = spk + t * step;
-      for (int64_t i = 0; i < step; ++i) {
-        const auto idx = static_cast<std::size_t>(i);
-        trace[idx] = config_.rho * trace[idx] + prev_spike[idx];
-        const float theta_t = config_.threshold + config_.beta * trace[idx];
-        v[idx] = config_.alpha * v[idx] + it[i] - theta_t * prev_spike[idx];
-        ot[i] = snn::heaviside(v[idx] - theta_t);
-        prev_spike[idx] = ot[i];
-      }
-    }
-    return out;
-  }
-
-  [[nodiscard]] OpReport report() const override { return {layer_name_, "alif", 0, 0, 0.0}; }
-
- private:
-  std::string layer_name_;
-  snn::AlifConfig config_;
-  int64_t timesteps_;
-};
-
-// ------------------------------------------------------- stateless ops
-
-/// BatchNorm folded to eval statistics. Keeps the eval-path arithmetic of
-/// nn::BatchNorm2d::forward (same operation order, precomputed inv_std)
-/// so compiled outputs match interpreted eval outputs bitwise.
-class BatchNormOp final : public Op {
- public:
-  explicit BatchNormOp(const nn::BatchNorm2d& src)
-      : layer_name_(src.name()),
-        channels_(src.channels()),
-        mean_(src.running_mean()),
-        gamma_(src.gamma()),
-        beta_(src.beta()),
-        inv_std_(Shape{src.channels()}) {
-    for (int64_t c = 0; c < channels_; ++c) {
-      inv_std_.at(c) = 1.0F / std::sqrt(src.running_var().at(c) + src.eps());
-    }
-  }
-
-  [[nodiscard]] Tensor run(const Tensor& input) const override {
-    if (input.rank() != 4 || input.dim(1) != channels_) {
-      throw std::invalid_argument("BatchNormOp: expected [M, " + std::to_string(channels_) +
-                                  ", H, W], got " + input.shape().str());
-    }
-    const int64_t m = input.dim(0), plane = input.dim(2) * input.dim(3);
-    Tensor out(input.shape());
-    const float* src = input.data();
-    float* dst = out.data();
-    for (int64_t c = 0; c < channels_; ++c) {
-      const float mean = mean_.at(c), inv_std = inv_std_.at(c);
-      const float g = gamma_.at(c), b = beta_.at(c);
-      for (int64_t mm = 0; mm < m; ++mm) {
-        const int64_t base = (mm * channels_ + c) * plane;
-        for (int64_t i = 0; i < plane; ++i) {
-          dst[base + i] = g * ((src[base + i] - mean) * inv_std) + b;
-        }
-      }
-    }
-    return out;
-  }
-
-  [[nodiscard]] OpReport report() const override { return {layer_name_, "bn", 0, 0, 0.0}; }
-
- private:
-  std::string layer_name_;
-  int64_t channels_;
-  Tensor mean_, gamma_, beta_, inv_std_;
-};
-
-class AvgPoolOp final : public Op {
- public:
-  AvgPoolOp(std::string layer_name, int64_t k) : layer_name_(std::move(layer_name)), k_(k) {}
-
-  [[nodiscard]] Tensor run(const Tensor& input) const override {
-    if (input.rank() != 4 || input.dim(2) % k_ != 0 || input.dim(3) % k_ != 0) {
-      throw std::invalid_argument("AvgPoolOp: bad input " + input.shape().str());
-    }
-    const int64_t m = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
-    const int64_t oh = h / k_, ow = w / k_;
-    Tensor out(Shape{m, c, oh, ow});
-    const float inv = 1.0F / static_cast<float>(k_ * k_);
-    const float* src = input.data();
-    float* dst = out.data();
-    for (int64_t mc = 0; mc < m * c; ++mc) {
-      const float* plane = src + mc * h * w;
-      float* oplane = dst + mc * oh * ow;
-      for (int64_t oy = 0; oy < oh; ++oy) {
-        for (int64_t ox = 0; ox < ow; ++ox) {
-          float acc = 0.0F;
-          for (int64_t dy = 0; dy < k_; ++dy) {
-            for (int64_t dx = 0; dx < k_; ++dx) {
-              acc += plane[(oy * k_ + dy) * w + (ox * k_ + dx)];
-            }
-          }
-          oplane[oy * ow + ox] = acc * inv;
-        }
-      }
-    }
-    return out;
-  }
-
-  [[nodiscard]] OpReport report() const override { return {layer_name_, "pool", 0, 0, 0.0}; }
-
- private:
-  std::string layer_name_;
-  int64_t k_;
-};
-
-class MaxPoolOp final : public Op {
- public:
-  MaxPoolOp(std::string layer_name, int64_t k) : layer_name_(std::move(layer_name)), k_(k) {}
-
-  [[nodiscard]] Tensor run(const Tensor& input) const override {
-    if (input.rank() != 4 || input.dim(2) % k_ != 0 || input.dim(3) % k_ != 0) {
-      throw std::invalid_argument("MaxPoolOp: bad input " + input.shape().str());
-    }
-    const int64_t m = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
-    const int64_t oh = h / k_, ow = w / k_;
-    Tensor out(Shape{m, c, oh, ow});
-    const float* src = input.data();
-    float* dst = out.data();
-    for (int64_t mc = 0; mc < m * c; ++mc) {
-      const float* plane = src + mc * h * w;
-      float* oplane = dst + mc * oh * ow;
-      for (int64_t oy = 0; oy < oh; ++oy) {
-        for (int64_t ox = 0; ox < ow; ++ox) {
-          float best = plane[(oy * k_) * w + ox * k_];
-          for (int64_t dy = 0; dy < k_; ++dy) {
-            for (int64_t dx = 0; dx < k_; ++dx) {
-              const float v = plane[(oy * k_ + dy) * w + (ox * k_ + dx)];
-              if (v > best) best = v;
-            }
-          }
-          oplane[oy * ow + ox] = best;
-        }
-      }
-    }
-    return out;
-  }
-
-  [[nodiscard]] OpReport report() const override { return {layer_name_, "pool", 0, 0, 0.0}; }
-
- private:
-  std::string layer_name_;
-  int64_t k_;
-};
-
-class GlobalAvgPoolOp final : public Op {
- public:
-  [[nodiscard]] Tensor run(const Tensor& input) const override {
-    if (input.rank() != 4) {
-      throw std::invalid_argument("GlobalAvgPoolOp: expected rank-4, got " +
-                                  input.shape().str());
-    }
-    const int64_t m = input.dim(0), c = input.dim(1), plane = input.dim(2) * input.dim(3);
-    Tensor out(Shape{m, c});
-    const float inv = 1.0F / static_cast<float>(plane);
-    const float* src = input.data();
-    for (int64_t mc = 0; mc < m * c; ++mc) {
-      double acc = 0.0;
-      const float* p = src + mc * plane;
-      for (int64_t i = 0; i < plane; ++i) acc += p[i];
-      out.at(mc) = static_cast<float>(acc) * inv;
-    }
-    return out;
-  }
-
-  [[nodiscard]] OpReport report() const override {
-    return {"GlobalAvgPool", "pool", 0, 0, 0.0};
+    return false;
   }
 };
 
-class FlattenOp final : public Op {
- public:
-  [[nodiscard]] Tensor run(const Tensor& input) const override {
-    if (input.rank() < 2) {
-      throw std::invalid_argument("FlattenOp: expected rank >= 2, got " +
-                                  input.shape().str());
-    }
-    const int64_t m = input.dim(0);
-    return input.reshaped(Shape{m, input.numel() / m});
-  }
-
-  [[nodiscard]] OpReport report() const override { return {"Flatten", "reshape", 0, 0, 0.0}; }
-};
-
-/// Residual block: compiled main and shortcut chains plus the output LIF.
-class ResidualOp final : public Op {
- public:
-  ResidualOp(std::string layer_name, std::vector<std::unique_ptr<Op>> main,
-             std::vector<std::unique_ptr<Op>> shortcut, std::unique_ptr<Op> out_lif)
-      : layer_name_(std::move(layer_name)),
-        main_(std::move(main)),
-        shortcut_(std::move(shortcut)),
-        out_lif_(std::move(out_lif)) {}
-
-  [[nodiscard]] Tensor run(const Tensor& input) const override {
-    // Chain through pointers so the identity shortcut never copies the
-    // input activation (main_ is never empty: conv1..bn2).
-    Tensor main;
-    const Tensor* cur = &input;
-    for (const auto& op : main_) {
-      main = op->run(*cur);
-      cur = &main;
-    }
-    Tensor shortcut;
-    const Tensor* scur = &input;
-    for (const auto& op : shortcut_) {
-      shortcut = op->run(*scur);
-      scur = &shortcut;
-    }
-    tensor::add_(main, *scur);
-    return out_lif_->run(main);
-  }
-
-  [[nodiscard]] OpReport report() const override {
-    OpReport r{layer_name_, "residual", 0, 0, 0.0};
-    double zero_weighted = 0.0;
-    for (const auto* chain : {&main_, &shortcut_}) {
-      for (const auto& op : *chain) {
-        const OpReport sub = op->report();
-        r.weights += sub.weights;
-        r.nnz += sub.nnz;
-        zero_weighted += sub.sparsity * static_cast<double>(sub.weights);
-      }
-    }
-    if (r.weights > 0) r.sparsity = zero_weighted / static_cast<double>(r.weights);
-    return r;
-  }
-
- private:
-  std::string layer_name_;
-  std::vector<std::unique_ptr<Op>> main_;
-  std::vector<std::unique_ptr<Op>> shortcut_;
-  std::unique_ptr<Op> out_lif_;
-};
-
-// ------------------------------------------------------------- compiler
-
-/// The cost heuristic: dense below the sparsity bar, then BCSR when the
-/// measured pattern (sparse::Bcsr::measure_weights — the same scan the
-/// format itself uses, without materializing block storage) is blocky
-/// enough that dense micro-blocks beat per-element indexing, else CSR.
-/// A forced CompileOptions::backend short-circuits the measurement.
+/// The weight-kernel cost heuristic: dense below the sparsity bar, then
+/// BCSR when the measured pattern (sparse::Bcsr::measure_weights — the
+/// same scan the format itself uses, without materializing block
+/// storage) is blocky enough that dense micro-blocks beat per-element
+/// indexing, else CSR. A forced CompileOptions::backend short-circuits
+/// the measurement.
 Kernel pick_kernel(const Tensor& weight, const CompileOptions& opts) {
   if (opts.force_dense || opts.backend == Backend::kDense) return Kernel::kDense;
   if (opts.backend == Backend::kCsr) return Kernel::kCsr;
@@ -542,59 +101,99 @@ Kernel pick_kernel(const Tensor& weight, const CompileOptions& opts) {
   return stats.occupancy() >= opts.bcsr_min_occupancy ? Kernel::kBcsr : Kernel::kCsr;
 }
 
-std::unique_ptr<Op> compile_layer(const nn::Layer& layer, const CompileOptions& opts);
+std::unique_ptr<Op> compile_layer(const nn::Layer& layer, Lowering& lw);
 
 std::vector<std::unique_ptr<Op>> compile_chain(
-    std::initializer_list<const nn::Layer*> layers, const CompileOptions& opts) {
+    std::initializer_list<const nn::Layer*> layers, Lowering& lw) {
   std::vector<std::unique_ptr<Op>> ops;
   for (const nn::Layer* layer : layers) {
-    if (layer != nullptr) ops.push_back(compile_layer(*layer, opts));
+    if (layer != nullptr) ops.push_back(compile_layer(*layer, lw));
   }
   return ops;
 }
 
-std::unique_ptr<Op> compile_layer(const nn::Layer& layer, const CompileOptions& opts) {
+/// One function serves both passes of the staged compile: the dry
+/// pre-pass walks the identical dataflow-state transitions (so the
+/// event decisions cannot diverge between passes) but skips the weight
+/// measurement and op construction, only recording into Lowering
+/// whether any weight layer chooses the event path — which is what
+/// decides if the neuron ops pay for SpikeBatch emission at all.
+std::unique_ptr<Op> compile_layer(const nn::Layer& layer, Lowering& lw) {
+  const CompileOptions& opts = lw.opts;
   if (const auto* linear = dynamic_cast<const nn::Linear*>(&layer)) {
-    return std::make_unique<LinearOp>(*linear, pick_kernel(linear->weight(), opts), opts);
+    const bool event = lw.event_for_weight_layer();
+    lw.any_event |= event;
+    lw.now_dense();
+    if (lw.dry) return nullptr;
+    return std::make_unique<LinearOp>(*linear, pick_kernel(linear->weight(), opts), event,
+                                      opts);
   }
   if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&layer)) {
-    return std::make_unique<ConvOp>(*conv, pick_kernel(conv->weight(), opts), opts);
+    const bool event = lw.event_for_weight_layer();
+    lw.any_event |= event;
+    lw.now_dense();
+    if (lw.dry) return nullptr;
+    return std::make_unique<ConvOp>(*conv, pick_kernel(conv->weight(), opts), event, opts);
   }
   if (const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(&layer)) {
+    lw.now_dense();  // the affine shift makes zeros non-zero
+    if (lw.dry) return nullptr;
     return std::make_unique<BatchNormOp>(*bn);
   }
   if (const auto* lif = dynamic_cast<const nn::LifActivation*>(&layer)) {
-    return std::make_unique<LifOp>(lif->name(), lif->lif().config(), lif->lif().timesteps());
+    lw.now_spiking(lif->last_spike_rate());
+    if (lw.dry) return nullptr;
+    return std::make_unique<LifOp>(lif->name(), lif->lif().config(),
+                                   lif->lif().timesteps(), lw.emit_events);
   }
   if (const auto* plif = dynamic_cast<const nn::PlifActivation*>(&layer)) {
     // PLIF at inference is a LIF with the trained leak alpha = sigmoid(a).
     snn::LifConfig cfg;
     cfg.alpha = plif->plif().alpha();
     cfg.threshold = plif->plif().config().threshold;
-    return std::make_unique<LifOp>(plif->name(), cfg, plif->plif().timesteps());
+    lw.now_spiking(plif->last_spike_rate());
+    if (lw.dry) return nullptr;
+    return std::make_unique<LifOp>(plif->name(), cfg, plif->plif().timesteps(),
+                                   lw.emit_events);
   }
   if (const auto* alif = dynamic_cast<const nn::AlifActivation*>(&layer)) {
+    lw.now_spiking(alif->last_spike_rate());
+    if (lw.dry) return nullptr;
     return std::make_unique<AlifOp>(alif->name(), alif->alif().config(),
-                                    alif->alif().timesteps());
+                                    alif->alif().timesteps(), lw.emit_events);
   }
   if (const auto* avg = dynamic_cast<const nn::AvgPool2d*>(&layer)) {
+    lw.pooled(avg->k());
+    if (lw.dry) return nullptr;
     return std::make_unique<AvgPoolOp>(avg->name(), avg->k());
   }
   if (const auto* max = dynamic_cast<const nn::MaxPool2d*>(&layer)) {
+    lw.pooled(max->k());
+    if (lw.dry) return nullptr;
     return std::make_unique<MaxPoolOp>(max->name(), max->k());
   }
   if (dynamic_cast<const nn::GlobalAvgPool*>(&layer) != nullptr) {
+    lw.now_dense();  // whole-plane averages are rarely exactly zero
+    if (lw.dry) return nullptr;
     return std::make_unique<GlobalAvgPoolOp>();
   }
   if (dynamic_cast<const nn::Flatten*>(&layer) != nullptr) {
-    return std::make_unique<FlattenOp>();
+    if (lw.dry) return nullptr;
+    return std::make_unique<FlattenOp>();  // spiking-ness passes through
   }
   if (const auto* res = dynamic_cast<const nn::ResidualBlock*>(&layer)) {
-    auto main = compile_chain({&res->conv1(), &res->bn1(), &res->lif1(), &res->conv2(),
-                               &res->bn2()},
-                              opts);
-    auto shortcut = compile_chain({res->shortcut_conv(), res->shortcut_bn()}, opts);
-    auto out_lif = compile_layer(res->lif_out(), opts);
+    // Both chains fork off the same incoming activation state.
+    const bool in_spiking = lw.spiking;
+    const double in_rate = lw.rate;
+    auto main = compile_chain(
+        {&res->conv1(), &res->bn1(), &res->lif1(), &res->conv2(), &res->bn2()}, lw);
+    lw.spiking = in_spiking;
+    lw.rate = in_rate;
+    auto shortcut = compile_chain({res->shortcut_conv(), res->shortcut_bn()}, lw);
+    // The output LIF consumes main + shortcut (dense sums).
+    lw.now_dense();
+    auto out_lif = compile_layer(res->lif_out(), lw);
+    if (lw.dry) return nullptr;
     return std::make_unique<ResidualOp>(res->name(), std::move(main), std::move(shortcut),
                                         std::move(out_lif));
   }
@@ -620,19 +219,45 @@ CompiledNetwork CompiledNetwork::compile(const nn::SpikingNetwork& net,
     // kernels at all, instead of failing in Csr/Bcsr::from_dense.
     throw std::invalid_argument("CompiledNetwork: prune_threshold must be >= 0");
   }
+  if (opts.event_max_rate < 0.0 || opts.event_max_rate > 1.0 ||
+      opts.firing_rate_estimate < 0.0 || opts.firing_rate_estimate > 1.0) {
+    throw std::invalid_argument(
+        "CompiledNetwork: event_max_rate and firing_rate_estimate must be in [0, 1]");
+  }
   if (dynamic_cast<const snn::DirectEncoder*>(&net.encoder()) == nullptr) {
     throw std::invalid_argument(
         "CompiledNetwork: only direct encoding is supported (encoder '" +
         std::string(net.encoder().name()) + "')");
   }
   CompiledNetwork compiled;
-  compiled.timesteps_ = net.timesteps();
+  compiled.plan_.timesteps = net.timesteps();
   const nn::Sequential& body = net.body();
+  // Stage 1 (dry): walk the dataflow state to learn whether any weight
+  // layer picks the event path. Stage 2 builds the ops; neuron ops emit
+  // SpikeBatch views only when stage 1 found a consumer for them.
+  Lowering dry_walk(opts);
+  dry_walk.dry = true;
   for (std::size_t i = 0; i < body.size(); ++i) {
-    compiled.ops_.push_back(compile_layer(body.layer(i), opts));
-    compiled.reports_.push_back(compiled.ops_.back()->report());
+    (void)compile_layer(body.layer(i), dry_walk);
   }
+  Lowering lw(opts);
+  lw.emit_events = dry_walk.any_event;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    compiled.plan_.ops.push_back(compile_layer(body.layer(i), lw));
+    compiled.plan_.reports.push_back(compiled.plan_.ops.back()->report());
+  }
+  compiled.plan_.estimated_spike_rate = lw.stats.average_rate();
   return compiled;
+}
+
+CompiledNetwork CompiledNetwork::from_checkpoint(const std::string& path,
+                                                 const CompileOptions& opts) {
+  // The architecture-tagged checkpoint rebuilds its own zoo network; the
+  // caller only ever sees the compiled plan. The freshly-built network
+  // has no recorded firing rates, so kAuto activation decisions run on
+  // CompileOptions::firing_rate_estimate.
+  const auto net = nn::load_checkpoint_network(path);
+  return compile(*net, opts);
 }
 
 Tensor CompiledNetwork::run(const Tensor& batch) const {
@@ -642,49 +267,16 @@ Tensor CompiledNetwork::run(const Tensor& batch) const {
   }
   // Direct encoding (compile() rejected every other encoder kind).
   snn::DirectEncoder encoder;
-  Tensor x = encoder.encode(batch, timesteps_);
-  for (const auto& op : ops_) x = op->run(x);
+  const Tensor x = plan_.execute(encoder.encode(batch, plan_.timesteps));
   if (x.rank() != 2) {
     throw std::invalid_argument("CompiledNetwork::run: body produced non-matrix logits " +
                                 x.shape().str());
   }
-  return nn::mean_over_time(x, timesteps_);
+  return nn::mean_over_time(x, plan_.timesteps);
 }
 
 std::vector<int64_t> CompiledNetwork::classify(const Tensor& batch) const {
   return tensor::argmax_rows(run(batch));
-}
-
-int64_t CompiledNetwork::stored_weights() const {
-  int64_t total = 0;
-  for (const auto& r : reports_) total += r.nnz;
-  return total;
-}
-
-double CompiledNetwork::overall_sparsity() const {
-  int64_t weights = 0;
-  double zero_weighted = 0.0;
-  for (const auto& r : reports_) {
-    weights += r.weights;
-    zero_weighted += r.sparsity * static_cast<double>(r.weights);
-  }
-  if (weights == 0) return 0.0;
-  return zero_weighted / static_cast<double>(weights);
-}
-
-std::string CompiledNetwork::summary() const {
-  std::ostringstream os;
-  os << "CompiledNetwork: T=" << timesteps_ << ", " << ops_.size() << " ops, "
-     << stored_weights() << " stored weights ("
-     << static_cast<int>(100.0 * overall_sparsity() + 0.5) << "% source sparsity)\n";
-  for (const auto& r : reports_) {
-    os << "  [" << r.kind << "] " << r.layer;
-    if (r.weights > 0) {
-      os << "  nnz=" << r.nnz << "/" << r.weights;
-    }
-    os << "\n";
-  }
-  return os.str();
 }
 
 }  // namespace ndsnn::runtime

@@ -3,23 +3,34 @@
 //
 // Training keeps weights dense and re-applies binary masks after every
 // optimizer step, so a "95% sparse" network still runs dense GEMM over
-// mostly-zero matrices. compile() walks the network body once and lowers
-// every weight layer onto the best of three kernel backends:
+// mostly-zero matrices — and its spike trains, typically 5-20% ones,
+// still multiply through as dense activation tensors. compile() is a
+// staged lowering that exploits both sides of every matmul:
 //
-//   - dense GEMM for layers below CompileOptions::min_sparsity (sparse
-//     formats pay indexing overhead that only amortizes with enough
-//     zeros);
-//   - element-wise CSR (sparse::Csr::spmm / spmm_t) for unstructured
-//     masks; conv keeps the im2col lowering and only swaps the GEMM;
-//   - block-CSR (sparse::Bcsr) when the measured pattern structure is
-//     blocky enough — N:M-projected or block-masked weights — so the
-//     spmm inner loops run dense over each micro-block and vectorize.
+//   1. Walk the network body and pick a *weight kernel* per layer:
+//      dense GEMM below CompileOptions::min_sparsity, element-wise CSR
+//      for unstructured masks, block-CSR when the measured block
+//      occupancy says the pattern is blocky enough (N:M-projected or
+//      block-masked weights) for dense micro-block execution.
+//   2. Pick an *activation path* per weight layer: the classic
+//      dense-activation spmm, or the event-driven gather path that
+//      iterates only the active (nonzero) entries of the input spike
+//      train (sparse::Csr/Bcsr::spmv_gather, plus an on-the-fly
+//      event-driven im2col for conv). The choice keys on whether the
+//      input is spike-valued and on a firing-rate estimate taken from
+//      the layers' recorded rates (aggregated with snn::SpikeStats);
+//      CompileOptions::activation_mode forces one path everywhere.
+//   3. Emit the Plan IR (src/runtime/plan.hpp): per-op kernels under
+//      src/runtime/ops/, with neuron ops producing SpikeBatch
+//      active-index views alongside their spike tensors so downstream
+//      event ops skip even the nonzero scan.
 //
-//   The per-layer choice is a small cost heuristic on the measured block
-//   occupancy (see CompileOptions); CompileOptions::backend forces one
-//   backend for every weight layer instead.
-//   LIF/ALIF dynamics, BatchNorm (folded to eval statistics), pooling,
-//   flatten and residual blocks are lowered to stateless inference ops.
+// Every path — any backend x any activation mode — produces bitwise
+// identical logits to the interpreted SpikingNetwork::predict: linear
+// kernels accumulate per output in doubles over ascending input index,
+// conv kernels in floats over ascending patch-column index, and skipped
+// zero-activation terms are exact no-ops (tests/runtime/testing.hpp
+// pins this across the full differential matrix).
 //
 // The resulting plan is immutable and shares no mutable state across
 // run() calls, so one CompiledNetwork can serve many threads concurrently
@@ -29,11 +40,11 @@
 // snn::LifLayer::forward.
 #pragma once
 
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "nn/network.hpp"
+#include "runtime/plan.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ndsnn::runtime {
@@ -44,6 +55,14 @@ enum class Backend {
   kDense,  ///< force dense GEMM everywhere (baseline plans)
   kCsr,    ///< force element-wise CSR on every weight layer
   kBcsr,   ///< force block-CSR on every weight layer
+};
+
+/// How weight layers consume their input activation.
+enum class ActivationMode {
+  kAuto,   ///< event-driven when the input is spike-valued and its
+           ///< estimated firing rate is <= event_max_rate
+  kDense,  ///< always the dense-activation spmm path (PR-2 behaviour)
+  kEvent,  ///< force the event-driven gather path on every weight layer
 };
 
 /// Knobs for the network -> plan lowering.
@@ -72,31 +91,18 @@ struct CompileOptions {
   /// lose, so the crossover sits between; unstructured high-sparsity
   /// masks measure ~0.1 and stay CSR.
   double bcsr_min_occupancy = 0.3;
-};
-
-/// What one compiled op is and how sparse its weights are (for plan
-/// summaries and the bench reports). Weightless ops report weights == 0.
-struct OpReport {
-  std::string layer;     ///< source layer name(), e.g. "Conv2d(3->64, ...)"
-  std::string kind;      ///< "{dense,csr,bcsr}-{linear,conv}" |
-                         ///< "lif" | "alif" | "bn" | "pool" | "reshape" | "residual"
-  int64_t weights = 0;   ///< total weight elements
-  int64_t nnz = 0;       ///< values the kernel stores (CSR nonzeros, BCSR
-                         ///< dense block values, == weights for dense ops)
-  double sparsity = 0.0; ///< zero fraction of the source weights
-};
-
-/// One inference op of the compiled plan. Implementations are immutable
-/// after construction; run() must be safe to call from many threads.
-class Op {
- public:
-  virtual ~Op() = default;
-  Op() = default;
-  Op(const Op&) = delete;
-  Op& operator=(const Op&) = delete;
-
-  [[nodiscard]] virtual tensor::Tensor run(const tensor::Tensor& input) const = 0;
-  [[nodiscard]] virtual OpReport report() const = 0;
+  /// Activation path selection (see ActivationMode).
+  ActivationMode activation_mode = ActivationMode::kAuto;
+  /// kAuto goes event-driven when the estimated firing rate of a weight
+  /// layer's spike-valued input is <= this. Calibrated with
+  /// bench/activation_sparsity: the gather kernels beat dense-activation
+  /// CSR below ~0.25-0.3 firing and win >2x at <=0.1.
+  double event_max_rate = 0.25;
+  /// Fallback input-rate estimate for spike-valued activations when the
+  /// source network has no recorded firing rates (e.g. compiled straight
+  /// from a checkpoint, before any forward pass ran). Typical LIF/PLIF/
+  /// ALIF layers fire 5-20% of the time.
+  double firing_rate_estimate = 0.15;
 };
 
 class CompiledNetwork {
@@ -108,6 +114,15 @@ class CompiledNetwork {
   [[nodiscard]] static CompiledNetwork compile(const nn::SpikingNetwork& net,
                                                const CompileOptions& opts = {});
 
+  /// Compile straight from an architecture-tagged checkpoint file
+  /// (nn::save_checkpoint with CheckpointMeta, format v2): rebuilds the
+  /// recorded zoo architecture internally, restores every parameter
+  /// (BN statistics included) and lowers it — the caller never touches a
+  /// training network. Throws std::runtime_error for v1 checkpoints
+  /// (no architecture record) or on any parameter mismatch.
+  [[nodiscard]] static CompiledNetwork from_checkpoint(const std::string& path,
+                                                       const CompileOptions& opts = {});
+
   /// Mean logits [N, classes] for a static input batch [N, ...]; direct
   /// encoding over `timesteps()` then rate readout, matching
   /// SpikingNetwork::predict. Thread-safe.
@@ -116,15 +131,19 @@ class CompiledNetwork {
   /// argmax class per sample. Thread-safe.
   [[nodiscard]] std::vector<int64_t> classify(const tensor::Tensor& batch) const;
 
-  [[nodiscard]] const std::vector<OpReport>& plan() const { return reports_; }
-  [[nodiscard]] int64_t timesteps() const { return timesteps_; }
+  /// Per-op reports of the compiled plan.
+  [[nodiscard]] const std::vector<OpReport>& plan() const { return plan_.reports; }
+  [[nodiscard]] int64_t timesteps() const { return plan_.timesteps; }
+  /// Compile-time mean firing-rate estimate over the spiking layers
+  /// (recorded rates where available, CompileOptions fallback otherwise).
+  [[nodiscard]] double estimated_spike_rate() const { return plan_.estimated_spike_rate; }
 
   /// Weight elements stored by the plan (CSR nnz + dense fallback sizes).
-  [[nodiscard]] int64_t stored_weights() const;
+  [[nodiscard]] int64_t stored_weights() const { return plan_.stored_weights(); }
   /// Parameter-weighted sparsity over all weight ops.
-  [[nodiscard]] double overall_sparsity() const;
+  [[nodiscard]] double overall_sparsity() const { return plan_.overall_sparsity(); }
   /// Multi-line human-readable description of the plan.
-  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] std::string summary() const { return plan_.summary(); }
 
   CompiledNetwork(CompiledNetwork&&) = default;
   CompiledNetwork& operator=(CompiledNetwork&&) = default;
@@ -132,9 +151,7 @@ class CompiledNetwork {
  private:
   CompiledNetwork() = default;
 
-  std::vector<std::unique_ptr<Op>> ops_;
-  std::vector<OpReport> reports_;
-  int64_t timesteps_ = 1;
+  Plan plan_;
 };
 
 }  // namespace ndsnn::runtime

@@ -1,0 +1,28 @@
+// BatchNormOp: BatchNorm2d folded to eval statistics at compile time.
+// Keeps the eval-path arithmetic of nn::BatchNorm2d::forward (same
+// operation order, precomputed inv_std) so compiled outputs match
+// interpreted eval outputs bitwise. The affine shift makes zeros
+// non-zero, so any incoming event view is dropped.
+#pragma once
+
+#include <string>
+
+#include "nn/batchnorm.hpp"
+#include "runtime/plan.hpp"
+
+namespace ndsnn::runtime {
+
+class BatchNormOp final : public Op {
+ public:
+  explicit BatchNormOp(const nn::BatchNorm2d& src);
+
+  [[nodiscard]] Activation run(const Activation& input) const override;
+  [[nodiscard]] OpReport report() const override;
+
+ private:
+  std::string layer_name_;
+  int64_t channels_;
+  tensor::Tensor mean_, gamma_, beta_, inv_std_;
+};
+
+}  // namespace ndsnn::runtime

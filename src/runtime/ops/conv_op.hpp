@@ -1,0 +1,52 @@
+// ConvOp: 2-D convolution weight op of the compiled plan.
+//
+// Dense-activation path: im2col then CSR/BCSR/dense GEMM, identical to
+// nn::Conv2d::forward with the GEMM swapped. Event path: no patch
+// matrix at all — for each active (nonzero) input pixel, enumerate the
+// kernel offsets it reaches (the im2col mapping evaluated on the fly)
+// and scatter value * Wᵀ[patch-column] into the output plane
+// (sparse::Csr/Bcsr::scatter_row). For any fixed output element the
+// active pixels arrive in ascending patch-column order, so the float
+// accumulation sequence equals the dense paths' minus exact-zero terms:
+// bitwise identical.
+#pragma once
+
+#include <string>
+
+#include "nn/conv2d.hpp"
+#include "runtime/compiled_network.hpp"
+#include "runtime/plan.hpp"
+#include "sparse/bcsr.hpp"
+#include "sparse/csr.hpp"
+
+namespace ndsnn::runtime {
+
+class ConvOp final : public Op {
+ public:
+  ConvOp(const nn::Conv2d& src, Kernel kernel, bool event, const CompileOptions& opts);
+
+  [[nodiscard]] Activation run(const Activation& input) const override;
+  [[nodiscard]] OpReport report() const override;
+
+ private:
+  [[nodiscard]] tensor::Tensor run_dense(const tensor::Tensor& input) const;
+  [[nodiscard]] tensor::Tensor run_event(const Activation& input) const;
+
+  std::string layer_name_;
+  Kernel gemm_;
+  bool event_;
+  bool has_bias_;
+  int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
+  int64_t weights_;
+  int64_t stored_;
+  double source_sparsity_;
+  sparse::Csr csr_;      // W [F, CKK], dense-activation kCsr
+  sparse::Bcsr bcsr_;    // W [F, CKK], dense-activation kBcsr
+  tensor::Tensor dense_; // W [F, CKK], dense-activation kDense
+  sparse::Csr csr_t_;    // Wᵀ [CKK, F], event kCsr / kDense
+  sparse::Bcsr bcsr_t_;  // Wᵀ [CKK, F], event kBcsr
+  tensor::Tensor dense_t_;  // Wᵀ [CKK, F], event kDense
+  tensor::Tensor bias_;
+};
+
+}  // namespace ndsnn::runtime

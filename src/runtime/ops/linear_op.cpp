@@ -1,0 +1,152 @@
+#include "runtime/ops/linear_op.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace ndsnn::runtime {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+LinearOp::LinearOp(const nn::Linear& src, Kernel kernel, bool event,
+                   const CompileOptions& opts)
+    : layer_name_(src.name()),
+      kernel_(kernel),
+      event_(event),
+      has_bias_(src.has_bias()),
+      in_features_(src.in_features()),
+      out_features_(src.out_features()),
+      weights_(src.weight().numel()),
+      source_sparsity_(src.masked_view()->sparsity()) {
+  // Only the structures the chosen path touches are materialized; the
+  // event path keeps Wᵀ so an active input index selects one contiguous
+  // weight row.
+  switch (kernel_) {
+    case Kernel::kCsr:
+      if (event_) {
+        csr_t_ = sparse::Csr::from_weights(src.weight(), opts.prune_threshold).transposed();
+        stored_ = csr_t_.nnz();
+      } else {
+        csr_ = sparse::Csr::from_weights(src.weight(), opts.prune_threshold);
+        stored_ = csr_.nnz();
+      }
+      break;
+    case Kernel::kBcsr:
+      if (event_) {
+        bcsr_t_ = sparse::Bcsr::from_weights(src.weight(), opts.block_rows, opts.block_cols,
+                                             opts.prune_threshold)
+                      .transposed();
+        stored_ = bcsr_t_.stored_values();
+      } else {
+        bcsr_ = sparse::Bcsr::from_weights(src.weight(), opts.block_rows, opts.block_cols,
+                                           opts.prune_threshold);
+        stored_ = bcsr_.stored_values();
+      }
+      break;
+    case Kernel::kDense:
+      if (event_) {
+        dense_t_ = Tensor(Shape{in_features_, out_features_});
+        const float* w = src.weight().data();
+        float* wt = dense_t_.data();
+        for (int64_t r = 0; r < out_features_; ++r) {
+          for (int64_t c = 0; c < in_features_; ++c) {
+            wt[c * out_features_ + r] = w[r * in_features_ + c];
+          }
+        }
+      } else {
+        dense_ = src.weight();
+      }
+      stored_ = weights_;
+      break;
+  }
+  if (has_bias_) bias_ = src.bias();
+}
+
+Tensor LinearOp::run_dense(const Tensor& input) const {
+  return kernel_ == Kernel::kCsr    ? csr_.spmm_t(input)
+         : kernel_ == Kernel::kBcsr ? bcsr_.spmm_t(input)
+                                    : tensor::matmul_nt(input, dense_);
+}
+
+Tensor LinearOp::run_event(const Activation& input) const {
+  const Tensor& in = input.tensor;
+  const int64_t m = in.dim(0);
+  Tensor out(Shape{m, out_features_});
+  const float* inp = in.data();
+  float* outp = out.data();
+
+  // The event view is usable only when it indexes exactly this layout
+  // (it survives flatten, not pooling / batch norm); otherwise scan.
+  const bool use_events =
+      input.has_events && input.events.rows == m && input.events.row_size == in_features_;
+  std::vector<int32_t> scratch;
+  if (!use_events) scratch.reserve(static_cast<std::size_t>(in_features_));
+  std::vector<double> acc(static_cast<std::size_t>(out_features_));
+
+  for (int64_t i = 0; i < m; ++i) {
+    const float* x = inp + i * in_features_;
+    const int32_t* active;
+    int64_t n_active;
+    if (use_events) {
+      active = input.events.active_begin(i);
+      n_active = input.events.active_count(i);
+    } else {
+      scratch.clear();
+      for (int64_t j = 0; j < in_features_; ++j) {
+        if (x[j] != 0.0F) scratch.push_back(static_cast<int32_t>(j));
+      }
+      active = scratch.data();
+      n_active = static_cast<int64_t>(scratch.size());
+    }
+    std::fill(acc.begin(), acc.end(), 0.0);
+    switch (kernel_) {
+      case Kernel::kCsr:
+        csr_t_.spmv_gather(x, active, n_active, acc.data());
+        break;
+      case Kernel::kBcsr:
+        bcsr_t_.spmv_gather(x, active, n_active, acc.data());
+        break;
+      case Kernel::kDense: {
+        const float* wt = dense_t_.data();
+        for (int64_t a = 0; a < n_active; ++a) {
+          const int64_t j = active[a];
+          const double xj = static_cast<double>(x[j]);
+          const float* wrow = wt + j * out_features_;
+          for (int64_t r = 0; r < out_features_; ++r) {
+            acc[static_cast<std::size_t>(r)] += static_cast<double>(wrow[r]) * xj;
+          }
+        }
+        break;
+      }
+    }
+    float* orow = outp + i * out_features_;
+    for (int64_t r = 0; r < out_features_; ++r) {
+      orow[r] = static_cast<float>(acc[static_cast<std::size_t>(r)]);
+    }
+  }
+  return out;
+}
+
+Activation LinearOp::run(const Activation& input) const {
+  // The dense kernels validate shapes themselves; check up front so the
+  // event path rejects the same inputs instead of reading out of bounds.
+  if (input.tensor.rank() != 2 || input.tensor.dim(1) != in_features_) {
+    throw std::invalid_argument("LinearOp: expected [M, " + std::to_string(in_features_) +
+                                "], got " + input.tensor.shape().str());
+  }
+  Tensor out = event_ ? run_event(input) : run_dense(input.tensor);
+  if (has_bias_) tensor::add_row_bias_(out, bias_);
+  return Activation(std::move(out));
+}
+
+OpReport LinearOp::report() const {
+  OpReport r{layer_name_, std::string(kernel_tag(kernel_)) + "-linear", weights_, stored_,
+             source_sparsity_, event_};
+  return r;
+}
+
+}  // namespace ndsnn::runtime

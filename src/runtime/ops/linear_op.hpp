@@ -1,0 +1,50 @@
+// LinearOp: fully-connected weight op of the compiled plan.
+//
+// Dense-activation path: CSR/BCSR spmm_t or matmul_nt over the whole
+// input matrix. Event path: per input row, gather only the active
+// (nonzero) input features through the transposed weight structure
+// (sparse::Csr/Bcsr::spmv_gather, or contiguous Wᵀ rows for the dense
+// kernel) into per-output double accumulators — the identical
+// ascending-index double accumulation the dense paths run, restricted
+// to the terms that are not exact no-ops, so both paths agree bitwise.
+#pragma once
+
+#include <string>
+
+#include "nn/linear.hpp"
+#include "runtime/compiled_network.hpp"
+#include "runtime/plan.hpp"
+#include "sparse/bcsr.hpp"
+#include "sparse/csr.hpp"
+
+namespace ndsnn::runtime {
+
+class LinearOp final : public Op {
+ public:
+  LinearOp(const nn::Linear& src, Kernel kernel, bool event, const CompileOptions& opts);
+
+  [[nodiscard]] Activation run(const Activation& input) const override;
+  [[nodiscard]] OpReport report() const override;
+
+ private:
+  [[nodiscard]] tensor::Tensor run_dense(const tensor::Tensor& input) const;
+  [[nodiscard]] tensor::Tensor run_event(const Activation& input) const;
+
+  std::string layer_name_;
+  Kernel kernel_;
+  bool event_;
+  bool has_bias_;
+  int64_t in_features_, out_features_;
+  int64_t weights_;
+  int64_t stored_;
+  double source_sparsity_;
+  sparse::Csr csr_;      // W [out, in], dense-activation kCsr
+  sparse::Bcsr bcsr_;    // W [out, in], dense-activation kBcsr
+  tensor::Tensor dense_; // W [out, in], dense-activation kDense
+  sparse::Csr csr_t_;    // Wᵀ [in, out], event kCsr
+  sparse::Bcsr bcsr_t_;  // Wᵀ [in, out], event kBcsr
+  tensor::Tensor dense_t_;  // Wᵀ [in, out], event kDense
+  tensor::Tensor bias_;
+};
+
+}  // namespace ndsnn::runtime

@@ -1,0 +1,103 @@
+#include "runtime/ops/neuron_ops.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "snn/surrogate.hpp"
+
+namespace ndsnn::runtime {
+
+using tensor::Tensor;
+
+LifOp::LifOp(std::string layer_name, const snn::LifConfig& config, int64_t timesteps,
+             bool emit_events)
+    : layer_name_(std::move(layer_name)),
+      alpha_(config.alpha),
+      theta_(config.threshold),
+      timesteps_(timesteps),
+      emit_events_(emit_events) {}
+
+Activation LifOp::run(const Activation& input) const {
+  const Tensor& in_t = input.tensor;
+  const int64_t total = in_t.numel();
+  if (total % timesteps_ != 0) {
+    throw std::invalid_argument("LifOp: numel " + std::to_string(total) +
+                                " not divisible by T=" + std::to_string(timesteps_));
+  }
+  const int64_t step = total / timesteps_;
+  const int64_t rows = in_t.dim(0);
+  Tensor out(in_t.shape());
+  SpikeBatchBuilder builder(rows, rows > 0 ? total / rows : 0);
+  std::vector<float> vmt(static_cast<std::size_t>(step), 0.0F);  // v[t] - theta
+  const float* in = in_t.data();
+  float* spk = out.data();
+  for (int64_t t = 0; t < timesteps_; ++t) {
+    const float* it = in + t * step;
+    float* ot = spk + t * step;
+    if (t == 0) {
+      for (int64_t i = 0; i < step; ++i) {
+        const float v = it[i];
+        vmt[static_cast<std::size_t>(i)] = v - theta_;
+        ot[i] = snn::heaviside(v - theta_);
+        if (emit_events_ && ot[i] != 0.0F) builder.push(t * step + i);
+      }
+    } else {
+      const float* oprev = spk + (t - 1) * step;
+      for (int64_t i = 0; i < step; ++i) {
+        const float v =
+            alpha_ * (vmt[static_cast<std::size_t>(i)] + theta_) + it[i] - theta_ * oprev[i];
+        vmt[static_cast<std::size_t>(i)] = v - theta_;
+        ot[i] = snn::heaviside(v - theta_);
+        if (emit_events_ && ot[i] != 0.0F) builder.push(t * step + i);
+      }
+    }
+  }
+  if (!emit_events_) return Activation(std::move(out));
+  return Activation(std::move(out), builder.finish());
+}
+
+OpReport LifOp::report() const { return {layer_name_, "lif", 0, 0, 0.0, false}; }
+
+AlifOp::AlifOp(std::string layer_name, const snn::AlifConfig& config, int64_t timesteps,
+               bool emit_events)
+    : layer_name_(std::move(layer_name)),
+      config_(config),
+      timesteps_(timesteps),
+      emit_events_(emit_events) {}
+
+Activation AlifOp::run(const Activation& input) const {
+  const Tensor& in_t = input.tensor;
+  const int64_t total = in_t.numel();
+  if (total % timesteps_ != 0) {
+    throw std::invalid_argument("AlifOp: numel not divisible by T");
+  }
+  const int64_t step = total / timesteps_;
+  const int64_t rows = in_t.dim(0);
+  Tensor out(in_t.shape());
+  SpikeBatchBuilder builder(rows, rows > 0 ? total / rows : 0);
+  std::vector<float> v(static_cast<std::size_t>(step), 0.0F);
+  std::vector<float> trace(static_cast<std::size_t>(step), 0.0F);
+  std::vector<float> prev_spike(static_cast<std::size_t>(step), 0.0F);
+  const float* in = in_t.data();
+  float* spk = out.data();
+  for (int64_t t = 0; t < timesteps_; ++t) {
+    const float* it = in + t * step;
+    float* ot = spk + t * step;
+    for (int64_t i = 0; i < step; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      trace[idx] = config_.rho * trace[idx] + prev_spike[idx];
+      const float theta_t = config_.threshold + config_.beta * trace[idx];
+      v[idx] = config_.alpha * v[idx] + it[i] - theta_t * prev_spike[idx];
+      ot[i] = snn::heaviside(v[idx] - theta_t);
+      prev_spike[idx] = ot[i];
+      if (emit_events_ && ot[i] != 0.0F) builder.push(t * step + i);
+    }
+  }
+  if (!emit_events_) return Activation(std::move(out));
+  return Activation(std::move(out), builder.finish());
+}
+
+OpReport AlifOp::report() const { return {layer_name_, "alif", 0, 0, 0.0, false}; }
+
+}  // namespace ndsnn::runtime

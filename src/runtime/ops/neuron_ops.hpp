@@ -1,0 +1,52 @@
+// Neuron ops of the compiled plan: LIF (also PLIF at inference, whose
+// trained leak folds into a LifConfig) and ALIF dynamics over the T
+// timesteps of one call. Inference-only: membrane state lives in rolling
+// per-step buffers instead of the full saved trace BPTT needs, and the
+// arithmetic matches snn::LifLayer / snn::AlifLayer::forward term for
+// term so compiled and interpreted paths agree bitwise.
+//
+// When `emit_events` is set the op additionally produces the SpikeBatch
+// active-index view of its spike train while writing it (the write loop
+// already touches every element in ascending flat order), so downstream
+// event-driven weight ops skip even the dense nonzero scan.
+#pragma once
+
+#include <string>
+
+#include "runtime/plan.hpp"
+#include "snn/alif.hpp"
+#include "snn/lif.hpp"
+
+namespace ndsnn::runtime {
+
+class LifOp final : public Op {
+ public:
+  LifOp(std::string layer_name, const snn::LifConfig& config, int64_t timesteps,
+        bool emit_events);
+
+  [[nodiscard]] Activation run(const Activation& input) const override;
+  [[nodiscard]] OpReport report() const override;
+
+ private:
+  std::string layer_name_;
+  float alpha_, theta_;
+  int64_t timesteps_;
+  bool emit_events_;
+};
+
+class AlifOp final : public Op {
+ public:
+  AlifOp(std::string layer_name, const snn::AlifConfig& config, int64_t timesteps,
+         bool emit_events);
+
+  [[nodiscard]] Activation run(const Activation& input) const override;
+  [[nodiscard]] OpReport report() const override;
+
+ private:
+  std::string layer_name_;
+  snn::AlifConfig config_;
+  int64_t timesteps_;
+  bool emit_events_;
+};
+
+}  // namespace ndsnn::runtime

@@ -1,0 +1,145 @@
+#include "runtime/ops/shape_ops.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/ops.hpp"
+
+namespace ndsnn::runtime {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Activation AvgPoolOp::run(const Activation& input) const {
+  const Tensor& in = input.tensor;
+  if (in.rank() != 4 || in.dim(2) % k_ != 0 || in.dim(3) % k_ != 0) {
+    throw std::invalid_argument("AvgPoolOp: bad input " + in.shape().str());
+  }
+  const int64_t m = in.dim(0), c = in.dim(1), h = in.dim(2), w = in.dim(3);
+  const int64_t oh = h / k_, ow = w / k_;
+  Tensor out(Shape{m, c, oh, ow});
+  const float inv = 1.0F / static_cast<float>(k_ * k_);
+  const float* src = in.data();
+  float* dst = out.data();
+  for (int64_t mc = 0; mc < m * c; ++mc) {
+    const float* plane = src + mc * h * w;
+    float* oplane = dst + mc * oh * ow;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.0F;
+        for (int64_t dy = 0; dy < k_; ++dy) {
+          for (int64_t dx = 0; dx < k_; ++dx) {
+            acc += plane[(oy * k_ + dy) * w + (ox * k_ + dx)];
+          }
+        }
+        oplane[oy * ow + ox] = acc * inv;
+      }
+    }
+  }
+  return Activation(std::move(out));
+}
+
+OpReport AvgPoolOp::report() const { return {layer_name_, "pool", 0, 0, 0.0, false}; }
+
+Activation MaxPoolOp::run(const Activation& input) const {
+  const Tensor& in = input.tensor;
+  if (in.rank() != 4 || in.dim(2) % k_ != 0 || in.dim(3) % k_ != 0) {
+    throw std::invalid_argument("MaxPoolOp: bad input " + in.shape().str());
+  }
+  const int64_t m = in.dim(0), c = in.dim(1), h = in.dim(2), w = in.dim(3);
+  const int64_t oh = h / k_, ow = w / k_;
+  Tensor out(Shape{m, c, oh, ow});
+  const float* src = in.data();
+  float* dst = out.data();
+  for (int64_t mc = 0; mc < m * c; ++mc) {
+    const float* plane = src + mc * h * w;
+    float* oplane = dst + mc * oh * ow;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float best = plane[(oy * k_) * w + ox * k_];
+        for (int64_t dy = 0; dy < k_; ++dy) {
+          for (int64_t dx = 0; dx < k_; ++dx) {
+            const float v = plane[(oy * k_ + dy) * w + (ox * k_ + dx)];
+            if (v > best) best = v;
+          }
+        }
+        oplane[oy * ow + ox] = best;
+      }
+    }
+  }
+  return Activation(std::move(out));
+}
+
+OpReport MaxPoolOp::report() const { return {layer_name_, "pool", 0, 0, 0.0, false}; }
+
+Activation GlobalAvgPoolOp::run(const Activation& input) const {
+  const Tensor& in = input.tensor;
+  if (in.rank() != 4) {
+    throw std::invalid_argument("GlobalAvgPoolOp: expected rank-4, got " + in.shape().str());
+  }
+  const int64_t m = in.dim(0), c = in.dim(1), plane = in.dim(2) * in.dim(3);
+  Tensor out(Shape{m, c});
+  const float inv = 1.0F / static_cast<float>(plane);
+  const float* src = in.data();
+  for (int64_t mc = 0; mc < m * c; ++mc) {
+    double acc = 0.0;
+    const float* p = src + mc * plane;
+    for (int64_t i = 0; i < plane; ++i) acc += p[i];
+    out.at(mc) = static_cast<float>(acc) * inv;
+  }
+  return Activation(std::move(out));
+}
+
+OpReport GlobalAvgPoolOp::report() const { return {"GlobalAvgPool", "pool", 0, 0, 0.0, false}; }
+
+Activation FlattenOp::run(const Activation& input) const {
+  const Tensor& in = input.tensor;
+  if (in.rank() < 2) {
+    throw std::invalid_argument("FlattenOp: expected rank >= 2, got " + in.shape().str());
+  }
+  const int64_t m = in.dim(0);
+  Tensor out = in.reshaped(Shape{m, in.numel() / m});
+  // The event view indexes [row, flat-within-row] — invariant under the
+  // reshape — so it passes straight through to the linear layers behind.
+  if (input.has_events) return Activation(std::move(out), input.events);
+  return Activation(std::move(out));
+}
+
+OpReport FlattenOp::report() const { return {"Flatten", "reshape", 0, 0, 0.0, false}; }
+
+Activation ResidualOp::run(const Activation& input) const {
+  // Chain through pointers so the identity shortcut never copies the
+  // input activation (main_ is never empty: conv1..bn2).
+  Activation main;
+  const Activation* cur = &input;
+  for (const auto& op : main_) {
+    main = op->run(*cur);
+    cur = &main;
+  }
+  Activation shortcut;
+  const Activation* scur = &input;
+  for (const auto& op : shortcut_) {
+    shortcut = op->run(*scur);
+    scur = &shortcut;
+  }
+  tensor::add_(main.tensor, scur->tensor);
+  return out_lif_->run(Activation(std::move(main.tensor)));
+}
+
+OpReport ResidualOp::report() const {
+  OpReport r{layer_name_, "residual", 0, 0, 0.0, false};
+  double zero_weighted = 0.0;
+  for (const auto* chain : {&main_, &shortcut_}) {
+    for (const auto& op : *chain) {
+      const OpReport sub = op->report();
+      r.weights += sub.weights;
+      r.nnz += sub.nnz;
+      r.event |= sub.event;
+      zero_weighted += sub.sparsity * static_cast<double>(sub.weights);
+    }
+  }
+  if (r.weights > 0) r.sparsity = zero_weighted / static_cast<double>(r.weights);
+  return r;
+}
+
+}  // namespace ndsnn::runtime

@@ -1,0 +1,78 @@
+// Shape/structure ops of the compiled plan: pooling, flatten and the
+// residual block container.
+//
+// Event-view propagation: FlattenOp forwards an incoming SpikeBatch
+// untouched (reshaping neither the rows nor the per-row flat indices);
+// pooling ops drop it (their output indexes a different grid — an
+// event consumer downstream rescans, which is cheap next to its GEMM).
+// ResidualOp threads Activations through its compiled sub-chains, so
+// events flow into the block's convs and out of its output LIF.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/plan.hpp"
+
+namespace ndsnn::runtime {
+
+class AvgPoolOp final : public Op {
+ public:
+  AvgPoolOp(std::string layer_name, int64_t k)
+      : layer_name_(std::move(layer_name)), k_(k) {}
+
+  [[nodiscard]] Activation run(const Activation& input) const override;
+  [[nodiscard]] OpReport report() const override;
+
+ private:
+  std::string layer_name_;
+  int64_t k_;
+};
+
+class MaxPoolOp final : public Op {
+ public:
+  MaxPoolOp(std::string layer_name, int64_t k)
+      : layer_name_(std::move(layer_name)), k_(k) {}
+
+  [[nodiscard]] Activation run(const Activation& input) const override;
+  [[nodiscard]] OpReport report() const override;
+
+ private:
+  std::string layer_name_;
+  int64_t k_;
+};
+
+class GlobalAvgPoolOp final : public Op {
+ public:
+  [[nodiscard]] Activation run(const Activation& input) const override;
+  [[nodiscard]] OpReport report() const override;
+};
+
+class FlattenOp final : public Op {
+ public:
+  [[nodiscard]] Activation run(const Activation& input) const override;
+  [[nodiscard]] OpReport report() const override;
+};
+
+/// Residual block: compiled main and shortcut chains plus the output LIF.
+class ResidualOp final : public Op {
+ public:
+  ResidualOp(std::string layer_name, std::vector<std::unique_ptr<Op>> main,
+             std::vector<std::unique_ptr<Op>> shortcut, std::unique_ptr<Op> out_lif)
+      : layer_name_(std::move(layer_name)),
+        main_(std::move(main)),
+        shortcut_(std::move(shortcut)),
+        out_lif_(std::move(out_lif)) {}
+
+  [[nodiscard]] Activation run(const Activation& input) const override;
+  [[nodiscard]] OpReport report() const override;
+
+ private:
+  std::string layer_name_;
+  std::vector<std::unique_ptr<Op>> main_;
+  std::vector<std::unique_ptr<Op>> shortcut_;
+  std::unique_ptr<Op> out_lif_;
+};
+
+}  // namespace ndsnn::runtime

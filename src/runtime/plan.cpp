@@ -1,0 +1,74 @@
+#include "runtime/plan.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace ndsnn::runtime {
+
+const char* kernel_tag(Kernel k) {
+  switch (k) {
+    case Kernel::kDense: return "dense";
+    case Kernel::kCsr: return "csr";
+    case Kernel::kBcsr: return "bcsr";
+  }
+  return "?";
+}
+
+SpikeBatch SpikeBatch::scan(const tensor::Tensor& t) {
+  const int64_t rows = t.rank() >= 1 ? t.dim(0) : 1;
+  const int64_t row_size = rows > 0 ? t.numel() / rows : 0;
+  SpikeBatchBuilder builder(rows, row_size);
+  const float* p = t.data();
+  const int64_t total = t.numel();
+  for (int64_t i = 0; i < total; ++i) {
+    if (p[i] != 0.0F) builder.push(i);
+  }
+  return builder.finish();
+}
+
+double SpikeBatch::rate() const {
+  const int64_t total = rows * row_size;
+  if (total == 0) return 0.0;
+  return static_cast<double>(idx.size()) / static_cast<double>(total);
+}
+
+tensor::Tensor Plan::execute(tensor::Tensor encoded) const {
+  Activation x(std::move(encoded));
+  for (const auto& op : ops) x = op->run(x);
+  return std::move(x.tensor);
+}
+
+int64_t Plan::stored_weights() const {
+  int64_t total = 0;
+  for (const auto& r : reports) total += r.nnz;
+  return total;
+}
+
+double Plan::overall_sparsity() const {
+  int64_t weights = 0;
+  double zero_weighted = 0.0;
+  for (const auto& r : reports) {
+    weights += r.weights;
+    zero_weighted += r.sparsity * static_cast<double>(r.weights);
+  }
+  if (weights == 0) return 0.0;
+  return zero_weighted / static_cast<double>(weights);
+}
+
+std::string Plan::summary() const {
+  std::ostringstream os;
+  os << "CompiledNetwork: T=" << timesteps << ", " << ops.size() << " ops, "
+     << stored_weights() << " stored weights ("
+     << static_cast<int>(100.0 * overall_sparsity() + 0.5) << "% source sparsity, est. "
+     << static_cast<int>(100.0 * estimated_spike_rate + 0.5) << "% firing rate)\n";
+  for (const auto& r : reports) {
+    os << "  [" << r.kind << (r.event ? "+event" : "") << "] " << r.layer;
+    if (r.weights > 0) {
+      os << "  nnz=" << r.nnz << "/" << r.weights;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ndsnn::runtime

@@ -1,0 +1,155 @@
+// Plan IR of the sparse inference runtime.
+//
+// CompiledNetwork::compile lowers a trained SpikingNetwork into a Plan:
+// an immutable sequence of Ops (src/runtime/ops/) plus per-op reports.
+// Ops exchange `Activation` values — the dense time-major tensor the
+// interpreted network would produce, optionally annotated with a
+// `SpikeBatch` event view (per-row active-index lists) that neuron ops
+// emit directly while writing their spike trains. Event-driven weight
+// ops consume the view to skip work proportional to the firing rate;
+// every op still produces the bitwise-identical dense tensor, so the
+// event path stays pinned against SpikingNetwork::predict by the
+// differential harness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::runtime {
+
+/// Which GEMM kernel a weight op was lowered onto (resolved from
+/// CompileOptions::backend by the compiler's cost heuristic).
+enum class Kernel { kDense, kCsr, kBcsr };
+
+[[nodiscard]] const char* kernel_tag(Kernel k);
+
+/// Sparse view of a time-major activation [M, features]: for each row m
+/// the ascending list of feature indices whose value is nonzero. Neuron
+/// ops build this for free while writing their spike trains (spikes are
+/// mostly zeros at typical 5-20% firing rates); event-driven weight ops
+/// iterate it instead of scanning the dense tensor.
+struct SpikeBatch {
+  int64_t rows = 0;              ///< M = T * N (time-major batch rows)
+  int64_t row_size = 0;          ///< features per row
+  std::vector<int64_t> row_ptr;  ///< rows + 1 offsets into idx
+  std::vector<int32_t> idx;      ///< active indices, ascending per row
+
+  /// Build by scanning a dense [M, ...] tensor (rows = dim(0)).
+  /// Utility for tests and tools; the event-driven ops themselves scan
+  /// row by row into a reused scratch buffer instead of materializing a
+  /// whole-tensor view when their input arrives without one.
+  [[nodiscard]] static SpikeBatch scan(const tensor::Tensor& t);
+
+  /// Fraction of nonzero elements over everything indexed.
+  [[nodiscard]] double rate() const;
+
+  [[nodiscard]] int64_t active_count(int64_t row) const {
+    return row_ptr[static_cast<std::size_t>(row) + 1] -
+           row_ptr[static_cast<std::size_t>(row)];
+  }
+  [[nodiscard]] const int32_t* active_begin(int64_t row) const {
+    return idx.data() + row_ptr[static_cast<std::size_t>(row)];
+  }
+};
+
+/// Incremental SpikeBatch construction for producers that visit elements
+/// in ascending flat order (the neuron ops' t-major write loop). push()
+/// takes the flat index into the [M * row_size] tensor.
+class SpikeBatchBuilder {
+ public:
+  SpikeBatchBuilder(int64_t rows, int64_t row_size) {
+    batch_.rows = rows;
+    batch_.row_size = row_size;
+    batch_.row_ptr.assign(static_cast<std::size_t>(rows) + 1, 0);
+  }
+
+  void push(int64_t flat) {
+    const int64_t row = flat / batch_.row_size;
+    while (cur_row_ < row) {
+      batch_.row_ptr[static_cast<std::size_t>(++cur_row_)] =
+          static_cast<int64_t>(batch_.idx.size());
+    }
+    batch_.idx.push_back(static_cast<int32_t>(flat % batch_.row_size));
+  }
+
+  [[nodiscard]] SpikeBatch finish() {
+    while (cur_row_ < batch_.rows) {
+      batch_.row_ptr[static_cast<std::size_t>(++cur_row_)] =
+          static_cast<int64_t>(batch_.idx.size());
+    }
+    return std::move(batch_);
+  }
+
+ private:
+  SpikeBatch batch_;
+  int64_t cur_row_ = 0;
+};
+
+/// What flows between ops: the dense activation plus an optional event
+/// view. `has_events` is false whenever the producing op cannot cheaply
+/// maintain the view (weight ops, batch norm, pooling) — consumers that
+/// want events then rescan the dense tensor row by row.
+struct Activation {
+  tensor::Tensor tensor;
+  SpikeBatch events;
+  bool has_events = false;
+
+  Activation() = default;
+  explicit Activation(tensor::Tensor t) : tensor(std::move(t)) {}
+  Activation(tensor::Tensor t, SpikeBatch e)
+      : tensor(std::move(t)), events(std::move(e)), has_events(true) {}
+};
+
+/// What one compiled op is and how sparse its weights are (for plan
+/// summaries and the bench reports). Weightless ops report weights == 0.
+struct OpReport {
+  std::string layer;     ///< source layer name(), e.g. "Conv2d(3->64, ...)"
+  std::string kind;      ///< "{dense,csr,bcsr}-{linear,conv}" |
+                         ///< "lif" | "alif" | "bn" | "pool" | "reshape" | "residual"
+  int64_t weights = 0;   ///< total weight elements
+  int64_t nnz = 0;       ///< values the kernel stores (CSR nonzeros, BCSR
+                         ///< dense block values, == weights for dense ops)
+  double sparsity = 0.0; ///< zero fraction of the source weights
+  bool event = false;    ///< weight op executes the event-driven path
+};
+
+/// One inference op of the compiled plan. Implementations are immutable
+/// after construction; run() must be safe to call from many threads.
+class Op {
+ public:
+  virtual ~Op() = default;
+  Op() = default;
+  Op(const Op&) = delete;
+  Op& operator=(const Op&) = delete;
+
+  [[nodiscard]] virtual Activation run(const Activation& input) const = 0;
+  [[nodiscard]] virtual OpReport report() const = 0;
+};
+
+/// The compiled program: op sequence, per-op reports, and the timestep
+/// count the neuron ops were staged for. Immutable after compilation and
+/// free of mutable execution state, so one Plan serves many threads.
+struct Plan {
+  std::vector<std::unique_ptr<Op>> ops;
+  std::vector<OpReport> reports;
+  int64_t timesteps = 1;
+  double estimated_spike_rate = 0.0;  ///< mean over spiking layers (compile-time estimate)
+
+  /// Run the op sequence over an already-encoded time-major batch
+  /// (taken by value: callers move the encoder temporary in, so no op
+  /// input is ever deep-copied).
+  [[nodiscard]] tensor::Tensor execute(tensor::Tensor encoded) const;
+
+  /// Weight elements stored by the plan (CSR nnz + dense fallback sizes).
+  [[nodiscard]] int64_t stored_weights() const;
+  /// Parameter-weighted sparsity over all weight ops.
+  [[nodiscard]] double overall_sparsity() const;
+  /// Multi-line human-readable description.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace ndsnn::runtime

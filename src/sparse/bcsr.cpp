@@ -149,6 +149,59 @@ Tensor Bcsr::to_dense() const {
   return out;
 }
 
+Bcsr Bcsr::transposed() const {
+  // Round-trip through dense with threshold 0: to_dense() materializes
+  // exactly the surviving |w| > threshold entries (explicit in-block
+  // zeros stay zero), so the transposed build keeps nnz identical and
+  // re-blocks on the swapped grid.
+  const Tensor dense = to_dense();
+  Tensor dense_t(Shape{cols_, rows_});
+  const float* src = dense.data();
+  float* dst = dense_t.data();
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) dst[c * rows_ + r] = src[r * cols_ + c];
+  }
+  return from_dense(dense_t, block_cols_, block_rows_, 0.0F);
+}
+
+void Bcsr::spmv_gather(const float* x, const int32_t* active, int64_t n_active,
+                       double* acc) const {
+  const int64_t bs = block_rows_ * block_cols_;
+  for (int64_t a = 0; a < n_active; ++a) {
+    const int64_t j = active[a];
+    const double xj = static_cast<double>(x[j]);
+    const int64_t ib = j / block_rows_;
+    const int64_t r = j % block_rows_;
+    for (int64_t k = block_row_ptr_[static_cast<std::size_t>(ib)];
+         k < block_row_ptr_[static_cast<std::size_t>(ib) + 1]; ++k) {
+      const int64_t col0 =
+          static_cast<int64_t>(block_col_idx_[static_cast<std::size_t>(k)]) * block_cols_;
+      const int64_t c_lim = std::min(block_cols_, cols_ - col0);
+      const float* vrow = values_.data() + k * bs + r * block_cols_;
+      double* arow = acc + col0;
+      for (int64_t cc = 0; cc < c_lim; ++cc) {
+        arow[cc] += static_cast<double>(vrow[cc]) * xj;
+      }
+    }
+  }
+}
+
+void Bcsr::scatter_row(int64_t row, float x, float* out, int64_t out_stride) const {
+  const int64_t bs = block_rows_ * block_cols_;
+  const int64_t ib = row / block_rows_;
+  const int64_t r = row % block_rows_;
+  for (int64_t k = block_row_ptr_[static_cast<std::size_t>(ib)];
+       k < block_row_ptr_[static_cast<std::size_t>(ib) + 1]; ++k) {
+    const int64_t col0 =
+        static_cast<int64_t>(block_col_idx_[static_cast<std::size_t>(k)]) * block_cols_;
+    const int64_t c_lim = std::min(block_cols_, cols_ - col0);
+    const float* vrow = values_.data() + k * bs + r * block_cols_;
+    for (int64_t cc = 0; cc < c_lim; ++cc) {
+      out[(col0 + cc) * out_stride] += vrow[cc] * x;
+    }
+  }
+}
+
 namespace {
 
 /// Output-column strip width of the spmm tile kernels. One strip row is

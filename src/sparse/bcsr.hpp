@@ -76,6 +76,26 @@ class Bcsr {
   /// Expand back to dense [rows, cols] (padding trimmed).
   [[nodiscard]] tensor::Tensor to_dense() const;
 
+  /// Transposed copy (Aᵀ as BCSR with the block shape swapped to
+  /// block_cols x block_rows). Surviving nonzeros are preserved exactly;
+  /// explicit in-block zeros are re-derived from the transposed block
+  /// grid. Built once at compile time by the runtime's event-driven ops.
+  [[nodiscard]] Bcsr transposed() const;
+
+  /// Event-driven gather over `this` = Wᵀ [in, out]: for each active
+  /// input index j (ascending), acc[col] += x[j] * value across row j of
+  /// the block storage, double products/adds in ascending column order.
+  /// Explicit in-block zeros contribute exact no-ops, so float(acc)
+  /// bitwise-matches Bcsr::spmm_t / Csr::spmm_t / matmul_nt on W.
+  /// `acc` must hold cols() zeros on entry.
+  void spmv_gather(const float* x, const int32_t* active, int64_t n_active,
+                   double* acc) const;
+
+  /// Scatter one row scaled by x: out[col * out_stride] += value * x for
+  /// the stored entries of `row` (float adds, ascending column order).
+  /// The event-driven conv path uses this with `this` = Wᵀ [C*K*K, F].
+  void scatter_row(int64_t row, float x, float* out, int64_t out_stride) const;
+
   /// C[rows, n] = A * B for dense B [cols, n] (conv lowering). Per
   /// output element the contributions accumulate in ascending column
   /// order with float adds, exactly like Csr::spmm and the zero-skipping

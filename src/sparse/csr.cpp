@@ -52,6 +52,54 @@ tensor::Tensor Csr::to_dense() const {
   return out;
 }
 
+Csr Csr::transposed() const {
+  Csr t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  const auto nnz_count = values_.size();
+  t.col_idx_.resize(nnz_count);
+  t.values_.resize(nnz_count);
+  // Counting transpose: histogram per source column, prefix-sum into row
+  // starts, then place entries in source (row-major, ascending column)
+  // order so every transposed row ends up sorted by its columns.
+  t.row_ptr_.assign(static_cast<std::size_t>(cols_) + 1, 0);
+  for (const int32_t c : col_idx_) ++t.row_ptr_[static_cast<std::size_t>(c) + 1];
+  for (int64_t r = 0; r < cols_; ++r) {
+    t.row_ptr_[static_cast<std::size_t>(r) + 1] += t.row_ptr_[static_cast<std::size_t>(r)];
+  }
+  std::vector<int64_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      const auto c = static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)]);
+      const int64_t slot = cursor[c]++;
+      t.col_idx_[static_cast<std::size_t>(slot)] = static_cast<int32_t>(r);
+      t.values_[static_cast<std::size_t>(slot)] = values_[static_cast<std::size_t>(k)];
+    }
+  }
+  return t;
+}
+
+void Csr::spmv_gather(const float* x, const int32_t* active, int64_t n_active,
+                      double* acc) const {
+  for (int64_t a = 0; a < n_active; ++a) {
+    const auto j = static_cast<std::size_t>(active[a]);
+    const double xj = static_cast<double>(x[j]);
+    for (int64_t k = row_ptr_[j]; k < row_ptr_[j + 1]; ++k) {
+      acc[col_idx_[static_cast<std::size_t>(k)]] +=
+          static_cast<double>(values_[static_cast<std::size_t>(k)]) * xj;
+    }
+  }
+}
+
+void Csr::scatter_row(int64_t row, float x, float* out, int64_t out_stride) const {
+  for (int64_t k = row_ptr_[static_cast<std::size_t>(row)];
+       k < row_ptr_[static_cast<std::size_t>(row) + 1]; ++k) {
+    out[static_cast<int64_t>(col_idx_[static_cast<std::size_t>(k)]) * out_stride] +=
+        values_[static_cast<std::size_t>(k)] * x;
+  }
+}
+
 std::vector<float> Csr::matvec(const std::vector<float>& x) const {
   if (static_cast<int64_t>(x.size()) != cols_) {
     throw std::invalid_argument("Csr::matvec: x size mismatch");

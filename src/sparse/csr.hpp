@@ -32,6 +32,29 @@ class Csr {
   /// Expand back to dense [rows, cols].
   [[nodiscard]] tensor::Tensor to_dense() const;
 
+  /// Transposed copy (Aᵀ as CSR, rows/cols swapped). Within each
+  /// transposed row the entries stay in ascending column order. The
+  /// runtime's event-driven ops build this once at compile time so a
+  /// sparse *input* index selects one contiguous weight row.
+  [[nodiscard]] Csr transposed() const;
+
+  /// Event-driven gather over `this` = Wᵀ [in, out]: for each active
+  /// input index j (ascending, a subset of rows with x[j] != 0), do
+  /// acc[col] += x[j] * value for every nonzero of row j, with double
+  /// products/adds. Per output element the contributions accumulate in
+  /// ascending j order — the same sequence Csr::spmm_t runs on W
+  /// restricted to the nonzero x[j], and skipped zero terms are exact
+  /// no-ops on the accumulator — so float(acc) is bitwise identical to
+  /// the dense-activation result. `acc` must hold cols() zeros on entry.
+  void spmv_gather(const float* x, const int32_t* active, int64_t n_active,
+                   double* acc) const;
+
+  /// Scatter one row scaled by x: out[col * out_stride] += value * x for
+  /// every nonzero of `row`. Float adds, ascending column order. The
+  /// event-driven conv path uses this with `this` = Wᵀ [C*K*K, F],
+  /// row = patch column, out_stride = OH*OW.
+  void scatter_row(int64_t row, float x, float* out, int64_t out_stride) const;
+
   /// y[rows] = A * x[cols] (sparse mat-vec).
   [[nodiscard]] std::vector<float> matvec(const std::vector<float>& x) const;
 

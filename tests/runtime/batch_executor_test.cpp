@@ -96,6 +96,33 @@ TEST(BatchExecutorTest, CountsCompletedWork) {
   EXPECT_EQ(exec.completed_samples(), samples);
 }
 
+TEST(BatchExecutorTest, LatencyPercentilesTrackCompletedRequests) {
+  const CompiledNetwork compiled = make_compiled(17);
+  BatchExecutor exec(compiled, 2);
+
+  const ExecutorStats empty = exec.stats();
+  EXPECT_EQ(empty.requests, 0);
+  EXPECT_EQ(empty.p99_ms, 0.0);
+
+  const std::vector<Tensor> requests = make_requests(8, 18);
+  int64_t samples = 0;
+  for (const auto& r : requests) samples += r.dim(0);
+  (void)exec.run_all(requests);
+
+  const ExecutorStats stats = exec.stats();
+  EXPECT_EQ(stats.requests, 8);
+  EXPECT_EQ(stats.samples, samples);
+  // Every request executed real work, and the nearest-rank percentiles
+  // must be ordered: p50 <= p95 <= p99 <= max, with the mean inside
+  // [min, max] (so also <= max).
+  EXPECT_GT(stats.p50_ms, 0.0);
+  EXPECT_LE(stats.p50_ms, stats.p95_ms);
+  EXPECT_LE(stats.p95_ms, stats.p99_ms);
+  EXPECT_LE(stats.p99_ms, stats.max_ms);
+  EXPECT_GT(stats.mean_ms, 0.0);
+  EXPECT_LE(stats.mean_ms, stats.max_ms);
+}
+
 TEST(BatchExecutorTest, ShutdownDrainsQueueAndRejectsNewWork) {
   const CompiledNetwork compiled = make_compiled(11);
   BatchExecutor exec(compiled, 2);

@@ -5,7 +5,10 @@
 // warm-up, bitwise comparison) comes from the differential harness.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/nm_projection.hpp"
+#include "nn/checkpoint.hpp"
 #include "nn/models/zoo.hpp"
 #include "runtime/compiled_network.hpp"
 #include "testing.hpp"
@@ -154,6 +157,96 @@ TEST(CompiledNetworkTest, ForcedBackendOverridesHeuristic) {
   }
 }
 
+TEST(CompiledNetworkTest, ForcedEventActivationMatchesInterpretedOnAllBackends) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 16;
+  spec.timesteps = 3;
+  const auto net = nn::make_lenet5(spec);
+  apply_random_masks(*net, 0.9, 71);
+  const Tensor batch = random_batch(2, 1, 16, 72);
+  warm_up(*net, batch);
+  const Tensor expect = net->predict(batch);
+
+  for (const Backend backend : {Backend::kDense, Backend::kCsr, Backend::kBcsr}) {
+    CompileOptions opts;
+    opts.backend = backend;
+    opts.activation_mode = ActivationMode::kEvent;
+    const CompiledNetwork compiled = CompiledNetwork::compile(*net, opts);
+    // Every weight op runs the event path, whatever its kernel.
+    for (const auto& r : compiled.plan()) {
+      if (r.weights > 0) {
+        EXPECT_TRUE(r.event) << r.layer << " " << r.kind;
+      }
+    }
+    expect_bitwise(compiled.run(batch), expect,
+                   std::string("event activation, backend ") +
+                       difftest::backend_name(backend));
+  }
+}
+
+TEST(CompiledNetworkTest, AutoActivationGoesEventOnlyBehindSpikingInputs) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 16;
+  spec.timesteps = 2;
+  const auto net = nn::make_lenet5(spec);
+  apply_random_masks(*net, 0.9, 81);
+  // No warm-up: no recorded rates, so kAuto plans on the fallback
+  // estimate (0.15 <= event_max_rate) for every spike-valued input.
+  CompileOptions opts;
+  const CompiledNetwork compiled = CompiledNetwork::compile(*net, opts);
+
+  // The first conv consumes the direct-encoded analog image — never
+  // event-driven under kAuto; the weight layers behind LIF outputs are.
+  bool saw_first_weight = false;
+  int event_ops = 0;
+  for (const auto& r : compiled.plan()) {
+    if (r.weights == 0) continue;
+    if (!saw_first_weight) {
+      EXPECT_FALSE(r.event) << "first weight layer sees analog input: " << r.layer;
+      saw_first_weight = true;
+    }
+    event_ops += r.event;
+  }
+  EXPECT_GT(event_ops, 0);
+
+  // Forcing dense activations turns the event path off everywhere.
+  opts.activation_mode = ActivationMode::kDense;
+  const CompiledNetwork dense_act = CompiledNetwork::compile(*net, opts);
+  for (const auto& r : dense_act.plan()) EXPECT_FALSE(r.event) << r.layer;
+
+  // Rates above the bar keep the plan on dense activations.
+  opts.activation_mode = ActivationMode::kAuto;
+  opts.firing_rate_estimate = 0.9;
+  const CompiledNetwork busy = CompiledNetwork::compile(*net, opts);
+  for (const auto& r : busy.plan()) EXPECT_FALSE(r.event) << r.layer;
+}
+
+TEST(CompiledNetworkTest, FromCheckpointServesWithoutATrainingNetwork) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 16;
+  spec.timesteps = 2;
+  const auto net = nn::make_lenet5(spec);
+  apply_random_masks(*net, 0.9, 91);
+  const Tensor batch = random_batch(2, 1, 16, 92);
+  warm_up(*net, batch);  // make BN running statistics non-trivial
+  const Tensor expect = net->predict(batch);
+
+  const std::string path = ::testing::TempDir() + "/compiled_from_checkpoint.ndck";
+  nn::save_checkpoint_file(path, *net, nn::CheckpointMeta{"lenet5", spec});
+
+  const CompiledNetwork compiled = CompiledNetwork::from_checkpoint(path);
+  expect_bitwise(compiled.run(batch), expect, "compiled from checkpoint");
+  EXPECT_GT(compiled.overall_sparsity(), 0.85);
+
+  // v1 checkpoints carry no architecture record and must be rejected.
+  const std::string v1_path = ::testing::TempDir() + "/params_only.ndck";
+  nn::save_checkpoint_file(v1_path, *net);
+  EXPECT_THROW((void)CompiledNetwork::from_checkpoint(v1_path), std::runtime_error);
+}
+
 TEST(CompiledNetworkTest, PruneThresholdDropsTinyWeights) {
   nn::ModelSpec spec;
   spec.in_channels = 1;
@@ -185,6 +278,34 @@ TEST(CompiledNetworkTest, SummaryAndReports) {
   const std::string text = compiled.summary();
   EXPECT_NE(text.find("csr-conv"), std::string::npos);
   EXPECT_NE(text.find("csr-linear"), std::string::npos);
+}
+
+TEST(SpikeBatchTest, ScanAndBuilderAgreeOnActiveIndices) {
+  Tensor t(Shape{3, 4});
+  // Row 0: {1, 3} active; row 1: silent; row 2: all active.
+  t.at(0, 1) = 1.0F;
+  t.at(0, 3) = 0.5F;
+  for (int64_t c = 0; c < 4; ++c) t.at(2, c) = 1.0F;
+
+  const SpikeBatch scanned = SpikeBatch::scan(t);
+  EXPECT_EQ(scanned.rows, 3);
+  EXPECT_EQ(scanned.row_size, 4);
+  EXPECT_NEAR(scanned.rate(), 6.0 / 12.0, 1e-12);
+  ASSERT_EQ(scanned.active_count(0), 2);
+  EXPECT_EQ(scanned.active_begin(0)[0], 1);
+  EXPECT_EQ(scanned.active_begin(0)[1], 3);
+  EXPECT_EQ(scanned.active_count(1), 0);
+  ASSERT_EQ(scanned.active_count(2), 4);
+
+  // The incremental builder (what neuron ops run) produces the same view
+  // from ascending flat pushes.
+  SpikeBatchBuilder builder(3, 4);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    if (t.at(i) != 0.0F) builder.push(i);
+  }
+  const SpikeBatch built = builder.finish();
+  ASSERT_EQ(built.row_ptr, scanned.row_ptr);
+  ASSERT_EQ(built.idx, scanned.idx);
 }
 
 TEST(CompiledNetworkTest, RejectsBadInputRank) {

@@ -1,9 +1,11 @@
 // The randomized differential sweep: many generated network scenarios,
-// each compiled on every backend (auto / dense / CSR / BCSR) and checked
+// each compiled on every backend (auto / dense / CSR / BCSR) crossed
+// with every activation mode (auto / dense / event-driven) and checked
 // bitwise against the interpreted SpikingNetwork::predict.
 //
 // Scale with NDSNN_DIFF_CONFIGS (default 200 configurations, i.e. 200
-// per backend); reproduce a failure with the NDSNN_TEST_SEED it logs.
+// per backend x activation pair); reproduce a failure with the
+// NDSNN_TEST_SEED it logs.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -21,11 +23,12 @@ TEST(DifferentialTest, CompiledMatchesInterpretedBitwiseOnAllBackends) {
   // How often each op kind appeared across all auto-compiled plans: the
   // sweep must actually exercise every weight kernel, not pass vacuously.
   std::map<std::string, int> auto_kinds;
+  int auto_event_ops = 0;
 
-  // Three pinned scenarios guarantee each weight kernel shows up under
-  // kAuto regardless of seed and sweep size (at the Debug-CI sweep of
-  // 40 random configs, dense-eligible draws alone have a few-percent
-  // chance of never occurring).
+  // Pinned scenarios guarantee each weight kernel and both firing-rate
+  // extremes show up under kAuto regardless of seed and sweep size (at
+  // the Debug-CI sweep of 40 random configs, dense-eligible draws alone
+  // have a few-percent chance of never occurring).
   std::vector<difftest::NetConfig> cases;
   difftest::NetConfig pinned;
   pinned.image = 8;
@@ -34,6 +37,11 @@ TEST(DifferentialTest, CompiledMatchesInterpretedBitwiseOnAllBackends) {
   cases.push_back(pinned);
   pinned.sparsity = 0.9;  // unstructured -> CSR
   cases.push_back(pinned);
+  pinned.input = difftest::InputKind::kSilent;  // all-silent spike trains
+  cases.push_back(pinned);
+  pinned.input = difftest::InputKind::kSaturated;  // all-firing spike trains
+  cases.push_back(pinned);
+  pinned.input = difftest::InputKind::kRandom;
   pinned.sparsity = 0.5;
   pinned.nm_n = 2;  // 2:4 projection -> BCSR
   pinned.nm_m = 4;
@@ -48,23 +56,34 @@ TEST(DifferentialTest, CompiledMatchesInterpretedBitwiseOnAllBackends) {
     const tensor::Tensor want = net->predict(batch);
 
     for (const Backend backend : difftest::all_backends()) {
-      const CompiledNetwork compiled =
-          CompiledNetwork::compile(*net, difftest::options_for(cfg, backend));
-      if (backend == Backend::kAuto) {
-        for (const auto& r : compiled.plan()) ++auto_kinds[r.kind];
+      for (const ActivationMode activation : difftest::all_activation_modes()) {
+        const CompiledNetwork compiled = CompiledNetwork::compile(
+            *net, difftest::options_for(cfg, backend, activation));
+        if (backend == Backend::kAuto && activation == ActivationMode::kAuto) {
+          for (const auto& r : compiled.plan()) {
+            ++auto_kinds[r.kind];
+            auto_event_ops += r.event;
+          }
+        }
+        difftest::expect_bitwise(
+            compiled.run(batch), want,
+            std::string("backend=") + difftest::backend_name(backend) +
+                " activation=" + difftest::activation_name(activation));
+        if (::testing::Test::HasFatalFailure()) return;  // one config is enough to debug
       }
-      difftest::expect_bitwise(compiled.run(batch), want,
-                               std::string("backend=") + difftest::backend_name(backend));
-      if (::testing::Test::HasFatalFailure()) return;  // one config is enough to debug
     }
   }
 
-  // The heuristic must have picked each weight kernel somewhere in the
-  // sweep: dense (0.3-sparsity layers), CSR (unstructured masks) and
-  // BCSR (N:M-projected layers).
+  // The heuristics must have picked each weight kernel — dense
+  // (0.3-sparsity layers), CSR (unstructured masks), BCSR
+  // (N:M-projected layers) — and the event-driven activation path
+  // somewhere in the sweep (the silent pinned config guarantees a
+  // measured 0 firing rate, which kAuto maps onto the event path for
+  // its sparse spiking-input layers).
   EXPECT_GT(auto_kinds["dense-linear"] + auto_kinds["dense-conv"], 0);
   EXPECT_GT(auto_kinds["csr-linear"] + auto_kinds["csr-conv"], 0);
   EXPECT_GT(auto_kinds["bcsr-linear"] + auto_kinds["bcsr-conv"], 0);
+  EXPECT_GT(auto_event_ops, 0);
 }
 
 TEST(DifferentialTest, ClassifyAgreesWithInterpretedArgmax) {

@@ -1,13 +1,16 @@
 // Differential / property test harness for the inference runtime.
 //
-// The runtime now has three kernel backends (dense / CSR / BCSR) chosen
-// per layer by a cost heuristic, which is far too many combinations for
-// hand-written cases. This header generates randomized network
-// configurations (architecture x sparsity x N:M pattern x batch/timestep
-// shapes) from a seeded RNG and checks that CompiledNetwork reproduces
-// the interpreted SpikingNetwork::predict *bitwise* on every backend —
-// the compiled ops mirror the interpreted arithmetic term for term, so
-// any drift at all is a lowering bug, not roundoff.
+// The runtime has three kernel backends (dense / CSR / BCSR) and three
+// activation modes (auto / dense / event-driven) chosen per layer by
+// cost heuristics, which is far too many combinations for hand-written
+// cases. This header generates randomized network configurations
+// (architecture x sparsity x N:M pattern x batch/timestep shapes x
+// input regime, including all-silent and all-firing extremes) from a
+// seeded RNG and checks that CompiledNetwork reproduces the interpreted
+// SpikingNetwork::predict *bitwise* on every backend x activation-mode
+// pair — the compiled ops mirror the interpreted arithmetic term for
+// term (skipped zero-activation terms are exact no-ops), so any drift
+// at all is a lowering bug, not roundoff.
 //
 // Reproducibility: every randomized test derives from env_seed(), which
 // reads NDSNN_TEST_SEED (decimal) and logs it; a failing CI run prints
@@ -34,6 +37,22 @@
 
 namespace ndsnn::difftest {
 
+/// Input regime of a scenario. Beyond the uniform-random default, the
+/// firing-rate extremes matter to the event-driven path: an all-zero
+/// batch keeps every spike train silent (empty SpikeBatch views,
+/// n_active == 0 kernels), a saturated batch drives LIF layers to fire
+/// on every step (event path degenerates to full gather).
+enum class InputKind { kRandom, kSilent, kSaturated };
+
+inline const char* input_kind_name(InputKind k) {
+  switch (k) {
+    case InputKind::kRandom: return "random";
+    case InputKind::kSilent: return "silent";
+    case InputKind::kSaturated: return "saturated";
+  }
+  return "?";
+}
+
 /// One randomized network scenario. str() is attached to every failure
 /// message so a red run identifies the exact configuration.
 struct NetConfig {
@@ -48,6 +67,7 @@ struct NetConfig {
   int64_t nm_m = 0;
   int64_t block_rows = 4;  ///< BCSR block shape handed to CompileOptions
   int64_t block_cols = 4;
+  InputKind input = InputKind::kRandom;
   uint64_t seed = 1;
 
   [[nodiscard]] std::string str() const {
@@ -58,7 +78,7 @@ struct NetConfig {
                     " sparsity=" + std::to_string(sparsity);
     if (nm_m > 0) s += " nm=" + std::to_string(nm_n) + ":" + std::to_string(nm_m);
     s += " block=" + std::to_string(block_rows) + "x" + std::to_string(block_cols) +
-         " seed=" + std::to_string(seed);
+         " input=" + input_kind_name(input) + " seed=" + std::to_string(seed);
     return s;
   }
 };
@@ -100,6 +120,13 @@ inline NetConfig random_config(tensor::Rng& rng) {
   const int64_t pick = rng.uniform_int(5);
   cfg.block_rows = blocks[pick][0];
   cfg.block_cols = blocks[pick][1];
+  // Mostly uniform-random inputs, with the firing-rate extremes mixed in
+  // so the event path's empty-active-list and full-gather branches stay
+  // exercised at every sweep size.
+  const double input_roll = rng.uniform01();
+  cfg.input = input_roll < 0.85   ? InputKind::kRandom
+              : input_roll < 0.93 ? InputKind::kSilent
+                                  : InputKind::kSaturated;
   cfg.seed = rng.next_u64() >> 1;
   return cfg;
 }
@@ -125,11 +152,22 @@ inline void warm_up(nn::SpikingNetwork& net, const tensor::Tensor& batch) {
   (void)net.train_step(batch, labels);
 }
 
-/// Input batch [batch, channels, image, image] in [0, 1).
+/// Input batch [batch, channels, image, image]: uniform [0, 1) for the
+/// random regime, all zeros for silent (no layer ever fires), large
+/// positive currents for saturated (LIF layers fire every step).
 inline tensor::Tensor random_batch(const NetConfig& cfg, uint64_t salt = 0) {
   tensor::Rng rng(cfg.seed ^ (0x9E3779B97F4A7C15ULL + salt));
   tensor::Tensor batch(tensor::Shape{cfg.batch, cfg.channels, cfg.image, cfg.image});
-  batch.fill_uniform(rng, 0.0F, 1.0F);
+  switch (cfg.input) {
+    case InputKind::kRandom:
+      batch.fill_uniform(rng, 0.0F, 1.0F);
+      break;
+    case InputKind::kSilent:
+      break;  // stays zero
+    case InputKind::kSaturated:
+      batch.fill_uniform(rng, 4.0F, 8.0F);
+      break;
+  }
   return batch;
 }
 
@@ -152,10 +190,12 @@ inline std::unique_ptr<nn::SpikingNetwork> build_network(const NetConfig& cfg) {
 }
 
 /// CompileOptions matching the scenario's block shape.
-inline runtime::CompileOptions options_for(const NetConfig& cfg,
-                                           runtime::Backend backend = runtime::Backend::kAuto) {
+inline runtime::CompileOptions options_for(
+    const NetConfig& cfg, runtime::Backend backend = runtime::Backend::kAuto,
+    runtime::ActivationMode activation = runtime::ActivationMode::kAuto) {
   runtime::CompileOptions opts;
   opts.backend = backend;
+  opts.activation_mode = activation;
   opts.block_rows = cfg.block_rows;
   opts.block_cols = cfg.block_cols;
   return opts;
@@ -187,6 +227,25 @@ inline const char* backend_name(runtime::Backend b) {
     case runtime::Backend::kDense: return "dense";
     case runtime::Backend::kCsr: return "csr";
     case runtime::Backend::kBcsr: return "bcsr";
+  }
+  return "?";
+}
+
+/// All activation modes the differential sweep crosses with the
+/// backends: the heuristic, the dense-activation spmm path, and the
+/// forced event-driven gather path.
+inline const std::vector<runtime::ActivationMode>& all_activation_modes() {
+  static const std::vector<runtime::ActivationMode> kModes = {
+      runtime::ActivationMode::kAuto, runtime::ActivationMode::kDense,
+      runtime::ActivationMode::kEvent};
+  return kModes;
+}
+
+inline const char* activation_name(runtime::ActivationMode m) {
+  switch (m) {
+    case runtime::ActivationMode::kAuto: return "auto";
+    case runtime::ActivationMode::kDense: return "dense";
+    case runtime::ActivationMode::kEvent: return "event";
   }
   return "?";
 }
