@@ -13,6 +13,11 @@
 //
 //   ./bench/activation_sparsity [--rows 256] [--out 120] [--in 400]
 //                               [--repeats 30] [--batch 8] [--timesteps 2]
+//                               [--json out.json]
+//
+// --json writes both sections as one machine-readable document; CI
+// uploads it as a workflow artifact alongside the sparse_inference
+// JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -25,6 +30,7 @@
 #include "tensor/random.hpp"
 #include "tensor/tensor.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -95,6 +101,7 @@ int main(int argc, char** argv) {
   const int repeats = cli.get_int("--repeats", 30);
   const int batch_size = cli.get_int("--batch", 8);
   const int timesteps = cli.get_int("--timesteps", 2);
+  const std::string json_path = cli.get_string("--json", "");
 
   std::printf(
       "event-driven vs dense-activation kernels: W [%lld x %lld], input [%lld rows]\n\n",
@@ -102,6 +109,14 @@ int main(int argc, char** argv) {
       static_cast<long long>(rows));
 
   Rng rng(42);
+  ndsnn::util::JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "activation_sparsity");
+  json.kv("rows", static_cast<int64_t>(rows));
+  json.kv("out", static_cast<int64_t>(out));
+  json.kv("in", static_cast<int64_t>(in));
+  json.kv("repeats", repeats);
+  json.key("kernel_sweep").begin_array();
   ndsnn::util::Table table({"weight sparsity", "firing rate", "csr spmm_t ms", "event ms",
                             "event speedup"});
   double speedup_at_10pct = 0.0;
@@ -145,8 +160,16 @@ int main(int argc, char** argv) {
       table.add_row({ndsnn::util::fmt(ws, 2), ndsnn::util::fmt(rate, 2),
                      ndsnn::util::fmt(dense_ms, 3), ndsnn::util::fmt(event_ms, 3),
                      ndsnn::util::fmt(speedup, 2) + "x"});
+      json.begin_object();
+      json.kv("weight_sparsity", ws);
+      json.kv("firing_rate", rate);
+      json.kv("csr_spmm_t_ms", dense_ms);
+      json.kv("event_ms", event_ms);
+      json.kv("event_speedup", speedup);
+      json.end_object();
     }
   }
+  json.end_array();
   table.print();
   std::printf(
       "\nevent speedup at 0.9 weight sparsity, 10%% firing: %.2fx %s\n"
@@ -154,6 +177,8 @@ int main(int argc, char** argv) {
       "(CompileOptions::event_max_rate default 0.25)\n",
       speedup_at_10pct, speedup_at_10pct >= 2.0 ? "(>= 2x target met)" : "(below 2x target!)",
       crossover_rate);
+  json.kv("event_speedup_at_10pct", speedup_at_10pct);
+  json.kv("crossover_rate", crossover_rate);
 
   // End-to-end: one masked LeNet-5 under the three activation modes.
   // The first conv always stays dense-activation under kAuto (analog
@@ -180,6 +205,7 @@ int main(int argc, char** argv) {
   batch.fill_uniform(rng, 0.0F, 1.0F);
 
   ndsnn::util::Table net_table({"activation mode", "ms/batch", "samples/s", "est. rate"});
+  json.key("end_to_end").begin_array();
   for (const auto mode : {ndsnn::runtime::ActivationMode::kDense,
                           ndsnn::runtime::ActivationMode::kAuto,
                           ndsnn::runtime::ActivationMode::kEvent}) {
@@ -193,7 +219,19 @@ int main(int argc, char** argv) {
     net_table.add_row({name, ndsnn::util::fmt(ms, 2),
                        ndsnn::util::fmt(1e3 * batch_size / ms, 0),
                        ndsnn::util::fmt(plan.estimated_spike_rate(), 2)});
+    json.begin_object();
+    json.kv("activation_mode", name);
+    json.kv("ms", ms);
+    json.kv("samples_per_s", 1e3 * batch_size / ms);
+    json.kv("estimated_rate", plan.estimated_spike_rate());
+    json.end_object();
   }
+  json.end_array();
   net_table.print();
+  json.end_object();
+  if (!json_path.empty()) {
+    json.write_file(json_path);
+    std::printf("\nwrote bench JSON to %s\n", json_path.c_str());
+  }
   return 0;
 }

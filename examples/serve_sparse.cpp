@@ -8,14 +8,22 @@
 //   ./examples/serve_sparse [--sparsity 0.95] [--epochs 4] [--threads 4]
 //                           [--requests 32] [--batch 8] [--nm 2:4]
 //                           [--activation auto|dense|event]
+//                           [--precision auto|fp32|int8|int4]
 //                           [--save-checkpoint model.ndck]
 //                           [--checkpoint model.ndck]
 //
 // With --save-checkpoint the trained network is written as an
-// architecture-tagged v2 checkpoint; with --checkpoint the training
-// stage is skipped entirely and the plan comes straight from
+// architecture-tagged checkpoint; with --checkpoint the training stage
+// is skipped entirely and the plan comes straight from
 // CompiledNetwork::from_checkpoint — the checkpoint-driven serving path
 // (no training network is ever instantiated by this binary).
+//
+// --precision selects the stored bit width of the sparse weight value
+// planes (default auto: per layer, the lowest width whose measured
+// quantisation error stays bounded — int8 in practice). An explicit
+// int8/int4 with --save-checkpoint writes a v3 checkpoint whose
+// quantisation record (per-layer precision + per-row scales) a later
+// `--checkpoint --precision auto` serve reproduces exactly.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -83,6 +91,8 @@ int main(int argc, char** argv) {
 
   ndsnn::runtime::CompileOptions opts;
   opts.activation_mode = parse_activation(cli.get_string("--activation", "auto"));
+  const std::string precision_spec = cli.get_string("--precision", "auto");
+  opts.weight_precision = ndsnn::runtime::parse_weight_precision(precision_spec);
 
   // Checkpoint-driven serving: no experiment, no training network —
   // the architecture record inside the checkpoint rebuilds everything.
@@ -139,11 +149,26 @@ int main(int argc, char** argv) {
   }
 
   // 3. (Optional) Persist as an architecture-tagged checkpoint a later
-  // `--checkpoint` run can serve without retraining.
+  // `--checkpoint` run can serve without retraining. An explicit
+  // quantised --precision makes it a v3 checkpoint carrying the
+  // deployment's per-layer precision + per-row scales.
   if (!save_checkpoint.empty()) {
-    ndsnn::nn::save_checkpoint_file(save_checkpoint, *exp.network,
-                                    ndsnn::nn::CheckpointMeta{exp.arch, exp.model_spec});
-    std::printf("saved checkpoint to %s\n", save_checkpoint.c_str());
+    const ndsnn::nn::CheckpointMeta meta{exp.arch, exp.model_spec};
+    if (opts.weight_precision == ndsnn::runtime::WeightPrecision::kInt8 ||
+        opts.weight_precision == ndsnn::runtime::WeightPrecision::kInt4) {
+      const auto precision =
+          opts.weight_precision == ndsnn::runtime::WeightPrecision::kInt8
+              ? ndsnn::sparse::Precision::kInt8
+              : ndsnn::sparse::Precision::kInt4;
+      ndsnn::nn::save_checkpoint_file(
+          save_checkpoint, *exp.network, meta,
+          ndsnn::nn::build_quant_record(*exp.network, precision));
+      std::printf("saved v3 checkpoint (quant record: %s) to %s\n",
+                  precision_spec.c_str(), save_checkpoint.c_str());
+    } else {
+      ndsnn::nn::save_checkpoint_file(save_checkpoint, *exp.network, meta);
+      std::printf("saved checkpoint to %s\n", save_checkpoint.c_str());
+    }
   }
 
   // 4. Compile the masked network into an immutable sparse inference

@@ -12,6 +12,7 @@ namespace {
 constexpr char kMagic[4] = {'N', 'D', 'C', 'K'};
 constexpr uint32_t kVersionParamsOnly = 1;
 constexpr uint32_t kVersionWithMeta = 2;
+constexpr uint32_t kVersionWithQuant = 3;
 
 void write_string(std::ostream& out, const std::string& s) {
   const auto len = static_cast<uint32_t>(s.size());
@@ -82,10 +83,69 @@ uint32_t read_header(std::istream& in) {
     throw std::runtime_error("load_checkpoint: bad magic");
   }
   const auto version = read_pod<uint32_t>(in);
-  if (version != kVersionParamsOnly && version != kVersionWithMeta) {
+  if (version != kVersionParamsOnly && version != kVersionWithMeta &&
+      version != kVersionWithQuant) {
     throw std::runtime_error("load_checkpoint: unsupported version");
   }
   return version;
+}
+
+void write_quant_record(std::ostream& out, const QuantRecord& quant) {
+  // Validate the whole record before emitting a single byte: a throw
+  // mid-write would leave a corrupt, partially-written v3 file behind.
+  for (const QuantRecordLayer& layer : quant.layers) {
+    if (layer.zeros.size() != layer.scales.size()) {
+      throw std::runtime_error("save_checkpoint: quant record scales/zeros mismatch for " +
+                               layer.param);
+    }
+  }
+  write_pod(out, static_cast<uint32_t>(quant.layers.size()));
+  for (const QuantRecordLayer& layer : quant.layers) {
+    write_string(out, layer.param);
+    write_pod(out, static_cast<uint8_t>(layer.precision));
+    const auto groups = static_cast<uint64_t>(layer.scales.size());
+    write_pod(out, groups);
+    out.write(reinterpret_cast<const char*>(layer.scales.data()),
+              static_cast<std::streamsize>(groups * sizeof(float)));
+    out.write(reinterpret_cast<const char*>(layer.zeros.data()),
+              static_cast<std::streamsize>(groups));
+  }
+}
+
+/// read_header + the v2 floor every architecture-record reader shares.
+uint32_t read_header_with_meta(std::istream& in) {
+  const uint32_t version = read_header(in);
+  if (version < kVersionWithMeta) {
+    throw std::runtime_error(
+        "checkpoint: v1 file has no architecture record "
+        "(re-save with save_checkpoint(..., CheckpointMeta) to serve it directly)");
+  }
+  return version;
+}
+
+QuantRecord read_quant_record(std::istream& in) {
+  QuantRecord quant;
+  const auto count = read_pod<uint32_t>(in);
+  if (count > (1U << 16)) throw std::runtime_error("checkpoint: bad quant layer count");
+  quant.layers.resize(count);
+  for (QuantRecordLayer& layer : quant.layers) {
+    layer.param = read_string(in);
+    const auto p = read_pod<uint8_t>(in);
+    if (p > static_cast<uint8_t>(sparse::Precision::kInt4)) {
+      throw std::runtime_error("checkpoint: bad precision tag for " + layer.param);
+    }
+    layer.precision = static_cast<sparse::Precision>(p);
+    const auto groups = read_pod<uint64_t>(in);
+    if (groups > (1ULL << 24)) throw std::runtime_error("checkpoint: bad quant group count");
+    layer.scales.resize(groups);
+    layer.zeros.resize(groups);
+    in.read(reinterpret_cast<char*>(layer.scales.data()),
+            static_cast<std::streamsize>(groups * sizeof(float)));
+    in.read(reinterpret_cast<char*>(layer.zeros.data()),
+            static_cast<std::streamsize>(groups));
+    if (!in) throw std::runtime_error("checkpoint: truncated quant record");
+  }
+  return quant;
 }
 
 void write_params(std::ostream& out, SpikingNetwork& network) {
@@ -134,26 +194,75 @@ void save_checkpoint(std::ostream& out, SpikingNetwork& network, const Checkpoin
   write_params(out, network);
 }
 
+void save_checkpoint(std::ostream& out, SpikingNetwork& network, const CheckpointMeta& meta,
+                     const QuantRecord& quant) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersionWithQuant);
+  write_meta(out, meta);
+  write_quant_record(out, quant);
+  write_params(out, network);
+}
+
+QuantRecord build_quant_record(SpikingNetwork& network, sparse::Precision precision) {
+  QuantRecord record;
+  for (const auto& p : network.params()) {
+    if (!p.prunable) continue;
+    QuantRecordLayer layer;
+    layer.param = p.name;
+    layer.precision = precision;
+    // fake_quantize_rows derives the same symmetric per-row scales
+    // Csr::quantize will; quantise a copy so the network is untouched.
+    tensor::Tensor copy = *p.value;
+    layer.scales = sparse::fake_quantize_rows(copy, precision);
+    layer.zeros.assign(layer.scales.size(), 0);
+    record.layers.push_back(std::move(layer));
+  }
+  return record;
+}
+
 void load_checkpoint(std::istream& in, SpikingNetwork& network) {
-  if (read_header(in) == kVersionWithMeta) {
+  const uint32_t version = read_header(in);
+  if (version >= kVersionWithMeta) {
     (void)read_meta(in);  // the live network defines the expected shapes
+  }
+  if (version >= kVersionWithQuant) {
+    (void)read_quant_record(in);  // restoring fp32 params; record not needed
   }
   read_params(in, network);
 }
 
 CheckpointMeta read_checkpoint_meta(std::istream& in) {
-  if (read_header(in) != kVersionWithMeta) {
-    throw std::runtime_error(
-        "read_checkpoint_meta: v1 checkpoint has no architecture record "
-        "(re-save with save_checkpoint(..., CheckpointMeta) to serve it directly)");
-  }
+  (void)read_header_with_meta(in);
   return read_meta(in);
 }
 
-std::unique_ptr<SpikingNetwork> load_checkpoint_network(const std::string& path) {
+QuantRecord read_checkpoint_quant(std::istream& in) {
+  if (read_header(in) < kVersionWithQuant) {
+    throw std::runtime_error(
+        "read_checkpoint_quant: checkpoint predates v3 and has no quantisation record");
+  }
+  (void)read_meta(in);
+  return read_quant_record(in);
+}
+
+QuantRecord read_checkpoint_quant_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_checkpoint_quant_file: cannot open " + path);
+  return read_checkpoint_quant(in);
+}
+
+std::unique_ptr<SpikingNetwork> load_checkpoint_network(const std::string& path,
+                                                        QuantRecord* quant) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_checkpoint_network: cannot open " + path);
-  const CheckpointMeta meta = read_checkpoint_meta(in);
+  const uint32_t version = read_header_with_meta(in);
+  const CheckpointMeta meta = read_meta(in);
+  if (version >= kVersionWithQuant) {
+    QuantRecord record = read_quant_record(in);
+    if (quant != nullptr) *quant = std::move(record);
+  } else if (quant != nullptr) {
+    quant->layers.clear();
+  }
   auto network = make_model(meta.arch, meta.spec);
   read_params(in, *network);
   return network;
@@ -170,6 +279,13 @@ void save_checkpoint_file(const std::string& path, SpikingNetwork& network,
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("save_checkpoint_file: cannot open " + path);
   save_checkpoint(out, network, meta);
+}
+
+void save_checkpoint_file(const std::string& path, SpikingNetwork& network,
+                          const CheckpointMeta& meta, const QuantRecord& quant) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_checkpoint_file: cannot open " + path);
+  save_checkpoint(out, network, meta, quant);
 }
 
 void load_checkpoint_file(const std::string& path, SpikingNetwork& network) {

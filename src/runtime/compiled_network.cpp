@@ -47,6 +47,8 @@ struct Lowering {
   bool emit_events = false;  ///< neuron ops produce SpikeBatch views
   bool dry = false;       ///< walk state only, build no ops (pre-pass)
   bool any_event = false; ///< some weight layer decided event-driven
+  std::size_t weight_index = 0;  ///< weight layers seen, in body order
+                                 ///< (indexes CompileOptions::layer_precisions)
 
   explicit Lowering(const CompileOptions& o) : opts(o) {}
 
@@ -101,6 +103,36 @@ Kernel pick_kernel(const Tensor& weight, const CompileOptions& opts) {
   return stats.occupancy() >= opts.bcsr_min_occupancy ? Kernel::kBcsr : Kernel::kCsr;
 }
 
+/// The value-plane precision heuristic. Quantised planes live on the
+/// sparse formats, so dense-kernel layers always execute fp32. Under
+/// kAuto a per-layer override vector (filled from a v3 checkpoint's
+/// quantisation record) wins; otherwise the layer takes the lowest bit
+/// width whose measured per-row reconstruction error stays under
+/// quant_max_error — a calibration on the actual weight values, not a
+/// fixed bitwidth-based rule, so outlier-heavy layers stay fp32. The
+/// weight-layer counter advances for *every* weight layer (dense ones
+/// included) to keep the override indexing aligned with the prunable
+/// parameter order.
+sparse::Precision pick_precision(const Tensor& weight, Kernel kernel, Lowering& lw) {
+  const CompileOptions& opts = lw.opts;
+  const std::size_t index = lw.weight_index++;
+  if (kernel == Kernel::kDense) return sparse::Precision::kFp32;
+  switch (opts.weight_precision) {
+    case WeightPrecision::kFp32: return sparse::Precision::kFp32;
+    case WeightPrecision::kInt8: return sparse::Precision::kInt8;
+    case WeightPrecision::kInt4: return sparse::Precision::kInt4;
+    case WeightPrecision::kAuto: break;
+  }
+  if (index < opts.layer_precisions.size()) return opts.layer_precisions[index];
+  for (const sparse::Precision p : {sparse::Precision::kInt4, sparse::Precision::kInt8}) {
+    if (sparse::relative_quant_error(weight, p, opts.prune_threshold) <=
+        static_cast<float>(opts.quant_max_error)) {
+      return p;
+    }
+  }
+  return sparse::Precision::kFp32;
+}
+
 std::unique_ptr<Op> compile_layer(const nn::Layer& layer, Lowering& lw);
 
 std::vector<std::unique_ptr<Op>> compile_chain(
@@ -125,7 +157,9 @@ std::unique_ptr<Op> compile_layer(const nn::Layer& layer, Lowering& lw) {
     lw.any_event |= event;
     lw.now_dense();
     if (lw.dry) return nullptr;
-    return std::make_unique<LinearOp>(*linear, pick_kernel(linear->weight(), opts), event,
+    const Kernel kernel = pick_kernel(linear->weight(), opts);
+    return std::make_unique<LinearOp>(*linear, kernel,
+                                      pick_precision(linear->weight(), kernel, lw), event,
                                       opts);
   }
   if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&layer)) {
@@ -133,7 +167,9 @@ std::unique_ptr<Op> compile_layer(const nn::Layer& layer, Lowering& lw) {
     lw.any_event |= event;
     lw.now_dense();
     if (lw.dry) return nullptr;
-    return std::make_unique<ConvOp>(*conv, pick_kernel(conv->weight(), opts), event, opts);
+    const Kernel kernel = pick_kernel(conv->weight(), opts);
+    return std::make_unique<ConvOp>(*conv, kernel,
+                                    pick_precision(conv->weight(), kernel, lw), event, opts);
   }
   if (const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(&layer)) {
     lw.now_dense();  // the affine shift makes zeros non-zero
@@ -202,6 +238,25 @@ std::unique_ptr<Op> compile_layer(const nn::Layer& layer, Lowering& lw) {
 
 }  // namespace
 
+const char* weight_precision_name(WeightPrecision p) {
+  switch (p) {
+    case WeightPrecision::kAuto: return "auto";
+    case WeightPrecision::kFp32: return "fp32";
+    case WeightPrecision::kInt8: return "int8";
+    case WeightPrecision::kInt4: return "int4";
+  }
+  return "?";
+}
+
+WeightPrecision parse_weight_precision(const std::string& s) {
+  if (s == "auto") return WeightPrecision::kAuto;
+  if (s == "fp32") return WeightPrecision::kFp32;
+  if (s == "int8") return WeightPrecision::kInt8;
+  if (s == "int4") return WeightPrecision::kInt4;
+  throw std::invalid_argument("parse_weight_precision: expected auto|fp32|int8|int4, got '" +
+                              s + "'");
+}
+
 CompiledNetwork CompiledNetwork::compile(const nn::SpikingNetwork& net,
                                          const CompileOptions& opts) {
   if (opts.min_sparsity < 0.0 || opts.min_sparsity > 1.0) {
@@ -223,6 +278,9 @@ CompiledNetwork CompiledNetwork::compile(const nn::SpikingNetwork& net,
       opts.firing_rate_estimate < 0.0 || opts.firing_rate_estimate > 1.0) {
     throw std::invalid_argument(
         "CompiledNetwork: event_max_rate and firing_rate_estimate must be in [0, 1]");
+  }
+  if (opts.quant_max_error < 0.0) {
+    throw std::invalid_argument("CompiledNetwork: quant_max_error must be >= 0");
   }
   if (dynamic_cast<const snn::DirectEncoder*>(&net.encoder()) == nullptr) {
     throw std::invalid_argument(
@@ -256,7 +314,20 @@ CompiledNetwork CompiledNetwork::from_checkpoint(const std::string& path,
   // caller only ever sees the compiled plan. The freshly-built network
   // has no recorded firing rates, so kAuto activation decisions run on
   // CompileOptions::firing_rate_estimate.
-  const auto net = nn::load_checkpoint_network(path);
+  nn::QuantRecord record;
+  const auto net = nn::load_checkpoint_network(path, &record);
+  // A v3 quantisation record pins the deployed per-layer precisions;
+  // it applies under kAuto (explicit fp32/int8/int4 always wins), and
+  // caller-supplied overrides are respected.
+  if (opts.weight_precision == WeightPrecision::kAuto && opts.layer_precisions.empty() &&
+      !record.layers.empty()) {
+    CompileOptions effective = opts;
+    effective.layer_precisions.reserve(record.layers.size());
+    for (const nn::QuantRecordLayer& layer : record.layers) {
+      effective.layer_precisions.push_back(layer.precision);
+    }
+    return compile(*net, effective);
+  }
   return compile(*net, opts);
 }
 

@@ -45,6 +45,7 @@
 
 #include "nn/network.hpp"
 #include "runtime/plan.hpp"
+#include "sparse/quant.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ndsnn::runtime {
@@ -64,6 +65,25 @@ enum class ActivationMode {
   kDense,  ///< always the dense-activation spmm path (PR-2 behaviour)
   kEvent,  ///< force the event-driven gather path on every weight layer
 };
+
+/// Stored bit width of the sparse weight value planes (Sec. III-D).
+/// Dense-kernel layers always execute fp32 — the quantised planes live
+/// on sparse::Csr/Bcsr — so a forced kInt8/kInt4 applies to every
+/// *sparse* weight layer and leaves dense fallbacks untouched.
+enum class WeightPrecision {
+  kAuto,   ///< per layer: the lowest bit width whose measured weight
+           ///< reconstruction error stays <= quant_max_error; a v3
+           ///< checkpoint's recorded per-layer precisions win when
+           ///< compiling via from_checkpoint
+  kFp32,   ///< no quantisation (default: keeps the bitwise contract)
+  kInt8,
+  kInt4,
+};
+
+[[nodiscard]] const char* weight_precision_name(WeightPrecision p);
+/// Parse "auto" | "fp32" | "int8" | "int4" (CLI surface); throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] WeightPrecision parse_weight_precision(const std::string& s);
 
 /// Knobs for the network -> plan lowering.
 struct CompileOptions {
@@ -103,6 +123,31 @@ struct CompileOptions {
   /// from a checkpoint, before any forward pass ran). Typical LIF/PLIF/
   /// ALIF layers fire 5-20% of the time.
   double firing_rate_estimate = 0.15;
+  /// Stored bit width of the sparse value planes (see WeightPrecision).
+  /// Anything other than kFp32 trades the bitwise-vs-predict contract
+  /// for the documented quantisation error bound (README, runtime
+  /// precision section).
+  WeightPrecision weight_precision = WeightPrecision::kFp32;
+  /// kAuto precision bar: quantise a layer only when its per-row
+  /// symmetric reconstruction error (max |dequant - w| / max |w|,
+  /// sparse::relative_quant_error) stays at or under this. The default
+  /// 0.02 admits int8 everywhere (~0.4% per-row error) and rejects int4
+  /// (~7%) — int4 is an explicit opt-in.
+  double quant_max_error = 0.02;
+  /// kAuto only: per-weight-layer precision overrides in body order
+  /// (the order Plan::reports lists weight ops, == the order of
+  /// prunable parameters). from_checkpoint fills this from a v3
+  /// checkpoint's quantisation record; layers beyond the vector fall
+  /// back to the error-bound heuristic.
+  std::vector<sparse::Precision> layer_precisions;
+  /// Fake-quant evaluation: quantise each sparse value plane, then
+  /// dequantise it back to fp32 storage, so the plan executes the
+  /// *exact effective weights* of the quantised deployment on the
+  /// bitwise fp32 kernels (QAT-style accuracy evaluation; the
+  /// differential harness's per-op reference plans). Reports still
+  /// carry the nominal precision; bytes reflect the fp32 storage the
+  /// fake plan actually holds.
+  bool fake_quant = false;
 };
 
 class CompiledNetwork {
@@ -133,6 +178,9 @@ class CompiledNetwork {
 
   /// Per-op reports of the compiled plan.
   [[nodiscard]] const std::vector<OpReport>& plan() const { return plan_.reports; }
+  /// The full plan IR, ops included — what the differential harness
+  /// walks to compare two plans op by op (run() stays the serving API).
+  [[nodiscard]] const Plan& plan_ir() const { return plan_; }
   [[nodiscard]] int64_t timesteps() const { return plan_.timesteps; }
   /// Compile-time mean firing-rate estimate over the spiking layers
   /// (recorded rates where available, CompileOptions fallback otherwise).
@@ -140,6 +188,8 @@ class CompiledNetwork {
 
   /// Weight elements stored by the plan (CSR nnz + dense fallback sizes).
   [[nodiscard]] int64_t stored_weights() const { return plan_.stored_weights(); }
+  /// Bytes the plan's weight structures occupy (quantised planes included).
+  [[nodiscard]] int64_t stored_bytes() const { return plan_.stored_bytes(); }
   /// Parameter-weighted sparsity over all weight ops.
   [[nodiscard]] double overall_sparsity() const { return plan_.overall_sparsity(); }
   /// Multi-line human-readable description of the plan.

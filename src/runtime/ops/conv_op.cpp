@@ -12,9 +12,11 @@ namespace ndsnn::runtime {
 using tensor::Shape;
 using tensor::Tensor;
 
-ConvOp::ConvOp(const nn::Conv2d& src, Kernel kernel, bool event, const CompileOptions& opts)
+ConvOp::ConvOp(const nn::Conv2d& src, Kernel kernel, sparse::Precision precision,
+               bool event, const CompileOptions& opts)
     : layer_name_(src.name()),
       gemm_(kernel),
+      precision_(kernel == Kernel::kDense ? sparse::Precision::kFp32 : precision),
       event_(event),
       has_bias_(src.has_bias()),
       in_channels_(src.in_channels()),
@@ -28,10 +30,16 @@ ConvOp::ConvOp(const nn::Conv2d& src, Kernel kernel, bool event, const CompileOp
     case Kernel::kCsr:
       if (event_) {
         csr_t_ = sparse::Csr::from_weights(src.weight(), opts.prune_threshold).transposed();
+        (void)csr_t_.quantize(precision_);
+        if (opts.fake_quant) csr_t_.dequantize();
         stored_ = csr_t_.nnz();
+        bytes_ = csr_t_.memory_bytes();
       } else {
         csr_ = sparse::Csr::from_weights(src.weight(), opts.prune_threshold);
+        (void)csr_.quantize(precision_);
+        if (opts.fake_quant) csr_.dequantize();
         stored_ = csr_.nnz();
+        bytes_ = csr_.memory_bytes();
       }
       break;
     case Kernel::kBcsr:
@@ -39,11 +47,17 @@ ConvOp::ConvOp(const nn::Conv2d& src, Kernel kernel, bool event, const CompileOp
         bcsr_t_ = sparse::Bcsr::from_weights(src.weight(), opts.block_rows, opts.block_cols,
                                              opts.prune_threshold)
                       .transposed();
+        (void)bcsr_t_.quantize(precision_);
+        if (opts.fake_quant) bcsr_t_.dequantize();
         stored_ = bcsr_t_.stored_values();
+        bytes_ = bcsr_t_.memory_bytes();
       } else {
         bcsr_ = sparse::Bcsr::from_weights(src.weight(), opts.block_rows, opts.block_cols,
                                            opts.prune_threshold);
+        (void)bcsr_.quantize(precision_);
+        if (opts.fake_quant) bcsr_.dequantize();
         stored_ = bcsr_.stored_values();
+        bytes_ = bcsr_.memory_bytes();
       }
       break;
     case Kernel::kDense: {
@@ -59,6 +73,7 @@ ConvOp::ConvOp(const nn::Conv2d& src, Kernel kernel, bool event, const CompileOp
         dense_ = src.weight().reshaped(Shape{out_channels_, ckk});
       }
       stored_ = weights_;
+      bytes_ = weights_ * 4;
       break;
     }
   }
@@ -82,11 +97,13 @@ Tensor ConvOp::run_dense(const Tensor& input) const {
   const int64_t plane = oh * ow;
   Tensor out(Shape{m, out_channels_, oh, ow});
 
-  if (gemm_ == Kernel::kCsr) {
+  if (gemm_ == Kernel::kCsr && !csr_.quantized()) {
     // Fused spmm + transpose: accumulate each CSR row f straight into
     // the [m, F, oy, ox] layout, skipping the [F, L] intermediate. Per
     // output element the nonzeros are visited in the same order as
-    // Csr::spmm, so results stay bitwise identical.
+    // Csr::spmm, so results stay bitwise identical. (A quantised plane
+    // takes the spmm + transpose route below: Csr::spmm dispatches to
+    // the dequantise-once-per-output-row kernel internally.)
     const int64_t l = m * plane;
     const auto& row_ptr = csr_.row_ptr();
     const auto& col_idx = csr_.col_idx();
@@ -107,8 +124,9 @@ Tensor ConvOp::run_dense(const Tensor& input) const {
       }
     }
   } else {
-    const Tensor yflat =
-        gemm_ == Kernel::kBcsr ? bcsr_.spmm(cols) : tensor::matmul(dense_, cols);
+    const Tensor yflat = gemm_ == Kernel::kCsr    ? csr_.spmm(cols)
+                         : gemm_ == Kernel::kBcsr ? bcsr_.spmm(cols)
+                                                  : tensor::matmul(dense_, cols);
     // Transpose [F, (m, oy, ox)] -> [m, F, oy, ox].
     const float* src = yflat.data();
     float* dst = out.data();
@@ -216,7 +234,7 @@ Activation ConvOp::run(const Activation& input) const {
 
 OpReport ConvOp::report() const {
   OpReport r{layer_name_, std::string(kernel_tag(gemm_)) + "-conv", weights_, stored_,
-             source_sparsity_, event_};
+             source_sparsity_, event_, precision_, bytes_};
   return r;
 }
 

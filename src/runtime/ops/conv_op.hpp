@@ -23,7 +23,10 @@ namespace ndsnn::runtime {
 
 class ConvOp final : public Op {
  public:
-  ConvOp(const nn::Conv2d& src, Kernel kernel, bool event, const CompileOptions& opts);
+  /// `precision` mirrors LinearOp: quantises the sparse value plane on
+  /// the execution orientation; ignored for the dense kernel.
+  ConvOp(const nn::Conv2d& src, Kernel kernel, sparse::Precision precision, bool event,
+         const CompileOptions& opts);
 
   [[nodiscard]] Activation run(const Activation& input) const override;
   [[nodiscard]] OpReport report() const override;
@@ -34,6 +37,8 @@ class ConvOp final : public Op {
 
   std::string layer_name_;
   Kernel gemm_;
+  sparse::Precision precision_;
+  int64_t bytes_ = 0;
   bool event_;
   bool has_bias_;
   int64_t in_channels_, out_channels_, kernel_, stride_, padding_;

@@ -12,10 +12,11 @@ namespace ndsnn::runtime {
 using tensor::Shape;
 using tensor::Tensor;
 
-LinearOp::LinearOp(const nn::Linear& src, Kernel kernel, bool event,
-                   const CompileOptions& opts)
+LinearOp::LinearOp(const nn::Linear& src, Kernel kernel, sparse::Precision precision,
+                   bool event, const CompileOptions& opts)
     : layer_name_(src.name()),
       kernel_(kernel),
+      precision_(kernel == Kernel::kDense ? sparse::Precision::kFp32 : precision),
       event_(event),
       has_bias_(src.has_bias()),
       in_features_(src.in_features()),
@@ -29,10 +30,16 @@ LinearOp::LinearOp(const nn::Linear& src, Kernel kernel, bool event,
     case Kernel::kCsr:
       if (event_) {
         csr_t_ = sparse::Csr::from_weights(src.weight(), opts.prune_threshold).transposed();
+        (void)csr_t_.quantize(precision_);
+        if (opts.fake_quant) csr_t_.dequantize();
         stored_ = csr_t_.nnz();
+        bytes_ = csr_t_.memory_bytes();
       } else {
         csr_ = sparse::Csr::from_weights(src.weight(), opts.prune_threshold);
+        (void)csr_.quantize(precision_);
+        if (opts.fake_quant) csr_.dequantize();
         stored_ = csr_.nnz();
+        bytes_ = csr_.memory_bytes();
       }
       break;
     case Kernel::kBcsr:
@@ -40,11 +47,17 @@ LinearOp::LinearOp(const nn::Linear& src, Kernel kernel, bool event,
         bcsr_t_ = sparse::Bcsr::from_weights(src.weight(), opts.block_rows, opts.block_cols,
                                              opts.prune_threshold)
                       .transposed();
+        (void)bcsr_t_.quantize(precision_);
+        if (opts.fake_quant) bcsr_t_.dequantize();
         stored_ = bcsr_t_.stored_values();
+        bytes_ = bcsr_t_.memory_bytes();
       } else {
         bcsr_ = sparse::Bcsr::from_weights(src.weight(), opts.block_rows, opts.block_cols,
                                            opts.prune_threshold);
+        (void)bcsr_.quantize(precision_);
+        if (opts.fake_quant) bcsr_.dequantize();
         stored_ = bcsr_.stored_values();
+        bytes_ = bcsr_.memory_bytes();
       }
       break;
     case Kernel::kDense:
@@ -61,6 +74,7 @@ LinearOp::LinearOp(const nn::Linear& src, Kernel kernel, bool event,
         dense_ = src.weight();
       }
       stored_ = weights_;
+      bytes_ = weights_ * 4;
       break;
   }
   if (has_bias_) bias_ = src.bias();
@@ -145,7 +159,7 @@ Activation LinearOp::run(const Activation& input) const {
 
 OpReport LinearOp::report() const {
   OpReport r{layer_name_, std::string(kernel_tag(kernel_)) + "-linear", weights_, stored_,
-             source_sparsity_, event_};
+             source_sparsity_, event_, precision_, bytes_};
   return r;
 }
 

@@ -21,7 +21,13 @@ namespace ndsnn::runtime {
 
 class LinearOp final : public Op {
  public:
-  LinearOp(const nn::Linear& src, Kernel kernel, bool event, const CompileOptions& opts);
+  /// `precision` != kFp32 quantises the value plane of the chosen
+  /// sparse structure (per-row scales on the execution orientation, so
+  /// the event path quantises Wᵀ); ignored for the dense kernel. See
+  /// sparse::Csr::quantize for the error contract the quantised kernels
+  /// carry instead of bitwise equality.
+  LinearOp(const nn::Linear& src, Kernel kernel, sparse::Precision precision, bool event,
+           const CompileOptions& opts);
 
   [[nodiscard]] Activation run(const Activation& input) const override;
   [[nodiscard]] OpReport report() const override;
@@ -32,6 +38,8 @@ class LinearOp final : public Op {
 
   std::string layer_name_;
   Kernel kernel_;
+  sparse::Precision precision_;
+  int64_t bytes_ = 0;
   bool event_;
   bool has_bias_;
   int64_t in_features_, out_features_;

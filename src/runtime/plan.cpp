@@ -44,6 +44,12 @@ int64_t Plan::stored_weights() const {
   return total;
 }
 
+int64_t Plan::stored_bytes() const {
+  int64_t total = 0;
+  for (const auto& r : reports) total += r.bytes;
+  return total;
+}
+
 double Plan::overall_sparsity() const {
   int64_t weights = 0;
   double zero_weighted = 0.0;
@@ -62,9 +68,13 @@ std::string Plan::summary() const {
      << static_cast<int>(100.0 * overall_sparsity() + 0.5) << "% source sparsity, est. "
      << static_cast<int>(100.0 * estimated_spike_rate + 0.5) << "% firing rate)\n";
   for (const auto& r : reports) {
-    os << "  [" << r.kind << (r.event ? "+event" : "") << "] " << r.layer;
+    os << "  [" << r.kind << (r.event ? "+event" : "");
+    if (r.precision != sparse::Precision::kFp32) {
+      os << " " << sparse::precision_tag(r.precision);
+    }
+    os << "] " << r.layer;
     if (r.weights > 0) {
-      os << "  nnz=" << r.nnz << "/" << r.weights;
+      os << "  nnz=" << r.nnz << "/" << r.weights << " (" << r.bytes << " B)";
     }
     os << "\n";
   }

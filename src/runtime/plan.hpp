@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "sparse/quant.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ndsnn::runtime {
@@ -115,6 +116,13 @@ struct OpReport {
                          ///< dense block values, == weights for dense ops)
   double sparsity = 0.0; ///< zero fraction of the source weights
   bool event = false;    ///< weight op executes the event-driven path
+  /// Stored bit width of the value plane (kFp32 for dense kernels and
+  /// unquantised sparse ones).
+  sparse::Precision precision = sparse::Precision::kFp32;
+  /// Bytes the weight structure occupies (values or quantised plane +
+  /// indices); 0 for weightless ops. What the bench bytes-touched
+  /// column sums.
+  int64_t bytes = 0;
 };
 
 /// One inference op of the compiled plan. Implementations are immutable
@@ -146,6 +154,9 @@ struct Plan {
 
   /// Weight elements stored by the plan (CSR nnz + dense fallback sizes).
   [[nodiscard]] int64_t stored_weights() const;
+  /// Bytes the plan's weight structures occupy (values / quantised
+  /// planes + indices, summed over all ops).
+  [[nodiscard]] int64_t stored_bytes() const;
   /// Parameter-weighted sparsity over all weight ops.
   [[nodiscard]] double overall_sparsity() const;
   /// Multi-line human-readable description.

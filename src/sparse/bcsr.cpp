@@ -125,6 +125,36 @@ Bcsr Bcsr::from_nm(const Tensor& dense, const NmPattern& pattern, int64_t block_
   return from_dense(projected, block_rows, pattern.m, threshold);
 }
 
+float Bcsr::quantize(Precision precision, bool symmetric) {
+  if (precision == Precision::kFp32) return 0.0F;
+  if (quant_.present()) throw std::logic_error("Bcsr::quantize: already quantised");
+  float err = 0.0F;
+  quant_ = quantize_fixed(values_.data(), block_count(), block_rows_ * block_cols_,
+                          precision, symmetric, &err);
+  values_.clear();
+  values_.shrink_to_fit();
+  return err;
+}
+
+void Bcsr::dequantize() {
+  if (!quant_.present()) return;
+  const int64_t bs = block_rows_ * block_cols_;
+  values_.resize(static_cast<std::size_t>(block_count() * bs));
+  for (int64_t k = 0; k < block_count(); ++k) {
+    for (int64_t e = 0; e < bs; ++e) {
+      values_[static_cast<std::size_t>(k * bs + e)] = quant_.dequant(k, k * bs + e);
+    }
+  }
+  quant_ = QuantPlane{};
+}
+
+int64_t Bcsr::memory_bytes() const {
+  const int64_t indices = static_cast<int64_t>(block_row_ptr_.size()) * 8 +
+                          static_cast<int64_t>(block_col_idx_.size()) * 4;
+  return indices + (quant_.present() ? quant_.memory_bytes()
+                                     : static_cast<int64_t>(values_.size()) * 4);
+}
+
 Tensor Bcsr::to_dense() const {
   Tensor out(Shape{rows_, cols_});
   const int64_t bs = block_rows_ * block_cols_;
@@ -138,10 +168,12 @@ Tensor Bcsr::to_dense() const {
       const int64_t col0 = static_cast<int64_t>(block_col_idx_[static_cast<std::size_t>(k)]) *
                            block_cols_;
       const int64_t c_lim = std::min(block_cols_, cols_ - col0);
-      const float* vals = values_.data() + k * bs;
+      const float* vals = quant_.present() ? nullptr : values_.data() + k * bs;
       for (int64_t r = 0; r < r_lim; ++r) {
         for (int64_t c = 0; c < c_lim; ++c) {
-          dst[(row0 + r) * cols_ + col0 + c] = vals[r * block_cols_ + c];
+          const int64_t e = r * block_cols_ + c;
+          dst[(row0 + r) * cols_ + col0 + c] =
+              vals != nullptr ? vals[e] : quant_.dequant(k, k * bs + e);
         }
       }
     }
@@ -150,6 +182,9 @@ Tensor Bcsr::to_dense() const {
 }
 
 Bcsr Bcsr::transposed() const {
+  if (quant_.present()) {
+    throw std::logic_error("Bcsr::transposed: transpose before quantize");
+  }
   // Round-trip through dense with threshold 0: to_dense() materializes
   // exactly the surviving |w| > threshold entries (explicit in-block
   // zeros stay zero), so the transposed build keeps nnz identical and
@@ -177,10 +212,21 @@ void Bcsr::spmv_gather(const float* x, const int32_t* active, int64_t n_active,
       const int64_t col0 =
           static_cast<int64_t>(block_col_idx_[static_cast<std::size_t>(k)]) * block_cols_;
       const int64_t c_lim = std::min(block_cols_, cols_ - col0);
-      const float* vrow = values_.data() + k * bs + r * block_cols_;
       double* arow = acc + col0;
-      for (int64_t cc = 0; cc < c_lim; ++cc) {
-        arow[cc] += static_cast<double>(vrow[cc]) * xj;
+      if (quant_.present()) {
+        // Fold the block scale into the activation once per (input,
+        // block); each term is then a small-int multiply-add.
+        const double u = static_cast<double>(quant_.scale[static_cast<std::size_t>(k)]) * xj;
+        const int zp = quant_.zero[static_cast<std::size_t>(k)];
+        const int64_t e0 = k * bs + r * block_cols_;
+        for (int64_t cc = 0; cc < c_lim; ++cc) {
+          arow[cc] += static_cast<double>(static_cast<int>(quant_.code(e0 + cc)) - zp) * u;
+        }
+      } else {
+        const float* vrow = values_.data() + k * bs + r * block_cols_;
+        for (int64_t cc = 0; cc < c_lim; ++cc) {
+          arow[cc] += static_cast<double>(vrow[cc]) * xj;
+        }
       }
     }
   }
@@ -195,9 +241,19 @@ void Bcsr::scatter_row(int64_t row, float x, float* out, int64_t out_stride) con
     const int64_t col0 =
         static_cast<int64_t>(block_col_idx_[static_cast<std::size_t>(k)]) * block_cols_;
     const int64_t c_lim = std::min(block_cols_, cols_ - col0);
-    const float* vrow = values_.data() + k * bs + r * block_cols_;
-    for (int64_t cc = 0; cc < c_lim; ++cc) {
-      out[(col0 + cc) * out_stride] += vrow[cc] * x;
+    if (quant_.present()) {
+      const float xs = quant_.scale[static_cast<std::size_t>(k)] * x;
+      const int zp = quant_.zero[static_cast<std::size_t>(k)];
+      const int64_t e0 = k * bs + r * block_cols_;
+      for (int64_t cc = 0; cc < c_lim; ++cc) {
+        out[(col0 + cc) * out_stride] +=
+            static_cast<float>(static_cast<int>(quant_.code(e0 + cc)) - zp) * xs;
+      }
+    } else {
+      const float* vrow = values_.data() + k * bs + r * block_cols_;
+      for (int64_t cc = 0; cc < c_lim; ++cc) {
+        out[(col0 + cc) * out_stride] += vrow[cc] * x;
+      }
     }
   }
 }
@@ -504,6 +560,105 @@ void spmm_t_generic(const std::vector<int64_t>& block_row_ptr,
   }
 }
 
+/// Quantised spmm: decode each block row's stored blocks into a
+/// dequantised buffer once per block row (not once per strip — the
+/// scale multiply amortizes across all of the row's n outputs), then
+/// run the generic strip accumulation over it. No bitwise contract on
+/// quantised execution.
+void spmm_quant(const QuantPlane& plane, const std::vector<int64_t>& block_row_ptr,
+                const std::vector<int32_t>& block_col_idx, int64_t rows, int64_t cols,
+                int64_t br, int64_t bc, const float* bp, int64_t n, float* cp) {
+  const int64_t mb = static_cast<int64_t>(block_row_ptr.size()) - 1;
+  const int64_t bs = br * bc;
+  std::vector<float> acc(static_cast<std::size_t>(br * kStrip));
+  std::vector<float> drow_blocks;
+  for (int64_t ib = 0; ib < mb; ++ib) {
+    const int64_t row0 = ib * br;
+    const int64_t r_lim = std::min(br, rows - row0);
+    const int64_t k0 = block_row_ptr[static_cast<std::size_t>(ib)];
+    const int64_t k1 = block_row_ptr[static_cast<std::size_t>(ib) + 1];
+    if (k0 == k1) continue;
+    drow_blocks.resize(static_cast<std::size_t>((k1 - k0) * bs));
+    for (int64_t k = k0; k < k1; ++k) {
+      const float s = plane.scale[static_cast<std::size_t>(k)];
+      const int zp = plane.zero[static_cast<std::size_t>(k)];
+      float* dst = drow_blocks.data() + (k - k0) * bs;
+      for (int64_t e = 0; e < bs; ++e) {
+        dst[e] = s * static_cast<float>(static_cast<int>(plane.code(k * bs + e)) - zp);
+      }
+    }
+    for (int64_t j0 = 0; j0 < n; j0 += kStrip) {
+      const int64_t jt = std::min(kStrip, n - j0);
+      std::fill(acc.begin(), acc.begin() + r_lim * kStrip, 0.0F);
+      for (int64_t k = k0; k < k1; ++k) {
+        const int64_t col0 =
+            static_cast<int64_t>(block_col_idx[static_cast<std::size_t>(k)]) * bc;
+        const int64_t c_lim = std::min(bc, cols - col0);
+        const float* dblock = drow_blocks.data() + (k - k0) * bs;
+        for (int64_t cc = 0; cc < c_lim; ++cc) {
+          const float* brow = bp + (col0 + cc) * n + j0;
+          for (int64_t r = 0; r < r_lim; ++r) {
+            const float v = dblock[r * bc + cc];
+            if (v == 0.0F) continue;
+            float* arow = acc.data() + r * kStrip;
+            for (int64_t j = 0; j < jt; ++j) arow[j] += v * brow[j];
+          }
+        }
+      }
+      for (int64_t r = 0; r < r_lim; ++r) {
+        float* crow = cp + (row0 + r) * n + j0;
+        const float* arow = acc.data() + r * kStrip;
+        for (int64_t j = 0; j < jt; ++j) crow[j] = arow[j];
+      }
+    }
+  }
+}
+
+/// Quantised spmm_t: raw-code partial sums per (block, output row),
+/// dequantised once per block — the activation-segment sum handles a
+/// nonzero zero-point and is shared across the block's rows.
+void spmm_t_quant(const QuantPlane& plane, const std::vector<int64_t>& block_row_ptr,
+                  const std::vector<int32_t>& block_col_idx, int64_t rows, int64_t cols,
+                  int64_t br, int64_t bc, const float* bp, int64_t m, float* cp) {
+  const int64_t mb = static_cast<int64_t>(block_row_ptr.size()) - 1;
+  const int64_t bs = br * bc;
+  std::vector<double> acc(static_cast<std::size_t>(br));
+  for (int64_t i = 0; i < m; ++i) {
+    const float* brow = bp + i * cols;
+    float* crow = cp + i * rows;
+    for (int64_t ib = 0; ib < mb; ++ib) {
+      const int64_t row0 = ib * br;
+      const int64_t r_lim = std::min(br, rows - row0);
+      std::fill(acc.begin(), acc.begin() + r_lim, 0.0);
+      for (int64_t k = block_row_ptr[static_cast<std::size_t>(ib)];
+           k < block_row_ptr[static_cast<std::size_t>(ib) + 1]; ++k) {
+        const int64_t col0 =
+            static_cast<int64_t>(block_col_idx[static_cast<std::size_t>(k)]) * bc;
+        const int64_t c_lim = std::min(bc, cols - col0);
+        const float* bseg = brow + col0;
+        const float s = plane.scale[static_cast<std::size_t>(k)];
+        const int zp = plane.zero[static_cast<std::size_t>(k)];
+        float bsum = 0.0F;
+        if (zp != 0) {
+          for (int64_t cc = 0; cc < c_lim; ++cc) bsum += bseg[cc];
+        }
+        for (int64_t r = 0; r < r_lim; ++r) {
+          const int64_t e0 = k * bs + r * bc;
+          float part = 0.0F;
+          for (int64_t cc = 0; cc < c_lim; ++cc) {
+            part += static_cast<float>(plane.code(e0 + cc)) * bseg[cc];
+          }
+          acc[static_cast<std::size_t>(r)] +=
+              static_cast<double>(s * (part - static_cast<float>(zp) * bsum));
+        }
+      }
+      for (int64_t r = 0; r < r_lim; ++r) {
+        crow[row0 + r] = static_cast<float>(acc[static_cast<std::size_t>(r)]);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Tensor Bcsr::spmm(const Tensor& b) const {
@@ -513,7 +668,10 @@ Tensor Bcsr::spmm(const Tensor& b) const {
   }
   const int64_t n = b.dim(1);
   Tensor c(Shape{rows_, n});
-  if (const SpmmFn fn = pick_spmm(block_rows_, block_cols_)) {
+  if (quant_.present()) {
+    spmm_quant(quant_, block_row_ptr_, block_col_idx_, rows_, cols_, block_rows_,
+               block_cols_, b.data(), n, c.data());
+  } else if (const SpmmFn fn = pick_spmm(block_rows_, block_cols_)) {
     fn(block_row_ptr_, block_col_idx_, values_, rows_, cols_, b.data(), n, c.data());
   } else {
     spmm_generic(block_row_ptr_, block_col_idx_, values_, rows_, cols_, block_rows_,
@@ -529,7 +687,10 @@ Tensor Bcsr::spmm_t(const Tensor& b) const {
   }
   const int64_t m = b.dim(0);
   Tensor c(Shape{m, rows_});
-  if (const SpmmFn fn = pick_spmm_t(block_rows_, block_cols_)) {
+  if (quant_.present()) {
+    spmm_t_quant(quant_, block_row_ptr_, block_col_idx_, rows_, cols_, block_rows_,
+                 block_cols_, b.data(), m, c.data());
+  } else if (const SpmmFn fn = pick_spmm_t(block_rows_, block_cols_)) {
     fn(block_row_ptr_, block_col_idx_, values_, rows_, cols_, b.data(), m, c.data());
   } else {
     spmm_t_generic(block_row_ptr_, block_col_idx_, values_, rows_, cols_, block_rows_,
@@ -543,8 +704,9 @@ int64_t Bcsr::block_row_count() const {
 }
 
 double Bcsr::occupancy() const {
-  if (values_.empty()) return 0.0;
-  return static_cast<double>(nnz_) / static_cast<double>(values_.size());
+  const int64_t stored = stored_values();
+  if (stored == 0) return 0.0;
+  return static_cast<double>(nnz_) / static_cast<double>(stored);
 }
 
 double Bcsr::sparsity() const {

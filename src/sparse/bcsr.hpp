@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sparse/quant.hpp"
 #include "sparse/structured.hpp"
 #include "tensor/tensor.hpp"
 
@@ -107,6 +108,22 @@ class Bcsr {
   /// tensor::matmul_nt and Csr::spmm_t.
   [[nodiscard]] tensor::Tensor spmm_t(const tensor::Tensor& b) const;
 
+  /// Quantise the value plane in place with one scale/zero-point per
+  /// *stored block* (symmetric by default). Mirrors Csr::quantize: the
+  /// fp32 block values are released, every kernel dispatches to its
+  /// quantised variant (no bitwise contract, only the QuantPlane error
+  /// bound), and transposed() must run before quantize. Returns the
+  /// max-abs reconstruction error; no-op returning 0 for kFp32.
+  float quantize(Precision precision, bool symmetric = true);
+
+  /// Inverse companion of quantize(), mirroring Csr::dequantize:
+  /// materialize the dequantised fp32 block values and drop the plane.
+  void dequantize();
+
+  [[nodiscard]] bool quantized() const { return quant_.present(); }
+  [[nodiscard]] Precision precision() const { return quant_.precision; }
+  [[nodiscard]] const QuantPlane& quant() const { return quant_; }
+
   [[nodiscard]] int64_t rows() const { return rows_; }
   [[nodiscard]] int64_t cols() const { return cols_; }
   [[nodiscard]] int64_t block_rows() const { return block_rows_; }
@@ -121,7 +138,7 @@ class Bcsr {
   [[nodiscard]] int64_t nnz() const { return nnz_; }
   /// Values the format actually stores: block_count * block_rows * block_cols.
   [[nodiscard]] int64_t stored_values() const {
-    return static_cast<int64_t>(values_.size());
+    return block_count() * block_rows_ * block_cols_;
   }
   /// Fraction of stored values that are nonzero — the pattern-structure
   /// measure the runtime's kernel heuristic keys on (1.0 for a perfect
@@ -136,6 +153,10 @@ class Bcsr {
   /// block_cols) as many indices as CSR).
   [[nodiscard]] int64_t storage_bits(int64_t value_bits, int64_t index_bits) const;
 
+  /// Bytes the structure actually occupies (indices + fp32 values or
+  /// the quantised plane), mirroring Csr::memory_bytes.
+  [[nodiscard]] int64_t memory_bytes() const;
+
   [[nodiscard]] const std::vector<int64_t>& block_row_ptr() const { return block_row_ptr_; }
   [[nodiscard]] const std::vector<int32_t>& block_col_idx() const { return block_col_idx_; }
   [[nodiscard]] const std::vector<float>& values() const { return values_; }
@@ -147,6 +168,7 @@ class Bcsr {
   std::vector<int64_t> block_row_ptr_;
   std::vector<int32_t> block_col_idx_;
   std::vector<float> values_;
+  QuantPlane quant_;
 };
 
 }  // namespace ndsnn::sparse

@@ -5,6 +5,36 @@
 
 namespace ndsnn::sparse {
 
+float Csr::quantize(Precision precision, bool symmetric) {
+  if (precision == Precision::kFp32) return 0.0F;
+  if (quant_.present()) throw std::logic_error("Csr::quantize: already quantised");
+  float err = 0.0F;
+  quant_ = quantize_grouped(values_.data(), row_ptr_.data(), rows_, precision, symmetric,
+                            &err);
+  values_.clear();
+  values_.shrink_to_fit();
+  return err;
+}
+
+void Csr::dequantize() {
+  if (!quant_.present()) return;
+  values_.resize(col_idx_.size());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      values_[static_cast<std::size_t>(k)] = quant_.dequant(r, k);
+    }
+  }
+  quant_ = QuantPlane{};
+}
+
+int64_t Csr::memory_bytes() const {
+  const int64_t indices = static_cast<int64_t>(row_ptr_.size()) * 8 +
+                          static_cast<int64_t>(col_idx_.size()) * 4;
+  return indices + (quant_.present() ? quant_.memory_bytes()
+                                     : static_cast<int64_t>(values_.size()) * 4);
+}
+
 Csr Csr::from_dense(const tensor::Tensor& dense, float threshold) {
   if (dense.rank() != 2) {
     throw std::invalid_argument("Csr::from_dense: expected rank-2, got " +
@@ -46,13 +76,19 @@ tensor::Tensor Csr::to_dense() const {
   for (int64_t r = 0; r < rows_; ++r) {
     for (int64_t k = row_ptr_[static_cast<std::size_t>(r)];
          k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
-      out.at(r, col_idx_[static_cast<std::size_t>(k)]) = values_[static_cast<std::size_t>(k)];
+      out.at(r, col_idx_[static_cast<std::size_t>(k)]) =
+          quant_.present() ? quant_.dequant(r, k) : values_[static_cast<std::size_t>(k)];
     }
   }
   return out;
 }
 
 Csr Csr::transposed() const {
+  if (quant_.present()) {
+    // The per-row groups would have to be regrouped per column; the
+    // runtime always transposes first and quantises the result.
+    throw std::logic_error("Csr::transposed: transpose before quantize");
+  }
   Csr t;
   t.rows_ = cols_;
   t.cols_ = rows_;
@@ -82,6 +118,21 @@ Csr Csr::transposed() const {
 
 void Csr::spmv_gather(const float* x, const int32_t* active, int64_t n_active,
                       double* acc) const {
+  if (quant_.present()) {
+    // `this` is Wᵀ, so a group (row) is one input feature: fold its
+    // scale into the activation once per active input, then each term
+    // is a small-int multiply-add.
+    for (int64_t a = 0; a < n_active; ++a) {
+      const auto j = static_cast<std::size_t>(active[a]);
+      const double u = static_cast<double>(quant_.scale[j] * x[j]);
+      const int zp = quant_.zero[j];
+      for (int64_t k = row_ptr_[j]; k < row_ptr_[j + 1]; ++k) {
+        acc[col_idx_[static_cast<std::size_t>(k)]] +=
+            static_cast<double>(static_cast<int>(quant_.code(k)) - zp) * u;
+      }
+    }
+    return;
+  }
   for (int64_t a = 0; a < n_active; ++a) {
     const auto j = static_cast<std::size_t>(active[a]);
     const double xj = static_cast<double>(x[j]);
@@ -93,8 +144,18 @@ void Csr::spmv_gather(const float* x, const int32_t* active, int64_t n_active,
 }
 
 void Csr::scatter_row(int64_t row, float x, float* out, int64_t out_stride) const {
-  for (int64_t k = row_ptr_[static_cast<std::size_t>(row)];
-       k < row_ptr_[static_cast<std::size_t>(row) + 1]; ++k) {
+  const int64_t k0 = row_ptr_[static_cast<std::size_t>(row)];
+  const int64_t k1 = row_ptr_[static_cast<std::size_t>(row) + 1];
+  if (quant_.present()) {
+    const float xs = quant_.scale[static_cast<std::size_t>(row)] * x;
+    const int zp = quant_.zero[static_cast<std::size_t>(row)];
+    for (int64_t k = k0; k < k1; ++k) {
+      out[static_cast<int64_t>(col_idx_[static_cast<std::size_t>(k)]) * out_stride] +=
+          static_cast<float>(static_cast<int>(quant_.code(k)) - zp) * xs;
+    }
+    return;
+  }
+  for (int64_t k = k0; k < k1; ++k) {
     out[static_cast<int64_t>(col_idx_[static_cast<std::size_t>(k)]) * out_stride] +=
         values_[static_cast<std::size_t>(k)] * x;
   }
@@ -106,11 +167,24 @@ std::vector<float> Csr::matvec(const std::vector<float>& x) const {
   }
   std::vector<float> y(static_cast<std::size_t>(rows_), 0.0F);
   for (int64_t r = 0; r < rows_; ++r) {
+    const int64_t k0 = row_ptr_[static_cast<std::size_t>(r)];
+    const int64_t k1 = row_ptr_[static_cast<std::size_t>(r) + 1];
     double acc = 0.0;
-    for (int64_t k = row_ptr_[static_cast<std::size_t>(r)];
-         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
-      acc += static_cast<double>(values_[static_cast<std::size_t>(k)]) *
-             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    if (quant_.present()) {
+      double qacc = 0.0, xsum = 0.0;
+      for (int64_t k = k0; k < k1; ++k) {
+        const double xk = x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+        qacc += static_cast<double>(quant_.code(k)) * xk;
+        xsum += xk;
+      }
+      const auto g = static_cast<std::size_t>(r);
+      acc = static_cast<double>(quant_.scale[g]) *
+            (qacc - static_cast<double>(quant_.zero[g]) * xsum);
+    } else {
+      for (int64_t k = k0; k < k1; ++k) {
+        acc += static_cast<double>(values_[static_cast<std::size_t>(k)]) *
+               x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+      }
     }
     y[static_cast<std::size_t>(r)] = static_cast<float>(acc);
   }
@@ -126,6 +200,44 @@ tensor::Tensor Csr::spmm(const tensor::Tensor& b) const {
   tensor::Tensor c(tensor::Shape{rows_, n});
   const float* bp = b.data();
   float* cp = c.data();
+  if (quant_.present()) {
+    // Accumulate raw-code axpys into row r, then dequantise the row
+    // once: C[r, :] = scale_r * (sum_k q_k B[col_k, :] - zero_r * sum_k
+    // B[col_k, :]). The zero-point sum is skipped entirely for the
+    // symmetric planes the runtime builds.
+    std::vector<float> xrow;
+    for (int64_t r = 0; r < rows_; ++r) {
+      const int64_t k0 = row_ptr_[static_cast<std::size_t>(r)];
+      const int64_t k1 = row_ptr_[static_cast<std::size_t>(r) + 1];
+      if (k0 == k1) continue;
+      float* crow = cp + r * n;
+      const int zp = quant_.zero[static_cast<std::size_t>(r)];
+      if (zp != 0) xrow.assign(static_cast<std::size_t>(n), 0.0F);
+      for (int64_t k = k0; k < k1; ++k) {
+        const auto qv = static_cast<float>(quant_.code(k));
+        const float* brow =
+            bp + static_cast<int64_t>(col_idx_[static_cast<std::size_t>(k)]) * n;
+        if (zp != 0) {
+          for (int64_t j = 0; j < n; ++j) {
+            crow[j] += qv * brow[j];
+            xrow[static_cast<std::size_t>(j)] += brow[j];
+          }
+        } else {
+          for (int64_t j = 0; j < n; ++j) crow[j] += qv * brow[j];
+        }
+      }
+      const float s = quant_.scale[static_cast<std::size_t>(r)];
+      if (zp != 0) {
+        const auto z = static_cast<float>(zp);
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] = s * (crow[j] - z * xrow[static_cast<std::size_t>(j)]);
+        }
+      } else {
+        for (int64_t j = 0; j < n; ++j) crow[j] *= s;
+      }
+    }
+    return c;
+  }
   // Row-major streaming: each nonzero A[r, col] scales one full row of B
   // into row r of C, so the inner loop is a contiguous axpy.
   for (int64_t r = 0; r < rows_; ++r) {
@@ -140,6 +252,73 @@ tensor::Tensor Csr::spmm(const tensor::Tensor& b) const {
   return c;
 }
 
+namespace {
+
+/// Quantised spmm_t row kernel, int8 symmetric fast path: the bitwise
+/// contract does not apply to quantised execution, so the sum runs in
+/// four independent float partials (the serial double chain the fp32
+/// kernel is pinned to is latency-bound) and dequantises once at the
+/// end.
+inline float spmm_t_row_i8(const int8_t* q, const int32_t* col, int64_t count,
+                           const float* brow, float scale) {
+  float a0 = 0.0F, a1 = 0.0F, a2 = 0.0F, a3 = 0.0F;
+  int64_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    a0 += static_cast<float>(q[k]) * brow[col[k]];
+    a1 += static_cast<float>(q[k + 1]) * brow[col[k + 1]];
+    a2 += static_cast<float>(q[k + 2]) * brow[col[k + 2]];
+    a3 += static_cast<float>(q[k + 3]) * brow[col[k + 3]];
+  }
+  for (; k < count; ++k) a0 += static_cast<float>(q[k]) * brow[col[k]];
+  return scale * ((a0 + a1) + (a2 + a3));
+}
+
+/// int4 symmetric fast path: the packed codes sit two per byte in
+/// exactly the order the row walks them, so each loaded byte feeds two
+/// independent accumulator chains (plus a third pair on the unrolled
+/// second byte). Leading/trailing odd positions fall back to single
+/// nibble decodes.
+inline float spmm_t_row_i4(const uint8_t* q4, int64_t k0, int64_t k1, const int32_t* col,
+                           const float* brow, float scale) {
+  const auto decode = [q4](int64_t k) {
+    const uint8_t byte = q4[k >> 1];
+    return (k & 1) != 0 ? static_cast<float>(static_cast<int8_t>(byte) >> 4)
+                        : static_cast<float>(static_cast<int8_t>(byte << 4) >> 4);
+  };
+  float a0 = 0.0F, a1 = 0.0F, a2 = 0.0F, a3 = 0.0F;
+  int64_t k = k0;
+  if ((k & 1) != 0 && k < k1) {
+    a0 += decode(k) * brow[col[k]];
+    ++k;
+  }
+  for (; k + 4 <= k1; k += 4) {
+    const uint8_t b0 = q4[k >> 1];
+    const uint8_t b1 = q4[(k >> 1) + 1];
+    a0 += static_cast<float>(static_cast<int8_t>(b0 << 4) >> 4) * brow[col[k]];
+    a1 += static_cast<float>(static_cast<int8_t>(b0) >> 4) * brow[col[k + 1]];
+    a2 += static_cast<float>(static_cast<int8_t>(b1 << 4) >> 4) * brow[col[k + 2]];
+    a3 += static_cast<float>(static_cast<int8_t>(b1) >> 4) * brow[col[k + 3]];
+  }
+  for (; k < k1; ++k) a0 += decode(k) * brow[col[k]];
+  return scale * ((a0 + a1) + (a2 + a3));
+}
+
+/// Generic quantised spmm_t row (nonzero zero-point): accumulate codes
+/// and the activation sum, dequantise once.
+inline float spmm_t_row_quant(const QuantPlane& plane, int64_t g, int64_t k0, int64_t k1,
+                              const int32_t* col, const float* brow) {
+  float qacc = 0.0F, xsum = 0.0F;
+  for (int64_t k = k0; k < k1; ++k) {
+    const float x = brow[col[k]];
+    qacc += static_cast<float>(plane.code(k)) * x;
+    xsum += x;
+  }
+  const auto gi = static_cast<std::size_t>(g);
+  return plane.scale[gi] * (qacc - static_cast<float>(plane.zero[gi]) * xsum);
+}
+
+}  // namespace
+
 tensor::Tensor Csr::spmm_t(const tensor::Tensor& b) const {
   if (b.rank() != 2 || b.dim(1) != cols_) {
     throw std::invalid_argument("Csr::spmm_t: expected B [m, " + std::to_string(cols_) +
@@ -149,6 +328,26 @@ tensor::Tensor Csr::spmm_t(const tensor::Tensor& b) const {
   tensor::Tensor c(tensor::Shape{m, rows_});
   const float* bp = b.data();
   float* cp = c.data();
+  if (quant_.present()) {
+    bool any_zero = false;
+    for (const int8_t z : quant_.zero) any_zero |= z != 0;
+    for (int64_t i = 0; i < m; ++i) {
+      const float* brow = bp + i * cols_;
+      float* crow = cp + i * rows_;
+      for (int64_t r = 0; r < rows_; ++r) {
+        const int64_t k0 = row_ptr_[static_cast<std::size_t>(r)];
+        const int64_t k1 = row_ptr_[static_cast<std::size_t>(r) + 1];
+        const float scale = quant_.scale[static_cast<std::size_t>(r)];
+        crow[r] = any_zero ? spmm_t_row_quant(quant_, r, k0, k1, col_idx_.data(), brow)
+                  : quant_.precision == Precision::kInt8
+                      ? spmm_t_row_i8(quant_.q8.data() + k0, col_idx_.data() + k0, k1 - k0,
+                                      brow, scale)
+                      : spmm_t_row_i4(quant_.q4.data(), k0, k1, col_idx_.data(), brow,
+                                      scale);
+      }
+    }
+    return c;
+  }
   // One dense row of B is reused across every CSR row, so keep the batch
   // loop outermost and gather within the row.
   for (int64_t i = 0; i < m; ++i) {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sparse/quant.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ndsnn::sparse {
@@ -66,14 +67,46 @@ class Csr {
   /// layers: x[M, in] * Wᵀ with W stored CSR [out, in]).
   [[nodiscard]] tensor::Tensor spmm_t(const tensor::Tensor& b) const;
 
+  /// Quantise the value plane in place: int8 or packed-int4 codes with
+  /// one scale/zero-point per row (symmetric by default, so all
+  /// zero-points are 0). The fp32 value array is released — the memory
+  /// win is real, not just accounted — and every kernel above
+  /// transparently dispatches to its quantised variant, which
+  /// dequantises once per output (or once per active input on the
+  /// gather path) instead of once per term. Quantised kernels carry no
+  /// bitwise contract: they are free to reassociate (multi-accumulator
+  /// float sums) and promise only the QuantPlane error bound
+  /// (sum_k (scale_k / 2) * |x_k| per output; see sparse/quant.hpp).
+  /// Returns the max-abs reconstruction error over all values. Throws
+  /// std::logic_error when already quantised; no-op returning 0 for
+  /// kFp32. transposed() must be called *before* quantize (the runtime
+  /// quantises the final execution-orientation structure).
+  float quantize(Precision precision, bool symmetric = true);
+
+  /// Inverse companion of quantize(): materialize the *dequantised*
+  /// fp32 values and drop the plane, so the bitwise fp32 kernels above
+  /// execute the exact effective weights of the quantised plane
+  /// (QAT-style fake-quant evaluation; the differential harness builds
+  /// its reference plans this way). No-op when not quantised.
+  void dequantize();
+
+  [[nodiscard]] bool quantized() const { return quant_.present(); }
+  [[nodiscard]] Precision precision() const { return quant_.precision; }
+  [[nodiscard]] const QuantPlane& quant() const { return quant_; }
+
   [[nodiscard]] int64_t rows() const { return rows_; }
   [[nodiscard]] int64_t cols() const { return cols_; }
-  [[nodiscard]] int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+  [[nodiscard]] int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
   [[nodiscard]] double sparsity() const;
 
   /// Storage bytes with `value_bits` per value and `index_bits` per
   /// column index / row pointer (Sec. III-D accounting).
   [[nodiscard]] int64_t storage_bits(int64_t value_bits, int64_t index_bits) const;
+
+  /// Bytes this structure actually occupies right now: indices + row
+  /// pointers + the fp32 values or the quantised plane (codes + scales
+  /// + zero-points). The runtime's per-op bytes-touched reporting.
+  [[nodiscard]] int64_t memory_bytes() const;
 
   [[nodiscard]] const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
   [[nodiscard]] const std::vector<int32_t>& col_idx() const { return col_idx_; }
@@ -84,6 +117,7 @@ class Csr {
   std::vector<int64_t> row_ptr_;
   std::vector<int32_t> col_idx_;
   std::vector<float> values_;
+  QuantPlane quant_;
 };
 
 }  // namespace ndsnn::sparse

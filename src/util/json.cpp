@@ -1,0 +1,117 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace ndsnn::util {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view v) {
+  out += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void JsonWriter::comma_() {
+  if (after_key_) {
+    // The value right after a key: the key already placed the comma.
+    after_key_ = false;
+    return;
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_();
+  out_ += '{';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_();
+  out_ += '[';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma_();
+  append_escaped(out_, k);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  comma_();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma_();
+  append_escaped(out_, v);
+  return *this;
+}
+
+void JsonWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("JsonWriter::write_file: cannot open " + path);
+  out << out_ << '\n';
+}
+
+}  // namespace ndsnn::util

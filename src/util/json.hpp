@@ -1,0 +1,65 @@
+// Minimal JSON emitter for the bench --json outputs.
+//
+// Streams a single document into a string with automatic comma
+// placement; no DOM, no parsing. Usage:
+//
+//   util::JsonWriter json;
+//   json.begin_object();
+//   json.key("bench").value("sparse_inference");
+//   json.key("rows").begin_array();
+//   json.begin_object().key("ms").value(1.25).end_object();
+//   json.end_array().end_object();
+//   write json.str() to the --json path
+//
+// CI runs the benches with --json, uploads the files as workflow
+// artifacts, and a snapshot is checked in as BENCH_*.json so the perf
+// trajectory of the repo is recorded next to the code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndsnn::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by a value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);  ///< non-finite values emit null
+  JsonWriter& value(int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The finished document. Valid once every container is closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// Write str() to a file. Throws std::runtime_error when the file
+  /// cannot be opened.
+  void write_file(const std::string& path) const;
+
+ private:
+  void comma_();
+
+  std::string out_;
+  std::vector<bool> need_comma_;  ///< per open container
+  bool after_key_ = false;
+};
+
+}  // namespace ndsnn::util

@@ -24,6 +24,7 @@ TEST(DifferentialTest, CompiledMatchesInterpretedBitwiseOnAllBackends) {
   // sweep must actually exercise every weight kernel, not pass vacuously.
   std::map<std::string, int> auto_kinds;
   int auto_event_ops = 0;
+  int quant_ops = 0;  // sparse weight ops that carried a quantised plane
 
   // Pinned scenarios guarantee each weight kernel and both firing-rate
   // extremes show up under kAuto regardless of seed and sweep size (at
@@ -72,6 +73,43 @@ TEST(DifferentialTest, CompiledMatchesInterpretedBitwiseOnAllBackends) {
         if (::testing::Test::HasFatalFailure()) return;  // one config is enough to debug
       }
     }
+
+    // Precision axis: quantised plans are compared per op, in lockstep,
+    // against a fake-quant reference plan executing the identical
+    // effective weights on the fp32 kernels (see the precision-axis
+    // note in testing.hpp for why logits are not a sound comparison
+    // point). ResidualBlock compiles to one composite op whose internal
+    // neuron ops the lockstep walk cannot isolate, so resnet19 configs
+    // stay on the fp32 axis (the quantised kernels themselves are
+    // architecture-agnostic and fully covered by the lenet/vgg sweeps
+    // plus tests/sparse/quant_test.cpp).
+    if (cfg.arch != "resnet19") {
+      snn::DirectEncoder encoder;
+      for (const WeightPrecision p : difftest::quantised_precisions()) {
+        for (const Backend backend : difftest::all_backends()) {
+          for (const ActivationMode activation : difftest::all_activation_modes()) {
+            CompileOptions qopts = difftest::options_for(cfg, backend, activation);
+            qopts.weight_precision = p;
+            const CompiledNetwork qplan = CompiledNetwork::compile(*net, qopts);
+            CompileOptions fopts = qopts;
+            fopts.fake_quant = true;
+            const CompiledNetwork fplan = CompiledNetwork::compile(*net, fopts);
+            if (backend == Backend::kAuto && activation == ActivationMode::kAuto) {
+              for (const auto& r : qplan.plan()) {
+                quant_ops += r.precision != sparse::Precision::kFp32;
+              }
+            }
+            difftest::expect_lockstep_close(
+                qplan.plan_ir(), fplan.plan_ir(),
+                encoder.encode(batch, qplan.timesteps()), difftest::quant_tolerance(p),
+                std::string("precision=") + weight_precision_name(p) +
+                    " backend=" + difftest::backend_name(backend) +
+                    " activation=" + difftest::activation_name(activation));
+            if (::testing::Test::HasFatalFailure()) return;
+          }
+        }
+      }
+    }
   }
 
   // The heuristics must have picked each weight kernel — dense
@@ -84,6 +122,10 @@ TEST(DifferentialTest, CompiledMatchesInterpretedBitwiseOnAllBackends) {
   EXPECT_GT(auto_kinds["csr-linear"] + auto_kinds["csr-conv"], 0);
   EXPECT_GT(auto_kinds["bcsr-linear"] + auto_kinds["bcsr-conv"], 0);
   EXPECT_GT(auto_event_ops, 0);
+  // The precision axis must have put real quantised planes on sparse
+  // weight ops (forced int8/int4 applies to every non-dense kernel; the
+  // pinned 0.9-sparsity config guarantees at least one).
+  EXPECT_GT(quant_ops, 0);
 }
 
 TEST(DifferentialTest, ClassifyAgreesWithInterpretedArgmax) {

@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <ios>
@@ -31,7 +32,9 @@
 #include "core/nm_projection.hpp"
 #include "nn/models/zoo.hpp"
 #include "runtime/compiled_network.hpp"
+#include "snn/encoder.hpp"
 #include "sparse/mask.hpp"
+#include "sparse/quant.hpp"
 #include "sparse/structured.hpp"
 #include "tensor/random.hpp"
 
@@ -248,6 +251,75 @@ inline const char* activation_name(runtime::ActivationMode m) {
     case runtime::ActivationMode::kEvent: return "event";
   }
   return "?";
+}
+
+// ------------------------------------------------------------------
+// Precision axis.
+//
+// Quantised execution (CompileOptions::weight_precision) deliberately
+// breaks the bitwise contract: the kernels reassociate and promise only
+// a bounded error. An SNN's *logits* are not a sound place to assert
+// that bound — quantising a weight can move a membrane potential across
+// the firing threshold, and one flipped spike shifts a logit by a whole
+// synapse weight, so any fixed end-to-end tolerance is either vacuous
+// or flaky. The sweep therefore compares *per op, in lockstep*: the
+// quantised plan against a CompileOptions::fake_quant reference plan —
+// same precision, but the plane is dequantised back to fp32 storage at
+// compile time, so the reference executes the quantised plan's *exact*
+// effective weights (whatever the grouping: per CSR row, per transposed
+// row on the event path, per BCSR block) on the bitwise fp32 kernels.
+// Both plans run every op on the *same* input (the reference op's
+// output). Weight-op differences are then pure kernel reassociation,
+// orders of magnitude inside the documented 1e-2 / 5e-2 tolerances, and
+// neuron ops see identical inputs, so no spike can flip: the check is
+// deterministic, tight, and immune to threshold cliffs. The tolerances'
+// relationship to *fp32* weights is pinned at the kernel level by
+// tests/sparse/quant_test.cpp (analytic bound + the documented spike
+// regime).
+
+/// Quantised precisions the sweep crosses with backend x activation.
+inline const std::vector<runtime::WeightPrecision>& quantised_precisions() {
+  static const std::vector<runtime::WeightPrecision> kPrecisions = {
+      runtime::WeightPrecision::kInt8, runtime::WeightPrecision::kInt4};
+  return kPrecisions;
+}
+
+inline sparse::Precision to_sparse_precision(runtime::WeightPrecision p) {
+  switch (p) {
+    case runtime::WeightPrecision::kInt8: return sparse::Precision::kInt8;
+    case runtime::WeightPrecision::kInt4: return sparse::Precision::kInt4;
+    default: return sparse::Precision::kFp32;
+  }
+}
+
+/// Documented per-op max-abs tolerance of a quantised plan against the
+/// fp32 plan sharing its effective weights.
+inline double quant_tolerance(runtime::WeightPrecision p) {
+  return p == runtime::WeightPrecision::kInt4 ? 5e-2 : 1e-2;
+}
+
+/// Run two structurally-identical plans op by op on the same inputs and
+/// assert every op's output stays within `tol` max-abs. The reference
+/// plan's activation feeds *both* next ops, so errors never compound
+/// and neuron ops (identical code, identical input) cannot diverge.
+inline void expect_lockstep_close(const runtime::Plan& quant, const runtime::Plan& fp32,
+                                  tensor::Tensor encoded, double tol,
+                                  const std::string& context) {
+  ASSERT_EQ(quant.ops.size(), fp32.ops.size()) << context;
+  runtime::Activation x(std::move(encoded));
+  for (std::size_t i = 0; i < fp32.ops.size(); ++i) {
+    const runtime::Activation got = quant.ops[i]->run(x);
+    runtime::Activation want = fp32.ops[i]->run(x);
+    ASSERT_EQ(got.tensor.shape(), want.tensor.shape())
+        << context << " op " << i << " (" << fp32.reports[i].kind << ")";
+    for (int64_t e = 0; e < want.tensor.numel(); ++e) {
+      ASSERT_LE(std::fabs(got.tensor.at(e) - want.tensor.at(e)), tol)
+          << context << " op " << i << " (" << fp32.reports[i].kind
+          << ") diverges at flat index " << e << " (got " << got.tensor.at(e) << ", want "
+          << want.tensor.at(e) << ")";
+    }
+    x = std::move(want);
+  }
 }
 
 }  // namespace ndsnn::difftest

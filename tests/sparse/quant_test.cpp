@@ -1,0 +1,382 @@
+// Quantised value planes: code round-trips, packing, and the error
+// contract of every quantised kernel (spmm / spmm_t / spmv_gather /
+// scatter_row, CSR and BCSR).
+//
+// The contract under test (sparse/quant.hpp): each reconstructed value
+// is within scale/2 of its fp32 source, so a quantised kernel output
+// differs from the fp32 kernel by at most sum_k (scale_k / 2) * |x_k|
+// over the terms it accumulates — a *provable* per-output bound, so
+// these randomized checks can run from the CI-varied env seed without
+// ever being flaky. The absolute 1e-2 (int8) / 5e-2 (int4) tolerances
+// the runtime documents are asserted on the pinned-regime scenario they
+// are stated for (binary spikes, LeNet-scale fc1 weights, fixed seed).
+#include "sparse/quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "../testing_env.hpp"
+#include "sparse/bcsr.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::sparse {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_masked(int64_t rows, int64_t cols, double sparsity, Rng& rng,
+                     float amp = 0.5F) {
+  Tensor w(Shape{rows, cols});
+  w.fill_uniform(rng, -amp, amp);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    if (rng.uniform01() < sparsity) w.at(i) = 0.0F;
+  }
+  return w;
+}
+
+Tensor spike_input(int64_t rows, int64_t cols, double rate, Rng& rng) {
+  Tensor x(Shape{rows, cols});
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (rng.uniform01() < rate) x.at(i) = 1.0F;
+  }
+  return x;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  float worst = 0.0F;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::fabs(a.at(i) - b.at(i)));
+  }
+  return worst;
+}
+
+TEST(QuantPlaneTest, CodesRoundTripWithinHalfScale) {
+  Rng rng(difftest::env_seed() ^ 0xDEC0DE01ULL);
+  for (const Precision p : {Precision::kInt8, Precision::kInt4}) {
+    for (const bool symmetric : {true, false}) {
+      std::vector<float> values;
+      std::vector<int64_t> group_ptr = {0};
+      for (int g = 0; g < 17; ++g) {
+        const int64_t count = rng.uniform_int(9);  // includes empty groups
+        for (int64_t i = 0; i < count; ++i) {
+          // Mix of zeros (pruned entries) and values on varied ranges.
+          values.push_back(rng.bernoulli(0.3)
+                               ? 0.0F
+                               : static_cast<float>(rng.uniform01() * 2.0 - 1.0));
+        }
+        group_ptr.push_back(static_cast<int64_t>(values.size()));
+      }
+      float reported_err = -1.0F;
+      const QuantPlane plane =
+          quantize_grouped(values.data(), group_ptr.data(),
+                           static_cast<int64_t>(group_ptr.size()) - 1, p, symmetric,
+                           &reported_err);
+      ASSERT_TRUE(plane.present());
+      EXPECT_EQ(plane.value_count, static_cast<int64_t>(values.size()));
+      float worst = 0.0F;
+      for (std::size_t g = 0; g + 1 < group_ptr.size(); ++g) {
+        const float bound = plane.scale[g] * 0.5F + 1e-6F;
+        for (int64_t k = group_ptr[g]; k < group_ptr[g + 1]; ++k) {
+          const float v = values[static_cast<std::size_t>(k)];
+          const float dq = plane.dequant(static_cast<int64_t>(g), k);
+          EXPECT_LE(std::fabs(dq - v), bound)
+              << precision_tag(p) << " sym=" << symmetric << " group " << g;
+          if (v == 0.0F) {
+            // Pruned entries must reconstruct exactly (code == zero-point).
+            EXPECT_EQ(dq, 0.0F);
+          }
+          worst = std::max(worst, std::fabs(dq - v));
+        }
+      }
+      EXPECT_FLOAT_EQ(reported_err, worst);
+    }
+  }
+}
+
+TEST(QuantPlaneTest, Int4PackingHandlesOddCountsAndFullRange) {
+  // All 16 int4 codes survive a pack/unpack round trip, odd count.
+  std::vector<float> values;
+  for (int q = -7; q <= 7; ++q) values.push_back(static_cast<float>(q));
+  std::vector<int64_t> group_ptr = {0, static_cast<int64_t>(values.size())};
+  const QuantPlane plane =
+      quantize_grouped(values.data(), group_ptr.data(), 1, Precision::kInt4);
+  ASSERT_EQ(plane.value_count % 2, 1);
+  EXPECT_FLOAT_EQ(plane.scale[0], 1.0F);
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    EXPECT_EQ(static_cast<float>(plane.code(static_cast<int64_t>(k))),
+              values[k]);
+  }
+}
+
+TEST(QuantPlaneTest, ParseAndTags) {
+  EXPECT_EQ(parse_precision("int8"), Precision::kInt8);
+  EXPECT_EQ(parse_precision("int4"), Precision::kInt4);
+  EXPECT_EQ(parse_precision("fp32"), Precision::kFp32);
+  EXPECT_THROW(parse_precision("int2"), std::invalid_argument);
+  EXPECT_STREQ(precision_tag(Precision::kInt4), "int4");
+  EXPECT_EQ(precision_value_bits(Precision::kInt4), 4);
+  EXPECT_EQ(precision_value_bits(Precision::kInt8), 8);
+}
+
+TEST(QuantTest, RelativeErrorMagnitudesMatchTheHeuristicExpectations) {
+  Rng rng(difftest::env_seed() ^ 0xE44ULL);
+  const Tensor w = random_masked(64, 96, 0.8, rng);
+  EXPECT_EQ(relative_quant_error(w, Precision::kFp32), 0.0F);
+  // Per-row symmetric scales: int8 lands near 1/254, int4 near 1/14.
+  EXPECT_LE(relative_quant_error(w, Precision::kInt8), 0.01F);
+  EXPECT_LE(relative_quant_error(w, Precision::kInt4), 0.1F);
+  EXPECT_GT(relative_quant_error(w, Precision::kInt4),
+            relative_quant_error(w, Precision::kInt8));
+}
+
+TEST(QuantTest, FakeQuantizeRowsIsIdempotentAndMatchesCsrQuantize) {
+  Rng rng(difftest::env_seed() ^ 0x1D3ULL);
+  Tensor w = random_masked(24, 40, 0.7, rng);
+  const std::vector<float> scales = fake_quantize_rows(w, Precision::kInt8);
+  Tensor again = w;
+  const std::vector<float> scales2 = fake_quantize_rows(again, Precision::kInt8);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    // Re-quantising a fake-quantised tensor reproduces the same codes;
+    // scales may shift by a rounding ulp, so values agree to ~1e-6 rel.
+    EXPECT_NEAR(again.at(i), w.at(i), 2e-6F * std::fabs(w.at(i)) + 1e-12F);
+  }
+  // Csr::quantize on the original weights produces the same scales and
+  // reconstructed values as fake_quantize_rows (shared row grouping).
+  Tensor original = random_masked(24, 40, 0.7, rng);
+  Tensor faked = original;
+  const std::vector<float> fake_scales = fake_quantize_rows(faked, Precision::kInt8);
+  Csr csr = Csr::from_dense(original);
+  csr.quantize(Precision::kInt8);
+  for (int64_t r = 0; r < csr.rows(); ++r) {
+    EXPECT_FLOAT_EQ(csr.quant().scale[static_cast<std::size_t>(r)],
+                    fake_scales[static_cast<std::size_t>(r)]);
+  }
+  EXPECT_LE(max_abs_diff(csr.to_dense(), faked), 0.0F);
+  (void)scales;
+  (void)scales2;
+}
+
+TEST(QuantTest, CsrSpmmTWithinAnalyticBoundOfFp32) {
+  Rng rng(difftest::env_seed() ^ 0xABCD01ULL);
+  for (const Precision p : {Precision::kInt8, Precision::kInt4}) {
+    for (const bool symmetric : {true, false}) {
+      const Tensor w = random_masked(33, 57, 0.85, rng);
+      const Csr fp32 = Csr::from_dense(w);
+      Csr q = Csr::from_dense(w);
+      q.quantize(p, symmetric);
+      Tensor x(Shape{5, 57});
+      x.fill_uniform(rng, -1.0F, 1.0F);
+      const Tensor want = fp32.spmm_t(x);
+      const Tensor got = q.spmm_t(x);
+      // Per output [i, r]: |diff| <= (scale_r / 2) * sum_k |x[i, col_k]|.
+      for (int64_t i = 0; i < 5; ++i) {
+        for (int64_t r = 0; r < fp32.rows(); ++r) {
+          double xsum = 0.0;
+          for (int64_t k = fp32.row_ptr()[static_cast<std::size_t>(r)];
+               k < fp32.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+            xsum += std::fabs(x.at(i, fp32.col_idx()[static_cast<std::size_t>(k)]));
+          }
+          const double bound =
+              0.5 * q.quant().scale[static_cast<std::size_t>(r)] * xsum + 1e-4;
+          EXPECT_LE(std::fabs(got.at(i, r) - want.at(i, r)), bound)
+              << precision_tag(p) << " sym=" << symmetric << " i=" << i << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+/// All kernels of both formats agree with the fp32 kernels running on
+/// the *dequantised* weights to reassociation-level precision — the
+/// same effective-weights comparison the runtime differential harness
+/// makes per op.
+TEST(QuantTest, QuantKernelsConsistentWithDequantisedWeights) {
+  Rng rng(difftest::env_seed() ^ 0xFEED02ULL);
+  for (const Precision p : {Precision::kInt8, Precision::kInt4}) {
+    for (const bool symmetric : {true, false}) {
+      const Tensor w = random_masked(30, 44, 0.8, rng);
+      Csr q = Csr::from_dense(w);
+      q.quantize(p, symmetric);
+      const Tensor deq = q.to_dense();
+      const Csr ref = Csr::from_dense(deq);
+      const float wmax = 1.0F;  // |w| <= 0.5, inputs <= 1: slack covers reassociation
+      const float tol = 1e-3F * wmax;
+
+      Tensor x(Shape{4, 44});
+      x.fill_uniform(rng, -1.0F, 1.0F);
+      EXPECT_LE(max_abs_diff(q.spmm_t(x), ref.spmm_t(x)), tol);
+
+      Tensor b(Shape{30, 7});
+      b.fill_uniform(rng, -1.0F, 1.0F);
+      // spmm consumes B [cols, n] of the *transposed* semantic; build
+      // a matching right-hand side for this shape.
+      Tensor b2(Shape{44, 7});
+      b2.fill_uniform(rng, -1.0F, 1.0F);
+      EXPECT_LE(max_abs_diff(q.spmm(b2), ref.spmm(b2)), tol);
+
+      std::vector<float> xv(44);
+      for (auto& v : xv) v = static_cast<float>(rng.uniform01() * 2.0 - 1.0);
+      const auto y_q = q.matvec(xv);
+      const auto y_ref = ref.matvec(xv);
+      for (std::size_t i = 0; i < y_q.size(); ++i) {
+        EXPECT_NEAR(y_q[i], y_ref[i], tol);
+      }
+
+      // Event kernels run on the transposed structure, quantised after
+      // the transpose (per-input groups).
+      Csr qt = Csr::from_dense(w).transposed();
+      qt.quantize(p, symmetric);
+      const Csr ref_t = Csr::from_dense(qt.to_dense());
+      const Tensor xs = spike_input(3, 30, 0.3, rng);
+      std::vector<int32_t> active;
+      std::vector<double> acc_q(44), acc_ref(44);
+      for (int64_t i = 0; i < 3; ++i) {
+        active.clear();
+        for (int64_t j = 0; j < 30; ++j) {
+          if (xs.at(i, j) != 0.0F) active.push_back(static_cast<int32_t>(j));
+        }
+        std::fill(acc_q.begin(), acc_q.end(), 0.0);
+        std::fill(acc_ref.begin(), acc_ref.end(), 0.0);
+        const float* xrow = xs.data() + i * 30;
+        qt.spmv_gather(xrow, active.data(), static_cast<int64_t>(active.size()),
+                       acc_q.data());
+        ref_t.spmv_gather(xrow, active.data(), static_cast<int64_t>(active.size()),
+                          acc_ref.data());
+        for (std::size_t c = 0; c < acc_q.size(); ++c) {
+          EXPECT_NEAR(acc_q[c], acc_ref[c], tol) << "row " << i;
+        }
+      }
+
+      std::vector<float> out_q(44 * 2, 0.0F), out_ref(44 * 2, 0.0F);
+      qt.scatter_row(7, 1.5F, out_q.data(), 2);
+      ref_t.scatter_row(7, 1.5F, out_ref.data(), 2);
+      for (std::size_t i = 0; i < out_q.size(); ++i) {
+        EXPECT_NEAR(out_q[i], out_ref[i], tol);
+      }
+      (void)b;
+    }
+  }
+}
+
+TEST(QuantTest, BcsrKernelsConsistentWithDequantisedWeights) {
+  Rng rng(difftest::env_seed() ^ 0xB5C4ULL);
+  for (const Precision p : {Precision::kInt8, Precision::kInt4}) {
+    // Odd shapes exercise edge blocks; 4x4 hits the specialized fp32
+    // workers on the reference side.
+    const Tensor w = random_masked(27, 38, 0.6, rng);
+    Bcsr q = Bcsr::from_dense(w, 4, 4);
+    const int64_t stored_before = q.stored_values();
+    const double occupancy_before = q.occupancy();
+    q.quantize(p);
+    EXPECT_EQ(q.stored_values(), stored_before);
+    EXPECT_DOUBLE_EQ(q.occupancy(), occupancy_before);
+    const Bcsr ref = Bcsr::from_dense(q.to_dense(), 4, 4);
+    const float tol = 1e-3F;
+
+    Tensor b(Shape{38, 9});
+    b.fill_uniform(rng, -1.0F, 1.0F);
+    EXPECT_LE(max_abs_diff(q.spmm(b), ref.spmm(b)), tol) << precision_tag(p);
+
+    Tensor x(Shape{3, 38});
+    x.fill_uniform(rng, -1.0F, 1.0F);
+    EXPECT_LE(max_abs_diff(q.spmm_t(x), ref.spmm_t(x)), tol) << precision_tag(p);
+
+    Bcsr qt = Bcsr::from_dense(w, 4, 4).transposed();
+    qt.quantize(p);
+    const Bcsr ref_t = Bcsr::from_dense(qt.to_dense(), 4, 4);
+    const Tensor xs = spike_input(2, 27, 0.4, rng);
+    std::vector<int32_t> active;
+    std::vector<double> acc_q(38), acc_ref(38);
+    for (int64_t i = 0; i < 2; ++i) {
+      active.clear();
+      for (int64_t j = 0; j < 27; ++j) {
+        if (xs.at(i, j) != 0.0F) active.push_back(static_cast<int32_t>(j));
+      }
+      std::fill(acc_q.begin(), acc_q.end(), 0.0);
+      std::fill(acc_ref.begin(), acc_ref.end(), 0.0);
+      const float* xrow = xs.data() + i * 27;
+      qt.spmv_gather(xrow, active.data(), static_cast<int64_t>(active.size()), acc_q.data());
+      ref_t.spmv_gather(xrow, active.data(), static_cast<int64_t>(active.size()),
+                        acc_ref.data());
+      for (std::size_t c = 0; c < acc_q.size(); ++c) {
+        EXPECT_NEAR(acc_q[c], acc_ref[c], tol);
+      }
+    }
+
+    std::vector<float> out_q(38 * 3, 0.0F), out_ref(38 * 3, 0.0F);
+    qt.scatter_row(5, 2.0F, out_q.data(), 3);
+    ref_t.scatter_row(5, 2.0F, out_ref.data(), 3);
+    for (std::size_t i = 0; i < out_q.size(); ++i) {
+      EXPECT_NEAR(out_q[i], out_ref[i], tol);
+    }
+  }
+}
+
+/// The documented absolute tolerances, asserted in the regime they are
+/// stated for: LeNet-scale fc1 weights ([120 x 400], |w| <= 0.12 — the
+/// He-init scale of a fan-in-400 layer — at 0.9 sparsity) with binary
+/// spike inputs at a 10% firing rate. Fixed seed: tolerance checks
+/// against the *original* fp32 weights depend on the realized
+/// weight/input draw, so they are pinned, not env-seeded.
+TEST(QuantTest, DocumentedTolerancesHoldInTheSpikeRegime) {
+  Rng rng(20260728ULL);
+  const Tensor w = random_masked(120, 400, 0.9, rng, 0.12F);
+  const Csr fp32 = Csr::from_dense(w);
+  const Tensor x = spike_input(64, 400, 0.1, rng);
+  const Tensor want = fp32.spmm_t(x);
+  for (const auto& [p, tol] : {std::pair{Precision::kInt8, 1e-2F},
+                               std::pair{Precision::kInt4, 5e-2F}}) {
+    Csr q = Csr::from_dense(w);
+    q.quantize(p);
+    EXPECT_LE(max_abs_diff(q.spmm_t(x), want), tol) << precision_tag(p);
+  }
+}
+
+TEST(QuantTest, MemoryBytesShrinkWithPrecision) {
+  Rng rng(difftest::env_seed() ^ 0x9EEULL);
+  const Tensor w = random_masked(64, 128, 0.9, rng);
+  const Csr fp32 = Csr::from_dense(w);
+  Csr q8 = Csr::from_dense(w);
+  q8.quantize(Precision::kInt8);
+  Csr q4 = Csr::from_dense(w);
+  q4.quantize(Precision::kInt4);
+  EXPECT_LT(q8.memory_bytes(), fp32.memory_bytes());
+  EXPECT_LT(q4.memory_bytes(), q8.memory_bytes());
+  // Values went 4 bytes -> 1: the value-plane delta is ~3 * nnz minus
+  // the per-row scale/zero overhead.
+  EXPECT_LE(fp32.memory_bytes() - q8.memory_bytes(),
+            3 * fp32.nnz());
+  EXPECT_GE(fp32.memory_bytes() - q8.memory_bytes(),
+            3 * fp32.nnz() - (fp32.rows() * 5 + 8));
+  EXPECT_EQ(q8.nnz(), fp32.nnz());  // nnz survives the value-array release
+
+  Bcsr b8 = Bcsr::from_dense(w, 4, 4);
+  const Bcsr bfp = Bcsr::from_dense(w, 4, 4);
+  b8.quantize(Precision::kInt8);
+  EXPECT_LT(b8.memory_bytes(), bfp.memory_bytes());
+}
+
+TEST(QuantTest, MisuseThrows) {
+  Rng rng(7);
+  const Tensor w = random_masked(8, 8, 0.5, rng);
+  Csr csr = Csr::from_dense(w);
+  csr.quantize(Precision::kInt8);
+  EXPECT_THROW(csr.quantize(Precision::kInt8), std::logic_error);
+  EXPECT_THROW((void)csr.transposed(), std::logic_error);
+  Bcsr bcsr = Bcsr::from_dense(w, 4, 4);
+  bcsr.quantize(Precision::kInt4);
+  EXPECT_THROW(bcsr.quantize(Precision::kInt4), std::logic_error);
+  EXPECT_THROW((void)bcsr.transposed(), std::logic_error);
+  // kFp32 is a no-op, not an error.
+  Csr plain = Csr::from_dense(w);
+  EXPECT_EQ(plain.quantize(Precision::kFp32), 0.0F);
+  EXPECT_FALSE(plain.quantized());
+}
+
+}  // namespace
+}  // namespace ndsnn::sparse

@@ -1,0 +1,47 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ndsnn::util {
+namespace {
+
+TEST(JsonWriterTest, NestedDocumentPlacesCommasCorrectly) {
+  JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "sparse_inference");
+  json.kv("repeats", 5);
+  json.key("rows").begin_array();
+  json.begin_object().kv("ms", 1.25).kv("ok", true).end_object();
+  json.begin_object().kv("ms", 2.5).kv("ok", false).end_object();
+  json.end_array();
+  json.key("empty").begin_array().end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            R"({"bench":"sparse_inference","repeats":5,)"
+            R"("rows":[{"ms":1.25,"ok":true},{"ms":2.5,"ok":false}],"empty":[]})");
+}
+
+TEST(JsonWriterTest, ScalarsAndEscapes) {
+  JsonWriter json;
+  json.begin_array();
+  json.value("a\"b\\c\nd");
+  json.value(static_cast<int64_t>(-7));
+  json.value(0.5);
+  json.value(std::nan(""));  // non-finite -> null
+  json.end_array();
+  EXPECT_EQ(json.str(), R"(["a\"b\\c\nd",-7,0.5,null])");
+}
+
+TEST(JsonWriterTest, TopLevelArrayOfObjects) {
+  JsonWriter json;
+  json.begin_array();
+  json.begin_object().kv("x", 1).end_object();
+  json.begin_object().kv("x", 2).end_object();
+  json.end_array();
+  EXPECT_EQ(json.str(), R"([{"x":1},{"x":2}])");
+}
+
+}  // namespace
+}  // namespace ndsnn::util
