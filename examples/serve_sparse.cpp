@@ -9,8 +9,17 @@
 //                           [--requests 32] [--batch 8] [--nm 2:4]
 //                           [--activation auto|dense|event]
 //                           [--precision auto|fp32|int8|int4]
+//                           [--intra-threads 1] [--coalesce 0]
+//                           [--coalesce-wait-us 200]
 //                           [--save-checkpoint model.ndck]
 //                           [--checkpoint model.ndck]
+//
+// --threads is the executor's *total* worker budget; --intra-threads
+// compiles the plan with a shared intra-op pool (0 = hardware
+// concurrency, 1 = serial plan) and the executor divides the budget by
+// it. --coalesce N fuses queued small requests into one time-major pass
+// of up to N samples (waiting up to --coalesce-wait-us for stragglers);
+// fused results are bitwise identical to solo runs.
 //
 // With --save-checkpoint the trained network is written as an
 // architecture-tagged checkpoint; with --checkpoint the training stage
@@ -50,10 +59,15 @@ ndsnn::runtime::ActivationMode parse_activation(const std::string& s) {
 
 void serve(const ndsnn::runtime::CompiledNetwork& plan,
            const std::vector<ndsnn::tensor::Tensor>& requests,
-           const std::vector<std::vector<int64_t>>& labels, int threads, int batch_size) {
-  std::printf("serving %zu requests (batch %d) on %d worker threads...\n", requests.size(),
+           const std::vector<std::vector<int64_t>>& labels, int threads, int batch_size,
+           const ndsnn::runtime::ExecutorOptions& exec_opts) {
+  std::printf("serving %zu requests (batch %d) on a %d-thread budget...\n", requests.size(),
               batch_size, threads);
-  ndsnn::runtime::BatchExecutor exec(plan, threads);
+  ndsnn::runtime::BatchExecutor exec(plan, threads, exec_opts);
+  std::printf("  %lld request worker(s) x %lld intra-op lane(s)%s\n",
+              static_cast<long long>(exec.num_threads()),
+              static_cast<long long>(exec.intra_op_threads()),
+              exec_opts.max_coalesce > 1 ? ", request coalescing on" : "");
   const ndsnn::util::Stopwatch sw;
   const auto logits = exec.run_all(requests);
   const double ms = sw.millis();
@@ -71,6 +85,11 @@ void serve(const ndsnn::runtime::CompiledNetwork& plan,
               static_cast<long long>(total), ms, 1e3 * static_cast<double>(total) / ms);
   std::printf("request latency: mean %.2f ms, p50 %.2f, p95 %.2f, p99 %.2f, max %.2f\n",
               stats.mean_ms, stats.p50_ms, stats.p95_ms, stats.p99_ms, stats.max_ms);
+  if (stats.fused_batches > 0) {
+    std::printf("coalescing: %lld requests fused into %lld passes\n",
+                static_cast<long long>(stats.coalesced_requests),
+                static_cast<long long>(stats.fused_batches));
+  }
   if (!labels.empty()) {
     std::printf("accuracy %.2f%%\n",
                 100.0 * static_cast<double>(correct) / static_cast<double>(total));
@@ -93,6 +112,11 @@ int main(int argc, char** argv) {
   opts.activation_mode = parse_activation(cli.get_string("--activation", "auto"));
   const std::string precision_spec = cli.get_string("--precision", "auto");
   opts.weight_precision = ndsnn::runtime::parse_weight_precision(precision_spec);
+  opts.num_threads = cli.get_int("--intra-threads", 1);
+
+  ndsnn::runtime::ExecutorOptions exec_opts;
+  exec_opts.max_coalesce = cli.get_int("--coalesce", 0);
+  exec_opts.max_wait_us = cli.get_int("--coalesce-wait-us", 200);
 
   // Checkpoint-driven serving: no experiment, no training network —
   // the architecture record inside the checkpoint rebuilds everything.
@@ -112,7 +136,7 @@ int main(int argc, char** argv) {
       batch.fill_uniform(rng, 0.0F, 1.0F);
       requests.push_back(std::move(batch));
     }
-    serve(plan, requests, {}, threads, batch_size);
+    serve(plan, requests, {}, threads, batch_size, exec_opts);
     return 0;
   }
 
@@ -197,6 +221,6 @@ int main(int argc, char** argv) {
     requests.push_back(std::move(batch));
     labels.push_back(std::move(batch_labels));
   }
-  serve(plan, requests, labels, threads, batch_size);
+  serve(plan, requests, labels, threads, batch_size, exec_opts);
   return 0;
 }

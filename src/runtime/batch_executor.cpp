@@ -1,6 +1,7 @@
 #include "runtime/batch_executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -9,54 +10,77 @@
 
 namespace ndsnn::runtime {
 
-BatchExecutor::BatchExecutor(const CompiledNetwork& net, int64_t num_threads) : net_(net) {
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+/// Requests fuse when their per-sample layout matches: same rank and
+/// identical trailing dimensions (dim 0 is the batch axis being
+/// concatenated).
+bool coalescable(const Tensor& a, const Tensor& b) {
+  if (a.rank() != b.rank() || a.rank() < 1) return false;
+  for (int64_t d = 1; d < a.rank(); ++d) {
+    if (a.dim(d) != b.dim(d)) return false;
+  }
+  return true;
+}
+
+/// Concatenate request batches along dim 0.
+Tensor concat_rows(const std::vector<Tensor*>& parts) {
+  int64_t total = 0;
+  for (const Tensor* t : parts) total += t->dim(0);
+  std::vector<int64_t> dims;
+  dims.push_back(total);
+  for (int64_t d = 1; d < parts[0]->rank(); ++d) dims.push_back(parts[0]->dim(d));
+  Tensor fused((Shape(dims)));
+  float* dst = fused.data();
+  for (const Tensor* t : parts) {
+    std::copy(t->data(), t->data() + t->numel(), dst);
+    dst += t->numel();
+  }
+  return fused;
+}
+
+}  // namespace
+
+BatchExecutor::BatchExecutor(const CompiledNetwork& net, int64_t num_threads,
+                             const ExecutorOptions& opts)
+    : net_(net), opts_(opts), intra_op_threads_(net.intra_op_threads()) {
   if (num_threads < 1) {
     throw std::invalid_argument("BatchExecutor: num_threads must be >= 1");
   }
-  workers_.reserve(static_cast<std::size_t>(num_threads));
-  for (int64_t i = 0; i < num_threads; ++i) {
+  // Split the budget: a plan with an intra-op pool already fans each
+  // request across intra_op_threads lanes, so spawning num_threads
+  // request workers on top would oversubscribe the machine.
+  const int64_t request_workers = std::max<int64_t>(1, num_threads / intra_op_threads_);
+  workers_.reserve(static_cast<std::size_t>(request_workers));
+  for (int64_t i = 0; i < request_workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
 BatchExecutor::~BatchExecutor() { shutdown(); }
 
-std::future<tensor::Tensor> BatchExecutor::submit(tensor::Tensor batch) {
-  const int64_t samples = batch.rank() >= 1 ? batch.dim(0) : 1;
-  std::packaged_task<tensor::Tensor()> task(
-      [this, batch = std::move(batch), samples]() mutable {
-        const util::Stopwatch sw;
-        tensor::Tensor logits = net_.run(batch);
-        const double ms = sw.millis();
-        {
-          const std::lock_guard<std::mutex> lock(mu_);
-          ++completed_requests_;
-          completed_samples_ += samples;
-          if (latencies_ms_.size() < kLatencyWindow) {
-            latencies_ms_.push_back(ms);
-          } else {
-            latencies_ms_[latency_next_] = ms;
-          }
-          latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-        }
-        return logits;
-      });
-  std::future<tensor::Tensor> future = task.get_future();
+std::future<Tensor> BatchExecutor::submit(Tensor batch) {
+  Request req;
+  req.samples = batch.rank() >= 1 ? batch.dim(0) : 1;
+  req.batch = std::move(batch);
+  std::future<Tensor> future = req.promise.get_future();
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) throw std::runtime_error("BatchExecutor: submit after shutdown");
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(req));
   }
   cv_.notify_one();
   return future;
 }
 
-std::vector<tensor::Tensor> BatchExecutor::run_all(
-    const std::vector<tensor::Tensor>& batches) {
-  std::vector<std::future<tensor::Tensor>> futures;
+std::vector<Tensor> BatchExecutor::run_all(const std::vector<Tensor>& batches) {
+  std::vector<std::future<Tensor>> futures;
   futures.reserve(batches.size());
   for (const auto& batch : batches) futures.push_back(submit(batch));
-  std::vector<tensor::Tensor> results;
+  std::vector<Tensor> results;
   results.reserve(batches.size());
   for (auto& f : futures) results.push_back(f.get());
   return results;
@@ -92,6 +116,8 @@ ExecutorStats BatchExecutor::stats() const {
     const std::lock_guard<std::mutex> lock(mu_);
     s.requests = completed_requests_;
     s.samples = completed_samples_;
+    s.fused_batches = fused_batches_;
+    s.coalesced_requests = coalesced_requests_;
     sorted = latencies_ms_;
   }
   if (sorted.empty()) return s;
@@ -115,17 +141,106 @@ ExecutorStats BatchExecutor::stats() const {
   return s;
 }
 
+void BatchExecutor::record(int64_t requests, int64_t samples, double ms, bool fused) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  completed_requests_ += requests;
+  completed_samples_ += samples;
+  if (fused) {
+    ++fused_batches_;
+    coalesced_requests_ += requests;
+  }
+  for (int64_t i = 0; i < requests; ++i) {
+    if (latencies_ms_.size() < kLatencyWindow) {
+      latencies_ms_.push_back(ms);
+    } else {
+      latencies_ms_[latency_next_] = ms;
+    }
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+std::vector<BatchExecutor::Request> BatchExecutor::take_group(
+    std::unique_lock<std::mutex>& lock) {
+  std::vector<Request> group;
+  group.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  if (opts_.max_coalesce <= 1) return group;
+  int64_t samples = group.front().samples;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(opts_.max_wait_us);
+  while (samples < opts_.max_coalesce) {
+    if (!queue_.empty()) {
+      Request& head = queue_.front();
+      // Stop at the first incompatible or overflowing request: FIFO
+      // order is preserved, nothing is reordered around it.
+      if (!coalescable(group.front().batch, head.batch) ||
+          samples + head.samples > opts_.max_coalesce) {
+        break;
+      }
+      samples += head.samples;
+      group.push_back(std::move(head));
+      queue_.pop_front();
+      continue;
+    }
+    if (stopping_ || opts_.max_wait_us <= 0) break;
+    // Briefly hold the batch open for stragglers.
+    if (cv_.wait_until(lock, deadline, [this] { return stopping_ || !queue_.empty(); })) {
+      if (stopping_ && queue_.empty()) break;
+      continue;
+    }
+    break;  // timed out
+  }
+  return group;
+}
+
+void BatchExecutor::run_group(std::vector<Request>& group) {
+  int64_t samples = 0;
+  for (const Request& r : group) samples += r.samples;
+  const bool fused = group.size() > 1;
+  try {
+    const util::Stopwatch sw;
+    Tensor logits;
+    if (!fused) {
+      logits = net_.run(group.front().batch);
+    } else {
+      // One time-major pass over the concatenated batch. Every op
+      // treats batch rows independently, so slicing the fused logits
+      // reproduces each request's solo result bitwise.
+      std::vector<Tensor*> parts;
+      parts.reserve(group.size());
+      for (Request& r : group) parts.push_back(&r.batch);
+      logits = net_.run(concat_rows(parts));
+    }
+    const double ms = sw.millis();
+    record(static_cast<int64_t>(group.size()), samples, ms, fused);
+    if (!fused) {
+      group.front().promise.set_value(std::move(logits));
+    } else {
+      const int64_t classes = logits.dim(1);
+      const float* src = logits.data();
+      int64_t row = 0;
+      for (Request& r : group) {
+        Tensor slice(Shape{r.samples, classes});
+        std::copy(src + row * classes, src + (row + r.samples) * classes, slice.data());
+        row += r.samples;
+        r.promise.set_value(std::move(slice));
+      }
+    }
+  } catch (...) {
+    for (Request& r : group) r.promise.set_exception(std::current_exception());
+  }
+}
+
 void BatchExecutor::worker_loop() {
   for (;;) {
-    std::packaged_task<tensor::Tensor()> task;
+    std::vector<Request> group;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      group = take_group(lock);
     }
-    task();  // exceptions propagate through the future
+    run_group(group);
   }
 }
 

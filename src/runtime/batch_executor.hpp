@@ -1,16 +1,32 @@
 // BatchExecutor: throughput-oriented serving front-end for a
 // CompiledNetwork.
 //
-// A small pool of worker threads drains a FIFO of inference requests;
+// A small pool of request workers drains a FIFO of inference requests;
 // each request is one input batch [N, ...] and resolves to the mean
 // logits [N, classes] through a std::future. The CompiledNetwork plan is
-// immutable, so workers share it without synchronization — requests are
-// sharded across workers, never split within one.
+// immutable, so workers share it without synchronization.
+//
+// Thread budget: the constructor's num_threads is the *total* worker
+// budget. When the plan was compiled with an intra-op pool
+// (CompileOptions::num_threads > 1), the executor spawns
+// max(1, num_threads / intra_op_threads) request workers so
+// inter-request and intra-op parallelism split the budget instead of
+// oversubscribing the machine; a serial plan keeps the historical
+// one-worker-per-thread behaviour.
+//
+// Adaptive coalescing (ExecutorOptions): many concurrent *small*
+// requests are the worst case for per-run fixed costs (per-op dispatch,
+// im2col setup, activation allocation). With max_coalesce > 1 a worker
+// that pops a request keeps popping shape-compatible ones — waiting up
+// to max_wait_us for stragglers — and fuses them into one time-major
+// pass over the concatenated batch, then splits the logits back per
+// request. Every op processes batch rows independently, so the fused
+// logits are bitwise identical to running each request alone
+// (tests/runtime/batch_executor_test.cpp pins this).
 //
 // Determinism: a request's result depends only on its input and the
-// plan, never on which worker ran it or how many workers exist, so a
-// 1-thread and an N-thread executor produce identical outputs (tested in
-// tests/runtime/batch_executor_test.cpp).
+// plan — never on which worker ran it, how many workers exist, or which
+// requests it was fused with.
 #pragma once
 
 #include <condition_variable>
@@ -27,13 +43,16 @@
 namespace ndsnn::runtime {
 
 /// Serving statistics snapshot. Latency is measured per request from
-/// execution start to completion on the worker (queue wait excluded),
-/// with nearest-rank percentiles over a sliding window of the most
-/// recent requests (kLatencyWindow) so a long-lived executor's memory
-/// and stats() cost stay bounded; requests/samples are all-time totals.
+/// execution start to completion on the worker (queue wait excluded;
+/// every request of a fused pass reports that pass's latency), with
+/// nearest-rank percentiles over a sliding window of the most recent
+/// requests (kLatencyWindow) so a long-lived executor's memory and
+/// stats() cost stay bounded; requests/samples are all-time totals.
 struct ExecutorStats {
   int64_t requests = 0;  ///< requests fully processed
   int64_t samples = 0;   ///< batch rows fully processed
+  int64_t fused_batches = 0;       ///< coalesced passes (>= 2 requests each)
+  int64_t coalesced_requests = 0;  ///< requests served inside a fused pass
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
@@ -41,11 +60,24 @@ struct ExecutorStats {
   double max_ms = 0.0;
 };
 
+/// Request-coalescing knobs (defaults: coalescing off).
+struct ExecutorOptions {
+  /// Maximum *samples* (batch rows) per fused pass; <= 1 disables
+  /// coalescing. A request bigger than the cap still runs alone.
+  int64_t max_coalesce = 1;
+  /// How long a worker holding fewer than max_coalesce samples waits
+  /// for more compatible requests before running what it has. 0 = only
+  /// fuse what is already queued.
+  int64_t max_wait_us = 0;
+};
+
 class BatchExecutor {
  public:
-  /// Spin up `num_threads` workers (>= 1) over a compiled plan. The plan
-  /// must outlive the executor.
-  BatchExecutor(const CompiledNetwork& net, int64_t num_threads);
+  /// Spin up workers over a compiled plan with a total thread budget of
+  /// `num_threads` (>= 1; see the header comment for the inter/intra
+  /// split). The plan must outlive the executor.
+  BatchExecutor(const CompiledNetwork& net, int64_t num_threads,
+                const ExecutorOptions& opts = {});
 
   /// Drains the queue, then joins the workers.
   ~BatchExecutor();
@@ -66,9 +98,13 @@ class BatchExecutor {
   /// Idempotent; also called by the destructor.
   void shutdown();
 
+  /// Request workers actually spawned (the budget divided by the plan's
+  /// intra-op lanes).
   [[nodiscard]] int64_t num_threads() const {
     return static_cast<int64_t>(workers_.size());
   }
+  /// Intra-op lanes of the served plan (1 = serial plan).
+  [[nodiscard]] int64_t intra_op_threads() const { return intra_op_threads_; }
 
   /// Requests fully processed so far.
   [[nodiscard]] int64_t completed_requests() const;
@@ -83,18 +119,32 @@ class BatchExecutor {
   static constexpr std::size_t kLatencyWindow = 8192;
 
  private:
+  struct Request {
+    tensor::Tensor batch;
+    int64_t samples = 0;
+    std::promise<tensor::Tensor> promise;
+  };
+
   void worker_loop();
+  /// Pop one request plus any coalescable followers (caller holds mu_).
+  std::vector<Request> take_group(std::unique_lock<std::mutex>& lock);
+  void run_group(std::vector<Request>& group);
+  void record(int64_t requests, int64_t samples, double ms, bool fused);
 
   const CompiledNetwork& net_;
+  const ExecutorOptions opts_;
+  int64_t intra_op_threads_ = 1;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::packaged_task<tensor::Tensor()>> queue_;
+  std::deque<Request> queue_;
   bool stopping_ = false;
   int64_t completed_requests_ = 0;
   int64_t completed_samples_ = 0;
-  std::vector<double> latencies_ms_;     ///< ring of the last kLatencyWindow requests
-  std::size_t latency_next_ = 0;         ///< ring write cursor
+  int64_t fused_batches_ = 0;
+  int64_t coalesced_requests_ = 0;
+  std::vector<double> latencies_ms_;  ///< ring of the last kLatencyWindow requests
+  std::size_t latency_next_ = 0;      ///< ring write cursor
 
   std::vector<std::thread> workers_;
 };

@@ -25,6 +25,7 @@
 #include "snn/spike_stats.hpp"
 #include "sparse/bcsr.hpp"
 #include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ndsnn::runtime {
 
@@ -49,6 +50,8 @@ struct Lowering {
   bool any_event = false; ///< some weight layer decided event-driven
   std::size_t weight_index = 0;  ///< weight layers seen, in body order
                                  ///< (indexes CompileOptions::layer_precisions)
+  /// Shared intra-op pool the built weight ops borrow (null = serial).
+  std::shared_ptr<util::ThreadPool> pool;
 
   explicit Lowering(const CompileOptions& o) : opts(o) {}
 
@@ -112,8 +115,15 @@ Kernel pick_kernel(const Tensor& weight, const CompileOptions& opts) {
 /// fixed bitwidth-based rule, so outlier-heavy layers stay fp32. The
 /// weight-layer counter advances for *every* weight layer (dense ones
 /// included) to keep the override indexing aligned with the prunable
-/// parameter order.
-sparse::Precision pick_precision(const Tensor& weight, Kernel kernel, Lowering& lw) {
+/// parameter order. The measurement matches the scheme the op will
+/// actually emit: event-path linear layers quantise Wᵀ with a *uniform*
+/// plane-wide scale (the binary-spike int32 gather's precondition), so
+/// `uniform_error` measures that scheme instead of the per-row one —
+/// both share the 1/(2*qmax) worst case on the global-relative metric,
+/// but the measured values differ and the bound must gate the real
+/// plane.
+sparse::Precision pick_precision(const Tensor& weight, Kernel kernel, bool uniform_error,
+                                 Lowering& lw) {
   const CompileOptions& opts = lw.opts;
   const std::size_t index = lw.weight_index++;
   if (kernel == Kernel::kDense) return sparse::Precision::kFp32;
@@ -125,7 +135,7 @@ sparse::Precision pick_precision(const Tensor& weight, Kernel kernel, Lowering& 
   }
   if (index < opts.layer_precisions.size()) return opts.layer_precisions[index];
   for (const sparse::Precision p : {sparse::Precision::kInt4, sparse::Precision::kInt8}) {
-    if (sparse::relative_quant_error(weight, p, opts.prune_threshold) <=
+    if (sparse::relative_quant_error(weight, p, opts.prune_threshold, uniform_error) <=
         static_cast<float>(opts.quant_max_error)) {
       return p;
     }
@@ -158,9 +168,10 @@ std::unique_ptr<Op> compile_layer(const nn::Layer& layer, Lowering& lw) {
     lw.now_dense();
     if (lw.dry) return nullptr;
     const Kernel kernel = pick_kernel(linear->weight(), opts);
-    return std::make_unique<LinearOp>(*linear, kernel,
-                                      pick_precision(linear->weight(), kernel, lw), event,
-                                      opts);
+    // Event-path LinearOp builds a uniform-scale plane; measure that.
+    return std::make_unique<LinearOp>(
+        *linear, kernel, pick_precision(linear->weight(), kernel, /*uniform_error=*/event, lw),
+        event, opts, lw.pool);
   }
   if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&layer)) {
     const bool event = lw.event_for_weight_layer();
@@ -168,8 +179,10 @@ std::unique_ptr<Op> compile_layer(const nn::Layer& layer, Lowering& lw) {
     lw.now_dense();
     if (lw.dry) return nullptr;
     const Kernel kernel = pick_kernel(conv->weight(), opts);
-    return std::make_unique<ConvOp>(*conv, kernel,
-                                    pick_precision(conv->weight(), kernel, lw), event, opts);
+    // Conv structures keep per-row/per-block scales on every path.
+    return std::make_unique<ConvOp>(
+        *conv, kernel, pick_precision(conv->weight(), kernel, /*uniform_error=*/false, lw),
+        event, opts, lw.pool);
   }
   if (const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(&layer)) {
     lw.now_dense();  // the affine shift makes zeros non-zero
@@ -282,6 +295,9 @@ CompiledNetwork CompiledNetwork::compile(const nn::SpikingNetwork& net,
   if (opts.quant_max_error < 0.0) {
     throw std::invalid_argument("CompiledNetwork: quant_max_error must be >= 0");
   }
+  if (opts.num_threads < 0) {
+    throw std::invalid_argument("CompiledNetwork: num_threads must be >= 0 (0 = hardware)");
+  }
   if (dynamic_cast<const snn::DirectEncoder*>(&net.encoder()) == nullptr) {
     throw std::invalid_argument(
         "CompiledNetwork: only direct encoding is supported (encoder '" +
@@ -300,11 +316,17 @@ CompiledNetwork CompiledNetwork::compile(const nn::SpikingNetwork& net,
   }
   Lowering lw(opts);
   lw.emit_events = dry_walk.any_event;
+  // One shared pool per plan: ops borrow it for intra-op dispatch, the
+  // BatchExecutor reads its lane count to split inter-request vs
+  // intra-op parallelism instead of oversubscribing.
+  const int64_t lanes = util::ThreadPool::resolve_lanes(opts.num_threads);
+  if (lanes > 1) lw.pool = std::make_shared<util::ThreadPool>(lanes);
   for (std::size_t i = 0; i < body.size(); ++i) {
     compiled.plan_.ops.push_back(compile_layer(body.layer(i), lw));
     compiled.plan_.reports.push_back(compiled.plan_.ops.back()->report());
   }
   compiled.plan_.estimated_spike_rate = lw.stats.average_rate();
+  compiled.plan_.pool = std::move(lw.pool);
   return compiled;
 }
 

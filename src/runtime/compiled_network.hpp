@@ -105,12 +105,18 @@ struct CompileOptions {
   int64_t block_rows = 4;
   int64_t block_cols = 4;
   /// kAuto picks BCSR over CSR when the fraction of nonzeros inside the
-  /// occupied block storage is at least this. Calibrated with
-  /// bench/micro_kernels: at 0.5 occupancy (2:4) the dense micro-block
-  /// kernels beat CSR ~2x, at 0.25 (1:4) the padding FLOPs make them
-  /// lose, so the crossover sits between; unstructured high-sparsity
-  /// masks measure ~0.1 and stay CSR.
-  double bcsr_min_occupancy = 0.3;
+  /// occupied block storage (sparse::Bcsr::measure_weights — the same
+  /// measured pattern occupancy the built format reports) is at least
+  /// this. Calibrated end to end with bench/sparse_inference on the zoo
+  /// models: at 0.5 occupancy (an aligned 2:4 pattern) the padding
+  /// FLOPs of the dense micro-blocks already lose to CSR at these layer
+  /// sizes (bcsr_speedup 0.78 in BENCH_sparse_inference.json), at 0.25
+  /// (1:4) they lose badly (0.65), and only genuinely blocky patterns
+  /// (~1.0 occupancy row/block masks, +12%) win — so the crossover sits
+  /// between 0.5 and 1.0. Unstructured high-sparsity masks measure ~0.1
+  /// and stay CSR regardless. The heuristic regression test in
+  /// tests/runtime/compiled_network_test.cpp pins both sides.
+  double bcsr_min_occupancy = 0.75;
   /// Activation path selection (see ActivationMode).
   ActivationMode activation_mode = ActivationMode::kAuto;
   /// kAuto goes event-driven when the estimated firing rate of a weight
@@ -148,6 +154,16 @@ struct CompileOptions {
   /// carry the nominal precision; bytes reflect the fp32 storage the
   /// fake plan actually holds.
   bool fake_quant = false;
+  /// Intra-op execution lanes: 1 (default) compiles a serial plan, 0
+  /// resolves to std::thread::hardware_concurrency(), N > 1 builds a
+  /// shared util::ThreadPool the plan owns and every hot kernel
+  /// dispatches through (CSR/BCSR spmm/spmm_t partitioned by output
+  /// row/block row with nnz-balanced splits, the event path over batch
+  /// rows / output channels, dense fallbacks by output row). Layers
+  /// whose work sits below util::kMinParallelWork stay serial — thread
+  /// handoff costs more than e.g. lenet5's fc2 [84 x 120]. fp32 outputs
+  /// stay bitwise identical to the serial plan for any value here.
+  int64_t num_threads = 1;
 };
 
 class CompiledNetwork {
@@ -182,6 +198,8 @@ class CompiledNetwork {
   /// walks to compare two plans op by op (run() stays the serving API).
   [[nodiscard]] const Plan& plan_ir() const { return plan_; }
   [[nodiscard]] int64_t timesteps() const { return plan_.timesteps; }
+  /// Intra-op lanes of the plan's shared thread pool (1 = serial plan).
+  [[nodiscard]] int64_t intra_op_threads() const { return plan_.intra_op_threads(); }
   /// Compile-time mean firing-rate estimate over the spiking layers
   /// (recorded rates where available, CompileOptions fallback otherwise).
   [[nodiscard]] double estimated_spike_rate() const { return plan_.estimated_spike_rate; }

@@ -1,5 +1,6 @@
 #include "runtime/ops/conv_op.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -13,9 +14,11 @@ using tensor::Shape;
 using tensor::Tensor;
 
 ConvOp::ConvOp(const nn::Conv2d& src, Kernel kernel, sparse::Precision precision,
-               bool event, const CompileOptions& opts)
+               bool event, const CompileOptions& opts,
+               std::shared_ptr<util::ThreadPool> pool)
     : layer_name_(src.name()),
       gemm_(kernel),
+      pool_(std::move(pool)),
       precision_(kernel == Kernel::kDense ? sparse::Precision::kFp32 : precision),
       event_(event),
       has_bias_(src.has_bias()),
@@ -78,6 +81,37 @@ ConvOp::ConvOp(const nn::Conv2d& src, Kernel kernel, sparse::Precision precision
     }
   }
   if (has_bias_) bias_ = src.bias();
+  if (event_) {
+    // Per-output-channel weight histogram of the transposed structure:
+    // the prefix sums that let the parallel event path hand each chunk a
+    // channel strip with balanced scatter work.
+    channel_weight_prefix_.assign(static_cast<std::size_t>(out_channels_) + 1, 0);
+    auto& prefix = channel_weight_prefix_;
+    switch (gemm_) {
+      case Kernel::kCsr:
+        for (const int32_t f : csr_t_.col_idx()) ++prefix[static_cast<std::size_t>(f) + 1];
+        break;
+      case Kernel::kBcsr: {
+        const int64_t bc = bcsr_t_.block_cols();
+        for (const int32_t jb : bcsr_t_.block_col_idx()) {
+          const int64_t f_begin = static_cast<int64_t>(jb) * bc;
+          const int64_t f_end = std::min(f_begin + bc, out_channels_);
+          for (int64_t f = f_begin; f < f_end; ++f) {
+            prefix[static_cast<std::size_t>(f) + 1] += bcsr_t_.block_rows();
+          }
+        }
+        break;
+      }
+      case Kernel::kDense:
+        for (int64_t f = 0; f < out_channels_; ++f) {
+          prefix[static_cast<std::size_t>(f) + 1] = in_channels_ * kernel_ * kernel_;
+        }
+        break;
+    }
+    for (int64_t f = 0; f < out_channels_; ++f) {
+      prefix[static_cast<std::size_t>(f) + 1] += prefix[static_cast<std::size_t>(f)];
+    }
+  }
 }
 
 Tensor ConvOp::run_dense(const Tensor& input) const {
@@ -103,30 +137,36 @@ Tensor ConvOp::run_dense(const Tensor& input) const {
     // output element the nonzeros are visited in the same order as
     // Csr::spmm, so results stay bitwise identical. (A quantised plane
     // takes the spmm + transpose route below: Csr::spmm dispatches to
-    // the dequantise-once-per-output-row kernel internally.)
+    // the dequantise-once-per-output-row kernel internally.) Filters are
+    // independent output rows: the pool partitions them nnz-balanced.
     const int64_t l = m * plane;
     const auto& row_ptr = csr_.row_ptr();
     const auto& col_idx = csr_.col_idx();
     const auto& values = csr_.values();
     const float* colsp = cols.data();
     float* dst = out.data();
-    for (int64_t f = 0; f < out_channels_; ++f) {
-      for (int64_t k = row_ptr[static_cast<std::size_t>(f)];
-           k < row_ptr[static_cast<std::size_t>(f) + 1]; ++k) {
-        const float v = values[static_cast<std::size_t>(k)];
-        const float* brow =
-            colsp + static_cast<int64_t>(col_idx[static_cast<std::size_t>(k)]) * l;
-        for (int64_t mm = 0; mm < m; ++mm) {
-          float* drow = dst + (mm * out_channels_ + f) * plane;
-          const float* s = brow + mm * plane;
-          for (int64_t p = 0; p < plane; ++p) drow[p] += v * s[p];
+    const auto filters = [&](int64_t f0, int64_t f1) {
+      for (int64_t f = f0; f < f1; ++f) {
+        for (int64_t k = row_ptr[static_cast<std::size_t>(f)];
+             k < row_ptr[static_cast<std::size_t>(f) + 1]; ++k) {
+          const float v = values[static_cast<std::size_t>(k)];
+          const float* brow =
+              colsp + static_cast<int64_t>(col_idx[static_cast<std::size_t>(k)]) * l;
+          for (int64_t mm = 0; mm < m; ++mm) {
+            float* drow = dst + (mm * out_channels_ + f) * plane;
+            const float* s = brow + mm * plane;
+            for (int64_t p = 0; p < plane; ++p) drow[p] += v * s[p];
+          }
         }
       }
-    }
+    };
+    util::parallel_balanced(pool_.get(), row_ptr.data(), out_channels_, csr_.nnz() * l,
+                            filters);
   } else {
-    const Tensor yflat = gemm_ == Kernel::kCsr    ? csr_.spmm(cols)
-                         : gemm_ == Kernel::kBcsr ? bcsr_.spmm(cols)
-                                                  : tensor::matmul(dense_, cols);
+    util::ThreadPool* pool = pool_.get();
+    const Tensor yflat = gemm_ == Kernel::kCsr    ? csr_.spmm(cols, pool)
+                         : gemm_ == Kernel::kBcsr ? bcsr_.spmm(cols, pool)
+                                                  : tensor::matmul(dense_, cols, pool);
     // Transpose [F, (m, oy, ox)] -> [m, F, oy, ox].
     const float* src = yflat.data();
     float* dst = out.data();
@@ -142,41 +182,19 @@ Tensor ConvOp::run_dense(const Tensor& input) const {
   return out;
 }
 
-Tensor ConvOp::run_event(const Activation& input) const {
-  const Tensor& in = input.tensor;
+void ConvOp::event_scatter(const Tensor& in, const SpikeBatch& events, Tensor& out,
+                           int64_t oh, int64_t ow, int64_t f0, int64_t f1) const {
   const int64_t m = in.dim(0), h = in.dim(2), w = in.dim(3);
-  const int64_t oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
-  const int64_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
-  if (oh < 1 || ow < 1) {
-    throw std::invalid_argument("ConvOp: kernel larger than padded input " +
-                                in.shape().str());
-  }
   const int64_t in_plane = h * w;
   const int64_t row_size = in_channels_ * in_plane;
   const int64_t plane = oh * ow;
-  Tensor out(Shape{m, out_channels_, oh, ow});
+  const bool full = f0 == 0 && f1 == out_channels_;
   const float* inp = in.data();
   float* dst = out.data();
-
-  const bool use_events =
-      input.has_events && input.events.rows == m && input.events.row_size == row_size;
-  std::vector<int32_t> scratch;
-
   for (int64_t mm = 0; mm < m; ++mm) {
     const float* xrow = inp + mm * row_size;
-    const int32_t* active;
-    int64_t n_active;
-    if (use_events) {
-      active = input.events.active_begin(mm);
-      n_active = input.events.active_count(mm);
-    } else {
-      scratch.clear();
-      for (int64_t j = 0; j < row_size; ++j) {
-        if (xrow[j] != 0.0F) scratch.push_back(static_cast<int32_t>(j));
-      }
-      active = scratch.data();
-      n_active = static_cast<int64_t>(scratch.size());
-    }
+    const int32_t* active = events.active_begin(mm);
+    const int64_t n_active = events.active_count(mm);
     float* obase = dst + mm * out_channels_ * plane;
     for (int64_t a = 0; a < n_active; ++a) {
       const int64_t j = active[a];
@@ -187,7 +205,9 @@ Tensor ConvOp::run_event(const Activation& input) const {
       // Every kernel offset (ky, kx) that maps pixel (y, x) onto a valid
       // output position; for a fixed output element exactly one offset
       // matches, so ascending (c, y, x) scatters in ascending
-      // patch-column order per output — the dense GEMM's order.
+      // patch-column order per output — the dense GEMM's order. A
+      // channel strip [f0, f1) only restricts *which* outputs a chunk
+      // owns, never the order of their contributions.
       for (int64_t ky = 0; ky < kernel_; ++ky) {
         const int64_t oy_num = y + padding_ - ky;
         if (oy_num < 0 || oy_num % stride_ != 0) continue;
@@ -202,14 +222,22 @@ Tensor ConvOp::run_event(const Activation& input) const {
           float* obegin = obase + oy * ow + ox;
           switch (gemm_) {
             case Kernel::kCsr:
-              csr_t_.scatter_row(col, v, obegin, plane);
+              if (full) {
+                csr_t_.scatter_row(col, v, obegin, plane);
+              } else {
+                csr_t_.scatter_row_range(col, v, obegin, plane, f0, f1);
+              }
               break;
             case Kernel::kBcsr:
-              bcsr_t_.scatter_row(col, v, obegin, plane);
+              if (full) {
+                bcsr_t_.scatter_row(col, v, obegin, plane);
+              } else {
+                bcsr_t_.scatter_row_range(col, v, obegin, plane, f0, f1);
+              }
               break;
             case Kernel::kDense: {
               const float* wrow = dense_t_.data() + col * out_channels_;
-              for (int64_t f = 0; f < out_channels_; ++f) {
+              for (int64_t f = f0; f < f1; ++f) {
                 obegin[f * plane] += wrow[f] * v;
               }
               break;
@@ -219,6 +247,40 @@ Tensor ConvOp::run_event(const Activation& input) const {
       }
     }
   }
+}
+
+Tensor ConvOp::run_event(const Activation& input) const {
+  const Tensor& in = input.tensor;
+  const int64_t m = in.dim(0), h = in.dim(2), w = in.dim(3);
+  const int64_t oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
+  const int64_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
+  if (oh < 1 || ow < 1) {
+    throw std::invalid_argument("ConvOp: kernel larger than padded input " +
+                                in.shape().str());
+  }
+  const int64_t row_size = in_channels_ * h * w;
+  Tensor out(Shape{m, out_channels_, oh, ow});
+
+  const bool use_events =
+      input.has_events && input.events.rows == m && input.events.row_size == row_size;
+  // Without a usable view the event stream is rebuilt once up front (the
+  // scan is shared by every channel chunk).
+  SpikeBatch scanned;
+  if (!use_events) scanned = SpikeBatch::scan(in);
+  const SpikeBatch& events = use_events ? input.events : scanned;
+
+  // Output channels partition the scatter: each chunk replays the whole
+  // event stream but writes only its own channel strip, nnz-balanced by
+  // the per-channel weight histogram. Work per event ~ k*k offsets times
+  // the average weights per patch column.
+  const int64_t ckk = in_channels_ * kernel_ * kernel_;
+  const int64_t cost_per_active =
+      kernel_ * kernel_ * std::max<int64_t>(1, stored_ / std::max<int64_t>(1, ckk));
+  const int64_t total_active = static_cast<int64_t>(events.idx.size());
+  util::parallel_balanced(pool_.get(), channel_weight_prefix_.data(), out_channels_,
+                          total_active * cost_per_active, [&](int64_t f0, int64_t f1) {
+                            event_scatter(in, events, out, oh, ow, f0, f1);
+                          });
   return out;
 }
 

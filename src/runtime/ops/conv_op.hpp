@@ -11,13 +11,16 @@
 // bitwise identical.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "nn/conv2d.hpp"
 #include "runtime/compiled_network.hpp"
 #include "runtime/plan.hpp"
 #include "sparse/bcsr.hpp"
 #include "sparse/csr.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ndsnn::runtime {
 
@@ -25,8 +28,14 @@ class ConvOp final : public Op {
  public:
   /// `precision` mirrors LinearOp: quantises the sparse value plane on
   /// the execution orientation; ignored for the dense kernel.
+  /// `pool` (null = serial) is the plan's shared intra-op pool: the
+  /// dense-activation path partitions the GEMM by output row (filter),
+  /// the event path partitions the scatter by *output channel* — each
+  /// chunk owns a channel strip, replays the event stream, and scatters
+  /// only its own channels (scatter_row_range), so per-output-element
+  /// accumulation order is unchanged and results stay bitwise.
   ConvOp(const nn::Conv2d& src, Kernel kernel, sparse::Precision precision, bool event,
-         const CompileOptions& opts);
+         const CompileOptions& opts, std::shared_ptr<util::ThreadPool> pool = nullptr);
 
   [[nodiscard]] Activation run(const Activation& input) const override;
   [[nodiscard]] OpReport report() const override;
@@ -34,9 +43,15 @@ class ConvOp final : public Op {
  private:
   [[nodiscard]] tensor::Tensor run_dense(const tensor::Tensor& input) const;
   [[nodiscard]] tensor::Tensor run_event(const Activation& input) const;
+  void event_scatter(const tensor::Tensor& in, const SpikeBatch& events, tensor::Tensor& out,
+                     int64_t oh, int64_t ow, int64_t f0, int64_t f1) const;
 
   std::string layer_name_;
   Kernel gemm_;
+  std::shared_ptr<util::ThreadPool> pool_;
+  /// Event path only: per-output-channel weight counts (prefix sums) of
+  /// the transposed structure, so channel strips are nnz-balanced.
+  std::vector<int64_t> channel_weight_prefix_;
   sparse::Precision precision_;
   int64_t bytes_ = 0;
   bool event_;

@@ -1,5 +1,6 @@
 #include "runtime/ops/linear_op.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -13,9 +14,11 @@ using tensor::Shape;
 using tensor::Tensor;
 
 LinearOp::LinearOp(const nn::Linear& src, Kernel kernel, sparse::Precision precision,
-                   bool event, const CompileOptions& opts)
+                   bool event, const CompileOptions& opts,
+                   std::shared_ptr<util::ThreadPool> pool)
     : layer_name_(src.name()),
       kernel_(kernel),
+      pool_(std::move(pool)),
       precision_(kernel == Kernel::kDense ? sparse::Precision::kFp32 : precision),
       event_(event),
       has_bias_(src.has_bias()),
@@ -25,12 +28,14 @@ LinearOp::LinearOp(const nn::Linear& src, Kernel kernel, sparse::Precision preci
       source_sparsity_(src.masked_view()->sparsity()) {
   // Only the structures the chosen path touches are materialized; the
   // event path keeps Wᵀ so an active input index selects one contiguous
-  // weight row.
+  // weight row. Event-path planes quantise with a uniform plane-wide
+  // scale: binary spike batches then gather raw codes in int32 and
+  // dequantise once per output (sparse::Csr::spmv_gather fast path).
   switch (kernel_) {
     case Kernel::kCsr:
       if (event_) {
         csr_t_ = sparse::Csr::from_weights(src.weight(), opts.prune_threshold).transposed();
-        (void)csr_t_.quantize(precision_);
+        (void)csr_t_.quantize(precision_, /*symmetric=*/true, /*uniform_scale=*/true);
         if (opts.fake_quant) csr_t_.dequantize();
         stored_ = csr_t_.nnz();
         bytes_ = csr_t_.memory_bytes();
@@ -47,7 +52,7 @@ LinearOp::LinearOp(const nn::Linear& src, Kernel kernel, sparse::Precision preci
         bcsr_t_ = sparse::Bcsr::from_weights(src.weight(), opts.block_rows, opts.block_cols,
                                              opts.prune_threshold)
                       .transposed();
-        (void)bcsr_t_.quantize(precision_);
+        (void)bcsr_t_.quantize(precision_, /*symmetric=*/true, /*uniform_scale=*/true);
         if (opts.fake_quant) bcsr_t_.dequantize();
         stored_ = bcsr_t_.stored_values();
         bytes_ = bcsr_t_.memory_bytes();
@@ -78,30 +83,48 @@ LinearOp::LinearOp(const nn::Linear& src, Kernel kernel, sparse::Precision preci
       break;
   }
   if (has_bias_) bias_ = src.bias();
+  // Rough gather work per active input — the parallel-dispatch estimate
+  // for run_event (events touch one Wᵀ row each).
+  switch (kernel_) {
+    case Kernel::kCsr:
+      event_cost_per_active_ =
+          std::max<int64_t>(1, csr_t_.nnz() / std::max<int64_t>(1, in_features_));
+      break;
+    case Kernel::kBcsr:
+      event_cost_per_active_ =
+          std::max<int64_t>(1, bcsr_t_.stored_values() / std::max<int64_t>(1, in_features_));
+      break;
+    case Kernel::kDense:
+      event_cost_per_active_ = out_features_;
+      break;
+  }
 }
 
 Tensor LinearOp::run_dense(const Tensor& input) const {
-  return kernel_ == Kernel::kCsr    ? csr_.spmm_t(input)
-         : kernel_ == Kernel::kBcsr ? bcsr_.spmm_t(input)
-                                    : tensor::matmul_nt(input, dense_);
+  util::ThreadPool* pool = pool_.get();
+  return kernel_ == Kernel::kCsr    ? csr_.spmm_t(input, pool)
+         : kernel_ == Kernel::kBcsr ? bcsr_.spmm_t(input, pool)
+                                    : tensor::matmul_nt(input, dense_, pool);
 }
 
-Tensor LinearOp::run_event(const Activation& input) const {
+void LinearOp::event_rows(const Activation& input, Tensor& out, int64_t i0, int64_t i1,
+                          bool use_events) const {
   const Tensor& in = input.tensor;
-  const int64_t m = in.dim(0);
-  Tensor out(Shape{m, out_features_});
   const float* inp = in.data();
   float* outp = out.data();
-
-  // The event view is usable only when it indexes exactly this layout
-  // (it survives flatten, not pooling / batch norm); otherwise scan.
-  const bool use_events =
-      input.has_events && input.events.rows == m && input.events.row_size == in_features_;
   std::vector<int32_t> scratch;
   if (!use_events) scratch.reserve(static_cast<std::size_t>(in_features_));
   std::vector<double> acc(static_cast<std::size_t>(out_features_));
+  // int32 scratch for the binary-spike quantised gather fast path; only
+  // allocated when a uniform-scale plane can actually use it.
+  std::vector<int32_t> iacc;
+  if ((kernel_ == Kernel::kCsr && csr_t_.quantized() && csr_t_.quant().uniform) ||
+      (kernel_ == Kernel::kBcsr && bcsr_t_.quantized() && bcsr_t_.quant().uniform)) {
+    iacc.resize(static_cast<std::size_t>(out_features_));
+  }
+  int32_t* iaccp = iacc.empty() ? nullptr : iacc.data();
 
-  for (int64_t i = 0; i < m; ++i) {
+  for (int64_t i = i0; i < i1; ++i) {
     const float* x = inp + i * in_features_;
     const int32_t* active;
     int64_t n_active;
@@ -119,10 +142,10 @@ Tensor LinearOp::run_event(const Activation& input) const {
     std::fill(acc.begin(), acc.end(), 0.0);
     switch (kernel_) {
       case Kernel::kCsr:
-        csr_t_.spmv_gather(x, active, n_active, acc.data());
+        csr_t_.spmv_gather(x, active, n_active, acc.data(), iaccp);
         break;
       case Kernel::kBcsr:
-        bcsr_t_.spmv_gather(x, active, n_active, acc.data());
+        bcsr_t_.spmv_gather(x, active, n_active, acc.data(), iaccp);
         break;
       case Kernel::kDense: {
         const float* wt = dense_t_.data();
@@ -142,6 +165,28 @@ Tensor LinearOp::run_event(const Activation& input) const {
       orow[r] = static_cast<float>(acc[static_cast<std::size_t>(r)]);
     }
   }
+}
+
+Tensor LinearOp::run_event(const Activation& input) const {
+  const Tensor& in = input.tensor;
+  const int64_t m = in.dim(0);
+  Tensor out(Shape{m, out_features_});
+
+  // The event view is usable only when it indexes exactly this layout
+  // (it survives flatten, not pooling / batch norm); otherwise scan.
+  const bool use_events =
+      input.has_events && input.events.rows == m && input.events.row_size == in_features_;
+
+  // Batch rows are independent: partition them across the pool (each
+  // chunk keeps its own scratch/accumulators). The work estimate counts
+  // active inputs times the per-active gather cost; the no-view case
+  // adds the dense rescan.
+  const int64_t active_estimate =
+      use_events ? static_cast<int64_t>(input.events.idx.size()) : in.numel();
+  util::parallel_even(pool_.get(), 0, m, active_estimate * event_cost_per_active_,
+                      [&](int64_t i0, int64_t i1) {
+                        event_rows(input, out, i0, i1, use_events);
+                      });
   return out;
 }
 

@@ -9,6 +9,7 @@
 // to the terms that are not exact no-ops, so both paths agree bitwise.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "nn/linear.hpp"
@@ -16,18 +17,24 @@
 #include "runtime/plan.hpp"
 #include "sparse/bcsr.hpp"
 #include "sparse/csr.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ndsnn::runtime {
 
 class LinearOp final : public Op {
  public:
   /// `precision` != kFp32 quantises the value plane of the chosen
-  /// sparse structure (per-row scales on the execution orientation, so
-  /// the event path quantises Wᵀ); ignored for the dense kernel. See
+  /// sparse structure; ignored for the dense kernel. Dense-activation
+  /// structures keep per-row scales; the event path quantises Wᵀ with
+  /// one *uniform* plane-wide scale so binary spike batches take the
+  /// int32 code-summing gather (see sparse::Csr::spmv_gather). See
   /// sparse::Csr::quantize for the error contract the quantised kernels
   /// carry instead of bitwise equality.
+  /// `pool` (may be null = serial) is the plan's shared intra-op pool:
+  /// the dense-activation path partitions the GEMM by output row, the
+  /// event path partitions the gather by batch row.
   LinearOp(const nn::Linear& src, Kernel kernel, sparse::Precision precision, bool event,
-           const CompileOptions& opts);
+           const CompileOptions& opts, std::shared_ptr<util::ThreadPool> pool = nullptr);
 
   [[nodiscard]] Activation run(const Activation& input) const override;
   [[nodiscard]] OpReport report() const override;
@@ -35,9 +42,13 @@ class LinearOp final : public Op {
  private:
   [[nodiscard]] tensor::Tensor run_dense(const tensor::Tensor& input) const;
   [[nodiscard]] tensor::Tensor run_event(const Activation& input) const;
+  void event_rows(const Activation& input, tensor::Tensor& out, int64_t i0, int64_t i1,
+                  bool use_events) const;
 
   std::string layer_name_;
   Kernel kernel_;
+  std::shared_ptr<util::ThreadPool> pool_;
+  int64_t event_cost_per_active_ = 1;  ///< gather work per active input
   sparse::Precision precision_;
   int64_t bytes_ = 0;
   bool event_;

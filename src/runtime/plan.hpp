@@ -20,6 +20,10 @@
 #include "sparse/quant.hpp"
 #include "tensor/tensor.hpp"
 
+namespace ndsnn::util {
+class ThreadPool;
+}
+
 namespace ndsnn::runtime {
 
 /// Which GEMM kernel a weight op was lowered onto (resolved from
@@ -146,6 +150,17 @@ struct Plan {
   std::vector<OpReport> reports;
   int64_t timesteps = 1;
   double estimated_spike_rate = 0.0;  ///< mean over spiking layers (compile-time estimate)
+  /// Shared intra-op execution pool (CompileOptions::num_threads > 1 or
+  /// 0 = hardware concurrency): weight ops borrow it for row-partitioned
+  /// kernel dispatch. Null for serial plans. The pool never changes what
+  /// is computed — fp32 outputs are bitwise identical for any lane count
+  /// — and it is safe to drive from many threads at once (the
+  /// BatchExecutor's request workers share it).
+  std::shared_ptr<util::ThreadPool> pool;
+
+  /// Lanes of the intra-op pool (1 for serial plans). What the
+  /// BatchExecutor divides its thread budget by.
+  [[nodiscard]] int64_t intra_op_threads() const;
 
   /// Run the op sequence over an already-encoded time-major batch
   /// (taken by value: callers move the encoder temporary in, so no op

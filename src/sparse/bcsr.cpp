@@ -125,12 +125,12 @@ Bcsr Bcsr::from_nm(const Tensor& dense, const NmPattern& pattern, int64_t block_
   return from_dense(projected, block_rows, pattern.m, threshold);
 }
 
-float Bcsr::quantize(Precision precision, bool symmetric) {
+float Bcsr::quantize(Precision precision, bool symmetric, bool uniform_scale) {
   if (precision == Precision::kFp32) return 0.0F;
   if (quant_.present()) throw std::logic_error("Bcsr::quantize: already quantised");
   float err = 0.0F;
   quant_ = quantize_fixed(values_.data(), block_count(), block_rows_ * block_cols_,
-                          precision, symmetric, &err);
+                          precision, symmetric, &err, uniform_scale);
   values_.clear();
   values_.shrink_to_fit();
   return err;
@@ -200,8 +200,40 @@ Bcsr Bcsr::transposed() const {
 }
 
 void Bcsr::spmv_gather(const float* x, const int32_t* active, int64_t n_active,
-                       double* acc) const {
+                       double* acc, int32_t* iacc) const {
   const int64_t bs = block_rows_ * block_cols_;
+  // Binary-spike fast path (mirrors Csr::spmv_gather): one plane-wide
+  // scale + {0,1} activations reduce the gather to int32 code sums,
+  // dequantised once per output.
+  if (quant_.present() && quant_.uniform && iacc != nullptr && n_active > 0 &&
+      !quant_.zero.empty() && quant_.zero[0] == 0) {
+    bool binary = true;
+    for (int64_t a = 0; a < n_active; ++a) binary &= x[active[a]] == 1.0F;
+    if (binary) {
+      std::fill(iacc, iacc + cols_, 0);
+      for (int64_t a = 0; a < n_active; ++a) {
+        const int64_t j = active[a];
+        const int64_t ib = j / block_rows_;
+        const int64_t r = j % block_rows_;
+        for (int64_t k = block_row_ptr_[static_cast<std::size_t>(ib)];
+             k < block_row_ptr_[static_cast<std::size_t>(ib) + 1]; ++k) {
+          const int64_t col0 =
+              static_cast<int64_t>(block_col_idx_[static_cast<std::size_t>(k)]) * block_cols_;
+          const int64_t c_lim = std::min(block_cols_, cols_ - col0);
+          const int64_t e0 = k * bs + r * block_cols_;
+          int32_t* irow = iacc + col0;
+          for (int64_t cc = 0; cc < c_lim; ++cc) {
+            irow[cc] += static_cast<int32_t>(quant_.code(e0 + cc));
+          }
+        }
+      }
+      const double s = static_cast<double>(quant_.scale[0]);
+      for (int64_t c = 0; c < cols_; ++c) {
+        if (iacc[c] != 0) acc[c] += s * static_cast<double>(iacc[c]);
+      }
+      return;
+    }
+  }
   for (int64_t a = 0; a < n_active; ++a) {
     const int64_t j = active[a];
     const double xj = static_cast<double>(x[j]);
@@ -252,6 +284,37 @@ void Bcsr::scatter_row(int64_t row, float x, float* out, int64_t out_stride) con
     } else {
       const float* vrow = values_.data() + k * bs + r * block_cols_;
       for (int64_t cc = 0; cc < c_lim; ++cc) {
+        out[(col0 + cc) * out_stride] += vrow[cc] * x;
+      }
+    }
+  }
+}
+
+void Bcsr::scatter_row_range(int64_t row, float x, float* out, int64_t out_stride,
+                             int64_t col_begin, int64_t col_end) const {
+  const int64_t bs = block_rows_ * block_cols_;
+  const int64_t ib = row / block_rows_;
+  const int64_t r = row % block_rows_;
+  for (int64_t k = block_row_ptr_[static_cast<std::size_t>(ib)];
+       k < block_row_ptr_[static_cast<std::size_t>(ib) + 1]; ++k) {
+    const int64_t col0 =
+        static_cast<int64_t>(block_col_idx_[static_cast<std::size_t>(k)]) * block_cols_;
+    if (col0 >= col_end) break;  // block columns are ascending
+    const int64_t c_lim = std::min(block_cols_, cols_ - col0);
+    const int64_t cc0 = std::max<int64_t>(0, col_begin - col0);
+    const int64_t cc1 = std::min(c_lim, col_end - col0);
+    if (cc0 >= cc1) continue;
+    if (quant_.present()) {
+      const float xs = quant_.scale[static_cast<std::size_t>(k)] * x;
+      const int zp = quant_.zero[static_cast<std::size_t>(k)];
+      const int64_t e0 = k * bs + r * block_cols_;
+      for (int64_t cc = cc0; cc < cc1; ++cc) {
+        out[(col0 + cc) * out_stride] +=
+            static_cast<float>(static_cast<int>(quant_.code(e0 + cc)) - zp) * xs;
+      }
+    } else {
+      const float* vrow = values_.data() + k * bs + r * block_cols_;
+      for (int64_t cc = cc0; cc < cc1; ++cc) {
         out[(col0 + cc) * out_stride] += vrow[cc] * x;
       }
     }
@@ -319,11 +382,11 @@ inline void spmm_strip_slow(const std::vector<int32_t>& block_col_idx,
 template <int64_t BR, int64_t BC>
 void spmm_worker(const std::vector<int64_t>& block_row_ptr,
                  const std::vector<int32_t>& block_col_idx, const std::vector<float>& values,
-                 int64_t rows, int64_t cols, const float* bp, int64_t n, float* cp) {
-  const int64_t mb = static_cast<int64_t>(block_row_ptr.size()) - 1;
+                 int64_t rows, int64_t cols, const float* bp, int64_t n, float* cp,
+                 int64_t ib0, int64_t ib1) {
   const int64_t n_full = n - n % kStrip;
   std::vector<float> slow_acc(static_cast<std::size_t>(BR * kStrip));
-  for (int64_t ib = 0; ib < mb; ++ib) {
+  for (int64_t ib = ib0; ib < ib1; ++ib) {
     const int64_t row0 = ib * BR;
     const int64_t r_lim = std::min(BR, rows - row0);
     const int64_t k0 = block_row_ptr[static_cast<std::size_t>(ib)];
@@ -415,13 +478,12 @@ template <int64_t BR, int64_t BC>
 void spmm_t_worker(const std::vector<int64_t>& block_row_ptr,
                    const std::vector<int32_t>& block_col_idx,
                    const std::vector<float>& values, int64_t rows, int64_t cols,
-                   const float* bp, int64_t m, float* cp) {
-  const int64_t mb = static_cast<int64_t>(block_row_ptr.size()) - 1;
+                   const float* bp, int64_t m, float* cp, int64_t ib0, int64_t ib1) {
   double acc[BR];
   for (int64_t i = 0; i < m; ++i) {
     const float* brow = bp + i * cols;
     float* crow = cp + i * rows;
-    for (int64_t ib = 0; ib < mb; ++ib) {
+    for (int64_t ib = ib0; ib < ib1; ++ib) {
       const int64_t row0 = ib * BR;
       const int64_t r_lim = std::min(BR, rows - row0);
       for (int64_t r = 0; r < BR; ++r) acc[r] = 0.0;
@@ -464,7 +526,7 @@ void spmm_t_worker(const std::vector<int64_t>& block_row_ptr,
 // way — only the unrolling differs.
 using SpmmFn = void (*)(const std::vector<int64_t>&, const std::vector<int32_t>&,
                         const std::vector<float>&, int64_t, int64_t, const float*, int64_t,
-                        float*);
+                        float*, int64_t, int64_t);
 
 SpmmFn pick_spmm(int64_t br, int64_t bc) {
   if (br == 4 && bc == 4) return &spmm_worker<4, 4>;
@@ -488,10 +550,9 @@ SpmmFn pick_spmm_t(int64_t br, int64_t bc) {
 void spmm_generic(const std::vector<int64_t>& block_row_ptr,
                   const std::vector<int32_t>& block_col_idx, const std::vector<float>& values,
                   int64_t rows, int64_t cols, int64_t br, int64_t bc, const float* bp,
-                  int64_t n, float* cp) {
-  const int64_t mb = static_cast<int64_t>(block_row_ptr.size()) - 1;
+                  int64_t n, float* cp, int64_t ib0, int64_t ib1) {
   std::vector<float> acc(static_cast<std::size_t>(br * kStrip));
-  for (int64_t ib = 0; ib < mb; ++ib) {
+  for (int64_t ib = ib0; ib < ib1; ++ib) {
     const int64_t row0 = ib * br;
     const int64_t r_lim = std::min(br, rows - row0);
     const int64_t k0 = block_row_ptr[static_cast<std::size_t>(ib)];
@@ -527,13 +588,13 @@ void spmm_generic(const std::vector<int64_t>& block_row_ptr,
 void spmm_t_generic(const std::vector<int64_t>& block_row_ptr,
                     const std::vector<int32_t>& block_col_idx,
                     const std::vector<float>& values, int64_t rows, int64_t cols, int64_t br,
-                    int64_t bc, const float* bp, int64_t m, float* cp) {
-  const int64_t mb = static_cast<int64_t>(block_row_ptr.size()) - 1;
+                    int64_t bc, const float* bp, int64_t m, float* cp, int64_t ib0,
+                    int64_t ib1) {
   std::vector<double> acc(static_cast<std::size_t>(br));
   for (int64_t i = 0; i < m; ++i) {
     const float* brow = bp + i * cols;
     float* crow = cp + i * rows;
-    for (int64_t ib = 0; ib < mb; ++ib) {
+    for (int64_t ib = ib0; ib < ib1; ++ib) {
       const int64_t row0 = ib * br;
       const int64_t r_lim = std::min(br, rows - row0);
       std::fill(acc.begin(), acc.begin() + r_lim, 0.0);
@@ -567,12 +628,12 @@ void spmm_t_generic(const std::vector<int64_t>& block_row_ptr,
 /// quantised execution.
 void spmm_quant(const QuantPlane& plane, const std::vector<int64_t>& block_row_ptr,
                 const std::vector<int32_t>& block_col_idx, int64_t rows, int64_t cols,
-                int64_t br, int64_t bc, const float* bp, int64_t n, float* cp) {
-  const int64_t mb = static_cast<int64_t>(block_row_ptr.size()) - 1;
+                int64_t br, int64_t bc, const float* bp, int64_t n, float* cp, int64_t ib0,
+                int64_t ib1) {
   const int64_t bs = br * bc;
   std::vector<float> acc(static_cast<std::size_t>(br * kStrip));
   std::vector<float> drow_blocks;
-  for (int64_t ib = 0; ib < mb; ++ib) {
+  for (int64_t ib = ib0; ib < ib1; ++ib) {
     const int64_t row0 = ib * br;
     const int64_t r_lim = std::min(br, rows - row0);
     const int64_t k0 = block_row_ptr[static_cast<std::size_t>(ib)];
@@ -619,14 +680,14 @@ void spmm_quant(const QuantPlane& plane, const std::vector<int64_t>& block_row_p
 /// nonzero zero-point and is shared across the block's rows.
 void spmm_t_quant(const QuantPlane& plane, const std::vector<int64_t>& block_row_ptr,
                   const std::vector<int32_t>& block_col_idx, int64_t rows, int64_t cols,
-                  int64_t br, int64_t bc, const float* bp, int64_t m, float* cp) {
-  const int64_t mb = static_cast<int64_t>(block_row_ptr.size()) - 1;
+                  int64_t br, int64_t bc, const float* bp, int64_t m, float* cp, int64_t ib0,
+                  int64_t ib1) {
   const int64_t bs = br * bc;
   std::vector<double> acc(static_cast<std::size_t>(br));
   for (int64_t i = 0; i < m; ++i) {
     const float* brow = bp + i * cols;
     float* crow = cp + i * rows;
-    for (int64_t ib = 0; ib < mb; ++ib) {
+    for (int64_t ib = ib0; ib < ib1; ++ib) {
       const int64_t row0 = ib * br;
       const int64_t r_lim = std::min(br, rows - row0);
       std::fill(acc.begin(), acc.begin() + r_lim, 0.0);
@@ -661,41 +722,54 @@ void spmm_t_quant(const QuantPlane& plane, const std::vector<int64_t>& block_row
 
 }  // namespace
 
-Tensor Bcsr::spmm(const Tensor& b) const {
+Tensor Bcsr::spmm(const Tensor& b, util::ThreadPool* pool) const {
   if (b.rank() != 2 || b.dim(0) != cols_) {
     throw std::invalid_argument("Bcsr::spmm: expected B [" + std::to_string(cols_) +
                                 ", n], got " + b.shape().str());
   }
   const int64_t n = b.dim(1);
   Tensor c(Shape{rows_, n});
-  if (quant_.present()) {
-    spmm_quant(quant_, block_row_ptr_, block_col_idx_, rows_, cols_, block_rows_,
-               block_cols_, b.data(), n, c.data());
-  } else if (const SpmmFn fn = pick_spmm(block_rows_, block_cols_)) {
-    fn(block_row_ptr_, block_col_idx_, values_, rows_, cols_, b.data(), n, c.data());
-  } else {
-    spmm_generic(block_row_ptr_, block_col_idx_, values_, rows_, cols_, block_rows_,
-                 block_cols_, b.data(), n, c.data());
-  }
+  const int64_t mb = block_row_count();
+  const auto range = [&](int64_t ib0, int64_t ib1) {
+    if (quant_.present()) {
+      spmm_quant(quant_, block_row_ptr_, block_col_idx_, rows_, cols_, block_rows_,
+                 block_cols_, b.data(), n, c.data(), ib0, ib1);
+    } else if (const SpmmFn fn = pick_spmm(block_rows_, block_cols_)) {
+      fn(block_row_ptr_, block_col_idx_, values_, rows_, cols_, b.data(), n, c.data(), ib0,
+         ib1);
+    } else {
+      spmm_generic(block_row_ptr_, block_col_idx_, values_, rows_, cols_, block_rows_,
+                   block_cols_, b.data(), n, c.data(), ib0, ib1);
+    }
+  };
+  // Block rows are the partition unit; stored blocks per block row (the
+  // block_row_ptr prefix sums) are proportional to the dense-micro-block
+  // FLOPs, so the balanced split equalizes real work.
+  util::parallel_balanced(pool, block_row_ptr_.data(), mb, stored_values() * n, range);
   return c;
 }
 
-Tensor Bcsr::spmm_t(const Tensor& b) const {
+Tensor Bcsr::spmm_t(const Tensor& b, util::ThreadPool* pool) const {
   if (b.rank() != 2 || b.dim(1) != cols_) {
     throw std::invalid_argument("Bcsr::spmm_t: expected B [m, " + std::to_string(cols_) +
                                 "], got " + b.shape().str());
   }
   const int64_t m = b.dim(0);
   Tensor c(Shape{m, rows_});
-  if (quant_.present()) {
-    spmm_t_quant(quant_, block_row_ptr_, block_col_idx_, rows_, cols_, block_rows_,
-                 block_cols_, b.data(), m, c.data());
-  } else if (const SpmmFn fn = pick_spmm_t(block_rows_, block_cols_)) {
-    fn(block_row_ptr_, block_col_idx_, values_, rows_, cols_, b.data(), m, c.data());
-  } else {
-    spmm_t_generic(block_row_ptr_, block_col_idx_, values_, rows_, cols_, block_rows_,
-                   block_cols_, b.data(), m, c.data());
-  }
+  const int64_t mb = block_row_count();
+  const auto range = [&](int64_t ib0, int64_t ib1) {
+    if (quant_.present()) {
+      spmm_t_quant(quant_, block_row_ptr_, block_col_idx_, rows_, cols_, block_rows_,
+                   block_cols_, b.data(), m, c.data(), ib0, ib1);
+    } else if (const SpmmFn fn = pick_spmm_t(block_rows_, block_cols_)) {
+      fn(block_row_ptr_, block_col_idx_, values_, rows_, cols_, b.data(), m, c.data(), ib0,
+         ib1);
+    } else {
+      spmm_t_generic(block_row_ptr_, block_col_idx_, values_, rows_, cols_, block_rows_,
+                     block_cols_, b.data(), m, c.data(), ib0, ib1);
+    }
+  };
+  util::parallel_balanced(pool, block_row_ptr_.data(), mb, stored_values() * m, range);
   return c;
 }
 

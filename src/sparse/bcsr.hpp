@@ -16,6 +16,7 @@
 #include "sparse/quant.hpp"
 #include "sparse/structured.hpp"
 #include "tensor/tensor.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ndsnn::sparse {
 
@@ -88,25 +89,37 @@ class Bcsr {
   /// the block storage, double products/adds in ascending column order.
   /// Explicit in-block zeros contribute exact no-ops, so float(acc)
   /// bitwise-matches Bcsr::spmm_t / Csr::spmm_t / matmul_nt on W.
-  /// `acc` must hold cols() zeros on entry.
+  /// `acc` must hold cols() zeros on entry. `iacc` (cols() int32 slots)
+  /// enables the binary-spike int32 fast path on uniform-scale
+  /// quantised planes, mirroring Csr::spmv_gather.
   void spmv_gather(const float* x, const int32_t* active, int64_t n_active,
-                   double* acc) const;
+                   double* acc, int32_t* iacc = nullptr) const;
 
   /// Scatter one row scaled by x: out[col * out_stride] += value * x for
   /// the stored entries of `row` (float adds, ascending column order).
   /// The event-driven conv path uses this with `this` = Wᵀ [C*K*K, F].
   void scatter_row(int64_t row, float x, float* out, int64_t out_stride) const;
 
+  /// scatter_row restricted to columns in [col_begin, col_end) — the
+  /// output-channel-strip form the parallel event conv path dispatches.
+  void scatter_row_range(int64_t row, float x, float* out, int64_t out_stride,
+                         int64_t col_begin, int64_t col_end) const;
+
   /// C[rows, n] = A * B for dense B [cols, n] (conv lowering). Per
   /// output element the contributions accumulate in ascending column
   /// order with float adds, exactly like Csr::spmm and the zero-skipping
-  /// dense matmul, so all three backends agree bitwise.
-  [[nodiscard]] tensor::Tensor spmm(const tensor::Tensor& b) const;
+  /// dense matmul, so all three backends agree bitwise. With a pool the
+  /// block rows are partitioned into stored-block-balanced ranges
+  /// (prefix sums over block_row_ptr); each output block row keeps its
+  /// serial order, so results are lane-count independent.
+  [[nodiscard]] tensor::Tensor spmm(const tensor::Tensor& b,
+                                    util::ThreadPool* pool = nullptr) const;
 
   /// C[m, rows] = B * Aᵀ for dense B [m, cols] (linear layers). Double
   /// accumulator in ascending column order, bitwise-matching
-  /// tensor::matmul_nt and Csr::spmm_t.
-  [[nodiscard]] tensor::Tensor spmm_t(const tensor::Tensor& b) const;
+  /// tensor::matmul_nt and Csr::spmm_t. Pool semantics mirror spmm.
+  [[nodiscard]] tensor::Tensor spmm_t(const tensor::Tensor& b,
+                                      util::ThreadPool* pool = nullptr) const;
 
   /// Quantise the value plane in place with one scale/zero-point per
   /// *stored block* (symmetric by default). Mirrors Csr::quantize: the
@@ -114,7 +127,9 @@ class Bcsr {
   /// quantised variant (no bitwise contract, only the QuantPlane error
   /// bound), and transposed() must run before quantize. Returns the
   /// max-abs reconstruction error; no-op returning 0 for kFp32.
-  float quantize(Precision precision, bool symmetric = true);
+  /// `uniform_scale` shares one plane-wide scale across all stored
+  /// blocks (the binary-spike gather fast path's precondition).
+  float quantize(Precision precision, bool symmetric = true, bool uniform_scale = false);
 
   /// Inverse companion of quantize(), mirroring Csr::dequantize:
   /// materialize the dequantised fp32 block values and drop the plane.

@@ -1,16 +1,17 @@
 #include "sparse/csr.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace ndsnn::sparse {
 
-float Csr::quantize(Precision precision, bool symmetric) {
+float Csr::quantize(Precision precision, bool symmetric, bool uniform_scale) {
   if (precision == Precision::kFp32) return 0.0F;
   if (quant_.present()) throw std::logic_error("Csr::quantize: already quantised");
   float err = 0.0F;
   quant_ = quantize_grouped(values_.data(), row_ptr_.data(), rows_, precision, symmetric,
-                            &err);
+                            &err, uniform_scale);
   values_.clear();
   values_.shrink_to_fit();
   return err;
@@ -117,8 +118,32 @@ Csr Csr::transposed() const {
 }
 
 void Csr::spmv_gather(const float* x, const int32_t* active, int64_t n_active,
-                      double* acc) const {
+                      double* acc, int32_t* iacc) const {
   if (quant_.present()) {
+    // Binary-spike fast path: with one plane-wide scale (uniform) and a
+    // zero zero-point, {0,1} activations make every contribution a raw
+    // code, so the whole gather is int32 adds plus one scale multiply
+    // per output. Gate on the actual activation values — a forced event
+    // mode can route analog inputs here.
+    if (quant_.uniform && iacc != nullptr && n_active > 0 && quant_.zero[0] == 0) {
+      bool binary = true;
+      for (int64_t a = 0; a < n_active; ++a) binary &= x[active[a]] == 1.0F;
+      if (binary) {
+        std::fill(iacc, iacc + cols_, 0);
+        for (int64_t a = 0; a < n_active; ++a) {
+          const auto j = static_cast<std::size_t>(active[a]);
+          for (int64_t k = row_ptr_[j]; k < row_ptr_[j + 1]; ++k) {
+            iacc[col_idx_[static_cast<std::size_t>(k)]] +=
+                static_cast<int32_t>(quant_.code(k));
+          }
+        }
+        const double s = static_cast<double>(quant_.scale[0]);
+        for (int64_t c = 0; c < cols_; ++c) {
+          if (iacc[c] != 0) acc[c] += s * static_cast<double>(iacc[c]);
+        }
+        return;
+      }
+    }
     // `this` is Wᵀ, so a group (row) is one input feature: fold its
     // scale into the activation once per active input, then each term
     // is a small-int multiply-add.
@@ -161,6 +186,28 @@ void Csr::scatter_row(int64_t row, float x, float* out, int64_t out_stride) cons
   }
 }
 
+void Csr::scatter_row_range(int64_t row, float x, float* out, int64_t out_stride,
+                            int64_t col_begin, int64_t col_end) const {
+  const int64_t k0 = row_ptr_[static_cast<std::size_t>(row)];
+  const int64_t k1 = row_ptr_[static_cast<std::size_t>(row) + 1];
+  // Columns are ascending within the row: binary-search the strip start,
+  // walk until the strip ends.
+  const int32_t* cb = col_idx_.data();
+  int64_t k = std::lower_bound(cb + k0, cb + k1, static_cast<int32_t>(col_begin)) - cb;
+  if (quant_.present()) {
+    const float xs = quant_.scale[static_cast<std::size_t>(row)] * x;
+    const int zp = quant_.zero[static_cast<std::size_t>(row)];
+    for (; k < k1 && cb[k] < col_end; ++k) {
+      out[static_cast<int64_t>(cb[k]) * out_stride] +=
+          static_cast<float>(static_cast<int>(quant_.code(k)) - zp) * xs;
+    }
+    return;
+  }
+  for (; k < k1 && cb[k] < col_end; ++k) {
+    out[static_cast<int64_t>(cb[k]) * out_stride] += values_[static_cast<std::size_t>(k)] * x;
+  }
+}
+
 std::vector<float> Csr::matvec(const std::vector<float>& x) const {
   if (static_cast<int64_t>(x.size()) != cols_) {
     throw std::invalid_argument("Csr::matvec: x size mismatch");
@@ -191,22 +238,14 @@ std::vector<float> Csr::matvec(const std::vector<float>& x) const {
   return y;
 }
 
-tensor::Tensor Csr::spmm(const tensor::Tensor& b) const {
-  if (b.rank() != 2 || b.dim(0) != cols_) {
-    throw std::invalid_argument("Csr::spmm: expected B [" + std::to_string(cols_) +
-                                ", n], got " + b.shape().str());
-  }
-  const int64_t n = b.dim(1);
-  tensor::Tensor c(tensor::Shape{rows_, n});
-  const float* bp = b.data();
-  float* cp = c.data();
+void Csr::spmm_range(int64_t r0, int64_t r1, const float* bp, int64_t n, float* cp) const {
   if (quant_.present()) {
     // Accumulate raw-code axpys into row r, then dequantise the row
     // once: C[r, :] = scale_r * (sum_k q_k B[col_k, :] - zero_r * sum_k
     // B[col_k, :]). The zero-point sum is skipped entirely for the
     // symmetric planes the runtime builds.
     std::vector<float> xrow;
-    for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t r = r0; r < r1; ++r) {
       const int64_t k0 = row_ptr_[static_cast<std::size_t>(r)];
       const int64_t k1 = row_ptr_[static_cast<std::size_t>(r) + 1];
       if (k0 == k1) continue;
@@ -236,11 +275,11 @@ tensor::Tensor Csr::spmm(const tensor::Tensor& b) const {
         for (int64_t j = 0; j < n; ++j) crow[j] *= s;
       }
     }
-    return c;
+    return;
   }
   // Row-major streaming: each nonzero A[r, col] scales one full row of B
   // into row r of C, so the inner loop is a contiguous axpy.
-  for (int64_t r = 0; r < rows_; ++r) {
+  for (int64_t r = r0; r < r1; ++r) {
     float* crow = cp + r * n;
     for (int64_t k = row_ptr_[static_cast<std::size_t>(r)];
          k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
@@ -249,6 +288,21 @@ tensor::Tensor Csr::spmm(const tensor::Tensor& b) const {
       for (int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
     }
   }
+}
+
+tensor::Tensor Csr::spmm(const tensor::Tensor& b, util::ThreadPool* pool) const {
+  if (b.rank() != 2 || b.dim(0) != cols_) {
+    throw std::invalid_argument("Csr::spmm: expected B [" + std::to_string(cols_) +
+                                ", n], got " + b.shape().str());
+  }
+  const int64_t n = b.dim(1);
+  tensor::Tensor c(tensor::Shape{rows_, n});
+  const float* bp = b.data();
+  float* cp = c.data();
+  // Output rows are independent: nnz-balanced row ranges (prefix sums
+  // over row_ptr, so a dense-heavy row does not serialize its chunk).
+  util::parallel_balanced(pool, row_ptr_.data(), rows_, nnz() * n,
+                          [&](int64_t r0, int64_t r1) { spmm_range(r0, r1, bp, n, cp); });
   return c;
 }
 
@@ -319,22 +373,14 @@ inline float spmm_t_row_quant(const QuantPlane& plane, int64_t g, int64_t k0, in
 
 }  // namespace
 
-tensor::Tensor Csr::spmm_t(const tensor::Tensor& b) const {
-  if (b.rank() != 2 || b.dim(1) != cols_) {
-    throw std::invalid_argument("Csr::spmm_t: expected B [m, " + std::to_string(cols_) +
-                                "], got " + b.shape().str());
-  }
-  const int64_t m = b.dim(0);
-  tensor::Tensor c(tensor::Shape{m, rows_});
-  const float* bp = b.data();
-  float* cp = c.data();
+void Csr::spmm_t_range(int64_t r0, int64_t r1, const float* bp, int64_t m, float* cp) const {
   if (quant_.present()) {
     bool any_zero = false;
     for (const int8_t z : quant_.zero) any_zero |= z != 0;
     for (int64_t i = 0; i < m; ++i) {
       const float* brow = bp + i * cols_;
       float* crow = cp + i * rows_;
-      for (int64_t r = 0; r < rows_; ++r) {
+      for (int64_t r = r0; r < r1; ++r) {
         const int64_t k0 = row_ptr_[static_cast<std::size_t>(r)];
         const int64_t k1 = row_ptr_[static_cast<std::size_t>(r) + 1];
         const float scale = quant_.scale[static_cast<std::size_t>(r)];
@@ -346,14 +392,14 @@ tensor::Tensor Csr::spmm_t(const tensor::Tensor& b) const {
                                       scale);
       }
     }
-    return c;
+    return;
   }
   // One dense row of B is reused across every CSR row, so keep the batch
   // loop outermost and gather within the row.
   for (int64_t i = 0; i < m; ++i) {
     const float* brow = bp + i * cols_;
     float* crow = cp + i * rows_;
-    for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t r = r0; r < r1; ++r) {
       // Double accumulator to mirror matmul_nt, which the dense linear
       // path uses; keeps sparse and dense logits numerically close.
       double acc = 0.0;
@@ -365,6 +411,21 @@ tensor::Tensor Csr::spmm_t(const tensor::Tensor& b) const {
       crow[r] = static_cast<float>(acc);
     }
   }
+}
+
+tensor::Tensor Csr::spmm_t(const tensor::Tensor& b, util::ThreadPool* pool) const {
+  if (b.rank() != 2 || b.dim(1) != cols_) {
+    throw std::invalid_argument("Csr::spmm_t: expected B [m, " + std::to_string(cols_) +
+                                "], got " + b.shape().str());
+  }
+  const int64_t m = b.dim(0);
+  tensor::Tensor c(tensor::Shape{m, rows_});
+  const float* bp = b.data();
+  float* cp = c.data();
+  // Partition the CSR rows (columns of C): each chunk writes a disjoint
+  // column strip of every C row, with the per-element order unchanged.
+  util::parallel_balanced(pool, row_ptr_.data(), rows_, nnz() * m,
+                          [&](int64_t r0, int64_t r1) { spmm_t_range(r0, r1, bp, m, cp); });
   return c;
 }
 

@@ -12,6 +12,7 @@
 
 #include "sparse/quant.hpp"
 #include "tensor/tensor.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ndsnn::sparse {
 
@@ -47,8 +48,15 @@ class Csr {
   /// restricted to the nonzero x[j], and skipped zero terms are exact
   /// no-ops on the accumulator — so float(acc) is bitwise identical to
   /// the dense-activation result. `acc` must hold cols() zeros on entry.
+  ///
+  /// `iacc` (cols() int32 slots, any contents — the kernel zeroes them)
+  /// enables the binary-spike fast path on uniform-scale quantised
+  /// planes: when every active x[j] == 1.0 the raw codes are summed in
+  /// int32 and the shared scale applied once per output, removing the
+  /// per-active-input dequantise multiply. Null, non-binary input, or a
+  /// per-row-scaled plane all fall back to the general path.
   void spmv_gather(const float* x, const int32_t* active, int64_t n_active,
-                   double* acc) const;
+                   double* acc, int32_t* iacc = nullptr) const;
 
   /// Scatter one row scaled by x: out[col * out_stride] += value * x for
   /// every nonzero of `row`. Float adds, ascending column order. The
@@ -56,16 +64,31 @@ class Csr {
   /// row = patch column, out_stride = OH*OW.
   void scatter_row(int64_t row, float x, float* out, int64_t out_stride) const;
 
+  /// scatter_row restricted to columns in [col_begin, col_end): the
+  /// ranged form the event-driven conv path uses to partition work by
+  /// output channel — each chunk owns a disjoint channel strip, and
+  /// within a strip the per-output accumulation order is unchanged.
+  void scatter_row_range(int64_t row, float x, float* out, int64_t out_stride,
+                         int64_t col_begin, int64_t col_end) const;
+
   /// y[rows] = A * x[cols] (sparse mat-vec).
   [[nodiscard]] std::vector<float> matvec(const std::vector<float>& x) const;
 
   /// C[rows, n] = A * B for dense B [cols, n] (the "N" variant; conv
-  /// lowering: W_csr[F, CKK] * cols[CKK, L]).
-  [[nodiscard]] tensor::Tensor spmm(const tensor::Tensor& b) const;
+  /// lowering: W_csr[F, CKK] * cols[CKK, L]). With a pool, the rows are
+  /// partitioned into nnz-balanced ranges (prefix sums over row_ptr) and
+  /// computed in parallel; each output row keeps its serial accumulation
+  /// order, so results are bitwise lane-count-independent. Work below
+  /// util::kMinParallelWork stays serial.
+  [[nodiscard]] tensor::Tensor spmm(const tensor::Tensor& b,
+                                    util::ThreadPool* pool = nullptr) const;
 
   /// C[m, rows] = B * Aᵀ for dense B [m, cols] (the "T" variant; linear
-  /// layers: x[M, in] * Wᵀ with W stored CSR [out, in]).
-  [[nodiscard]] tensor::Tensor spmm_t(const tensor::Tensor& b) const;
+  /// layers: x[M, in] * Wᵀ with W stored CSR [out, in]). Pool semantics
+  /// mirror spmm: the CSR rows (columns of C) are nnz-balance
+  /// partitioned, each C element still accumulates serially.
+  [[nodiscard]] tensor::Tensor spmm_t(const tensor::Tensor& b,
+                                      util::ThreadPool* pool = nullptr) const;
 
   /// Quantise the value plane in place: int8 or packed-int4 codes with
   /// one scale/zero-point per row (symmetric by default, so all
@@ -81,7 +104,11 @@ class Csr {
   /// std::logic_error when already quantised; no-op returning 0 for
   /// kFp32. transposed() must be called *before* quantize (the runtime
   /// quantises the final execution-orientation structure).
-  float quantize(Precision precision, bool symmetric = true);
+  /// `uniform_scale` shares one plane-wide scale across all rows (see
+  /// sparse::quantize_grouped) — what the runtime requests for
+  /// event-path gather structures so binary spike batches can take the
+  /// int32 fast path in spmv_gather.
+  float quantize(Precision precision, bool symmetric = true, bool uniform_scale = false);
 
   /// Inverse companion of quantize(): materialize the *dequantised*
   /// fp32 values and drop the plane, so the bitwise fp32 kernels above
@@ -113,6 +140,12 @@ class Csr {
   [[nodiscard]] const std::vector<float>& values() const { return values_; }
 
  private:
+  /// Row-range bodies of spmm/spmm_t (fp32 and quantised): the units the
+  /// pool dispatches. Each runs rows [r0, r1) exactly like the serial
+  /// kernel.
+  void spmm_range(int64_t r0, int64_t r1, const float* bp, int64_t n, float* cp) const;
+  void spmm_t_range(int64_t r0, int64_t r1, const float* bp, int64_t m, float* cp) const;
+
   int64_t rows_ = 0, cols_ = 0;
   std::vector<int64_t> row_ptr_;
   std::vector<int32_t> col_idx_;

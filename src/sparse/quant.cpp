@@ -53,13 +53,19 @@ int encode_one(float v, const GroupParams& gp, int qmin, int qmax) {
 template <typename GroupBounds>
 QuantPlane build_plane(const float* values, int64_t groups, int64_t value_count,
                        Precision precision, bool symmetric, float* max_abs_error,
-                       const GroupBounds& bounds) {
+                       bool uniform_scale, const GroupBounds& bounds) {
   if (precision == Precision::kFp32) {
     throw std::invalid_argument("quantize: kFp32 is the absence of a plane");
   }
   QuantPlane plane;
   plane.precision = precision;
   plane.value_count = value_count;
+  plane.uniform = uniform_scale;
+  // Uniform mode: one scale/zero over the whole plane, replicated per
+  // group so kernels keep indexing scale[g] without a special case.
+  const GroupParams shared =
+      uniform_scale ? group_params(values, value_count, precision, symmetric)
+                    : GroupParams{};
   plane.scale.resize(static_cast<std::size_t>(groups));
   plane.zero.resize(static_cast<std::size_t>(groups));
   if (precision == Precision::kInt8) {
@@ -74,7 +80,9 @@ QuantPlane build_plane(const float* values, int64_t groups, int64_t value_count,
   float worst = 0.0F;
   for (int64_t g = 0; g < groups; ++g) {
     const auto [lo_k, hi_k] = bounds(g);
-    const GroupParams gp = group_params(values + lo_k, hi_k - lo_k, precision, symmetric);
+    const GroupParams gp =
+        uniform_scale ? shared
+                      : group_params(values + lo_k, hi_k - lo_k, precision, symmetric);
     plane.scale[static_cast<std::size_t>(g)] = gp.scale;
     plane.zero[static_cast<std::size_t>(g)] = static_cast<int8_t>(gp.zero);
     for (int64_t k = lo_k; k < hi_k; ++k) {
@@ -129,24 +137,26 @@ int64_t QuantPlane::memory_bytes() const {
 }
 
 QuantPlane quantize_grouped(const float* values, const int64_t* group_ptr, int64_t groups,
-                            Precision precision, bool symmetric, float* max_abs_error) {
+                            Precision precision, bool symmetric, float* max_abs_error,
+                            bool uniform_scale) {
   return build_plane(values, groups, group_ptr[groups], precision, symmetric, max_abs_error,
-                     [group_ptr](int64_t g) {
+                     uniform_scale, [group_ptr](int64_t g) {
                        return std::pair<int64_t, int64_t>{group_ptr[g], group_ptr[g + 1]};
                      });
 }
 
 QuantPlane quantize_fixed(const float* values, int64_t groups, int64_t group_size,
-                          Precision precision, bool symmetric, float* max_abs_error) {
+                          Precision precision, bool symmetric, float* max_abs_error,
+                          bool uniform_scale) {
   return build_plane(values, groups, groups * group_size, precision, symmetric,
-                     max_abs_error, [group_size](int64_t g) {
+                     max_abs_error, uniform_scale, [group_size](int64_t g) {
                        return std::pair<int64_t, int64_t>{g * group_size,
                                                           (g + 1) * group_size};
                      });
 }
 
 float relative_quant_error(const tensor::Tensor& weights, Precision precision,
-                           float threshold) {
+                           float threshold, bool uniform_scale) {
   if (precision == Precision::kFp32 || weights.numel() == 0) return 0.0F;
   if (weights.rank() < 1) return 0.0F;
   const int64_t rows = weights.dim(0);
@@ -154,7 +164,15 @@ float relative_quant_error(const tensor::Tensor& weights, Precision precision,
   const int64_t cols = weights.numel() / rows;
   const float* w = weights.data();
   const int qmax = qmax_for(precision);
-  float worst = 0.0F, global_max = 0.0F;
+  float global_max = 0.0F;
+  if (uniform_scale) {
+    for (int64_t i = 0; i < rows * cols; ++i) {
+      const float a = std::fabs(w[i]);
+      if (a > threshold) global_max = std::max(global_max, a);
+    }
+    if (global_max == 0.0F) return 0.0F;
+  }
+  float worst = 0.0F;
   for (int64_t r = 0; r < rows; ++r) {
     const float* row = w + r * cols;
     float row_max = 0.0F;
@@ -164,7 +182,7 @@ float relative_quant_error(const tensor::Tensor& weights, Precision precision,
     }
     if (row_max == 0.0F) continue;
     global_max = std::max(global_max, row_max);
-    const float scale = row_max / static_cast<float>(qmax);
+    const float scale = (uniform_scale ? global_max : row_max) / static_cast<float>(qmax);
     for (int64_t c = 0; c < cols; ++c) {
       if (std::fabs(row[c]) <= threshold) continue;
       const int q = std::clamp(static_cast<int>(std::lrintf(row[c] / scale)), -qmax, qmax);

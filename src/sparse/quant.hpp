@@ -53,6 +53,12 @@ struct QuantPlane {
   std::vector<uint8_t> q4;
   std::vector<float> scale;  ///< one per group
   std::vector<int8_t> zero;  ///< one per group (all 0 in symmetric mode)
+  /// True when every group shares one plane-wide scale/zero-point
+  /// (still replicated per group so kernels index scale[g] uniformly).
+  /// This is what licenses the binary-spike gather fast path: with a
+  /// j-independent scale, {0,1} activations let spmv_gather sum raw
+  /// codes in int32 and dequantise once per output.
+  bool uniform = false;
 
   [[nodiscard]] bool present() const { return precision != Precision::kFp32; }
 
@@ -79,17 +85,25 @@ struct QuantPlane {
 /// mode uses scale = max|v| / qmax and zero = 0; affine mode maps
 /// [min(v, 0), max(v, 0)] onto the signed code range with a zero-point.
 /// `max_abs_error`, when non-null, receives the largest |dequant - v|.
+/// With `uniform_scale` every group takes one plane-wide scale/zero
+/// (computed over all values, replicated per group, QuantPlane::uniform
+/// set): the per-value error bound becomes scale/2 with
+/// scale = global max|v| / qmax — the same 1/(2*qmax) bound *relative
+/// to the global max* that per-group scaling gives, traded for the
+/// int32 binary-spike gather fast path.
 [[nodiscard]] QuantPlane quantize_grouped(const float* values, const int64_t* group_ptr,
                                           int64_t groups, Precision precision,
                                           bool symmetric = true,
-                                          float* max_abs_error = nullptr);
+                                          float* max_abs_error = nullptr,
+                                          bool uniform_scale = false);
 
 /// Same with equal-sized groups of `group_size` values (the Bcsr stored
 /// block layout). value_count = groups * group_size.
 [[nodiscard]] QuantPlane quantize_fixed(const float* values, int64_t groups,
                                         int64_t group_size, Precision precision,
                                         bool symmetric = true,
-                                        float* max_abs_error = nullptr);
+                                        float* max_abs_error = nullptr,
+                                        bool uniform_scale = false);
 
 /// Largest |dequant(quant(w)) - w| over the entries with |w| > threshold
 /// of the lowered [dim(0), numel/dim(0)] weight tensor, quantised with
@@ -97,8 +111,13 @@ struct QuantPlane {
 /// (0 when the tensor has no surviving entry, or for kFp32). This is
 /// the measurement the runtime's precision heuristic bounds: per-row
 /// symmetric int8 lands near 1/254 ~ 0.4%, int4 near 1/14 ~ 7%.
+/// `uniform_scale` measures one plane-wide scale instead (the scheme
+/// the event-path gather structures actually build): same 1/(2*qmax)
+/// worst case, but the *measured* value can sit anywhere under it, so
+/// the heuristic must measure the scheme it will emit.
 [[nodiscard]] float relative_quant_error(const tensor::Tensor& weights, Precision precision,
-                                         float threshold = 0.0F);
+                                         float threshold = 0.0F,
+                                         bool uniform_scale = false);
 
 /// Quantise-dequantise the tensor in place with one symmetric scale per
 /// lowered row — the exact transformation Csr::quantize applies to the

@@ -13,7 +13,7 @@ void check_rank2(const Tensor& t, const char* name) {
 }
 }  // namespace
 
-void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c, util::ThreadPool* pool) {
   check_rank2(a, "A");
   check_rank2(b, "B");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
@@ -24,22 +24,26 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // i-k-j ordering: unit-stride inner loop over B and C rows.
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    const float* arow = pa + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aval = arow[kk];
-      if (aval == 0.0F) continue;  // sparse weights: skip pruned entries
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+  // i-k-j ordering: unit-stride inner loop over B and C rows. Rows of C
+  // are independent, so the pooled path hands each chunk a row range.
+  const auto rows = [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      float* crow = pc + i * n;
+      const float* arow = pa + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aval = arow[kk];
+        if (aval == 0.0F) continue;  // sparse weights: skip pruned entries
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+      }
     }
-  }
+  };
+  util::parallel_even(pool, 0, m, m * k * n, rows);
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+Tensor matmul(const Tensor& a, const Tensor& b, util::ThreadPool* pool) {
   Tensor c(Shape{a.dim(0), b.dim(1)});
-  matmul_acc(a, b, c);
+  matmul_acc(a, b, c, pool);
   return c;
 }
 
@@ -72,7 +76,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c, util::ThreadPool* pool) {
   check_rank2(a, "A");
   check_rank2(b, "B");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
@@ -83,21 +87,24 @@ void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
-      crow[j] += static_cast<float>(acc);
+  const auto rows = [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        double acc = 0.0;
+        for (int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
+        crow[j] += static_cast<float>(acc);
+      }
     }
-  }
+  };
+  util::parallel_even(pool, 0, m, m * k * n, rows);
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+Tensor matmul_nt(const Tensor& a, const Tensor& b, util::ThreadPool* pool) {
   Tensor c(Shape{a.dim(0), b.dim(0)});
-  matmul_nt_acc(a, b, c);
+  matmul_nt_acc(a, b, c, pool);
   return c;
 }
 

@@ -5,21 +5,31 @@
 // matmul_nt:   C[M,N]  = A[M,K] * Bᵀ (B is [N,K])
 //
 // Blocked i-k-j loops; good enough for the CPU-scale experiments here.
+//
+// matmul and matmul_nt (the two kernels the inference runtime's dense
+// fallback ops run) optionally take a util::ThreadPool and partition by
+// output row of C. Each C row is produced by exactly one chunk with the
+// unchanged serial accumulation order, so the pooled results are
+// bitwise identical to the serial ones for any lane count; small
+// products (work below util::kMinParallelWork) stay serial.
 #pragma once
 
 #include "tensor/tensor.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ndsnn::tensor {
 
-[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b,
+                            util::ThreadPool* pool = nullptr);
 [[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
-[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b,
+                               util::ThreadPool* pool = nullptr);
 
 /// C += A * B (accumulating variant used by BPTT weight-gradient sums).
-void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c, util::ThreadPool* pool = nullptr);
 /// C += Aᵀ * B
 void matmul_tn_acc(const Tensor& a, const Tensor& b, Tensor& c);
 /// C += A * Bᵀ
-void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c, util::ThreadPool* pool = nullptr);
 
 }  // namespace ndsnn::tensor

@@ -1,0 +1,169 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ndsnn::util {
+
+ThreadPool::ThreadPool(int64_t lanes) : lanes_(lanes) {
+  if (lanes < 1) {
+    throw std::invalid_argument("ThreadPool: lanes must be >= 1");
+  }
+  workers_.reserve(static_cast<std::size_t>(lanes - 1));
+  for (int64_t i = 0; i < lanes - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+int64_t ThreadPool::resolve_lanes(int64_t requested) {
+  if (requested > 0) return requested;
+  const auto hw = static_cast<int64_t>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+int64_t ThreadPool::chunks_for(int64_t work, int64_t max_chunks) const {
+  const int64_t by_work = work / kMinParallelWork;
+  return std::max<int64_t>(1, std::min({lanes_, by_work, max_chunks}));
+}
+
+int64_t chunks_for(const ThreadPool* pool, int64_t work, int64_t max_chunks) {
+  return pool == nullptr ? 1 : pool->chunks_for(work, max_chunks);
+}
+
+void ThreadPool::run_chunk(Job& job, int64_t c) {
+  try {
+    (*job.fn)(c);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(job.mu);
+    if (!job.error) job.error = std::current_exception();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(job.mu);
+    if (++job.done == job.chunks) job.cv.notify_all();
+  }
+}
+
+void ThreadPool::parallel_chunks(int64_t chunks, const std::function<void(int64_t)>& fn) {
+  if (chunks <= 0) return;
+  if (chunks == 1 || lanes_ <= 1) {
+    for (int64_t c = 0; c < chunks; ++c) fn(c);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;  // the caller blocks below, so the reference outlives the job
+  job->chunks = chunks;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(job);
+  }
+  cv_.notify_all();
+  // The caller is a lane too: steal chunks until the cursor runs out,
+  // then wait for the stragglers the workers still hold.
+  for (;;) {
+    const int64_t c = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= chunks) break;
+    run_chunk(*job, c);
+  }
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->cv.wait(lock, [&] { return job->done == job->chunks; });
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::parallel_for(int64_t begin, int64_t end, int64_t chunks,
+                              const std::function<void(int64_t, int64_t)>& fn) {
+  const std::vector<int64_t> bounds = even_bounds(begin, end, chunks);
+  parallel_chunks(static_cast<int64_t>(bounds.size()) - 1,
+                  [&](int64_t c) { fn(bounds[static_cast<std::size_t>(c)],
+                                      bounds[static_cast<std::size_t>(c) + 1]); });
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+    if (jobs_.empty()) return;  // stop_ and nothing in flight
+    auto job = jobs_.front();
+    const int64_t c = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->chunks) {
+      // Exhausted: retire it from the queue (the caller may still be
+      // waiting on completion, which run_chunk signals independently).
+      if (!jobs_.empty() && jobs_.front() == job) jobs_.pop_front();
+      continue;
+    }
+    lock.unlock();
+    run_chunk(*job, c);
+    lock.lock();
+  }
+}
+
+std::vector<int64_t> balanced_bounds(const int64_t* prefix, int64_t rows, int64_t chunks) {
+  if (chunks > rows) chunks = rows;
+  if (chunks < 1) chunks = 1;
+  std::vector<int64_t> bounds;
+  bounds.reserve(static_cast<std::size_t>(chunks) + 1);
+  bounds.push_back(0);
+  const int64_t base = prefix[0];
+  const int64_t total = prefix[rows] - base;
+  int64_t cut = 0;
+  for (int64_t c = 1; c < chunks; ++c) {
+    // Cut at the first row whose cumulative weight reaches the c-th
+    // ideal target, leaving at least one row per remaining chunk.
+    const int64_t target = base + (total * c) / chunks;
+    const int64_t max_cut = rows - (chunks - c);
+    cut = std::max(cut, bounds.back() + 1);
+    while (cut < max_cut && prefix[cut] < target) ++cut;
+    bounds.push_back(cut);
+  }
+  bounds.push_back(rows);
+  return bounds;
+}
+
+void parallel_balanced(ThreadPool* pool, const int64_t* prefix, int64_t rows, int64_t work,
+                       const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t chunks = chunks_for(pool, work, rows);
+  if (chunks <= 1) {
+    fn(0, rows);
+    return;
+  }
+  const std::vector<int64_t> bounds = balanced_bounds(prefix, rows, chunks);
+  pool->parallel_chunks(static_cast<int64_t>(bounds.size()) - 1, [&](int64_t c) {
+    fn(bounds[static_cast<std::size_t>(c)], bounds[static_cast<std::size_t>(c) + 1]);
+  });
+}
+
+void parallel_even(ThreadPool* pool, int64_t begin, int64_t end, int64_t work,
+                   const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t chunks = chunks_for(pool, work, end - begin);
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  pool->parallel_for(begin, end, chunks, fn);
+}
+
+std::vector<int64_t> even_bounds(int64_t begin, int64_t end, int64_t chunks) {
+  const int64_t extent = end - begin;
+  if (chunks > extent) chunks = extent;
+  if (chunks < 1) chunks = 1;
+  std::vector<int64_t> bounds;
+  bounds.reserve(static_cast<std::size_t>(chunks) + 1);
+  for (int64_t c = 0; c <= chunks; ++c) {
+    bounds.push_back(begin + (extent * c) / chunks);
+  }
+  return bounds;
+}
+
+}  // namespace ndsnn::util

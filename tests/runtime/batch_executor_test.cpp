@@ -141,6 +141,86 @@ TEST(BatchExecutorTest, RejectsZeroThreads) {
   EXPECT_THROW(BatchExecutor(compiled, 0), std::invalid_argument);
 }
 
+TEST(BatchExecutorTest, SplitsBudgetBetweenRequestsAndIntraOp) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 16;
+  spec.timesteps = 2;
+  spec.seed = 19;
+  const auto net = nn::make_lenet5(spec);
+  CompileOptions opts;
+  opts.num_threads = 4;
+  const CompiledNetwork pooled = CompiledNetwork::compile(*net, opts);
+  ASSERT_EQ(pooled.intra_op_threads(), 4);
+  // 8-thread budget over a 4-lane plan: 2 request workers, not 8.
+  BatchExecutor exec(pooled, 8);
+  EXPECT_EQ(exec.num_threads(), 2);
+  EXPECT_EQ(exec.intra_op_threads(), 4);
+  // Budget below the intra width still gets one worker.
+  BatchExecutor narrow(pooled, 2);
+  EXPECT_EQ(narrow.num_threads(), 1);
+}
+
+TEST(BatchExecutorTest, CoalescedResultsMatchSoloRunsBitwise) {
+  const CompiledNetwork compiled = make_compiled(23);
+  // Single-sample requests: the case coalescing exists for.
+  Rng rng(24);
+  std::vector<Tensor> requests;
+  for (int i = 0; i < 16; ++i) {
+    Tensor b(Shape{1, 1, 16, 16});
+    b.fill_uniform(rng, 0.0F, 1.0F);
+    requests.push_back(std::move(b));
+  }
+  ExecutorOptions opts;
+  opts.max_coalesce = 8;
+  opts.max_wait_us = 2000;
+  BatchExecutor exec(compiled, 2, opts);
+  const std::vector<Tensor> fused = exec.run_all(requests);
+  ASSERT_EQ(fused.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Tensor solo = compiled.run(requests[i]);
+    ASSERT_EQ(fused[i].shape(), solo.shape()) << "request " << i;
+    for (int64_t j = 0; j < solo.numel(); ++j) {
+      // Ops process batch rows independently, so fusing requests into
+      // one time-major pass must not change a single bit.
+      ASSERT_EQ(fused[i].at(j), solo.at(j)) << "request " << i << " elem " << j;
+    }
+  }
+  const ExecutorStats stats = exec.stats();
+  EXPECT_EQ(stats.requests, 16);
+  EXPECT_EQ(stats.samples, 16);
+  // With a 2ms hold-open window the queue of 16 back-to-back submits
+  // must have fused at least once.
+  EXPECT_GT(stats.fused_batches, 0);
+  EXPECT_GT(stats.coalesced_requests, 0);
+  EXPECT_LE(stats.coalesced_requests, 16);
+}
+
+TEST(BatchExecutorTest, CoalescingRespectsSampleCapAndShapeBoundary) {
+  const CompiledNetwork compiled = make_compiled(27);
+  ExecutorOptions opts;
+  opts.max_coalesce = 4;
+  opts.max_wait_us = 0;  // fuse only what is already queued
+  BatchExecutor exec(compiled, 1, opts);
+  Rng rng(28);
+  std::vector<std::future<Tensor>> futures;
+  // Two sizes interleaved: [1, ...] and [3, ...]; a [3] request cannot
+  // join a group already holding 2+ samples under the cap of 4, and
+  // different trailing shapes never fuse at all.
+  for (int i = 0; i < 6; ++i) {
+    Tensor b(Shape{1 + 2 * (i % 2), 1, 16, 16});
+    b.fill_uniform(rng, 0.0F, 1.0F);
+    futures.push_back(exec.submit(std::move(b)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Tensor logits = futures[i].get();
+    EXPECT_EQ(logits.dim(0), 1 + 2 * static_cast<int64_t>(i % 2)) << i;
+  }
+  const ExecutorStats stats = exec.stats();
+  EXPECT_EQ(stats.requests, 6);
+  EXPECT_EQ(stats.samples, 12);
+}
+
 TEST(BatchExecutorTest, PropagatesRunErrorsThroughFuture) {
   const CompiledNetwork compiled = make_compiled(15);
   BatchExecutor exec(compiled, 1);

@@ -1,8 +1,9 @@
 // CompiledNetwork must reproduce SpikingNetwork::predict on the zoo
 // models, dense and sparse, across T timesteps — plus the backend
-// selection logic: heuristic kernel choice, forced backends, and the
-// N:M-projection -> BCSR deployment path. Scenario plumbing (masking,
-// warm-up, bitwise comparison) comes from the differential harness.
+// selection logic: heuristic kernel choice (measured occupancy routes
+// blocky masks to BCSR and N:M patterns to CSR), forced backends, and
+// the structured deployment paths. Scenario plumbing (masking, warm-up,
+// bitwise comparison) comes from the differential harness.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -113,7 +114,12 @@ TEST(CompiledNetworkTest, ResnetSparseMatchesInterpreted) {
   EXPECT_TRUE(has_residual);
 }
 
-TEST(CompiledNetworkTest, NmProjectedNetworkAutoCompilesToBcsr) {
+// Heuristic regression pin (PR 5): BENCH_sparse_inference.json measured
+// BCSR *losing* to CSR end to end on N:M patterns at these layer sizes
+// (2:4 0.78x, 1:4 0.65x) while winning on genuinely blocky ~1.0-occupancy
+// masks (+12%), so the measured-occupancy crossover sits above 0.5. This
+// test pins both sides of it.
+TEST(CompiledNetworkTest, NmProjectedNetworkAutoStaysCsr) {
   nn::ModelSpec spec;
   spec.in_channels = 1;
   spec.image_size = 16;
@@ -129,9 +135,31 @@ TEST(CompiledNetworkTest, NmProjectedNetworkAutoCompilesToBcsr) {
   const CompiledNetwork compiled = CompiledNetwork::compile(*net);
   expect_bitwise(compiled.run(batch), expect, "lenet 2:4 projected");
 
-  // A 2:4 pattern fills occupied blocks ~50%: well above the default
-  // occupancy bar, so the heuristic lowers every weight layer to BCSR.
-  EXPECT_EQ(count_kinds(compiled, "bcsr-linear", "bcsr-conv"), 5);
+  // A 2:4 pattern fills occupied blocks ~50%: below the measured
+  // end-to-end crossover, so every weight layer stays CSR.
+  EXPECT_EQ(count_kinds(compiled, "csr-linear", "csr-conv"), 5);
+  EXPECT_EQ(count_kinds(compiled, "bcsr-linear", "bcsr-conv"), 0);
+}
+
+TEST(CompiledNetworkTest, BlockMaskedNetworkAutoCompilesToBcsr) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 16;
+  spec.timesteps = 2;
+  const auto net = nn::make_lenet5(spec);
+  difftest::apply_block_masks(*net, /*keep=*/0.25, 53);
+  const Tensor batch = random_batch(2, 1, 16, 54);
+  warm_up(*net, batch);
+
+  const Tensor expect = net->predict(batch);
+  const CompiledNetwork compiled = CompiledNetwork::compile(*net);
+  expect_bitwise(compiled.run(batch), expect, "lenet 4x4 block mask");
+
+  // Aligned layers (the three fc weights are multiples of 4 on both
+  // axes) measure ~1.0 occupancy and go BCSR; layers whose edge-padded
+  // blocks drag the measured occupancy under the bar (conv1 [6, 25])
+  // legitimately stay CSR — the crossover is per layer, per measurement.
+  EXPECT_GE(count_kinds(compiled, "bcsr-linear", "bcsr-conv"), 3);
   const std::string text = compiled.summary();
   EXPECT_NE(text.find("bcsr-"), std::string::npos);
 }

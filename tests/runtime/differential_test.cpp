@@ -44,8 +44,13 @@ TEST(DifferentialTest, CompiledMatchesInterpretedBitwiseOnAllBackends) {
   cases.push_back(pinned);
   pinned.input = difftest::InputKind::kRandom;
   pinned.sparsity = 0.5;
-  pinned.nm_n = 2;  // 2:4 projection -> BCSR
+  pinned.nm_n = 2;  // 2:4 projection: ~0.5 occupancy -> stays CSR
   pinned.nm_m = 4;
+  cases.push_back(pinned);
+  pinned.nm_n = 0;  // 4x4 block mask: ~1.0 occupancy -> BCSR
+  pinned.nm_m = 0;
+  pinned.sparsity = 0.0;
+  pinned.block_keep = 0.25;
   cases.push_back(pinned);
   for (int i = 0; i < configs; ++i) cases.push_back(difftest::random_config(rng));
 
@@ -113,8 +118,8 @@ TEST(DifferentialTest, CompiledMatchesInterpretedBitwiseOnAllBackends) {
   }
 
   // The heuristics must have picked each weight kernel — dense
-  // (0.3-sparsity layers), CSR (unstructured masks), BCSR
-  // (N:M-projected layers) — and the event-driven activation path
+  // (0.3-sparsity layers), CSR (unstructured masks and N:M patterns),
+  // BCSR (block-masked layers) — and the event-driven activation path
   // somewhere in the sweep (the silent pinned config guarantees a
   // measured 0 firing rate, which kAuto maps onto the event path for
   // its sparse spiking-input layers).

@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -68,6 +69,10 @@ struct NetConfig {
   double sparsity = 0.9;  ///< unstructured mask fraction (before projection)
   int64_t nm_n = 0;       ///< 0 = no N:M projection
   int64_t nm_m = 0;
+  double block_keep = 0.0;  ///< > 0: 4x4 block mask keeping this fraction of
+                            ///< blocks (the ~1.0-occupancy row-block pattern
+                            ///< the BCSR heuristic targets); applied instead
+                            ///< of the unstructured mask
   int64_t block_rows = 4;  ///< BCSR block shape handed to CompileOptions
   int64_t block_cols = 4;
   InputKind input = InputKind::kRandom;
@@ -80,6 +85,7 @@ struct NetConfig {
                     " ws=" + std::to_string(width_scale) +
                     " sparsity=" + std::to_string(sparsity);
     if (nm_m > 0) s += " nm=" + std::to_string(nm_n) + ":" + std::to_string(nm_m);
+    if (block_keep > 0.0) s += " block_keep=" + std::to_string(block_keep);
     s += " block=" + std::to_string(block_rows) + "x" + std::to_string(block_cols) +
          " input=" + input_kind_name(input) + " seed=" + std::to_string(seed);
     return s;
@@ -113,7 +119,10 @@ inline NetConfig random_config(tensor::Rng& rng) {
   // those layers dense; the rest exercise the sparse kernels.
   const double sparsities[] = {0.3, 0.5, 0.8, 0.9, 0.95};
   cfg.sparsity = sparsities[rng.uniform_int(5)];
-  if (rng.bernoulli(0.6)) {  // structured deployment flavour
+  if (rng.bernoulli(0.1)) {  // blocky deployment flavour -> BCSR heuristic
+    cfg.block_keep = 0.25;
+    cfg.sparsity = 0.0;
+  } else if (rng.bernoulli(0.6)) {  // structured N:M deployment flavour
     const int64_t patterns[][2] = {{2, 4}, {1, 4}, {2, 8}, {4, 8}};
     const int64_t pick = rng.uniform_int(4);
     cfg.nm_n = patterns[pick][0];
@@ -144,6 +153,30 @@ inline void apply_random_masks(nn::SpikingNetwork& net, double sparsity, uint64_
         static_cast<double>(p.value->numel()) * (1.0 - sparsity));
     const sparse::Mask mask(p.value->shape(), active, rng);
     mask.apply(*p.value);
+  }
+}
+
+/// Zero random 4x4 blocks of every prunable weight's lowered 2-D form,
+/// keeping `keep` of them — the row-block pattern of FPGA SNN
+/// accelerators, the ~1.0-occupancy structure the BCSR kernel heuristic
+/// selects for (aligned layers measure exactly 1.0; edge-padded blocks
+/// pull small layers below the bar, which is the intended per-layer
+/// behaviour).
+inline void apply_block_masks(nn::SpikingNetwork& net, double keep, uint64_t seed) {
+  tensor::Rng rng(seed);
+  for (const auto& p : net.params()) {
+    if (!p.prunable) continue;
+    const int64_t rows = p.value->dim(0);
+    const int64_t cols = p.value->numel() / rows;
+    float* w = p.value->data();
+    for (int64_t rb = 0; rb < rows; rb += 4) {
+      for (int64_t cb = 0; cb < cols; cb += 4) {
+        if (rng.uniform01() < keep) continue;
+        for (int64_t r = rb; r < std::min(rb + 4, rows); ++r) {
+          for (int64_t c = cb; c < std::min(cb + 4, cols); ++c) w[r * cols + c] = 0.0F;
+        }
+      }
+    }
   }
 }
 
@@ -184,7 +217,11 @@ inline std::unique_ptr<nn::SpikingNetwork> build_network(const NetConfig& cfg) {
   spec.width_scale = cfg.width_scale;
   spec.seed = cfg.seed;
   auto net = nn::make_model(cfg.arch, spec);
-  apply_random_masks(*net, cfg.sparsity, cfg.seed + 1);
+  if (cfg.block_keep > 0.0) {
+    apply_block_masks(*net, cfg.block_keep, cfg.seed + 1);
+  } else {
+    apply_random_masks(*net, cfg.sparsity, cfg.seed + 1);
+  }
   if (cfg.nm_m > 0) {
     (void)core::project_network_nm(*net, {cfg.nm_n, cfg.nm_m});
   }

@@ -1,0 +1,137 @@
+// ThreadPool: the fork-join primitive every parallel kernel dispatches
+// through. Covers chunk coverage (each index computed exactly once),
+// weighted range splitting, the serial-work threshold, exception
+// propagation, and concurrent fork-joins from many caller threads (the
+// BatchExecutor sharing pattern; also the TSan job's main target).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace ndsnn::util {
+namespace {
+
+TEST(ThreadPoolTest, ResolveLanes) {
+  EXPECT_GE(ThreadPool::resolve_lanes(0), 1);
+  EXPECT_EQ(ThreadPool::resolve_lanes(1), 1);
+  EXPECT_EQ(ThreadPool::resolve_lanes(7), 7);
+}
+
+TEST(ThreadPoolTest, RejectsZeroLanes) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> marks(1000);
+  pool.parallel_for(0, 1000, 8, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) marks[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& m : marks) EXPECT_EQ(m.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  int64_t sum = 0;
+  // One lane: chunks execute serially on the caller, no races possible.
+  pool.parallel_for(0, 100, 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 99 * 100 / 2);
+}
+
+TEST(ThreadPoolTest, ChunksForRespectsWorkThreshold) {
+  ThreadPool pool(8);
+  // Tiny work stays serial regardless of lanes.
+  EXPECT_EQ(pool.chunks_for(kMinParallelWork - 1, 100), 1);
+  // Big work is capped by lanes and by the partitionable extent.
+  EXPECT_EQ(pool.chunks_for(kMinParallelWork * 100, 100), 8);
+  EXPECT_EQ(pool.chunks_for(kMinParallelWork * 100, 3), 3);
+  // Medium work: one chunk per kMinParallelWork.
+  EXPECT_EQ(pool.chunks_for(kMinParallelWork * 2, 100), 2);
+  // Null pool is always serial.
+  EXPECT_EQ(chunks_for(nullptr, kMinParallelWork * 100, 100), 1);
+}
+
+TEST(ThreadPoolTest, BalancedBoundsSplitByWeight) {
+  // Weights 10, 0, 0, 0, 10, 10: prefix {0, 10, 10, 10, 10, 20, 30}.
+  const std::vector<int64_t> prefix = {0, 10, 10, 10, 10, 20, 30};
+  const auto bounds = balanced_bounds(prefix.data(), 6, 3);
+  ASSERT_EQ(bounds.size(), 4U);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), 6);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);  // never an empty range
+  }
+  // The heavy first row gets its own chunk; the zero-weight rows ride
+  // along with a weighted one instead of wasting a chunk.
+  EXPECT_EQ(bounds[1], 1);
+}
+
+TEST(ThreadPoolTest, BalancedBoundsClampToRowCount) {
+  const std::vector<int64_t> prefix = {0, 1, 2, 3};
+  const auto bounds = balanced_bounds(prefix.data(), 3, 8);
+  ASSERT_EQ(bounds.size(), 4U);  // at most rows chunks
+  EXPECT_EQ(bounds.back(), 3);
+}
+
+TEST(ThreadPoolTest, EvenBoundsCoverRange) {
+  const auto bounds = even_bounds(5, 25, 4);
+  ASSERT_EQ(bounds.size(), 5U);
+  EXPECT_EQ(bounds.front(), 5);
+  EXPECT_EQ(bounds.back(), 25);
+  for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_GT(bounds[i], bounds[i - 1]);
+}
+
+TEST(ThreadPoolTest, ChunkExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_chunks(8,
+                                    [](int64_t c) {
+                                      if (c == 3) throw std::runtime_error("chunk 3");
+                                    }),
+               std::runtime_error);
+  // The pool survives a failed job and keeps serving.
+  std::atomic<int> runs{0};
+  pool.parallel_chunks(4, [&](int64_t) { runs++; });
+  EXPECT_EQ(runs.load(), 4);
+}
+
+TEST(ThreadPoolTest, ConcurrentForkJoinsFromManyThreads) {
+  // The BatchExecutor pattern: several request workers drive one shared
+  // pool at once. Each caller's fork-join must see exactly its own
+  // chunks complete.
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> callers;
+  std::vector<int64_t> sums(kCallers, 0);
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::atomic<int64_t>> partial(8);
+        pool.parallel_for(0, 800, 8, [&](int64_t lo, int64_t hi) {
+          int64_t s = 0;
+          for (int64_t i = lo; i < hi; ++i) s += i;
+          partial[static_cast<std::size_t>(lo / 100)] += s;
+        });
+        int64_t total = 0;
+        for (const auto& p : partial) total += p.load();
+        sums[static_cast<std::size_t>(t)] += total;
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  const int64_t expect_per_round = 799 * 800 / 2;
+  for (int t = 0; t < kCallers; ++t) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(t)], expect_per_round * kRounds) << t;
+  }
+}
+
+}  // namespace
+}  // namespace ndsnn::util

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_sparse_inference.json against the checked-in
+BENCH_sparse_inference.json snapshot and fail on a real throughput
+regression.
+
+Gate design: CI runners and the snapshot box differ in core count,
+cache and load, so absolute ms / samples_per_s are not comparable
+across machines. The gate therefore checks the *normalized* throughput
+ratios the bench computes on-box:
+
+  - sparsity_sweep speedup at the 0.9 and 0.95 points (compiled best
+    path vs the interpreted dense path on the same machine) must stay
+    within TOLERANCE of the snapshot's value.
+
+TOLERANCE is 30% (noisy-box tolerant): the point is to catch a kernel
+or heuristic change that halves the sparse win, not to chase scheduler
+jitter.
+
+Usage: check_bench_regression.py <fresh.json> <snapshot.json>
+Exit 0 = no regression, 1 = regression (or malformed input).
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.30
+GATED_SPARSITIES = (0.9, 0.95)
+
+
+def sweep_speedups(doc):
+    out = {}
+    for entry in doc.get("sparsity_sweep", []):
+        out[round(float(entry["sparsity"]), 4)] = float(entry["speedup"])
+    return out
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 1
+    with open(argv[1]) as f:
+        fresh = json.load(f)
+    with open(argv[2]) as f:
+        snapshot = json.load(f)
+
+    fresh_speedups = sweep_speedups(fresh)
+    snap_speedups = sweep_speedups(snapshot)
+
+    failed = False
+    for sparsity in GATED_SPARSITIES:
+        key = round(sparsity, 4)
+        if key not in fresh_speedups or key not in snap_speedups:
+            print(f"FAIL: sparsity point {sparsity} missing from sweep "
+                  f"(fresh: {key in fresh_speedups}, snapshot: {key in snap_speedups})")
+            failed = True
+            continue
+        fresh_v, snap_v = fresh_speedups[key], snap_speedups[key]
+        floor = snap_v * (1.0 - TOLERANCE)
+        status = "ok" if fresh_v >= floor else "REGRESSION"
+        print(f"sparsity {sparsity}: speedup {fresh_v:.2f}x vs snapshot {snap_v:.2f}x "
+              f"(floor {floor:.2f}x) -> {status}")
+        if fresh_v < floor:
+            failed = True
+
+    # Informational (not gated: thread/coalescing wins are core-count
+    # bound and the snapshot may come from a smaller box than CI).
+    tk = fresh.get("threads_kernel", {})
+    if tk:
+        print(f"info: spmm speedup at 4 threads = {tk.get('spmm_speedup_4t', 0):.2f}x")
+    if "coalesce_speedup" in fresh:
+        print(f"info: coalescing speedup = {fresh['coalesce_speedup']:.2f}x")
+
+    if failed:
+        print("bench regression check FAILED")
+        return 1
+    print("bench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
