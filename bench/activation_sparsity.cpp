@@ -25,6 +25,7 @@
 
 #include "nn/models/zoo.hpp"
 #include "runtime/compiled_network.hpp"
+#include "runtime/trace.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/mask.hpp"
 #include "tensor/random.hpp"
@@ -204,7 +205,8 @@ int main(int argc, char** argv) {
   Tensor batch(Shape{batch_size, 1, 16, 16});
   batch.fill_uniform(rng, 0.0F, 1.0F);
 
-  ndsnn::util::Table net_table({"activation mode", "ms/batch", "samples/s", "est. rate"});
+  ndsnn::util::Table net_table(
+      {"activation mode", "ms/batch", "samples/s", "est. rate", "obs. rate"});
   json.key("end_to_end").begin_array();
   for (const auto mode : {ndsnn::runtime::ActivationMode::kDense,
                           ndsnn::runtime::ActivationMode::kAuto,
@@ -213,17 +215,34 @@ int main(int argc, char** argv) {
     opts.activation_mode = mode;
     const auto plan = ndsnn::runtime::CompiledNetwork::compile(*net, opts);
     const double ms = time_ms([&] { return plan.run(batch); }, repeats);
+    // Observed firing rate via the PlanProfile hooks (one profiled run
+    // outside the timed loop): mean over the ops that saw a rate — the
+    // measured counterpart of the compile-time fallback estimate.
+    plan.enable_profiling(true);
+    (void)plan.run(batch);
+    plan.enable_profiling(false);
+    double rate_sum = 0.0;
+    int rated_ops = 0;
+    for (const auto& op : plan.profile()) {
+      if (op.ema_rate >= 0.0) {
+        rate_sum += op.ema_rate;
+        ++rated_ops;
+      }
+    }
+    const double observed_rate = rated_ops > 0 ? rate_sum / rated_ops : -1.0;
     const char* name = mode == ndsnn::runtime::ActivationMode::kDense  ? "dense"
                        : mode == ndsnn::runtime::ActivationMode::kAuto ? "auto"
                                                                        : "event (forced)";
     net_table.add_row({name, ndsnn::util::fmt(ms, 2),
                        ndsnn::util::fmt(1e3 * batch_size / ms, 0),
-                       ndsnn::util::fmt(plan.estimated_spike_rate(), 2)});
+                       ndsnn::util::fmt(plan.estimated_spike_rate(), 2),
+                       observed_rate < 0.0 ? "-" : ndsnn::util::fmt(observed_rate, 2)});
     json.begin_object();
     json.kv("activation_mode", name);
     json.kv("ms", ms);
     json.kv("samples_per_s", 1e3 * batch_size / ms);
     json.kv("estimated_rate", plan.estimated_spike_rate());
+    json.kv("observed_rate", observed_rate);
     json.end_object();
   }
   json.end_array();

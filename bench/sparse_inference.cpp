@@ -17,7 +17,9 @@
 // BENCH_sparse_inference.json snapshot records). New in PR 5: a
 // threads x kernel sweep (row-partitioned CSR spmm/spmm_t through the
 // shared util::ThreadPool) and a threads x coalescing executor sweep
-// under 64 concurrent single-sample requests. Thread speedups are only
+// under 64 concurrent single-sample requests. New in PR 6: an
+// op_breakdown section (PlanProfile per-op mean/p50/p95 latency, runs,
+// observed firing rate, and share of plan time on the 0.95 auto plan). Thread speedups are only
 // meaningful on a multi-core box (the checked-in snapshot was refreshed
 // on a 1-core container, where they sit at ~1x by construction; the CI
 // runners report the real numbers).
@@ -32,6 +34,7 @@
 #include "nn/models/zoo.hpp"
 #include "runtime/batch_executor.hpp"
 #include "runtime/compiled_network.hpp"
+#include "runtime/trace.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/mask.hpp"
 #include "sparse/quant.hpp"
@@ -528,6 +531,51 @@ int main(int argc, char** argv) {
     std::printf("coalescing speedup at %d threads: %.2fx %s\n", threads, coalesce_speedup,
                 coalesce_speedup >= 2.0 ? "(>= 2x target met)" : "(below 2x target!)");
     json.kv("coalesce_speedup", coalesce_speedup);
+  }
+
+  // Per-op breakdown through the PlanProfile aggregation hooks: where
+  // the 0.95-sparsity auto plan actually spends its time, and the
+  // firing rate each op observed (EMA; -1 = no event view and not a
+  // neuron op, so no rate is measured). `share` is the op's fraction of
+  // summed mean op time — plan overhead outside the ops is excluded.
+  std::printf("\nper-op breakdown at 0.95 sparsity (%d timed runs):\n", repeats);
+  {
+    plan.enable_profiling(true);
+    plan.profile_reset();
+    (void)plan.run(batch);  // warm
+    plan.profile_reset();
+    for (int r = 0; r < repeats; ++r) (void)plan.run(batch);
+    const std::vector<ndsnn::runtime::PlanProfile::OpStats> stats = plan.profile();
+    plan.enable_profiling(false);
+    double total_us = 0.0;
+    for (const auto& s : stats) total_us += s.mean_us * static_cast<double>(s.runs);
+    ndsnn::util::Table ops_table(
+        {"op", "kind", "runs", "mean us", "p50 us", "p95 us", "rate", "share"});
+    json.key("op_breakdown").begin_object();
+    json.kv("executes", plan.profiled_executes());
+    json.key("ops").begin_array();
+    for (const auto& s : stats) {
+      const double op_us = s.mean_us * static_cast<double>(s.runs);
+      const double share = total_us > 0.0 ? op_us / total_us : 0.0;
+      ops_table.add_row({s.layer, s.kind, std::to_string(s.runs),
+                         ndsnn::util::fmt(s.mean_us, 1), ndsnn::util::fmt(s.p50_us, 1),
+                         ndsnn::util::fmt(s.p95_us, 1),
+                         s.ema_rate < 0.0 ? "-" : ndsnn::util::fmt(s.ema_rate, 3),
+                         ndsnn::util::fmt(100.0 * share, 1) + "%"});
+      json.begin_object();
+      json.kv("layer", s.layer);
+      json.kv("kind", s.kind);
+      json.kv("runs", s.runs);
+      json.kv("mean_us", s.mean_us);
+      json.kv("p50_us", s.p50_us);
+      json.kv("p95_us", s.p95_us);
+      json.kv("ema_rate", s.ema_rate);
+      json.kv("share", share);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    ops_table.print();
   }
   json.end_object();
   if (!json_path.empty()) {

@@ -13,6 +13,8 @@
 //                           [--coalesce-wait-us 200]
 //                           [--save-checkpoint model.ndck]
 //                           [--checkpoint model.ndck]
+//                           [--trace out.json] [--metrics-every 8]
+//                           [--profile]
 //
 // --threads is the executor's *total* worker budget; --intra-threads
 // compiles the plan with a shared intra-op pool (0 = hardware
@@ -33,6 +35,15 @@
 // int8/int4 with --save-checkpoint writes a v3 checkpoint whose
 // quantisation record (per-layer precision + per-row scales) a later
 // `--checkpoint --precision auto` serve reproduces exactly.
+//
+// Observability (README "Observability" section): --trace out.json
+// records every op run, queue wait, coalesce wait and fused split as
+// Chrome trace-event JSON (open at chrome://tracing or
+// https://ui.perfetto.dev); --metrics-every N prints a serving stats
+// line every N completed requests plus a final metrics-registry dump;
+// --profile prints the measured per-op latency/firing-rate table at
+// the end. Any of the three enables plan profiling; traced outputs are
+// bitwise identical to untraced ones.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -42,12 +53,15 @@
 #include "nn/checkpoint.hpp"
 #include "runtime/batch_executor.hpp"
 #include "runtime/compiled_network.hpp"
+#include "runtime/trace.hpp"
 #include "sparse/structured.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/random.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -57,19 +71,65 @@ ndsnn::runtime::ActivationMode parse_activation(const std::string& s) {
   return ndsnn::runtime::ActivationMode::kAuto;
 }
 
+/// Observability knobs for serve() — see the header comment.
+struct ServeTelemetry {
+  std::string trace_path;  ///< non-empty: record + export a Chrome trace
+  int metrics_every = 0;   ///< > 0: stats line every N completed requests
+  bool profile = false;    ///< print the per-op profile table at the end
+  [[nodiscard]] bool any() const {
+    return !trace_path.empty() || metrics_every > 0 || profile;
+  }
+};
+
+void print_profile(const ndsnn::runtime::CompiledNetwork& plan) {
+  std::printf("\nper-op profile (%lld plan runs):\n",
+              static_cast<long long>(plan.profiled_executes()));
+  ndsnn::util::Table table({"op", "kind", "runs", "mean us", "p50 us", "p95 us", "rate"});
+  for (const auto& op : plan.profile()) {
+    table.add_row({op.layer, op.kind, std::to_string(op.runs),
+                   ndsnn::util::fmt(op.mean_us, 1), ndsnn::util::fmt(op.p50_us, 1),
+                   ndsnn::util::fmt(op.p95_us, 1),
+                   op.ema_rate >= 0 ? ndsnn::util::fmt(op.ema_rate, 3) : "-"});
+  }
+  table.print();
+}
+
 void serve(const ndsnn::runtime::CompiledNetwork& plan,
            const std::vector<ndsnn::tensor::Tensor>& requests,
            const std::vector<std::vector<int64_t>>& labels, int threads, int batch_size,
-           const ndsnn::runtime::ExecutorOptions& exec_opts) {
+           const ndsnn::runtime::ExecutorOptions& exec_opts, const ServeTelemetry& tel) {
+  namespace trace = ndsnn::runtime::trace;
   std::printf("serving %zu requests (batch %d) on a %d-thread budget...\n", requests.size(),
               batch_size, threads);
+  if (tel.any()) plan.enable_profiling(true);
+  if (!tel.trace_path.empty()) {
+    trace::reset();
+    trace::set_enabled(true);
+  }
   ndsnn::runtime::BatchExecutor exec(plan, threads, exec_opts);
   std::printf("  %lld request worker(s) x %lld intra-op lane(s)%s\n",
               static_cast<long long>(exec.num_threads()),
               static_cast<long long>(exec.intra_op_threads()),
               exec_opts.max_coalesce > 1 ? ", request coalescing on" : "");
   const ndsnn::util::Stopwatch sw;
-  const auto logits = exec.run_all(requests);
+  // Submit everything up front (the run_all pattern), then collect in
+  // order so --metrics-every can narrate progress between completions.
+  std::vector<std::future<ndsnn::tensor::Tensor>> futures;
+  futures.reserve(requests.size());
+  for (const auto& batch : requests) futures.push_back(exec.submit(batch));
+  std::vector<ndsnn::tensor::Tensor> logits;
+  logits.reserve(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    logits.push_back(futures[i].get());
+    if (tel.metrics_every > 0 && (i + 1) % static_cast<std::size_t>(tel.metrics_every) == 0) {
+      const auto s = exec.stats();
+      std::printf(
+          "  [%zu/%zu] service p50 %.2f ms p95 %.2f | queue p50 %.2f ms p95 %.2f "
+          "depth %lld | utilization %.0f%%\n",
+          i + 1, futures.size(), s.p50_ms, s.p95_ms, s.queue_p50_ms, s.queue_p95_ms,
+          static_cast<long long>(s.queue_depth), 100.0 * s.worker_utilization);
+    }
+  }
   const double ms = sw.millis();
 
   int64_t correct = 0, total = 0;
@@ -83,8 +143,13 @@ void serve(const ndsnn::runtime::CompiledNetwork& plan,
   const ndsnn::runtime::ExecutorStats stats = exec.stats();
   std::printf("served %lld samples in %.1f ms (%.0f samples/s)\n",
               static_cast<long long>(total), ms, 1e3 * static_cast<double>(total) / ms);
-  std::printf("request latency: mean %.2f ms, p50 %.2f, p95 %.2f, p99 %.2f, max %.2f\n",
+  std::printf("service latency: mean %.2f ms, p50 %.2f, p95 %.2f, p99 %.2f, max %.2f\n",
               stats.mean_ms, stats.p50_ms, stats.p95_ms, stats.p99_ms, stats.max_ms);
+  std::printf(
+      "queue wait: mean %.2f ms, p50 %.2f, p95 %.2f (end-to-end = wait + service); "
+      "worker utilization %.0f%%\n",
+      stats.queue_mean_ms, stats.queue_p50_ms, stats.queue_p95_ms,
+      100.0 * stats.worker_utilization);
   if (stats.fused_batches > 0) {
     std::printf("coalescing: %lld requests fused into %lld passes\n",
                 static_cast<long long>(stats.coalesced_requests),
@@ -93,6 +158,19 @@ void serve(const ndsnn::runtime::CompiledNetwork& plan,
   if (!labels.empty()) {
     std::printf("accuracy %.2f%%\n",
                 100.0 * static_cast<double>(correct) / static_cast<double>(total));
+  }
+  if (tel.any()) print_profile(plan);
+  if (!tel.trace_path.empty()) {
+    trace::set_enabled(false);
+    trace::write_chrome_file(tel.trace_path);
+    std::printf("\nwrote %zu trace spans to %s (%lld dropped); open at chrome://tracing "
+                "or https://ui.perfetto.dev\n",
+                trace::snapshot().size(), tel.trace_path.c_str(),
+                static_cast<long long>(trace::dropped()));
+  }
+  if (tel.metrics_every > 0) {
+    std::printf("\nmetrics registry:\n%s",
+                ndsnn::util::MetricsRegistry::global().dump_text().c_str());
   }
 }
 
@@ -118,6 +196,11 @@ int main(int argc, char** argv) {
   exec_opts.max_coalesce = cli.get_int("--coalesce", 0);
   exec_opts.max_wait_us = cli.get_int("--coalesce-wait-us", 200);
 
+  ServeTelemetry tel;
+  tel.trace_path = cli.get_string("--trace", "");
+  tel.metrics_every = cli.get_int("--metrics-every", 0);
+  tel.profile = cli.has_flag("--profile");
+
   // Checkpoint-driven serving: no experiment, no training network —
   // the architecture record inside the checkpoint rebuilds everything.
   if (!checkpoint.empty()) {
@@ -136,7 +219,7 @@ int main(int argc, char** argv) {
       batch.fill_uniform(rng, 0.0F, 1.0F);
       requests.push_back(std::move(batch));
     }
-    serve(plan, requests, {}, threads, batch_size, exec_opts);
+    serve(plan, requests, {}, threads, batch_size, exec_opts, tel);
     return 0;
   }
 
@@ -221,6 +304,6 @@ int main(int argc, char** argv) {
     requests.push_back(std::move(batch));
     labels.push_back(std::move(batch_labels));
   }
-  serve(plan, requests, labels, threads, batch_size, exec_opts);
+  serve(plan, requests, labels, threads, batch_size, exec_opts, tel);
   return 0;
 }

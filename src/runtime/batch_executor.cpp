@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/trace.hpp"
+#include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
 
 namespace ndsnn::runtime {
@@ -25,6 +27,31 @@ bool coalescable(const Tensor& a, const Tensor& b) {
   }
   return true;
 }
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Process-wide serving metrics (util::MetricsRegistry). Looked up once;
+/// the references stay valid for the process lifetime.
+struct ExecutorMetrics {
+  util::Counter& requests;
+  util::Counter& coalesced;
+  util::Gauge& queue_depth;
+  util::Histogram& queue_wait_us;
+  util::Histogram& service_us;
+
+  static ExecutorMetrics& get() {
+    auto& reg = util::MetricsRegistry::global();
+    static ExecutorMetrics m{reg.counter("executor.requests"),
+                             reg.counter("executor.coalesced_requests"),
+                             reg.gauge("executor.queue_depth"),
+                             reg.histogram("executor.queue_wait_us"),
+                             reg.histogram("executor.service_us")};
+    return m;
+  }
+};
 
 /// Concatenate request batches along dim 0.
 Tensor concat_rows(const std::vector<Tensor*>& parts) {
@@ -46,7 +73,10 @@ Tensor concat_rows(const std::vector<Tensor*>& parts) {
 
 BatchExecutor::BatchExecutor(const CompiledNetwork& net, int64_t num_threads,
                              const ExecutorOptions& opts)
-    : net_(net), opts_(opts), intra_op_threads_(net.intra_op_threads()) {
+    : net_(net),
+      opts_(opts),
+      intra_op_threads_(net.intra_op_threads()),
+      start_(std::chrono::steady_clock::now()) {
   if (num_threads < 1) {
     throw std::invalid_argument("BatchExecutor: num_threads must be >= 1");
   }
@@ -54,9 +84,10 @@ BatchExecutor::BatchExecutor(const CompiledNetwork& net, int64_t num_threads,
   // request across intra_op_threads lanes, so spawning num_threads
   // request workers on top would oversubscribe the machine.
   const int64_t request_workers = std::max<int64_t>(1, num_threads / intra_op_threads_);
+  busy_ms_.assign(static_cast<std::size_t>(request_workers), 0.0);
   workers_.reserve(static_cast<std::size_t>(request_workers));
   for (int64_t i = 0; i < request_workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
   }
 }
 
@@ -66,11 +97,14 @@ std::future<Tensor> BatchExecutor::submit(Tensor batch) {
   Request req;
   req.samples = batch.rank() >= 1 ? batch.dim(0) : 1;
   req.batch = std::move(batch);
+  req.enqueued = std::chrono::steady_clock::now();
+  if (trace::enabled()) req.trace_ts_us = trace::now_us();
   std::future<Tensor> future = req.promise.get_future();
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) throw std::runtime_error("BatchExecutor: submit after shutdown");
     queue_.push_back(std::move(req));
+    ExecutorMetrics::get().queue_depth.set(static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_one();
   return future;
@@ -109,8 +143,41 @@ int64_t BatchExecutor::completed_samples() const {
   return completed_samples_;
 }
 
+namespace {
+
+/// Nearest-rank percentile of an unsorted copy (smallest value with at
+/// least q*n samples at or below it).
+struct WindowStats {
+  double mean = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0, max = 0.0;
+};
+
+WindowStats window_stats(std::vector<double> sorted) {
+  WindowStats w;
+  if (sorted.empty()) return w;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (const double v : sorted) total += v;
+  const auto n = static_cast<int64_t>(sorted.size());
+  const auto rank = [&](double q) {
+    auto r = static_cast<int64_t>(std::ceil(q * static_cast<double>(n)));
+    if (r < 1) r = 1;
+    if (r > n) r = n;
+    return sorted[static_cast<std::size_t>(r - 1)];
+  };
+  w.mean = total / static_cast<double>(n);
+  w.p50 = rank(0.50);
+  w.p95 = rank(0.95);
+  w.p99 = rank(0.99);
+  w.max = sorted.back();
+  return w;
+}
+
+}  // namespace
+
 ExecutorStats BatchExecutor::stats() const {
-  std::vector<double> sorted;
+  std::vector<double> latencies;
+  std::vector<double> waits;
+  std::vector<double> busy;
   ExecutorStats s;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -118,56 +185,94 @@ ExecutorStats BatchExecutor::stats() const {
     s.samples = completed_samples_;
     s.fused_batches = fused_batches_;
     s.coalesced_requests = coalesced_requests_;
-    sorted = latencies_ms_;
+    s.queue_depth = static_cast<int64_t>(queue_.size());
+    latencies = latencies_ms_;
+    waits = waits_ms_;
+    busy = busy_ms_;
   }
-  if (sorted.empty()) return s;
-  std::sort(sorted.begin(), sorted.end());
-  double total = 0.0;
-  for (const double v : sorted) total += v;
-  const auto n = static_cast<int64_t>(sorted.size());
-  // Nearest-rank percentile: smallest value with at least q*n samples at
-  // or below it.
-  const auto rank = [&](double q) {
-    auto r = static_cast<int64_t>(std::ceil(q * static_cast<double>(n)));
-    if (r < 1) r = 1;
-    if (r > n) r = n;
-    return sorted[static_cast<std::size_t>(r - 1)];
-  };
-  s.mean_ms = total / static_cast<double>(n);
-  s.p50_ms = rank(0.50);
-  s.p95_ms = rank(0.95);
-  s.p99_ms = rank(0.99);
-  s.max_ms = sorted.back();
+  const WindowStats service = window_stats(std::move(latencies));
+  s.mean_ms = service.mean;
+  s.p50_ms = service.p50;
+  s.p95_ms = service.p95;
+  s.p99_ms = service.p99;
+  s.max_ms = service.max;
+  const WindowStats wait = window_stats(std::move(waits));
+  s.queue_mean_ms = wait.mean;
+  s.queue_p50_ms = wait.p50;
+  s.queue_p95_ms = wait.p95;
+  const double elapsed_ms = ms_between(start_, std::chrono::steady_clock::now());
+  s.utilization_per_worker.reserve(busy.size());
+  double busy_total = 0.0;
+  for (const double b : busy) {
+    s.utilization_per_worker.push_back(elapsed_ms > 0.0 ? b / elapsed_ms : 0.0);
+    busy_total += b;
+  }
+  if (!busy.empty() && elapsed_ms > 0.0) {
+    s.worker_utilization = busy_total / (elapsed_ms * static_cast<double>(busy.size()));
+  }
   return s;
 }
 
-void BatchExecutor::record(int64_t requests, int64_t samples, double ms, bool fused) {
+void BatchExecutor::record(const std::vector<Request>& group, int64_t samples, double ms,
+                           bool fused, std::size_t worker) {
+  ExecutorMetrics& metrics = ExecutorMetrics::get();
+  metrics.requests.add(static_cast<int64_t>(group.size()));
+  metrics.service_us.record(ms * 1e3);
   const std::lock_guard<std::mutex> lock(mu_);
-  completed_requests_ += requests;
+  completed_requests_ += static_cast<int64_t>(group.size());
   completed_samples_ += samples;
   if (fused) {
     ++fused_batches_;
-    coalesced_requests_ += requests;
+    coalesced_requests_ += static_cast<int64_t>(group.size());
+    metrics.coalesced.add(static_cast<int64_t>(group.size()));
   }
-  for (int64_t i = 0; i < requests; ++i) {
+  if (worker < busy_ms_.size()) busy_ms_[worker] += ms;
+  for (const Request& r : group) {
     if (latencies_ms_.size() < kLatencyWindow) {
       latencies_ms_.push_back(ms);
     } else {
       latencies_ms_[latency_next_] = ms;
     }
     latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    if (waits_ms_.size() < kLatencyWindow) {
+      waits_ms_.push_back(r.wait_ms);
+    } else {
+      waits_ms_[wait_next_] = r.wait_ms;
+    }
+    wait_next_ = (wait_next_ + 1) % kLatencyWindow;
+    metrics.queue_wait_us.record(r.wait_ms * 1e3);
   }
 }
 
 std::vector<BatchExecutor::Request> BatchExecutor::take_group(
     std::unique_lock<std::mutex>& lock) {
+  // Stamp the queue wait (enqueue -> pop) the moment a request leaves
+  // the queue, and emit its queue-wait span while tracing.
+  const auto pop = [this](Request&& req) {
+    const auto now = std::chrono::steady_clock::now();
+    req.wait_ms = ms_between(req.enqueued, now);
+    if (trace::enabled() && req.trace_ts_us > 0.0) {
+      trace::Span span;
+      span.name = "queue-wait";
+      span.cat = "queue";
+      span.ts_us = req.trace_ts_us;
+      span.dur_us = trace::now_us() - req.trace_ts_us;
+      span.rows = req.samples;
+      trace::record(std::move(span));
+    }
+    return std::move(req);
+  };
   std::vector<Request> group;
-  group.push_back(std::move(queue_.front()));
+  group.push_back(pop(std::move(queue_.front())));
   queue_.pop_front();
-  if (opts_.max_coalesce <= 1) return group;
+  if (opts_.max_coalesce <= 1) {
+    ExecutorMetrics::get().queue_depth.set(static_cast<int64_t>(queue_.size()));
+    return group;
+  }
   int64_t samples = group.front().samples;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(opts_.max_wait_us);
+  double hold_open_start_us = -1.0;  // first straggler wait, trace clock
   while (samples < opts_.max_coalesce) {
     if (!queue_.empty()) {
       Request& head = queue_.front();
@@ -178,44 +283,61 @@ std::vector<BatchExecutor::Request> BatchExecutor::take_group(
         break;
       }
       samples += head.samples;
-      group.push_back(std::move(head));
+      group.push_back(pop(std::move(head)));
       queue_.pop_front();
       continue;
     }
     if (stopping_ || opts_.max_wait_us <= 0) break;
     // Briefly hold the batch open for stragglers.
+    if (trace::enabled() && hold_open_start_us < 0.0) hold_open_start_us = trace::now_us();
     if (cv_.wait_until(lock, deadline, [this] { return stopping_ || !queue_.empty(); })) {
       if (stopping_ && queue_.empty()) break;
       continue;
     }
     break;  // timed out
   }
+  if (hold_open_start_us >= 0.0 && trace::enabled()) {
+    trace::Span span;
+    span.name = "coalesce-wait";
+    span.cat = "coalesce";
+    span.ts_us = hold_open_start_us;
+    span.dur_us = trace::now_us() - hold_open_start_us;
+    span.rows = samples;
+    trace::record(std::move(span));
+  }
+  ExecutorMetrics::get().queue_depth.set(static_cast<int64_t>(queue_.size()));
   return group;
 }
 
-void BatchExecutor::run_group(std::vector<Request>& group) {
+void BatchExecutor::run_group(std::vector<Request>& group, std::size_t worker) {
   int64_t samples = 0;
   for (const Request& r : group) samples += r.samples;
   const bool fused = group.size() > 1;
   try {
     const util::Stopwatch sw;
     Tensor logits;
-    if (!fused) {
-      logits = net_.run(group.front().batch);
-    } else {
-      // One time-major pass over the concatenated batch. Every op
-      // treats batch rows independently, so slicing the fused logits
-      // reproduces each request's solo result bitwise.
-      std::vector<Tensor*> parts;
-      parts.reserve(group.size());
-      for (Request& r : group) parts.push_back(&r.batch);
-      logits = net_.run(concat_rows(parts));
+    {
+      trace::ScopedSpan span("execute", "serve");
+      span.rows(samples);
+      if (!fused) {
+        logits = net_.run(group.front().batch);
+      } else {
+        // One time-major pass over the concatenated batch. Every op
+        // treats batch rows independently, so slicing the fused logits
+        // reproduces each request's solo result bitwise.
+        std::vector<Tensor*> parts;
+        parts.reserve(group.size());
+        for (Request& r : group) parts.push_back(&r.batch);
+        logits = net_.run(concat_rows(parts));
+      }
     }
     const double ms = sw.millis();
-    record(static_cast<int64_t>(group.size()), samples, ms, fused);
+    record(group, samples, ms, fused, worker);
     if (!fused) {
       group.front().promise.set_value(std::move(logits));
     } else {
+      trace::ScopedSpan span("fused-split", "split");
+      span.rows(samples);
       const int64_t classes = logits.dim(1);
       const float* src = logits.data();
       int64_t row = 0;
@@ -231,7 +353,7 @@ void BatchExecutor::run_group(std::vector<Request>& group) {
   }
 }
 
-void BatchExecutor::worker_loop() {
+void BatchExecutor::worker_loop(std::size_t worker) {
   for (;;) {
     std::vector<Request> group;
     {
@@ -240,7 +362,7 @@ void BatchExecutor::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       group = take_group(lock);
     }
-    run_group(group);
+    run_group(group, worker);
   }
 }
 

@@ -29,6 +29,7 @@
 // requests it was fused with.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -42,12 +43,17 @@
 
 namespace ndsnn::runtime {
 
-/// Serving statistics snapshot. Latency is measured per request from
-/// execution start to completion on the worker (queue wait excluded;
-/// every request of a fused pass reports that pass's latency), with
-/// nearest-rank percentiles over a sliding window of the most recent
-/// requests (kLatencyWindow) so a long-lived executor's memory and
-/// stats() cost stay bounded; requests/samples are all-time totals.
+/// Serving statistics snapshot. Service latency (mean/p50/p95/p99/max)
+/// is measured per request from execution start to completion on the
+/// worker; queue wait (queue_*) is measured separately from enqueue to
+/// the moment a worker pops the request, so the end-to-end latency a
+/// client observes is *wait + service* — under load the queue side is
+/// the latency frontier and was previously invisible. Every request of
+/// a fused pass reports that pass's service latency and its own queue
+/// wait. Percentiles are nearest-rank over a sliding window of the
+/// most recent requests (kLatencyWindow) so a long-lived executor's
+/// memory and stats() cost stay bounded; requests/samples are all-time
+/// totals.
 struct ExecutorStats {
   int64_t requests = 0;  ///< requests fully processed
   int64_t samples = 0;   ///< batch rows fully processed
@@ -58,6 +64,17 @@ struct ExecutorStats {
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+  /// Enqueue -> execution-start wait over the same sliding window.
+  double queue_mean_ms = 0.0;
+  double queue_p50_ms = 0.0;
+  double queue_p95_ms = 0.0;
+  /// Requests waiting in the queue at snapshot time.
+  int64_t queue_depth = 0;
+  /// Mean fraction of wall time the request workers spent executing
+  /// (busy time / (elapsed * workers) since construction).
+  double worker_utilization = 0.0;
+  /// Per-worker busy fraction (index = worker spawn order).
+  std::vector<double> utilization_per_worker;
 };
 
 /// Request-coalescing knobs (defaults: coalescing off).
@@ -111,8 +128,10 @@ class BatchExecutor {
   /// Samples (batch rows) fully processed so far.
   [[nodiscard]] int64_t completed_samples() const;
 
-  /// Throughput totals + per-request latency percentiles over the most
-  /// recent kLatencyWindow requests (p50/p95/p99 by nearest rank).
+  /// Throughput totals, per-request service latency and queue-wait
+  /// percentiles over the most recent kLatencyWindow requests
+  /// (p50/p95/p99 by nearest rank), queue depth, and per-worker
+  /// utilization. End-to-end = queue wait + service.
   [[nodiscard]] ExecutorStats stats() const;
 
   /// Latency samples retained for percentile estimation.
@@ -123,17 +142,27 @@ class BatchExecutor {
     tensor::Tensor batch;
     int64_t samples = 0;
     std::promise<tensor::Tensor> promise;
+    /// When submit() enqueued the request: the queue-wait clock.
+    std::chrono::steady_clock::time_point enqueued;
+    /// Same instant on the trace clock (only filled while tracing).
+    double trace_ts_us = 0.0;
+    /// Enqueue -> pop wait, filled by take_group.
+    double wait_ms = 0.0;
   };
 
-  void worker_loop();
-  /// Pop one request plus any coalescable followers (caller holds mu_).
+  void worker_loop(std::size_t worker);
+  /// Pop one request plus any coalescable followers (caller holds mu_);
+  /// stamps each popped request's queue wait and emits its queue-wait
+  /// trace span.
   std::vector<Request> take_group(std::unique_lock<std::mutex>& lock);
-  void run_group(std::vector<Request>& group);
-  void record(int64_t requests, int64_t samples, double ms, bool fused);
+  void run_group(std::vector<Request>& group, std::size_t worker);
+  void record(const std::vector<Request>& group, int64_t samples, double ms, bool fused,
+              std::size_t worker);
 
   const CompiledNetwork& net_;
   const ExecutorOptions opts_;
   int64_t intra_op_threads_ = 1;
+  std::chrono::steady_clock::time_point start_;  ///< utilization denominator
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -145,6 +174,9 @@ class BatchExecutor {
   int64_t coalesced_requests_ = 0;
   std::vector<double> latencies_ms_;  ///< ring of the last kLatencyWindow requests
   std::size_t latency_next_ = 0;      ///< ring write cursor
+  std::vector<double> waits_ms_;      ///< queue-wait ring, same window
+  std::size_t wait_next_ = 0;
+  std::vector<double> busy_ms_;       ///< per-worker execution time
 
   std::vector<std::thread> workers_;
 };

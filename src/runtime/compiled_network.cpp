@@ -327,6 +327,7 @@ CompiledNetwork CompiledNetwork::compile(const nn::SpikingNetwork& net,
   }
   compiled.plan_.estimated_spike_rate = lw.stats.average_rate();
   compiled.plan_.pool = std::move(lw.pool);
+  compiled.plan_.profile = std::make_shared<PlanProfile>(compiled.plan_.reports);
   return compiled;
 }
 

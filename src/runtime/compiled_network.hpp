@@ -45,6 +45,7 @@
 
 #include "nn/network.hpp"
 #include "runtime/plan.hpp"
+#include "runtime/trace.hpp"
 #include "sparse/quant.hpp"
 #include "tensor/tensor.hpp"
 
@@ -203,6 +204,31 @@ class CompiledNetwork {
   /// Compile-time mean firing-rate estimate over the spiking layers
   /// (recorded rates where available, CompileOptions fallback otherwise).
   [[nodiscard]] double estimated_spike_rate() const { return plan_.estimated_spike_rate; }
+
+  /// Toggle per-op profiling (durations + observed firing rates folded
+  /// into the plan's PlanProfile on every run). Off by default; while
+  /// off, run() takes the uninstrumented fast path. Safe to flip while
+  /// other threads are serving. Const: profiling observes execution,
+  /// it never changes what is computed.
+  void enable_profiling(bool on) const {
+    if (plan_.profile) plan_.profile->set_enabled(on);
+  }
+  [[nodiscard]] bool profiling_enabled() const {
+    return plan_.profile && plan_.profile->enabled();
+  }
+  /// Measured per-op stats since compile (or the last profile_reset()):
+  /// p50/p95/mean latency, run/row counts, EMA firing rate. All zeros /
+  /// -1 rates until profiling ran enabled.
+  [[nodiscard]] std::vector<PlanProfile::OpStats> profile() const {
+    return plan_.profile ? plan_.profile->snapshot() : std::vector<PlanProfile::OpStats>{};
+  }
+  /// Plan runs recorded by the profile.
+  [[nodiscard]] int64_t profiled_executes() const {
+    return plan_.profile ? plan_.profile->executes() : 0;
+  }
+  void profile_reset() const {
+    if (plan_.profile) plan_.profile->reset();
+  }
 
   /// Weight elements stored by the plan (CSR nnz + dense fallback sizes).
   [[nodiscard]] int64_t stored_weights() const { return plan_.stored_weights(); }

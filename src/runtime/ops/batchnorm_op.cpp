@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/trace.hpp"
+
 namespace ndsnn::runtime {
 
 using tensor::Shape;
@@ -27,6 +29,9 @@ Activation BatchNormOp::run(const Activation& input) const {
                                 ", H, W], got " + in.shape().str());
   }
   const int64_t m = in.dim(0), plane = in.dim(2) * in.dim(3);
+  trace::ScopedSpan span("bn-normalize", "phase");
+  span.rows(m);
+  span.bytes(channels_ * 4 * static_cast<int64_t>(sizeof(float)));
   Tensor out(in.shape());
   const float* src = in.data();
   float* dst = out.data();

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/trace.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
@@ -126,10 +127,19 @@ Tensor ConvOp::run_dense(const Tensor& input) const {
   g.padding = padding_;
   g.validate();
 
-  const Tensor cols = tensor::im2col(input, g);
+  Tensor cols;
+  {
+    trace::ScopedSpan span("im2col", "phase");
+    span.rows(g.batch);
+    cols = tensor::im2col(input, g);
+    span.bytes(cols.numel() * static_cast<int64_t>(sizeof(float)));
+  }
   const int64_t m = g.batch, oh = g.out_h(), ow = g.out_w();
   const int64_t plane = oh * ow;
   Tensor out(Shape{m, out_channels_, oh, ow});
+  trace::ScopedSpan gemm_span("conv-gemm", "phase");
+  gemm_span.rows(m);
+  gemm_span.bytes(bytes_);
 
   if (gemm_ == Kernel::kCsr && !csr_.quantized()) {
     // Fused spmm + transpose: accumulate each CSR row f straight into
@@ -268,6 +278,11 @@ Tensor ConvOp::run_event(const Activation& input) const {
   SpikeBatch scanned;
   if (!use_events) scanned = SpikeBatch::scan(in);
   const SpikeBatch& events = use_events ? input.events : scanned;
+
+  trace::ScopedSpan span("event-scatter", "phase");
+  span.rows(m);
+  span.rate(events.rate());
+  span.bytes(bytes_);
 
   // Output channels partition the scatter: each chunk replays the whole
   // event stream but writes only its own channel strip, nnz-balanced by

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/trace.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 
@@ -176,6 +177,11 @@ Tensor LinearOp::run_event(const Activation& input) const {
   // (it survives flatten, not pooling / batch norm); otherwise scan.
   const bool use_events =
       input.has_events && input.events.rows == m && input.events.row_size == in_features_;
+
+  trace::ScopedSpan span("event-gather", "phase");
+  span.rows(m);
+  if (use_events) span.rate(input.events.rate());
+  span.bytes(bytes_);
 
   // Batch rows are independent: partition them across the pool (each
   // chunk keeps its own scratch/accumulators). The work estimate counts

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/trace.hpp"
 #include "snn/surrogate.hpp"
 
 namespace ndsnn::runtime {
@@ -27,6 +28,8 @@ Activation LifOp::run(const Activation& input) const {
   }
   const int64_t step = total / timesteps_;
   const int64_t rows = in_t.dim(0);
+  trace::ScopedSpan span("lif-dynamics", "phase");
+  span.rows(rows);
   Tensor out(in_t.shape());
   SpikeBatchBuilder builder(rows, rows > 0 ? total / rows : 0);
   std::vector<float> vmt(static_cast<std::size_t>(step), 0.0F);  // v[t] - theta
@@ -54,7 +57,9 @@ Activation LifOp::run(const Activation& input) const {
     }
   }
   if (!emit_events_) return Activation(std::move(out));
-  return Activation(std::move(out), builder.finish());
+  Activation result(std::move(out), builder.finish());
+  span.rate(result.events.rate());  // observed firing rate, free from the view
+  return result;
 }
 
 OpReport LifOp::report() const { return {layer_name_, "lif", 0, 0, 0.0, false}; }
@@ -74,6 +79,8 @@ Activation AlifOp::run(const Activation& input) const {
   }
   const int64_t step = total / timesteps_;
   const int64_t rows = in_t.dim(0);
+  trace::ScopedSpan span("alif-dynamics", "phase");
+  span.rows(rows);
   Tensor out(in_t.shape());
   SpikeBatchBuilder builder(rows, rows > 0 ? total / rows : 0);
   std::vector<float> v(static_cast<std::size_t>(step), 0.0F);
@@ -95,7 +102,9 @@ Activation AlifOp::run(const Activation& input) const {
     }
   }
   if (!emit_events_) return Activation(std::move(out));
-  return Activation(std::move(out), builder.finish());
+  Activation result(std::move(out), builder.finish());
+  span.rate(result.events.rate());
+  return result;
 }
 
 OpReport AlifOp::report() const { return {layer_name_, "alif", 0, 0, 0.0, false}; }

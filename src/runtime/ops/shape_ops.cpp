@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace ndsnn::runtime {
@@ -108,22 +109,34 @@ Activation FlattenOp::run(const Activation& input) const {
 OpReport FlattenOp::report() const { return {"Flatten", "reshape", 0, 0, 0.0, false}; }
 
 Activation ResidualOp::run(const Activation& input) const {
+  // The block's sub-ops are invisible to Plan::execute (only the
+  // residual op itself gets a plan-level span), so when tracing is on
+  // each sub-op records its own "op" span here — that is where most of
+  // a resnet plan's time actually goes.
+  const bool traced = trace::enabled();
+  const auto run_sub = [traced](const std::unique_ptr<Op>& op, const Activation& in) {
+    return traced ? trace::run_op_instrumented(*op, op->report(), in, nullptr, 0)
+                  : op->run(in);
+  };
   // Chain through pointers so the identity shortcut never copies the
   // input activation (main_ is never empty: conv1..bn2).
   Activation main;
   const Activation* cur = &input;
   for (const auto& op : main_) {
-    main = op->run(*cur);
+    main = run_sub(op, *cur);
     cur = &main;
   }
   Activation shortcut;
   const Activation* scur = &input;
   for (const auto& op : shortcut_) {
-    shortcut = op->run(*scur);
+    shortcut = run_sub(op, *scur);
     scur = &shortcut;
   }
   tensor::add_(main.tensor, scur->tensor);
-  return out_lif_->run(Activation(std::move(main.tensor)));
+  const Activation summed(std::move(main.tensor));
+  return traced
+             ? trace::run_op_instrumented(*out_lif_, out_lif_->report(), summed, nullptr, 0)
+             : out_lif_->run(summed);
 }
 
 OpReport ResidualOp::report() const {

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "runtime/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ndsnn::runtime {
@@ -38,7 +39,18 @@ double SpikeBatch::rate() const {
 
 tensor::Tensor Plan::execute(tensor::Tensor encoded) const {
   Activation x(std::move(encoded));
-  for (const auto& op : ops) x = op->run(x);
+  PlanProfile* prof = profile && profile->enabled() ? profile.get() : nullptr;
+  if (prof == nullptr && !trace::enabled()) {
+    // Fast path: with tracing and profiling off (the default), the only
+    // instrumentation cost is the two relaxed loads above — the branch
+    // predicts perfectly across a serving run.
+    for (const auto& op : ops) x = op->run(x);
+    return std::move(x.tensor);
+  }
+  if (prof != nullptr) prof->count_execute();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    x = trace::run_op_instrumented(*ops[i], reports[i], x, prof, i);
+  }
   return std::move(x.tensor);
 }
 

@@ -26,6 +26,8 @@ class ThreadPool;
 
 namespace ndsnn::runtime {
 
+class PlanProfile;  // runtime/trace.hpp: per-op latency/firing-rate aggregation
+
 /// Which GEMM kernel a weight op was lowered onto (resolved from
 /// CompileOptions::backend by the compiler's cost heuristic).
 enum class Kernel { kDense, kCsr, kBcsr };
@@ -157,6 +159,12 @@ struct Plan {
   /// — and it is safe to drive from many threads at once (the
   /// BatchExecutor's request workers share it).
   std::shared_ptr<util::ThreadPool> pool;
+  /// Per-op profiling slots (runtime/trace.hpp), allocated by compile()
+  /// and disabled by default: execute() folds per-op durations and
+  /// observed firing rates into it when enabled. Shared so the const
+  /// serving surfaces (CompiledNetwork, BatchExecutor) can toggle and
+  /// snapshot it without mutating the immutable plan itself.
+  std::shared_ptr<PlanProfile> profile;
 
   /// Lanes of the intra-op pool (1 for serial plans). What the
   /// BatchExecutor divides its thread budget by.

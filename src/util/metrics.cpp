@@ -1,0 +1,173 @@
+#include "util/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace ndsnn::util {
+
+namespace {
+
+/// Round-robin thread -> shard assignment: consecutive threads hit
+/// different cache lines even when only a few are alive.
+std::size_t shard_for_thread() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id % static_cast<unsigned>(Histogram::kShards);
+}
+
+void atomic_add_double(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < d && !a.compare_exchange_weak(cur, d, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int HistogramSnapshot::bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // also catches NaN and negatives
+  // Overflow check BEFORE the cast: for v >= 2^kLogBuckets/kSubBuckets
+  // (infinity included) the float-to-int conversion below would be UB.
+  if (v >= std::exp2(static_cast<double>(kLogBuckets) / kSubBuckets)) return kBuckets - 1;
+  const int i = static_cast<int>(std::floor(std::log2(v) * kSubBuckets)) + 1;
+  return i >= kBuckets - 1 ? kBuckets - 1 : i;
+}
+
+double HistogramSnapshot::bucket_lower(int i) {
+  return std::exp2(static_cast<double>(i - 1) / kSubBuckets);
+}
+
+double HistogramSnapshot::bucket_mid(int i) {
+  if (i <= 0) return 0.5;                            // underflow: < 1
+  if (i >= kBuckets - 1) return bucket_lower(i);     // overflow: open above
+  return std::sqrt(bucket_lower(i) * bucket_lower(i + 1));
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count <= 0) return 0.0;
+  auto rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[static_cast<std::size_t>(i)];
+    if (seen >= rank) return bucket_mid(i);
+  }
+  return bucket_mid(kBuckets - 1);
+}
+
+void Histogram::record(double v) {
+  Shard& shard = shards_[shard_for_thread()];
+  const int bucket = HistogramSnapshot::bucket_index(v);
+  shard.counts[static_cast<std::size_t>(bucket)].fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(shard.sum, v);
+  atomic_max_double(shard.max, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  for (const Shard& shard : shards_) {
+    for (int i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      const int64_t c = shard.counts[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+      s.counts[static_cast<std::size_t>(i)] += c;
+      s.count += c;
+    }
+    s.sum += shard.sum.load(std::memory_order_relaxed);
+    const double m = shard.max.load(std::memory_order_relaxed);
+    if (m > s.max) s.max = m;
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (Shard& shard : shards_) {
+    for (auto& c : shard.counts) c.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.max.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::dump_text() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << "counter " << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "gauge " << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    os << "histogram " << name << " count=" << s.count << " mean=" << s.mean()
+       << " p50=" << s.percentile(0.50) << " p95=" << s.percentile(0.95)
+       << " p99=" << s.percentile(0.99) << " max=" << s.max << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::dump_json(JsonWriter& json) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) json.kv(name, c->value());
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) json.kv(name, g->value());
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    json.key(name).begin_object();
+    json.kv("count", s.count);
+    json.kv("mean", s.mean());
+    json.kv("p50", s.percentile(0.50));
+    json.kv("p95", s.percentile(0.95));
+    json.kv("p99", s.percentile(0.99));
+    json.kv("max", s.max);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace ndsnn::util

@@ -1,0 +1,145 @@
+// Process-wide metrics registry: counters, gauges, and log-bucketed
+// latency histograms for the serving path.
+//
+// Hot-path updates never serialize: counters and gauges are single
+// relaxed atomics, and histograms shard their bucket arrays per thread
+// group (round-robin thread -> shard assignment) so concurrent
+// BatchExecutor workers and pool lanes increment disjoint cache lines.
+// Reads (snapshot(), dump_text(), dump_json()) merge the shards; they
+// are approximate under concurrent writes, exact once writers quiesce.
+//
+// Histogram design: fixed log-spaced buckets (kSubBuckets per factor
+// of 2, ~±9% relative resolution) spanning [1, 2^30) in whatever unit
+// the caller records — the runtime records microseconds, covering 1 us
+// to ~18 min — plus underflow/overflow buckets. Percentiles use the
+// nearest-rank rule over the merged bucket counts and report the
+// geometric mean of the winning bucket's bounds, so the reported p50
+// is within one bucket width of the exact sample percentile
+// (tests/util/metrics_test.cpp pins both the analytic bucket math and
+// a fuzz comparison against a sorted-vector reference).
+//
+// The registry hands out stable references: a Counter/Gauge/Histogram
+// pointer obtained once (e.g. cached in a function-local static) stays
+// valid for the process lifetime. reset() zeroes values but never
+// invalidates references.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ndsnn::util {
+
+class JsonWriter;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Last-written instantaneous value (queue depth, active workers, ...).
+class Gauge {
+ public:
+  void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Merged read-side view of a Histogram (see percentile()).
+struct HistogramSnapshot {
+  static constexpr int kSubBuckets = 4;    ///< buckets per factor of 2
+  static constexpr int kLogBuckets = 120;  ///< covers [1, 2^30)
+  /// Total layout: [0] underflow (< 1), [1..kLogBuckets] log-spaced,
+  /// [kLogBuckets + 1] overflow (>= 2^30).
+  static constexpr int kBuckets = kLogBuckets + 2;
+
+  int64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  std::array<int64_t, kBuckets> counts{};
+
+  /// Bucket that holds `v` (NaN and negatives land in underflow).
+  [[nodiscard]] static int bucket_index(double v);
+  /// Lower bound of bucket `i` (i >= 1); bucket 0 has no lower bound.
+  [[nodiscard]] static double bucket_lower(int i);
+  /// Representative value reported for bucket `i`: geometric mean of
+  /// its bounds (underflow: half the minimum; overflow: its lower
+  /// bound).
+  [[nodiscard]] static double bucket_mid(int i);
+
+  [[nodiscard]] double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Nearest-rank percentile, q in [0, 1]: the representative of the
+  /// first bucket whose cumulative count reaches ceil(q * count).
+  /// Returns 0 when empty.
+  [[nodiscard]] double percentile(double q) const;
+};
+
+/// Sharded log-bucket histogram; record() is wait-free per shard.
+class Histogram {
+ public:
+  static constexpr int kShards = 8;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double v);
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<int64_t>, HistogramSnapshot::kBuckets> counts{};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> max{0.0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Name -> metric map with process-wide singleton access. Lookups lock;
+/// cache the returned reference on hot paths (function-local static).
+class MetricsRegistry {
+ public:
+  [[nodiscard]] static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// One line per metric, sorted by name: "counter name value",
+  /// "histogram name count=.. mean=.. p50=.. p95=.. p99=.. max=..".
+  [[nodiscard]] std::string dump_text() const;
+  /// Emit one JSON object value ({"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}) at the writer's current position.
+  void dump_json(JsonWriter& json) const;
+
+  /// Zero every registered metric (bench/test isolation). References
+  /// stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;  ///< guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ndsnn::util

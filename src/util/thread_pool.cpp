@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/metrics.hpp"
+
 namespace ndsnn::util {
+
+namespace {
+
+/// Dispatch counters in the process metrics registry: how often kernels
+/// actually fork-join vs fall through serially (work below
+/// kMinParallelWork), and how many chunks the forks fanned out. Cached
+/// references — registry lookups lock, the counters themselves are one
+/// relaxed atomic add.
+struct PoolMetrics {
+  Counter& fork_joins;
+  Counter& chunks;
+  Counter& serial_inline;
+
+  static PoolMetrics& get() {
+    auto& reg = MetricsRegistry::global();
+    static PoolMetrics m{reg.counter("pool.fork_joins"), reg.counter("pool.chunks"),
+                         reg.counter("pool.serial_inline")};
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int64_t lanes) : lanes_(lanes) {
   if (lanes < 1) {
@@ -57,9 +81,13 @@ void ThreadPool::run_chunk(Job& job, int64_t c) {
 void ThreadPool::parallel_chunks(int64_t chunks, const std::function<void(int64_t)>& fn) {
   if (chunks <= 0) return;
   if (chunks == 1 || lanes_ <= 1) {
+    PoolMetrics::get().serial_inline.add();
     for (int64_t c = 0; c < chunks; ++c) fn(c);
     return;
   }
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.fork_joins.add();
+  metrics.chunks.add(chunks);
   auto job = std::make_shared<Job>();
   job->fn = &fn;  // the caller blocks below, so the reference outlives the job
   job->chunks = chunks;

@@ -17,6 +17,12 @@
 // results are bitwise independent of the lane count (pinned by
 // tests/runtime/parallel_runtime_test.cpp across the differential
 // harness configs).
+//
+// Telemetry: dispatches increment the process metrics registry
+// (pool.fork_joins / pool.chunks / pool.serial_inline — relaxed
+// counters, one atomic add per call), so a metrics dump shows how
+// often the kernels actually went parallel vs fell below
+// kMinParallelWork.
 #pragma once
 
 #include <atomic>

@@ -3,13 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <string>
 #include <vector>
 
 #include "nn/models/zoo.hpp"
 #include "runtime/batch_executor.hpp"
 #include "runtime/compiled_network.hpp"
+#include "runtime/trace.hpp"
 #include "sparse/mask.hpp"
 #include "tensor/random.hpp"
+#include "util/metrics.hpp"
 
 namespace ndsnn::runtime {
 namespace {
@@ -219,6 +222,91 @@ TEST(BatchExecutorTest, CoalescingRespectsSampleCapAndShapeBoundary) {
   const ExecutorStats stats = exec.stats();
   EXPECT_EQ(stats.requests, 6);
   EXPECT_EQ(stats.samples, 12);
+}
+
+TEST(BatchExecutorTest, QueueWaitStatsTrackEnqueueToStart) {
+  const CompiledNetwork compiled = make_compiled(31);
+  // One worker, a burst of 8 requests: everything behind the head of
+  // the queue must observe a nonzero enqueue -> start wait, which the
+  // service-latency percentiles alone would never show.
+  BatchExecutor exec(compiled, 1);
+  const std::vector<Tensor> requests = make_requests(8, 32);
+  (void)exec.run_all(requests);
+  const ExecutorStats stats = exec.stats();
+  EXPECT_GT(stats.queue_p95_ms, 0.0);
+  EXPECT_LE(stats.queue_p50_ms, stats.queue_p95_ms);
+  EXPECT_GE(stats.queue_mean_ms, 0.0);
+  // Drained executor: nothing left waiting.
+  EXPECT_EQ(stats.queue_depth, 0);
+}
+
+TEST(BatchExecutorTest, EmptyExecutorReportsZeroWaitAndDepth) {
+  const CompiledNetwork compiled = make_compiled(33);
+  BatchExecutor exec(compiled, 2);
+  const ExecutorStats stats = exec.stats();
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.queue_mean_ms, 0.0);
+  EXPECT_EQ(stats.queue_p50_ms, 0.0);
+  EXPECT_EQ(stats.queue_p95_ms, 0.0);
+}
+
+TEST(BatchExecutorTest, WorkerUtilizationIsAMeaningfulFraction) {
+  const CompiledNetwork compiled = make_compiled(35);
+  BatchExecutor exec(compiled, 2);
+  (void)exec.run_all(make_requests(8, 36));
+  const ExecutorStats stats = exec.stats();
+  ASSERT_EQ(stats.utilization_per_worker.size(), 2U);
+  EXPECT_GT(stats.worker_utilization, 0.0);
+  EXPECT_LE(stats.worker_utilization, 1.0 + 1e-9);
+  double sum = 0.0;
+  for (const double u : stats.utilization_per_worker) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+    sum += u;
+  }
+  EXPECT_NEAR(stats.worker_utilization, sum / 2.0, 1e-9);
+}
+
+TEST(BatchExecutorTest, TracedServingEmitsQueueAndExecuteSpans) {
+  trace::reset();
+  trace::set_enabled(true);
+  {
+    const CompiledNetwork compiled = make_compiled(37);
+    ExecutorOptions opts;
+    opts.max_coalesce = 4;
+    opts.max_wait_us = 1000;
+    BatchExecutor exec(compiled, 1, opts);
+    Rng rng(38);
+    std::vector<Tensor> singles;
+    for (int i = 0; i < 8; ++i) {
+      Tensor b(Shape{1, 1, 16, 16});
+      b.fill_uniform(rng, 0.0F, 1.0F);
+      singles.push_back(std::move(b));
+    }
+    (void)exec.run_all(singles);
+  }
+  trace::set_enabled(false);
+  int queue_spans = 0, execute_spans = 0;
+  for (const trace::Span& s : trace::snapshot()) {
+    const std::string cat(s.cat);
+    if (cat == "queue") ++queue_spans;
+    if (cat == "serve" && s.name == "execute") ++execute_spans;
+  }
+  trace::reset();
+  // Every request waited in the queue (one span each); every pass —
+  // fused or solo — ran under an execute span.
+  EXPECT_EQ(queue_spans, 8);
+  EXPECT_GE(execute_spans, 1);
+  EXPECT_LE(execute_spans, 8);
+}
+
+TEST(BatchExecutorTest, ExecutorFeedsProcessMetricsRegistry) {
+  auto& reg = util::MetricsRegistry::global();
+  const int64_t before = reg.counter("executor.requests").value();
+  const CompiledNetwork compiled = make_compiled(39);
+  BatchExecutor exec(compiled, 2);
+  (void)exec.run_all(make_requests(5, 40));
+  EXPECT_EQ(reg.counter("executor.requests").value(), before + 5);
 }
 
 TEST(BatchExecutorTest, PropagatesRunErrorsThroughFuture) {

@@ -1,0 +1,244 @@
+// Metrics registry: the counters/gauges/histograms the serving path
+// records into. Pins the analytic log-bucket math (index/bounds/mid),
+// the nearest-rank percentile against a sorted-vector reference (both
+// hand-picked samples and an env-seeded fuzz sweep), concurrent sharded
+// recording, and the registry's stable-reference + dump contracts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../testing_env.hpp"
+#include "tensor/random.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace ndsnn::util {
+namespace {
+
+TEST(MetricsTest, CounterAddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(MetricsTest, GaugeSetsAndAdds) {
+  Gauge g;
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 4);
+  g.set(-2);  // gauges may go negative (e.g. a miscounted depth shows up)
+  EXPECT_EQ(g.value(), -2);
+}
+
+// -- Analytic bucket math ---------------------------------------------------
+
+TEST(MetricsTest, BucketIndexPinnedValues) {
+  using S = HistogramSnapshot;
+  // Underflow: everything below 1, plus the non-finite junk.
+  EXPECT_EQ(S::bucket_index(0.0), 0);
+  EXPECT_EQ(S::bucket_index(0.999), 0);
+  EXPECT_EQ(S::bucket_index(-5.0), 0);
+  EXPECT_EQ(S::bucket_index(std::numeric_limits<double>::quiet_NaN()), 0);
+  // First log bucket starts exactly at 1.
+  EXPECT_EQ(S::bucket_index(1.0), 1);
+  // kSubBuckets buckets per octave: 2.0 opens bucket kSubBuckets + 1.
+  EXPECT_EQ(S::bucket_index(2.0), S::kSubBuckets + 1);
+  EXPECT_EQ(S::bucket_index(4.0), 2 * S::kSubBuckets + 1);
+  // Just below an octave boundary stays in the previous bucket.
+  EXPECT_EQ(S::bucket_index(std::nextafter(2.0, 0.0)), S::kSubBuckets);
+  // Overflow: >= 2^30 clamps to the last bucket.
+  EXPECT_EQ(S::bucket_index(std::exp2(30.0)), S::kBuckets - 1);
+  EXPECT_EQ(S::bucket_index(1e300), S::kBuckets - 1);
+  EXPECT_EQ(S::bucket_index(std::numeric_limits<double>::infinity()), S::kBuckets - 1);
+}
+
+TEST(MetricsTest, BucketBoundsAndMids) {
+  using S = HistogramSnapshot;
+  EXPECT_DOUBLE_EQ(S::bucket_lower(1), 1.0);
+  EXPECT_DOUBLE_EQ(S::bucket_lower(S::kSubBuckets + 1), 2.0);
+  // Geometric mean of the bucket's bounds, so mid(i) lies inside
+  // [lower(i), lower(i+1)) and the relative error of reporting mid for
+  // any sample in the bucket is bounded by sqrt(growth).
+  for (int i = 1; i < S::kBuckets - 1; ++i) {
+    const double lo = S::bucket_lower(i), hi = S::bucket_lower(i + 1);
+    const double mid = S::bucket_mid(i);
+    EXPECT_GE(mid, lo) << "bucket " << i;
+    EXPECT_LT(mid, hi) << "bucket " << i;
+    EXPECT_NEAR(mid, std::sqrt(lo * hi), 1e-9 * mid) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(S::bucket_mid(0), 0.5);
+  EXPECT_DOUBLE_EQ(S::bucket_mid(S::kBuckets - 1), S::bucket_lower(S::kBuckets - 1));
+}
+
+TEST(MetricsTest, EveryValueLandsInItsBucketRange) {
+  using S = HistogramSnapshot;
+  tensor::Rng rng(difftest::env_seed() ^ 0xB0C4E75ULL);
+  for (int i = 0; i < 2000; ++i) {
+    // Log-uniform over the full covered range [1, 2^30).
+    const double v = std::exp2(rng.uniform01() * 30.0);
+    const int b = S::bucket_index(v);
+    ASSERT_GE(b, 1) << v;
+    ASSERT_LT(b, S::kBuckets - 1) << v;
+    EXPECT_GE(v, S::bucket_lower(b)) << "bucket " << b;
+    EXPECT_LT(v, S::bucket_lower(b + 1)) << "bucket " << b;
+  }
+}
+
+// -- Percentiles ------------------------------------------------------------
+
+TEST(MetricsTest, PercentileEmptyAndSingle) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.snapshot().percentile(0.5), 0.0);
+  h.record(100.0);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1);
+  // Any quantile of a single sample reports that sample's bucket mid.
+  const double mid = HistogramSnapshot::bucket_mid(HistogramSnapshot::bucket_index(100.0));
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), mid);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), mid);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), mid);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 100.0);
+}
+
+TEST(MetricsTest, PercentilePinnedSmallSample) {
+  // 10 samples spread an octave apart: nearest-rank p50 is the 5th
+  // sorted sample (2^4 = 16), p90 the 9th (2^8 = 256). Octave spacing
+  // keeps every sample in a distinct bucket so the expected bucket is
+  // unambiguous.
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(std::exp2(i));
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 10);
+  const auto mid_of = [](double v) {
+    return HistogramSnapshot::bucket_mid(HistogramSnapshot::bucket_index(v));
+  };
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), mid_of(16.0));
+  EXPECT_DOUBLE_EQ(s.percentile(0.9), mid_of(256.0));
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), mid_of(512.0));
+  EXPECT_DOUBLE_EQ(s.max, 512.0);
+}
+
+TEST(MetricsTest, PercentileFuzzAgainstSortedReference) {
+  // The histogram's contract: nearest-rank percentile lands in exactly
+  // the bucket holding the sorted-vector nearest-rank sample
+  // (bucket_index is monotone), so the reported mid is within one
+  // bucket's relative width (factor 2^(1/4) ~ 1.19) of the exact value.
+  tensor::Rng rng(difftest::env_seed() ^ 0xFE22ULL);
+  for (int round = 0; round < 20; ++round) {
+    Histogram h;
+    std::vector<double> ref;
+    const int n = 50 + static_cast<int>(rng.uniform_int(2000));
+    for (int i = 0; i < n; ++i) {
+      // Mix of log-uniform latencies and near-zero underflow values.
+      const double v = rng.bernoulli(0.05) ? rng.uniform01() * 0.5
+                                           : std::exp2(rng.uniform01() * 20.0);
+      h.record(v);
+      ref.push_back(v);
+    }
+    std::sort(ref.begin(), ref.end());
+    const HistogramSnapshot s = h.snapshot();
+    ASSERT_EQ(s.count, n);
+    for (const double q : {0.05, 0.5, 0.9, 0.95, 0.99}) {
+      const auto rank = static_cast<std::size_t>(
+          std::ceil(q * static_cast<double>(n)));
+      const double exact = ref[std::max<std::size_t>(rank, 1) - 1];
+      const double got = s.percentile(q);
+      if (exact < 1.0) {
+        EXPECT_DOUBLE_EQ(got, 0.5) << "q=" << q << " n=" << n;
+      } else {
+        EXPECT_GE(got, exact / std::exp2(0.25) * (1.0 - 1e-12))
+            << "q=" << q << " n=" << n << " exact=" << exact;
+        EXPECT_LE(got, exact * std::exp2(0.25) * (1.0 + 1e-12))
+            << "q=" << q << " n=" << n << " exact=" << exact;
+      }
+    }
+    EXPECT_DOUBLE_EQ(s.max, ref.back());
+  }
+}
+
+TEST(MetricsTest, ConcurrentRecordingLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>(1 + (t * kPerThread + i) % 1000));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, int64_t{kThreads} * kPerThread);
+  int64_t bucket_total = 0;
+  for (const int64_t c : s.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, s.count);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+}
+
+// -- Registry ---------------------------------------------------------------
+
+TEST(MetricsTest, RegistryHandsOutStableReferences) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("test.counter");
+  Counter& c2 = reg.counter("test.counter");
+  EXPECT_EQ(&c1, &c2);  // same name -> same metric
+  c1.add(3);
+  EXPECT_EQ(c2.value(), 3);
+  Gauge& g = reg.gauge("test.gauge");
+  EXPECT_NE(static_cast<void*>(&g), static_cast<void*>(&c1));
+  // reset zeroes values but the references stay live.
+  reg.reset();
+  EXPECT_EQ(c1.value(), 0);
+  c1.add(1);
+  EXPECT_EQ(reg.counter("test.counter").value(), 1);
+}
+
+TEST(MetricsTest, DumpTextListsEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("reqs").add(5);
+  reg.gauge("depth").set(2);
+  reg.histogram("lat_us").record(100.0);
+  const std::string text = reg.dump_text();
+  EXPECT_NE(text.find("reqs"), std::string::npos) << text;
+  EXPECT_NE(text.find("depth"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_us"), std::string::npos) << text;
+  EXPECT_NE(text.find('5'), std::string::npos) << text;
+}
+
+TEST(MetricsTest, DumpJsonIsWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("reqs").add(5);
+  reg.histogram("lat_us").record(100.0);
+  JsonWriter json;
+  json.begin_object();
+  json.key("metrics");
+  reg.dump_json(json);
+  json.end_object();
+  const std::string doc = json.str();
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"gauges\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"reqs\":5"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"lat_us\""), std::string::npos) << doc;
+}
+
+TEST(MetricsTest, GlobalSingletonIsOneInstance) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace ndsnn::util

@@ -16,6 +16,16 @@ TOLERANCE is 30% (noisy-box tolerant): the point is to catch a kernel
 or heuristic change that halves the sparse win, not to chase scheduler
 jitter.
 
+Schema evolution: the bench JSON grows a section per PR (structured,
+quant_kernel, executor, op_breakdown, ...). Sections this script does
+not know about are IGNORED, so adding a section never breaks the gate
+and a fresh bench can be compared against an older snapshot. The
+inverse is not tolerated: if a section this script *requires* is
+missing from either document, that is a schema break (a bench refactor
+silently dropped output) and the check fails with a message naming the
+document and the section, rather than passing vacuously or dying on a
+KeyError.
+
 Usage: check_bench_regression.py <fresh.json> <snapshot.json>
 Exit 0 = no regression, 1 = regression (or malformed input).
 """
@@ -25,6 +35,26 @@ import sys
 
 TOLERANCE = 0.30
 GATED_SPARSITIES = (0.9, 0.95)
+
+# Sections that must exist (and be non-empty) in both documents. Only
+# the sections the gate actually reads are required; everything else in
+# the JSON is informational and may come or go between versions.
+REQUIRED_SECTIONS = ("sparsity_sweep",)
+
+
+def check_required_sections(doc, label):
+    """Return a list of human-readable errors for missing sections."""
+    errors = []
+    for section in REQUIRED_SECTIONS:
+        if section not in doc:
+            errors.append(
+                f"FAIL: required section '{section}' missing from {label} -- "
+                f"the bench schema changed (or the wrong JSON was passed); "
+                f"refusing to pass vacuously")
+        elif not doc[section]:
+            errors.append(
+                f"FAIL: required section '{section}' in {label} is empty")
+    return errors
 
 
 def sweep_speedups(doc):
@@ -42,6 +72,14 @@ def main(argv):
         fresh = json.load(f)
     with open(argv[2]) as f:
         snapshot = json.load(f)
+
+    section_errors = (check_required_sections(fresh, f"fresh ({argv[1]})") +
+                      check_required_sections(snapshot, f"snapshot ({argv[2]})"))
+    if section_errors:
+        for err in section_errors:
+            print(err)
+        print("bench regression check FAILED (schema)")
+        return 1
 
     fresh_speedups = sweep_speedups(fresh)
     snap_speedups = sweep_speedups(snapshot)
@@ -69,6 +107,13 @@ def main(argv):
         print(f"info: spmm speedup at 4 threads = {tk.get('spmm_speedup_4t', 0):.2f}x")
     if "coalesce_speedup" in fresh:
         print(f"info: coalescing speedup = {fresh['coalesce_speedup']:.2f}x")
+    breakdown = fresh.get("op_breakdown", {})
+    if breakdown.get("ops"):
+        hottest = max(breakdown["ops"],
+                      key=lambda op: op.get("mean_us", 0.0) * op.get("runs", 0))
+        print(f"info: hottest op = {hottest.get('layer', '?')} "
+              f"({hottest.get('kind', '?')}), "
+              f"share {100.0 * hottest.get('share', 0.0):.1f}%")
 
     if failed:
         print("bench regression check FAILED")
