@@ -10,11 +10,13 @@
 //                           [--activation auto|dense|event]
 //                           [--precision auto|fp32|int8|int4]
 //                           [--intra-threads 1] [--coalesce 0]
-//                           [--coalesce-wait-us 200]
+//                           [--coalesce-wait-us 200] [--slo-ms 0]
 //                           [--save-checkpoint model.ndck]
 //                           [--checkpoint model.ndck]
 //                           [--trace out.json] [--metrics-every 8]
 //                           [--profile]
+//                           [--listen PORT] [--models name=a.ndck,name2=b.ndck]
+//                           [--mem-budget-mb 0] [--serve-seconds 0]
 //
 // --threads is the executor's *total* worker budget; --intra-threads
 // compiles the plan with a shared intra-op pool (0 = hardware
@@ -28,6 +30,16 @@
 // is skipped entirely and the plan comes straight from
 // CompiledNetwork::from_checkpoint — the checkpoint-driven serving path
 // (no training network is ever instantiated by this binary).
+//
+// --listen PORT switches from the in-process CLI demo loop to the real
+// socket front-end: a blocking TCP server (src/serve/) answering
+// length-prefixed binary frames (README "Serving"). Models come from
+// --models name=checkpoint pairs (or --checkpoint as model "default"),
+// live behind a ModelRegistry whose --mem-budget-mb budgeter
+// requantises (int8) then evicts cold plans, and are scheduled with
+// --slo-ms admission control. --serve-seconds bounds the run (0 =
+// until stdin closes). Port 0 asks the kernel for a free port and
+// prints it. Without --listen, the CLI loop below is the fallback.
 //
 // --precision selects the stored bit width of the sparse weight value
 // planes (default auto: per layer, the lowest width whose measured
@@ -44,8 +56,11 @@
 // --profile prints the measured per-op latency/firing-rate table at
 // the end. Any of the three enables plan profiling; traced outputs are
 // bitwise identical to untraced ones.
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -54,6 +69,8 @@
 #include "runtime/batch_executor.hpp"
 #include "runtime/compiled_network.hpp"
 #include "runtime/trace.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
 #include "sparse/structured.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/random.hpp"
@@ -195,11 +212,81 @@ int main(int argc, char** argv) {
   ndsnn::runtime::ExecutorOptions exec_opts;
   exec_opts.max_coalesce = cli.get_int("--coalesce", 0);
   exec_opts.max_wait_us = cli.get_int("--coalesce-wait-us", 200);
+  exec_opts.slo_ms = cli.get_double("--slo-ms", 0.0);
 
   ServeTelemetry tel;
   tel.trace_path = cli.get_string("--trace", "");
   tel.metrics_every = cli.get_int("--metrics-every", 0);
   tel.profile = cli.has_flag("--profile");
+
+  // Socket front-end: --listen replaces the demo loop with the real
+  // TCP server over a ModelRegistry (see the header comment).
+  const int listen_port = cli.get_int("--listen", -1);
+  if (listen_port >= 0) {
+    std::vector<std::pair<std::string, std::string>> models;
+    std::string spec_list = cli.get_string("--models", "");
+    while (!spec_list.empty()) {
+      const std::size_t comma = spec_list.find(',');
+      const std::string pair = spec_list.substr(0, comma);
+      spec_list = comma == std::string::npos ? "" : spec_list.substr(comma + 1);
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= pair.size()) {
+        std::fprintf(stderr, "--models entries must be name=checkpoint, got '%s'\n",
+                     pair.c_str());
+        return 1;
+      }
+      models.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    }
+    if (!checkpoint.empty()) models.emplace_back("default", checkpoint);
+    if (models.empty()) {
+      std::fprintf(stderr,
+                   "--listen needs at least one model: --checkpoint file.ndck or "
+                   "--models name=file.ndck[,name2=other.ndck]\n");
+      return 1;
+    }
+
+    ndsnn::serve::RegistryOptions ropts;
+    ropts.mem_budget_bytes =
+        static_cast<int64_t>(cli.get_int("--mem-budget-mb", 0)) * (1 << 20);
+    ropts.executor_threads = threads;
+    ropts.executor = exec_opts;
+    ndsnn::serve::ModelRegistry registry(ropts);
+    for (const auto& [name, path] : models) {
+      registry.add(
+          name,
+          [path](const ndsnn::runtime::CompileOptions& o) {
+            return ndsnn::runtime::CompiledNetwork::from_checkpoint(path, o);
+          },
+          opts);
+    }
+
+    ndsnn::serve::ServerOptions sopts;
+    sopts.port = static_cast<uint16_t>(listen_port);
+    sopts.default_model = models.front().first;
+    ndsnn::serve::Server server(registry, sopts);
+    server.start();
+    std::printf("listening on 127.0.0.1:%u — %zu model(s), default '%s', "
+                "budget %lld MiB, slo %.1f ms\n",
+                server.port(), models.size(), sopts.default_model.c_str(),
+                static_cast<long long>(ropts.mem_budget_bytes >> 20), exec_opts.slo_ms);
+    const int serve_seconds = cli.get_int("--serve-seconds", 0);
+    if (serve_seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+    } else {
+      // Foreground service: run until the operator closes stdin.
+      while (std::getchar() != EOF) {
+      }
+    }
+    server.stop();
+    std::printf("served %lld request(s) over %lld connection(s); "
+                "%lld load(s), %lld requantisation(s), %lld eviction(s)\n",
+                static_cast<long long>(server.requests_served()),
+                static_cast<long long>(server.connections()),
+                static_cast<long long>(registry.loads()),
+                static_cast<long long>(registry.requantisations()),
+                static_cast<long long>(registry.evictions()));
+    return 0;
+  }
 
   // Checkpoint-driven serving: no experiment, no training network —
   // the architecture record inside the checkpoint rebuilds everything.

@@ -17,15 +17,13 @@ using tensor::Tensor;
 
 namespace {
 
-/// Requests fuse when their per-sample layout matches: same rank and
-/// identical trailing dimensions (dim 0 is the batch axis being
-/// concatenated).
-bool coalescable(const Tensor& a, const Tensor& b) {
-  if (a.rank() != b.rank() || a.rank() < 1) return false;
-  for (int64_t d = 1; d < a.rank(); ++d) {
-    if (a.dim(d) != b.dim(d)) return false;
-  }
-  return true;
+/// Per-sample layout of a request: every dim after the batch axis.
+/// Requests with equal keys (and equal SLO class) share a sub-queue and
+/// are always fusable.
+std::vector<int64_t> shape_key(const Tensor& t) {
+  std::vector<int64_t> key;
+  for (int64_t d = 1; d < t.rank(); ++d) key.push_back(t.dim(d));
+  return key;
 }
 
 double ms_between(std::chrono::steady_clock::time_point a,
@@ -38,6 +36,7 @@ double ms_between(std::chrono::steady_clock::time_point a,
 struct ExecutorMetrics {
   util::Counter& requests;
   util::Counter& coalesced;
+  util::Counter& shed;
   util::Gauge& queue_depth;
   util::Histogram& queue_wait_us;
   util::Histogram& service_us;
@@ -46,6 +45,7 @@ struct ExecutorMetrics {
     auto& reg = util::MetricsRegistry::global();
     static ExecutorMetrics m{reg.counter("executor.requests"),
                              reg.counter("executor.coalesced_requests"),
+                             reg.counter("executor.shed_requests"),
                              reg.gauge("executor.queue_depth"),
                              reg.histogram("executor.queue_wait_us"),
                              reg.histogram("executor.service_us")};
@@ -73,13 +73,11 @@ Tensor concat_rows(const std::vector<Tensor*>& parts) {
 
 BatchExecutor::BatchExecutor(const CompiledNetwork& net, int64_t num_threads,
                              const ExecutorOptions& opts)
-    : net_(net),
-      opts_(opts),
-      intra_op_threads_(net.intra_op_threads()),
-      start_(std::chrono::steady_clock::now()) {
+    : net_(net), opts_(opts), intra_op_threads_(net.intra_op_threads()) {
   if (num_threads < 1) {
     throw std::invalid_argument("BatchExecutor: num_threads must be >= 1");
   }
+  recent_wait_buckets_.reserve(kPredictorWindow);
   // Split the budget: a plan with an intra-op pool already fans each
   // request across intra_op_threads lanes, so spawning num_threads
   // request workers on top would oversubscribe the machine.
@@ -93,20 +91,99 @@ BatchExecutor::BatchExecutor(const CompiledNetwork& net, int64_t num_threads,
 
 BatchExecutor::~BatchExecutor() { shutdown(); }
 
-std::future<Tensor> BatchExecutor::submit(Tensor batch) {
+double BatchExecutor::budget_ms(SloClass slo) const {
+  return slo == SloClass::kBatch ? opts_.slo_ms * opts_.batch_slo_factor : opts_.slo_ms;
+}
+
+double BatchExecutor::predicted_wait_ms_locked() const {
+  // Drain-time term: how long the queued work takes the worker pool at
+  // the observed per-sample service rate. Reacts instantly to bursts.
+  double depth_ms = 0.0;
+  if (ema_service_per_sample_ms_ > 0.0 && !workers_.empty()) {
+    depth_ms = static_cast<double>(queued_samples_ + inflight_samples_) *
+               ema_service_per_sample_ms_ / static_cast<double>(workers_.size());
+  }
+  // Histogram term: p90 of the last kPredictorWindow observed queue
+  // waits (log-bucket counts, util::HistogramSnapshot bucket math).
+  // Remembers steady-state queueing a momentary depth dip hides; the
+  // short window makes it decay quickly once the spike drains. A high
+  // percentile, not the median: admission protects the SLO of the
+  // *tail*, and at 80% utilization the p90 wait runs several times the
+  // median — a median predictor admits a tail that then violates.
+  double hist_ms = 0.0;
+  const auto n = static_cast<int64_t>(recent_wait_buckets_.size());
+  if (n > 0) {
+    const auto target =
+        std::max<int64_t>(1, static_cast<int64_t>(std::ceil(0.90 * static_cast<double>(n))));
+    int64_t seen = 0;
+    for (int b = 0; b < util::HistogramSnapshot::kBuckets; ++b) {
+      seen += recent_wait_counts_[static_cast<std::size_t>(b)];
+      if (seen >= target) {
+        hist_ms = util::HistogramSnapshot::bucket_mid(b) / 1e3;  // us -> ms
+        break;
+      }
+    }
+  }
+  return std::max(depth_ms, hist_ms);
+}
+
+void BatchExecutor::shed(Request& req, const char* why) {
+  req.promise.set_exception(std::make_exception_ptr(ShedError(why)));
+}
+
+std::future<Tensor> BatchExecutor::submit(Tensor batch, SloClass slo) {
   Request req;
   req.samples = batch.rank() >= 1 ? batch.dim(0) : 1;
   req.batch = std::move(batch);
+  req.slo = slo;
   req.enqueued = std::chrono::steady_clock::now();
+  req.deadline = req.enqueued;
+  if (opts_.slo_ms > 0.0) {
+    req.deadline += std::chrono::microseconds(
+        static_cast<int64_t>(budget_ms(slo) * 1e3));
+  }
   if (trace::enabled()) req.trace_ts_us = trace::now_us();
   std::future<Tensor> future = req.promise.get_future();
+  bool rejected = false;
+  const char* why = "";
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) throw std::runtime_error("BatchExecutor: submit after shutdown");
-    queue_.push_back(std::move(req));
-    ExecutorMetrics::get().queue_depth.set(static_cast<int64_t>(queue_.size()));
+    if (stopping_) {
+      rejected = true;
+      why = "BatchExecutor: submit after shutdown";
+      ++shed_requests_;
+    } else if (opts_.slo_ms > 0.0 &&
+               predicted_wait_ms_locked() +
+                       ema_service_per_sample_ms_ * static_cast<double>(req.samples) >
+                   budget_ms(slo)) {
+      // The SLO is on end-to-end latency, so admission charges the
+      // request its own expected service time on top of the queue wait.
+      rejected = true;
+      why = "BatchExecutor: shed — predicted queue wait above SLO budget";
+      ++shed_requests_;
+    } else {
+      if (!has_first_request_) {
+        has_first_request_ = true;
+        first_request_ = req.enqueued;
+      }
+      const std::vector<int64_t> key = shape_key(req.batch);
+      int qi = find_queue(slo, key);
+      if (qi < 0) {
+        queues_.push_back(std::make_unique<SubQueue>(SubQueue{slo, key, {}}));
+        qi = static_cast<int>(queues_.size()) - 1;
+      }
+      ++queued_requests_;
+      queued_samples_ += req.samples;
+      queues_[static_cast<std::size_t>(qi)]->q.push_back(std::move(req));
+      ExecutorMetrics::get().queue_depth.set(queued_requests_);
+    }
   }
-  cv_.notify_one();
+  if (rejected) {
+    ExecutorMetrics::get().shed.add(1);
+    shed(req, why);
+  } else {
+    cv_.notify_one();
+  }
   return future;
 }
 
@@ -177,18 +254,27 @@ WindowStats window_stats(std::vector<double> sorted) {
 ExecutorStats BatchExecutor::stats() const {
   std::vector<double> latencies;
   std::vector<double> waits;
+  std::vector<double> e2e;
   std::vector<double> busy;
   ExecutorStats s;
+  bool has_first = false;
+  std::chrono::steady_clock::time_point first{};
   {
     const std::lock_guard<std::mutex> lock(mu_);
     s.requests = completed_requests_;
     s.samples = completed_samples_;
     s.fused_batches = fused_batches_;
     s.coalesced_requests = coalesced_requests_;
-    s.queue_depth = static_cast<int64_t>(queue_.size());
+    s.shed_requests = shed_requests_;
+    s.slo_violations = slo_violations_;
+    s.queue_depth = queued_requests_;
+    s.predicted_wait_ms = predicted_wait_ms_locked();
     latencies = latencies_ms_;
     waits = waits_ms_;
+    e2e = e2e_ms_;
     busy = busy_ms_;
+    has_first = has_first_request_;
+    first = first_request_;
   }
   const WindowStats service = window_stats(std::move(latencies));
   s.mean_ms = service.mean;
@@ -200,7 +286,15 @@ ExecutorStats BatchExecutor::stats() const {
   s.queue_mean_ms = wait.mean;
   s.queue_p50_ms = wait.p50;
   s.queue_p95_ms = wait.p95;
-  const double elapsed_ms = ms_between(start_, std::chrono::steady_clock::now());
+  const WindowStats end_to_end = window_stats(std::move(e2e));
+  s.e2e_p50_ms = end_to_end.p50;
+  s.e2e_p95_ms = end_to_end.p95;
+  s.e2e_p99_ms = end_to_end.p99;
+  // Utilization denominator: wall time since the FIRST request, not
+  // since construction — a warm executor that idled before traffic
+  // used to report misleadingly low utilization.
+  const double elapsed_ms =
+      has_first ? ms_between(first, std::chrono::steady_clock::now()) : 0.0;
   s.utilization_per_worker.reserve(busy.size());
   double busy_total = 0.0;
   for (const double b : busy) {
@@ -219,6 +313,7 @@ void BatchExecutor::record(const std::vector<Request>& group, int64_t samples, d
   metrics.requests.add(static_cast<int64_t>(group.size()));
   metrics.service_us.record(ms * 1e3);
   const std::lock_guard<std::mutex> lock(mu_);
+  inflight_samples_ -= samples;
   completed_requests_ += static_cast<int64_t>(group.size());
   completed_samples_ += samples;
   if (fused) {
@@ -227,6 +322,15 @@ void BatchExecutor::record(const std::vector<Request>& group, int64_t samples, d
     metrics.coalesced.add(static_cast<int64_t>(group.size()));
   }
   if (worker < busy_ms_.size()) busy_ms_[worker] += ms;
+  // Admission predictor input: EMA of per-sample service time.
+  if (samples > 0) {
+    const double per_sample = ms / static_cast<double>(samples);
+    constexpr double kAlpha = 0.2;
+    ema_service_per_sample_ms_ = ema_service_per_sample_ms_ > 0.0
+                                     ? (1.0 - kAlpha) * ema_service_per_sample_ms_ +
+                                           kAlpha * per_sample
+                                     : per_sample;
+  }
   for (const Request& r : group) {
     if (latencies_ms_.size() < kLatencyWindow) {
       latencies_ms_.push_back(ms);
@@ -240,33 +344,118 @@ void BatchExecutor::record(const std::vector<Request>& group, int64_t samples, d
       waits_ms_[wait_next_] = r.wait_ms;
     }
     wait_next_ = (wait_next_ + 1) % kLatencyWindow;
+    const double e2e = r.wait_ms + ms;
+    if (e2e_ms_.size() < kLatencyWindow) {
+      e2e_ms_.push_back(e2e);
+    } else {
+      e2e_ms_[e2e_next_] = e2e;
+    }
+    e2e_next_ = (e2e_next_ + 1) % kLatencyWindow;
+    if (opts_.slo_ms > 0.0 && e2e > budget_ms(r.slo)) ++slo_violations_;
+    // Sliding predictor histogram: add this wait's bucket, retire the
+    // oldest once the window is full.
+    const int bucket = util::HistogramSnapshot::bucket_index(r.wait_ms * 1e3);
+    if (recent_wait_buckets_.size() < kPredictorWindow) {
+      recent_wait_buckets_.push_back(static_cast<int16_t>(bucket));
+    } else {
+      const int old = recent_wait_buckets_[recent_wait_next_];
+      --recent_wait_counts_[static_cast<std::size_t>(old)];
+      recent_wait_buckets_[recent_wait_next_] = static_cast<int16_t>(bucket);
+    }
+    ++recent_wait_counts_[static_cast<std::size_t>(bucket)];
+    recent_wait_next_ = (recent_wait_next_ + 1) % kPredictorWindow;
     metrics.queue_wait_us.record(r.wait_ms * 1e3);
   }
 }
 
-std::vector<BatchExecutor::Request> BatchExecutor::take_group(
-    std::unique_lock<std::mutex>& lock) {
-  // Stamp the queue wait (enqueue -> pop) the moment a request leaves
-  // the queue, and emit its queue-wait span while tracing.
-  const auto pop = [this](Request&& req) {
-    const auto now = std::chrono::steady_clock::now();
-    req.wait_ms = ms_between(req.enqueued, now);
-    if (trace::enabled() && req.trace_ts_us > 0.0) {
-      trace::Span span;
-      span.name = "queue-wait";
-      span.cat = "queue";
-      span.ts_us = req.trace_ts_us;
-      span.dur_us = trace::now_us() - req.trace_ts_us;
-      span.rows = req.samples;
-      trace::record(std::move(span));
+int BatchExecutor::find_queue(SloClass slo, const std::vector<int64_t>& shape) const {
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (queues_[i]->slo == slo && queues_[i]->shape == shape) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int BatchExecutor::pick_queue() const {
+  int best = -1;
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (queues_[i]->q.empty()) continue;
+    if (best < 0) {
+      best = static_cast<int>(i);
+      continue;
     }
-    return std::move(req);
-  };
+    const Request& head = queues_[i]->q.front();
+    const Request& incumbent = queues_[static_cast<std::size_t>(best)]->q.front();
+    // Interactive before batch; EDF within a class. With slo_ms == 0
+    // every deadline equals its enqueue time, so this is arrival-order
+    // FIFO across sub-queues.
+    if (head.slo != incumbent.slo) {
+      if (head.slo < incumbent.slo) best = static_cast<int>(i);
+    } else if (head.deadline < incumbent.deadline) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+BatchExecutor::Request BatchExecutor::pop_head(int qi) {
+  SubQueue& sq = *queues_[static_cast<std::size_t>(qi)];
+  Request req = std::move(sq.q.front());
+  sq.q.pop_front();
+  --queued_requests_;
+  queued_samples_ -= req.samples;
+  const auto now = std::chrono::steady_clock::now();
+  req.wait_ms = ms_between(req.enqueued, now);
+  if (trace::enabled() && req.trace_ts_us > 0.0) {
+    trace::Span span;
+    span.name = "queue-wait";
+    span.cat = "queue";
+    span.ts_us = req.trace_ts_us;
+    span.dur_us = trace::now_us() - req.trace_ts_us;
+    span.rows = req.samples;
+    trace::record(std::move(span));
+  }
+  return req;
+}
+
+std::vector<BatchExecutor::Request> BatchExecutor::take_group(
+    std::unique_lock<std::mutex>& lock, std::vector<Request>& doomed) {
   std::vector<Request> group;
-  group.push_back(pop(std::move(queue_.front())));
-  queue_.pop_front();
+  int first = pick_queue();
+  // Lazy shed: a head whose expected finish is already past its
+  // deadline would execute only to violate — drop it at dispatch so the
+  // capacity serves requests that can still make their budget. (The
+  // admission predictor bounds the queue, but a load spike between
+  // admit and dispatch can still doom requests; EDF puts them at the
+  // head, where they would otherwise delay every follower too.)
+  if (opts_.slo_ms > 0.0) {
+    while (first >= 0) {
+      const Request& head = queues_[static_cast<std::size_t>(first)]->q.front();
+      const double service_ms =
+          ema_service_per_sample_ms_ * static_cast<double>(head.samples);
+      const auto finish = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(static_cast<int64_t>(service_ms * 1e3));
+      if (finish <= head.deadline) break;
+      doomed.push_back(pop_head(first));
+      ++shed_requests_;
+      if (queues_[static_cast<std::size_t>(first)]->q.empty()) {
+        queues_.erase(queues_.begin() + first);
+      }
+      first = pick_queue();
+    }
+    if (first < 0) {
+      ExecutorMetrics::get().queue_depth.set(queued_requests_);
+      return group;  // everything queued was doomed
+    }
+  }
+  group.push_back(pop_head(first));
+  const SloClass slo = group.front().slo;
+  const std::vector<int64_t> key = shape_key(group.front().batch);
+  // Drop the bin if that pop emptied it — sub-queues are transient.
+  if (queues_[static_cast<std::size_t>(first)]->q.empty()) {
+    queues_.erase(queues_.begin() + first);
+  }
   if (opts_.max_coalesce <= 1) {
-    ExecutorMetrics::get().queue_depth.set(static_cast<int64_t>(queue_.size()));
+    ExecutorMetrics::get().queue_depth.set(queued_requests_);
     return group;
   }
   int64_t samples = group.front().samples;
@@ -274,25 +463,30 @@ std::vector<BatchExecutor::Request> BatchExecutor::take_group(
                         std::chrono::microseconds(opts_.max_wait_us);
   double hold_open_start_us = -1.0;  // first straggler wait, trace clock
   while (samples < opts_.max_coalesce) {
-    if (!queue_.empty()) {
-      Request& head = queue_.front();
-      // Stop at the first incompatible or overflowing request: FIFO
-      // order is preserved, nothing is reordered around it.
-      if (!coalescable(group.front().batch, head.batch) ||
-          samples + head.samples > opts_.max_coalesce) {
-        break;
-      }
-      samples += head.samples;
-      group.push_back(pop(std::move(head)));
-      queue_.pop_front();
+    // Fuse whatever same-class same-shape requests are already queued.
+    // They are compatible by construction; other bins are untouched, so
+    // interleaved foreign shapes no longer break a group apart (the old
+    // single-FIFO design stopped at the first incompatible request and
+    // fused nothing under interleaving).
+    const int qi = find_queue(slo, key);
+    if (qi >= 0) {
+      SubQueue& sq = *queues_[static_cast<std::size_t>(qi)];
+      if (samples + sq.q.front().samples > opts_.max_coalesce) break;
+      samples += sq.q.front().samples;
+      group.push_back(pop_head(qi));
+      if (sq.q.empty()) queues_.erase(queues_.begin() + qi);
       continue;
     }
     if (stopping_ || opts_.max_wait_us <= 0) break;
-    // Briefly hold the batch open for stragglers.
+    // Hold the group open for stragglers ONLY while nothing else is
+    // runnable: if any other bin has work, run immediately — a partial
+    // group must never make unrelated requests wait behind its timer.
+    if (queued_requests_ > 0) break;
     if (trace::enabled() && hold_open_start_us < 0.0) hold_open_start_us = trace::now_us();
-    if (cv_.wait_until(lock, deadline, [this] { return stopping_ || !queue_.empty(); })) {
-      if (stopping_ && queue_.empty()) break;
-      continue;
+    if (cv_.wait_until(lock, deadline,
+                       [this] { return stopping_ || queued_requests_ > 0; })) {
+      if (stopping_ && queued_requests_ == 0) break;
+      continue;  // something arrived: fuse it or run (loop re-checks)
     }
     break;  // timed out
   }
@@ -305,7 +499,7 @@ std::vector<BatchExecutor::Request> BatchExecutor::take_group(
     span.rows = samples;
     trace::record(std::move(span));
   }
-  ExecutorMetrics::get().queue_depth.set(static_cast<int64_t>(queue_.size()));
+  ExecutorMetrics::get().queue_depth.set(queued_requests_);
   return group;
 }
 
@@ -313,6 +507,7 @@ void BatchExecutor::run_group(std::vector<Request>& group, std::size_t worker) {
   int64_t samples = 0;
   for (const Request& r : group) samples += r.samples;
   const bool fused = group.size() > 1;
+  bool recorded = false;
   try {
     const util::Stopwatch sw;
     Tensor logits;
@@ -333,6 +528,7 @@ void BatchExecutor::run_group(std::vector<Request>& group, std::size_t worker) {
     }
     const double ms = sw.millis();
     record(group, samples, ms, fused, worker);
+    recorded = true;
     if (!fused) {
       group.front().promise.set_value(std::move(logits));
     } else {
@@ -349,6 +545,11 @@ void BatchExecutor::run_group(std::vector<Request>& group, std::size_t worker) {
       }
     }
   } catch (...) {
+    if (!recorded) {
+      // record() never ran for this group; release its in-flight claim.
+      const std::lock_guard<std::mutex> lock(mu_);
+      inflight_samples_ -= samples;
+    }
     for (Request& r : group) r.promise.set_exception(std::current_exception());
   }
 }
@@ -356,13 +557,27 @@ void BatchExecutor::run_group(std::vector<Request>& group, std::size_t worker) {
 void BatchExecutor::worker_loop(std::size_t worker) {
   for (;;) {
     std::vector<Request> group;
+    std::vector<Request> doomed;
+    bool more = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      group = take_group(lock);
+      cv_.wait(lock, [this] { return stopping_ || queued_requests_ > 0; });
+      if (queued_requests_ == 0) return;  // stopping_ and drained
+      group = take_group(lock, doomed);
+      for (const Request& r : group) inflight_samples_ += r.samples;
+      more = queued_requests_ > 0;
     }
-    run_group(group, worker);
+    // A hold-open wait can swallow the notify_one meant for an idle
+    // worker (the waiter wakes, sees a foreign shape and runs its own
+    // group) — re-arm a peer whenever work remains queued.
+    if (more) cv_.notify_one();
+    if (!doomed.empty()) {
+      ExecutorMetrics::get().shed.add(static_cast<int64_t>(doomed.size()));
+      for (Request& r : doomed) {
+        shed(r, "BatchExecutor: shed — deadline unreachable at dispatch");
+      }
+    }
+    if (!group.empty()) run_group(group, worker);
   }
 }
 

@@ -1,32 +1,59 @@
-// BatchExecutor: throughput-oriented serving front-end for a
-// CompiledNetwork.
+// BatchExecutor: SLO-aware serving scheduler for a CompiledNetwork.
 //
-// A small pool of request workers drains a FIFO of inference requests;
-// each request is one input batch [N, ...] and resolves to the mean
-// logits [N, classes] through a std::future. The CompiledNetwork plan is
+// A small pool of request workers drains inference requests; each
+// request is one input batch [N, ...] and resolves to the mean logits
+// [N, classes] through a std::future. The CompiledNetwork plan is
 // immutable, so workers share it without synchronization.
+//
+// Scheduling (PR 7): the queue is not a single FIFO. Requests are
+// binned into per-(SLO class, sample shape) sub-queues, and a free
+// worker always picks the sub-queue whose *head* is most urgent:
+// interactive class before batch class, earliest deadline first (EDF)
+// within a class. A request's deadline is its enqueue time plus its
+// class's SLO budget (ExecutorOptions::slo_ms, scaled by
+// batch_slo_factor for the batch class); with no SLO configured the
+// deadline degenerates to the enqueue time and EDF is exactly
+// arrival-order FIFO.
+//
+// Coalescing without head-of-line blocking: with max_coalesce > 1 a
+// worker that picks a sub-queue keeps popping follow-up requests *from
+// that same sub-queue* (same shape by construction, so always fusable)
+// into one time-major pass of up to max_coalesce samples, splitting the
+// logits back per request afterwards. It holds the group open for up to
+// max_wait_us waiting for stragglers ONLY while no other request of any
+// shape is runnable; the moment an incompatible request arrives the
+// group runs with what it has. The previous design popped from one
+// global FIFO and could neither fuse same-shape requests separated by
+// an incompatible one (interleaved shapes collapsed coalescing to
+// nothing) nor stop holding a partial group when foreign work queued
+// behind it — tests/runtime/batch_executor_test.cpp pins both fixes.
+//
+// Admission control: with slo_ms > 0, submit() predicts the end-to-end
+// latency a new request would see — predicted queue wait plus the
+// request's expected service time — and sheds it immediately (the
+// future throws ShedError) once that exceeds the request's SLO budget.
+// The wait predictor is the larger of (a) a drain-time estimate, queued
+// samples times an EMA of observed per-sample service time divided by
+// the worker count, and (b) the recent queue-wait histogram's p90 (the
+// PR 6 log-bucket histogram machinery over a short sliding window):
+// (a) reacts instantly to bursts, (b) remembers steady-state queueing
+// that an instantaneous depth reading misses, and a tail percentile —
+// not the median — is what keeps admitted p99 inside the budget.
+// Shedding at admission keeps the queue short enough that admitted
+// requests meet their budget instead of everyone timing out together.
 //
 // Thread budget: the constructor's num_threads is the *total* worker
 // budget. When the plan was compiled with an intra-op pool
 // (CompileOptions::num_threads > 1), the executor spawns
 // max(1, num_threads / intra_op_threads) request workers so
 // inter-request and intra-op parallelism split the budget instead of
-// oversubscribing the machine; a serial plan keeps the historical
-// one-worker-per-thread behaviour.
+// oversubscribing the machine.
 //
-// Adaptive coalescing (ExecutorOptions): many concurrent *small*
-// requests are the worst case for per-run fixed costs (per-op dispatch,
-// im2col setup, activation allocation). With max_coalesce > 1 a worker
-// that pops a request keeps popping shape-compatible ones — waiting up
-// to max_wait_us for stragglers — and fuses them into one time-major
-// pass over the concatenated batch, then splits the logits back per
-// request. Every op processes batch rows independently, so the fused
-// logits are bitwise identical to running each request alone
-// (tests/runtime/batch_executor_test.cpp pins this).
-//
-// Determinism: a request's result depends only on its input and the
-// plan — never on which worker ran it, how many workers exist, or which
-// requests it was fused with.
+// Determinism: a request's logits depend only on its input and the
+// plan — never on which worker ran it, how many workers exist, which
+// requests it was fused with, or which other requests were shed
+// (fusing is bitwise-exact because every op processes batch rows
+// independently). Shedding affects only *whether* a request runs.
 #pragma once
 
 #include <chrono>
@@ -34,31 +61,58 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "runtime/compiled_network.hpp"
 #include "tensor/tensor.hpp"
+#include "util/metrics.hpp"
 
 namespace ndsnn::runtime {
 
+/// Priority tier of a request. Interactive requests always schedule
+/// before batch requests; the batch class also gets a longer SLO budget
+/// (ExecutorOptions::batch_slo_factor) before admission control sheds it.
+enum class SloClass : uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+/// Thrown through the future of a request the admission controller
+/// refused (predicted queue wait above the SLO budget) or that was
+/// submitted after shutdown(). Clients treat it as back-pressure:
+/// retry later or against another replica, don't escalate.
+class ShedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Serving statistics snapshot. Service latency (mean/p50/p95/p99/max)
 /// is measured per request from execution start to completion on the
-/// worker; queue wait (queue_*) is measured separately from enqueue to
-/// the moment a worker pops the request, so the end-to-end latency a
-/// client observes is *wait + service* — under load the queue side is
-/// the latency frontier and was previously invisible. Every request of
-/// a fused pass reports that pass's service latency and its own queue
-/// wait. Percentiles are nearest-rank over a sliding window of the
-/// most recent requests (kLatencyWindow) so a long-lived executor's
-/// memory and stats() cost stay bounded; requests/samples are all-time
-/// totals.
+/// worker; queue wait (queue_*) from enqueue to the moment a worker
+/// pops the request; e2e_* is their per-request sum — the latency a
+/// client actually observes and the quantity SLO violations are counted
+/// against. Every request of a fused pass reports that pass's service
+/// latency and its own queue wait. Percentiles are nearest-rank over a
+/// sliding window of the most recent requests (kLatencyWindow) so a
+/// long-lived executor's memory and stats() cost stay bounded;
+/// requests/samples/shed/violation counts are all-time totals.
 struct ExecutorStats {
-  int64_t requests = 0;  ///< requests fully processed
+  int64_t requests = 0;  ///< requests fully processed (admitted only)
   int64_t samples = 0;   ///< batch rows fully processed
   int64_t fused_batches = 0;       ///< coalesced passes (>= 2 requests each)
   int64_t coalesced_requests = 0;  ///< requests served inside a fused pass
+  /// Requests that never executed: refused by admission control at
+  /// submit, dropped at dispatch once their deadline became
+  /// unreachable, or submitted after shutdown. Their futures throw
+  /// ShedError.
+  int64_t shed_requests = 0;
+  /// Admitted requests whose end-to-end latency (wait + service)
+  /// exceeded their SLO budget. Only counted while slo_ms > 0.
+  int64_t slo_violations = 0;
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
@@ -68,24 +122,40 @@ struct ExecutorStats {
   double queue_mean_ms = 0.0;
   double queue_p50_ms = 0.0;
   double queue_p95_ms = 0.0;
-  /// Requests waiting in the queue at snapshot time.
+  /// End-to-end (wait + service) per request over the same window.
+  double e2e_p50_ms = 0.0;
+  double e2e_p95_ms = 0.0;
+  double e2e_p99_ms = 0.0;
+  /// Requests waiting in the sub-queues at snapshot time.
   int64_t queue_depth = 0;
-  /// Mean fraction of wall time the request workers spent executing
-  /// (busy time / (elapsed * workers) since construction).
+  /// Admission predictor's current queue-wait estimate (ms).
+  double predicted_wait_ms = 0.0;
+  /// Mean fraction of wall time the request workers spent executing:
+  /// busy time / (elapsed * workers), where elapsed is measured from
+  /// the FIRST submitted request — a warm executor that idled before
+  /// traffic arrived no longer dilutes its own utilization. Zero until
+  /// the first request.
   double worker_utilization = 0.0;
   /// Per-worker busy fraction (index = worker spawn order).
   std::vector<double> utilization_per_worker;
 };
 
-/// Request-coalescing knobs (defaults: coalescing off).
+/// Scheduling knobs (defaults: coalescing off, no SLO — plain FIFO).
 struct ExecutorOptions {
   /// Maximum *samples* (batch rows) per fused pass; <= 1 disables
   /// coalescing. A request bigger than the cap still runs alone.
   int64_t max_coalesce = 1;
   /// How long a worker holding fewer than max_coalesce samples waits
-  /// for more compatible requests before running what it has. 0 = only
-  /// fuse what is already queued.
+  /// for more same-shape requests before running what it has. The wait
+  /// only happens while no other request is runnable; foreign arrivals
+  /// end it immediately. 0 = only fuse what is already queued.
   int64_t max_wait_us = 0;
+  /// Interactive-class SLO budget in milliseconds. > 0 enables EDF
+  /// deadlines, admission control (shedding) and SLO-violation
+  /// accounting; 0 disables all three (nothing is ever shed).
+  double slo_ms = 0.0;
+  /// The batch class's budget is slo_ms * batch_slo_factor.
+  double batch_slo_factor = 4.0;
 };
 
 class BatchExecutor {
@@ -103,11 +173,15 @@ class BatchExecutor {
   BatchExecutor& operator=(const BatchExecutor&) = delete;
 
   /// Enqueue one inference request; the future resolves to the mean
-  /// logits [N, classes]. Throws std::runtime_error after shutdown().
-  [[nodiscard]] std::future<tensor::Tensor> submit(tensor::Tensor batch);
+  /// logits [N, classes]. Never throws for queue-state reasons: a
+  /// request shed by admission control or submitted after shutdown()
+  /// gets a future that throws ShedError instead — the caller decides
+  /// whether that is an error, mid-drain races included.
+  [[nodiscard]] std::future<tensor::Tensor> submit(
+      tensor::Tensor batch, SloClass slo = SloClass::kInteractive);
 
   /// Convenience: submit every batch, wait for all, return results in
-  /// submission order.
+  /// submission order. Rethrows the first ShedError/execution error.
   [[nodiscard]] std::vector<tensor::Tensor> run_all(
       const std::vector<tensor::Tensor>& batches);
 
@@ -128,54 +202,113 @@ class BatchExecutor {
   /// Samples (batch rows) fully processed so far.
   [[nodiscard]] int64_t completed_samples() const;
 
-  /// Throughput totals, per-request service latency and queue-wait
-  /// percentiles over the most recent kLatencyWindow requests
-  /// (p50/p95/p99 by nearest rank), queue depth, and per-worker
-  /// utilization. End-to-end = queue wait + service.
+  /// Throughput totals, service / queue-wait / end-to-end percentiles
+  /// over the most recent kLatencyWindow requests (nearest rank), shed
+  /// and SLO-violation counts, queue depth, the admission predictor's
+  /// current estimate, and per-worker utilization since first request.
   [[nodiscard]] ExecutorStats stats() const;
 
   /// Latency samples retained for percentile estimation.
   static constexpr std::size_t kLatencyWindow = 8192;
+  /// Queue waits retained by the admission predictor's histogram; a
+  /// short window so the prediction decays quickly after a load spike.
+  static constexpr std::size_t kPredictorWindow = 512;
 
  private:
   struct Request {
     tensor::Tensor batch;
     int64_t samples = 0;
     std::promise<tensor::Tensor> promise;
+    SloClass slo = SloClass::kInteractive;
     /// When submit() enqueued the request: the queue-wait clock.
     std::chrono::steady_clock::time_point enqueued;
+    /// enqueued + the class's SLO budget (== enqueued when slo_ms == 0,
+    /// making EDF identical to arrival order).
+    std::chrono::steady_clock::time_point deadline;
     /// Same instant on the trace clock (only filled while tracing).
     double trace_ts_us = 0.0;
-    /// Enqueue -> pop wait, filled by take_group.
+    /// Enqueue -> pop wait, filled when a worker takes the request.
     double wait_ms = 0.0;
   };
 
+  /// One scheduling bin: every queued request with this SLO class and
+  /// per-sample shape (trailing dims; dim 0 is the batch axis). Within
+  /// a bin, arrival order == deadline order, so the head is the bin's
+  /// most urgent request. Empty bins are erased.
+  struct SubQueue {
+    SloClass slo = SloClass::kInteractive;
+    std::vector<int64_t> shape;
+    std::deque<Request> q;
+  };
+
   void worker_loop(std::size_t worker);
-  /// Pop one request plus any coalescable followers (caller holds mu_);
-  /// stamps each popped request's queue wait and emits its queue-wait
-  /// trace span.
-  std::vector<Request> take_group(std::unique_lock<std::mutex>& lock);
+  /// Index of the sub-queue whose head is most urgent ((class,
+  /// deadline) lexicographic min), or -1 when nothing is queued.
+  /// Caller holds mu_.
+  [[nodiscard]] int pick_queue() const;
+  /// Sub-queue index for (slo, shape), or -1. Caller holds mu_.
+  [[nodiscard]] int find_queue(SloClass slo, const std::vector<int64_t>& shape) const;
+  /// Admission predictor (ms). Caller holds mu_.
+  [[nodiscard]] double predicted_wait_ms_locked() const;
+  /// SLO budget of a class in ms (infinity semantics via slo_ms == 0
+  /// are handled by the callers). Requires opts_.slo_ms > 0.
+  [[nodiscard]] double budget_ms(SloClass slo) const;
+  /// Pop the most urgent request plus same-shape followers up to the
+  /// coalesce cap, holding the group open for stragglers only while
+  /// nothing else is runnable (caller holds mu_ via `lock`). With an
+  /// SLO configured, heads that are already doomed — expected finish
+  /// past their deadline even if started now — are popped into `doomed`
+  /// instead (lazy shed at dispatch; the caller resolves them with
+  /// ShedError outside the lock). May return an empty group when every
+  /// queued head was doomed.
+  std::vector<Request> take_group(std::unique_lock<std::mutex>& lock,
+                                  std::vector<Request>& doomed);
+  /// Pop the head of queues_[qi] with wait bookkeeping. Caller holds mu_.
+  Request pop_head(int qi);
   void run_group(std::vector<Request>& group, std::size_t worker);
   void record(const std::vector<Request>& group, int64_t samples, double ms, bool fused,
               std::size_t worker);
+  /// Resolve a request's future with ShedError. Caller must NOT hold mu_.
+  static void shed(Request& req, const char* why);
 
   const CompiledNetwork& net_;
   const ExecutorOptions opts_;
   int64_t intra_op_threads_ = 1;
-  std::chrono::steady_clock::time_point start_;  ///< utilization denominator
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Request> queue_;
+  /// unique_ptr: SubQueue holds promises (move-only) and vector
+  /// reallocation must not try to copy them.
+  std::vector<std::unique_ptr<SubQueue>> queues_;
+  int64_t queued_requests_ = 0;  ///< total across sub-queues
+  int64_t queued_samples_ = 0;   ///< total batch rows across sub-queues
+  /// Samples taken by workers but not yet finished: the admission
+  /// predictor's drain term counts them too (a running fused pass
+  /// delays new arrivals just like queued work does).
+  int64_t inflight_samples_ = 0;
   bool stopping_ = false;
+  bool has_first_request_ = false;
+  std::chrono::steady_clock::time_point first_request_;  ///< utilization denominator
   int64_t completed_requests_ = 0;
   int64_t completed_samples_ = 0;
   int64_t fused_batches_ = 0;
   int64_t coalesced_requests_ = 0;
+  int64_t shed_requests_ = 0;
+  int64_t slo_violations_ = 0;
+  /// EMA of observed service time per sample (ms); the drain-time term
+  /// of the admission predictor.
+  double ema_service_per_sample_ms_ = 0.0;
   std::vector<double> latencies_ms_;  ///< ring of the last kLatencyWindow requests
   std::size_t latency_next_ = 0;      ///< ring write cursor
   std::vector<double> waits_ms_;      ///< queue-wait ring, same window
   std::size_t wait_next_ = 0;
+  std::vector<double> e2e_ms_;        ///< wait + service ring, same window
+  std::size_t e2e_next_ = 0;
+  /// Admission predictor: log-bucket counts (util::HistogramSnapshot
+  /// bucket math) over the last kPredictorWindow queue waits in us.
+  std::array<int32_t, util::HistogramSnapshot::kBuckets> recent_wait_counts_{};
+  std::vector<int16_t> recent_wait_buckets_;  ///< ring of bucket indices
+  std::size_t recent_wait_next_ = 0;
   std::vector<double> busy_ms_;       ///< per-worker execution time
 
   std::vector<std::thread> workers_;

@@ -1,0 +1,63 @@
+// Open-loop Poisson load generator for the serving bench and tests.
+//
+// Closed-loop driving (submit, wait, submit) can never observe queueing
+// collapse: the client self-throttles to the server's pace and p99
+// looks flat however overloaded the scheduler is. An open-loop
+// generator fires requests at the arrival times of a Poisson process of
+// a chosen offered rate, regardless of completions — exactly the
+// coordinated-omission-free discipline serving benchmarks need. The
+// e2e percentiles come from the executor's own per-request stats window
+// (enqueue -> completion), so collection order cannot skew them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/batch_executor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::serve {
+
+struct LoadgenOptions {
+  double offered_rps = 100.0;  ///< mean arrival rate (requests/second)
+  int64_t requests = 100;      ///< arrivals to generate
+  uint64_t seed = 1;           ///< arrival-process RNG seed
+  /// Fraction of arrivals submitted as SloClass::kBatch (0 = all
+  /// interactive), drawn from the same seeded stream.
+  double batch_fraction = 0.0;
+};
+
+/// One measurement point of an offered-load sweep.
+struct LoadgenResult {
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;  ///< completed / wall duration
+  int64_t offered = 0;        ///< arrivals generated
+  int64_t completed = 0;      ///< futures that resolved with logits
+  int64_t shed = 0;           ///< futures that threw ShedError
+  int64_t slo_violations = 0; ///< from ExecutorStats (admitted, late)
+  double duration_s = 0.0;    ///< first submit -> last completion
+  /// End-to-end (queue wait + service) percentiles of admitted
+  /// requests, from the executor's sliding window.
+  double e2e_p50_ms = 0.0;
+  double e2e_p95_ms = 0.0;
+  double e2e_p99_ms = 0.0;
+  double shed_rate = 0.0;          ///< shed / offered
+  double violation_rate = 0.0;     ///< slo_violations / completed
+};
+
+/// The arrival schedule itself: cumulative exponential inter-arrival
+/// gaps (mean 1000/rps ms), deterministic in `seed`. Exposed so tests
+/// can pin the process's statistics without running an executor.
+[[nodiscard]] std::vector<double> poisson_arrival_times_ms(double rps, int64_t n,
+                                                           uint64_t seed);
+
+/// Replay a Poisson arrival schedule against an executor: submit a copy
+/// of `sample` at each arrival time (sleeping between arrivals), then
+/// wait for every future and fold the executor's stats window into a
+/// LoadgenResult. The executor should be freshly constructed so the
+/// stats window holds exactly this run.
+[[nodiscard]] LoadgenResult run_open_loop(runtime::BatchExecutor& exec,
+                                          const tensor::Tensor& sample,
+                                          const LoadgenOptions& opts);
+
+}  // namespace ndsnn::serve

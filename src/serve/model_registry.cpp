@@ -1,0 +1,123 @@
+#include "serve/model_registry.hpp"
+
+#include <limits>
+
+#include "util/metrics.hpp"
+
+namespace ndsnn::serve {
+
+void ModelRegistry::add(const std::string& name, Loader loader,
+                        const runtime::CompileOptions& base) {
+  if (!loader) throw std::invalid_argument("ModelRegistry::add: null loader");
+  std::lock_guard<std::mutex> lk(mu_);
+  if (entries_.count(name) != 0) {
+    throw std::invalid_argument("ModelRegistry::add: duplicate model '" + name + "'");
+  }
+  Entry e;
+  e.loader = std::move(loader);
+  e.opts = base;
+  entries_.emplace(name, std::move(e));
+}
+
+std::shared_ptr<ServedModel> ModelRegistry::acquire(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("ModelRegistry: unknown model '" + name + "'");
+  }
+  Entry& e = it->second;
+  if (!e.model) load_locked(e);
+  e.last_used = ++tick_;
+  enforce_budget_locked(name);
+  return e.model;
+}
+
+bool ModelRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.count(name) != 0;
+}
+
+bool ModelRegistry::resident(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.model != nullptr;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+int64_t ModelRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return resident_bytes_locked();
+}
+
+int64_t ModelRegistry::evictions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evictions_;
+}
+
+int64_t ModelRegistry::requantisations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return requantisations_;
+}
+
+int64_t ModelRegistry::loads() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return loads_;
+}
+
+void ModelRegistry::load_locked(Entry& e) {
+  e.model = std::make_shared<ServedModel>(e.loader(e.opts), opts_.executor_threads,
+                                          opts_.executor);
+  ++loads_;
+  util::MetricsRegistry::global().counter("registry.loads").add();
+}
+
+int64_t ModelRegistry::resident_bytes_locked() const {
+  int64_t total = 0;
+  for (const auto& [_, e] : entries_) {
+    if (e.model) total += e.model->plan().stored_bytes();
+  }
+  return total;
+}
+
+void ModelRegistry::enforce_budget_locked(const std::string& keep) {
+  if (opts_.mem_budget_bytes <= 0) return;
+  auto& metrics = util::MetricsRegistry::global();
+  // Two rounds of cold-first pressure: requantise, then evict.
+  for (const bool evicting : {false, true}) {
+    while (resident_bytes_locked() > opts_.mem_budget_bytes) {
+      Entry* coldest = nullptr;
+      uint64_t coldest_tick = std::numeric_limits<uint64_t>::max();
+      for (auto& [name, e] : entries_) {
+        if (!e.model || name == keep) continue;
+        if (!evicting && e.requantised) continue;  // nothing left to shrink
+        if (e.last_used < coldest_tick) {
+          coldest_tick = e.last_used;
+          coldest = &e;
+        }
+      }
+      if (coldest == nullptr) break;  // only `keep` (or nothing) left to squeeze
+      if (evicting) {
+        coldest->model.reset();
+        ++evictions_;
+        metrics.counter("registry.evictions").add();
+      } else {
+        coldest->opts.weight_precision = runtime::WeightPrecision::kInt8;
+        coldest->requantised = true;
+        load_locked(*coldest);
+        ++requantisations_;
+        metrics.counter("registry.requantisations").add();
+      }
+    }
+  }
+  metrics.gauge("registry.resident_bytes")
+      .set(resident_bytes_locked());
+}
+
+}  // namespace ndsnn::serve

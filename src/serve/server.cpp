@@ -1,0 +1,180 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+
+namespace ndsnn::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(ModelRegistry& registry, const ServerOptions& opts)
+    : registry_(registry), opts_(opts) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("serve: socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("serve: bind");
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("serve: listen");
+  }
+  // Read the port back: with opts.port == 0 the kernel picked one.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw_errno("serve: getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Server::~Server() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::start() {
+  if (acceptor_.joinable()) return;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  // Unblock accept() and every connection's blocking read.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (const int fd : conn_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) t.join();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (stop()) or fatal — exit either way
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.fetch_add(1);
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void Server::handle_connection(int fd) {
+  std::vector<uint8_t> payload;
+  try {
+    while (!stopping_.load() && recv_frame(fd, payload)) {
+      ResponseFrame resp;
+      try {
+        const RequestFrame req = decode_request(payload.data(), payload.size());
+        const std::string& name =
+            req.model.empty() ? opts_.default_model : req.model;
+        if (req.slo_class > static_cast<uint8_t>(runtime::SloClass::kBatch)) {
+          throw std::invalid_argument("serve: unknown SLO class");
+        }
+        auto model = registry_.acquire(name);
+        resp.logits = model->executor()
+                          .submit(req.batch, static_cast<runtime::SloClass>(req.slo_class))
+                          .get();
+        resp.status = Status::kOk;
+      } catch (const runtime::ShedError& e) {
+        resp.status = Status::kShed;
+        resp.message = e.what();
+      } catch (const std::exception& e) {
+        resp.status = Status::kError;
+        resp.message = e.what();
+      }
+      // Count before the bytes go out: a client that has seen the
+      // response must also see it counted (tests rely on this order).
+      requests_served_.fetch_add(1);
+      util::MetricsRegistry::global().counter("serve.requests").add();
+      send_frame(fd, encode_response(resp));
+    }
+  } catch (const WireError& e) {
+    // Malformed stream or peer vanished mid-frame: nothing to answer.
+    util::log_debug() << "serve: closing connection: " << e.what();
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  for (int& recorded : conn_fds_) {
+    if (recorded == fd) recorded = -1;  // stop() must not shut down a reused fd
+  }
+}
+
+ResponseFrame round_trip(int fd, const RequestFrame& req) {
+  send_frame(fd, encode_request(req));
+  std::vector<uint8_t> payload;
+  if (!recv_frame(fd, payload)) {
+    throw WireError("serve: server closed before responding");
+  }
+  return decode_response(payload.data(), payload.size());
+}
+
+int connect_local(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("serve: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("serve: connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace ndsnn::serve

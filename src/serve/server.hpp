@@ -1,0 +1,88 @@
+// Blocking-socket TCP front-end over a ModelRegistry.
+//
+// One acceptor thread listens on a TCP port; each accepted connection
+// gets a handler thread that loops recv_frame -> decode_request ->
+// ModelRegistry::acquire -> BatchExecutor::submit -> encode_response ->
+// send_frame until the client closes. The actual request parallelism
+// stays in the executors' worker pools — connection threads only block
+// on sockets and futures, so even many idle connections cost nothing
+// but a thread apiece.
+//
+// Error surface, per request: ShedError (admission control or shutdown)
+// maps to Status::kShed; any other server-side exception (unknown
+// model, bad input shape) maps to Status::kError with the exception
+// message. Only a protocol-level WireError (bad magic, truncated
+// frame) closes the connection — a malformed stream cannot be re-synced.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/model_registry.hpp"
+#include "serve/wire.hpp"
+
+namespace ndsnn::serve {
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 lets the kernel pick (see port()).
+  uint16_t port = 0;
+  /// Model served when a request's model name is empty.
+  std::string default_model;
+};
+
+class Server {
+ public:
+  /// Binds and listens on 127.0.0.1:<port> immediately (throws
+  /// std::runtime_error on bind failure); start() begins accepting.
+  /// The registry must outlive the server.
+  Server(ModelRegistry& registry, const ServerOptions& opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawn the acceptor thread. Idempotent.
+  void start();
+  /// Stop accepting, unblock and join every connection thread.
+  /// In-flight requests finish; blocked reads see the socket shut down.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  /// The bound port (the kernel's choice when opts.port was 0).
+  [[nodiscard]] uint16_t port() const { return port_; }
+  /// Requests answered with any status (all-time).
+  [[nodiscard]] int64_t requests_served() const { return requests_served_.load(); }
+  /// Connections accepted (all-time).
+  [[nodiscard]] int64_t connections() const { return connections_.load(); }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  ModelRegistry& registry_;
+  const ServerOptions opts_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> requests_served_{0};
+  std::atomic<int64_t> connections_{0};
+  std::thread acceptor_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;  ///< parallel to conn_threads_; -1 once closed
+};
+
+/// Client-side convenience for tests and the loadgen: one framed
+/// request/response round trip over a connected fd. Throws WireError on
+/// protocol failure (EOF before the response included).
+[[nodiscard]] ResponseFrame round_trip(int fd, const RequestFrame& req);
+
+/// Connect a blocking TCP socket to 127.0.0.1:<port>; throws
+/// std::runtime_error on failure. Caller owns (closes) the fd.
+[[nodiscard]] int connect_local(uint16_t port);
+
+}  // namespace ndsnn::serve

@@ -1,0 +1,235 @@
+#include "serve/wire.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ndsnn::serve {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+/// Little-endian primitive append/read. Byte-by-byte so the format is
+/// host-endianness independent.
+void put_u8(std::vector<uint8_t>& out, uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xFF));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void put_i64(std::vector<uint8_t>& out, int64_t v) {
+  auto u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(u >> (8 * i)));
+}
+
+void put_f32(std::vector<uint8_t>& out, float v) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(out, bits);
+}
+
+/// Bounds-checked cursor over an incoming payload.
+struct Reader {
+  const uint8_t* data;
+  std::size_t n;
+  std::size_t pos = 0;
+
+  void need(std::size_t k) const {
+    if (pos + k > n) throw WireError("wire: truncated payload");
+  }
+  uint8_t u8() {
+    need(1);
+    return data[pos++];
+  }
+  uint16_t u16() {
+    need(2);
+    uint16_t v = static_cast<uint16_t>(data[pos]) |
+                 static_cast<uint16_t>(static_cast<uint16_t>(data[pos + 1]) << 8);
+    pos += 2;
+    return v;
+  }
+  uint32_t u32() {
+    need(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data[pos + i]) << (8 * i);
+    pos += 4;
+    return v;
+  }
+  int64_t i64() {
+    need(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data[pos + i]) << (8 * i);
+    pos += 8;
+    return static_cast<int64_t>(v);
+  }
+  float f32() {
+    const uint32_t bits = u32();
+    float v = 0.0F;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string bytes(std::size_t k) {
+    need(k);
+    std::string s(reinterpret_cast<const char*>(data + pos), k);
+    pos += k;
+    return s;
+  }
+};
+
+void put_tensor(std::vector<uint8_t>& out, const Tensor& t) {
+  put_u32(out, static_cast<uint32_t>(t.rank()));
+  for (int64_t d = 0; d < t.rank(); ++d) put_i64(out, t.dim(d));
+  for (int64_t i = 0; i < t.numel(); ++i) put_f32(out, t.at(i));
+}
+
+Tensor read_tensor(Reader& r) {
+  const uint32_t rank = r.u32();
+  if (rank > 8) throw WireError("wire: tensor rank above 8");
+  std::vector<int64_t> dims;
+  int64_t numel = 1;
+  for (uint32_t d = 0; d < rank; ++d) {
+    const int64_t dim = r.i64();
+    if (dim < 1 || dim > static_cast<int64_t>(kMaxFrameBytes)) {
+      throw WireError("wire: bad tensor dimension");
+    }
+    numel *= dim;
+    if (numel * 4 > static_cast<int64_t>(kMaxFrameBytes)) {
+      throw WireError("wire: tensor above frame size cap");
+    }
+    dims.push_back(dim);
+  }
+  // The floats must actually be present before allocating for them.
+  r.need(static_cast<std::size_t>(numel) * 4);
+  std::vector<float> values(static_cast<std::size_t>(numel));
+  for (auto& v : values) v = r.f32();
+  return Tensor(Shape(dims), std::move(values));
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_request(const RequestFrame& req) {
+  std::vector<uint8_t> out;
+  out.reserve(16 + req.model.size() + static_cast<std::size_t>(req.batch.numel()) * 4);
+  put_u8(out, kWireVersion);
+  put_u8(out, kKindRequest);
+  put_u8(out, req.slo_class);
+  put_u16(out, static_cast<uint16_t>(req.model.size()));
+  out.insert(out.end(), req.model.begin(), req.model.end());
+  put_tensor(out, req.batch);
+  return out;
+}
+
+RequestFrame decode_request(const uint8_t* data, std::size_t n) {
+  Reader r{data, n};
+  if (r.u8() != kWireVersion) throw WireError("wire: unknown protocol version");
+  if (r.u8() != kKindRequest) throw WireError("wire: expected a request frame");
+  RequestFrame req;
+  req.slo_class = r.u8();
+  const uint16_t model_len = r.u16();
+  req.model = r.bytes(model_len);
+  req.batch = read_tensor(r);
+  if (r.pos != n) throw WireError("wire: trailing bytes after request");
+  return req;
+}
+
+std::vector<uint8_t> encode_response(const ResponseFrame& resp) {
+  std::vector<uint8_t> out;
+  put_u8(out, kWireVersion);
+  put_u8(out, kKindResponse);
+  put_u8(out, static_cast<uint8_t>(resp.status));
+  if (resp.status == Status::kOk) {
+    put_tensor(out, resp.logits);
+  } else {
+    put_u32(out, static_cast<uint32_t>(resp.message.size()));
+    out.insert(out.end(), resp.message.begin(), resp.message.end());
+  }
+  return out;
+}
+
+ResponseFrame decode_response(const uint8_t* data, std::size_t n) {
+  Reader r{data, n};
+  if (r.u8() != kWireVersion) throw WireError("wire: unknown protocol version");
+  if (r.u8() != kKindResponse) throw WireError("wire: expected a response frame");
+  ResponseFrame resp;
+  const uint8_t status = r.u8();
+  if (status > static_cast<uint8_t>(Status::kError)) {
+    throw WireError("wire: unknown response status");
+  }
+  resp.status = static_cast<Status>(status);
+  if (resp.status == Status::kOk) {
+    resp.logits = read_tensor(r);
+  } else {
+    const uint32_t msg_len = r.u32();
+    resp.message = r.bytes(msg_len);
+  }
+  if (r.pos != n) throw WireError("wire: trailing bytes after response");
+  return resp;
+}
+
+namespace {
+
+/// Loop a full write over partial writes and EINTR.
+void write_exact(int fd, const uint8_t* buf, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, buf, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw WireError("wire: write failed: " + std::string(std::strerror(errno)));
+    }
+    buf += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// Loop a full read; returns false on EOF before the first byte (the
+/// `eof_ok` position), throws on EOF mid-buffer.
+bool read_exact(int fd, uint8_t* buf, std::size_t n, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw WireError("wire: read failed: " + std::string(std::strerror(errno)));
+    }
+    if (r == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw WireError("wire: connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+void send_frame(int fd, const std::vector<uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes) throw WireError("wire: frame above size cap");
+  std::vector<uint8_t> prefix;
+  prefix.reserve(8);
+  put_u32(prefix, kFrameMagic);
+  put_u32(prefix, static_cast<uint32_t>(payload.size()));
+  write_exact(fd, prefix.data(), prefix.size());
+  write_exact(fd, payload.data(), payload.size());
+}
+
+bool recv_frame(int fd, std::vector<uint8_t>& payload) {
+  uint8_t prefix[8];
+  if (!read_exact(fd, prefix, sizeof(prefix), /*eof_ok=*/true)) return false;
+  Reader r{prefix, sizeof(prefix)};
+  if (r.u32() != kFrameMagic) throw WireError("wire: bad frame magic");
+  const uint32_t len = r.u32();
+  if (len > kMaxFrameBytes) throw WireError("wire: frame above size cap");
+  payload.resize(len);
+  if (len > 0) (void)read_exact(fd, payload.data(), len, /*eof_ok=*/false);
+  return true;
+}
+
+}  // namespace ndsnn::serve

@@ -1,0 +1,84 @@
+// Wire protocol of the socket serving front-end: length-prefixed binary
+// frames over a byte stream (TCP).
+//
+// Every frame is [u32 magic "NDS1"][u32 payload length][payload]; both
+// prefix fields and all multi-byte payload fields are little-endian
+// (the encode/decode helpers serialize byte by byte, so the format is
+// endian-safe even on a big-endian host). Payload layouts:
+//
+//   request:  u8 version | u8 kind=1 | u8 slo_class | u16 model_len |
+//             model bytes | u32 rank | i64 dims[rank] | f32 data[numel]
+//   response: u8 version | u8 kind=2 | u8 status |
+//             ok:   u32 rank | i64 dims[rank] | f32 data[numel]
+//             else: u32 msg_len | msg bytes
+//
+// One request maps to one BatchExecutor::submit: the tensor is the
+// input batch [N, ...], the response tensor the mean logits
+// [N, classes]. status kShed is ordinary back-pressure (admission
+// control refused the request; retry later), kError carries the
+// server-side exception message.
+//
+// The encode/decode half works on byte buffers and is testable without
+// sockets; the send/recv half moves whole frames over a blocking fd.
+// Decoding is defensive: truncated or oversized frames and bad magic
+// raise WireError instead of reading out of bounds — the server must
+// survive a confused or malicious client.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::serve {
+
+constexpr uint32_t kFrameMagic = 0x3153444E;  // "NDS1" little-endian
+constexpr uint8_t kWireVersion = 1;
+constexpr uint8_t kKindRequest = 1;
+constexpr uint8_t kKindResponse = 2;
+/// Frames above this are rejected before allocation (256 MiB: far above
+/// any sane batch, far below an allocation-of-doom).
+constexpr uint32_t kMaxFrameBytes = 256u << 20;
+
+/// Malformed frame (bad magic/version/kind, truncation, size abuse) or
+/// a broken connection mid-frame.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class Status : uint8_t {
+  kOk = 0,
+  kShed = 1,   ///< admission control refused the request (back-pressure)
+  kError = 2,  ///< server-side failure; message carries the reason
+};
+
+struct RequestFrame {
+  std::string model;      ///< registry name; empty = server default model
+  uint8_t slo_class = 0;  ///< runtime::SloClass numeric value
+  tensor::Tensor batch;   ///< input batch [N, ...]
+};
+
+struct ResponseFrame {
+  Status status = Status::kOk;
+  tensor::Tensor logits;  ///< mean logits [N, classes] when kOk
+  std::string message;    ///< shed/error reason otherwise
+};
+
+/// Payload (no magic/length prefix) encode/decode.
+[[nodiscard]] std::vector<uint8_t> encode_request(const RequestFrame& req);
+[[nodiscard]] RequestFrame decode_request(const uint8_t* data, std::size_t n);
+[[nodiscard]] std::vector<uint8_t> encode_response(const ResponseFrame& resp);
+[[nodiscard]] ResponseFrame decode_response(const uint8_t* data, std::size_t n);
+
+/// Blocking framed I/O over a connected socket/pipe fd. send_frame
+/// writes prefix + payload (throws WireError on a broken pipe);
+/// recv_frame reads one whole frame into `payload`, returning false on
+/// clean EOF at a frame boundary and throwing WireError on anything
+/// else (mid-frame EOF, bad magic, length above kMaxFrameBytes).
+void send_frame(int fd, const std::vector<uint8_t>& payload);
+[[nodiscard]] bool recv_frame(int fd, std::vector<uint8_t>& payload);
+
+}  // namespace ndsnn::serve

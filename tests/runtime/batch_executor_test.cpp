@@ -2,8 +2,10 @@
 // only on inputs and the plan, never on worker count or scheduling.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "nn/models/zoo.hpp"
@@ -135,7 +137,13 @@ TEST(BatchExecutorTest, ShutdownDrainsQueueAndRejectsNewWork) {
   for (const auto& r : requests) futures.push_back(exec.submit(r));
   exec.shutdown();
   for (auto& f : futures) EXPECT_NO_THROW((void)f.get());
-  EXPECT_THROW((void)exec.submit(requests[0]), std::runtime_error);
+  // submit() itself must never throw after shutdown — a serve loop
+  // racing shutdown would die mid-drain. The rejection arrives through
+  // the future as ShedError, and is counted as a shed request.
+  std::future<Tensor> late;
+  EXPECT_NO_THROW(late = exec.submit(requests[0]));
+  EXPECT_THROW((void)late.get(), ShedError);
+  EXPECT_EQ(exec.stats().shed_requests, 1);
   EXPECT_NO_THROW(exec.shutdown());  // idempotent
 }
 
@@ -307,6 +315,163 @@ TEST(BatchExecutorTest, ExecutorFeedsProcessMetricsRegistry) {
   BatchExecutor exec(compiled, 2);
   (void)exec.run_all(make_requests(5, 40));
   EXPECT_EQ(reg.counter("executor.requests").value(), before + 5);
+}
+
+// The PR 7 head-of-line pin: two shapes interleaved with coalescing on
+// and no hold-open wait. The old single-FIFO take_group stopped at the
+// first incompatible head, so strict A/B interleaving fused *nothing*
+// (fused_batches == 0 always); per-shape sub-queues fuse the A requests
+// with each other and the B requests with each other. Results must
+// still match solo runs bitwise.
+TEST(BatchExecutorTest, CoalescesAcrossInterleavedShapesWithoutHolBlocking) {
+  const CompiledNetwork compiled = make_compiled(41);
+  ExecutorOptions opts;
+  opts.max_coalesce = 4;
+  opts.max_wait_us = 0;  // only fuse what is already queued
+  BatchExecutor exec(compiled, 1, opts);
+  Rng rng(42);
+  // Strictly interleaved single-sample 16px and double-sample requests
+  // submitted before any worker can drain (1 worker, queue builds up).
+  std::vector<Tensor> requests;
+  for (int i = 0; i < 12; ++i) {
+    Tensor b(Shape{1 + i % 2, 1, 16, 16});
+    b.fill_uniform(rng, 0.0F, 1.0F);
+    requests.push_back(b);
+  }
+  std::vector<std::future<Tensor>> futures;
+  futures.reserve(requests.size());
+  for (const auto& r : requests) futures.push_back(exec.submit(r));
+  std::vector<Tensor> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Tensor solo = compiled.run(requests[i]);
+    ASSERT_EQ(results[i].shape(), solo.shape()) << "request " << i;
+    for (int64_t j = 0; j < solo.numel(); ++j) {
+      ASSERT_EQ(results[i].at(j), solo.at(j)) << "request " << i << " elem " << j;
+    }
+  }
+  const ExecutorStats stats = exec.stats();
+  EXPECT_EQ(stats.requests, 12);
+  // The pin itself: interleaved shapes must not collapse coalescing to
+  // zero. (Same-shape requests sit in the same sub-queue and fuse even
+  // though a foreign shape arrived between them.)
+  EXPECT_GT(stats.fused_batches, 0);
+  EXPECT_GT(stats.coalesced_requests, 0);
+}
+
+// worker_utilization measures from the FIRST request, not executor
+// construction: an executor that idles warm before traffic must not
+// dilute its own utilization with the idle prefix.
+TEST(BatchExecutorTest, UtilizationIgnoresIdleTimeBeforeFirstRequest) {
+  const CompiledNetwork compiled = make_compiled(43);
+  BatchExecutor exec(compiled, 1);
+  EXPECT_EQ(exec.stats().worker_utilization, 0.0);  // no traffic yet
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // Two chunky requests queued back-to-back: the single worker is busy
+  // for nearly the whole first-submit -> last-completion window, with
+  // only one wakeup gap for a contended ctest run to stretch (many
+  // small requests would hand the OS a preemption window per group).
+  std::vector<std::future<Tensor>> futures;
+  Rng rng(44);
+  for (int i = 0; i < 2; ++i) {
+    Tensor b(Shape{16, 1, 16, 16});
+    b.fill_uniform(rng, 0.0F, 1.0F);
+    futures.push_back(exec.submit(std::move(b)));
+  }
+  for (auto& f : futures) (void)f.get();
+  const ExecutorStats stats = exec.stats();
+  // Counted from construction, the 200 ms idle prefix would push this
+  // under ~0.1 (the busy window runs ~10-30 ms); measured from the
+  // first request it stays high even on an oversubscribed CI core.
+  EXPECT_GT(stats.worker_utilization, 0.3);
+  EXPECT_LE(stats.worker_utilization, 1.0 + 1e-9);
+}
+
+// Admission control with a minuscule SLO budget: a burst against one
+// worker must shed (futures throw ShedError, stats count them) while
+// every admitted request still returns bitwise-correct logits.
+TEST(BatchExecutorTest, ShedsLoadOnceSloBudgetIsExceeded) {
+  const CompiledNetwork compiled = make_compiled(45);
+  ExecutorOptions opts;
+  opts.slo_ms = 0.01;  // microscopic budget: almost any queueing sheds
+  BatchExecutor exec(compiled, 1, opts);
+  Rng rng(46);
+  std::vector<Tensor> requests;
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 32; ++i) {
+    Tensor b(Shape{2, 1, 16, 16});
+    b.fill_uniform(rng, 0.0F, 1.0F);
+    requests.push_back(b);
+    futures.push_back(exec.submit(std::move(b)));
+  }
+  int64_t ok = 0, shed = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      const Tensor logits = futures[i].get();
+      const Tensor solo = compiled.run(requests[i]);
+      ASSERT_EQ(logits.shape(), solo.shape());
+      for (int64_t j = 0; j < solo.numel(); ++j) {
+        ASSERT_EQ(logits.at(j), solo.at(j)) << "request " << i;
+      }
+      ++ok;
+    } catch (const ShedError&) {
+      ++shed;
+    }
+  }
+  const ExecutorStats stats = exec.stats();
+  EXPECT_EQ(ok + shed, 32);
+  EXPECT_GT(shed, 0);  // the burst cannot fit a 10 us budget
+  EXPECT_EQ(stats.shed_requests, shed);
+  EXPECT_EQ(stats.requests, ok);
+}
+
+// Scheduler determinism: per-request logits depend only on the input
+// and the plan — not on worker count, SLO class, EDF ordering, or
+// which other requests were shed around them.
+TEST(BatchExecutorTest, DeterministicUnderSloSchedulingAndMixedClasses) {
+  const CompiledNetwork compiled = make_compiled(47);
+  const std::vector<Tensor> requests = make_requests(10, 48);
+  std::vector<Tensor> reference;
+  reference.reserve(requests.size());
+  for (const auto& r : requests) reference.push_back(compiled.run(r));
+
+  for (const int workers : {1, 3}) {
+    ExecutorOptions opts;
+    opts.max_coalesce = 4;
+    opts.slo_ms = 1e6;  // EDF + admission active, budget never binds
+    BatchExecutor exec(compiled, workers, opts);
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const SloClass slo = i % 3 == 0 ? SloClass::kBatch : SloClass::kInteractive;
+      futures.push_back(exec.submit(requests[i], slo));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const Tensor logits = futures[i].get();
+      ASSERT_EQ(logits.shape(), reference[i].shape()) << workers << " workers, " << i;
+      for (int64_t j = 0; j < logits.numel(); ++j) {
+        ASSERT_EQ(logits.at(j), reference[i].at(j))
+            << workers << " workers, request " << i << " elem " << j;
+      }
+    }
+    EXPECT_EQ(exec.stats().slo_violations, 0);  // budget was effectively infinite
+  }
+}
+
+// End-to-end percentiles: e2e = wait + service per request, so the e2e
+// window must dominate the service window under queueing.
+TEST(BatchExecutorTest, EndToEndPercentilesIncludeQueueWait) {
+  const CompiledNetwork compiled = make_compiled(49);
+  BatchExecutor exec(compiled, 1);
+  (void)exec.run_all(make_requests(8, 50));
+  const ExecutorStats stats = exec.stats();
+  EXPECT_GT(stats.e2e_p50_ms, 0.0);
+  EXPECT_LE(stats.e2e_p50_ms, stats.e2e_p95_ms);
+  EXPECT_LE(stats.e2e_p95_ms, stats.e2e_p99_ms);
+  // A 1-worker burst queues everything behind the head: the e2e p95
+  // must exceed pure service p95 by the accumulated wait.
+  EXPECT_GE(stats.e2e_p95_ms, stats.p95_ms);
 }
 
 TEST(BatchExecutorTest, PropagatesRunErrorsThroughFuture) {

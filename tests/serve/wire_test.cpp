@@ -1,0 +1,163 @@
+// Wire protocol: byte-level encode/decode round trips, defensive
+// decoding of malformed payloads, and framed IO over a real fd pair —
+// all without a server.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/wire.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ndsnn::serve {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor make_tensor(const Shape& shape, uint64_t seed) {
+  Tensor t(shape);
+  Rng rng(seed);
+  t.fill_uniform(rng, -1.0F, 1.0F);
+  return t;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a.at(i), b.at(i)) << "elem " << i;
+}
+
+TEST(WireTest, RequestRoundTripsBitwise) {
+  RequestFrame req;
+  req.model = "lenet5-int8";
+  req.slo_class = 1;
+  req.batch = make_tensor(Shape{3, 1, 16, 16}, 7);
+  const std::vector<uint8_t> bytes = encode_request(req);
+  const RequestFrame back = decode_request(bytes.data(), bytes.size());
+  EXPECT_EQ(back.model, req.model);
+  EXPECT_EQ(back.slo_class, req.slo_class);
+  expect_bitwise_equal(back.batch, req.batch);
+}
+
+TEST(WireTest, EmptyModelNameMeansServerDefault) {
+  RequestFrame req;
+  req.batch = make_tensor(Shape{1, 4}, 9);
+  const std::vector<uint8_t> bytes = encode_request(req);
+  const RequestFrame back = decode_request(bytes.data(), bytes.size());
+  EXPECT_TRUE(back.model.empty());
+  EXPECT_EQ(back.slo_class, 0);
+}
+
+TEST(WireTest, OkResponseRoundTripsBitwise) {
+  ResponseFrame resp;
+  resp.status = Status::kOk;
+  resp.logits = make_tensor(Shape{3, 10}, 11);
+  const std::vector<uint8_t> bytes = encode_response(resp);
+  const ResponseFrame back = decode_response(bytes.data(), bytes.size());
+  EXPECT_EQ(back.status, Status::kOk);
+  expect_bitwise_equal(back.logits, resp.logits);
+}
+
+TEST(WireTest, ShedAndErrorResponsesCarryTheMessage) {
+  for (const Status status : {Status::kShed, Status::kError}) {
+    ResponseFrame resp;
+    resp.status = status;
+    resp.message = "predicted queue wait above SLO budget";
+    const std::vector<uint8_t> bytes = encode_response(resp);
+    const ResponseFrame back = decode_response(bytes.data(), bytes.size());
+    EXPECT_EQ(back.status, status);
+    EXPECT_EQ(back.message, resp.message);
+    // No tensor travels with a non-ok status: logits stay at the
+    // default (a rank-0 scalar).
+    EXPECT_EQ(back.logits.shape(), Tensor().shape());
+  }
+}
+
+TEST(WireTest, TruncatedPayloadsThrowInsteadOfOverreading) {
+  RequestFrame req;
+  req.model = "m";
+  req.batch = make_tensor(Shape{2, 8}, 13);
+  const std::vector<uint8_t> bytes = encode_request(req);
+  // Every strict prefix must be rejected cleanly — header, model name,
+  // dims and data truncation are all covered by the sweep.
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_THROW((void)decode_request(bytes.data(), n), WireError) << "prefix " << n;
+  }
+  // Trailing garbage is rejected too.
+  std::vector<uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW((void)decode_request(padded.data(), padded.size()), WireError);
+}
+
+TEST(WireTest, RejectsWrongKindVersionAndAbusiveSizes) {
+  RequestFrame req;
+  req.batch = make_tensor(Shape{1, 4}, 15);
+  std::vector<uint8_t> bytes = encode_request(req);
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[0] = 99;  // version
+    EXPECT_THROW((void)decode_request(bad.data(), bad.size()), WireError);
+  }
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[1] = kKindResponse;  // a response is not a request
+    EXPECT_THROW((void)decode_request(bad.data(), bad.size()), WireError);
+  }
+  // A response payload decoded as a response but with an unknown status.
+  ResponseFrame resp;
+  resp.status = Status::kOk;
+  resp.logits = make_tensor(Shape{1, 2}, 17);
+  std::vector<uint8_t> rbytes = encode_response(resp);
+  rbytes[2] = 17;  // status byte
+  EXPECT_THROW((void)decode_response(rbytes.data(), rbytes.size()), WireError);
+}
+
+TEST(WireTest, FramesRoundTripOverAnFdPair) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  RequestFrame req;
+  req.model = "default";
+  req.batch = make_tensor(Shape{2, 1, 16, 16}, 19);
+  send_frame(fds[1], encode_request(req));
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(recv_frame(fds[0], payload));
+  const RequestFrame back = decode_request(payload.data(), payload.size());
+  expect_bitwise_equal(back.batch, req.batch);
+  // Closing the write end mid-nothing is a clean EOF: recv returns
+  // false rather than throwing.
+  ::close(fds[1]);
+  EXPECT_FALSE(recv_frame(fds[0], payload));
+  ::close(fds[0]);
+}
+
+TEST(WireTest, MidFrameEofAndBadMagicThrow) {
+  {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    // A length prefix promising bytes that never arrive.
+    const std::vector<uint8_t> prefix = {0x4E, 0x44, 0x53, 0x31, 16, 0, 0, 0};
+    ASSERT_EQ(::write(fds[1], prefix.data(), prefix.size()),
+              static_cast<ssize_t>(prefix.size()));
+    ::close(fds[1]);
+    std::vector<uint8_t> payload;
+    EXPECT_THROW((void)recv_frame(fds[0], payload), WireError);
+    ::close(fds[0]);
+  }
+  {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::vector<uint8_t> garbage = {1, 2, 3, 4, 5, 6, 7, 8};
+    ASSERT_EQ(::write(fds[1], garbage.data(), garbage.size()),
+              static_cast<ssize_t>(garbage.size()));
+    std::vector<uint8_t> payload;
+    EXPECT_THROW((void)recv_frame(fds[0], payload), WireError);
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+}
+
+}  // namespace
+}  // namespace ndsnn::serve
