@@ -105,14 +105,22 @@ double BatchExecutor::predicted_wait_ms_locked() const {
   }
   // Histogram term: p90 of the last kPredictorWindow observed queue
   // waits (log-bucket counts, util::HistogramSnapshot bucket math).
-  // Remembers steady-state queueing a momentary depth dip hides; the
-  // short window makes it decay quickly once the spike drains. A high
+  // Remembers steady-state queueing a momentary depth dip hides. A high
   // percentile, not the median: admission protects the SLO of the
   // *tail*, and at 80% utilization the p90 wait runs several times the
   // median — a median predictor admits a tail that then violates.
+  //
+  // Only consulted while work is actually outstanding: the window
+  // refreshes exclusively through completions, so with the executor
+  // fully idle the entries are leftovers from the last spike and the
+  // true wait of a new request is ~zero. Without this gate a spike that
+  // fills the window with above-budget waits latches admission shut
+  // forever — every submit sheds, nothing completes, the window never
+  // decays (the probe admissions in submit() cover the non-idle version
+  // of the same trap).
   double hist_ms = 0.0;
   const auto n = static_cast<int64_t>(recent_wait_buckets_.size());
-  if (n > 0) {
+  if (n > 0 && queued_samples_ + inflight_samples_ > 0) {
     const auto target =
         std::max<int64_t>(1, static_cast<int64_t>(std::ceil(0.90 * static_cast<double>(n))));
     int64_t seen = 0;
@@ -155,13 +163,20 @@ std::future<Tensor> BatchExecutor::submit(Tensor batch, SloClass slo) {
     } else if (opts_.slo_ms > 0.0 &&
                predicted_wait_ms_locked() +
                        ema_service_per_sample_ms_ * static_cast<double>(req.samples) >
-                   budget_ms(slo)) {
+                   budget_ms(slo) &&
+               ++sheds_since_probe_ < kShedProbeInterval) {
       // The SLO is on end-to-end latency, so admission charges the
       // request its own expected service time on top of the queue wait.
+      // Every kShedProbeInterval-th consecutive would-shed request is
+      // admitted anyway (the probe): completions are the only thing
+      // that refreshes the predictor's wait window and service EMA, so
+      // a shed-everything regime would otherwise never observe the load
+      // dropping and could latch shut permanently.
       rejected = true;
       why = "BatchExecutor: shed — predicted queue wait above SLO budget";
       ++shed_requests_;
     } else {
+      sheds_since_probe_ = 0;
       if (!has_first_request_) {
         has_first_request_ = true;
         first_request_ = req.enqueued;

@@ -42,6 +42,14 @@
 // Shedding at admission keeps the queue short enough that admitted
 // requests meet their budget instead of everyone timing out together.
 //
+// The predictor can only learn from completions, so two guards stop it
+// from latching permanently shut after a spike fills the wait window
+// with above-budget samples: the histogram term is ignored while the
+// executor is fully idle (no queued or in-flight samples — a new
+// request then truly waits ~nothing), and every kShedProbeInterval-th
+// consecutive would-shed request is admitted anyway as a probe whose
+// completion refreshes the window and the service EMA.
+//
 // Thread budget: the constructor's num_threads is the *total* worker
 // budget. When the plan was compiled with an intra-op pool
 // (CompileOptions::num_threads > 1), the executor spawns
@@ -212,7 +220,14 @@ class BatchExecutor {
   static constexpr std::size_t kLatencyWindow = 8192;
   /// Queue waits retained by the admission predictor's histogram; a
   /// short window so the prediction decays quickly after a load spike.
+  /// The window only refreshes through completions — the idle gate and
+  /// probe admissions (kShedProbeInterval) guarantee completions keep
+  /// happening even out of a shed-everything regime.
   static constexpr std::size_t kPredictorWindow = 512;
+  /// Every Nth consecutive request the admission predictor would shed
+  /// is admitted anyway, so the predictor keeps observing reality and
+  /// can re-open once the overload has passed.
+  static constexpr int64_t kShedProbeInterval = 32;
 
  private:
   struct Request {
@@ -298,6 +313,9 @@ class BatchExecutor {
   /// EMA of observed service time per sample (ms); the drain-time term
   /// of the admission predictor.
   double ema_service_per_sample_ms_ = 0.0;
+  /// Consecutive would-shed submits since the last admission; at
+  /// kShedProbeInterval the next one is admitted as a probe.
+  int64_t sheds_since_probe_ = 0;
   std::vector<double> latencies_ms_;  ///< ring of the last kLatencyWindow requests
   std::size_t latency_next_ = 0;      ///< ring write cursor
   std::vector<double> waits_ms_;      ///< queue-wait ring, same window

@@ -15,21 +15,43 @@ void ModelRegistry::add(const std::string& name, Loader loader,
   }
   Entry e;
   e.loader = std::move(loader);
+  e.base = base;
   e.opts = base;
   entries_.emplace(name, std::move(e));
 }
 
 std::shared_ptr<ServedModel> ModelRegistry::acquire(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     throw std::out_of_range("ModelRegistry: unknown model '" + name + "'");
   }
   Entry& e = it->second;
-  if (!e.model) load_locked(e);
+  // A concurrent acquire is already compiling this entry: wait for its
+  // result instead of duplicating the work (entries_ nodes are stable,
+  // so `e` survives the wait).
+  load_cv_.wait(lk, [&e] { return !e.loading; });
+  // Precision restore: a model the budgeter once squeezed to int8 goes
+  // back to its registered precision when the swap fits today's
+  // residency — conservatively, without squeezing anyone else, so two
+  // hot models can never requantise-thrash each other.
+  if (e.requantised && e.full_bytes > 0 && opts_.mem_budget_bytes > 0) {
+    const int64_t current = e.model ? e.model->plan().stored_bytes() : 0;
+    if (resident_bytes_locked() - current + e.full_bytes <= opts_.mem_budget_bytes) {
+      e.opts = e.base;
+      e.requantised = false;
+      e.model.reset();
+    }
+  }
+  if (!e.model) load_entry(lk, e);
   e.last_used = ++tick_;
-  enforce_budget_locked(name);
-  return e.model;
+  // Snapshot before enforcing: the budgeter drops the lock while
+  // requantising, and a concurrent acquire could evict this (briefly
+  // cold-looking) entry in that window — the caller's shared_ptr keeps
+  // the plan alive either way.
+  std::shared_ptr<ServedModel> model = e.model;
+  enforce_budget(lk, name);
+  return model;
 }
 
 bool ModelRegistry::has(const std::string& name) const {
@@ -71,11 +93,30 @@ int64_t ModelRegistry::loads() const {
   return loads_;
 }
 
-void ModelRegistry::load_locked(Entry& e) {
-  e.model = std::make_shared<ServedModel>(e.loader(e.opts), opts_.executor_threads,
+void ModelRegistry::load_entry(std::unique_lock<std::mutex>& lk, Entry& e) {
+  e.loading = true;
+  const Loader loader = e.loader;
+  const runtime::CompileOptions opts = e.opts;
+  lk.unlock();
+  std::shared_ptr<ServedModel> model;
+  try {
+    // The expensive part — Loader compilation — runs with the registry
+    // unlocked: requests to every other model proceed meanwhile.
+    model = std::make_shared<ServedModel>(loader(opts), opts_.executor_threads,
                                           opts_.executor);
+  } catch (...) {
+    lk.lock();
+    e.loading = false;
+    load_cv_.notify_all();
+    throw;
+  }
+  lk.lock();
+  e.model = std::move(model);
+  e.loading = false;
+  if (!e.requantised) e.full_bytes = e.model->plan().stored_bytes();
   ++loads_;
   util::MetricsRegistry::global().counter("registry.loads").add();
+  load_cv_.notify_all();
 }
 
 int64_t ModelRegistry::resident_bytes_locked() const {
@@ -86,7 +127,8 @@ int64_t ModelRegistry::resident_bytes_locked() const {
   return total;
 }
 
-void ModelRegistry::enforce_budget_locked(const std::string& keep) {
+void ModelRegistry::enforce_budget(std::unique_lock<std::mutex>& lk,
+                                   const std::string& keep) {
   if (opts_.mem_budget_bytes <= 0) return;
   auto& metrics = util::MetricsRegistry::global();
   // Two rounds of cold-first pressure: requantise, then evict.
@@ -95,7 +137,7 @@ void ModelRegistry::enforce_budget_locked(const std::string& keep) {
       Entry* coldest = nullptr;
       uint64_t coldest_tick = std::numeric_limits<uint64_t>::max();
       for (auto& [name, e] : entries_) {
-        if (!e.model || name == keep) continue;
+        if (!e.model || e.loading || name == keep) continue;
         if (!evicting && e.requantised) continue;  // nothing left to shrink
         if (e.last_used < coldest_tick) {
           coldest_tick = e.last_used;
@@ -110,14 +152,17 @@ void ModelRegistry::enforce_budget_locked(const std::string& keep) {
       } else {
         coldest->opts.weight_precision = runtime::WeightPrecision::kInt8;
         coldest->requantised = true;
-        load_locked(*coldest);
+        // Drop the fp32 plan before compiling its int8 replacement: the
+        // peak never holds both, and the entry sits behind its loading
+        // flag (skipped above, waited on in acquire) meanwhile.
+        coldest->model.reset();
         ++requantisations_;
         metrics.counter("registry.requantisations").add();
+        load_entry(lk, *coldest);
       }
     }
   }
-  metrics.gauge("registry.resident_bytes")
-      .set(resident_bytes_locked());
+  metrics.gauge("registry.resident_bytes").set(resident_bytes_locked());
 }
 
 }  // namespace ndsnn::serve

@@ -17,9 +17,20 @@
 // is exhausted or insufficient. Eviction is safe mid-flight: callers
 // hold a shared_ptr<ServedModel>, so in-flight requests finish on the
 // old instance while the registry forgets it; the next acquire()
-// reloads from the Loader.
+// reloads from the Loader. When later evictions/requantisations free
+// enough headroom, the next acquire() of a requantised model restores
+// it to its registered precision (conservatively: only when the fp32
+// reload fits without squeezing anyone else, so two hot models can
+// never requantise-thrash each other).
+//
+// Locking: the registry mutex covers only the bookkeeping. Compilation
+// (initial load, requantise, restore) runs OUTSIDE the lock behind a
+// per-entry `loading` flag — one cold load must not stall requests to
+// every other resident model, and concurrent acquires of the same cold
+// model wait on a condvar instead of compiling it twice.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -75,8 +86,11 @@ class ModelRegistry {
   void add(const std::string& name, Loader loader,
            const runtime::CompileOptions& base = {});
 
-  /// Fetch a model, loading it if it is not resident, then enforce the
-  /// memory budget against every *other* resident model. Throws
+  /// Fetch a model, loading it if it is not resident (restoring its
+  /// registered precision first when the budget has headroom for it),
+  /// then enforce the memory budget against every *other* resident
+  /// model. Compilation happens outside the registry lock, so requests
+  /// to other models never stall behind a cold load. Throws
   /// std::out_of_range for unknown names.
   [[nodiscard]] std::shared_ptr<ServedModel> acquire(const std::string& name);
 
@@ -96,21 +110,34 @@ class ModelRegistry {
  private:
   struct Entry {
     Loader loader;
+    runtime::CompileOptions base;  ///< as registered (the restore target)
     runtime::CompileOptions opts;  ///< current (precision may be downgraded)
     std::shared_ptr<ServedModel> model;  ///< null when not resident
     uint64_t last_used = 0;              ///< LRU tick of the last acquire
     bool requantised = false;
+    /// stored_bytes() at base precision, recorded on the first full-
+    /// precision load; lets the restore check size an fp32 reload
+    /// without doing it.
+    int64_t full_bytes = 0;
+    /// A thread is compiling this entry outside the lock; waiters block
+    /// on load_cv_ instead of duplicating the load, and the budgeter
+    /// skips the entry.
+    bool loading = false;
   };
 
-  /// Load (or reload) an entry with its current options. Caller holds mu_.
-  void load_locked(Entry& e);
+  /// Load (or reload) an entry with its current options. Caller holds
+  /// `lk`; the compile itself runs unlocked behind e.loading, and the
+  /// lock is re-held on return (and on throw).
+  void load_entry(std::unique_lock<std::mutex>& lk, Entry& e);
   /// Requantise/evict cold models until the budget holds (or only
-  /// `keep` is left resident). Caller holds mu_.
-  void enforce_budget_locked(const std::string& keep);
+  /// `keep` is left resident). Caller holds `lk`; requantisation
+  /// compiles unlocked via load_entry.
+  void enforce_budget(std::unique_lock<std::mutex>& lk, const std::string& keep);
   [[nodiscard]] int64_t resident_bytes_locked() const;
 
   const RegistryOptions opts_;
   mutable std::mutex mu_;
+  std::condition_variable load_cv_;  ///< signalled when an entry's load ends
   std::unordered_map<std::string, Entry> entries_;
   uint64_t tick_ = 0;
   int64_t evictions_ = 0;

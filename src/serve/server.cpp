@@ -76,40 +76,81 @@ void Server::stop() {
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   {
     std::lock_guard<std::mutex> lk(conn_mu_);
-    for (const int fd : conn_fds_) {
-      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    for (const auto& conn : conns_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
     }
   }
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lk(conn_mu_);
-    threads.swap(conn_threads_);
+    conns.swap(conns_);
   }
-  for (auto& t : threads) t.join();
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+std::size_t Server::tracked_connections() const {
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  return conns_.size();
+}
+
+void Server::reap_finished() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    auto keep = conns_.begin();
+    for (auto& conn : conns_) {
+      if (conn->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(conn));
+      } else {
+        *keep++ = std::move(conn);
+      }
+    }
+    conns_.erase(keep, conns_.end());
+  }
+  // Join outside the lock: a done handler is past its last conn_mu_
+  // critical section, so these joins return ~immediately and can never
+  // deadlock against a handler waiting for the mutex.
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
 }
 
 void Server::accept_loop() {
   while (!stopping_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    // Reap between accepts: without this, a long-running server leaks
+    // one joinable zombie thread per connection it ever served.
+    reap_finished();
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listen socket shut down (stop()) or fatal — exit either way
     }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    // Publish and spawn under one critical section, re-checking
+    // stopping_ inside it: stop() flips the flag before walking conns_
+    // to shut their sockets down, so either this connection is refused
+    // here or stop() sees it published — a socket can never slip
+    // between the two and leave its handler blocked forever.
+    std::lock_guard<std::mutex> lk(conn_mu_);
     if (stopping_.load()) {
       ::close(fd);
       break;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_.fetch_add(1);
-    std::lock_guard<std::mutex> lk(conn_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { handle_connection(fd); });
+    conns_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { handle_connection(*raw); });
   }
 }
 
-void Server::handle_connection(int fd) {
+void Server::handle_connection(Connection& conn) {
+  const int fd = conn.fd;
   std::vector<uint8_t> payload;
   try {
     while (!stopping_.load() && recv_frame(fd, payload)) {
@@ -143,11 +184,18 @@ void Server::handle_connection(int fd) {
     // Malformed stream or peer vanished mid-frame: nothing to answer.
     util::log_debug() << "serve: closing connection: " << e.what();
   }
-  ::close(fd);
-  std::lock_guard<std::mutex> lk(conn_mu_);
-  for (int& recorded : conn_fds_) {
-    if (recorded == fd) recorded = -1;  // stop() must not shut down a reused fd
+  {
+    // Clear the record BEFORE closing: once close() returns the kernel
+    // may recycle this fd number for an unrelated descriptor (or a new
+    // connection), and a concurrent stop() walking conns_ must never
+    // shut that stranger down.
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conn.fd = -1;
   }
+  ::close(fd);
+  // Last touch of the record: after this flips, the reaper may join the
+  // thread and destroy `conn`.
+  conn.done.store(true, std::memory_order_release);
 }
 
 ResponseFrame round_trip(int fd, const RequestFrame& req) {

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -58,10 +59,29 @@ class Server {
   [[nodiscard]] int64_t requests_served() const { return requests_served_.load(); }
   /// Connections accepted (all-time).
   [[nodiscard]] int64_t connections() const { return connections_.load(); }
+  /// Connection records currently tracked (live handlers plus finished
+  /// ones not yet reaped). Each accept reaps finished handlers, so this
+  /// stays bounded by the number of *concurrent* connections — a
+  /// long-running server must not hoard one zombie thread per
+  /// connection it ever served (pinned by the server test).
+  [[nodiscard]] std::size_t tracked_connections() const;
 
  private:
+  /// One accepted connection: its socket and handler thread. `fd` is
+  /// cleared to -1 (under conn_mu_) by the handler *before* the socket
+  /// is closed, so stop() can never shut down a recycled descriptor;
+  /// `done` flips after the handler's last touch of the record, making
+  /// the thread joinable-without-blocking for the reaper.
+  struct Connection {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
   void accept_loop();
-  void handle_connection(int fd);
+  void handle_connection(Connection& conn);
+  /// Join and drop every connection whose handler has finished.
+  void reap_finished();
 
   ModelRegistry& registry_;
   const ServerOptions opts_;
@@ -71,9 +91,8 @@ class Server {
   std::atomic<int64_t> requests_served_{0};
   std::atomic<int64_t> connections_{0};
   std::thread acceptor_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;  ///< parallel to conn_threads_; -1 once closed
+  mutable std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
 };
 
 /// Client-side convenience for tests and the loadgen: one framed

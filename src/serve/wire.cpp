@@ -1,5 +1,6 @@
 #include "serve/wire.hpp"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -176,10 +177,14 @@ ResponseFrame decode_response(const uint8_t* data, std::size_t n) {
 
 namespace {
 
-/// Loop a full write over partial writes and EINTR.
+/// Loop a full write over partial writes and EINTR. MSG_NOSIGNAL: a
+/// client that disconnects before reading its response must surface as
+/// EPIPE -> WireError on this connection, never as a process-killing
+/// SIGPIPE.
 void write_exact(int fd, const uint8_t* buf, std::size_t n) {
   while (n > 0) {
-    const ssize_t w = ::write(fd, buf, n);
+    ssize_t w = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, buf, n);  // plain pipe fd
     if (w < 0) {
       if (errno == EINTR) continue;
       throw WireError("wire: write failed: " + std::string(std::strerror(errno)));

@@ -74,7 +74,10 @@ struct ResponseFrame {
 [[nodiscard]] ResponseFrame decode_response(const uint8_t* data, std::size_t n);
 
 /// Blocking framed I/O over a connected socket/pipe fd. send_frame
-/// writes prefix + payload (throws WireError on a broken pipe);
+/// writes prefix + payload; a peer that disconnected surfaces as
+/// WireError, never SIGPIPE (socket writes use MSG_NOSIGNAL, so a
+/// client that vanishes before reading its response cannot kill the
+/// server process);
 /// recv_frame reads one whole frame into `payload`, returning false on
 /// clean EOF at a frame boundary and throwing WireError on anything
 /// else (mid-frame EOF, bad magic, length above kMaxFrameBytes).

@@ -426,6 +426,58 @@ TEST(BatchExecutorTest, ShedsLoadOnceSloBudgetIsExceeded) {
   EXPECT_EQ(stats.requests, ok);
 }
 
+// Regression: the admission predictor must not latch shut after a
+// spike. A burst of batch-class requests (4x the interactive budget)
+// is admitted while the predictor is cold and drains through one
+// worker, legitimately recording queue waits far above the
+// *interactive* budget. The wait window only refreshes through
+// completions, so a predictor that keeps trusting it while the
+// executor sits idle sheds every interactive request forever — the
+// idle gate (stale window ignored with nothing queued or in flight)
+// and the probe admissions are what re-open it.
+TEST(BatchExecutorTest, AdmissionRecoversAfterASpikeDrains) {
+  const CompiledNetwork compiled = make_compiled(81);
+  Rng rng(82);
+  Tensor one(Shape{1, 1, 16, 16});
+  one.fill_uniform(rng, 0.0F, 1.0F);
+  // Calibrate the SLO off one solo request: comfortable when idle,
+  // hopeless for the tail of a 256-deep burst.
+  double service_ms = 0.0;
+  {
+    BatchExecutor warm(compiled, 1);
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)warm.submit(one).get();
+    service_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  }
+  ExecutorOptions opts;
+  opts.slo_ms = std::max(5.0, 4.0 * service_ms);
+  BatchExecutor exec(compiled, 1, opts);
+  std::vector<std::future<Tensor>> futures;
+  futures.reserve(256);
+  for (int i = 0; i < 256; ++i) {
+    futures.push_back(exec.submit(one, SloClass::kBatch));
+  }
+  int64_t completed = 0;
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+      ++completed;
+    } catch (const ShedError&) {
+    }
+  }
+  ASSERT_GT(completed, 0);
+  // The spike has fully drained: nothing queued, nothing in flight, so
+  // a new request truly waits ~nothing — the stale window must not
+  // forecast otherwise...
+  EXPECT_EQ(exec.stats().queue_depth, 0);
+  EXPECT_LT(exec.stats().predicted_wait_ms, opts.slo_ms);
+  // ...and a fresh interactive request is admitted and served instead
+  // of being shed against the ghost of the spike.
+  EXPECT_NO_THROW((void)exec.submit(one).get());
+}
+
 // Scheduler determinism: per-request logits depend only on the input
 // and the plan — not on worker count, SLO class, EDF ordering, or
 // which other requests were shed around them.

@@ -4,6 +4,8 @@
 
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "nn/models/zoo.hpp"
 #include "runtime/compiled_network.hpp"
@@ -22,10 +24,10 @@ using tensor::Tensor;
 
 /// Shared masked network; each loader compiles its own plan from it
 /// with whatever options the registry asks for.
-std::shared_ptr<nn::SpikingNetwork> make_net(uint64_t seed) {
+std::shared_ptr<nn::SpikingNetwork> make_net(uint64_t seed, int64_t image_size = 16) {
   nn::ModelSpec spec;
   spec.in_channels = 1;
-  spec.image_size = 16;
+  spec.image_size = image_size;
   spec.timesteps = 2;
   spec.seed = seed;
   auto net = nn::make_lenet5(spec);
@@ -133,6 +135,71 @@ TEST(ModelRegistryTest, EvictsWhenRequantisingCannotFitAndReloadsOnDemand) {
   EXPECT_GE(registry.loads(), loads_before + 1);
   EXPECT_TRUE(registry.resident("a"));
   EXPECT_NE(again.get(), a.get());
+}
+
+TEST(ModelRegistryTest, ConcurrentAcquiresOfAColdModelLoadItOnce) {
+  ModelRegistry registry;
+  registry.add("a", loader_for(make_net(41)));
+  // Racing acquires must wait out one shared compile (per-entry loading
+  // state), not each run the Loader themselves.
+  std::vector<std::shared_ptr<ServedModel>> got(4);
+  std::vector<std::thread> threads;
+  threads.reserve(got.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    threads.emplace_back([&registry, &got, i] { got[i] = registry.acquire("a"); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.loads(), 1);
+  for (const auto& g : got) {
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g.get(), got[0].get());
+  }
+}
+
+TEST(ModelRegistryTest, RestoresRegisteredPrecisionWhenHeadroomReturns) {
+  const auto small_a = make_net(31);
+  const auto small_c = make_net(32);
+  const auto big_b = make_net(33, /*image_size=*/48);
+  const int64_t a_fp32 = CompiledNetwork::compile(*small_a).stored_bytes();
+  const int64_t c_fp32 = CompiledNetwork::compile(*small_c).stored_bytes();
+  const int64_t b_fp32 = CompiledNetwork::compile(*big_b).stored_bytes();
+  CompileOptions int8_opts;
+  int8_opts.weight_precision = runtime::WeightPrecision::kInt8;
+  const int64_t a_int8 = CompiledNetwork::compile(*small_a, int8_opts).stored_bytes();
+  const int64_t b_int8 = CompiledNetwork::compile(*big_b, int8_opts).stored_bytes();
+  ASSERT_GE(b_fp32, 4 * a_fp32);  // premise: "b" dwarfs the small models
+
+  // Budget admits int8 "a" + fp32 "b" with a sliver to spare — tight
+  // enough that fp32 "a" + fp32 "b" does not fit.
+  RegistryOptions opts;
+  opts.mem_budget_bytes = a_int8 + b_fp32 + (a_fp32 - a_int8) / 2;
+  ModelRegistry registry(opts);
+  registry.add("a", loader_for(small_a));
+  registry.add("b", loader_for(big_b));
+  registry.add("c", loader_for(small_c));
+
+  (void)registry.acquire("a");  // fits alone at full precision
+  (void)registry.acquire("b");  // over budget: cold "a" -> int8
+  EXPECT_EQ(registry.requantisations(), 1);
+  EXPECT_EQ(registry.resident_bytes(), a_int8 + b_fp32);
+
+  (void)registry.acquire("c");  // over again: "b" (coldest fp32) -> int8
+  EXPECT_EQ(registry.requantisations(), 2);
+  EXPECT_EQ(registry.evictions(), 0);
+  EXPECT_EQ(registry.resident_bytes(), a_int8 + b_int8 + c_fp32);
+
+  // Squeezing "b" freed far more than "a" needs: the next acquire of
+  // "a" restores its registered fp32 precision instead of pinning it at
+  // int8 forever.
+  (void)registry.acquire("a");
+  EXPECT_EQ(registry.resident_bytes(), a_fp32 + b_int8 + c_fp32);
+  EXPECT_EQ(registry.requantisations(), 2);  // a restore is not a requantisation
+  EXPECT_EQ(registry.evictions(), 0);
+
+  // And it is stable: re-acquiring does not thrash through reloads.
+  const int64_t loads_before = registry.loads();
+  (void)registry.acquire("a");
+  EXPECT_EQ(registry.loads(), loads_before);
 }
 
 TEST(ModelRegistryTest, NoBudgetMeansNothingIsEverSquuezed) {

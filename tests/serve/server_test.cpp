@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "nn/models/zoo.hpp"
 #include "runtime/compiled_network.hpp"
@@ -156,6 +158,43 @@ TEST(ServerTest, ManySequentialRequestsOnOneConnection) {
   EXPECT_EQ(server.connections(), 1);
   server.stop();
   // stop() is idempotent and the destructor will call it again.
+  server.stop();
+}
+
+// Finished connection handlers must be reaped as the server keeps
+// accepting — not hoarded as joinable zombie threads until stop(). Each
+// accept joins handlers that have finished, so after a run of
+// sequential connections the tracked set collapses to the live tail.
+TEST(ServerTest, FinishedConnectionThreadsAreReapedWhileServing) {
+  ModelRegistry registry;
+  registry.add("a", loader_for(make_net(29)));
+  ServerOptions sopts;
+  sopts.default_model = "a";
+  Server server(registry, sopts);
+  server.start();
+
+  RequestFrame req;
+  req.batch = make_batch(1, 31);
+  for (int i = 0; i < 8; ++i) {
+    const int fd = connect_local(server.port());
+    ASSERT_EQ(round_trip(fd, req).status, Status::kOk);
+    ::close(fd);
+  }
+  // Handlers notice the client's close asynchronously; every new accept
+  // reaps the ones that finished, so within a few probe connections the
+  // tracked set must shrink to at most the probe itself plus one
+  // straggler. Without reaping it only ever grows past the 8 above.
+  bool reaped = false;
+  for (int attempt = 0; attempt < 100 && !reaped; ++attempt) {
+    const int fd = connect_local(server.port());
+    ASSERT_EQ(round_trip(fd, req).status, Status::kOk);
+    ::close(fd);
+    reaped = server.tracked_connections() <= 2;
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(reaped);
+  EXPECT_GE(server.connections(), 9);  // every connection was accepted...
+  EXPECT_LT(server.tracked_connections(), 3U);  // ...but almost none linger
   server.stop();
 }
 

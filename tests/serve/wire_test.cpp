@@ -2,6 +2,7 @@
 // decoding of malformed payloads, and framed IO over a real fd pair —
 // all without a server.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstdint>
@@ -131,6 +132,19 @@ TEST(WireTest, FramesRoundTripOverAnFdPair) {
   ::close(fds[1]);
   EXPECT_FALSE(recv_frame(fds[0], payload));
   ::close(fds[0]);
+}
+
+TEST(WireTest, WritingToAVanishedPeerThrowsInsteadOfSigpipe) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[0]);  // the client disconnects before reading its response
+  RequestFrame req;
+  req.batch = make_tensor(Shape{1, 8}, 21);
+  // Without MSG_NOSIGNAL the kernel delivers SIGPIPE here and the
+  // default disposition kills the whole process before any EXPECT runs;
+  // the contract is an ordinary WireError on this connection only.
+  EXPECT_THROW(send_frame(fds[1], encode_request(req)), WireError);
+  ::close(fds[1]);
 }
 
 TEST(WireTest, MidFrameEofAndBadMagicThrow) {
