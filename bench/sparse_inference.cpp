@@ -33,6 +33,7 @@
 
 #include "core/nm_projection.hpp"
 #include "nn/models/zoo.hpp"
+#include "runtime/autotune.hpp"
 #include "runtime/batch_executor.hpp"
 #include "runtime/compiled_network.hpp"
 #include "runtime/trace.hpp"
@@ -42,6 +43,7 @@
 #include "sparse/structured.hpp"
 #include "tensor/random.hpp"
 #include "util/cli.hpp"
+#include "util/cpuinfo.hpp"
 #include "util/json.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -67,18 +69,29 @@ void mask_network(ndsnn::nn::SpikingNetwork& net, double sparsity, uint64_t seed
   }
 }
 
+/// Min over three averaged passes: a preempted pass only ever reads
+/// high, so the min is the stable statistic on a shared box (same
+/// rationale as the kernel-tier section's min_ms).
 double time_plan(const CompiledNetwork& plan, const Tensor& batch, int repeats) {
   (void)plan.run(batch);  // warm-up
-  const ndsnn::util::Stopwatch sw;
-  for (int r = 0; r < repeats; ++r) (void)plan.run(batch);
-  return sw.millis() / repeats;
+  double best = 1e30;
+  for (int pass = 0; pass < 3; ++pass) {
+    const ndsnn::util::Stopwatch sw;
+    for (int r = 0; r < repeats; ++r) (void)plan.run(batch);
+    best = std::min(best, sw.millis() / repeats);
+  }
+  return best;
 }
 
 double time_interpreted(ndsnn::nn::SpikingNetwork& net, const Tensor& batch, int repeats) {
   (void)net.predict(batch);  // warm-up
-  const ndsnn::util::Stopwatch sw;
-  for (int r = 0; r < repeats; ++r) (void)net.predict(batch);
-  return sw.millis() / repeats;
+  double best = 1e30;
+  for (int pass = 0; pass < 3; ++pass) {
+    const ndsnn::util::Stopwatch sw;
+    for (int r = 0; r < repeats; ++r) (void)net.predict(batch);
+    best = std::min(best, sw.millis() / repeats);
+  }
+  return best;
 }
 
 /// Zero random 4x4 blocks of every prunable weight's lowered 2-D form,
@@ -318,6 +331,145 @@ int main(int argc, char** argv) {
     std::printf("int8 over fp32 CSR spmm_t at 0.9 sparsity: %.2fx %s\n", int8_speedup,
                 int8_speedup >= 1.3 ? "(>= 1.3x target met)" : "(below 1.3x target!)");
     json.kv("int8_speedup", int8_speedup);
+    json.end_object();
+  }
+
+  // SIMD kernel tiers: the same fc1-scale layer through every tier this
+  // box can execute — the scalar reference, the gcc-vector-extension
+  // baseline, and the hand-written AVX2 kernels — per precision, for
+  // both GEMM orientations the runtime dispatches (spmm_t is what
+  // LinearOp runs, spmm what ConvOp runs). Timing is min-of-repeats:
+  // the minimum over individually-timed calls is the least noisy
+  // location statistic on a shared box, and it is what
+  // tools/check_bench_regression.py gates on. AVX2 columns only exist
+  // when the box actually detected avx2 (a forced request would clamp
+  // to the vector tier and silently measure the wrong kernel).
+  std::printf("\nkernel tiers, lenet5 fc1-scale [120 x 400] at 0.9 sparsity:\n");
+  {
+    namespace simd = ndsnn::util::simd;
+    const bool has_avx2 = simd::detected() >= simd::Tier::kAvx2;
+    Rng krng(20260728ULL);
+    Tensor w(Shape{120, 400});
+    w.fill_uniform(krng, -0.12F, 0.12F);
+    for (int64_t i = 0; i < w.numel(); ++i) {
+      if (krng.uniform01() < 0.9) w.at(i) = 0.0F;
+    }
+    Tensor bT(Shape{256, 400});  // spmm_t operand (batch-major activations)
+    bT.fill_uniform(krng, 0.0F, 1.0F);
+    Tensor bN(Shape{400, 256});  // spmm operand (im2col patch matrix)
+    bN.fill_uniform(krng, 0.0F, 1.0F);
+    const int kernel_repeats = std::max(repeats * 20, 40);
+
+    // Min of individually-timed calls after two warm-up calls.
+    const auto min_ms = [&](auto&& call) {
+      call();
+      call();
+      double best = 1e300;
+      for (int r = 0; r < kernel_repeats; ++r) {
+        const ndsnn::util::Stopwatch sw;
+        call();
+        best = std::min(best, sw.millis());
+      }
+      return best;
+    };
+
+    ndsnn::util::Table tiers_table({"kernel", "precision", "scalar ms", "vector ms",
+                                    "avx2 ms", "avx2 speedup"});
+    double avx2_fp32_spmm_t_speedup = has_avx2 ? 0.0 : -1.0;
+    json.key("kernel_tiers").begin_object();
+    json.kv("detected", simd::name(simd::detected()));
+    json.kv("rows", static_cast<int64_t>(256));
+    json.kv("out", static_cast<int64_t>(120));
+    json.kv("in", static_cast<int64_t>(400));
+    json.kv("weight_sparsity", 0.9);
+    json.key("kernels").begin_array();
+    for (const bool transposed : {true, false}) {
+      for (const auto precision :
+           {ndsnn::sparse::Precision::kFp32, ndsnn::sparse::Precision::kInt8,
+            ndsnn::sparse::Precision::kInt4}) {
+        ndsnn::sparse::Csr csr = ndsnn::sparse::Csr::from_dense(w);
+        if (precision != ndsnn::sparse::Precision::kFp32) (void)csr.quantize(precision);
+        const auto run_tier = [&](simd::Tier tier) {
+          return min_ms([&] {
+            Tensor c = transposed ? csr.spmm_t(bT, nullptr, tier)
+                                  : csr.spmm(bN, nullptr, tier);
+            (void)c;
+          });
+        };
+        const double scalar_ms = run_tier(simd::Tier::kScalar);
+        const double vector_ms = run_tier(simd::Tier::kVector);
+        const double avx2_ms = has_avx2 ? run_tier(simd::Tier::kAvx2) : -1.0;
+        const double avx2_speedup = has_avx2 ? vector_ms / avx2_ms : -1.0;
+        const char* kname = transposed ? "spmm_t" : "spmm";
+        if (transposed && precision == ndsnn::sparse::Precision::kFp32) {
+          avx2_fp32_spmm_t_speedup = avx2_speedup;
+        }
+        tiers_table.add_row(
+            {kname, ndsnn::sparse::precision_tag(precision),
+             ndsnn::util::fmt(scalar_ms, 3), ndsnn::util::fmt(vector_ms, 3),
+             has_avx2 ? ndsnn::util::fmt(avx2_ms, 3) : "-",
+             has_avx2 ? ndsnn::util::fmt(avx2_speedup, 2) + "x" : "-"});
+        json.begin_object();
+        json.kv("kernel", kname);
+        json.kv("precision", ndsnn::sparse::precision_tag(precision));
+        json.kv("scalar_ms", scalar_ms);
+        json.kv("vector_ms", vector_ms);
+        json.kv("avx2_ms", avx2_ms);
+        json.kv("avx2_speedup", avx2_speedup);
+        json.end_object();
+      }
+    }
+    json.end_array();
+    json.kv("avx2_fp32_spmm_t_speedup", avx2_fp32_spmm_t_speedup);
+    json.end_object();
+    tiers_table.print();
+    if (has_avx2) {
+      std::printf("avx2 over vector fp32 spmm_t: %.2fx %s\n", avx2_fp32_spmm_t_speedup,
+                  avx2_fp32_spmm_t_speedup >= 1.5 ? "(>= 1.5x target met)"
+                                                  : "(below 1.5x target!)");
+    } else {
+      std::printf("no avx2 on this box; tier gate is informational\n");
+    }
+  }
+
+  // Autotuned lowering: the measured {backend, block, tier} pick vs the
+  // heuristic plan on the 0.9-sparsity network, plus the cache effect
+  // on recompilation (the second compile should be decided from cache).
+  std::printf("\nautotuned compile at 0.9 sparsity:\n");
+  {
+    const auto net = ndsnn::nn::make_model(arch, spec);
+    mask_network(*net, 0.9, 7);
+    ndsnn::runtime::autotune_cache_clear();
+    ndsnn::runtime::CompileOptions tuned_opts;
+    tuned_opts.activation_mode = ndsnn::runtime::ActivationMode::kDense;
+    tuned_opts.autotune = true;
+    const ndsnn::util::Stopwatch cold_sw;
+    const CompiledNetwork tuned = CompiledNetwork::compile(*net, tuned_opts);
+    const double cold_compile_ms = cold_sw.millis();
+    const ndsnn::util::Stopwatch warm_sw;
+    const CompiledNetwork tuned2 = CompiledNetwork::compile(*net, tuned_opts);
+    const double warm_compile_ms = warm_sw.millis();
+    (void)tuned2;
+    ndsnn::runtime::CompileOptions heur_opts;
+    heur_opts.activation_mode = ndsnn::runtime::ActivationMode::kDense;
+    const CompiledNetwork heuristic = CompiledNetwork::compile(*net, heur_opts);
+    const double tuned_ms = time_plan(tuned, batch, repeats);
+    const double heur_ms = time_plan(heuristic, batch, repeats);
+    const auto stats = ndsnn::runtime::autotune_cache_stats();
+    std::printf(
+        "  heuristic %.2f ms, autotuned %.2f ms (%.2fx); compile cold %.1f ms, "
+        "warm %.1f ms (%.0fx); cache %lld hits / %lld misses\n",
+        heur_ms, tuned_ms, heur_ms / tuned_ms, cold_compile_ms, warm_compile_ms,
+        cold_compile_ms / std::max(warm_compile_ms, 1e-6),
+        static_cast<long long>(stats.hits), static_cast<long long>(stats.misses));
+    json.key("autotune").begin_object();
+    json.kv("heuristic_ms", heur_ms);
+    json.kv("autotuned_ms", tuned_ms);
+    json.kv("autotune_speedup", heur_ms / tuned_ms);
+    json.kv("compile_cold_ms", cold_compile_ms);
+    json.kv("compile_warm_ms", warm_compile_ms);
+    json.kv("cache_hits", stats.hits);
+    json.kv("cache_misses", stats.misses);
     json.end_object();
   }
 

@@ -1,0 +1,259 @@
+#include "runtime/autotune.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "runtime/compiled_network.hpp"
+#include "runtime/trace.hpp"
+#include "sparse/bcsr.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/random.hpp"
+#include "util/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ndsnn::runtime {
+
+using tensor::Shape;
+using tensor::Tensor;
+using util::simd::Tier;
+
+namespace {
+
+/// FNV-1a over the row-major positions of surviving entries — the mask
+/// identity of the layer. Value magnitudes don't enter: two layers
+/// with the same pattern have the same memory traffic and branch
+/// behaviour, which is all the probe measures.
+uint64_t mask_fingerprint(const Tensor& w2, float threshold) {
+  uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (b * 8)) & 0xFFU;
+      h *= 1099511628211ULL;
+    }
+  };
+  const float* p = w2.data();
+  const int64_t n = w2.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const float a = p[i] < 0.0F ? -p[i] : p[i];
+    if (a > threshold) mix(static_cast<uint64_t>(i));
+  }
+  mix(static_cast<uint64_t>(n));
+  return h;
+}
+
+struct CacheKey {
+  int64_t rows;
+  int64_t cols;
+  sparse::Precision precision;
+  AutotuneProbe probe;
+  uint64_t fingerprint;
+  Tier tier_limit;          ///< resolve(opts.kernel_tier): the tier axis probed
+  int64_t block_rows;       ///< opts block shape (part of the candidate set)
+  int64_t block_cols;
+  int64_t quant_group_size;
+
+  bool operator<(const CacheKey& o) const {
+    return std::tie(rows, cols, precision, probe, fingerprint, tier_limit, block_rows,
+                    block_cols, quant_group_size) <
+           std::tie(o.rows, o.cols, o.precision, o.probe, o.fingerprint, o.tier_limit,
+                    o.block_rows, o.block_cols, o.quant_group_size);
+  }
+};
+
+struct Cache {
+  std::mutex mu;
+  std::map<CacheKey, AutotuneChoice> entries;
+  int64_t hits = 0;
+  int64_t misses = 0;
+};
+
+Cache& cache() {
+  static Cache c;
+  return c;
+}
+
+/// Warmup once (faults pages, warms icache), then min over repeats.
+/// The min is the right statistic for a quiet-box microbenchmark: every
+/// perturbation (preemption, frequency ramp) only ever adds time.
+double time_candidate_us(const std::function<void()>& fn) {
+  fn();
+  double best_s = 1e30;
+  double total_s = 0.0;
+  for (int rep = 0; rep < 5 && total_s < 2e-3; ++rep) {
+    util::Stopwatch sw;
+    fn();
+    const double s = sw.seconds();
+    best_s = std::min(best_s, s);
+    total_s += s;
+  }
+  return best_s * 1e6;
+}
+
+struct Candidate {
+  Kernel kernel;
+  int64_t block_rows;
+  int64_t block_cols;
+  Tier tier;
+  std::function<void()> run;
+};
+
+}  // namespace
+
+AutotuneChoice autotune_layer(const Tensor& weight, sparse::Precision precision,
+                              AutotuneProbe probe, const CompileOptions& opts) {
+  const int64_t rows = weight.dim(0);
+  const int64_t cols = weight.numel() / rows;
+  const Tensor w2 =
+      weight.rank() == 2 ? weight : weight.reshaped(Shape{rows, cols});
+
+  const Tier tier_limit = util::simd::resolve(opts.kernel_tier);
+  const CacheKey key{rows,
+                     cols,
+                     precision,
+                     probe,
+                     mask_fingerprint(w2, opts.prune_threshold),
+                     tier_limit,
+                     opts.block_rows,
+                     opts.block_cols,
+                     opts.quant_group_size};
+
+  static util::Counter& hit_counter =
+      util::MetricsRegistry::global().counter("autotune.cache_hits");
+  static util::Counter& miss_counter =
+      util::MetricsRegistry::global().counter("autotune.cache_misses");
+  {
+    std::lock_guard<std::mutex> lock(cache().mu);
+    const auto it = cache().entries.find(key);
+    if (it != cache().entries.end()) {
+      cache().hits++;
+      hit_counter.add();
+      AutotuneChoice choice = it->second;
+      choice.from_cache = true;
+      return choice;
+    }
+    cache().misses++;
+    miss_counter.add();
+  }
+
+  trace::ScopedSpan span("autotune-probe", "compile");
+  span.rows(rows);
+
+  // Tier axis: a pinned CompileOptions::kernel_tier probes only that
+  // tier; kAuto probes the autovectorised baseline against the best
+  // intrinsic tier the box executes (equal on non-AVX2 hosts, where
+  // the axis collapses to one entry).
+  std::vector<Tier> tiers{Tier::kVector};
+  if (opts.kernel_tier != Tier::kAuto) {
+    tiers = {tier_limit};
+  } else if (tier_limit != Tier::kVector) {
+    tiers.push_back(tier_limit);
+  }
+
+  // Synthetic dense operand at the shape the op will see. The linear
+  // probe (spmm_t) uses 32 batch rows: past every kernel's vector-path
+  // gate (m >= 8), close to real serving batch*T row counts, and cheap.
+  // The conv probe (spmm) must be much wider: the real operand is an
+  // im2col matrix whose column count is the number of output positions
+  // (hundreds), and winners measured on an overhead-dominated 32-wide
+  // operand routinely lose at im2col width. 256 columns is in the
+  // regime every lenet/convnet layer actually runs while keeping the
+  // whole probe in the few-ms range.
+  constexpr int64_t kProbeBatch = 32;
+  constexpr int64_t kProbeIm2colCols = 256;
+  tensor::Rng rng(0x5eed);
+  Tensor b(probe == AutotuneProbe::kSpmmT ? Shape{kProbeBatch, cols}
+                                          : Shape{cols, kProbeIm2colCols});
+  b.fill_uniform(rng, -1.0F, 1.0F);
+
+  // Build each candidate's real structure once (construction cost is
+  // not what we measure: it is paid once per compile regardless of the
+  // winner), then time the GEMM the op would run.
+  std::vector<Candidate> candidates;
+
+  // Dense GEMM always executes fp32 (quantised planes live on the
+  // sparse formats), so it joins the tier axis but not the precision
+  // one.
+  const auto dense_w = std::make_shared<Tensor>(w2);
+  for (const Tier tier : tiers) {
+    candidates.push_back({Kernel::kDense, 0, 0, tier, [dense_w, &b, probe, tier] {
+                            (void)(probe == AutotuneProbe::kSpmmT
+                                       ? tensor::matmul_nt(b, *dense_w, nullptr, tier)
+                                       : tensor::matmul(*dense_w, b, nullptr, tier));
+                          }});
+  }
+
+  const auto csr = std::make_shared<sparse::Csr>(
+      sparse::Csr::from_weights(weight, opts.prune_threshold));
+  if (precision != sparse::Precision::kFp32) {
+    (void)csr->quantize(precision, /*symmetric=*/true, /*uniform_scale=*/false,
+                        opts.quant_group_size);
+  }
+  for (const Tier tier : tiers) {
+    candidates.push_back({Kernel::kCsr, 0, 0, tier, [csr, &b, probe, tier] {
+                            (void)(probe == AutotuneProbe::kSpmmT
+                                       ? csr->spmm_t(b, nullptr, tier)
+                                       : csr->spmm(b, nullptr, tier));
+                          }});
+  }
+
+  // Block-shape axis: the configured shape plus the two shapes the
+  // structured-sparsity paths produce (4x4 N:M tiles, 8x4 row blocks).
+  std::vector<std::pair<int64_t, int64_t>> shapes{{opts.block_rows, opts.block_cols}};
+  for (const auto& s : {std::pair<int64_t, int64_t>{4, 4}, {8, 4}}) {
+    if (std::find(shapes.begin(), shapes.end(), s) == shapes.end()) shapes.push_back(s);
+  }
+  for (const auto& [br, bc] : shapes) {
+    const auto bcsr = std::make_shared<sparse::Bcsr>(
+        sparse::Bcsr::from_weights(weight, br, bc, opts.prune_threshold));
+    if (precision != sparse::Precision::kFp32) {
+      (void)bcsr->quantize(precision);
+    }
+    for (const Tier tier : tiers) {
+      candidates.push_back({Kernel::kBcsr, br, bc, tier, [bcsr, &b, probe, tier] {
+                              (void)(probe == AutotuneProbe::kSpmmT
+                                         ? bcsr->spmm_t(b, nullptr, tier)
+                                         : bcsr->spmm(b, nullptr, tier));
+                            }});
+    }
+  }
+
+  AutotuneChoice best;
+  best.best_us = 1e30;
+  for (const Candidate& c : candidates) {
+    const double us = time_candidate_us(c.run);
+    if (us < best.best_us) {
+      best = AutotuneChoice{c.kernel, c.block_rows, c.block_cols, c.tier, false, us};
+    }
+  }
+  if (best.kernel != Kernel::kBcsr) {
+    // Normalize so equal decisions cache/report identically.
+    best.block_rows = opts.block_rows;
+    best.block_cols = opts.block_cols;
+  }
+
+  std::lock_guard<std::mutex> lock(cache().mu);
+  cache().entries.emplace(key, best);
+  return best;
+}
+
+AutotuneCacheStats autotune_cache_stats() {
+  std::lock_guard<std::mutex> lock(cache().mu);
+  return {cache().hits, cache().misses,
+          static_cast<int64_t>(cache().entries.size())};
+}
+
+void autotune_cache_clear() {
+  std::lock_guard<std::mutex> lock(cache().mu);
+  cache().entries.clear();
+  cache().hits = 0;
+  cache().misses = 0;
+}
+
+}  // namespace ndsnn::runtime

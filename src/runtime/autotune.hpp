@@ -1,0 +1,78 @@
+// Compile-time microbenchmark autotuner (CompileOptions::autotune).
+//
+// The static lowering heuristics (min_sparsity, bcsr_min_occupancy)
+// are hand-calibrated crossovers: right on the zoo models they were
+// tuned on, wrong whenever a new mask pattern, block shape, or kernel
+// tier moves the real crossover. autotune_layer replaces the guess
+// with a measurement: for one weight layer it builds every candidate
+// execution config — {dense GEMM, CSR, BCSR x block shapes} x {kernel
+// tiers} — on the layer's *actual extracted weights*, times the GEMM
+// the op would really run (spmm_t for linear layers, spmm for conv
+// lowering) on a synthetic batch with warmup + min-of-repeats, and
+// returns the measured winner.
+//
+// Probing costs a few ms per layer, so results are cached process-wide
+// keyed by (rows, cols, precision, probe kind, mask fingerprint,
+// resolved tier): recompiling the same network — the serving front-end
+// re-loading a checkpoint, tests compiling the same model repeatedly —
+// hits the cache and decides instantly. The fingerprint hashes the
+// surviving-entry pattern (FNV-1a over row-major nonzero positions
+// after prune_threshold), so two layers with equal shapes but
+// different masks tune independently, while reloading identical
+// weights reuses the entry.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/plan.hpp"
+#include "sparse/quant.hpp"
+#include "tensor/tensor.hpp"
+#include "util/cpuinfo.hpp"
+
+namespace ndsnn::runtime {
+
+struct CompileOptions;
+
+/// Which GEMM shape the probe times — the one the lowered op will run.
+enum class AutotuneProbe {
+  kSpmmT,  ///< linear layers: C[m, rows] = B * Wᵀ (Csr/Bcsr::spmm_t, matmul_nt)
+  kSpmm,   ///< conv lowering: C[rows, n] = W * patches (Csr/Bcsr::spmm, matmul)
+};
+
+/// The measured winner for one layer.
+struct AutotuneChoice {
+  Kernel kernel = Kernel::kCsr;
+  int64_t block_rows = 4;  ///< meaningful when kernel == kBcsr
+  int64_t block_cols = 4;
+  util::simd::Tier tier = util::simd::Tier::kScalar;  ///< never kAuto
+  bool from_cache = false;  ///< decided by cache lookup, no probes ran
+  double best_us = 0.0;     ///< winner's min-of-repeats per-call time
+};
+
+/// Measure the candidates for one weight layer and return the winner.
+/// `weight` is the layer's weight tensor (any rank >= 2, lowered to
+/// [dim(0), numel/dim(0)] exactly like sparse::Csr::from_weights).
+/// `precision` is the value-plane precision the sparse candidates will
+/// deploy with (the dense candidate always runs fp32 — quantised
+/// planes only exist on the sparse formats, matching the compiler's
+/// contract). Honors opts.prune_threshold, opts.quant_group_size and
+/// opts.kernel_tier (a pinned tier restricts the tier axis to it).
+/// Thread-safe; probes run serially on the calling thread.
+[[nodiscard]] AutotuneChoice autotune_layer(const tensor::Tensor& weight,
+                                            sparse::Precision precision,
+                                            AutotuneProbe probe,
+                                            const CompileOptions& opts);
+
+/// Process-wide cache observability (tests, metrics endpoints).
+struct AutotuneCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t entries = 0;
+};
+
+[[nodiscard]] AutotuneCacheStats autotune_cache_stats();
+
+/// Drop every cached decision (tests that need cold-cache behaviour).
+void autotune_cache_clear();
+
+}  // namespace ndsnn::runtime

@@ -8,6 +8,7 @@
 
 #include "nn/batchnorm.hpp"
 #include "nn/checkpoint.hpp"
+#include "runtime/autotune.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/flatten.hpp"
 #include "nn/lif_activation.hpp"
@@ -134,13 +135,58 @@ sparse::Precision pick_precision(const Tensor& weight, Kernel kernel, bool unifo
     case WeightPrecision::kAuto: break;
   }
   if (index < opts.layer_precisions.size()) return opts.layer_precisions[index];
+  // Grouped scales only deploy on non-uniform CSR planes; the error
+  // measurement mirrors exactly the scheme the plane will carry, so a
+  // group size that lets int4 clear the bound also quantises that way.
+  const int64_t group =
+      (kernel == Kernel::kCsr && !uniform_error) ? opts.quant_group_size : 0;
   for (const sparse::Precision p : {sparse::Precision::kInt4, sparse::Precision::kInt8}) {
-    if (sparse::relative_quant_error(weight, p, opts.prune_threshold, uniform_error) <=
-        static_cast<float>(opts.quant_max_error)) {
+    if (sparse::relative_quant_error(weight, p, opts.prune_threshold, uniform_error,
+                                     group) <= static_cast<float>(opts.quant_max_error)) {
       return p;
     }
   }
   return sparse::Precision::kFp32;
+}
+
+/// The {kernel, precision, per-layer options} one weight layer lowers
+/// with. Bundled because autotuning overrides pieces of the
+/// CompileOptions copy the op receives (block shape, kernel tier) and
+/// the report must stay truthful about whether a measurement decided.
+struct WeightLowering {
+  Kernel kernel = Kernel::kDense;
+  sparse::Precision precision = sparse::Precision::kFp32;
+  CompileOptions opts;  ///< per-layer copy the op constructor consumes
+};
+
+/// Static-heuristic or measured lowering for one weight layer.
+/// Autotune applies only where the probe measures what the op will run:
+/// dense-activation layers under an unforced backend. Everything else
+/// (event path, forced backends) takes the heuristics, with the copied
+/// autotune flag cleared so OpReport::autotuned never lies.
+WeightLowering lower_weight_layer(const Tensor& weight, bool event, bool uniform_error,
+                                  AutotuneProbe probe, Lowering& lw) {
+  const CompileOptions& opts = lw.opts;
+  WeightLowering out;
+  out.opts = opts;
+  const bool tune =
+      opts.autotune && !event && !opts.force_dense && opts.backend == Backend::kAuto;
+  if (tune) {
+    // Calibrate the value-plane precision first (against the CSR
+    // scheme — the dense candidate ignores precision, and the grouped
+    // knob only deploys on CSR), then measure the candidates with it.
+    out.precision = pick_precision(weight, Kernel::kCsr, uniform_error, lw);
+    const AutotuneChoice choice = autotune_layer(weight, out.precision, probe, opts);
+    out.kernel = choice.kernel;
+    out.opts.block_rows = choice.block_rows;
+    out.opts.block_cols = choice.block_cols;
+    out.opts.kernel_tier = choice.tier;
+    return out;
+  }
+  out.opts.autotune = false;
+  out.kernel = pick_kernel(weight, opts);
+  out.precision = pick_precision(weight, out.kernel, uniform_error, lw);
+  return out;
 }
 
 std::unique_ptr<Op> compile_layer(const nn::Layer& layer, Lowering& lw);
@@ -161,28 +207,29 @@ std::vector<std::unique_ptr<Op>> compile_chain(
 /// whether any weight layer chooses the event path — which is what
 /// decides if the neuron ops pay for SpikeBatch emission at all.
 std::unique_ptr<Op> compile_layer(const nn::Layer& layer, Lowering& lw) {
-  const CompileOptions& opts = lw.opts;
   if (const auto* linear = dynamic_cast<const nn::Linear*>(&layer)) {
     const bool event = lw.event_for_weight_layer();
     lw.any_event |= event;
     lw.now_dense();
     if (lw.dry) return nullptr;
-    const Kernel kernel = pick_kernel(linear->weight(), opts);
     // Event-path LinearOp builds a uniform-scale plane; measure that.
-    return std::make_unique<LinearOp>(
-        *linear, kernel, pick_precision(linear->weight(), kernel, /*uniform_error=*/event, lw),
-        event, opts, lw.pool);
+    const WeightLowering wl = lower_weight_layer(linear->weight(), event,
+                                                 /*uniform_error=*/event,
+                                                 AutotuneProbe::kSpmmT, lw);
+    return std::make_unique<LinearOp>(*linear, wl.kernel, wl.precision, event, wl.opts,
+                                      lw.pool);
   }
   if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&layer)) {
     const bool event = lw.event_for_weight_layer();
     lw.any_event |= event;
     lw.now_dense();
     if (lw.dry) return nullptr;
-    const Kernel kernel = pick_kernel(conv->weight(), opts);
     // Conv structures keep per-row/per-block scales on every path.
-    return std::make_unique<ConvOp>(
-        *conv, kernel, pick_precision(conv->weight(), kernel, /*uniform_error=*/false, lw),
-        event, opts, lw.pool);
+    const WeightLowering wl = lower_weight_layer(conv->weight(), event,
+                                                 /*uniform_error=*/false,
+                                                 AutotuneProbe::kSpmm, lw);
+    return std::make_unique<ConvOp>(*conv, wl.kernel, wl.precision, event, wl.opts,
+                                    lw.pool);
   }
   if (const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(&layer)) {
     lw.now_dense();  // the affine shift makes zeros non-zero
@@ -294,6 +341,12 @@ CompiledNetwork CompiledNetwork::compile(const nn::SpikingNetwork& net,
   }
   if (opts.quant_max_error < 0.0) {
     throw std::invalid_argument("CompiledNetwork: quant_max_error must be >= 0");
+  }
+  if (opts.quant_group_size != 0 &&
+      (opts.quant_group_size < 4 ||
+       (opts.quant_group_size & (opts.quant_group_size - 1)) != 0)) {
+    throw std::invalid_argument(
+        "CompiledNetwork: quant_group_size must be 0 or a power of two >= 4");
   }
   if (opts.num_threads < 0) {
     throw std::invalid_argument("CompiledNetwork: num_threads must be >= 0 (0 = hardware)");

@@ -48,6 +48,7 @@
 #include "runtime/trace.hpp"
 #include "sparse/quant.hpp"
 #include "tensor/tensor.hpp"
+#include "util/cpuinfo.hpp"
 
 namespace ndsnn::runtime {
 
@@ -165,6 +166,36 @@ struct CompileOptions {
   /// handoff costs more than e.g. lenet5's fc2 [84 x 120]. fp32 outputs
   /// stay bitwise identical to the serial plan for any value here.
   int64_t num_threads = 1;
+  /// SIMD kernel tier every weight op dispatches with (resolved once at
+  /// compile time via util::simd::resolve, so a plan's execution is
+  /// reproducible regardless of later NDSNN_KERNEL_TIER / force()
+  /// changes). kAuto takes the detected tier; explicit tiers clamp to
+  /// it (requesting kAvx2 on a non-AVX2 host runs kVector, never
+  /// SIGILLs). fp32 results are bitwise identical across tiers, so this
+  /// is purely a performance knob — pin kScalar to reproduce the
+  /// reference kernels, or kVector to benchmark against the
+  /// autovectorised baseline.
+  util::simd::Tier kernel_tier = util::simd::Tier::kAuto;
+  /// Measure instead of guess: microbenchmark each prunable weight
+  /// layer's candidate configurations {dense, CSR, BCSR x block shapes}
+  /// x {kVector, detected tier} on the layer's real extracted weights
+  /// and lower onto the measured winner, overriding the min_sparsity /
+  /// bcsr_min_occupancy heuristics (a forced `backend` still wins).
+  /// Results are cached process-wide keyed by (shape, precision, mask
+  /// fingerprint, CPU tier), so recompiling the same network — or
+  /// loading it again via from_checkpoint — skips the probes entirely.
+  /// Event-path layers keep the heuristic: their gather kernels are not
+  /// what the probe measures. Off by default (compile stays instant).
+  bool autotune = false;
+  /// Quantisation group size for *CSR* value planes under int8/int4: 0
+  /// (default) keeps one scale per row; a power of two G >= 4 scales
+  /// each run of G stored codes independently (sparse::QuantPlane::
+  /// group_size), shrinking per-group dynamic range so int4 passes the
+  /// quant_max_error bar on layers per-row scaling rejects. The kAuto
+  /// precision calibration measures the same grouped scheme. Ignored by
+  /// BCSR (per-block scales are already finer) and by event-path planes
+  /// (the binary-spike int32 gather needs one uniform scale).
+  int64_t quant_group_size = 0;
 };
 
 class CompiledNetwork {

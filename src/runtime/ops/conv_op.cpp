@@ -20,6 +20,8 @@ ConvOp::ConvOp(const nn::Conv2d& src, Kernel kernel, sparse::Precision precision
     : layer_name_(src.name()),
       gemm_(kernel),
       pool_(std::move(pool)),
+      tier_(util::simd::resolve(opts.kernel_tier)),
+      autotuned_(opts.autotune),
       precision_(kernel == Kernel::kDense ? sparse::Precision::kFp32 : precision),
       event_(event),
       has_bias_(src.has_bias()),
@@ -40,7 +42,12 @@ ConvOp::ConvOp(const nn::Conv2d& src, Kernel kernel, sparse::Precision precision
         bytes_ = csr_t_.memory_bytes();
       } else {
         csr_ = sparse::Csr::from_weights(src.weight(), opts.prune_threshold);
-        (void)csr_.quantize(precision_);
+        // The dense-activation plane takes the grouped-scale knob; the
+        // event plane keeps per-row scales (scatter dequantises per
+        // stored entry either way, but grouping the transposed storage
+        // would regroup across filters — not the calibrated scheme).
+        (void)csr_.quantize(precision_, /*symmetric=*/true, /*uniform_scale=*/false,
+                            opts.quant_group_size);
         if (opts.fake_quant) csr_.dequantize();
         stored_ = csr_.nnz();
         bytes_ = csr_.memory_bytes();
@@ -174,9 +181,9 @@ Tensor ConvOp::run_dense(const Tensor& input) const {
                             filters);
   } else {
     util::ThreadPool* pool = pool_.get();
-    const Tensor yflat = gemm_ == Kernel::kCsr    ? csr_.spmm(cols, pool)
-                         : gemm_ == Kernel::kBcsr ? bcsr_.spmm(cols, pool)
-                                                  : tensor::matmul(dense_, cols, pool);
+    const Tensor yflat = gemm_ == Kernel::kCsr    ? csr_.spmm(cols, pool, tier_)
+                         : gemm_ == Kernel::kBcsr ? bcsr_.spmm(cols, pool, tier_)
+                                                  : tensor::matmul(dense_, cols, pool, tier_);
     // Transpose [F, (m, oy, ox)] -> [m, F, oy, ox].
     const float* src = yflat.data();
     float* dst = out.data();
@@ -312,6 +319,8 @@ Activation ConvOp::run(const Activation& input) const {
 OpReport ConvOp::report() const {
   OpReport r{layer_name_, std::string(kernel_tag(gemm_)) + "-conv", weights_, stored_,
              source_sparsity_, event_, precision_, bytes_};
+  r.tier = tier_;
+  r.autotuned = autotuned_;
   return r;
 }
 

@@ -20,6 +20,8 @@ LinearOp::LinearOp(const nn::Linear& src, Kernel kernel, sparse::Precision preci
     : layer_name_(src.name()),
       kernel_(kernel),
       pool_(std::move(pool)),
+      tier_(util::simd::resolve(opts.kernel_tier)),
+      autotuned_(opts.autotune),
       precision_(kernel == Kernel::kDense ? sparse::Precision::kFp32 : precision),
       event_(event),
       has_bias_(src.has_bias()),
@@ -42,7 +44,10 @@ LinearOp::LinearOp(const nn::Linear& src, Kernel kernel, sparse::Precision preci
         bytes_ = csr_t_.memory_bytes();
       } else {
         csr_ = sparse::Csr::from_weights(src.weight(), opts.prune_threshold);
-        (void)csr_.quantize(precision_);
+        // Dense-activation planes take the grouped-scale knob; the
+        // event plane above must stay uniform (int32 gather contract).
+        (void)csr_.quantize(precision_, /*symmetric=*/true, /*uniform_scale=*/false,
+                            opts.quant_group_size);
         if (opts.fake_quant) csr_.dequantize();
         stored_ = csr_.nnz();
         bytes_ = csr_.memory_bytes();
@@ -103,9 +108,9 @@ LinearOp::LinearOp(const nn::Linear& src, Kernel kernel, sparse::Precision preci
 
 Tensor LinearOp::run_dense(const Tensor& input) const {
   util::ThreadPool* pool = pool_.get();
-  return kernel_ == Kernel::kCsr    ? csr_.spmm_t(input, pool)
-         : kernel_ == Kernel::kBcsr ? bcsr_.spmm_t(input, pool)
-                                    : tensor::matmul_nt(input, dense_, pool);
+  return kernel_ == Kernel::kCsr    ? csr_.spmm_t(input, pool, tier_)
+         : kernel_ == Kernel::kBcsr ? bcsr_.spmm_t(input, pool, tier_)
+                                    : tensor::matmul_nt(input, dense_, pool, tier_);
 }
 
 void LinearOp::event_rows(const Activation& input, Tensor& out, int64_t i0, int64_t i1,
@@ -211,6 +216,8 @@ Activation LinearOp::run(const Activation& input) const {
 OpReport LinearOp::report() const {
   OpReport r{layer_name_, std::string(kernel_tag(kernel_)) + "-linear", weights_, stored_,
              source_sparsity_, event_, precision_, bytes_};
+  r.tier = tier_;
+  r.autotuned = autotuned_;
   return r;
 }
 

@@ -49,6 +49,11 @@ class LinearOp final : public Op {
   Kernel kernel_;
   std::shared_ptr<util::ThreadPool> pool_;
   int64_t event_cost_per_active_ = 1;  ///< gather work per active input
+  /// Kernel tier resolved once at construction (CompileOptions::
+  /// kernel_tier), so the op's dispatch never shifts under a later env
+  /// or force() change — a compiled plan executes reproducibly.
+  util::simd::Tier tier_;
+  bool autotuned_;  ///< {kernel, block, tier} came from runtime::Autotune
   sparse::Precision precision_;
   int64_t bytes_ = 0;
   bool event_;

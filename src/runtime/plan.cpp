@@ -88,6 +88,9 @@ std::string Plan::summary() const {
     if (r.precision != sparse::Precision::kFp32) {
       os << " " << sparse::precision_tag(r.precision);
     }
+    if (r.weights > 0) {
+      os << " " << util::simd::name(r.tier) << (r.autotuned ? "*" : "");
+    }
     os << "] " << r.layer;
     if (r.weights > 0) {
       os << "  nnz=" << r.nnz << "/" << r.weights << " (" << r.bytes << " B)";

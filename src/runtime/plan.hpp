@@ -19,6 +19,7 @@
 
 #include "sparse/quant.hpp"
 #include "tensor/tensor.hpp"
+#include "util/cpuinfo.hpp"
 
 namespace ndsnn::util {
 class ThreadPool;
@@ -129,6 +130,16 @@ struct OpReport {
   /// indices); 0 for weightless ops. What the bench bytes-touched
   /// column sums.
   int64_t bytes = 0;
+  /// SIMD kernel tier the op's GEMM/gather kernels dispatch with —
+  /// resolved once at compile time from CompileOptions::kernel_tier.
+  /// Weightless ops have no tiered kernels and keep the kScalar
+  /// default; the plan summary only prints the tier for weight ops.
+  util::simd::Tier tier = util::simd::Tier::kScalar;
+  /// True when the op's {kernel, block shape, tier} came from a
+  /// measured runtime::Autotune decision rather than the static
+  /// heuristics (false for event-path and weightless ops even when
+  /// CompileOptions::autotune was set).
+  bool autotuned = false;
 };
 
 /// One inference op of the compiled plan. Implementations are immutable

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sparse/simd_kernels.hpp"
+
 namespace ndsnn::sparse {
 
 using tensor::Shape;
@@ -200,7 +202,9 @@ Bcsr Bcsr::transposed() const {
 }
 
 void Bcsr::spmv_gather(const float* x, const int32_t* active, int64_t n_active,
-                       double* acc, int32_t* iacc) const {
+                       double* acc, int32_t* iacc, util::simd::Tier tier) const {
+  // Single body across tiers (see the header).
+  (void)util::simd::resolve(tier);
   const int64_t bs = block_rows_ * block_cols_;
   // Binary-spike fast path (mirrors Csr::spmv_gather): one plane-wide
   // scale + {0,1} activations reduce the gather to int32 code sums,
@@ -264,7 +268,9 @@ void Bcsr::spmv_gather(const float* x, const int32_t* active, int64_t n_active,
   }
 }
 
-void Bcsr::scatter_row(int64_t row, float x, float* out, int64_t out_stride) const {
+void Bcsr::scatter_row(int64_t row, float x, float* out, int64_t out_stride,
+                       util::simd::Tier tier) const {
+  (void)util::simd::resolve(tier);  // single body across tiers (see header)
   const int64_t bs = block_rows_ * block_cols_;
   const int64_t ib = row / block_rows_;
   const int64_t r = row % block_rows_;
@@ -722,7 +728,7 @@ void spmm_t_quant(const QuantPlane& plane, const std::vector<int64_t>& block_row
 
 }  // namespace
 
-Tensor Bcsr::spmm(const Tensor& b, util::ThreadPool* pool) const {
+Tensor Bcsr::spmm(const Tensor& b, util::ThreadPool* pool, util::simd::Tier tier) const {
   if (b.rank() != 2 || b.dim(0) != cols_) {
     throw std::invalid_argument("Bcsr::spmm: expected B [" + std::to_string(cols_) +
                                 ", n], got " + b.shape().str());
@@ -730,11 +736,18 @@ Tensor Bcsr::spmm(const Tensor& b, util::ThreadPool* pool) const {
   const int64_t n = b.dim(1);
   Tensor c(Shape{rows_, n});
   const int64_t mb = block_row_count();
+  // kScalar pins the runtime-bound generic worker; the vector-extension
+  // tile workers serve both kVector and kAvx2 (they are the format's
+  // native vector shape — see the header). Same sums either way.
+  const bool scalar_only = util::simd::resolve(tier) == util::simd::Tier::kScalar;
   const auto range = [&](int64_t ib0, int64_t ib1) {
     if (quant_.present()) {
       spmm_quant(quant_, block_row_ptr_, block_col_idx_, rows_, cols_, block_rows_,
                  block_cols_, b.data(), n, c.data(), ib0, ib1);
-    } else if (const SpmmFn fn = pick_spmm(block_rows_, block_cols_)) {
+      return;
+    }
+    const SpmmFn fn = scalar_only ? nullptr : pick_spmm(block_rows_, block_cols_);
+    if (fn != nullptr) {
       fn(block_row_ptr_, block_col_idx_, values_, rows_, cols_, b.data(), n, c.data(), ib0,
          ib1);
     } else {
@@ -749,7 +762,7 @@ Tensor Bcsr::spmm(const Tensor& b, util::ThreadPool* pool) const {
   return c;
 }
 
-Tensor Bcsr::spmm_t(const Tensor& b, util::ThreadPool* pool) const {
+Tensor Bcsr::spmm_t(const Tensor& b, util::ThreadPool* pool, util::simd::Tier tier) const {
   if (b.rank() != 2 || b.dim(1) != cols_) {
     throw std::invalid_argument("Bcsr::spmm_t: expected B [m, " + std::to_string(cols_) +
                                 "], got " + b.shape().str());
@@ -757,11 +770,33 @@ Tensor Bcsr::spmm_t(const Tensor& b, util::ThreadPool* pool) const {
   const int64_t m = b.dim(0);
   Tensor c(Shape{m, rows_});
   const int64_t mb = block_row_count();
+  const util::simd::Tier t = util::simd::resolve(tier);
+  if (t == util::simd::Tier::kAvx2 && simd::built_with_avx2() && !quant_.present() &&
+      m >= 8 && stored_values() >= cols_) {
+    // Batch-panel AVX2 route, mirroring Csr::spmm_t's gate: bt = Bᵀ
+    // built once, 8 batch lanes per pass in exact double chains.
+    std::vector<float> bt(static_cast<std::size_t>(cols_ * m));
+    util::parallel_even(pool, 0, cols_, cols_ * m, [&](int64_t c0, int64_t c1) {
+      simd::transpose_f32(b.data(), m, cols_, bt.data(), c0, c1);
+    });
+    util::parallel_balanced(pool, block_row_ptr_.data(), mb, stored_values() * m,
+                            [&](int64_t ib0, int64_t ib1) {
+                              simd::bcsr_spmm_t_f32_avx2(
+                                  block_row_ptr_.data(), block_col_idx_.data(),
+                                  values_.data(), rows_, cols_, block_rows_, block_cols_,
+                                  bt.data(), m, c.data(), ib0, ib1);
+                            });
+    return c;
+  }
+  const bool scalar_only = t == util::simd::Tier::kScalar;
   const auto range = [&](int64_t ib0, int64_t ib1) {
     if (quant_.present()) {
       spmm_t_quant(quant_, block_row_ptr_, block_col_idx_, rows_, cols_, block_rows_,
                    block_cols_, b.data(), m, c.data(), ib0, ib1);
-    } else if (const SpmmFn fn = pick_spmm_t(block_rows_, block_cols_)) {
+      return;
+    }
+    const SpmmFn fn = scalar_only ? nullptr : pick_spmm_t(block_rows_, block_cols_);
+    if (fn != nullptr) {
       fn(block_row_ptr_, block_col_idx_, values_, rows_, cols_, b.data(), m, c.data(), ib0,
          ib1);
     } else {

@@ -16,6 +16,7 @@
 #include "sparse/quant.hpp"
 #include "sparse/structured.hpp"
 #include "tensor/tensor.hpp"
+#include "util/cpuinfo.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ndsnn::sparse {
@@ -91,14 +92,20 @@ class Bcsr {
   /// bitwise-matches Bcsr::spmm_t / Csr::spmm_t / matmul_nt on W.
   /// `acc` must hold cols() zeros on entry. `iacc` (cols() int32 slots)
   /// enables the binary-spike int32 fast path on uniform-scale
-  /// quantised planes, mirroring Csr::spmv_gather.
+  /// quantised planes, mirroring Csr::spmv_gather. `tier` mirrors
+  /// Csr::spmv_gather's: accepted and resolved for dispatch-surface
+  /// uniformity, single body across tiers (serial scattered
+  /// accumulation).
   void spmv_gather(const float* x, const int32_t* active, int64_t n_active,
-                   double* acc, int32_t* iacc = nullptr) const;
+                   double* acc, int32_t* iacc = nullptr,
+                   util::simd::Tier tier = util::simd::Tier::kAuto) const;
 
   /// Scatter one row scaled by x: out[col * out_stride] += value * x for
   /// the stored entries of `row` (float adds, ascending column order).
   /// The event-driven conv path uses this with `this` = Wᵀ [C*K*K, F].
-  void scatter_row(int64_t row, float x, float* out, int64_t out_stride) const;
+  /// `tier` as in spmv_gather (single body: strided scatter stores).
+  void scatter_row(int64_t row, float x, float* out, int64_t out_stride,
+                   util::simd::Tier tier = util::simd::Tier::kAuto) const;
 
   /// scatter_row restricted to columns in [col_begin, col_end) — the
   /// output-channel-strip form the parallel event conv path dispatches.
@@ -112,14 +119,29 @@ class Bcsr {
   /// block rows are partitioned into stored-block-balanced ranges
   /// (prefix sums over block_row_ptr); each output block row keeps its
   /// serial order, so results are lane-count independent.
+  ///
+  /// `tier` (resolved via util::simd::resolve): kScalar runs the
+  /// runtime-bound generic worker; kVector and kAvx2 run the
+  /// gcc-vector-extension strip-mined tile workers (the format's native
+  /// vector shape — a dedicated intrinsic body would re-derive the same
+  /// tiles). Every tier accumulates in the same ascending-column order,
+  /// so results stay bitwise identical.
   [[nodiscard]] tensor::Tensor spmm(const tensor::Tensor& b,
-                                    util::ThreadPool* pool = nullptr) const;
+                                    util::ThreadPool* pool = nullptr,
+                                    util::simd::Tier tier = util::simd::Tier::kAuto) const;
 
   /// C[m, rows] = B * Aᵀ for dense B [m, cols] (linear layers). Double
   /// accumulator in ascending column order, bitwise-matching
   /// tensor::matmul_nt and Csr::spmm_t. Pool semantics mirror spmm.
+  ///
+  /// kAvx2 (fp32, batch m >= 8, enough stored values to amortize the
+  /// B-transpose) runs the 8-lane batch-panel double-chain body; each
+  /// lane's sequence equals the scalar worker's double chain exactly,
+  /// so fp32 stays bitwise across tiers. kScalar pins the generic
+  /// worker; kVector the unrolled template workers (same sums).
   [[nodiscard]] tensor::Tensor spmm_t(const tensor::Tensor& b,
-                                      util::ThreadPool* pool = nullptr) const;
+                                      util::ThreadPool* pool = nullptr,
+                                      util::simd::Tier tier = util::simd::Tier::kAuto) const;
 
   /// Quantise the value plane in place with one scale/zero-point per
   /// *stored block* (symmetric by default). Mirrors Csr::quantize: the

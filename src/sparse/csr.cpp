@@ -4,14 +4,38 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sparse/simd_kernels.hpp"
+
 namespace ndsnn::sparse {
 
-float Csr::quantize(Precision precision, bool symmetric, bool uniform_scale) {
+float Csr::quantize(Precision precision, bool symmetric, bool uniform_scale,
+                    int64_t group_size) {
   if (precision == Precision::kFp32) return 0.0F;
   if (quant_.present()) throw std::logic_error("Csr::quantize: already quantised");
   float err = 0.0F;
-  quant_ = quantize_grouped(values_.data(), row_ptr_.data(), rows_, precision, symmetric,
-                            &err, uniform_scale);
+  if (group_size > 0) {
+    if (!symmetric || uniform_scale) {
+      throw std::invalid_argument(
+          "Csr::quantize: group_size requires symmetric, non-uniform quantisation");
+    }
+    if ((group_size & (group_size - 1)) != 0) {
+      throw std::invalid_argument("Csr::quantize: group_size must be a power of two");
+    }
+    // Fixed-size groups over the value array, synthesized as a group_ptr
+    // so the per-row machinery is reused verbatim (last group may be
+    // short).
+    std::vector<int64_t> group_ptr;
+    group_ptr.reserve(static_cast<std::size_t>(nnz() / group_size) + 2);
+    for (int64_t k = 0; k < nnz(); k += group_size) group_ptr.push_back(k);
+    group_ptr.push_back(nnz());
+    quant_ = quantize_grouped(values_.data(), group_ptr.data(),
+                              static_cast<int64_t>(group_ptr.size()) - 1, precision,
+                              symmetric, &err, false);
+    quant_.group_size = group_size;
+  } else {
+    quant_ = quantize_grouped(values_.data(), row_ptr_.data(), rows_, precision, symmetric,
+                              &err, uniform_scale);
+  }
   values_.clear();
   values_.shrink_to_fit();
   return err;
@@ -118,8 +142,28 @@ Csr Csr::transposed() const {
 }
 
 void Csr::spmv_gather(const float* x, const int32_t* active, int64_t n_active,
-                      double* acc, int32_t* iacc) const {
+                      double* acc, int32_t* iacc, util::simd::Tier tier) const {
+  // Single body across tiers (see the header); the parameter keeps the
+  // dispatch surface uniform and the request clamping observable.
+  (void)util::simd::resolve(tier);
   if (quant_.present()) {
+    if (const int shift = quant_.group_shift(); shift >= 0) {
+      // Fixed-size grouped plane (always symmetric): fold the group
+      // scale into each code. Groups straddle rows, so there is no
+      // per-input scale to hoist.
+      const float* scale = quant_.scale.data();
+      for (int64_t a = 0; a < n_active; ++a) {
+        const auto j = static_cast<std::size_t>(active[a]);
+        const double xj = static_cast<double>(x[j]);
+        for (int64_t k = row_ptr_[j]; k < row_ptr_[j + 1]; ++k) {
+          acc[col_idx_[static_cast<std::size_t>(k)]] +=
+              static_cast<double>(scale[k >> shift] *
+                                  static_cast<float>(quant_.code(k))) *
+              xj;
+        }
+      }
+      return;
+    }
     // Binary-spike fast path: with one plane-wide scale (uniform) and a
     // zero zero-point, {0,1} activations make every contribution a raw
     // code, so the whole gather is int32 adds plus one scale multiply
@@ -168,10 +212,20 @@ void Csr::spmv_gather(const float* x, const int32_t* active, int64_t n_active,
   }
 }
 
-void Csr::scatter_row(int64_t row, float x, float* out, int64_t out_stride) const {
+void Csr::scatter_row(int64_t row, float x, float* out, int64_t out_stride,
+                      util::simd::Tier tier) const {
+  (void)util::simd::resolve(tier);  // single body across tiers (see header)
   const int64_t k0 = row_ptr_[static_cast<std::size_t>(row)];
   const int64_t k1 = row_ptr_[static_cast<std::size_t>(row) + 1];
   if (quant_.present()) {
+    if (const int shift = quant_.group_shift(); shift >= 0) {
+      const float* scale = quant_.scale.data();
+      for (int64_t k = k0; k < k1; ++k) {
+        out[static_cast<int64_t>(col_idx_[static_cast<std::size_t>(k)]) * out_stride] +=
+            scale[k >> shift] * static_cast<float>(quant_.code(k)) * x;
+      }
+      return;
+    }
     const float xs = quant_.scale[static_cast<std::size_t>(row)] * x;
     const int zp = quant_.zero[static_cast<std::size_t>(row)];
     for (int64_t k = k0; k < k1; ++k) {
@@ -195,6 +249,14 @@ void Csr::scatter_row_range(int64_t row, float x, float* out, int64_t out_stride
   const int32_t* cb = col_idx_.data();
   int64_t k = std::lower_bound(cb + k0, cb + k1, static_cast<int32_t>(col_begin)) - cb;
   if (quant_.present()) {
+    if (const int shift = quant_.group_shift(); shift >= 0) {
+      const float* scale = quant_.scale.data();
+      for (; k < k1 && cb[k] < col_end; ++k) {
+        out[static_cast<int64_t>(cb[k]) * out_stride] +=
+            scale[k >> shift] * static_cast<float>(quant_.code(k)) * x;
+      }
+      return;
+    }
     const float xs = quant_.scale[static_cast<std::size_t>(row)] * x;
     const int zp = quant_.zero[static_cast<std::size_t>(row)];
     for (; k < k1 && cb[k] < col_end; ++k) {
@@ -217,7 +279,13 @@ std::vector<float> Csr::matvec(const std::vector<float>& x) const {
     const int64_t k0 = row_ptr_[static_cast<std::size_t>(r)];
     const int64_t k1 = row_ptr_[static_cast<std::size_t>(r) + 1];
     double acc = 0.0;
-    if (quant_.present()) {
+    if (const int shift = quant_.group_shift(); shift >= 0) {
+      for (int64_t k = k0; k < k1; ++k) {
+        acc += static_cast<double>(quant_.scale[k >> shift] *
+                                   static_cast<float>(quant_.code(k))) *
+               x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+      }
+    } else if (quant_.present()) {
       double qacc = 0.0, xsum = 0.0;
       for (int64_t k = k0; k < k1; ++k) {
         const double xk = x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
@@ -240,6 +308,23 @@ std::vector<float> Csr::matvec(const std::vector<float>& x) const {
 
 void Csr::spmm_range(int64_t r0, int64_t r1, const float* bp, int64_t n, float* cp) const {
   if (quant_.present()) {
+    if (const int shift = quant_.group_shift(); shift >= 0) {
+      // Fixed-size grouped plane: the scale changes within a row, so
+      // dequantise per nonzero (one extra multiply per axpy) instead of
+      // once per output row.
+      const float* scale = quant_.scale.data();
+      for (int64_t r = r0; r < r1; ++r) {
+        float* crow = cp + r * n;
+        for (int64_t k = row_ptr_[static_cast<std::size_t>(r)];
+             k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+          const float v = scale[k >> shift] * static_cast<float>(quant_.code(k));
+          const float* brow =
+              bp + static_cast<int64_t>(col_idx_[static_cast<std::size_t>(k)]) * n;
+          for (int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+        }
+      }
+      return;
+    }
     // Accumulate raw-code axpys into row r, then dequantise the row
     // once: C[r, :] = scale_r * (sum_k q_k B[col_k, :] - zero_r * sum_k
     // B[col_k, :]). The zero-point sum is skipped entirely for the
@@ -290,7 +375,8 @@ void Csr::spmm_range(int64_t r0, int64_t r1, const float* bp, int64_t n, float* 
   }
 }
 
-tensor::Tensor Csr::spmm(const tensor::Tensor& b, util::ThreadPool* pool) const {
+tensor::Tensor Csr::spmm(const tensor::Tensor& b, util::ThreadPool* pool,
+                         util::simd::Tier tier) const {
   if (b.rank() != 2 || b.dim(0) != cols_) {
     throw std::invalid_argument("Csr::spmm: expected B [" + std::to_string(cols_) +
                                 ", n], got " + b.shape().str());
@@ -299,10 +385,22 @@ tensor::Tensor Csr::spmm(const tensor::Tensor& b, util::ThreadPool* pool) const 
   tensor::Tensor c(tensor::Shape{rows_, n});
   const float* bp = b.data();
   float* cp = c.data();
+  // The AVX2 fp32 body fuses 4 axpys per pass with the C row held in
+  // registers; it needs a vectorizable row width. Quantised planes keep
+  // the scalar dequantise-per-row structure at every tier.
+  const bool avx2 = util::simd::resolve(tier) == util::simd::Tier::kAvx2 &&
+                    simd::built_with_avx2() && !quant_.present() && n >= 8;
   // Output rows are independent: nnz-balanced row ranges (prefix sums
   // over row_ptr, so a dense-heavy row does not serialize its chunk).
   util::parallel_balanced(pool, row_ptr_.data(), rows_, nnz() * n,
-                          [&](int64_t r0, int64_t r1) { spmm_range(r0, r1, bp, n, cp); });
+                          [&](int64_t r0, int64_t r1) {
+                            if (avx2) {
+                              simd::csr_spmm_f32_avx2(row_ptr_.data(), col_idx_.data(),
+                                                      values_.data(), r0, r1, bp, n, cp);
+                            } else {
+                              spmm_range(r0, r1, bp, n, cp);
+                            }
+                          });
   return c;
 }
 
@@ -357,6 +455,24 @@ inline float spmm_t_row_i4(const uint8_t* q4, int64_t k0, int64_t k1, const int3
   return scale * ((a0 + a1) + (a2 + a3));
 }
 
+/// Fixed-size grouped plane (always symmetric): the scale varies within
+/// the row, so fold scale[k >> shift] into each code. Two independent
+/// partials, matching the other quantised row kernels' reassociation
+/// freedom.
+inline float spmm_t_row_grouped(const QuantPlane& plane, int shift, int64_t k0, int64_t k1,
+                                const int32_t* col, const float* brow) {
+  const float* scale = plane.scale.data();
+  float a0 = 0.0F, a1 = 0.0F;
+  int64_t k = k0;
+  for (; k + 2 <= k1; k += 2) {
+    a0 += scale[k >> shift] * static_cast<float>(plane.code(k)) * brow[col[k]];
+    a1 += scale[(k + 1) >> shift] * static_cast<float>(plane.code(k + 1)) *
+          brow[col[k + 1]];
+  }
+  if (k < k1) a0 += scale[k >> shift] * static_cast<float>(plane.code(k)) * brow[col[k]];
+  return a0 + a1;
+}
+
 /// Generic quantised spmm_t row (nonzero zero-point): accumulate codes
 /// and the activation sum, dequantise once.
 inline float spmm_t_row_quant(const QuantPlane& plane, int64_t g, int64_t k0, int64_t k1,
@@ -375,6 +491,7 @@ inline float spmm_t_row_quant(const QuantPlane& plane, int64_t g, int64_t k0, in
 
 void Csr::spmm_t_range(int64_t r0, int64_t r1, const float* bp, int64_t m, float* cp) const {
   if (quant_.present()) {
+    const int shift = quant_.group_shift();
     bool any_zero = false;
     for (const int8_t z : quant_.zero) any_zero |= z != 0;
     for (int64_t i = 0; i < m; ++i) {
@@ -383,6 +500,10 @@ void Csr::spmm_t_range(int64_t r0, int64_t r1, const float* bp, int64_t m, float
       for (int64_t r = r0; r < r1; ++r) {
         const int64_t k0 = row_ptr_[static_cast<std::size_t>(r)];
         const int64_t k1 = row_ptr_[static_cast<std::size_t>(r) + 1];
+        if (shift >= 0) {
+          crow[r] = spmm_t_row_grouped(quant_, shift, k0, k1, col_idx_.data(), brow);
+          continue;
+        }
         const float scale = quant_.scale[static_cast<std::size_t>(r)];
         crow[r] = any_zero ? spmm_t_row_quant(quant_, r, k0, k1, col_idx_.data(), brow)
                   : quant_.precision == Precision::kInt8
@@ -413,7 +534,8 @@ void Csr::spmm_t_range(int64_t r0, int64_t r1, const float* bp, int64_t m, float
   }
 }
 
-tensor::Tensor Csr::spmm_t(const tensor::Tensor& b, util::ThreadPool* pool) const {
+tensor::Tensor Csr::spmm_t(const tensor::Tensor& b, util::ThreadPool* pool,
+                           util::simd::Tier tier) const {
   if (b.rank() != 2 || b.dim(1) != cols_) {
     throw std::invalid_argument("Csr::spmm_t: expected B [m, " + std::to_string(cols_) +
                                 "], got " + b.shape().str());
@@ -422,10 +544,58 @@ tensor::Tensor Csr::spmm_t(const tensor::Tensor& b, util::ThreadPool* pool) cons
   tensor::Tensor c(tensor::Shape{m, rows_});
   const float* bp = b.data();
   float* cp = c.data();
-  // Partition the CSR rows (columns of C): each chunk writes a disjoint
-  // column strip of every C row, with the per-element order unchanged.
-  util::parallel_balanced(pool, row_ptr_.data(), rows_, nnz() * m,
-                          [&](int64_t r0, int64_t r1) { spmm_t_range(r0, r1, bp, m, cp); });
+  // AVX2 batch-panel routes. Building bt = Bᵀ costs one pass over B, so
+  // demand a batch wide enough for the 8-lane body (m >= 8) and at
+  // least as many nonzeros as B columns (each nonzero is revisited m
+  // times — below that the transpose dominates). Quantised planes
+  // additionally need every zero-point at 0 (the FMA bodies fold codes
+  // directly; the affine path stays scalar).
+  enum class Route { kScalar, kF32, kI8, kI4 };
+  Route route = Route::kScalar;
+  if (util::simd::resolve(tier) == util::simd::Tier::kAvx2 && simd::built_with_avx2() &&
+      m >= 8 && nnz() >= cols_) {
+    if (!quant_.present()) {
+      route = Route::kF32;
+    } else {
+      bool any_zero = false;
+      for (const int8_t z : quant_.zero) any_zero |= z != 0;
+      if (!any_zero) {
+        route = quant_.precision == Precision::kInt8 ? Route::kI8 : Route::kI4;
+      }
+    }
+  }
+  if (route == Route::kScalar) {
+    // Partition the CSR rows (columns of C): each chunk writes a
+    // disjoint column strip of every C row, per-element order unchanged.
+    util::parallel_balanced(pool, row_ptr_.data(), rows_, nnz() * m,
+                            [&](int64_t r0, int64_t r1) { spmm_t_range(r0, r1, bp, m, cp); });
+    return c;
+  }
+  std::vector<float> bt(static_cast<std::size_t>(cols_ * m));
+  util::parallel_even(pool, 0, cols_, cols_ * m, [&](int64_t c0, int64_t c1) {
+    simd::transpose_f32(bp, m, cols_, bt.data(), c0, c1);
+  });
+  const int shift = quant_.group_shift();
+  util::parallel_balanced(
+      pool, row_ptr_.data(), rows_, nnz() * m, [&](int64_t r0, int64_t r1) {
+        switch (route) {
+          case Route::kF32:
+            simd::csr_spmm_t_f32_avx2(row_ptr_.data(), col_idx_.data(), values_.data(), r0,
+                                      r1, bt.data(), m, rows_, cp);
+            break;
+          case Route::kI8:
+            simd::csr_spmm_t_i8_avx2(row_ptr_.data(), col_idx_.data(), quant_.q8.data(),
+                                     quant_.scale.data(), shift, r0, r1, bt.data(), m,
+                                     rows_, cp);
+            break;
+          case Route::kI4:
+            simd::csr_spmm_t_i4_avx2(row_ptr_.data(), col_idx_.data(), quant_.q4.data(),
+                                     quant_.scale.data(), shift, r0, r1, bt.data(), m,
+                                     rows_, cp);
+            break;
+          case Route::kScalar: break;  // unreachable
+        }
+      });
   return c;
 }
 

@@ -12,6 +12,7 @@
 
 #include "sparse/quant.hpp"
 #include "tensor/tensor.hpp"
+#include "util/cpuinfo.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ndsnn::sparse {
@@ -55,14 +56,24 @@ class Csr {
   /// int32 and the shared scale applied once per output, removing the
   /// per-active-input dequantise multiply. Null, non-binary input, or a
   /// per-row-scaled plane all fall back to the general path.
+  ///
+  /// `tier` is accepted for dispatch-surface uniformity and resolved
+  /// like spmm's, but every tier currently runs the same body: the
+  /// gather is a serial scattered-accumulate whose bitwise contract
+  /// (one double chain per output in ascending j order) leaves no
+  /// reassociation for wider lanes to exploit.
   void spmv_gather(const float* x, const int32_t* active, int64_t n_active,
-                   double* acc, int32_t* iacc = nullptr) const;
+                   double* acc, int32_t* iacc = nullptr,
+                   util::simd::Tier tier = util::simd::Tier::kAuto) const;
 
   /// Scatter one row scaled by x: out[col * out_stride] += value * x for
   /// every nonzero of `row`. Float adds, ascending column order. The
   /// event-driven conv path uses this with `this` = Wᵀ [C*K*K, F],
-  /// row = patch column, out_stride = OH*OW.
-  void scatter_row(int64_t row, float x, float* out, int64_t out_stride) const;
+  /// row = patch column, out_stride = OH*OW. `tier` mirrors
+  /// spmv_gather's: accepted, resolved, single body (strided scatter
+  /// stores have no AVX2 win without scatter instructions).
+  void scatter_row(int64_t row, float x, float* out, int64_t out_stride,
+                   util::simd::Tier tier = util::simd::Tier::kAuto) const;
 
   /// scatter_row restricted to columns in [col_begin, col_end): the
   /// ranged form the event-driven conv path uses to partition work by
@@ -80,15 +91,32 @@ class Csr {
   /// computed in parallel; each output row keeps its serial accumulation
   /// order, so results are bitwise lane-count-independent. Work below
   /// util::kMinParallelWork stays serial.
+  ///
+  /// `tier` selects the kernel tier (resolved via util::simd::resolve;
+  /// kAuto follows the process-wide active tier). The kAvx2 fp32 body
+  /// keeps the C row in registers across 4 fused axpys with explicit
+  /// mul+add steps, so per output element the rounding sequence — and
+  /// hence the result — is bitwise identical to the scalar body.
   [[nodiscard]] tensor::Tensor spmm(const tensor::Tensor& b,
-                                    util::ThreadPool* pool = nullptr) const;
+                                    util::ThreadPool* pool = nullptr,
+                                    util::simd::Tier tier = util::simd::Tier::kAuto) const;
 
   /// C[m, rows] = B * Aᵀ for dense B [m, cols] (the "T" variant; linear
   /// layers: x[M, in] * Wᵀ with W stored CSR [out, in]). Pool semantics
   /// mirror spmm: the CSR rows (columns of C) are nnz-balance
   /// partitioned, each C element still accumulates serially.
+  ///
+  /// At kAvx2 (batch m >= 8 and enough nonzeros to amortize it) the
+  /// driver first materializes bt = Bᵀ so one broadcast weight serves 8
+  /// contiguous batch lanes; fp32 runs two 4-wide double chains whose
+  /// per-lane sequence equals the scalar double chain exactly (a
+  /// float*float product is exact in double), so fp32 stays bitwise
+  /// across tiers. Symmetric int8/int4 planes take FMA bodies that read
+  /// per-row or group scales natively (quantised execution carries only
+  /// the QuantPlane error contract, not bitwise equality).
   [[nodiscard]] tensor::Tensor spmm_t(const tensor::Tensor& b,
-                                      util::ThreadPool* pool = nullptr) const;
+                                      util::ThreadPool* pool = nullptr,
+                                      util::simd::Tier tier = util::simd::Tier::kAuto) const;
 
   /// Quantise the value plane in place: int8 or packed-int4 codes with
   /// one scale/zero-point per row (symmetric by default, so all
@@ -108,7 +136,13 @@ class Csr {
   /// sparse::quantize_grouped) — what the runtime requests for
   /// event-path gather structures so binary spike batches can take the
   /// int32 fast path in spmv_gather.
-  float quantize(Precision precision, bool symmetric = true, bool uniform_scale = false);
+  /// `group_size` > 0 replaces the per-row grouping with fixed-size
+  /// runs of that many codes over the value array (power of two, may
+  /// straddle row boundaries; see QuantPlane::group_size) — finer
+  /// scales that localize int4's error. Requires symmetric mode and is
+  /// mutually exclusive with uniform_scale.
+  float quantize(Precision precision, bool symmetric = true, bool uniform_scale = false,
+                 int64_t group_size = 0);
 
   /// Inverse companion of quantize(): materialize the *dequantised*
   /// fp32 values and drop the plane, so the bitwise fp32 kernels above

@@ -156,7 +156,7 @@ QuantPlane quantize_fixed(const float* values, int64_t groups, int64_t group_siz
 }
 
 float relative_quant_error(const tensor::Tensor& weights, Precision precision,
-                           float threshold, bool uniform_scale) {
+                           float threshold, bool uniform_scale, int64_t group_size) {
   if (precision == Precision::kFp32 || weights.numel() == 0) return 0.0F;
   if (weights.rank() < 1) return 0.0F;
   const int64_t rows = weights.dim(0);
@@ -164,6 +164,35 @@ float relative_quant_error(const tensor::Tensor& weights, Precision precision,
   const int64_t cols = weights.numel() / rows;
   const float* w = weights.data();
   const int qmax = qmax_for(precision);
+  if (group_size > 0) {
+    // Mirror the emitted plane: surviving entries in row-major order,
+    // fixed-size symmetric groups that may straddle row boundaries.
+    std::vector<float> kept;
+    float global_max = 0.0F;
+    for (int64_t i = 0; i < rows * cols; ++i) {
+      const float a = std::fabs(w[i]);
+      if (a > threshold) {
+        kept.push_back(w[i]);
+        global_max = std::max(global_max, a);
+      }
+    }
+    if (kept.empty() || global_max == 0.0F) return 0.0F;
+    double err_sum = 0.0;
+    const auto n = static_cast<int64_t>(kept.size());
+    for (int64_t g0 = 0; g0 < n; g0 += group_size) {
+      const int64_t g1 = std::min(n, g0 + group_size);
+      float gmax = 0.0F;
+      for (int64_t i = g0; i < g1; ++i) gmax = std::max(gmax, std::fabs(kept[i]));
+      if (gmax == 0.0F) continue;
+      const float scale = gmax / static_cast<float>(qmax);
+      for (int64_t i = g0; i < g1; ++i) {
+        const int q =
+            std::clamp(static_cast<int>(std::lrintf(kept[i] / scale)), -qmax, qmax);
+        err_sum += std::fabs(scale * static_cast<float>(q) - kept[i]);
+      }
+    }
+    return static_cast<float>(err_sum / static_cast<double>(n)) / global_max;
+  }
   float global_max = 0.0F;
   if (uniform_scale) {
     for (int64_t i = 0; i < rows * cols; ++i) {

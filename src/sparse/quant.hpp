@@ -59,8 +59,27 @@ struct QuantPlane {
   /// j-independent scale, {0,1} activations let spmv_gather sum raw
   /// codes in int32 and dequantise once per output.
   bool uniform = false;
+  /// > 0: the groups are fixed-size runs of this many codes over the
+  /// value array (power of two; group of value k is k >> log2(size),
+  /// crossing row/block boundaries), finer than the structural per-row
+  /// grouping — the CompileOptions::quant_group_size scheme that lets
+  /// int4 localize its scales. Grouped planes are always symmetric
+  /// (every zero-point 0), so kernels fold scale[k >> shift] straight
+  /// into the code. 0 means structural groups (dequant's `group`
+  /// argument indexes scale/zero directly). Mutually exclusive with
+  /// `uniform`.
+  int64_t group_size = 0;
 
   [[nodiscard]] bool present() const { return precision != Precision::kFp32; }
+
+  /// log2(group_size) when the plane is fixed-size grouped, else -1 —
+  /// the shift the hot kernels hoist out of their loops.
+  [[nodiscard]] int group_shift() const {
+    if (group_size <= 0) return -1;
+    int s = 0;
+    while ((int64_t{1} << s) < group_size) ++s;
+    return s;
+  }
 
   /// Raw signed code of value k (int8 or sign-extended int4).
   [[nodiscard]] int8_t code(int64_t k) const {
@@ -70,9 +89,11 @@ struct QuantPlane {
     return static_cast<int8_t>(static_cast<int8_t>(nibble << 4) >> 4);
   }
 
-  /// Reconstructed fp32 value of value k in group g.
+  /// Reconstructed fp32 value of value k in group g. On a fixed-size
+  /// grouped plane the group is derived from k and the argument is
+  /// ignored, so per-row/per-block callers stay correct unchanged.
   [[nodiscard]] float dequant(int64_t group, int64_t k) const {
-    const auto g = static_cast<std::size_t>(group);
+    const auto g = static_cast<std::size_t>(group_size > 0 ? k / group_size : group);
     return scale[g] * static_cast<float>(static_cast<int>(code(k)) - static_cast<int>(zero[g]));
   }
 
@@ -115,9 +136,21 @@ struct QuantPlane {
 /// the event-path gather structures actually build): same 1/(2*qmax)
 /// worst case, but the *measured* value can sit anywhere under it, so
 /// the heuristic must measure the scheme it will emit.
+///
+/// `group_size` > 0 measures the fixed-size-group scheme instead
+/// (QuantPlane::group_size): surviving entries taken in row-major order,
+/// chunked into `group_size`-wide symmetric groups exactly as
+/// Csr::quantize will emit them. The reported statistic becomes the
+/// *mean* |dequant - w| / global max |w| rather than the max: whichever
+/// group contains the global max keeps the structural 1/(2*qmax) worst
+/// case, so the max statistic could never drop below the per-row
+/// floor no matter how fine the groups — the mean is what grouping
+/// actually improves, and is what the auto-precision bound compares
+/// when a group size is configured.
 [[nodiscard]] float relative_quant_error(const tensor::Tensor& weights, Precision precision,
                                          float threshold = 0.0F,
-                                         bool uniform_scale = false);
+                                         bool uniform_scale = false,
+                                         int64_t group_size = 0);
 
 /// Quantise-dequantise the tensor in place with one symmetric scale per
 /// lowered row — the exact transformation Csr::quantize applies to the

@@ -1,8 +1,13 @@
 #include "tensor/matmul.hpp"
 
 #include <stdexcept>
+#include <vector>
+
+#include "sparse/simd_kernels.hpp"
 
 namespace ndsnn::tensor {
+
+namespace simd = ndsnn::sparse::simd;
 
 namespace {
 void check_rank2(const Tensor& t, const char* name) {
@@ -13,7 +18,8 @@ void check_rank2(const Tensor& t, const char* name) {
 }
 }  // namespace
 
-void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c, util::ThreadPool* pool) {
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c, util::ThreadPool* pool,
+                util::simd::Tier tier) {
   check_rank2(a, "A");
   check_rank2(b, "B");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
@@ -24,9 +30,15 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c, util::ThreadPool* p
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  const bool avx2 = util::simd::resolve(tier) == util::simd::Tier::kAvx2 &&
+                    simd::built_with_avx2() && n >= 8;
   // i-k-j ordering: unit-stride inner loop over B and C rows. Rows of C
   // are independent, so the pooled path hands each chunk a row range.
   const auto rows = [&](int64_t i0, int64_t i1) {
+    if (avx2) {
+      simd::matmul_f32_avx2(pa, pb, i0, i1, k, n, pc);
+      return;
+    }
     for (int64_t i = i0; i < i1; ++i) {
       float* crow = pc + i * n;
       const float* arow = pa + i * k;
@@ -41,9 +53,10 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c, util::ThreadPool* p
   util::parallel_even(pool, 0, m, m * k * n, rows);
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b, util::ThreadPool* pool) {
+Tensor matmul(const Tensor& a, const Tensor& b, util::ThreadPool* pool,
+              util::simd::Tier tier) {
   Tensor c(Shape{a.dim(0), b.dim(1)});
-  matmul_acc(a, b, c, pool);
+  matmul_acc(a, b, c, pool, tier);
   return c;
 }
 
@@ -76,7 +89,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c, util::ThreadPool* pool) {
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c, util::ThreadPool* pool,
+                   util::simd::Tier tier) {
   check_rank2(a, "A");
   check_rank2(b, "B");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
@@ -87,6 +101,22 @@ void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c, util::ThreadPool
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  if (util::simd::resolve(tier) == util::simd::Tier::kAvx2 && simd::built_with_avx2() &&
+      n >= 8) {
+    // Panel route: bt = Bᵀ [k, n] turns the per-output gather into
+    // contiguous 8-wide loads/stores over j; the strided-copy transpose
+    // costs one k*n pass against m*k*n worth of double chains. Each
+    // output's chain is exact, so results stay bitwise identical to the
+    // scalar gather.
+    std::vector<float> bt(static_cast<std::size_t>(k * n));
+    util::parallel_even(pool, 0, k, k * n, [&](int64_t k0, int64_t k1) {
+      simd::transpose_f32(pb, n, k, bt.data(), k0, k1);
+    });
+    util::parallel_even(pool, 0, m, m * k * n, [&](int64_t i0, int64_t i1) {
+      simd::matmul_nt_f32_avx2(pa, bt.data(), i0, i1, k, n, pc);
+    });
+    return;
+  }
   const auto rows = [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       const float* arow = pa + i * k;
@@ -102,9 +132,10 @@ void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c, util::ThreadPool
   util::parallel_even(pool, 0, m, m * k * n, rows);
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b, util::ThreadPool* pool) {
+Tensor matmul_nt(const Tensor& a, const Tensor& b, util::ThreadPool* pool,
+                 util::simd::Tier tier) {
   Tensor c(Shape{a.dim(0), b.dim(0)});
-  matmul_nt_acc(a, b, c, pool);
+  matmul_nt_acc(a, b, c, pool, tier);
   return c;
 }
 

@@ -1,0 +1,251 @@
+// runtime::Autotune: the measured per-layer {backend, block, tier}
+// lowering behind CompileOptions::autotune. Covers the decision surface
+// (concrete choices, cache behaviour, OpReport plumbing), the guardrails
+// (event path and forced backends keep the heuristics, validation of
+// quant_group_size), and the correctness contract: whatever backend the
+// measurement picks, fp32 execution stays bitwise identical to the
+// heuristic plan because every fp32 kernel tier shares one accumulation
+// order.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "nn/models/zoo.hpp"
+#include "runtime/autotune.hpp"
+#include "runtime/compiled_network.hpp"
+#include "snn/encoder.hpp"
+#include "sparse/quant.hpp"
+#include "testing.hpp"
+#include "tensor/random.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ndsnn::runtime {
+namespace {
+
+using difftest::apply_block_masks;
+using difftest::apply_random_masks;
+using difftest::expect_bitwise;
+using difftest::warm_up;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// [rows, cols] weight with a deterministic unstructured mask.
+Tensor sparse_weight(int64_t rows, int64_t cols, double sparsity, uint64_t seed) {
+  Rng rng(seed);
+  Tensor w(Shape{rows, cols});
+  w.fill_uniform(rng, -1.0F, 1.0F);
+  const auto stride = static_cast<int64_t>(1.0 / std::max(1e-9, 1.0 - sparsity));
+  float* d = w.data();
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    if (stride > 1 && i % stride != 0) d[i] = 0.0F;
+  }
+  return w;
+}
+
+Tensor random_batch(int64_t n, int64_t c, int64_t s, uint64_t seed) {
+  Rng rng(seed);
+  Tensor batch(Shape{n, c, s, s});
+  batch.fill_uniform(rng, 0.0F, 1.0F);
+  return batch;
+}
+
+TEST(AutotuneTest, LayerChoiceIsConcrete) {
+  autotune_cache_clear();
+  const Tensor w = sparse_weight(96, 256, 0.9, 7);
+  const CompileOptions opts;
+  const AutotuneChoice c =
+      autotune_layer(w, sparse::Precision::kFp32, AutotuneProbe::kSpmmT, opts);
+  EXPECT_FALSE(c.from_cache);
+  EXPECT_NE(c.tier, util::simd::Tier::kAuto);
+  EXPECT_LE(c.tier, util::simd::detected());
+  EXPECT_GT(c.best_us, 0.0);
+  EXPECT_TRUE(c.kernel == Kernel::kDense || c.kernel == Kernel::kCsr ||
+              c.kernel == Kernel::kBcsr);
+  EXPECT_GT(c.block_rows, 0);
+  EXPECT_GT(c.block_cols, 0);
+}
+
+TEST(AutotuneTest, PinnedTierRestrictsTheTierAxis) {
+  autotune_cache_clear();
+  const Tensor w = sparse_weight(64, 128, 0.8, 11);
+  CompileOptions opts;
+  opts.kernel_tier = util::simd::Tier::kScalar;
+  const AutotuneChoice c =
+      autotune_layer(w, sparse::Precision::kFp32, AutotuneProbe::kSpmm, opts);
+  EXPECT_EQ(c.tier, util::simd::Tier::kScalar);
+}
+
+TEST(AutotuneTest, CacheHitIsInstantAndIdentical) {
+  autotune_cache_clear();
+  const Tensor w = sparse_weight(120, 400, 0.9, 13);
+  const CompileOptions opts;
+
+  util::Stopwatch cold;
+  const AutotuneChoice first =
+      autotune_layer(w, sparse::Precision::kInt8, AutotuneProbe::kSpmmT, opts);
+  const double cold_s = cold.seconds();
+  EXPECT_FALSE(first.from_cache);
+
+  const AutotuneCacheStats after_first = autotune_cache_stats();
+  EXPECT_GE(after_first.misses, 1);
+  EXPECT_GE(after_first.entries, 1);
+
+  util::Stopwatch warm;
+  const AutotuneChoice second =
+      autotune_layer(w, sparse::Precision::kInt8, AutotuneProbe::kSpmmT, opts);
+  const double warm_s = warm.seconds();
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.kernel, first.kernel);
+  EXPECT_EQ(second.block_rows, first.block_rows);
+  EXPECT_EQ(second.block_cols, first.block_cols);
+  EXPECT_EQ(second.tier, first.tier);
+
+  const AutotuneCacheStats after_second = autotune_cache_stats();
+  EXPECT_EQ(after_second.hits, after_first.hits + 1);
+
+  // The acceptance bar is a 10x recompile speedup; a map lookup vs a
+  // multi-candidate probe clears it by orders of magnitude.
+  EXPECT_LT(warm_s, cold_s / 10.0);
+}
+
+TEST(AutotuneTest, DifferentMasksTuneIndependently) {
+  autotune_cache_clear();
+  const Tensor a = sparse_weight(64, 96, 0.9, 17);
+  const Tensor b = sparse_weight(64, 96, 0.5, 19);  // same shape, other mask
+  const CompileOptions opts;
+  (void)autotune_layer(a, sparse::Precision::kFp32, AutotuneProbe::kSpmmT, opts);
+  const AutotuneChoice c =
+      autotune_layer(b, sparse::Precision::kFp32, AutotuneProbe::kSpmmT, opts);
+  EXPECT_FALSE(c.from_cache);  // fingerprint differs -> no false sharing
+  EXPECT_GE(autotune_cache_stats().entries, 2);
+}
+
+TEST(AutotuneTest, AutotunedPlanMatchesHeuristicBitwise) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 12;
+  spec.timesteps = 2;
+  const auto net = nn::make_lenet5(spec);
+  apply_random_masks(*net, 0.9, 31);
+  const Tensor batch = random_batch(2, 1, 12, 33);
+  warm_up(*net, batch);
+
+  const CompiledNetwork heuristic = CompiledNetwork::compile(*net);
+  CompileOptions opts;
+  opts.autotune = true;
+  const CompiledNetwork tuned = CompiledNetwork::compile(*net, opts);
+
+  // Whatever backends the measurement picked, fp32 results are bitwise:
+  // every kernel x tier shares the dense accumulation order.
+  expect_bitwise(tuned.run(batch), heuristic.run(batch), "autotuned lenet5");
+
+  bool any_tuned = false;
+  for (const auto& r : tuned.plan()) {
+    if (r.weights > 0 && !r.event) {
+      EXPECT_TRUE(r.autotuned) << r.layer;
+      EXPECT_NE(r.tier, util::simd::Tier::kAuto) << r.layer;
+      any_tuned = true;
+    } else {
+      EXPECT_FALSE(r.autotuned) << r.layer;
+    }
+  }
+  EXPECT_TRUE(any_tuned);
+  // Measured decisions are flagged in the human-readable summary.
+  EXPECT_NE(tuned.summary().find('*'), std::string::npos);
+
+  for (const auto& r : heuristic.plan()) EXPECT_FALSE(r.autotuned) << r.layer;
+}
+
+TEST(AutotuneTest, ForcedBackendDisablesAutotune) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 8;
+  spec.timesteps = 2;
+  const auto net = nn::make_lenet5(spec);
+  apply_random_masks(*net, 0.9, 41);
+  warm_up(*net, random_batch(2, 1, 8, 43));
+
+  CompileOptions opts;
+  opts.autotune = true;
+  opts.backend = Backend::kCsr;
+  const CompiledNetwork compiled = CompiledNetwork::compile(*net, opts);
+  for (const auto& r : compiled.plan()) {
+    EXPECT_FALSE(r.autotuned) << r.layer;
+    if (r.weights > 0) EXPECT_TRUE(r.kind.rfind("csr-", 0) == 0) << r.kind;
+  }
+}
+
+TEST(AutotuneTest, EventPathKeepsHeuristicLowering) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 8;
+  spec.timesteps = 2;
+  const auto net = nn::make_lenet5(spec);
+  apply_random_masks(*net, 0.9, 51);
+  const Tensor batch = random_batch(2, 1, 8, 53);
+  warm_up(*net, batch);
+
+  CompileOptions opts;
+  opts.autotune = true;
+  opts.activation_mode = ActivationMode::kEvent;
+  const CompiledNetwork compiled = CompiledNetwork::compile(*net, opts);
+  bool any_event = false;
+  for (const auto& r : compiled.plan()) {
+    if (r.event) {
+      EXPECT_FALSE(r.autotuned) << r.layer;
+      any_event = true;
+    }
+  }
+  EXPECT_TRUE(any_event);
+  expect_bitwise(compiled.run(batch), net->predict(batch), "autotune + forced event");
+}
+
+TEST(AutotuneTest, QuantGroupSizeValidation) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 8;
+  spec.timesteps = 1;
+  const auto net = nn::make_lenet5(spec);
+  for (const int64_t bad : {3LL, 2LL, 48LL, -8LL}) {
+    CompileOptions opts;
+    opts.quant_group_size = bad;
+    EXPECT_THROW((void)CompiledNetwork::compile(*net, opts), std::invalid_argument)
+        << "group=" << bad;
+  }
+}
+
+TEST(AutotuneTest, GroupedInt4PlanRunsWithinTolerance) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 12;
+  spec.timesteps = 2;
+  const auto net = nn::make_lenet5(spec);
+  apply_random_masks(*net, 0.9, 61);
+  const Tensor batch = random_batch(2, 1, 12, 63);
+  warm_up(*net, batch);
+
+  CompileOptions quant;
+  quant.weight_precision = WeightPrecision::kInt4;
+  quant.quant_group_size = 32;
+  CompileOptions ref = quant;
+  ref.fake_quant = true;  // same effective weights, bitwise fp32 kernels
+
+  const CompiledNetwork q = CompiledNetwork::compile(*net, quant);
+  const CompiledNetwork f = CompiledNetwork::compile(*net, ref);
+  for (const auto& r : q.plan()) {
+    if (r.weights > 0 && r.kind.rfind("csr-", 0) == 0 && !r.event) {
+      EXPECT_EQ(r.precision, sparse::Precision::kInt4) << r.layer;
+    }
+  }
+  snn::DirectEncoder encoder;
+  difftest::expect_lockstep_close(q.plan_ir(), f.plan_ir(),
+                                  encoder.encode(batch, q.timesteps()),
+                                  difftest::quant_tolerance(WeightPrecision::kInt4),
+                                  "grouped int4 lenet5");
+}
+
+}  // namespace
+}  // namespace ndsnn::runtime

@@ -79,6 +79,18 @@ TEST(DifferentialTest, CompiledMatchesInterpretedBitwiseOnAllBackends) {
       }
     }
 
+    // Kernel-tier axis: the default compiles above dispatch the detected
+    // tier; forcing the lower tiers onto the same scenario must not move
+    // a single bit (see the tier-axis note in testing.hpp).
+    for (const util::simd::Tier tier : difftest::forced_kernel_tiers()) {
+      CompileOptions topts = difftest::options_for(cfg);
+      topts.kernel_tier = tier;
+      const CompiledNetwork forced = CompiledNetwork::compile(*net, topts);
+      difftest::expect_bitwise(forced.run(batch), want,
+                               std::string("kernel_tier=") + util::simd::name(tier));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
     // Precision axis: quantised plans are compared per op, in lockstep,
     // against a fake-quant reference plan executing the identical
     // effective weights on the fp32 kernels (see the precision-axis
@@ -111,6 +123,22 @@ TEST(DifferentialTest, CompiledMatchesInterpretedBitwiseOnAllBackends) {
                     " backend=" + difftest::backend_name(backend) +
                     " activation=" + difftest::activation_name(activation));
             if (::testing::Test::HasFatalFailure()) return;
+            if (backend == Backend::kAuto && activation == ActivationMode::kAuto) {
+              // Tier axis on the quantised kernels: unlike fp32 they
+              // only promise a bounded error, and the bound must hold
+              // at every forced tier, not just the dispatched one.
+              for (const util::simd::Tier tier : difftest::forced_kernel_tiers()) {
+                CompileOptions topts = qopts;
+                topts.kernel_tier = tier;
+                const CompiledNetwork tplan = CompiledNetwork::compile(*net, topts);
+                difftest::expect_lockstep_close(
+                    tplan.plan_ir(), fplan.plan_ir(),
+                    encoder.encode(batch, tplan.timesteps()), difftest::quant_tolerance(p),
+                    std::string("precision=") + weight_precision_name(p) +
+                        " kernel_tier=" + util::simd::name(tier));
+                if (::testing::Test::HasFatalFailure()) return;
+              }
+            }
           }
         }
       }

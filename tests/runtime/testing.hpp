@@ -38,6 +38,7 @@
 #include "sparse/quant.hpp"
 #include "sparse/structured.hpp"
 #include "tensor/random.hpp"
+#include "util/cpuinfo.hpp"
 
 namespace ndsnn::difftest {
 
@@ -288,6 +289,28 @@ inline const char* activation_name(runtime::ActivationMode m) {
     case runtime::ActivationMode::kEvent: return "event";
   }
   return "?";
+}
+
+// ------------------------------------------------------------------
+// Kernel-tier axis.
+//
+// The SIMD tiers (util/cpuinfo.hpp) promise that fp32 execution is
+// bitwise identical whichever tier dispatches — the intrinsic bodies
+// replicate the scalar accumulation order exactly. The sweep enforces
+// that promise by re-compiling scenarios with CompileOptions::
+// kernel_tier forced below the detected tier and comparing against the
+// same interpreted reference: the default (kAuto) compile already
+// exercises the *detected* tier, so forcing kScalar and kVector covers
+// every tier the machine can run. On a machine without AVX2 the forced
+// tiers clamp (resolve() never exceeds detected()) and the axis
+// degenerates to re-checking the portable kernels, which is the
+// correct behaviour, not a gap.
+
+/// Tiers the sweep forces explicitly on top of the default compile.
+inline const std::vector<util::simd::Tier>& forced_kernel_tiers() {
+  static const std::vector<util::simd::Tier> kTiers = {
+      util::simd::Tier::kScalar, util::simd::Tier::kVector};
+  return kTiers;
 }
 
 // ------------------------------------------------------------------

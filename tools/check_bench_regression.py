@@ -12,6 +12,13 @@ ratios the bench computes on-box:
     path vs the interpreted dense path on the same machine) must stay
     within TOLERANCE of the snapshot's value.
 
+  - kernel_tiers (required in the fresh document): on a box whose
+    detected tier is avx2, the hand-written AVX2 fp32 spmm_t kernel
+    must stay >= 1.5x over the gcc-vector-extension baseline — a
+    same-machine, same-process ratio, so it gates on every runner
+    independent of the snapshot box. Elsewhere the tier rows are
+    informational.
+
 TOLERANCE is 30% (noisy-box tolerant): the point is to catch a kernel
 or heuristic change that halves the sparse win, not to chase scheduler
 jitter.
@@ -56,10 +63,21 @@ SERVING_P50_SCALING_MAX = 1.5
 SERVING_P99_SLO_HEADROOM = 1.25
 SERVING_MIN_CORES = 4
 
+# Floor for the hand-written AVX2 fp32 spmm_t kernel over the
+# gcc-vector-extension baseline, measured by the bench's kernel_tiers
+# section (min-of-repeats on the fc1-scale layer). Binds only when the
+# *fresh* run's box detected avx2; elsewhere the tier numbers are
+# printed as informational (the dispatch layer clamps, so there is no
+# AVX2 kernel to gate).
+KERNEL_TIER_AVX2_MIN_SPEEDUP = 1.5
+
 # Sections that must exist (and be non-empty) in both documents. Only
 # the sections the gate actually reads are required; everything else in
 # the JSON is informational and may come or go between versions.
+# kernel_tiers is required in the *fresh* document only (older
+# snapshots predate it); see check_kernel_tiers.
 REQUIRED_SECTIONS = ("sparsity_sweep",)
+REQUIRED_FRESH_SECTIONS = ("kernel_tiers",)
 
 
 def check_required_sections(doc, label):
@@ -82,6 +100,43 @@ def sweep_speedups(doc):
     for entry in doc.get("sparsity_sweep", []):
         out[round(float(entry["sparsity"]), 4)] = float(entry["speedup"])
     return out
+
+
+def check_kernel_tiers(doc):
+    """Gate the SIMD tier section of the fresh document.
+
+    The AVX2 fp32 spmm_t kernel must beat the vector-extension baseline
+    by KERNEL_TIER_AVX2_MIN_SPEEDUP on a box that detected avx2; on any
+    other box the tier numbers are informational (there is no AVX2
+    kernel running to gate). Gating fresh-against-itself is sound
+    because the ratio is computed between two kernels on the same
+    machine in the same process — no cross-machine baseline involved.
+    """
+    tiers = doc["kernel_tiers"]
+    detected = str(tiers.get("detected", ""))
+    gated = detected == "avx2"
+    mode = "gated" if gated else f"informational: detected tier '{detected}'"
+    ok = True
+
+    speedup = float(tiers.get("avx2_fp32_spmm_t_speedup", -1.0))
+    if gated:
+        status = "ok" if speedup >= KERNEL_TIER_AVX2_MIN_SPEEDUP else "REGRESSION"
+        print(f"kernel_tiers: avx2 fp32 spmm_t = {speedup:.2f}x over vector "
+              f"(floor {KERNEL_TIER_AVX2_MIN_SPEEDUP}x) -> {status} ({mode})")
+        if speedup < KERNEL_TIER_AVX2_MIN_SPEEDUP:
+            ok = False
+    else:
+        print(f"kernel_tiers: no avx2 gate ({mode})")
+
+    for entry in tiers.get("kernels", []):
+        kernel = entry.get("kernel", "?")
+        precision = entry.get("precision", "?")
+        vector_ms = float(entry.get("vector_ms", 0.0))
+        avx2_ms = float(entry.get("avx2_ms", -1.0))
+        if avx2_ms > 0.0 and vector_ms > 0.0:
+            print(f"info: {kernel}/{precision} avx2 {avx2_ms:.3f} ms vs "
+                  f"vector {vector_ms:.3f} ms ({vector_ms / avx2_ms:.2f}x)")
+    return ok
 
 
 def check_serving(doc):
@@ -151,6 +206,12 @@ def main(argv):
 
     section_errors = (check_required_sections(fresh, f"fresh ({argv[1]})") +
                       check_required_sections(snapshot, f"snapshot ({argv[2]})"))
+    for section in REQUIRED_FRESH_SECTIONS:
+        if section not in fresh or not fresh[section]:
+            section_errors.append(
+                f"FAIL: required section '{section}' missing/empty in fresh "
+                f"({argv[1]}) -- the bench no longer emits it; "
+                f"refusing to pass vacuously")
     if section_errors:
         for err in section_errors:
             print(err)
@@ -175,6 +236,14 @@ def main(argv):
               f"(floor {floor:.2f}x) -> {status}")
         if fresh_v < floor:
             failed = True
+
+    if not check_kernel_tiers(fresh):
+        failed = True
+    autotune = fresh.get("autotune", {})
+    if autotune:
+        print(f"info: autotune compile cold {autotune.get('compile_cold_ms', 0):.1f} ms, "
+              f"warm {autotune.get('compile_warm_ms', 0):.1f} ms, "
+              f"plan speedup {autotune.get('autotune_speedup', 0):.2f}x")
 
     # Informational (not gated: thread/coalescing wins are core-count
     # bound and the snapshot may come from a smaller box than CI).
