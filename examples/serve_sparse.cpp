@@ -35,7 +35,11 @@
 //
 // --listen PORT switches from the in-process CLI demo loop to the real
 // socket front-end: a blocking TCP server (src/serve/) answering
-// length-prefixed binary frames (README "Serving"). Models come from
+// length-prefixed binary frames (README "Serving"). Besides v1 one-shot
+// requests the server speaks the wire v2 streaming extension: a client
+// opens a stream on its connection, feeds one timestep frame at a time
+// through a persistent StreamSession and gets per-step logits back
+// (README "Streaming inference"). Models come from
 // --models name=checkpoint pairs (or --checkpoint as model "default"),
 // live behind a ModelRegistry whose --mem-budget-mb budgeter
 // requantises (int8) then evicts cold plans, and are scheduled with
@@ -196,9 +200,57 @@ void serve(const ndsnn::runtime::CompiledNetwork& plan,
 
 }  // namespace
 
+namespace {
+
+/// --help text, grouped to mirror CompileOptions' nested structure
+/// (BackendOptions / QuantOptions / ExecOptions) so the CLI surface and
+/// the API present the same mental model.
+void print_help() {
+  std::printf(
+      "serve_sparse — train/load a sparse SNN and serve it\n"
+      "\n"
+      "backend options (runtime::BackendOptions):\n"
+      "  --kernel-tier auto|scalar|vector|avx2   pin the SIMD dispatch tier\n"
+      "  --autotune                              measure per-layer lowering choices\n"
+      "\n"
+      "quantisation options (runtime::QuantOptions):\n"
+      "  --precision auto|fp32|int8|int4         stored weight precision\n"
+      "\n"
+      "execution options (runtime::ExecOptions):\n"
+      "  --activation auto|dense|event           activation representation\n"
+      "  --intra-threads N                       intra-op lanes (0 = hw concurrency)\n"
+      "\n"
+      "executor / scheduling:\n"
+      "  --threads N        total request-worker budget (default 4)\n"
+      "  --coalesce N       fuse up to N queued requests into one pass\n"
+      "  --coalesce-wait-us US   straggler wait when coalescing (default 200)\n"
+      "  --slo-ms MS        admission-control latency target (0 = off)\n"
+      "\n"
+      "workload / training:\n"
+      "  --sparsity F --epochs N --requests N --batch N --nm N:M\n"
+      "  --save-checkpoint FILE | --checkpoint FILE\n"
+      "\n"
+      "serving front-end (--listen):\n"
+      "  --listen PORT      TCP server (0 = kernel-picked port); wire v1\n"
+      "                     one-shot requests and v2 streaming sessions\n"
+      "                     (one open stream per connection)\n"
+      "  --models name=a.ndck,name2=b.ndck   registry contents\n"
+      "  --mem-budget-mb N  requantise/evict budget (0 = unlimited)\n"
+      "  --serve-seconds N  bound the run (0 = until stdin closes)\n"
+      "\n"
+      "observability:\n"
+      "  --trace out.json --metrics-every N --profile\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   ndsnn::util::set_log_level(ndsnn::util::LogLevel::kWarn);
   const ndsnn::util::Cli cli(argc, argv);
+  if (cli.has_flag("--help")) {
+    print_help();
+    return 0;
+  }
   const int threads = cli.get_int("--threads", 4);
   const int num_requests = cli.get_int("--requests", 32);
   const int batch_size = cli.get_int("--batch", 8);

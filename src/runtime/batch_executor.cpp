@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/stream_session.hpp"
 #include "runtime/trace.hpp"
 #include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
@@ -139,10 +140,20 @@ void BatchExecutor::shed(Request& req, const char* why) {
   req.promise.set_exception(std::make_exception_ptr(ShedError(why)));
 }
 
-std::future<Tensor> BatchExecutor::submit(Tensor batch, SloClass slo) {
+void BatchExecutor::shed_step(StreamStep& step, const char* why) {
+  step.promise.set_exception(std::make_exception_ptr(ShedError(why)));
+}
+
+std::future<InferenceResult> BatchExecutor::submit(InferenceRequest request) {
+  if (request.slo == SloClass::kStream) {
+    throw std::invalid_argument(
+        "BatchExecutor::submit: kStream steps belong to a session — use "
+        "open_stream/submit_stream");
+  }
+  const SloClass slo = request.slo;
   Request req;
-  req.samples = batch.rank() >= 1 ? batch.dim(0) : 1;
-  req.batch = std::move(batch);
+  req.samples = request.batch.rank() >= 1 ? request.batch.dim(0) : 1;
+  req.batch = std::move(request.batch);
   req.slo = slo;
   req.enqueued = std::chrono::steady_clock::now();
   req.deadline = req.enqueued;
@@ -151,7 +162,7 @@ std::future<Tensor> BatchExecutor::submit(Tensor batch, SloClass slo) {
         static_cast<int64_t>(budget_ms(slo) * 1e3));
   }
   if (trace::enabled()) req.trace_ts_us = trace::now_us();
-  std::future<Tensor> future = req.promise.get_future();
+  std::future<InferenceResult> future = req.promise.get_future();
   bool rejected = false;
   const char* why = "";
   {
@@ -202,14 +213,86 @@ std::future<Tensor> BatchExecutor::submit(Tensor batch, SloClass slo) {
   return future;
 }
 
+std::future<Tensor> BatchExecutor::submit(Tensor batch, SloClass slo) {
+  // Deferred unwrap: get()/wait() on the returned future blocks on the
+  // same underlying promise (and rethrows the same ShedError/execution
+  // errors), it just drops the InferenceResult envelope.
+  auto inner = submit(InferenceRequest{std::move(batch), slo});
+  return std::async(std::launch::deferred, [inner = std::move(inner)]() mutable {
+    return std::move(inner.get().logits);
+  });
+}
+
 std::vector<Tensor> BatchExecutor::run_all(const std::vector<Tensor>& batches) {
-  std::vector<std::future<Tensor>> futures;
+  std::vector<std::future<InferenceResult>> futures;
   futures.reserve(batches.size());
-  for (const auto& batch : batches) futures.push_back(submit(batch));
+  for (const auto& batch : batches) {
+    futures.push_back(submit(InferenceRequest{batch, SloClass::kInteractive}));
+  }
   std::vector<Tensor> results;
   results.reserve(batches.size());
-  for (auto& f : futures) results.push_back(f.get());
+  for (auto& f : futures) results.push_back(std::move(f.get().logits));
   return results;
+}
+
+uint64_t BatchExecutor::open_stream(int64_t pipeline_threads) {
+  auto session = std::make_unique<StreamSession>(net_, pipeline_threads);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) throw ShedError("BatchExecutor: open_stream after shutdown");
+  const uint64_t sid = next_stream_id_++;
+  StreamEntry entry;
+  entry.session = std::move(session);
+  streams_.emplace(sid, std::move(entry));
+  return sid;
+}
+
+std::future<InferenceResult> BatchExecutor::submit_stream(uint64_t stream,
+                                                         Tensor frame) {
+  StreamStep step;
+  step.frame = std::move(frame);
+  step.enqueued = std::chrono::steady_clock::now();
+  std::future<InferenceResult> future = step.promise.get_future();
+  const char* reject = nullptr;
+  bool invalid = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = streams_.find(stream);
+    if (it == streams_.end()) {
+      invalid = true;
+      reject = "BatchExecutor: submit_stream on unknown stream id";
+    } else if (stopping_ || it->second.closed) {
+      reject = stopping_ ? "BatchExecutor: stream step after shutdown"
+                         : "BatchExecutor: stream step after close_stream";
+      ++shed_requests_;
+    } else {
+      it->second.steps.push_back(std::move(step));
+      ++queued_stream_steps_;
+    }
+  }
+  if (invalid) {
+    step.promise.set_exception(std::make_exception_ptr(std::invalid_argument(reject)));
+  } else if (reject != nullptr) {
+    ExecutorMetrics::get().shed.add(1);
+    shed_step(step, reject);
+  } else {
+    cv_.notify_one();
+  }
+  return future;
+}
+
+void BatchExecutor::close_stream(uint64_t stream) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = streams_.find(stream);
+  if (it == streams_.end()) return;
+  it->second.closed = true;
+  // Queued steps still run (a worker will drain and then erase); only a
+  // fully idle session can be dropped on the spot.
+  if (!it->second.busy && it->second.steps.empty()) streams_.erase(it);
+}
+
+int64_t BatchExecutor::open_streams() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(streams_.size());
 }
 
 void BatchExecutor::shutdown() {
@@ -283,6 +366,8 @@ ExecutorStats BatchExecutor::stats() const {
     s.shed_requests = shed_requests_;
     s.slo_violations = slo_violations_;
     s.queue_depth = queued_requests_;
+    s.open_streams = static_cast<int64_t>(streams_.size());
+    s.stream_steps = stream_steps_;
     s.predicted_wait_ms = predicted_wait_ms_locked();
     latencies = latencies_ms_;
     waits = waits_ms_;
@@ -400,11 +485,11 @@ int BatchExecutor::pick_queue() const {
     }
     const Request& head = queues_[i]->q.front();
     const Request& incumbent = queues_[static_cast<std::size_t>(best)]->q.front();
-    // Interactive before batch; EDF within a class. With slo_ms == 0
-    // every deadline equals its enqueue time, so this is arrival-order
-    // FIFO across sub-queues.
+    // Interactive before batch (slo_priority rank, not raw enum value);
+    // EDF within a class. With slo_ms == 0 every deadline equals its
+    // enqueue time, so this is arrival-order FIFO across sub-queues.
     if (head.slo != incumbent.slo) {
-      if (head.slo < incumbent.slo) best = static_cast<int>(i);
+      if (slo_priority(head.slo) < slo_priority(incumbent.slo)) best = static_cast<int>(i);
     } else if (head.deadline < incumbent.deadline) {
       best = static_cast<int>(i);
     }
@@ -544,8 +629,11 @@ void BatchExecutor::run_group(std::vector<Request>& group, std::size_t worker) {
     const double ms = sw.millis();
     record(group, samples, ms, fused, worker);
     recorded = true;
+    // latency_ms is the request's end-to-end time: its own queue wait
+    // plus the (possibly fused) pass's service time.
     if (!fused) {
-      group.front().promise.set_value(std::move(logits));
+      Request& r = group.front();
+      r.promise.set_value(InferenceResult{std::move(logits), r.wait_ms + ms, 0});
     } else {
       trace::ScopedSpan span("fused-split", "split");
       span.rows(samples);
@@ -556,7 +644,7 @@ void BatchExecutor::run_group(std::vector<Request>& group, std::size_t worker) {
         Tensor slice(Shape{r.samples, classes});
         std::copy(src + row * classes, src + (row + r.samples) * classes, slice.data());
         row += r.samples;
-        r.promise.set_value(std::move(slice));
+        r.promise.set_value(InferenceResult{std::move(slice), r.wait_ms + ms, 0});
       }
     }
   } catch (...) {
@@ -569,6 +657,72 @@ void BatchExecutor::run_group(std::vector<Request>& group, std::size_t worker) {
   }
 }
 
+uint64_t BatchExecutor::pick_stream_locked() const {
+  for (const auto& [sid, entry] : streams_) {
+    if (!entry.busy && !entry.steps.empty()) return sid;
+  }
+  return 0;
+}
+
+void BatchExecutor::drain_stream(uint64_t sid, std::unique_lock<std::mutex>& lock,
+                                 std::size_t worker) {
+  StreamEntry& entry = streams_.at(sid);  // map nodes are stable; only
+                                          // this (busy-holding) worker
+                                          // may erase the entry
+  entry.busy = true;
+  std::deque<StreamStep> steps = std::move(entry.steps);
+  entry.steps.clear();
+  queued_stream_steps_ -= static_cast<int64_t>(steps.size());
+  StreamSession* session = entry.session.get();
+  lock.unlock();
+
+  const auto run_start = std::chrono::steady_clock::now();
+  std::vector<Tensor> frames;
+  frames.reserve(steps.size());
+  for (StreamStep& s : steps) frames.push_back(std::move(s.frame));
+  const util::Stopwatch sw;
+  std::vector<InferenceResult> results;
+  std::exception_ptr error;
+  try {
+    trace::ScopedSpan span("stream-drain", "serve");
+    span.rows(static_cast<int64_t>(steps.size()));
+    results = session->run_steps(frames);
+    // Each step's pipeline latency is relative to run_start; the client
+    // observes queue wait on top.
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      results[i].latency_ms += ms_between(steps[i].enqueued, run_start);
+    }
+  } catch (...) {
+    error = std::current_exception();
+    // The pipeline died mid-sequence: per-layer state is part-way
+    // through an undefined step. Reset so the session restarts clean
+    // rather than silently continuing from a corrupt carry.
+    session->reset();
+  }
+  const double ms = sw.millis();
+
+  lock.lock();
+  if (worker < busy_ms_.size()) busy_ms_[worker] += ms;
+  if (!error) stream_steps_ += static_cast<int64_t>(steps.size());
+  entry.busy = false;
+  if (entry.closed && entry.steps.empty()) {
+    streams_.erase(sid);
+  } else if (!entry.steps.empty()) {
+    cv_.notify_one();  // steps arrived while draining
+  }
+  // Fulfil the promises only after the books are settled, still under
+  // the lock: a client that has observed a resolved step future must
+  // see stats()/open_streams() reflect this drain (and a close_stream
+  // racing in cannot find the entry busy after its last step resolved).
+  if (!error) {
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      steps[i].promise.set_value(std::move(results[i]));
+    }
+  } else {
+    for (StreamStep& s : steps) s.promise.set_exception(error);
+  }
+}
+
 void BatchExecutor::worker_loop(std::size_t worker) {
   for (;;) {
     std::vector<Request> group;
@@ -576,7 +730,15 @@ void BatchExecutor::worker_loop(std::size_t worker) {
     bool more = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || queued_requests_ > 0; });
+      cv_.wait(lock, [this] {
+        return stopping_ || queued_requests_ > 0 || pick_stream_locked() != 0;
+      });
+      // Streams outrank every queued request (slo_priority): drain one
+      // session completely, then loop for the next unit of work.
+      if (const uint64_t sid = pick_stream_locked(); sid != 0) {
+        drain_stream(sid, lock, worker);
+        continue;
+      }
       if (queued_requests_ == 0) return;  // stopping_ and drained
       group = take_group(lock, doomed);
       for (const Request& r : group) inflight_samples_ += r.samples;

@@ -50,6 +50,15 @@
 // consecutive would-shed request is admitted anyway as a probe whose
 // completion refreshes the window and the service EMA.
 //
+// Streaming (PR 9): open_stream() attaches a StreamSession — persistent
+// per-layer neuron state, one timestep per submit_stream() — to the
+// executor. Stream steps live on per-session FIFOs (temporal order is
+// part of the semantics, so they never mix into the shape-binned
+// sub-queues and are never shed by admission control), outrank every
+// queued request (slo_priority: kStream < kInteractive < kBatch), and a
+// free worker drains ALL queued steps of a session in one pipelined
+// StreamSession::run_steps pass.
+//
 // Thread budget: the constructor's num_threads is the *total* worker
 // budget. When the plan was compiled with an intra-op pool
 // (CompileOptions::num_threads > 1), the executor spawns
@@ -69,6 +78,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -76,27 +86,17 @@
 #include <vector>
 
 #include "runtime/compiled_network.hpp"
+#include "runtime/inference.hpp"
 #include "tensor/tensor.hpp"
 #include "util/metrics.hpp"
 
 namespace ndsnn::runtime {
 
-/// Priority tier of a request. Interactive requests always schedule
-/// before batch requests; the batch class also gets a longer SLO budget
-/// (ExecutorOptions::batch_slo_factor) before admission control sheds it.
-enum class SloClass : uint8_t {
-  kInteractive = 0,
-  kBatch = 1,
-};
+// SloClass and ShedError moved to runtime/inference.hpp with the
+// consolidated InferenceRequest/InferenceResult pair; included above so
+// existing code naming them through this header keeps compiling.
 
-/// Thrown through the future of a request the admission controller
-/// refused (predicted queue wait above the SLO budget) or that was
-/// submitted after shutdown(). Clients treat it as back-pressure:
-/// retry later or against another replica, don't escalate.
-class ShedError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+class StreamSession;
 
 /// Serving statistics snapshot. Service latency (mean/p50/p95/p99/max)
 /// is measured per request from execution start to completion on the
@@ -136,6 +136,11 @@ struct ExecutorStats {
   double e2e_p99_ms = 0.0;
   /// Requests waiting in the sub-queues at snapshot time.
   int64_t queue_depth = 0;
+  /// Streaming sessions currently open (open_stream - closed/drained).
+  int64_t open_streams = 0;
+  /// Stream timesteps fully processed (all-time; separate from
+  /// `requests` — stream steps never enter the request sub-queues).
+  int64_t stream_steps = 0;
   /// Admission predictor's current queue-wait estimate (ms).
   double predicted_wait_ms = 0.0;
   /// Mean fraction of wall time the request workers spent executing:
@@ -180,13 +185,50 @@ class BatchExecutor {
   BatchExecutor(const BatchExecutor&) = delete;
   BatchExecutor& operator=(const BatchExecutor&) = delete;
 
-  /// Enqueue one inference request; the future resolves to the mean
-  /// logits [N, classes]. Never throws for queue-state reasons: a
-  /// request shed by admission control or submitted after shutdown()
-  /// gets a future that throws ShedError instead — the caller decides
-  /// whether that is an error, mid-drain races included.
+  /// Enqueue one inference request (the consolidated entry point); the
+  /// future resolves to an InferenceResult whose latency_ms is the
+  /// request's end-to-end time (queue wait + service). Never throws for
+  /// queue-state reasons: a request shed by admission control or
+  /// submitted after shutdown() gets a future that throws ShedError
+  /// instead — the caller decides whether that is an error, mid-drain
+  /// races included. Throws std::invalid_argument for SloClass::kStream
+  /// — stream steps belong to a session (open_stream / submit_stream),
+  /// not the request queue.
+  [[nodiscard]] std::future<InferenceResult> submit(InferenceRequest request);
+
+  /// Thin wrapper over submit(InferenceRequest) keeping the original
+  /// tensor-in/tensor-out signature: the returned future yields just
+  /// the logits (deferred unwrap; get() blocks on the same underlying
+  /// result and rethrows the same errors).
   [[nodiscard]] std::future<tensor::Tensor> submit(
       tensor::Tensor batch, SloClass slo = SloClass::kInteractive);
+
+  /// Open a streaming session over the served plan: persistent neuron
+  /// state on the executor, one timestep per submit_stream() call.
+  /// `pipeline_threads` sizes the session's layer pipeline (1 = serial;
+  /// see StreamSession) — serial by default so many concurrent sessions
+  /// do not multiply thread counts. Returns the session id. Throws
+  /// ShedError after shutdown().
+  [[nodiscard]] uint64_t open_stream(int64_t pipeline_threads = 1);
+
+  /// Enqueue one timestep frame [N, ...] for an open stream. Steps of a
+  /// session run in submission order; a worker drains every queued step
+  /// of the session in one pipelined pass (StreamSession::run_steps).
+  /// Stream steps outrank interactive requests (slo_priority) and are
+  /// never shed by admission control — dropping a middle timestep would
+  /// corrupt the temporal state — but steps queued at shutdown() or
+  /// after close_stream() resolve with ShedError. latency_ms of each
+  /// result covers enqueue -> step completion. Unknown ids resolve with
+  /// std::invalid_argument through the future.
+  [[nodiscard]] std::future<InferenceResult> submit_stream(uint64_t stream,
+                                                          tensor::Tensor frame);
+
+  /// Close a stream: queued steps still run, then the session and its
+  /// neuron state are dropped. Idempotent; unknown ids are a no-op.
+  void close_stream(uint64_t stream);
+
+  /// Streaming sessions currently open.
+  [[nodiscard]] int64_t open_streams() const;
 
   /// Convenience: submit every batch, wait for all, return results in
   /// submission order. Rethrows the first ShedError/execution error.
@@ -233,7 +275,7 @@ class BatchExecutor {
   struct Request {
     tensor::Tensor batch;
     int64_t samples = 0;
-    std::promise<tensor::Tensor> promise;
+    std::promise<InferenceResult> promise;
     SloClass slo = SloClass::kInteractive;
     /// When submit() enqueued the request: the queue-wait clock.
     std::chrono::steady_clock::time_point enqueued;
@@ -256,7 +298,34 @@ class BatchExecutor {
     std::deque<Request> q;
   };
 
+  /// One timestep waiting on a stream's own FIFO (never in the request
+  /// sub-queues: per-session order is part of the semantics).
+  struct StreamStep {
+    tensor::Tensor frame;
+    std::promise<InferenceResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// One open streaming session: the state-carrying StreamSession plus
+  /// its step FIFO. `busy` marks a worker mid-drain (exactly one worker
+  /// serves a session at a time — temporal order); `closed` defers the
+  /// erase to that worker when set mid-drain.
+  struct StreamEntry {
+    std::unique_ptr<StreamSession> session;
+    std::deque<StreamStep> steps;
+    bool busy = false;
+    bool closed = false;
+  };
+
   void worker_loop(std::size_t worker);
+  /// Lowest-id stream with runnable steps and no worker on it, or 0.
+  /// Caller holds mu_.
+  [[nodiscard]] uint64_t pick_stream_locked() const;
+  /// Drain every queued step of stream `sid` in one pipelined pass and
+  /// resolve the promises. Called by a worker that holds `lock`;
+  /// releases it around execution, reacquires before returning.
+  void drain_stream(uint64_t sid, std::unique_lock<std::mutex>& lock,
+                    std::size_t worker);
   /// Index of the sub-queue whose head is most urgent ((class,
   /// deadline) lexicographic min), or -1 when nothing is queued.
   /// Caller holds mu_.
@@ -285,6 +354,8 @@ class BatchExecutor {
               std::size_t worker);
   /// Resolve a request's future with ShedError. Caller must NOT hold mu_.
   static void shed(Request& req, const char* why);
+  /// Same for a stream step.
+  static void shed_step(StreamStep& step, const char* why);
 
   const CompiledNetwork& net_;
   const ExecutorOptions opts_;
@@ -297,6 +368,12 @@ class BatchExecutor {
   std::vector<std::unique_ptr<SubQueue>> queues_;
   int64_t queued_requests_ = 0;  ///< total across sub-queues
   int64_t queued_samples_ = 0;   ///< total batch rows across sub-queues
+  /// Open streaming sessions by id (std::map: pick_stream_locked scans
+  /// in id order, so stream service order is deterministic).
+  std::map<uint64_t, StreamEntry> streams_;
+  uint64_t next_stream_id_ = 1;
+  int64_t queued_stream_steps_ = 0;  ///< steps waiting across all streams
+  int64_t stream_steps_ = 0;         ///< steps fully processed (all-time)
   /// Samples taken by workers but not yet finished: the admission
   /// predictor's drain term counts them too (a running fused pass
   /// delays new arrivals just like queued work does).

@@ -1,6 +1,7 @@
 #include "runtime/compiled_network.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <initializer_list>
 #include <memory>
 #include <stdexcept>
@@ -407,19 +408,30 @@ CompiledNetwork CompiledNetwork::from_checkpoint(const std::string& path,
   return compile(*net, opts);
 }
 
-Tensor CompiledNetwork::run(const Tensor& batch) const {
+InferenceResult CompiledNetwork::infer(const InferenceRequest& request) const {
+  const Tensor& batch = request.batch;
   if (batch.rank() < 2) {
-    throw std::invalid_argument("CompiledNetwork::run: expected [N, ...], got " +
+    throw std::invalid_argument("CompiledNetwork::infer: expected [N, ...], got " +
                                 batch.shape().str());
   }
+  const auto start = std::chrono::steady_clock::now();
   // Direct encoding (compile() rejected every other encoder kind).
   snn::DirectEncoder encoder;
   const Tensor x = plan_.execute(encoder.encode(batch, plan_.timesteps));
   if (x.rank() != 2) {
-    throw std::invalid_argument("CompiledNetwork::run: body produced non-matrix logits " +
+    throw std::invalid_argument("CompiledNetwork::infer: body produced non-matrix logits " +
                                 x.shape().str());
   }
-  return nn::mean_over_time(x, plan_.timesteps);
+  InferenceResult result;
+  result.logits = nn::mean_over_time(x, plan_.timesteps);
+  result.latency_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+Tensor CompiledNetwork::run(const Tensor& batch) const {
+  return infer({batch, SloClass::kInteractive}).logits;
 }
 
 std::vector<int64_t> CompiledNetwork::classify(const Tensor& batch) const {

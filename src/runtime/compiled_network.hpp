@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "nn/network.hpp"
+#include "runtime/inference.hpp"
 #include "runtime/plan.hpp"
 #include "runtime/trace.hpp"
 #include "sparse/quant.hpp"
@@ -87,8 +88,10 @@ enum class WeightPrecision {
 /// std::invalid_argument otherwise.
 [[nodiscard]] WeightPrecision parse_weight_precision(const std::string& s);
 
-/// Knobs for the network -> plan lowering.
-struct CompileOptions {
+/// Kernel/backend selection knobs: which storage format and GEMM kernel
+/// each weight layer lowers onto. One of the three groups CompileOptions
+/// aggregates (serve_sparse --help mirrors this grouping).
+struct BackendOptions {
   /// kAuto lowers a weight layer to a sparse kernel when its weight
   /// sparsity is >= this. Below it, the dense GEMM wins (sparse formats
   /// pay indexing overhead per value/block).
@@ -119,18 +122,22 @@ struct CompileOptions {
   /// and stay CSR regardless. The heuristic regression test in
   /// tests/runtime/compiled_network_test.cpp pins both sides.
   double bcsr_min_occupancy = 0.75;
-  /// Activation path selection (see ActivationMode).
-  ActivationMode activation_mode = ActivationMode::kAuto;
-  /// kAuto goes event-driven when the estimated firing rate of a weight
-  /// layer's spike-valued input is <= this. Calibrated with
-  /// bench/activation_sparsity: the gather kernels beat dense-activation
-  /// CSR below ~0.25-0.3 firing and win >2x at <=0.1.
-  double event_max_rate = 0.25;
-  /// Fallback input-rate estimate for spike-valued activations when the
-  /// source network has no recorded firing rates (e.g. compiled straight
-  /// from a checkpoint, before any forward pass ran). Typical LIF/PLIF/
-  /// ALIF layers fire 5-20% of the time.
-  double firing_rate_estimate = 0.15;
+  /// Measure instead of guess: microbenchmark each prunable weight
+  /// layer's candidate configurations {dense, CSR, BCSR x block shapes}
+  /// x {kVector, detected tier} on the layer's real extracted weights
+  /// and lower onto the measured winner, overriding the min_sparsity /
+  /// bcsr_min_occupancy heuristics (a forced `backend` still wins).
+  /// Results are cached process-wide keyed by (shape, precision, mask
+  /// fingerprint, CPU tier), so recompiling the same network — or
+  /// loading it again via from_checkpoint — skips the probes entirely.
+  /// Event-path layers keep the heuristic: their gather kernels are not
+  /// what the probe measures. Off by default (compile stays instant).
+  bool autotune = false;
+};
+
+/// Weight quantisation knobs: stored bit width of the sparse value
+/// planes and the calibration that picks it per layer.
+struct QuantOptions {
   /// Stored bit width of the sparse value planes (see WeightPrecision).
   /// Anything other than kFp32 trades the bitwise-vs-predict contract
   /// for the documented quantisation error bound (README, runtime
@@ -156,6 +163,32 @@ struct CompileOptions {
   /// carry the nominal precision; bytes reflect the fp32 storage the
   /// fake plan actually holds.
   bool fake_quant = false;
+  /// Quantisation group size for *CSR* value planes under int8/int4: 0
+  /// (default) keeps one scale per row; a power of two G >= 4 scales
+  /// each run of G stored codes independently (sparse::QuantPlane::
+  /// group_size), shrinking per-group dynamic range so int4 passes the
+  /// quant_max_error bar on layers per-row scaling rejects. The kAuto
+  /// precision calibration measures the same grouped scheme. Ignored by
+  /// BCSR (per-block scales are already finer) and by event-path planes
+  /// (the binary-spike int32 gather needs one uniform scale).
+  int64_t quant_group_size = 0;
+};
+
+/// Execution knobs: how the lowered plan runs — activation path,
+/// threading, SIMD tier.
+struct ExecOptions {
+  /// Activation path selection (see ActivationMode).
+  ActivationMode activation_mode = ActivationMode::kAuto;
+  /// kAuto goes event-driven when the estimated firing rate of a weight
+  /// layer's spike-valued input is <= this. Calibrated with
+  /// bench/activation_sparsity: the gather kernels beat dense-activation
+  /// CSR below ~0.25-0.3 firing and win >2x at <=0.1.
+  double event_max_rate = 0.25;
+  /// Fallback input-rate estimate for spike-valued activations when the
+  /// source network has no recorded firing rates (e.g. compiled straight
+  /// from a checkpoint, before any forward pass ran). Typical LIF/PLIF/
+  /// ALIF layers fire 5-20% of the time.
+  double firing_rate_estimate = 0.15;
   /// Intra-op execution lanes: 1 (default) compiles a serial plan, 0
   /// resolves to std::thread::hardware_concurrency(), N > 1 builds a
   /// shared util::ThreadPool the plan owns and every hot kernel
@@ -176,26 +209,26 @@ struct CompileOptions {
   /// reference kernels, or kVector to benchmark against the
   /// autovectorised baseline.
   util::simd::Tier kernel_tier = util::simd::Tier::kAuto;
-  /// Measure instead of guess: microbenchmark each prunable weight
-  /// layer's candidate configurations {dense, CSR, BCSR x block shapes}
-  /// x {kVector, detected tier} on the layer's real extracted weights
-  /// and lower onto the measured winner, overriding the min_sparsity /
-  /// bcsr_min_occupancy heuristics (a forced `backend` still wins).
-  /// Results are cached process-wide keyed by (shape, precision, mask
-  /// fingerprint, CPU tier), so recompiling the same network — or
-  /// loading it again via from_checkpoint — skips the probes entirely.
-  /// Event-path layers keep the heuristic: their gather kernels are not
-  /// what the probe measures. Off by default (compile stays instant).
-  bool autotune = false;
-  /// Quantisation group size for *CSR* value planes under int8/int4: 0
-  /// (default) keeps one scale per row; a power of two G >= 4 scales
-  /// each run of G stored codes independently (sparse::QuantPlane::
-  /// group_size), shrinking per-group dynamic range so int4 passes the
-  /// quant_max_error bar on layers per-row scaling rejects. The kAuto
-  /// precision calibration measures the same grouped scheme. Ignored by
-  /// BCSR (per-block scales are already finer) and by event-path planes
-  /// (the binary-spike int32 gather needs one uniform scale).
-  int64_t quant_group_size = 0;
+};
+
+/// Knobs for the network -> plan lowering, grouped by concern:
+/// BackendOptions (kernel/format selection), QuantOptions (stored bit
+/// widths), ExecOptions (activation path, threads, SIMD tier). The
+/// bases keep member access flat — `opts.min_sparsity`,
+/// `opts.num_threads` etc. compile exactly as before the grouping — and
+/// aggregate init takes one brace list per group:
+///
+///   CompileOptions o{{.min_sparsity = 0.9}, {}, {.num_threads = 0}};
+///
+/// Group views (backend_opts() etc.) hand a whole group to code that
+/// only cares about one concern.
+struct CompileOptions : BackendOptions, QuantOptions, ExecOptions {
+  [[nodiscard]] BackendOptions& backend_opts() { return *this; }
+  [[nodiscard]] const BackendOptions& backend_opts() const { return *this; }
+  [[nodiscard]] QuantOptions& quant_opts() { return *this; }
+  [[nodiscard]] const QuantOptions& quant_opts() const { return *this; }
+  [[nodiscard]] ExecOptions& exec_opts() { return *this; }
+  [[nodiscard]] const ExecOptions& exec_opts() const { return *this; }
 };
 
 class CompiledNetwork {
@@ -216,9 +249,17 @@ class CompiledNetwork {
   [[nodiscard]] static CompiledNetwork from_checkpoint(const std::string& path,
                                                        const CompileOptions& opts = {});
 
-  /// Mean logits [N, classes] for a static input batch [N, ...]; direct
-  /// encoding over `timesteps()` then rate readout, matching
-  /// SpikingNetwork::predict. Thread-safe.
+  /// One-shot inference through the consolidated request/result pair
+  /// (runtime/inference.hpp) — the same vocabulary the batched
+  /// (BatchExecutor::submit) and streaming (StreamSession::step) paths
+  /// speak. Mean logits over `timesteps()` of direct encoding, matching
+  /// SpikingNetwork::predict; `latency_ms` is the call's wall time, the
+  /// SLO class is ignored (no queue on the direct path). Thread-safe.
+  [[nodiscard]] InferenceResult infer(const InferenceRequest& request) const;
+
+  /// Mean logits [N, classes] for a static input batch [N, ...]. Thin
+  /// wrapper over infer() for callers that only want the tensor — the
+  /// original PR-2 signature. Thread-safe.
   [[nodiscard]] tensor::Tensor run(const tensor::Tensor& batch) const;
 
   /// argmax class per sample. Thread-safe.

@@ -27,6 +27,13 @@ class LifOp final : public Op {
   [[nodiscard]] Activation run(const Activation& input) const override;
   [[nodiscard]] OpReport report() const override;
 
+  /// Streaming: carries v - theta per neuron across step() calls and
+  /// replays run()'s t==0 / t>0 branches exactly, so T step() calls are
+  /// bitwise identical to one run() over the time-major window.
+  [[nodiscard]] std::unique_ptr<OpState> make_state() const override;
+  [[nodiscard]] Activation step(const Activation& input,
+                                OpState* state) const override;
+
  private:
   std::string layer_name_;
   float alpha_, theta_;
@@ -41,6 +48,14 @@ class AlifOp final : public Op {
 
   [[nodiscard]] Activation run(const Activation& input) const override;
   [[nodiscard]] OpReport report() const override;
+
+  /// Streaming: carries {v, adaptation trace, previous spike} per
+  /// neuron. ALIF's recurrence is uniform in t (zero-initialised state
+  /// reproduces the first window step), so step() is run()'s inner loop
+  /// verbatim.
+  [[nodiscard]] std::unique_ptr<OpState> make_state() const override;
+  [[nodiscard]] Activation step(const Activation& input,
+                                OpState* state) const override;
 
  private:
   std::string layer_name_;

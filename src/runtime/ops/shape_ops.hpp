@@ -2,11 +2,16 @@
 // residual block container.
 //
 // Event-view propagation: FlattenOp forwards an incoming SpikeBatch
-// untouched (reshaping neither the rows nor the per-row flat indices);
-// pooling ops drop it (their output indexes a different grid — an
-// event consumer downstream rescans, which is cheap next to its GEMM).
-// ResidualOp threads Activations through its compiled sub-chains, so
-// events flow into the block's convs and out of its output LIF.
+// untouched (reshaping neither the rows nor the per-row flat indices).
+// MaxPoolOp pools the view itself when the input is a spike train
+// (Activation::spikes): max over a k x k window of binary values is the
+// OR of its events, so each active input index scatters to one output
+// cell and the pooled train plus its SpikeBatch come out exactly —
+// pooled layers stay on the event path. AvgPool mixes values and drops
+// the view (an event consumer downstream rescans, cheap next to its
+// GEMM). ResidualOp threads Activations through its compiled
+// sub-chains, so events flow into the block's convs and out of its
+// output LIF.
 #pragma once
 
 #include <memory>
@@ -67,6 +72,14 @@ class ResidualOp final : public Op {
 
   [[nodiscard]] Activation run(const Activation& input) const override;
   [[nodiscard]] OpReport report() const override;
+
+  /// Streaming: nested per-sub-op states (the block's BN-LIF chains and
+  /// output LIF each carry their own membranes). Non-null even when
+  /// every sub-op is stateless — the block must never be delta-skipped
+  /// wholesale, its neurons decay on empty steps.
+  [[nodiscard]] std::unique_ptr<OpState> make_state() const override;
+  [[nodiscard]] Activation step(const Activation& input,
+                                OpState* state) const override;
 
  private:
   std::string layer_name_;

@@ -105,6 +105,13 @@ struct Activation {
   tensor::Tensor tensor;
   SpikeBatch events;
   bool has_events = false;
+  /// True when every element is exactly 0.0F or 1.0F (a spike train):
+  /// set by the neuron ops, forwarded by shape-preserving-value ops
+  /// (Flatten) and by MaxPool (max of binary values is binary), cleared
+  /// by everything that mixes values (weight ops, BN, AvgPool). Gates
+  /// transforms that are only exact on binary data, e.g. MaxPool's
+  /// event-scatter path.
+  bool spikes = false;
 
   Activation() = default;
   explicit Activation(tensor::Tensor t) : tensor(std::move(t)) {}
@@ -142,8 +149,28 @@ struct OpReport {
   bool autotuned = false;
 };
 
+/// Opaque per-session mutable state of one op for streaming execution
+/// (StreamSession): the membrane/adaptation carry of a neuron op, the
+/// nested states of a residual block. Ops that keep no state across
+/// timesteps (weight ops, BN, pooling, reshape — all row-independent)
+/// have none. Owned by the session, one instance per (session, op);
+/// never shared between sessions, so step() may mutate it freely while
+/// the op itself stays immutable and thread-safe.
+struct OpState {
+  virtual ~OpState() = default;
+};
+
 /// One inference op of the compiled plan. Implementations are immutable
 /// after construction; run() must be safe to call from many threads.
+///
+/// Streaming: make_state()/step() execute the op one timestep at a time
+/// over [N, ...] frames instead of a whole [T*N, ...] window. The
+/// default covers every stateless op exactly — their math is
+/// row-independent, so running one step's rows alone is bitwise
+/// identical to running them inside the window. Stateful ops (neuron
+/// dynamics, residual blocks) override both; the contract is that
+/// feeding T frames through step() in order reproduces run() on the
+/// time-major concatenation bitwise, slice for slice.
 class Op {
  public:
   virtual ~Op() = default;
@@ -153,6 +180,23 @@ class Op {
 
   [[nodiscard]] virtual Activation run(const Activation& input) const = 0;
   [[nodiscard]] virtual OpReport report() const = 0;
+
+  /// Fresh streaming state, or nullptr for stateless ops. A nullptr
+  /// also tells the session the op is safe to delta-skip on empty input
+  /// steps (stateful ops must run every step — membranes decay even
+  /// with no input spikes).
+  [[nodiscard]] virtual std::unique_ptr<OpState> make_state() const {
+    return nullptr;
+  }
+
+  /// Run one timestep. `input.tensor` is one frame [N, ...]; `state` is
+  /// the instance make_state() returned (nullptr for stateless ops,
+  /// which must not touch it).
+  [[nodiscard]] virtual Activation step(const Activation& input,
+                                        OpState* state) const {
+    (void)state;
+    return run(input);
+  }
 };
 
 /// The compiled program: op sequence, per-op reports, and the timestep

@@ -152,21 +152,70 @@ void Server::accept_loop() {
 void Server::handle_connection(Connection& conn) {
   const int fd = conn.fd;
   std::vector<uint8_t> payload;
+  // The connection's open stream, if any: holding the ServedModel
+  // shared_ptr keeps the executor (and its StreamSession) alive even if
+  // the registry evicts the model mid-stream.
+  std::shared_ptr<ServedModel> stream_model;
+  uint64_t stream_id = 0;
   try {
     while (!stopping_.load() && recv_frame(fd, payload)) {
       ResponseFrame resp;
       try {
-        const RequestFrame req = decode_request(payload.data(), payload.size());
-        const std::string& name =
-            req.model.empty() ? opts_.default_model : req.model;
-        if (req.slo_class > static_cast<uint8_t>(runtime::SloClass::kBatch)) {
-          throw std::invalid_argument("serve: unknown SLO class");
+        const FrameHeader hdr = peek_header(payload.data(), payload.size());
+        if (hdr.kind == kKindStreamOpen) {
+          const StreamOpenFrame open =
+              decode_stream_open(payload.data(), payload.size());
+          if (stream_model) {
+            throw std::invalid_argument(
+                "serve: a stream is already open on this connection");
+          }
+          const std::string& name =
+              open.model.empty() ? opts_.default_model : open.model;
+          auto model = registry_.acquire(name);
+          const uint64_t sid = model->executor().open_stream();
+          stream_model = std::move(model);
+          stream_id = sid;
+          resp.status = Status::kOk;
+          resp.logits = tensor::Tensor(tensor::Shape{1});  // bare ack
+        } else if (hdr.kind == kKindStreamStep) {
+          const StreamStepFrame step =
+              decode_stream_step(payload.data(), payload.size());
+          if (!stream_model) {
+            throw std::invalid_argument("serve: stream-step before stream-open");
+          }
+          resp.logits = stream_model->executor()
+                            .submit_stream(stream_id, step.frame)
+                            .get()
+                            .logits;
+          resp.status = Status::kOk;
+        } else if (hdr.kind == kKindStreamClose) {
+          decode_stream_close(payload.data(), payload.size());
+          if (!stream_model) {
+            throw std::invalid_argument(
+                "serve: stream-close without an open stream");
+          }
+          stream_model->executor().close_stream(stream_id);
+          stream_model.reset();
+          stream_id = 0;
+          resp.status = Status::kOk;
+          resp.logits = tensor::Tensor(tensor::Shape{1});  // bare ack
+        } else {
+          // v1 one-shot path; decode_request validates version/kind, so
+          // an unknown kind answers kError here without dropping the
+          // connection (the framing itself was intact).
+          const RequestFrame req = decode_request(payload.data(), payload.size());
+          const std::string& name =
+              req.model.empty() ? opts_.default_model : req.model;
+          if (req.slo_class > static_cast<uint8_t>(runtime::SloClass::kBatch)) {
+            throw std::invalid_argument("serve: unknown SLO class");
+          }
+          auto model = registry_.acquire(name);
+          resp.logits =
+              model->executor()
+                  .submit(req.batch, static_cast<runtime::SloClass>(req.slo_class))
+                  .get();
+          resp.status = Status::kOk;
         }
-        auto model = registry_.acquire(name);
-        resp.logits = model->executor()
-                          .submit(req.batch, static_cast<runtime::SloClass>(req.slo_class))
-                          .get();
-        resp.status = Status::kOk;
       } catch (const runtime::ShedError& e) {
         resp.status = Status::kShed;
         resp.message = e.what();
@@ -184,6 +233,15 @@ void Server::handle_connection(Connection& conn) {
     // Malformed stream or peer vanished mid-frame: nothing to answer.
     util::log_debug() << "serve: closing connection: " << e.what();
   }
+  // A client that vanished (or was shut down) with a stream open must
+  // not leak the executor-side session.
+  if (stream_model) {
+    try {
+      stream_model->executor().close_stream(stream_id);
+    } catch (const std::exception& e) {
+      util::log_debug() << "serve: stream teardown: " << e.what();
+    }
+  }
   {
     // Clear the record BEFORE closing: once close() returns the kernel
     // may recycle this fd number for an unrelated descriptor (or a new
@@ -198,13 +256,36 @@ void Server::handle_connection(Connection& conn) {
   conn.done.store(true, std::memory_order_release);
 }
 
-ResponseFrame round_trip(int fd, const RequestFrame& req) {
-  send_frame(fd, encode_request(req));
+namespace {
+
+ResponseFrame await_response(int fd) {
   std::vector<uint8_t> payload;
   if (!recv_frame(fd, payload)) {
     throw WireError("serve: server closed before responding");
   }
   return decode_response(payload.data(), payload.size());
+}
+
+}  // namespace
+
+ResponseFrame round_trip(int fd, const RequestFrame& req) {
+  send_frame(fd, encode_request(req));
+  return await_response(fd);
+}
+
+ResponseFrame stream_open(int fd, const std::string& model) {
+  send_frame(fd, encode_stream_open(StreamOpenFrame{model}));
+  return await_response(fd);
+}
+
+ResponseFrame stream_step(int fd, const tensor::Tensor& frame) {
+  send_frame(fd, encode_stream_step(StreamStepFrame{frame}));
+  return await_response(fd);
+}
+
+ResponseFrame stream_close(int fd) {
+  send_frame(fd, encode_stream_close());
+  return await_response(fd);
 }
 
 int connect_local(uint16_t port) {

@@ -13,6 +13,13 @@
 // model, bad input shape) maps to Status::kError with the exception
 // message. Only a protocol-level WireError (bad magic, truncated
 // frame) closes the connection — a malformed stream cannot be re-synced.
+//
+// Streaming (wire v2): a connection may hold at most one open stream.
+// stream-open acquires the model and opens an executor StreamSession;
+// each stream-step frame advances it by one timestep (answered with
+// that step's logits, FIFO per stream); stream-close — or the client
+// disconnecting — closes the session. v1 one-shot requests keep working
+// on the same connection, interleaved with stream frames.
 #pragma once
 
 #include <atomic>
@@ -99,6 +106,13 @@ class Server {
 /// request/response round trip over a connected fd. Throws WireError on
 /// protocol failure (EOF before the response included).
 [[nodiscard]] ResponseFrame round_trip(int fd, const RequestFrame& req);
+
+/// Client-side streaming round trips (wire v2): each sends one frame
+/// and blocks for the server's response. open/close acks carry a
+/// placeholder scalar; each step's logits ride the kOk response.
+[[nodiscard]] ResponseFrame stream_open(int fd, const std::string& model);
+[[nodiscard]] ResponseFrame stream_step(int fd, const tensor::Tensor& frame);
+[[nodiscard]] ResponseFrame stream_close(int fd);
 
 /// Connect a blocking TCP socket to 127.0.0.1:<port>; throws
 /// std::runtime_error on failure. Caller owns (closes) the fd.

@@ -116,6 +116,11 @@ Tensor read_tensor(Reader& r) {
 
 }  // namespace
 
+FrameHeader peek_header(const uint8_t* data, std::size_t n) {
+  if (n < 2) throw WireError("wire: payload too short for a header");
+  return FrameHeader{data[0], data[1]};
+}
+
 std::vector<uint8_t> encode_request(const RequestFrame& req) {
   std::vector<uint8_t> out;
   out.reserve(16 + req.model.size() + static_cast<std::size_t>(req.batch.numel()) * 4);
@@ -173,6 +178,60 @@ ResponseFrame decode_response(const uint8_t* data, std::size_t n) {
   }
   if (r.pos != n) throw WireError("wire: trailing bytes after response");
   return resp;
+}
+
+std::vector<uint8_t> encode_stream_open(const StreamOpenFrame& open) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + open.model.size());
+  put_u8(out, kWireVersionStream);
+  put_u8(out, kKindStreamOpen);
+  put_u16(out, static_cast<uint16_t>(open.model.size()));
+  out.insert(out.end(), open.model.begin(), open.model.end());
+  return out;
+}
+
+StreamOpenFrame decode_stream_open(const uint8_t* data, std::size_t n) {
+  Reader r{data, n};
+  if (r.u8() != kWireVersionStream) throw WireError("wire: unknown protocol version");
+  if (r.u8() != kKindStreamOpen) throw WireError("wire: expected a stream-open frame");
+  StreamOpenFrame open;
+  const uint16_t model_len = r.u16();
+  open.model = r.bytes(model_len);
+  if (r.pos != n) throw WireError("wire: trailing bytes after stream-open");
+  return open;
+}
+
+std::vector<uint8_t> encode_stream_step(const StreamStepFrame& step) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + static_cast<std::size_t>(step.frame.numel()) * 4);
+  put_u8(out, kWireVersionStream);
+  put_u8(out, kKindStreamStep);
+  put_tensor(out, step.frame);
+  return out;
+}
+
+StreamStepFrame decode_stream_step(const uint8_t* data, std::size_t n) {
+  Reader r{data, n};
+  if (r.u8() != kWireVersionStream) throw WireError("wire: unknown protocol version");
+  if (r.u8() != kKindStreamStep) throw WireError("wire: expected a stream-step frame");
+  StreamStepFrame step;
+  step.frame = read_tensor(r);
+  if (r.pos != n) throw WireError("wire: trailing bytes after stream-step");
+  return step;
+}
+
+std::vector<uint8_t> encode_stream_close() {
+  std::vector<uint8_t> out;
+  put_u8(out, kWireVersionStream);
+  put_u8(out, kKindStreamClose);
+  return out;
+}
+
+void decode_stream_close(const uint8_t* data, std::size_t n) {
+  Reader r{data, n};
+  if (r.u8() != kWireVersionStream) throw WireError("wire: unknown protocol version");
+  if (r.u8() != kKindStreamClose) throw WireError("wire: expected a stream-close frame");
+  if (r.pos != n) throw WireError("wire: trailing bytes after stream-close");
 }
 
 namespace {

@@ -12,6 +12,18 @@
 //             ok:   u32 rank | i64 dims[rank] | f32 data[numel]
 //             else: u32 msg_len | msg bytes
 //
+// Version 2 adds three streaming frame kinds (one-shot requests keep
+// version 1 — a v1 client talks to a v2 server unchanged):
+//
+//   stream-open:  u8 version=2 | u8 kind=3 | u16 model_len | model bytes
+//   stream-step:  u8 version=2 | u8 kind=4 | u32 rank | i64 dims | f32 data
+//   stream-close: u8 version=2 | u8 kind=5
+//
+// All three are answered with an ordinary v1 response frame: open and
+// close acknowledge with a placeholder scalar tensor, each step returns
+// that step's logits [N, classes]. A connection holds at most one
+// stream; temporal order is the arrival order of its step frames.
+//
 // One request maps to one BatchExecutor::submit: the tensor is the
 // input batch [N, ...], the response tensor the mean logits
 // [N, classes]. status kShed is ordinary back-pressure (admission
@@ -36,8 +48,13 @@ namespace ndsnn::serve {
 
 constexpr uint32_t kFrameMagic = 0x3153444E;  // "NDS1" little-endian
 constexpr uint8_t kWireVersion = 1;
+/// Protocol revision that introduced the streaming frame kinds below.
+constexpr uint8_t kWireVersionStream = 2;
 constexpr uint8_t kKindRequest = 1;
 constexpr uint8_t kKindResponse = 2;
+constexpr uint8_t kKindStreamOpen = 3;
+constexpr uint8_t kKindStreamStep = 4;
+constexpr uint8_t kKindStreamClose = 5;
 /// Frames above this are rejected before allocation (256 MiB: far above
 /// any sane batch, far below an allocation-of-doom).
 constexpr uint32_t kMaxFrameBytes = 256u << 20;
@@ -67,11 +84,42 @@ struct ResponseFrame {
   std::string message;    ///< shed/error reason otherwise
 };
 
+/// v2: opens a streaming session for one model on this connection.
+struct StreamOpenFrame {
+  std::string model;  ///< registry name; empty = server default model
+};
+
+/// v2: one timestep's frame [N, ...] for the connection's open stream.
+struct StreamStepFrame {
+  tensor::Tensor frame;
+};
+
+/// First two payload bytes, readable without knowing the frame kind —
+/// the server peeks these to dispatch one-shot vs. streaming paths.
+struct FrameHeader {
+  uint8_t version = 0;
+  uint8_t kind = 0;
+};
+
+/// Peek version/kind from a raw payload (throws WireError when shorter
+/// than the two header bytes). Does not validate either value: the
+/// caller decides which (version, kind) pairs it speaks.
+[[nodiscard]] FrameHeader peek_header(const uint8_t* data, std::size_t n);
+
 /// Payload (no magic/length prefix) encode/decode.
 [[nodiscard]] std::vector<uint8_t> encode_request(const RequestFrame& req);
 [[nodiscard]] RequestFrame decode_request(const uint8_t* data, std::size_t n);
 [[nodiscard]] std::vector<uint8_t> encode_response(const ResponseFrame& resp);
 [[nodiscard]] ResponseFrame decode_response(const uint8_t* data, std::size_t n);
+
+/// v2 streaming payloads. Responses to all three kinds reuse the v1
+/// response frame (encode_response / decode_response above).
+[[nodiscard]] std::vector<uint8_t> encode_stream_open(const StreamOpenFrame& open);
+[[nodiscard]] StreamOpenFrame decode_stream_open(const uint8_t* data, std::size_t n);
+[[nodiscard]] std::vector<uint8_t> encode_stream_step(const StreamStepFrame& step);
+[[nodiscard]] StreamStepFrame decode_stream_step(const uint8_t* data, std::size_t n);
+[[nodiscard]] std::vector<uint8_t> encode_stream_close();
+void decode_stream_close(const uint8_t* data, std::size_t n);
 
 /// Blocking framed I/O over a connected socket/pipe fd. send_frame
 /// writes prefix + payload; a peer that disconnected surfaces as

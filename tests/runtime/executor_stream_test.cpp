@@ -1,0 +1,174 @@
+// BatchExecutor streaming sessions: persistent temporal state behind
+// the serving queue. The contract under test: steps of a session run in
+// submission order and reproduce a direct StreamSession bitwise (the
+// executor adds scheduling, never arithmetic), stream steps are never
+// admission-shed mid-stream, and closed/shutdown sessions shed cleanly
+// instead of deadlocking or corrupting state.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "nn/models/zoo.hpp"
+#include "runtime/batch_executor.hpp"
+#include "runtime/compiled_network.hpp"
+#include "runtime/stream_session.hpp"
+#include "sparse/mask.hpp"
+#include "tensor/random.hpp"
+
+namespace ndsnn::runtime {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+CompiledNetwork make_compiled(uint64_t seed) {
+  nn::ModelSpec spec;
+  spec.in_channels = 1;
+  spec.image_size = 16;
+  spec.timesteps = 2;
+  spec.seed = seed;
+  const auto net = nn::make_lenet5(spec);
+  Rng rng(seed + 1);
+  for (const auto& p : net->params()) {
+    if (!p.prunable) continue;
+    const auto active = static_cast<int64_t>(static_cast<double>(p.value->numel()) * 0.1);
+    const sparse::Mask mask(p.value->shape(), active, rng);
+    mask.apply(*p.value);
+  }
+  return CompiledNetwork::compile(*net);
+}
+
+std::vector<Tensor> make_frames(int64_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> frames;
+  for (int64_t i = 0; i < count; ++i) {
+    Tensor f(Shape{2, 1, 16, 16});
+    // Strong currents so LIF state actually evolves across steps and an
+    // out-of-order drain could not pass by accident.
+    if (i % 3 != 2) f.fill_uniform(rng, 0.0F, 4.0F);
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+void expect_bitwise(const Tensor& got, const Tensor& want, const std::string& ctx) {
+  ASSERT_EQ(got.shape(), want.shape()) << ctx;
+  for (int64_t i = 0; i < want.numel(); ++i) {
+    ASSERT_EQ(got.at(i), want.at(i)) << ctx << " elem " << i;
+  }
+}
+
+TEST(ExecutorStreamTest, StreamedStepsMatchDirectSessionInOrder) {
+  const CompiledNetwork compiled = make_compiled(11);
+  const std::vector<Tensor> frames = make_frames(8, 12);
+
+  // Reference: a session driven directly, one step at a time.
+  StreamSession reference(compiled);
+  std::vector<Tensor> want;
+  for (const Tensor& f : frames) want.push_back(reference.step(f).logits);
+
+  // Same frames through the executor: submit everything up front (the
+  // worker drains multiple queued steps in one pipelined pass) and the
+  // per-step results must come back in temporal order, bitwise equal.
+  BatchExecutor exec(compiled, 2);
+  const uint64_t sid = exec.open_stream(/*pipeline_threads=*/2);
+  EXPECT_EQ(exec.open_streams(), 1);
+  std::vector<std::future<InferenceResult>> futures;
+  for (const Tensor& f : frames) futures.push_back(exec.submit_stream(sid, f));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const InferenceResult r = futures[i].get();
+    expect_bitwise(r.logits, want[i], "step " + std::to_string(i));
+    EXPECT_GE(r.latency_ms, 0.0);
+  }
+  const ExecutorStats stats = exec.stats();
+  EXPECT_EQ(stats.stream_steps, static_cast<int64_t>(frames.size()));
+  exec.close_stream(sid);
+  EXPECT_EQ(exec.open_streams(), 0);
+}
+
+TEST(ExecutorStreamTest, StreamsInterleaveWithOneShotRequests) {
+  const CompiledNetwork compiled = make_compiled(21);
+  const std::vector<Tensor> frames = make_frames(4, 22);
+  Tensor oneshot(Shape{2, 1, 16, 16});
+  Rng rng(23);
+  oneshot.fill_uniform(rng, 0.0F, 1.0F);
+
+  BatchExecutor exec(compiled, 2);
+  const Tensor want_oneshot = compiled.run(oneshot);
+  StreamSession reference(compiled);
+
+  const uint64_t sid = exec.open_stream();
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    auto stream_future = exec.submit_stream(sid, frames[i]);
+    auto request_future = exec.submit(InferenceRequest{oneshot, SloClass::kInteractive});
+    expect_bitwise(stream_future.get().logits, reference.step(frames[i]).logits,
+                   "interleaved step " + std::to_string(i));
+    expect_bitwise(request_future.get().logits, want_oneshot,
+                   "interleaved one-shot " + std::to_string(i));
+  }
+  exec.close_stream(sid);
+}
+
+TEST(ExecutorStreamTest, TwoSessionsKeepIndependentState) {
+  const CompiledNetwork compiled = make_compiled(31);
+  const std::vector<Tensor> frames = make_frames(5, 32);
+
+  StreamSession reference(compiled);
+  std::vector<Tensor> want;
+  for (const Tensor& f : frames) want.push_back(reference.step(f).logits);
+
+  // Both sessions see the same frames; if their neuron state were
+  // shared, the second session's trajectory would diverge from the
+  // fresh-state reference.
+  BatchExecutor exec(compiled, 2);
+  const uint64_t a = exec.open_stream();
+  const uint64_t b = exec.open_stream();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(exec.open_streams(), 2);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    auto fa = exec.submit_stream(a, frames[i]);
+    auto fb = exec.submit_stream(b, frames[i]);
+    expect_bitwise(fa.get().logits, want[i], "session a step " + std::to_string(i));
+    expect_bitwise(fb.get().logits, want[i], "session b step " + std::to_string(i));
+  }
+  exec.close_stream(a);
+  exec.close_stream(b);
+  EXPECT_EQ(exec.open_streams(), 0);
+}
+
+TEST(ExecutorStreamTest, ClosedAndUnknownStreamsShedCleanly) {
+  const CompiledNetwork compiled = make_compiled(41);
+  const std::vector<Tensor> frames = make_frames(1, 42);
+
+  BatchExecutor exec(compiled, 1);
+  const uint64_t sid = exec.open_stream();
+  (void)exec.submit_stream(sid, frames[0]).get();
+  exec.close_stream(sid);
+  exec.close_stream(sid);  // idempotent
+
+  // A drained, closed stream ceases to exist: a late step is an unknown
+  // id, same as an id that never was.
+  EXPECT_THROW((void)exec.submit_stream(sid, frames[0]).get(), std::invalid_argument);
+  EXPECT_THROW((void)exec.submit_stream(9999, frames[0]).get(), std::invalid_argument);
+
+  // kStream does not belong on the request queue: steps need a session.
+  EXPECT_THROW((void)exec.submit(InferenceRequest{frames[0], SloClass::kStream}),
+               std::invalid_argument);
+}
+
+TEST(ExecutorStreamTest, ShutdownShedsStreamsAndRefusesNewOnes) {
+  const CompiledNetwork compiled = make_compiled(51);
+  const std::vector<Tensor> frames = make_frames(1, 52);
+
+  BatchExecutor exec(compiled, 1);
+  const uint64_t sid = exec.open_stream();
+  (void)exec.submit_stream(sid, frames[0]).get();
+  exec.shutdown();
+  EXPECT_THROW((void)exec.submit_stream(sid, frames[0]).get(), ShedError);
+  EXPECT_THROW((void)exec.open_stream(), ShedError);
+}
+
+}  // namespace
+}  // namespace ndsnn::runtime

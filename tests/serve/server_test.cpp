@@ -11,6 +11,7 @@
 
 #include "nn/models/zoo.hpp"
 #include "runtime/compiled_network.hpp"
+#include "runtime/stream_session.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/server.hpp"
 #include "serve/wire.hpp"
@@ -195,6 +196,97 @@ TEST(ServerTest, FinishedConnectionThreadsAreReapedWhileServing) {
   EXPECT_TRUE(reaped);
   EXPECT_GE(server.connections(), 9);  // every connection was accepted...
   EXPECT_LT(server.tracked_connections(), 3U);  // ...but almost none linger
+  server.stop();
+}
+
+TEST(ServerTest, StreamedStepsOverTheSocketMatchADirectSession) {
+  const auto net = make_net(41);
+  ModelRegistry registry;
+  registry.add("a", loader_for(net));
+  ServerOptions sopts;
+  sopts.default_model = "a";
+  Server server(registry, sopts);
+  server.start();
+
+  // Reference trajectory: a fresh session driven in-process. The socket
+  // stream must reproduce it step for step, bit for bit — the wire and
+  // the executor queue add transport, never arithmetic.
+  const auto model = registry.acquire("a");
+  runtime::StreamSession reference(model->plan());
+
+  const int fd = connect_local(server.port());
+  ASSERT_EQ(stream_open(fd, "a").status, Status::kOk);
+  for (int t = 0; t < 5; ++t) {
+    Tensor frame(Shape{2, 1, 16, 16});
+    if (t != 2) {  // step 2 stays silent: the delta path serves it too
+      Rng rng(42 + static_cast<uint64_t>(t));
+      frame.fill_uniform(rng, 0.0F, 4.0F);
+    }
+    const ResponseFrame resp = stream_step(fd, frame);
+    ASSERT_EQ(resp.status, Status::kOk) << resp.message;
+    expect_bitwise_equal(resp.logits, reference.step(frame).logits);
+  }
+  EXPECT_EQ(stream_close(fd).status, Status::kOk);
+  EXPECT_EQ(model->executor().open_streams(), 0);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServerTest, StreamProtocolViolationsAreErrorsNotDisconnects) {
+  ModelRegistry registry;
+  registry.add("a", loader_for(make_net(43)));
+  ServerOptions sopts;
+  sopts.default_model = "a";
+  Server server(registry, sopts);
+  server.start();
+
+  const int fd = connect_local(server.port());
+  // A step before any open is a per-frame error...
+  const ResponseFrame early = stream_step(fd, make_batch(1, 44));
+  EXPECT_EQ(early.status, Status::kError);
+  EXPECT_FALSE(early.message.empty());
+  // ...as is closing a stream that never opened...
+  EXPECT_EQ(stream_close(fd).status, Status::kError);
+  // ...and opening a second stream on the same connection.
+  ASSERT_EQ(stream_open(fd, "a").status, Status::kOk);
+  EXPECT_EQ(stream_open(fd, "a").status, Status::kError);
+  // The original stream is untouched by the failed re-open.
+  EXPECT_EQ(stream_step(fd, make_batch(2, 45)).status, Status::kOk);
+
+  // v1 one-shot requests interleave with the open stream on the same
+  // connection — old-protocol traffic is never locked out.
+  RequestFrame req;
+  req.batch = make_batch(1, 46);
+  EXPECT_EQ(round_trip(fd, req).status, Status::kOk);
+  EXPECT_EQ(stream_close(fd).status, Status::kOk);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServerTest, DisconnectWithAnOpenStreamDoesNotLeakTheSession) {
+  ModelRegistry registry;
+  registry.add("a", loader_for(make_net(47)));
+  ServerOptions sopts;
+  sopts.default_model = "a";
+  Server server(registry, sopts);
+  server.start();
+
+  const auto model = registry.acquire("a");
+  {
+    const int fd = connect_local(server.port());
+    ASSERT_EQ(stream_open(fd, "").status, Status::kOk);  // default model
+    ASSERT_EQ(stream_step(fd, make_batch(1, 48)).status, Status::kOk);
+    EXPECT_EQ(model->executor().open_streams(), 1);
+    ::close(fd);  // vanish mid-stream, no stream-close
+  }
+  // The handler notices the EOF asynchronously and closes the executor
+  // session on its way out.
+  bool reaped = false;
+  for (int attempt = 0; attempt < 100 && !reaped; ++attempt) {
+    reaped = model->executor().open_streams() == 0;
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(reaped);
   server.stop();
 }
 

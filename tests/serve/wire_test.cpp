@@ -173,5 +173,96 @@ TEST(WireTest, MidFrameEofAndBadMagicThrow) {
   }
 }
 
+TEST(WireTest, StreamOpenRoundTripsAndPeeksAsV2) {
+  StreamOpenFrame open;
+  open.model = "lenet5-int8";
+  const std::vector<uint8_t> bytes = encode_stream_open(open);
+  const FrameHeader hdr = peek_header(bytes.data(), bytes.size());
+  EXPECT_EQ(hdr.version, kWireVersionStream);
+  EXPECT_EQ(hdr.kind, kKindStreamOpen);
+  EXPECT_EQ(decode_stream_open(bytes.data(), bytes.size()).model, open.model);
+
+  // An empty model name travels too (server resolves its default).
+  const std::vector<uint8_t> anon = encode_stream_open(StreamOpenFrame{});
+  EXPECT_TRUE(decode_stream_open(anon.data(), anon.size()).model.empty());
+}
+
+TEST(WireTest, StreamStepRoundTripsBitwise) {
+  StreamStepFrame step;
+  step.frame = make_tensor(Shape{2, 1, 16, 16}, 33);
+  const std::vector<uint8_t> bytes = encode_stream_step(step);
+  const FrameHeader hdr = peek_header(bytes.data(), bytes.size());
+  EXPECT_EQ(hdr.version, kWireVersionStream);
+  EXPECT_EQ(hdr.kind, kKindStreamStep);
+  expect_bitwise_equal(decode_stream_step(bytes.data(), bytes.size()).frame, step.frame);
+}
+
+TEST(WireTest, StreamCloseIsATwoByteFrame) {
+  const std::vector<uint8_t> bytes = encode_stream_close();
+  EXPECT_EQ(bytes.size(), 2U);
+  const FrameHeader hdr = peek_header(bytes.data(), bytes.size());
+  EXPECT_EQ(hdr.version, kWireVersionStream);
+  EXPECT_EQ(hdr.kind, kKindStreamClose);
+  EXPECT_NO_THROW(decode_stream_close(bytes.data(), bytes.size()));
+  std::vector<uint8_t> padded = bytes;
+  padded.push_back(0);  // trailing garbage
+  EXPECT_THROW(decode_stream_close(padded.data(), padded.size()), WireError);
+}
+
+TEST(WireTest, PeekHeaderDispatchesWithoutValidating) {
+  // A v1 request peeks as version 1 / kind request — the server's
+  // dispatch relies on this to keep old clients on the one-shot path.
+  RequestFrame req;
+  req.batch = make_tensor(Shape{1, 4}, 35);
+  const std::vector<uint8_t> v1 = encode_request(req);
+  const FrameHeader hdr = peek_header(v1.data(), v1.size());
+  EXPECT_EQ(hdr.version, kWireVersion);
+  EXPECT_EQ(hdr.kind, kKindRequest);
+  // Unknown values pass through the peek (full decoding rejects them
+  // later); only a payload too short for a header throws.
+  const std::vector<uint8_t> junk = {42, 99};
+  EXPECT_EQ(peek_header(junk.data(), junk.size()).version, 42);
+  EXPECT_THROW((void)peek_header(junk.data(), 1), WireError);
+  EXPECT_THROW((void)peek_header(junk.data(), 0), WireError);
+}
+
+TEST(WireTest, TruncatedStreamPayloadsThrowInsteadOfOverreading) {
+  StreamOpenFrame open;
+  open.model = "m";
+  const std::vector<uint8_t> obytes = encode_stream_open(open);
+  for (std::size_t n = 0; n < obytes.size(); ++n) {
+    EXPECT_THROW((void)decode_stream_open(obytes.data(), n), WireError) << "prefix " << n;
+  }
+  StreamStepFrame step;
+  step.frame = make_tensor(Shape{2, 8}, 37);
+  const std::vector<uint8_t> sbytes = encode_stream_step(step);
+  for (std::size_t n = 0; n < sbytes.size(); ++n) {
+    EXPECT_THROW((void)decode_stream_step(sbytes.data(), n), WireError) << "prefix " << n;
+  }
+  std::vector<uint8_t> padded = sbytes;
+  padded.push_back(0);
+  EXPECT_THROW((void)decode_stream_step(padded.data(), padded.size()), WireError);
+}
+
+TEST(WireTest, StreamDecodersRejectWrongVersionAndKind) {
+  StreamStepFrame step;
+  step.frame = make_tensor(Shape{1, 4}, 39);
+  const std::vector<uint8_t> bytes = encode_stream_step(step);
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[0] = kWireVersion;  // a v1 header on a v2 payload
+    EXPECT_THROW((void)decode_stream_step(bad.data(), bad.size()), WireError);
+  }
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[1] = kKindStreamOpen;  // an open is not a step
+    EXPECT_THROW((void)decode_stream_step(bad.data(), bad.size()), WireError);
+  }
+  // And the v1 decoder keeps rejecting v2 frames outright, so a
+  // streaming frame sent at a v1-only server is an error response, not
+  // a misparse.
+  EXPECT_THROW((void)decode_request(bytes.data(), bytes.size()), WireError);
+}
+
 }  // namespace
 }  // namespace ndsnn::serve

@@ -43,8 +43,20 @@ cores; on smaller boxes workers share cores, nominal load factors
 overstate true capacity, and every serving number is printed as
 informational instead.
 
+Streaming gates (--streaming bench_streaming_latency.json): like the
+serving gates, self-contained — the streaming contract is scale-free.
+Three things are gated on ANY core count (they hold structurally, not
+by machine speed): the streamed outputs must match the whole-window
+pass bitwise, the delta path must have fired on the bench's silent
+frames (delta_skips > 0), and the streamed per-event p99 must beat the
+whole-window latency (per-event latency is the point of streaming; a
+single step can never legitimately take longer than the whole window).
+The pipelining speedup over the serial session is informational below
+SERVING_MIN_CORES cores.
+
 Usage: check_bench_regression.py <fresh.json> <snapshot.json>
                                  [--serving serving.json]
+                                 [--streaming streaming.json]
 Exit 0 = no regression, 1 = regression (or malformed input).
 """
 
@@ -187,6 +199,53 @@ def check_serving(doc):
     return ok
 
 
+def check_streaming(doc):
+    """Self-contained streaming gates over a bench_streaming_latency.json.
+
+    Bitwise equivalence, delta-path activity and the per-event latency
+    advantage are structural properties and gate on every box; the
+    pipelining speedup needs real cores and is informational below
+    SERVING_MIN_CORES.
+    """
+    streaming = doc.get("streaming")
+    if not streaming:
+        print("FAIL: 'streaming' section missing/empty in streaming JSON -- "
+              "the streaming bench schema changed; refusing to pass vacuously")
+        return False
+
+    cores = int(doc.get("cores", 0))
+    ok = True
+
+    bitwise = int(streaming.get("bitwise_ok", 0))
+    status = "ok" if bitwise == 1 else "REGRESSION"
+    print(f"streaming: streamed outputs bitwise == whole-window -> {status} (gated)")
+    if bitwise != 1:
+        ok = False
+
+    skips = int(streaming.get("delta_skips", 0))
+    status = "ok" if skips > 0 else "REGRESSION"
+    print(f"streaming: delta_skips {skips} (must be > 0: silent frames must "
+          f"skip weight ops) -> {status} (gated)")
+    if skips <= 0:
+        ok = False
+
+    window_ms = float(streaming.get("whole_window_ms", 0.0))
+    step_p99 = float(streaming.get("step_p99_ms", 0.0))
+    status = "ok" if 0.0 < step_p99 < window_ms else "REGRESSION"
+    print(f"streaming: per-event p99 {step_p99:.2f} ms vs whole-window "
+          f"{window_ms:.2f} ms -> {status} (gated)")
+    if not 0.0 < step_p99 < window_ms:
+        ok = False
+
+    piped_ms = float(streaming.get("pipelined_window_ms", 0.0))
+    if piped_ms > 0.0 and window_ms > 0.0:
+        mode = ("gated would need >= 4 cores; informational"
+                if cores < SERVING_MIN_CORES else "informational")
+        print(f"info: pipelined window {piped_ms:.2f} ms vs whole-window "
+              f"{window_ms:.2f} ms ({window_ms / piped_ms:.2f}x, {mode})")
+    return ok
+
+
 def main(argv):
     serving_path = None
     if "--serving" in argv:
@@ -195,6 +254,14 @@ def main(argv):
             print(__doc__)
             return 1
         serving_path = argv[i + 1]
+        argv = argv[:i] + argv[i + 2:]
+    streaming_path = None
+    if "--streaming" in argv:
+        i = argv.index("--streaming")
+        if i + 1 >= len(argv):
+            print(__doc__)
+            return 1
+        streaming_path = argv[i + 1]
         argv = argv[:i] + argv[i + 2:]
     if len(argv) != 3:
         print(__doc__)
@@ -264,6 +331,12 @@ def main(argv):
         with open(serving_path) as f:
             serving_doc = json.load(f)
         if not check_serving(serving_doc):
+            failed = True
+
+    if streaming_path is not None:
+        with open(streaming_path) as f:
+            streaming_doc = json.load(f)
+        if not check_streaming(streaming_doc):
             failed = True
 
     if failed:
