@@ -84,6 +84,7 @@ void emit_point(ndsnn::util::JsonWriter& json, const LoadgenResult& r, int worke
   json.kv("offered", r.offered);
   json.kv("completed", r.completed);
   json.kv("shed", r.shed);
+  if (r.failed > 0) json.kv("failed", r.failed);
   json.kv("shed_rate", r.shed_rate);
   json.kv("slo_violations", r.slo_violations);
   json.kv("violation_rate", r.violation_rate);

@@ -19,6 +19,8 @@
 //                           [--profile]
 //                           [--listen PORT] [--models name=a.ndck,name2=b.ndck]
 //                           [--mem-budget-mb 0] [--serve-seconds 0]
+//                           [--conn-timeout-ms 0] [--drain-ms 5000]
+//                           [--metrics-dump metrics.json]
 //
 // --threads is the executor's *total* worker budget; --intra-threads
 // compiles the plan with a shared intra-op pool (0 = hardware
@@ -62,7 +64,9 @@
 // --profile prints the measured per-op latency/firing-rate table at
 // the end. Any of the three enables plan profiling; traced outputs are
 // bitwise identical to untraced ones.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -82,12 +86,20 @@
 #include "tensor/random.hpp"
 #include "util/cli.hpp"
 #include "util/cpuinfo.hpp"
+#include "util/fault_injection.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 namespace {
+
+/// Set by the SIGTERM/SIGINT handler; the serve loop polls it and runs
+/// the graceful drain. sig_atomic_t + no locks: handler-safe.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void on_shutdown_signal(int sig) { g_shutdown_signal = sig; }
 
 ndsnn::runtime::ActivationMode parse_activation(const std::string& s) {
   if (s == "dense") return ndsnn::runtime::ActivationMode::kDense;
@@ -237,6 +249,10 @@ void print_help() {
       "  --models name=a.ndck,name2=b.ndck   registry contents\n"
       "  --mem-budget-mb N  requantise/evict budget (0 = unlimited)\n"
       "  --serve-seconds N  bound the run (0 = until stdin closes)\n"
+      "  --conn-timeout-ms N  per-connection socket deadline (0 = none)\n"
+      "  --drain-ms N       SIGTERM/SIGINT graceful-drain deadline "
+      "(default 5000)\n"
+      "  --metrics-dump F   write the metrics registry as JSON at exit\n"
       "\n"
       "observability:\n"
       "  --trace out.json --metrics-every N --profile\n");
@@ -329,21 +345,67 @@ int main(int argc, char** argv) {
     ndsnn::serve::ServerOptions sopts;
     sopts.port = static_cast<uint16_t>(listen_port);
     sopts.default_model = models.front().first;
+    sopts.conn_timeout_ms = cli.get_int("--conn-timeout-ms", 0);
+    const auto drain_ms =
+        std::chrono::milliseconds(cli.get_int("--drain-ms", 5000));
+    const std::string metrics_dump = cli.get_string("--metrics-dump", "");
     ndsnn::serve::Server server(registry, sopts);
     server.start();
     std::printf("listening on 127.0.0.1:%u — %zu model(s), default '%s', "
                 "budget %lld MiB, slo %.1f ms\n",
                 server.port(), models.size(), sopts.default_model.c_str(),
                 static_cast<long long>(ropts.mem_budget_bytes >> 20), exec_opts.slo_ms);
-    const int serve_seconds = cli.get_int("--serve-seconds", 0);
-    if (serve_seconds > 0) {
-      std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
-    } else {
-      // Foreground service: run until the operator closes stdin.
-      while (std::getchar() != EOF) {
-      }
+    if (ndsnn::util::fault::FaultInjector::active()) {
+      // Print the seed up front: reproducing a chaos failure needs it
+      // (CONTRIBUTING "Reproducing a chaos-test failure").
+      std::printf("fault injection ARMED (NDSNN_FAULTS), seed=%llu\n",
+                  static_cast<unsigned long long>(
+                      ndsnn::util::fault::FaultInjector::global().seed()));
     }
-    server.stop();
+    // SIGTERM/SIGINT trigger the graceful drain below instead of
+    // killing the process: in-flight work finishes (up to --drain-ms)
+    // and the exit code reports whether everything settled.
+    std::signal(SIGTERM, on_shutdown_signal);
+    std::signal(SIGINT, on_shutdown_signal);
+    const int serve_seconds = cli.get_int("--serve-seconds", 0);
+    const auto serve_until = std::chrono::steady_clock::now() +
+                             std::chrono::seconds(serve_seconds);
+    // shared_ptr, not a stack flag: the watcher is detached at exit
+    // (it may sit in getchar() forever) and must not touch a dead frame.
+    auto stdin_closed = std::make_shared<std::atomic<bool>>(false);
+    std::thread stdin_watch;
+    if (serve_seconds <= 0) {
+      // Foreground service: also exit when the operator closes stdin.
+      // Watched from a side thread so the main loop stays free to poll
+      // for signals (a blocking getchar() would delay drain by one
+      // keypress).
+      stdin_watch = std::thread([stdin_closed] {
+        while (std::getchar() != EOF) {
+        }
+        stdin_closed->store(true);
+      });
+    }
+    while (g_shutdown_signal == 0) {
+      if (serve_seconds > 0) {
+        if (std::chrono::steady_clock::now() >= serve_until) break;
+      } else if (stdin_closed->load()) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    bool settled = true;
+    if (g_shutdown_signal != 0) {
+      std::printf("signal %d: draining (deadline %lld ms)\n",
+                  static_cast<int>(g_shutdown_signal),
+                  static_cast<long long>(drain_ms.count()));
+      settled = server.drain(drain_ms);
+      if (!settled) {
+        std::fprintf(stderr, "drain deadline expired: stragglers force-closed\n");
+      }
+    } else {
+      server.stop();
+    }
+    if (stdin_watch.joinable()) stdin_watch.detach();  // blocked in getchar()
     std::printf("served %lld request(s) over %lld connection(s); "
                 "%lld load(s), %lld requantisation(s), %lld eviction(s)\n",
                 static_cast<long long>(server.requests_served()),
@@ -351,7 +413,17 @@ int main(int argc, char** argv) {
                 static_cast<long long>(registry.loads()),
                 static_cast<long long>(registry.requantisations()),
                 static_cast<long long>(registry.evictions()));
-    return 0;
+    if (ndsnn::util::fault::FaultInjector::active()) {
+      std::printf("%s\n",
+                  ndsnn::util::fault::FaultInjector::global().summary().c_str());
+    }
+    if (!metrics_dump.empty()) {
+      ndsnn::util::JsonWriter json;
+      ndsnn::util::MetricsRegistry::global().dump_json(json);
+      json.write_file(metrics_dump);
+      std::printf("metrics written to %s\n", metrics_dump.c_str());
+    }
+    return settled ? 0 : 1;
   }
 
   // Checkpoint-driven serving: no experiment, no training network —

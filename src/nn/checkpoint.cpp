@@ -1,10 +1,16 @@
 #include "nn/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <stdexcept>
 
 #include "tensor/serialize.hpp"
+#include "util/fault_injection.hpp"
 
 namespace ndsnn::nn {
 
@@ -159,6 +165,51 @@ void write_params(std::ostream& out, SpikingNetwork& network) {
   if (!out) throw std::runtime_error("save_checkpoint: stream write failed");
 }
 
+/// Crash-safe file write: serialize into `<path>.tmp`, fsync, then
+/// rename over `path`. A crash (or the injected `checkpoint.write`
+/// fault) at ANY point leaves the original checkpoint untouched — a
+/// half-written .tmp is removed on failure and harmless if the process
+/// died before that. rename(2) on the same filesystem is atomic, so a
+/// reader never observes a torn checkpoint.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& write) {
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        throw std::runtime_error("save_checkpoint_file: cannot open " + tmp);
+      }
+      write(out);
+      if (util::fault::should_fail("checkpoint.write")) {
+        throw std::runtime_error("injected fault: checkpoint.write");
+      }
+      out.flush();
+      if (!out) {
+        throw std::runtime_error("save_checkpoint_file: write failed for " + tmp);
+      }
+    }
+    // Flush the data to disk BEFORE the rename: otherwise a power cut
+    // can leave the rename durable but the bytes not — the original
+    // gone and its replacement empty.
+    const int fd = ::open(tmp.c_str(), O_WRONLY);
+    if (fd < 0) {
+      throw std::runtime_error("save_checkpoint_file: cannot reopen " + tmp);
+    }
+    const int sync_rc = ::fsync(fd);
+    ::close(fd);
+    if (sync_rc != 0) {
+      throw std::runtime_error("save_checkpoint_file: fsync failed for " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw std::runtime_error("save_checkpoint_file: rename to " + path + " failed");
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+}
+
 void read_params(std::istream& in, SpikingNetwork& network) {
   uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
@@ -269,23 +320,19 @@ std::unique_ptr<SpikingNetwork> load_checkpoint_network(const std::string& path,
 }
 
 void save_checkpoint_file(const std::string& path, SpikingNetwork& network) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_checkpoint_file: cannot open " + path);
-  save_checkpoint(out, network);
+  atomic_write_file(path, [&](std::ostream& out) { save_checkpoint(out, network); });
 }
 
 void save_checkpoint_file(const std::string& path, SpikingNetwork& network,
                           const CheckpointMeta& meta) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_checkpoint_file: cannot open " + path);
-  save_checkpoint(out, network, meta);
+  atomic_write_file(path,
+                    [&](std::ostream& out) { save_checkpoint(out, network, meta); });
 }
 
 void save_checkpoint_file(const std::string& path, SpikingNetwork& network,
                           const CheckpointMeta& meta, const QuantRecord& quant) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_checkpoint_file: cannot open " + path);
-  save_checkpoint(out, network, meta, quant);
+  atomic_write_file(
+      path, [&](std::ostream& out) { save_checkpoint(out, network, meta, quant); });
 }
 
 void load_checkpoint_file(const std::string& path, SpikingNetwork& network) {

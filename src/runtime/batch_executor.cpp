@@ -8,6 +8,7 @@
 
 #include "runtime/stream_session.hpp"
 #include "runtime/trace.hpp"
+#include "util/fault_injection.hpp"
 #include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
 
@@ -254,6 +255,7 @@ std::future<InferenceResult> BatchExecutor::submit_stream(uint64_t stream,
   std::future<InferenceResult> future = step.promise.get_future();
   const char* reject = nullptr;
   bool invalid = false;
+  bool backpressure = false;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = streams_.find(stream);
@@ -264,6 +266,17 @@ std::future<InferenceResult> BatchExecutor::submit_stream(uint64_t stream,
       reject = stopping_ ? "BatchExecutor: stream step after shutdown"
                          : "BatchExecutor: stream step after close_stream";
       ++shed_requests_;
+    } else if ((opts_.max_stream_queue > 0 &&
+                static_cast<int64_t>(it->second.steps.size()) >=
+                    opts_.max_stream_queue) ||
+               util::fault::should_fail("executor.backpressure")) {
+      // Rejected BEFORE the step touches the session: its carry state is
+      // exactly what it was, so resubmitting the same frame is safe and
+      // required (dropping the timestep would corrupt temporal order).
+      backpressure = true;
+      reject = "BatchExecutor: stream queue full — resubmit this frame "
+               "after backoff";
+      ++backpressure_rejections_;
     } else {
       it->second.steps.push_back(std::move(step));
       ++queued_stream_steps_;
@@ -271,6 +284,9 @@ std::future<InferenceResult> BatchExecutor::submit_stream(uint64_t stream,
   }
   if (invalid) {
     step.promise.set_exception(std::make_exception_ptr(std::invalid_argument(reject)));
+  } else if (backpressure) {
+    util::MetricsRegistry::global().counter("executor.backpressure").add();
+    step.promise.set_exception(std::make_exception_ptr(BackpressureError(reject)));
   } else if (reject != nullptr) {
     ExecutorMetrics::get().shed.add(1);
     shed_step(step, reject);
@@ -364,6 +380,7 @@ ExecutorStats BatchExecutor::stats() const {
     s.fused_batches = fused_batches_;
     s.coalesced_requests = coalesced_requests_;
     s.shed_requests = shed_requests_;
+    s.backpressure_rejections = backpressure_rejections_;
     s.slo_violations = slo_violations_;
     s.queue_depth = queued_requests_;
     s.open_streams = static_cast<int64_t>(streams_.size());
@@ -609,6 +626,14 @@ void BatchExecutor::run_group(std::vector<Request>& group, std::size_t worker) {
   const bool fused = group.size() > 1;
   bool recorded = false;
   try {
+    if (util::fault::should_fail("executor.stall")) {
+      // A slow pass: long enough for tests to observe queueing behind
+      // it, short enough to never threaten a deadline.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (util::fault::should_fail("executor.run")) {
+      throw std::runtime_error("injected fault: executor.run");
+    }
     const util::Stopwatch sw;
     Tensor logits;
     {
@@ -684,6 +709,12 @@ void BatchExecutor::drain_stream(uint64_t sid, std::unique_lock<std::mutex>& loc
   std::vector<InferenceResult> results;
   std::exception_ptr error;
   try {
+    if (util::fault::should_fail("executor.stall")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (util::fault::should_fail("executor.stream")) {
+      throw std::runtime_error("injected fault: executor.stream");
+    }
     trace::ScopedSpan span("stream-drain", "serve");
     span.rows(static_cast<int64_t>(steps.size()));
     results = session->run_steps(frames);

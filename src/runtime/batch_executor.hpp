@@ -141,6 +141,11 @@ struct ExecutorStats {
   /// Stream timesteps fully processed (all-time; separate from
   /// `requests` — stream steps never enter the request sub-queues).
   int64_t stream_steps = 0;
+  /// Stream steps refused at submit because their session's queue was
+  /// at ExecutorOptions::max_stream_queue (futures threw
+  /// BackpressureError). Counted apart from shed_requests: these steps
+  /// are expected to be *resubmitted*, not abandoned.
+  int64_t backpressure_rejections = 0;
   /// Admission predictor's current queue-wait estimate (ms).
   double predicted_wait_ms = 0.0;
   /// Mean fraction of wall time the request workers spent executing:
@@ -169,6 +174,13 @@ struct ExecutorOptions {
   double slo_ms = 0.0;
   /// The batch class's budget is slo_ms * batch_slo_factor.
   double batch_slo_factor = 4.0;
+  /// Per-session cap on *queued* stream steps (the step being executed
+  /// no longer counts). A submit_stream() that would exceed it resolves
+  /// with BackpressureError instead of queueing — session state
+  /// untouched, resubmit the same frame. 0 = unbounded (the
+  /// pre-robustness behavior; a stalled worker then lets one session
+  /// queue without limit).
+  int64_t max_stream_queue = 0;
 };
 
 class BatchExecutor {
@@ -386,6 +398,7 @@ class BatchExecutor {
   int64_t fused_batches_ = 0;
   int64_t coalesced_requests_ = 0;
   int64_t shed_requests_ = 0;
+  int64_t backpressure_rejections_ = 0;
   int64_t slo_violations_ = 0;
   /// EMA of observed service time per sample (ms); the drain-time term
   /// of the admission predictor.

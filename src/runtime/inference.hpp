@@ -53,6 +53,19 @@ class ShedError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown through the future of a stream step rejected because its
+/// session's queue already holds ExecutorOptions::max_stream_queue
+/// steps. Subclasses ShedError — generic handlers keep treating it as
+/// back-pressure — but carries a stronger contract: the rejection never
+/// touched the session's carry state, so the client must resubmit the
+/// SAME frame (after backoff) rather than drop the timestep. The wire
+/// layer maps it to Status::kBackpressure; serve::stream_step_retry is
+/// the reference client loop.
+class BackpressureError : public ShedError {
+ public:
+  using ShedError::ShedError;
+};
+
 /// One unit of inference work. For the one-shot and batched paths
 /// `batch` is a static input batch [N, ...]; for the streaming path it
 /// is ONE timestep's frame [N, ...] of an open session.

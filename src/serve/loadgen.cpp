@@ -60,6 +60,10 @@ LoadgenResult run_open_loop(runtime::BatchExecutor& exec, const tensor::Tensor& 
       ++res.completed;
     } catch (const runtime::ShedError&) {
       ++res.shed;
+    } catch (const std::exception&) {
+      // Admitted but died executing (e.g. an injected executor fault):
+      // the sweep must survive and report it, not crash the bench.
+      ++res.failed;
     }
   }
   const double wall_s =

@@ -34,6 +34,11 @@ struct LoadgenResult {
   int64_t offered = 0;        ///< arrivals generated
   int64_t completed = 0;      ///< futures that resolved with logits
   int64_t shed = 0;           ///< futures that threw ShedError
+  /// Futures that threw anything else (an execution failure, e.g. an
+  /// injected executor fault under chaos testing). Kept apart from
+  /// `shed`: these were admitted and then died, which is an error
+  /// taxonomy difference a soak run must be able to see.
+  int64_t failed = 0;
   int64_t slo_violations = 0; ///< from ExecutorStats (admitted, late)
   double duration_s = 0.0;    ///< first submit -> last completion
   /// End-to-end (queue wait + service) percentiles of admitted

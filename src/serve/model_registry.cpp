@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "util/fault_injection.hpp"
 #include "util/metrics.hpp"
 
 namespace ndsnn::serve {
@@ -100,6 +101,9 @@ void ModelRegistry::load_entry(std::unique_lock<std::mutex>& lk, Entry& e) {
   lk.unlock();
   std::shared_ptr<ServedModel> model;
   try {
+    if (util::fault::should_fail("registry.load")) {
+      throw std::runtime_error("injected fault: registry.load");
+    }
     // The expensive part — Loader compilation — runs with the registry
     // unlocked: requests to every other model proceed meanwhile.
     model = std::make_shared<ServedModel>(loader(opts), opts_.executor_threads,

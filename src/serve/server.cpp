@@ -4,12 +4,15 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
 
@@ -20,6 +23,27 @@ namespace {
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
+
+/// Decrement-on-every-exit for the drain bookkeeping: a handler that
+/// throws mid-response must not leave drain() waiting forever on a
+/// phantom in-flight request.
+/// Internal marker: a frame asked for new work while drain() was
+/// refusing it. Caught in the handler and answered Status::kShedding;
+/// deliberately not a std::exception so no generic catch can eat it.
+struct DrainShed {};
+
+class ScopedCount {
+ public:
+  explicit ScopedCount(std::atomic<int64_t>& counter) : counter_(counter) {
+    counter_.fetch_add(1);
+  }
+  ~ScopedCount() { counter_.fetch_sub(1); }
+  ScopedCount(const ScopedCount&) = delete;
+  ScopedCount& operator=(const ScopedCount&) = delete;
+
+ private:
+  std::atomic<int64_t>& counter_;
+};
 
 }  // namespace
 
@@ -91,6 +115,27 @@ void Server::stop() {
   }
 }
 
+bool Server::drain(std::chrono::milliseconds deadline) {
+  draining_.store(true);
+  // Stop accepting right away: shutting the listen socket down pops the
+  // acceptor out of accept() without tearing live connections down.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  bool settled = false;
+  for (;;) {
+    if (inflight_requests_.load() == 0 && open_wire_streams_.load() == 0) {
+      settled = true;
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= until) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // Either way stop() now force-closes whatever remains; when settled,
+  // there is nothing left to force.
+  stop();
+  return settled;
+}
+
 std::size_t Server::tracked_connections() const {
   std::lock_guard<std::mutex> lk(conn_mu_);
   return conns_.size();
@@ -128,8 +173,22 @@ void Server::accept_loop() {
       if (errno == EINTR) continue;
       break;  // listen socket shut down (stop()) or fatal — exit either way
     }
+    if (util::fault::should_fail("server.accept")) {
+      // As if the kernel ran out of fds / the handshake died: the
+      // acceptor must shrug and keep accepting.
+      util::MetricsRegistry::global().counter("serve.accept_faults").add();
+      ::close(fd);
+      continue;
+    }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (opts_.conn_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = opts_.conn_timeout_ms / 1000;
+      tv.tv_usec = static_cast<suseconds_t>((opts_.conn_timeout_ms % 1000) * 1000);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     Connection* raw = conn.get();
@@ -158,8 +217,28 @@ void Server::handle_connection(Connection& conn) {
   std::shared_ptr<ServedModel> stream_model;
   uint64_t stream_id = 0;
   try {
-    while (!stopping_.load() && recv_frame(fd, payload)) {
+    while (!stopping_.load()) {
+      const RecvStatus rs = recv_frame(fd, payload);
+      if (rs == RecvStatus::kEof) {
+        util::MetricsRegistry::global().counter("serve.conn_eof").add();
+        break;
+      }
+      if (rs == RecvStatus::kTimeout) {
+        // Idle past --conn-timeout-ms at a frame boundary: the socket is
+        // still healthy, so tell the client why before reaping it.
+        util::MetricsRegistry::global().counter("serve.conn_timeout").add();
+        try {
+          ResponseFrame timeout;
+          timeout.status = Status::kTimeout;
+          timeout.message = "serve: connection idle past deadline";
+          send_frame(fd, encode_response(timeout));
+        } catch (const WireError&) {
+          // Best effort — the reap happens either way.
+        }
+        break;
+      }
       ResponseFrame resp;
+      const ScopedCount inflight(inflight_requests_);
       try {
         const FrameHeader hdr = peek_header(payload.data(), payload.size());
         if (hdr.kind == kKindStreamOpen) {
@@ -169,12 +248,16 @@ void Server::handle_connection(Connection& conn) {
             throw std::invalid_argument(
                 "serve: a stream is already open on this connection");
           }
+          if (draining_.load()) {
+            throw DrainShed();
+          }
           const std::string& name =
               open.model.empty() ? opts_.default_model : open.model;
           auto model = registry_.acquire(name);
           const uint64_t sid = model->executor().open_stream();
           stream_model = std::move(model);
           stream_id = sid;
+          open_wire_streams_.fetch_add(1);
           resp.status = Status::kOk;
           resp.logits = tensor::Tensor(tensor::Shape{1});  // bare ack
         } else if (hdr.kind == kKindStreamStep) {
@@ -197,12 +280,16 @@ void Server::handle_connection(Connection& conn) {
           stream_model->executor().close_stream(stream_id);
           stream_model.reset();
           stream_id = 0;
+          open_wire_streams_.fetch_sub(1);
           resp.status = Status::kOk;
           resp.logits = tensor::Tensor(tensor::Shape{1});  // bare ack
         } else {
           // v1 one-shot path; decode_request validates version/kind, so
           // an unknown kind answers kError here without dropping the
           // connection (the framing itself was intact).
+          if (draining_.load()) {
+            throw DrainShed();
+          }
           const RequestFrame req = decode_request(payload.data(), payload.size());
           const std::string& name =
               req.model.empty() ? opts_.default_model : req.model;
@@ -216,6 +303,16 @@ void Server::handle_connection(Connection& conn) {
                   .get();
           resp.status = Status::kOk;
         }
+      } catch (const DrainShed&) {
+        resp.status = Status::kShedding;
+        resp.message = "serve: draining — not accepting new work";
+        util::MetricsRegistry::global().counter("serve.drain_shed").add();
+      } catch (const runtime::BackpressureError& e) {
+        // Must precede the ShedError catch — it subclasses ShedError,
+        // and collapsing it to kShed would hide the retry-same-frame
+        // contract from the client.
+        resp.status = Status::kBackpressure;
+        resp.message = e.what();
       } catch (const runtime::ShedError& e) {
         resp.status = Status::kShed;
         resp.message = e.what();
@@ -223,14 +320,25 @@ void Server::handle_connection(Connection& conn) {
         resp.status = Status::kError;
         resp.message = e.what();
       }
+      if (util::fault::should_fail("server.stall")) {
+        // A handler wedged before its response: the client's receive
+        // deadline, not our goodwill, must bound the wait.
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
       // Count before the bytes go out: a client that has seen the
       // response must also see it counted (tests rely on this order).
       requests_served_.fetch_add(1);
       util::MetricsRegistry::global().counter("serve.requests").add();
       send_frame(fd, encode_response(resp));
     }
+  } catch (const WireTimeout& e) {
+    // Peer stalled mid-frame (reading or writing): the stream cannot be
+    // re-synced, so disconnect. Counted apart from protocol errors.
+    util::MetricsRegistry::global().counter("serve.conn_timeout").add();
+    util::log_debug() << "serve: closing stalled connection: " << e.what();
   } catch (const WireError& e) {
     // Malformed stream or peer vanished mid-frame: nothing to answer.
+    util::MetricsRegistry::global().counter("serve.conn_error").add();
     util::log_debug() << "serve: closing connection: " << e.what();
   }
   // A client that vanished (or was shut down) with a stream open must
@@ -241,6 +349,7 @@ void Server::handle_connection(Connection& conn) {
     } catch (const std::exception& e) {
       util::log_debug() << "serve: stream teardown: " << e.what();
     }
+    open_wire_streams_.fetch_sub(1);
   }
   {
     // Clear the record BEFORE closing: once close() returns the kernel
@@ -260,7 +369,7 @@ namespace {
 
 ResponseFrame await_response(int fd) {
   std::vector<uint8_t> payload;
-  if (!recv_frame(fd, payload)) {
+  if (recv_frame(fd, payload) != RecvStatus::kFrame) {
     throw WireError("serve: server closed before responding");
   }
   return decode_response(payload.data(), payload.size());
@@ -286,6 +395,28 @@ ResponseFrame stream_step(int fd, const tensor::Tensor& frame) {
 ResponseFrame stream_close(int fd) {
   send_frame(fd, encode_stream_close());
   return await_response(fd);
+}
+
+ResponseFrame stream_step_retry(int fd, const tensor::Tensor& frame,
+                                int max_retries, double base_backoff_ms,
+                                uint64_t seed) {
+  ResponseFrame resp = stream_step(fd, frame);
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    if (resp.status != Status::kBackpressure) return resp;
+    // Jitter to 50-150% of the exponential step, deterministically from
+    // the caller's seed (splitmix64 finalizer) so tests can replay it.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(attempt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double jitter = 0.5 + static_cast<double>(z >> 11) * 0x1.0p-53;
+    const double delay_ms =
+        base_backoff_ms * static_cast<double>(1 << attempt) * jitter;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+    resp = stream_step(fd, frame);
+  }
+  return resp;
 }
 
 int connect_local(uint16_t port) {

@@ -3,8 +3,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+
+#include "util/fault_injection.hpp"
 
 namespace ndsnn::serve {
 
@@ -166,7 +169,7 @@ ResponseFrame decode_response(const uint8_t* data, std::size_t n) {
   if (r.u8() != kKindResponse) throw WireError("wire: expected a response frame");
   ResponseFrame resp;
   const uint8_t status = r.u8();
-  if (status > static_cast<uint8_t>(Status::kError)) {
+  if (status > static_cast<uint8_t>(Status::kBackpressure)) {
     throw WireError("wire: unknown response status");
   }
   resp.status = static_cast<Status>(status);
@@ -239,13 +242,25 @@ namespace {
 /// Loop a full write over partial writes and EINTR. MSG_NOSIGNAL: a
 /// client that disconnects before reading its response must surface as
 /// EPIPE -> WireError on this connection, never as a process-killing
-/// SIGPIPE.
+/// SIGPIPE. A send deadline expiring (SO_SNDTIMEO, EAGAIN) means the
+/// reader stalled with the socket buffer full -> WireTimeout.
 void write_exact(int fd, const uint8_t* buf, std::size_t n) {
   while (n > 0) {
-    ssize_t w = ::send(fd, buf, n, MSG_NOSIGNAL);
-    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, buf, n);  // plain pipe fd
+    if (util::fault::should_fail("wire.reset")) {
+      throw WireError("wire: write failed: injected connection reset");
+    }
+    // A short-write fault caps the syscall at one byte; the loop must
+    // make partial writes invisible to the peer.
+    const std::size_t chunk = util::fault::should_fail("wire.short_write")
+                                  ? std::min<std::size_t>(1, n)
+                                  : n;
+    ssize_t w = ::send(fd, buf, chunk, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, buf, chunk);  // plain pipe fd
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw WireTimeout("wire: write deadline expired (peer stalled reading)");
+      }
       throw WireError("wire: write failed: " + std::string(std::strerror(errno)));
     }
     buf += w;
@@ -253,23 +268,44 @@ void write_exact(int fd, const uint8_t* buf, std::size_t n) {
   }
 }
 
-/// Loop a full read; returns false on EOF before the first byte (the
-/// `eof_ok` position), throws on EOF mid-buffer.
-bool read_exact(int fd, uint8_t* buf, std::size_t n, bool eof_ok) {
+/// What one read_exact call observed (internal; recv_frame folds it
+/// into RecvStatus). kEof/kTimeout are only returned at the `eof_ok`
+/// position — mid-buffer, both throw (the stream cannot be re-synced).
+enum class ReadResult : uint8_t { kOk, kEof, kTimeout };
+
+ReadResult read_exact(int fd, uint8_t* buf, std::size_t n, bool eof_ok) {
   std::size_t got = 0;
   while (got < n) {
-    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (util::fault::should_fail("wire.reset")) {
+      throw WireError("wire: read failed: injected connection reset");
+    }
+    if (util::fault::should_fail("wire.eof")) {
+      // Simulated peer close at an arbitrary point in the stream.
+      if (got == 0 && eof_ok) return ReadResult::kEof;
+      throw WireError("wire: connection closed mid-frame (injected)");
+    }
+    const std::size_t chunk = util::fault::should_fail("wire.short_read")
+                                  ? std::min<std::size_t>(1, n - got)
+                                  : n - got;
+    const ssize_t r = ::read(fd, buf + got, chunk);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired. Idle at a frame boundary is a reapable
+        // state the caller decides about; a stall mid-frame is fatal to
+        // the connection.
+        if (got == 0 && eof_ok) return ReadResult::kTimeout;
+        throw WireTimeout("wire: read deadline expired mid-frame (peer stalled)");
+      }
       throw WireError("wire: read failed: " + std::string(std::strerror(errno)));
     }
     if (r == 0) {
-      if (got == 0 && eof_ok) return false;
+      if (got == 0 && eof_ok) return ReadResult::kEof;
       throw WireError("wire: connection closed mid-frame");
     }
     got += static_cast<std::size_t>(r);
   }
-  return true;
+  return ReadResult::kOk;
 }
 
 }  // namespace
@@ -280,20 +316,35 @@ void send_frame(int fd, const std::vector<uint8_t>& payload) {
   prefix.reserve(8);
   put_u32(prefix, kFrameMagic);
   put_u32(prefix, static_cast<uint32_t>(payload.size()));
+  if (util::fault::should_fail("wire.torn_frame")) {
+    // Die mid-frame after committing the prefix and half the payload:
+    // the peer is left holding a length promise that never completes —
+    // the hardest partial-failure shape for a framed protocol.
+    write_exact(fd, prefix.data(), prefix.size());
+    write_exact(fd, payload.data(), payload.size() / 2);
+    throw WireError("wire: injected torn frame (writer died mid-payload)");
+  }
   write_exact(fd, prefix.data(), prefix.size());
   write_exact(fd, payload.data(), payload.size());
 }
 
-bool recv_frame(int fd, std::vector<uint8_t>& payload) {
+RecvStatus recv_frame(int fd, std::vector<uint8_t>& payload) {
   uint8_t prefix[8];
-  if (!read_exact(fd, prefix, sizeof(prefix), /*eof_ok=*/true)) return false;
+  switch (read_exact(fd, prefix, sizeof(prefix), /*eof_ok=*/true)) {
+    case ReadResult::kEof:
+      return RecvStatus::kEof;
+    case ReadResult::kTimeout:
+      return RecvStatus::kTimeout;
+    case ReadResult::kOk:
+      break;
+  }
   Reader r{prefix, sizeof(prefix)};
   if (r.u32() != kFrameMagic) throw WireError("wire: bad frame magic");
   const uint32_t len = r.u32();
   if (len > kMaxFrameBytes) throw WireError("wire: frame above size cap");
   payload.resize(len);
   if (len > 0) (void)read_exact(fd, payload.data(), len, /*eof_ok=*/false);
-  return true;
+  return RecvStatus::kFrame;
 }
 
 }  // namespace ndsnn::serve

@@ -26,9 +26,16 @@
 //
 // One request maps to one BatchExecutor::submit: the tensor is the
 // input batch [N, ...], the response tensor the mean logits
-// [N, classes]. status kShed is ordinary back-pressure (admission
+// [N, classes]. Non-ok statuses form a typed error taxonomy (README
+// "Operational robustness"): kShed is ordinary back-pressure (admission
 // control refused the request; retry later), kError carries the
-// server-side exception message.
+// server-side exception message, kTimeout is the server reaping an
+// idle/stalled connection (sent only when the socket is still
+// writable), kShedding marks a draining server refusing *new* work
+// (reconnect elsewhere; in-flight work still completes), and
+// kBackpressure is a stream step rejected because the session's queue
+// is at ExecutorOptions::max_stream_queue (session state untouched —
+// resubmit the same frame, see stream_step_retry).
 //
 // The encode/decode half works on byte buffers and is testable without
 // sockets; the send/recv half moves whole frames over a blocking fd.
@@ -66,10 +73,22 @@ class WireError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A socket deadline (SO_RCVTIMEO/SO_SNDTIMEO) expired mid-frame: the
+/// peer stalled. Subclasses WireError — existing catch sites treat it
+/// as a broken connection; the server additionally counts it in
+/// serve.conn_timeout.
+class WireTimeout : public WireError {
+ public:
+  using WireError::WireError;
+};
+
 enum class Status : uint8_t {
   kOk = 0,
-  kShed = 1,   ///< admission control refused the request (back-pressure)
-  kError = 2,  ///< server-side failure; message carries the reason
+  kShed = 1,     ///< admission control refused the request (back-pressure)
+  kError = 2,    ///< server-side failure; message carries the reason
+  kTimeout = 3,  ///< connection idle past the server's deadline; being reaped
+  kShedding = 4,     ///< server draining: new work refused, reconnect elsewhere
+  kBackpressure = 5, ///< stream queue full: resubmit this frame with backoff
 };
 
 struct RequestFrame {
@@ -121,15 +140,34 @@ struct FrameHeader {
 [[nodiscard]] std::vector<uint8_t> encode_stream_close();
 void decode_stream_close(const uint8_t* data, std::size_t n);
 
+/// What recv_frame observed at the frame boundary. A clean EOF and an
+/// idle-deadline expiry are *states of the connection*, not protocol
+/// errors — the server reacts differently to each (count serve.conn_eof
+/// vs. answer kTimeout and reap), which a bool could not express.
+enum class RecvStatus : uint8_t {
+  kFrame = 0,    ///< one whole frame read into `payload`
+  kEof = 1,      ///< peer closed cleanly before the first prefix byte
+  kTimeout = 2,  ///< SO_RCVTIMEO expired while idle at the boundary
+};
+
 /// Blocking framed I/O over a connected socket/pipe fd. send_frame
 /// writes prefix + payload; a peer that disconnected surfaces as
 /// WireError, never SIGPIPE (socket writes use MSG_NOSIGNAL, so a
 /// client that vanishes before reading its response cannot kill the
-/// server process);
-/// recv_frame reads one whole frame into `payload`, returning false on
-/// clean EOF at a frame boundary and throwing WireError on anything
-/// else (mid-frame EOF, bad magic, length above kMaxFrameBytes).
+/// server process). A send deadline (SO_SNDTIMEO) expiring — a reader
+/// stalled long enough to fill the socket buffer — throws WireTimeout.
+/// recv_frame reads one whole frame into `payload`; EOF or a receive
+/// deadline *mid-frame* throws (WireError/WireTimeout: the stream can
+/// no longer be re-synced), as do bad magic and lengths above
+/// kMaxFrameBytes.
+///
+/// Fault sites (util::fault, armed via NDSNN_FAULTS — zero cost
+/// otherwise): `wire.short_read` / `wire.short_write` cap one syscall
+/// to a single byte (the resume loops must hide this entirely),
+/// `wire.reset` throws as if the kernel reported ECONNRESET/EPIPE, and
+/// `wire.torn_frame` makes send_frame die after emitting the prefix and
+/// half the payload — the peer sees a mid-frame EOF.
 void send_frame(int fd, const std::vector<uint8_t>& payload);
-[[nodiscard]] bool recv_frame(int fd, std::vector<uint8_t>& payload);
+[[nodiscard]] RecvStatus recv_frame(int fd, std::vector<uint8_t>& payload);
 
 }  // namespace ndsnn::serve

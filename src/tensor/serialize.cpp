@@ -48,7 +48,21 @@ Tensor load_tensor(std::istream& in) {
   const auto rank = read_pod<uint32_t>(in);
   if (rank > 8) throw std::runtime_error("load_tensor: rank too large");
   std::vector<int64_t> dims(rank);
-  for (auto& d : dims) d = read_pod<int64_t>(in);
+  // Validate dims before Shape::numel() multiplies them: a corrupt or
+  // truncated header read as garbage dims must fail here with a clear
+  // error, not attempt a multi-terabyte allocation (or overflow numel).
+  constexpr int64_t kMaxElems = int64_t{1} << 32;
+  int64_t elems = 1;
+  for (auto& d : dims) {
+    d = read_pod<int64_t>(in);
+    if (d < 0 || d > kMaxElems) {
+      throw std::runtime_error("load_tensor: corrupt dimension " + std::to_string(d));
+    }
+    elems *= d == 0 ? 1 : d;
+    if (elems > kMaxElems) {
+      throw std::runtime_error("load_tensor: element count implausibly large");
+    }
+  }
   Shape shape(dims);
   std::vector<float> data(static_cast<std::size_t>(shape.numel()));
   in.read(reinterpret_cast<char*>(data.data()),

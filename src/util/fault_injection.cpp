@@ -1,0 +1,198 @@
+#include "util/fault_injection.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace ndsnn::util::fault {
+
+std::atomic<int64_t> FaultInjector::armed_sites_{0};
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix of a 64-bit state.
+uint64_t mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the site name: stable across runs and platforms, so the
+/// (seed, site, check#) -> fire decision is reproducible everywhere.
+uint64_t hash_name(const char* s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (; *s != '\0'; ++s) h = (h ^ static_cast<uint8_t>(*s)) * 0x100000001B3ULL;
+  return h;
+}
+
+/// Uniform [0, 1) from (seed, site hash, check index).
+double decide(uint64_t seed, uint64_t site_hash, int64_t check) {
+  const uint64_t bits = mix64(seed ^ mix64(site_hash ^ mix64(static_cast<uint64_t>(check))));
+  // Top 53 bits -> the unit interval at double precision.
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector* instance = [] {
+    auto* inj = new FaultInjector();
+    if (const char* env = std::getenv("NDSNN_FAULTS"); env != nullptr && *env != '\0') {
+      inj->configure(env);
+    }
+    return inj;
+  }();
+  return *instance;
+}
+
+namespace {
+/// NDSNN_FAULTS must be parsed before the first should_fail(): its fast
+/// path only reads armed_sites_ and never constructs the singleton, so
+/// an env-armed process would otherwise run fault-free forever. This TU
+/// is always linked when any fault site exists (active() references
+/// armed_sites_, defined above), so the env is read exactly once, here.
+const bool g_env_spec_loaded = [] {
+  (void)FaultInjector::global();
+  return true;
+}();
+}  // namespace
+
+void FaultInjector::configure(const std::string& spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find_first_of(";,", start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(start, end - start);
+    start = end + 1;
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= clause.size()) {
+      throw std::invalid_argument("NDSNN_FAULTS: clause must be key=value, got '" +
+                                  clause + "'");
+    }
+    const std::string key = clause.substr(0, eq);
+    std::string value = clause.substr(eq + 1);
+    if (key == "seed") {
+      try {
+        set_seed(std::stoull(value));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("NDSNN_FAULTS: bad seed '" + value + "'");
+      }
+      continue;
+    }
+    // <site>=<prob>[xMAX][+SKIP]
+    Rule rule;
+    const std::size_t plus = value.find('+');
+    if (plus != std::string::npos) {
+      try {
+        rule.skip = std::stoll(value.substr(plus + 1));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("NDSNN_FAULTS: bad skip in '" + clause + "'");
+      }
+      if (rule.skip < 0) {
+        throw std::invalid_argument("NDSNN_FAULTS: negative skip in '" + clause + "'");
+      }
+      value = value.substr(0, plus);
+    }
+    const std::size_t x = value.find('x');
+    if (x != std::string::npos) {
+      try {
+        rule.max_fires = std::stoll(value.substr(x + 1));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("NDSNN_FAULTS: bad max-fires in '" + clause + "'");
+      }
+      if (rule.max_fires < 0) {
+        throw std::invalid_argument("NDSNN_FAULTS: negative max-fires in '" + clause + "'");
+      }
+      value = value.substr(0, x);
+    }
+    try {
+      rule.probability = std::stod(value);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("NDSNN_FAULTS: bad probability in '" + clause + "'");
+    }
+    if (rule.probability < 0.0 || rule.probability > 1.0) {
+      throw std::invalid_argument("NDSNN_FAULTS: probability outside [0,1] in '" +
+                                  clause + "'");
+    }
+    arm(key, rule);
+  }
+}
+
+void FaultInjector::arm(const std::string& site, Rule rule) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  Site& s = sites_[site];
+  if (!s.armed) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+  s.rule = rule;
+  s.armed = true;
+  s.checks = 0;
+  s.fires = 0;
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  int64_t armed = 0;
+  for (const auto& [_, s] : sites_) armed += s.armed ? 1 : 0;
+  armed_sites_.fetch_sub(armed, std::memory_order_relaxed);
+  sites_.clear();
+}
+
+void FaultInjector::set_seed(uint64_t seed) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  seed_ = seed;
+}
+
+uint64_t FaultInjector::seed() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return seed_;
+}
+
+bool FaultInjector::should_fire(const char* site) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return false;
+  Site& s = it->second;
+  const int64_t check = s.checks++;
+  if (check < s.rule.skip) return false;
+  if (s.rule.max_fires >= 0 && s.fires >= s.rule.max_fires) return false;
+  // The decision depends only on (seed, site, check index): replaying a
+  // run with the same seed reproduces the same fault schedule.
+  if (decide(seed_, hash_name(site), check) >= s.rule.probability) return false;
+  ++s.fires;
+  return true;
+}
+
+int64_t FaultInjector::checks(const std::string& site) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.checks;
+}
+
+int64_t FaultInjector::fires(const std::string& site) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::string FaultInjector::summary() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream out;
+  out << "faults seed=" << seed_;
+  for (const auto& [name, s] : sites_) {
+    if (!s.armed) continue;
+    out << " " << name << " p=" << s.rule.probability << " fired " << s.fires << "/"
+        << s.checks;
+  }
+  return out.str();
+}
+
+}  // namespace ndsnn::util::fault

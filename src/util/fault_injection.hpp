@@ -1,0 +1,124 @@
+// Deterministic process-wide fault injection for chaos testing.
+//
+// Production code marks *sites* — named points where a failure of the
+// outside world can be simulated — with a single call:
+//
+//   if (util::fault::should_fail("wire.reset"))
+//     throw WireError("wire: injected connection reset");
+//
+// With nothing armed the check is one relaxed atomic load of a flag
+// that never changes, so fault sites can live on hot paths (the serving
+// read/write loops) at effectively zero cost.
+//
+// Faults are armed either programmatically (FaultInjector::arm) or from
+// the NDSNN_FAULTS environment variable, read once at first use:
+//
+//   NDSNN_FAULTS="seed=7;wire.short_read=0.2;wire.reset=0.01x3+5"
+//
+// Grammar, per ';'- or ','-separated clause:
+//   seed=N                     decision-stream seed (default 1)
+//   <site>=<prob>              fire with probability <prob> per check
+//   <site>=<prob>xMAX          ...at most MAX times, then disarm
+//   <site>=<prob>+SKIP         ...never within the first SKIP checks
+//   <site>=<prob>xMAX+SKIP     both (order fixed: xMAX before +SKIP)
+//
+// Determinism: whether check #k of a site fires is a pure function of
+// (seed, site name, k) — a splitmix64-style hash mapped to [0,1) and
+// compared against the probability. Re-running a process with the same
+// seed, sites and call sequence reproduces the exact fault schedule;
+// the chaos tests print the seed of a failing run so it can be replayed
+// (see CONTRIBUTING "Reproducing a chaos-test failure").
+//
+// Thread safety: should_fire/arm/disarm/reset may race freely; per-site
+// check indices are assigned under the registry mutex, so two threads
+// hitting one site concurrently consume distinct decision indices
+// (which thread gets which index is the one scheduling-dependent part).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ndsnn::util::fault {
+
+/// How one armed site fires. Defaults: always, forever, immediately.
+struct Rule {
+  double probability = 1.0;  ///< chance each check fires, in [0, 1]
+  int64_t max_fires = -1;    ///< disarm after this many fires (-1 = never)
+  int64_t skip = 0;          ///< first `skip` checks never fire
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide instance. The first call parses NDSNN_FAULTS
+  /// from the environment (absent/empty = nothing armed).
+  static FaultInjector& global();
+
+  /// True when any site is armed anywhere in the process. One relaxed
+  /// atomic load; the fast path of should_fail().
+  [[nodiscard]] static bool active() {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Parse and arm a spec string (the NDSNN_FAULTS grammar above).
+  /// Clauses accumulate onto whatever is already armed; a repeated site
+  /// replaces its rule. Throws std::invalid_argument on a malformed
+  /// clause, leaving previously-armed clauses in place.
+  void configure(const std::string& spec);
+
+  /// Arm one site. Replaces any existing rule for it; resets the site's
+  /// check/fire counters.
+  void arm(const std::string& site, Rule rule);
+
+  /// Disarm one site (keeps its counters readable until reset()).
+  void disarm(const std::string& site);
+
+  /// Disarm everything and forget all counters. Tests call this in
+  /// TearDown so a fault schedule can never leak across test cases.
+  void reset();
+
+  /// Seed of the decision stream. Changing it does not reset counters.
+  void set_seed(uint64_t seed);
+  [[nodiscard]] uint64_t seed() const;
+
+  /// The per-site decision: consumes one check index and reports
+  /// whether this check fires. Use through should_fail() so disarmed
+  /// processes skip the registry entirely.
+  [[nodiscard]] bool should_fire(const char* site);
+
+  /// Checks observed / faults fired at a site since it was armed (0 for
+  /// unknown sites). For test assertions and the summary line.
+  [[nodiscard]] int64_t checks(const std::string& site) const;
+  [[nodiscard]] int64_t fires(const std::string& site) const;
+
+  /// One line per armed site: "site p=0.2 fired 3/17" — printed by
+  /// serve_sparse at startup/shutdown so any faulty run documents its
+  /// own schedule.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  FaultInjector() = default;
+
+  struct Site {
+    Rule rule;
+    bool armed = false;
+    int64_t checks = 0;
+    int64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site> sites_;
+  uint64_t seed_ = 1;
+  /// Count of armed sites across the process; the should_fail fast path.
+  static std::atomic<int64_t> armed_sites_;
+};
+
+/// The one-liner production code uses at a fault site: false forever on
+/// a process with nothing armed, at the cost of a relaxed atomic load.
+[[nodiscard]] inline bool should_fail(const char* site) {
+  return FaultInjector::active() && FaultInjector::global().should_fire(site);
+}
+
+}  // namespace ndsnn::util::fault

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "nn/models/zoo.hpp"
+#include "util/fault_injection.hpp"
 
 namespace ndsnn::nn {
 namespace {
@@ -229,6 +231,74 @@ TEST(CheckpointTest, TruncatedStreamRejected) {
   s.resize(s.size() / 3);
   std::stringstream cut(s);
   EXPECT_THROW(load_checkpoint(cut, *net), std::runtime_error);
+}
+
+/// Every strict prefix of a v3 file must be rejected with a clear
+/// runtime_error — never undefined behavior, never a giant allocation
+/// from garbage dims, never a silent partial restore. Sampled stride
+/// keeps the sweep fast; the first 256 byte-lengths are covered
+/// exhaustively because every header/meta boundary lives there.
+TEST(CheckpointTest, TruncatedFileSweepFailsCleanlyAtEveryPrefix) {
+  auto net = make_lenet5(spec(31));
+  const CheckpointMeta meta{"lenet5", spec(31)};
+  const QuantRecord record = build_quant_record(*net, sparse::Precision::kInt8);
+  const std::string path = ::testing::TempDir() + "/trunc_sweep.ndck";
+  save_checkpoint_file(path, *net, meta, record);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in);
+  std::stringstream whole;
+  whole << in.rdbuf();
+  const std::string bytes = whole.str();
+  ASSERT_GT(bytes.size(), 512U);
+
+  const std::string cut_path = ::testing::TempDir() + "/trunc_cut.ndck";
+  for (std::size_t len = 0; len < bytes.size();
+       len += (len < 256 ? 1 : bytes.size() / 64)) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    {
+      std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(len));
+    }
+    auto fresh = make_lenet5(spec(99));
+    EXPECT_THROW(load_checkpoint_file(cut_path, *fresh), std::runtime_error);
+    EXPECT_THROW((void)load_checkpoint_network(cut_path), std::runtime_error);
+  }
+}
+
+TEST(CheckpointTest, SaveIsAtomicUnderAnInjectedWriteFault) {
+  auto net = make_lenet5(spec(41));
+  const CheckpointMeta meta{"lenet5", spec(41)};
+  const std::string path = ::testing::TempDir() + "/atomic.ndck";
+  save_checkpoint_file(path, *net, meta);
+
+  std::ifstream before_in(path, std::ios::binary);
+  std::stringstream before;
+  before << before_in.rdbuf();
+  ASSERT_FALSE(before.str().empty());
+
+  // A save that dies mid-write (crash, full disk — here injected) must
+  // leave the previous checkpoint byte-identical and no .tmp litter.
+  auto changed = make_lenet5(spec(43));  // different weights
+  util::fault::FaultInjector::global().arm("checkpoint.write",
+                                           util::fault::Rule{1.0, 1, 0});
+  EXPECT_THROW(save_checkpoint_file(path, *changed, meta), std::runtime_error);
+  util::fault::FaultInjector::global().reset();
+
+  std::ifstream after_in(path, std::ios::binary);
+  std::stringstream after;
+  after << after_in.rdbuf();
+  EXPECT_EQ(after.str(), before.str()) << "original checkpoint was damaged";
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good()) << ".tmp left behind";
+
+  // And the failed writer can succeed on retry.
+  save_checkpoint_file(path, *changed, meta);
+  auto rebuilt = load_checkpoint_network(path);
+  const Tensor batch(Shape{2, 1, 8, 8}, 0.9F);
+  const Tensor want = changed->predict(batch);
+  const Tensor got = rebuilt->predict(batch);
+  for (int64_t i = 0; i < want.numel(); ++i) ASSERT_EQ(got.at(i), want.at(i));
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good()) << ".tmp survived a clean save";
 }
 
 }  // namespace

@@ -6,7 +6,9 @@
 // instead of deadlocking or corrupting state.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "nn/models/zoo.hpp"
@@ -15,6 +17,7 @@
 #include "runtime/stream_session.hpp"
 #include "sparse/mask.hpp"
 #include "tensor/random.hpp"
+#include "util/fault_injection.hpp"
 
 namespace ndsnn::runtime {
 namespace {
@@ -168,6 +171,131 @@ TEST(ExecutorStreamTest, ShutdownShedsStreamsAndRefusesNewOnes) {
   exec.shutdown();
   EXPECT_THROW((void)exec.submit_stream(sid, frames[0]).get(), ShedError);
   EXPECT_THROW((void)exec.open_stream(), ShedError);
+}
+
+TEST(ExecutorStreamTest, StreamQueueCapRejectsWithBackpressureError) {
+  const CompiledNetwork compiled = make_compiled(61);
+  const std::vector<Tensor> frames = make_frames(4, 62);
+
+  StreamSession reference(compiled);
+  std::vector<Tensor> want;
+  for (const Tensor& f : frames) want.push_back(reference.step(f).logits);
+
+  ExecutorOptions opts;
+  opts.max_stream_queue = 2;
+  BatchExecutor exec(compiled, 1, opts);
+  const uint64_t sid = exec.open_stream();
+
+  // Hold the single worker mid-drain with an injected 50 ms stall, so
+  // steps pile onto the session queue deterministically instead of
+  // racing a fast worker.
+  util::fault::FaultInjector::global().arm("executor.stall",
+                                           util::fault::Rule{1.0, 1, 0});
+  auto f0 = exec.submit_stream(sid, frames[0]);
+  while (util::fault::FaultInjector::global().fires("executor.stall") < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Worker is sleeping with frame 0 already taken off the queue: these
+  // two fill the cap (queued = 2 = max_stream_queue)...
+  auto f1 = exec.submit_stream(sid, frames[1]);
+  auto f2 = exec.submit_stream(sid, frames[2]);
+  // ...and the third is over it. Typed rejection through the future;
+  // nothing about the session changed.
+  auto f3 = exec.submit_stream(sid, frames[3]);
+  EXPECT_THROW((void)f3.get(), BackpressureError);
+
+  expect_bitwise(f0.get().logits, want[0], "capped step 0");
+  expect_bitwise(f1.get().logits, want[1], "capped step 1");
+  expect_bitwise(f2.get().logits, want[2], "capped step 2");
+  EXPECT_EQ(exec.stats().backpressure_rejections, 1);
+  exec.close_stream(sid);
+  util::fault::FaultInjector::global().reset();
+}
+
+TEST(ExecutorStreamTest, BackpressureErrorIsAShedErrorWithItsOwnType) {
+  const CompiledNetwork compiled = make_compiled(71);
+  const std::vector<Tensor> frames = make_frames(1, 72);
+
+  BatchExecutor exec(compiled, 1);
+  const uint64_t sid = exec.open_stream();
+  util::fault::FaultInjector::global().arm("executor.backpressure",
+                                           util::fault::Rule{1.0, 1, 0});
+  auto rejected = exec.submit_stream(sid, frames[0]);
+  // Contract both ways: a generic back-pressure handler catches it as
+  // ShedError, a retry-aware one distinguishes the subtype.
+  try {
+    (void)rejected.get();
+    FAIL() << "expected BackpressureError";
+  } catch (const ShedError& e) {
+    EXPECT_NE(dynamic_cast<const BackpressureError*>(&e), nullptr)
+        << "kBackpressure must stay a distinct type under ShedError";
+  }
+  // The rejected step never touched the session: the next submit runs
+  // from clean state, matching a fresh reference.
+  StreamSession reference(compiled);
+  expect_bitwise(exec.submit_stream(sid, frames[0]).get().logits,
+                 reference.step(frames[0]).logits, "post-rejection step");
+  exec.close_stream(sid);
+  util::fault::FaultInjector::global().reset();
+}
+
+TEST(ExecutorStreamTest, CloseStreamRacingShutdownNeverHangsOrCrashes) {
+  const CompiledNetwork compiled = make_compiled(81);
+  const std::vector<Tensor> frames = make_frames(2, 82);
+
+  // The race under test (and under TSan in CI): close_stream and
+  // shutdown interleaving arbitrarily with steps in flight. Legal
+  // outcomes per step: a value, or ShedError. Never a hang, never an
+  // unresolved future, never a crash.
+  for (int round = 0; round < 10; ++round) {
+    BatchExecutor exec(compiled, 2);
+    const uint64_t sid = exec.open_stream();
+    auto s0 = exec.submit_stream(sid, frames[0]);
+    auto s1 = exec.submit_stream(sid, frames[1]);
+    std::thread closer([&] { exec.close_stream(sid); });
+    std::thread stopper([&] { exec.shutdown(); });
+    for (auto* f : {&s0, &s1}) {
+      try {
+        (void)f->get();
+      } catch (const ShedError&) {
+        // shed at shutdown: acceptable
+      }
+    }
+    closer.join();
+    stopper.join();
+    // Submitting after the dust settled must shed, not crash.
+    EXPECT_THROW((void)exec.submit_stream(sid, frames[0]).get(), std::exception)
+        << "round " << round;
+  }
+}
+
+TEST(ExecutorStreamTest, SubmitStreamRacingShutdownResolvesEveryFuture) {
+  const CompiledNetwork compiled = make_compiled(91);
+  const std::vector<Tensor> frames = make_frames(1, 92);
+
+  for (int round = 0; round < 10; ++round) {
+    BatchExecutor exec(compiled, 1);
+    const uint64_t sid = exec.open_stream();
+    std::vector<std::future<InferenceResult>> futures;
+    std::thread submitter([&] {
+      for (int i = 0; i < 4; ++i) futures.push_back(exec.submit_stream(sid, frames[0]));
+    });
+    std::thread stopper([&] { exec.shutdown(); });
+    submitter.join();
+    stopper.join();
+    int resolved = 0;
+    for (auto& f : futures) {
+      try {
+        (void)f.get();
+        ++resolved;
+      } catch (const ShedError&) {
+        ++resolved;
+      }
+    }
+    // The exactly-one-outcome invariant: every submitted step's future
+    // resolves with a value or ShedError — none is dropped on the floor.
+    EXPECT_EQ(resolved, 4) << "round " << round;
+  }
 }
 
 }  // namespace

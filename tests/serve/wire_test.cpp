@@ -3,6 +3,7 @@
 // all without a server.
 #include <gtest/gtest.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cstdint>
@@ -62,8 +63,10 @@ TEST(WireTest, OkResponseRoundTripsBitwise) {
   expect_bitwise_equal(back.logits, resp.logits);
 }
 
-TEST(WireTest, ShedAndErrorResponsesCarryTheMessage) {
-  for (const Status status : {Status::kShed, Status::kError}) {
+TEST(WireTest, NonOkResponsesCarryTheMessage) {
+  // The whole typed-error taxonomy travels the same message path.
+  for (const Status status : {Status::kShed, Status::kError, Status::kTimeout,
+                              Status::kShedding, Status::kBackpressure}) {
     ResponseFrame resp;
     resp.status = status;
     resp.message = "predicted queue wait above SLO budget";
@@ -124,13 +127,13 @@ TEST(WireTest, FramesRoundTripOverAnFdPair) {
   req.batch = make_tensor(Shape{2, 1, 16, 16}, 19);
   send_frame(fds[1], encode_request(req));
   std::vector<uint8_t> payload;
-  ASSERT_TRUE(recv_frame(fds[0], payload));
+  ASSERT_EQ(recv_frame(fds[0], payload), RecvStatus::kFrame);
   const RequestFrame back = decode_request(payload.data(), payload.size());
   expect_bitwise_equal(back.batch, req.batch);
-  // Closing the write end mid-nothing is a clean EOF: recv returns
-  // false rather than throwing.
+  // Closing the write end mid-nothing is a clean EOF: recv reports it
+  // as a state rather than throwing.
   ::close(fds[1]);
-  EXPECT_FALSE(recv_frame(fds[0], payload));
+  EXPECT_EQ(recv_frame(fds[0], payload), RecvStatus::kEof);
   ::close(fds[0]);
 }
 
@@ -171,6 +174,25 @@ TEST(WireTest, MidFrameEofAndBadMagicThrow) {
     ::close(fds[0]);
     ::close(fds[1]);
   }
+}
+
+TEST(WireTest, ReceiveDeadlinesMapToTimeoutStates) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const timeval tv{0, 50 * 1000};  // 50 ms receive deadline
+  ASSERT_EQ(::setsockopt(fds[0], SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)), 0);
+  std::vector<uint8_t> payload;
+  // Idle at a frame boundary: a reapable state, not an exception.
+  EXPECT_EQ(recv_frame(fds[0], payload), RecvStatus::kTimeout);
+  // A frame whose payload never arrives: the deadline now expires
+  // mid-frame, which is fatal to the connection (typed as WireTimeout,
+  // still catchable as WireError).
+  const std::vector<uint8_t> prefix = {0x4E, 0x44, 0x53, 0x31, 16, 0, 0, 0};
+  ASSERT_EQ(::send(fds[1], prefix.data(), prefix.size(), 0),
+            static_cast<ssize_t>(prefix.size()));
+  EXPECT_THROW((void)recv_frame(fds[0], payload), WireTimeout);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 TEST(WireTest, StreamOpenRoundTripsAndPeeksAsV2) {

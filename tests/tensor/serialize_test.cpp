@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "tensor/random.hpp"
@@ -49,6 +50,42 @@ TEST(SerializeTest, TruncatedStreamThrows) {
 TEST(SerializeTest, EmptyStreamThrows) {
   std::stringstream buf;
   EXPECT_THROW((void)load_tensor(buf), std::runtime_error);
+}
+
+// Corrupt dims in the header must be rejected before any allocation:
+// a flipped byte in a checkpoint is a clean error, not a terabyte
+// std::vector. Header layout: magic(4) + version(4) + rank(4) + dims.
+TEST(SerializeTest, CorruptDimsAreRejectedBeforeAllocation) {
+  Tensor t(Shape{3, 4, 5}, 1.0F);
+  std::stringstream buf;
+  save_tensor(buf, t);
+  const std::string good = buf.str();
+  constexpr std::size_t kDim0Off = 12;
+
+  const auto patch_dim0 = [&](int64_t bad) {
+    std::string s = good;
+    std::memcpy(&s[kDim0Off], &bad, sizeof(bad));
+    return s;
+  };
+
+  {  // negative dimension
+    std::stringstream cut(patch_dim0(-7));
+    EXPECT_THROW((void)load_tensor(cut), std::runtime_error);
+  }
+  {  // single absurd dimension
+    std::stringstream cut(patch_dim0(int64_t{1} << 40));
+    EXPECT_THROW((void)load_tensor(cut), std::runtime_error);
+  }
+  {  // dims individually plausible but product implausible
+    std::string s = good;
+    const int64_t big = int64_t{1} << 20;
+    for (int i = 0; i < 3; ++i) {
+      std::memcpy(&s[kDim0Off + sizeof(int64_t) * static_cast<std::size_t>(i)], &big,
+                  sizeof(big));
+    }
+    std::stringstream cut(s);
+    EXPECT_THROW((void)load_tensor(cut), std::runtime_error);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,156 @@
+// FaultInjector: the NDSNN_FAULTS grammar, deterministic seeded
+// decisions, max-fires/skip modifiers, and the disabled-process fast
+// path that keeps fault sites free on hot paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/fault_injection.hpp"
+
+namespace ndsnn::util::fault {
+namespace {
+
+/// Every test leaves the process-wide injector clean: a leaked schedule
+/// would fire faults inside unrelated test cases.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::global().reset(); }
+};
+
+TEST_F(FaultInjectionTest, NothingArmedNeverFires) {
+  EXPECT_FALSE(FaultInjector::active());
+  EXPECT_FALSE(should_fail("wire.reset"));
+  // An unarmed should_fail must not even register a check (the fast
+  // path bypasses the registry entirely).
+  EXPECT_EQ(FaultInjector::global().checks("wire.reset"), 0);
+}
+
+TEST_F(FaultInjectionTest, CertainFaultFiresEveryCheck) {
+  FaultInjector::global().arm("a.site", Rule{1.0, -1, 0});
+  EXPECT_TRUE(FaultInjector::active());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(should_fail("a.site"));
+  EXPECT_EQ(FaultInjector::global().checks("a.site"), 10);
+  EXPECT_EQ(FaultInjector::global().fires("a.site"), 10);
+}
+
+TEST_F(FaultInjectionTest, ZeroProbabilityNeverFires) {
+  FaultInjector::global().arm("a.site", Rule{0.0, -1, 0});
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(should_fail("a.site"));
+  EXPECT_EQ(FaultInjector::global().fires("a.site"), 0);
+}
+
+TEST_F(FaultInjectionTest, MaxFiresDisarmsAfterTheQuota) {
+  FaultInjector::global().arm("a.site", Rule{1.0, 3, 0});
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) fired += should_fail("a.site") ? 1 : 0;
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(FaultInjector::global().fires("a.site"), 3);
+}
+
+TEST_F(FaultInjectionTest, SkipShieldsTheFirstChecks) {
+  FaultInjector::global().arm("a.site", Rule{1.0, -1, 4});
+  std::vector<bool> got;
+  for (int i = 0; i < 6; ++i) got.push_back(should_fail("a.site"));
+  EXPECT_EQ(got, (std::vector<bool>{false, false, false, false, true, true}));
+}
+
+TEST_F(FaultInjectionTest, DecisionsAreDeterministicInTheSeed) {
+  auto& inj = FaultInjector::global();
+  const auto schedule = [&](uint64_t seed) {
+    inj.reset();
+    inj.set_seed(seed);
+    inj.arm("a.site", Rule{0.5, -1, 0});
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) fires.push_back(should_fail("a.site"));
+    return fires;
+  };
+  const std::vector<bool> first = schedule(7);
+  const std::vector<bool> again = schedule(7);
+  const std::vector<bool> other = schedule(8);
+  EXPECT_EQ(first, again);  // same seed -> identical fault schedule
+  EXPECT_NE(first, other);  // a different seed is a different schedule
+  // A p=0.5 site over 64 checks fires a plausible share of them.
+  int fired = 0;
+  for (const bool b : first) fired += b ? 1 : 0;
+  EXPECT_GT(fired, 16);
+  EXPECT_LT(fired, 48);
+}
+
+TEST_F(FaultInjectionTest, SitesDrawIndependentDecisionStreams) {
+  auto& inj = FaultInjector::global();
+  inj.set_seed(21);
+  inj.arm("site.one", Rule{0.5, -1, 0});
+  inj.arm("site.two", Rule{0.5, -1, 0});
+  std::vector<bool> one, two;
+  for (int i = 0; i < 64; ++i) {
+    one.push_back(should_fail("site.one"));
+    two.push_back(should_fail("site.two"));
+  }
+  EXPECT_NE(one, two);  // the site name feeds the hash
+}
+
+TEST_F(FaultInjectionTest, SpecGrammarParsesAllClauseForms) {
+  auto& inj = FaultInjector::global();
+  inj.configure("seed=99;plain=1.0,capped=1.0x2;skipped=1+3;both=0.25x5+2");
+  EXPECT_EQ(inj.seed(), 99U);
+  // plain: unlimited certain fault.
+  EXPECT_TRUE(should_fail("plain"));
+  // capped: stops after two fires.
+  int capped = 0;
+  for (int i = 0; i < 5; ++i) capped += should_fail("capped") ? 1 : 0;
+  EXPECT_EQ(capped, 2);
+  // skipped: quiet for three checks, certain after.
+  EXPECT_FALSE(should_fail("skipped"));
+  EXPECT_FALSE(should_fail("skipped"));
+  EXPECT_FALSE(should_fail("skipped"));
+  EXPECT_TRUE(should_fail("skipped"));
+  // both: parsed without throwing; counters exist.
+  (void)should_fail("both");
+  EXPECT_EQ(inj.checks("both"), 1);
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecsThrowWithoutArmingTheBadClause) {
+  auto& inj = FaultInjector::global();
+  EXPECT_THROW(inj.configure("nodash"), std::invalid_argument);
+  EXPECT_THROW(inj.configure("site=1.5"), std::invalid_argument);  // p > 1
+  EXPECT_THROW(inj.configure("site=abc"), std::invalid_argument);
+  EXPECT_THROW(inj.configure("site=0.5x-1"), std::invalid_argument);
+  EXPECT_THROW(inj.configure("seed=notanumber"), std::invalid_argument);
+  // Clauses before the malformed one stay armed (best-effort left to
+  // right), the bad one never arms.
+  inj.reset();
+  EXPECT_THROW(inj.configure("good=1.0;bad"), std::invalid_argument);
+  EXPECT_TRUE(should_fail("good"));
+  EXPECT_FALSE(should_fail("bad"));
+}
+
+TEST_F(FaultInjectionTest, DisarmStopsASiteAndResetClearsEverything) {
+  auto& inj = FaultInjector::global();
+  inj.arm("a.site", Rule{1.0, -1, 0});
+  EXPECT_TRUE(should_fail("a.site"));
+  inj.disarm("a.site");
+  EXPECT_FALSE(should_fail("a.site"));
+  // Still one registry entry, but nothing armed: active() may stay true
+  // only if other sites are armed — here there are none.
+  EXPECT_FALSE(FaultInjector::active());
+  inj.arm("b.site", Rule{1.0, -1, 0});
+  inj.reset();
+  EXPECT_FALSE(FaultInjector::active());
+  EXPECT_FALSE(should_fail("b.site"));
+  EXPECT_EQ(inj.checks("b.site"), 0);
+}
+
+TEST_F(FaultInjectionTest, SummaryNamesEveryArmedSiteAndTheSeed) {
+  auto& inj = FaultInjector::global();
+  inj.set_seed(1234);
+  inj.arm("wire.reset", Rule{0.25, -1, 0});
+  (void)should_fail("wire.reset");
+  const std::string line = inj.summary();
+  EXPECT_NE(line.find("seed=1234"), std::string::npos);
+  EXPECT_NE(line.find("wire.reset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndsnn::util::fault

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Chaos soak client for the serve_sparse socket front-end.
+
+Speaks the NDS1 wire protocol (src/serve/wire.hpp) with nothing but the
+Python stdlib and hammers a server — typically one running with
+NDSNN_FAULTS armed — for a fixed wall-clock budget. The client is the
+*well-behaved* side of the chaos experiment: it never violates the
+protocol, tolerates every typed error status, and reconnects whenever
+the server (or an injected fault) kills its connection. The invariant
+it enforces is the client-visible half of the fault-tolerance contract:
+
+  - every frame the client manages to send is answered by exactly one
+    response frame or a connection error — never a hang (a global
+    socket timeout turns a silent stall into a failure);
+  - non-ok statuses are *typed*: shed (1), error (2), timeout (3),
+    shedding (4) and backpressure (5) are all counted and survivable;
+  - backpressure on a stream step is retried with backoff on the same
+    connection (the session must still be usable);
+  - at least one request must actually succeed end to end, otherwise
+    the soak exits non-zero (a server that sheds 100% is not "up").
+
+Usage:
+  chaos_soak_client.py --port 9000 [--host 127.0.0.1] [--seconds 30]
+                       [--shape 1,3,16,16] [--model NAME] [--seed 7]
+
+Exit codes: 0 = soak completed with >= 1 ok response; 1 = no successful
+response (or the server was never reachable); 2 = protocol violation
+(malformed response — a real bug, not an injected fault).
+"""
+
+import argparse
+import random
+import socket
+import struct
+import sys
+import time
+
+MAGIC = 0x3153444E  # "NDS1"
+KIND_REQUEST = 1
+KIND_RESPONSE = 2
+KIND_STREAM_OPEN = 3
+KIND_STREAM_STEP = 4
+KIND_STREAM_CLOSE = 5
+STATUS_NAMES = {0: "ok", 1: "shed", 2: "error", 3: "timeout",
+                4: "shedding", 5: "backpressure"}
+MAX_FRAME = 256 << 20
+
+
+class ProtocolError(Exception):
+    """The server sent bytes that are not a valid NDS1 frame."""
+
+
+def recv_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("eof mid-read")
+        buf += chunk
+    return buf
+
+
+def send_frame(sock, payload):
+    sock.sendall(struct.pack("<II", MAGIC, len(payload)) + payload)
+
+
+def recv_frame(sock):
+    magic, length = struct.unpack("<II", recv_exact(sock, 8))
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic 0x{magic:08x}")
+    if length > MAX_FRAME:
+        raise ProtocolError(f"oversized frame {length}")
+    return recv_exact(sock, length)
+
+
+def encode_tensor(dims, data):
+    out = struct.pack("<I", len(dims))
+    for d in dims:
+        out += struct.pack("<q", d)
+    out += struct.pack(f"<{len(data)}f", *data)
+    return out
+
+
+def encode_request(model, dims, data, slo_class=0):
+    m = model.encode()
+    return (struct.pack("<BBBH", 1, KIND_REQUEST, slo_class, len(m)) + m +
+            encode_tensor(dims, data))
+
+
+def encode_stream_open(model):
+    m = model.encode()
+    return struct.pack("<BBH", 2, KIND_STREAM_OPEN, len(m)) + m
+
+
+def encode_stream_step(dims, data):
+    return struct.pack("<BB", 2, KIND_STREAM_STEP) + encode_tensor(dims, data)
+
+
+def encode_stream_close():
+    return struct.pack("<BB", 2, KIND_STREAM_CLOSE)
+
+
+def decode_response(payload):
+    """Returns (status, detail). detail is the logits element count on
+    ok, the error message otherwise."""
+    if len(payload) < 3:
+        raise ProtocolError(f"response too short ({len(payload)} bytes)")
+    version, kind, status = struct.unpack_from("<BBB", payload, 0)
+    if kind != KIND_RESPONSE:
+        raise ProtocolError(f"expected response kind, got {kind}")
+    if status not in STATUS_NAMES:
+        raise ProtocolError(f"unknown status {status}")
+    off = 3
+    if status == 0:
+        (rank,) = struct.unpack_from("<I", payload, off)
+        off += 4
+        numel = 1
+        for _ in range(rank):
+            (d,) = struct.unpack_from("<q", payload, off)
+            off += 8
+            numel *= max(d, 1)
+        if len(payload) - off != 4 * numel:
+            raise ProtocolError("ok response data length mismatch")
+        return 0, numel
+    (msg_len,) = struct.unpack_from("<I", payload, off)
+    off += 4
+    return status, payload[off:off + msg_len].decode(errors="replace")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--seconds", type=float, default=30.0)
+    ap.add_argument("--shape", default="1,3,16,16",
+                    help="request tensor shape, comma-separated")
+    ap.add_argument("--model", default="", help="registry model name "
+                    "(empty = server default)")
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--sock-timeout", type=float, default=10.0,
+                    help="per-socket timeout: a silent hang fails the soak")
+    args = ap.parse_args()
+
+    dims = [int(d) for d in args.shape.split(",")]
+    numel = 1
+    for d in dims:
+        numel *= d
+    rng = random.Random(args.seed)
+
+    counts = {name: 0 for name in STATUS_NAMES.values()}
+    counts.update(conn_errors=0, sent=0, reconnects=0)
+    deadline = time.monotonic() + args.seconds
+    sock = None
+    iteration = 0
+
+    def connect():
+        s = socket.create_connection((args.host, args.port),
+                                     timeout=args.sock_timeout)
+        return s
+
+    def roundtrip(s, payload):
+        send_frame(s, payload)
+        counts["sent"] += 1
+        status, detail = decode_response(recv_frame(s))
+        counts[STATUS_NAMES[status]] += 1
+        return status, detail
+
+    while time.monotonic() < deadline:
+        try:
+            if sock is None:
+                sock = connect()
+            data = [rng.random() for _ in range(numel)]
+            if iteration % 4 == 3:
+                # Short streaming session: open, two steps (retrying
+                # each on backpressure), close.
+                status, _ = roundtrip(sock, encode_stream_open(args.model))
+                if status == 0:
+                    step = encode_stream_step(dims, data)
+                    for _ in range(2):
+                        for attempt in range(5):
+                            status, _ = roundtrip(sock, step)
+                            if status != 5:  # not backpressure
+                                break
+                            time.sleep(0.01 * (2 ** attempt))
+                    roundtrip(sock, encode_stream_close())
+            else:
+                roundtrip(sock, encode_request(args.model, dims, data))
+            iteration += 1
+        except ProtocolError:
+            raise
+        except (OSError, ConnectionError, socket.timeout):
+            # Injected resets, torn frames, reaped connections, refused
+            # accepts: all legitimate chaos outcomes. Reconnect.
+            counts["conn_errors"] += 1
+            counts["reconnects"] += 1
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                sock = None
+            time.sleep(0.05)
+
+    if sock is not None:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    total_answered = sum(counts[n] for n in STATUS_NAMES.values())
+    print(f"chaos soak: {counts['sent']} frames sent, "
+          f"{total_answered} answered, {counts['conn_errors']} connection "
+          f"errors, {counts['reconnects']} reconnects")
+    print("  " + "  ".join(f"{n}={counts[n]}" for n in STATUS_NAMES.values()))
+    if counts["ok"] == 0:
+        print("FAIL: no request ever succeeded", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except ProtocolError as exc:
+        print(f"PROTOCOL VIOLATION: {exc}", file=sys.stderr)
+        sys.exit(2)
